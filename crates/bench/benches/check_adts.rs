@@ -1,0 +1,23 @@
+//! End-to-end benchmark: full HAT verification of representative benchmark configurations
+//! (the `t_total` column of Table 1). The complete table, including the slow
+//! configurations, is produced by the `table1` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_adts");
+    group.sample_size(10);
+    for (adt, lib) in [("Heap", "Tree"), ("ConnectedGraph", "Set")] {
+        let bench = hat_suite::find(adt, lib).expect("configuration exists");
+        group.bench_function(format!("{adt}_{lib}"), |b| {
+            b.iter(|| {
+                let reports = bench.check_all();
+                assert!(reports.iter().any(|r| r.verified));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_check);
+criterion_main!(benches);

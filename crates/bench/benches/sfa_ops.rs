@@ -1,0 +1,47 @@
+//! Micro-benchmarks for the symbolic-automaton engine: minterm construction, DFA
+//! construction and language inclusion (the `t_FA⊆` ingredient of every table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hat_logic::{Formula, Solver, Sort, Term};
+use hat_sfa::{InclusionChecker, OpSig, Sfa, VarCtx};
+
+fn ins(el: &str) -> Sfa {
+    Sfa::event("insert", vec!["x".into()], "v", Formula::eq(Term::var("x"), Term::var(el)))
+}
+
+fn uniqueness(el: &str) -> Sfa {
+    Sfa::globally(Sfa::implies(ins(el), Sfa::next(Sfa::not(Sfa::eventually(ins(el))))))
+}
+
+fn bench_inclusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sfa");
+    group.sample_size(20);
+    let ops = vec![
+        OpSig::new("insert", vec![("x".into(), Sort::Int)], Sort::Unit),
+        OpSig::new("mem", vec![("x".into(), Sort::Int)], Sort::Bool),
+    ];
+    let ctx = VarCtx::new(vec![("el".into(), Sort::Int), ("elem".into(), Sort::Int)], vec![]);
+    group.bench_function("uniqueness_preservation_inclusion", |b| {
+        b.iter(|| {
+            let mut checker = InclusionChecker::new(ops.clone());
+            let mut solver = Solver::default();
+            let inv = uniqueness("el");
+            let guarded = Sfa::and(vec![inv.clone(), Sfa::not(Sfa::eventually(ins("elem")))]);
+            let post = Sfa::concat(guarded, Sfa::and(vec![ins("elem"), Sfa::last()]));
+            assert!(checker.check(&ctx, &post, &inv, &mut solver).unwrap());
+        })
+    });
+    group.bench_function("uniqueness_violation_detection", |b| {
+        b.iter(|| {
+            let mut checker = InclusionChecker::new(ops.clone());
+            let mut solver = Solver::default();
+            let inv = uniqueness("el");
+            let post = Sfa::concat(inv.clone(), Sfa::and(vec![ins("elem"), Sfa::last()]));
+            assert!(!checker.check(&ctx, &post, &inv, &mut solver).unwrap());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inclusion);
+criterion_main!(benches);

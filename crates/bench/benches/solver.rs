@@ -1,0 +1,36 @@
+//! Micro-benchmarks for the SMT-lite solver (the `t_SAT` ingredient of every table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hat_logic::{Formula, Solver, Sort, Term};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(20);
+    group.bench_function("ordering_chain_entailment", |b| {
+        let env: Vec<(String, Sort)> = (0..6).map(|i| (format!("x{i}"), Sort::Int)).collect();
+        let hyps: Vec<Formula> = (0..5)
+            .map(|i| Formula::lt(Term::var(format!("x{i}")), Term::var(format!("x{}", i + 1))))
+            .collect();
+        let goal = Formula::lt(Term::var("x0"), Term::var("x5"));
+        b.iter(|| {
+            let mut s = Solver::default();
+            assert!(s.entails(&env, &hyps, &goal));
+        })
+    });
+    group.bench_function("congruence_entailment", |b| {
+        let env = vec![("a".to_string(), Sort::named("T")), ("b".to_string(), Sort::named("T"))];
+        let hyp = Formula::eq(Term::var("a"), Term::var("b"));
+        let goal = Formula::eq(
+            Term::app("f", vec![Term::app("f", vec![Term::var("a")])]),
+            Term::app("f", vec![Term::app("f", vec![Term::var("b")])]),
+        );
+        b.iter(|| {
+            let mut s = Solver::default();
+            assert!(s.entails(&env, &[hyp.clone()], &goal));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerates Table 1 of the paper: one row per (ADT, library) configuration with the
+//! method count, ghost count, invariant size, total verification time and the work
+//! counters of the most demanding method.
+//!
+//! Usage: `cargo run --release -p hat-bench --bin table1 [adt-filter]`
+
+use hat_bench::{method_columns, table1_row};
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default().to_lowercase();
+    println!(
+        "{:<15} {:<11} {:>7} {:>6} {:>4} {:>9} | hardest: {:>8} {:>5} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9}",
+        "ADT", "Library", "#Method", "#Ghost", "s_I", "t_total", "#Branch", "#App", "#SAT", "#FA⊆", "#Asm", "avg sFA", "tSAT", "tFA⊆"
+    );
+    for bench in hat_suite::all_benchmarks() {
+        if !filter.is_empty()
+            && !bench.adt.to_lowercase().contains(&filter)
+            && !bench.library.to_lowercase().contains(&filter)
+        {
+            continue;
+        }
+        let (row, _) = table1_row(&bench);
+        let hardest = row
+            .hardest
+            .as_ref()
+            .map(method_columns)
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<15} {:<11} {:>7} {:>6} {:>4} {:>9.2} | {}",
+            row.adt,
+            row.library,
+            row.methods,
+            row.ghosts,
+            row.invariant_size,
+            row.total_seconds,
+            hardest
+        );
+        if !row.all_as_expected {
+            println!("    !! some method did not match its expected verification outcome");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 2 of the paper: the representation invariant and library-interaction
+//! policy of every benchmark configuration.
+
+fn main() {
+    println!("{:<15} {:<11} {:<40} {}", "ADT", "Library", "Representation invariant", "Policy governing interactions");
+    for b in hat_suite::all_benchmarks() {
+        println!(
+            "{:<15} {:<11} {:<40} {}",
+            b.adt, b.library, b.invariant_description, b.policy
+        );
+    }
+}

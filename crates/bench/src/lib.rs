@@ -1,0 +1,75 @@
+//! # hat-bench
+//!
+//! The benchmark harness that regenerates the evaluation artefacts of the paper:
+//! Table 1 (per-configuration summary), Table 2 (invariant catalogue) and Tables 3/4
+//! (per-method details), plus Criterion micro-benchmarks for the solver and the
+//! symbolic-automaton engine. See `EXPERIMENTS.md` for the paper-vs-measured record.
+
+use hat_core::MethodReport;
+use hat_suite::Benchmark;
+
+/// The aggregated row of Table 1 for one configuration.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// ADT name.
+    pub adt: String,
+    /// Library name.
+    pub library: String,
+    /// `#Method` column.
+    pub methods: usize,
+    /// `#Ghost` column.
+    pub ghosts: usize,
+    /// `s_I` column.
+    pub invariant_size: usize,
+    /// `t_total` column (seconds).
+    pub total_seconds: f64,
+    /// Whether every non-buggy method verified and every buggy variant was rejected.
+    pub all_as_expected: bool,
+    /// The most complex method's report (second half of Table 1).
+    pub hardest: Option<MethodReport>,
+}
+
+/// Runs the checker over one configuration and summarises it as a Table 1 row.
+pub fn table1_row(bench: &Benchmark) -> (Table1Row, Vec<MethodReport>) {
+    let reports = bench.check_all();
+    let total: f64 = reports.iter().map(|r| r.stats.total_time.as_secs_f64()).sum();
+    let all_as_expected = bench
+        .methods
+        .iter()
+        .zip(&reports)
+        .all(|(m, r)| r.verified == m.expect_verified);
+    let hardest = bench
+        .methods
+        .iter()
+        .zip(&reports)
+        .filter(|(m, _)| m.expect_verified)
+        .map(|(_, r)| r.clone())
+        .max_by_key(|r| r.stats.sat_queries);
+    let row = Table1Row {
+        adt: bench.adt.to_string(),
+        library: bench.library.to_string(),
+        methods: bench.method_count(),
+        ghosts: bench.ghost_count(),
+        invariant_size: bench.invariant_size(),
+        total_seconds: total,
+        all_as_expected,
+        hardest,
+    };
+    (row, reports)
+}
+
+/// Formats a method report as the per-method columns shared by Tables 1, 3 and 4.
+pub fn method_columns(r: &MethodReport) -> String {
+    format!(
+        "{:>8} {:>5} {:>6} {:>6} {:>6} {:>9.1} {:>9.2} {:>9.2}  {}",
+        r.branches,
+        r.apps,
+        r.stats.sat_queries,
+        r.stats.fa_inclusions,
+        r.stats.assumed_preconditions,
+        r.stats.avg_fa_size,
+        r.stats.sat_time.as_secs_f64(),
+        r.stats.fa_time.as_secs_f64(),
+        if r.verified { "ok" } else { "REJECTED" }
+    )
+}

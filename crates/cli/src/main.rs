@@ -1,0 +1,78 @@
+//! `marple` — the command-line driver of the HAT representation-invariant verifier.
+//!
+//! ```text
+//! marple list                  # list the benchmark configurations
+//! marple check <adt> <lib>     # verify one configuration and print a report
+//! marple check-all             # verify every configuration
+//! ```
+
+use hat_suite::{all_benchmarks, find, Benchmark};
+
+fn report(bench: &Benchmark) -> bool {
+    println!("== {} / {} — {}", bench.adt, bench.library, bench.policy);
+    let reports = bench.check_all();
+    let mut ok = true;
+    for (m, r) in bench.methods.iter().zip(&reports) {
+        let status = match (r.verified, m.expect_verified) {
+            (true, true) => "verified",
+            (false, false) => "rejected (as expected)",
+            (true, false) => "VERIFIED BUT EXPECTED REJECTION",
+            (false, true) => "FAILED",
+        };
+        ok &= r.verified == m.expect_verified;
+        println!(
+            "   {:<22} {:<32} #SAT={:<5} #FA⊆={:<3} t={:.2}s",
+            m.sig.name,
+            status,
+            r.stats.sat_queries,
+            r.stats.fa_inclusions,
+            r.stats.total_time.as_secs_f64()
+        );
+        for f in &r.failures {
+            if m.expect_verified {
+                println!("        failure: {f}");
+            }
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") | None => {
+            println!("Available benchmark configurations (ADT / library):");
+            for b in all_benchmarks() {
+                println!("  {:<15} {:<11} — {}", b.adt, b.library, b.invariant_description);
+            }
+            println!("\nRun `marple check <adt> <library>` to verify one of them.");
+        }
+        Some("check") => {
+            let (Some(adt), Some(lib)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: marple check <adt> <library>");
+                std::process::exit(2);
+            };
+            match find(adt, lib) {
+                Some(b) => {
+                    let ok = report(&b);
+                    std::process::exit(if ok { 0 } else { 1 });
+                }
+                None => {
+                    eprintln!("unknown configuration `{adt}/{lib}`; try `marple list`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some("check-all") => {
+            let mut ok = true;
+            for b in all_benchmarks() {
+                ok &= report(&b);
+            }
+            std::process::exit(if ok { 0 } else { 1 });
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`; commands: list, check, check-all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Typing contexts (paper Fig. 4): sequences of bindings of variables to *pure* refinement
+//! types. HATs are deliberately not allowed in contexts (they describe computations, not
+//! values).
+
+use crate::rty::RType;
+use hat_logic::{Formula, Ident, Sort};
+use hat_sfa::VarCtx;
+
+/// A typing context `Γ`.
+#[derive(Debug, Clone, Default)]
+pub struct TypeCtx {
+    bindings: Vec<(Ident, RType)>,
+}
+
+impl TypeCtx {
+    /// The empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extends the context with a binding (returns a new context; contexts are persistent
+    /// so branches of a match can extend independently).
+    pub fn push(&self, x: impl Into<Ident>, t: RType) -> TypeCtx {
+        let mut c = self.clone();
+        c.bindings.push((x.into(), t));
+        c
+    }
+
+    /// Looks up a variable.
+    pub fn lookup(&self, x: &str) -> Option<&RType> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(y, _)| y == x)
+            .map(|(_, t)| t)
+    }
+
+    /// Iterates over the bindings, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(Ident, RType)> {
+        self.bindings.iter()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the context is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// The logical content of the context: variable sorts and facts, in the form consumed
+    /// by the SMT solver and the automaton inclusion checker.
+    pub fn logical(&self) -> VarCtx {
+        let mut vars: Vec<(Ident, Sort)> = Vec::new();
+        let mut facts: Vec<Formula> = Vec::new();
+        for (x, t) in &self.bindings {
+            match t {
+                RType::Base { sort, .. } => {
+                    vars.push((x.clone(), sort.clone()));
+                    if let Some(q) = t.qualifier_at(x) {
+                        if q != Formula::True {
+                            facts.push(q);
+                        }
+                    }
+                }
+                // Function-typed bindings contribute no first-order facts.
+                RType::Arrow { .. } | RType::Ghost { .. } => {}
+            }
+        }
+        VarCtx::new(vars, facts)
+    }
+
+    /// Adds a bare logical fact by binding an anonymous unit variable refined by it
+    /// (the standard refinement-typing encoding of path conditions).
+    pub fn assume(&self, fact: Formula) -> TypeCtx {
+        let name = format!("_h{}", self.bindings.len());
+        self.push(
+            name,
+            RType::Base {
+                sort: Sort::Unit,
+                qualifier: fact,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_logic::Term;
+
+    #[test]
+    fn lookup_and_shadowing() {
+        let ctx = TypeCtx::new()
+            .push("x", RType::base(Sort::Int))
+            .push("x", RType::base(Sort::Bool));
+        assert_eq!(ctx.lookup("x").unwrap().sort(), Some(&Sort::Bool));
+        assert!(ctx.lookup("y").is_none());
+        assert_eq!(ctx.len(), 2);
+        assert!(!ctx.is_empty());
+    }
+
+    #[test]
+    fn logical_projection_collects_sorts_and_facts() {
+        let ctx = TypeCtx::new()
+            .push("n", RType::refined(Sort::Int, Formula::lt(Term::int(0), Term::var(crate::rty::NU))))
+            .push("b", RType::base(Sort::Bool));
+        let l = ctx.logical();
+        assert_eq!(l.vars.len(), 2);
+        assert_eq!(l.facts.len(), 1);
+        assert_eq!(l.facts[0], Formula::lt(Term::int(0), Term::var("n")));
+    }
+
+    #[test]
+    fn assume_adds_a_fact() {
+        let ctx = TypeCtx::new().assume(Formula::pred("isDir", vec![Term::var("b")]));
+        let l = ctx.logical();
+        assert_eq!(l.facts.len(), 1);
+    }
+
+    #[test]
+    fn arrow_bindings_do_not_pollute_facts() {
+        let arrow = RType::arrow(
+            "x",
+            RType::base(Sort::Int),
+            crate::rty::HType::Pure(RType::base(Sort::Int)),
+        );
+        let ctx = TypeCtx::new().push("f", arrow);
+        let l = ctx.logical();
+        assert!(l.vars.is_empty());
+        assert!(l.facts.is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! The built-in operator typing context `Δ` (paper Example 4.2): HAT signatures for the
+//! effectful operators of the backing libraries and refinement signatures for pure
+//! operators and method predicates.
+
+use crate::rty::{RType, NU};
+use hat_lang::{BasicType, BasicTyCtx};
+use hat_logic::{AxiomSet, Formula, Ident, Sort, Term};
+use hat_sfa::{OpSig, Sfa};
+use std::collections::BTreeMap;
+
+/// One Hoare case of an effectful operator's return type.
+#[derive(Debug, Clone)]
+pub struct HoareCase {
+    /// Precondition automaton.
+    pub pre: Sfa,
+    /// Result refinement type.
+    pub ty: RType,
+    /// Postcondition automaton.
+    pub post: Sfa,
+}
+
+/// The HAT signature of an effectful operator:
+/// `z̄ : b̄ ⇢ ȳ : t̄ → ⊓ᵢ [Aᵢ] tᵢ [Aᵢ']`.
+#[derive(Debug, Clone)]
+pub struct EffOpSig {
+    /// Ghost variables and their sorts.
+    pub ghosts: Vec<(Ident, Sort)>,
+    /// Parameters and their refinement types.
+    pub params: Vec<(Ident, RType)>,
+    /// The intersection of Hoare cases describing the result.
+    pub cases: Vec<HoareCase>,
+}
+
+impl EffOpSig {
+    /// Substitutes actual argument terms for the declared parameters in every case.
+    pub fn instantiate(&self, args: &[Term]) -> Vec<HoareCase> {
+        self.cases
+            .iter()
+            .map(|c| {
+                let mut pre = c.pre.clone();
+                let mut ty = c.ty.clone();
+                let mut post = c.post.clone();
+                for ((p, _), a) in self.params.iter().zip(args) {
+                    pre = pre.subst(p, a);
+                    ty = ty.subst(p, a);
+                    post = post.subst(p, a);
+                }
+                HoareCase { pre, ty, post }
+            })
+            .collect()
+    }
+}
+
+/// The refinement signature of a pure operator: `ȳ : t̄ → t`.
+#[derive(Debug, Clone)]
+pub struct PureOpSig {
+    /// Parameters and their refinement types.
+    pub params: Vec<(Ident, RType)>,
+    /// Result type (may mention the parameters).
+    pub ret: RType,
+}
+
+impl PureOpSig {
+    /// The result type with actual argument terms substituted for the parameters.
+    pub fn instantiate(&self, args: &[Term]) -> RType {
+        let mut ret = self.ret.clone();
+        for ((p, _), a) in self.params.iter().zip(args) {
+            ret = ret.subst(p, a);
+        }
+        ret
+    }
+}
+
+/// The built-in typing context: a *library specification* in the sense of the paper.
+///
+/// A `Delta` bundles, for one backing library (or a union of libraries):
+/// * the HAT signatures of its effectful operators,
+/// * refinement signatures for the pure operators it relies on,
+/// * the alphabet ([`OpSig`]) used by the SFA inclusion checker, and
+/// * the method-predicate axioms handed to the SMT solver.
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    /// Effectful operator signatures.
+    pub eff_ops: BTreeMap<Ident, EffOpSig>,
+    /// Pure operator signatures.
+    pub pure_ops: BTreeMap<Ident, PureOpSig>,
+    /// Method-predicate / pure-function axioms.
+    pub axioms: AxiomSet,
+}
+
+impl Delta {
+    /// An empty library specification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an effectful operator.
+    pub fn declare_eff(&mut self, name: impl Into<Ident>, sig: EffOpSig) -> &mut Self {
+        self.eff_ops.insert(name.into(), sig);
+        self
+    }
+
+    /// Registers a pure operator.
+    pub fn declare_pure(&mut self, name: impl Into<Ident>, sig: PureOpSig) -> &mut Self {
+        self.pure_ops.insert(name.into(), sig);
+        self
+    }
+
+    /// Merges another library specification into this one.
+    pub fn extend(&mut self, other: &Delta) -> &mut Self {
+        for (k, v) in &other.eff_ops {
+            self.eff_ops.insert(k.clone(), v.clone());
+        }
+        for (k, v) in &other.pure_ops {
+            self.pure_ops.insert(k.clone(), v.clone());
+        }
+        self.axioms.extend(&other.axioms);
+        self
+    }
+
+    /// The operator alphabet used by automaton inclusion (paper Algorithm 1, line 5).
+    pub fn alphabet(&self) -> Vec<OpSig> {
+        self.eff_ops
+            .iter()
+            .map(|(name, sig)| {
+                OpSig::new(
+                    name.clone(),
+                    sig.params
+                        .iter()
+                        .map(|(p, t)| (p.clone(), t.sort().cloned().unwrap_or(Sort::named("?"))))
+                        .collect(),
+                    sig.cases
+                        .first()
+                        .and_then(|c| c.ty.sort().cloned())
+                        .unwrap_or(Sort::Unit),
+                )
+            })
+            .collect()
+    }
+
+    /// The basic typing context induced by the declared operators (used for the `⊢s`
+    /// pre-check of client programs).
+    pub fn basic_ctx(&self) -> BasicTyCtx {
+        let mut ctx = BasicTyCtx::standard();
+        for (name, sig) in &self.eff_ops {
+            ctx.declare_eff(
+                name.clone(),
+                sig.params.iter().map(|(_, t)| t.erase()).collect(),
+                sig.cases
+                    .first()
+                    .map(|c| c.ty.erase())
+                    .unwrap_or_else(BasicType::unit),
+            );
+        }
+        for (name, sig) in &self.pure_ops {
+            ctx.declare_pure(
+                name.clone(),
+                sig.params.iter().map(|(_, t)| t.erase()).collect(),
+                sig.ret.erase(),
+            );
+        }
+        ctx
+    }
+}
+
+/// Convenience constructors for the event patterns that appear over and over in library
+/// signatures and representation invariants.
+pub mod events {
+    use super::*;
+
+    /// `⟨op args = ν | φ⟩` with the canonical result name.
+    pub fn ev(op: &str, args: &[&str], phi: Formula) -> Sfa {
+        Sfa::event(op, args.iter().map(|s| s.to_string()).collect(), NU, phi)
+    }
+
+    /// `⟨op args = ν | ⊤⟩`.
+    pub fn ev_any(op: &str, args: &[&str]) -> Sfa {
+        ev(op, args, Formula::True)
+    }
+
+    /// The postcondition `A; (⟨op ... | φ⟩ ∧ LAST)` used by every built-in operator:
+    /// the operator appends exactly one event to the effect context.
+    pub fn appends(pre: &Sfa, event: Sfa) -> Sfa {
+        Sfa::concat(pre.clone(), Sfa::and(vec![event, Sfa::last()]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::events::*;
+    use super::*;
+
+    fn kv_put_sig() -> EffOpSig {
+        let path = Sort::named("Path.t");
+        let bytes = Sort::named("Bytes.t");
+        let pre = Sfa::universe();
+        let event = ev(
+            "put",
+            &["key", "val"],
+            Formula::and(vec![
+                Formula::eq(Term::var("key"), Term::var("k")),
+                Formula::eq(Term::var("val"), Term::var("a")),
+            ]),
+        );
+        EffOpSig {
+            ghosts: vec![],
+            params: vec![
+                ("k".into(), RType::base(path)),
+                ("a".into(), RType::base(bytes)),
+            ],
+            cases: vec![HoareCase {
+                pre: pre.clone(),
+                ty: RType::base(Sort::Unit),
+                post: appends(&pre, event),
+            }],
+        }
+    }
+
+    #[test]
+    fn instantiation_substitutes_parameters() {
+        let sig = kv_put_sig();
+        let cases = sig.instantiate(&[Term::var("path"), Term::var("bytes")]);
+        assert_eq!(cases.len(), 1);
+        let fv = cases[0].post.free_vars();
+        assert!(fv.contains("path"));
+        assert!(fv.contains("bytes"));
+        assert!(!fv.contains("k"));
+        assert!(!fv.contains("a"));
+    }
+
+    #[test]
+    fn alphabet_exposes_operator_sorts() {
+        let mut delta = Delta::new();
+        delta.declare_eff("put", kv_put_sig());
+        let alpha = delta.alphabet();
+        assert_eq!(alpha.len(), 1);
+        assert_eq!(alpha[0].name, "put");
+        assert_eq!(alpha[0].args.len(), 2);
+        assert_eq!(alpha[0].ret, Sort::Unit);
+    }
+
+    #[test]
+    fn basic_ctx_reflects_signatures() {
+        let mut delta = Delta::new();
+        delta.declare_eff("put", kv_put_sig());
+        delta.declare_pure(
+            "parent",
+            PureOpSig {
+                params: vec![("p".into(), RType::base(Sort::named("Path.t")))],
+                ret: RType::singleton(Sort::named("Path.t"), Term::app("parent", vec![Term::var("p")])),
+            },
+        );
+        let ctx = delta.basic_ctx();
+        assert!(ctx.eff_ops.contains_key("put"));
+        assert!(ctx.pure_ops.contains_key("parent"));
+    }
+
+    #[test]
+    fn pure_sig_instantiation() {
+        let sig = PureOpSig {
+            params: vec![("p".into(), RType::base(Sort::named("Path.t")))],
+            ret: RType::singleton(Sort::named("Path.t"), Term::app("parent", vec![Term::var("p")])),
+        };
+        let t = sig.instantiate(&[Term::var("path")]);
+        assert_eq!(
+            t.qualifier_at("pp").unwrap(),
+            Formula::eq(Term::var("pp"), Term::app("parent", vec![Term::var("path")]))
+        );
+    }
+
+    #[test]
+    fn extend_merges_libraries() {
+        let mut a = Delta::new();
+        a.declare_eff("put", kv_put_sig());
+        let mut b = Delta::new();
+        b.declare_eff("exists", kv_put_sig());
+        b.extend(&a);
+        assert_eq!(b.eff_ops.len(), 2);
+    }
+}

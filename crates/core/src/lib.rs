@@ -1,0 +1,34 @@
+//! # hat-core
+//!
+//! Hoare Automata Types (HATs): the refinement-and-effect type system of
+//! *"A HAT Trick: Automatically Verifying Representation Invariants Using Symbolic Finite
+//! Automata"* (PLDI 2024), reimplemented in Rust.
+//!
+//! A HAT `[A] {ν:b | φ} [B]` qualifies a stateful computation with a *precondition
+//! automaton* `A` describing the effect contexts in which it may run and a *postcondition
+//! automaton* `B` describing the context extended with the effects it performs. Checking
+//! that an ADT method preserves its representation invariant `I` amounts to checking the
+//! method against `[I] t [I]`, which this crate reduces to SMT queries (`hat-logic`) and
+//! symbolic-automaton inclusion checks (`hat-sfa`).
+//!
+//! The crate provides:
+//!
+//! * [`rty`] — pure refinement types and HATs, with substitution and erasure,
+//! * [`ctx`] — typing contexts and their logical projection,
+//! * [`delta`] — the built-in operator typing context `Δ` (library specifications),
+//! * [`subtype`] — the subtyping rules (`SubBaseAlg`, `SubHoare`),
+//! * [`abduce`] — ghost-variable instantiation,
+//! * [`check`] — the bidirectional checker together with the per-method statistics used to
+//!   regenerate the paper's evaluation tables.
+
+pub mod abduce;
+pub mod check;
+pub mod ctx;
+pub mod delta;
+pub mod rty;
+pub mod subtype;
+
+pub use check::{CheckError, CheckStats, Checker, MethodReport, MethodSig};
+pub use ctx::TypeCtx;
+pub use delta::{Delta, EffOpSig, HoareCase, PureOpSig};
+pub use rty::{HType, RType, NU};

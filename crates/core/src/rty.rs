@@ -1,0 +1,338 @@
+//! Refinement types and Hoare Automata Types (paper Fig. 4).
+
+use hat_lang::BasicType;
+use hat_logic::{Formula, Ident, Sort, Term};
+use hat_sfa::Sfa;
+use std::fmt;
+
+/// The distinguished value variable `ν` used in base-type qualifiers.
+pub const NU: &str = "v";
+
+/// Pure refinement types (`t` in the paper's grammar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RType {
+    /// `{ν : b | φ}` — a base sort refined by a qualifier over `ν` (and context variables).
+    Base {
+        /// The base sort.
+        sort: Sort,
+        /// The qualifier; `ν` refers to the value.
+        qualifier: Formula,
+    },
+    /// `x : t → τ` — a dependent arrow whose result is a HAT.
+    Arrow {
+        /// Parameter name (scopes over the result type).
+        param: Ident,
+        /// Parameter type.
+        param_ty: Box<RType>,
+        /// Result type.
+        ret: Box<HType>,
+    },
+    /// `x : b ⇢ t` — a ghost-variable prefix (the ghost scopes over the body).
+    Ghost {
+        /// Ghost variable name.
+        var: Ident,
+        /// Ghost variable sort.
+        sort: Sort,
+        /// The type it scopes over.
+        body: Box<RType>,
+    },
+}
+
+impl RType {
+    /// `{ν : b | ⊤}`.
+    pub fn base(sort: Sort) -> Self {
+        RType::Base {
+            sort,
+            qualifier: Formula::True,
+        }
+    }
+
+    /// `{ν : b | φ}`.
+    pub fn refined(sort: Sort, qualifier: Formula) -> Self {
+        RType::Base { sort, qualifier }
+    }
+
+    /// `{ν : b | ν = t}` — the singleton type of a term.
+    pub fn singleton(sort: Sort, t: Term) -> Self {
+        RType::refined(sort, Formula::eq(Term::var(NU), t))
+    }
+
+    /// `{ν : bool | ν = b}`.
+    pub fn bool_singleton(b: bool) -> Self {
+        RType::singleton(Sort::Bool, Term::bool(b))
+    }
+
+    /// An arrow type.
+    pub fn arrow(param: impl Into<Ident>, param_ty: RType, ret: HType) -> Self {
+        RType::Arrow {
+            param: param.into(),
+            param_ty: Box::new(param_ty),
+            ret: Box::new(ret),
+        }
+    }
+
+    /// A ghost-prefixed type.
+    pub fn ghost(var: impl Into<Ident>, sort: Sort, body: RType) -> Self {
+        RType::Ghost {
+            var: var.into(),
+            sort,
+            body: Box::new(body),
+        }
+    }
+
+    /// Type erasure `⌊t⌋` to basic types.
+    pub fn erase(&self) -> BasicType {
+        match self {
+            RType::Base { sort, .. } => BasicType::Base(sort.clone()),
+            RType::Arrow { param_ty, ret, .. } => {
+                BasicType::arrow(param_ty.erase(), ret.erase())
+            }
+            RType::Ghost { body, .. } => body.erase(),
+        }
+    }
+
+    /// Substitutes a context variable by a term (capture-avoiding with respect to `ν`,
+    /// parameters and ghost binders).
+    pub fn subst(&self, var: &str, t: &Term) -> RType {
+        if var == NU {
+            return self.clone();
+        }
+        match self {
+            RType::Base { sort, qualifier } => RType::Base {
+                sort: sort.clone(),
+                qualifier: qualifier.subst_var(var, t),
+            },
+            RType::Arrow { param, param_ty, ret } => {
+                let new_ret = if param == var {
+                    ret.clone()
+                } else {
+                    Box::new(ret.subst(var, t))
+                };
+                RType::Arrow {
+                    param: param.clone(),
+                    param_ty: Box::new(param_ty.subst(var, t)),
+                    ret: new_ret,
+                }
+            }
+            RType::Ghost { var: g, sort, body } => {
+                if g == var {
+                    self.clone()
+                } else {
+                    RType::Ghost {
+                        var: g.clone(),
+                        sort: sort.clone(),
+                        body: Box::new(body.subst(var, t)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The qualifier instantiated at a specific variable, i.e. `φ[ν ↦ x]`, for base types.
+    pub fn qualifier_at(&self, x: &str) -> Option<Formula> {
+        match self {
+            RType::Base { qualifier, .. } => Some(qualifier.subst_var(NU, &Term::var(x))),
+            _ => None,
+        }
+    }
+
+    /// The sort, for base types.
+    pub fn sort(&self) -> Option<&Sort> {
+        match self {
+            RType::Base { sort, .. } => Some(sort),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RType::Base { sort, qualifier } => match qualifier {
+                Formula::True => write!(f, "{sort}"),
+                q => write!(f, "{{v:{sort} | {q}}}"),
+            },
+            RType::Arrow { param, param_ty, ret } => write!(f, "{param}:{param_ty} -> {ret}"),
+            RType::Ghost { var, sort, body } => write!(f, "{var}:{sort} ~> {body}"),
+        }
+    }
+}
+
+/// Hoare Automata Types (`τ` in the paper's grammar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HType {
+    /// A pure type used as a computation type (no constraint on traces; rule `TEPur`).
+    Pure(RType),
+    /// `[A] t [B]` — a computation whose allowed effect contexts are `A` and whose
+    /// context-plus-emitted trace is described by `B`.
+    Hoare {
+        /// Precondition automaton.
+        pre: Sfa,
+        /// Result refinement type.
+        ty: RType,
+        /// Postcondition automaton.
+        post: Sfa,
+    },
+    /// An intersection of HATs (`τ ⊓ τ`).
+    Inter(Vec<HType>),
+}
+
+impl HType {
+    /// `[A] t [B]`.
+    pub fn hoare(pre: Sfa, ty: RType, post: Sfa) -> Self {
+        HType::Hoare { pre, ty, post }
+    }
+
+    /// An intersection type; single-element lists collapse.
+    pub fn inter(cases: Vec<HType>) -> Self {
+        let mut flat = Vec::new();
+        for c in cases {
+            match c {
+                HType::Inter(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        if flat.len() == 1 {
+            flat.into_iter().next().expect("len checked")
+        } else {
+            HType::Inter(flat)
+        }
+    }
+
+    /// Type erasure `⌊τ⌋`.
+    pub fn erase(&self) -> BasicType {
+        match self {
+            HType::Pure(t) => t.erase(),
+            HType::Hoare { ty, .. } => ty.erase(),
+            HType::Inter(cases) => cases
+                .first()
+                .map(HType::erase)
+                .unwrap_or_else(BasicType::unit),
+        }
+    }
+
+    /// Substitution of a context variable by a term (in qualifiers and automata).
+    pub fn subst(&self, var: &str, t: &Term) -> HType {
+        match self {
+            HType::Pure(rt) => HType::Pure(rt.subst(var, t)),
+            HType::Hoare { pre, ty, post } => HType::Hoare {
+                pre: pre.subst(var, t),
+                ty: ty.subst(var, t),
+                post: post.subst(var, t),
+            },
+            HType::Inter(cases) => HType::Inter(cases.iter().map(|c| c.subst(var, t)).collect()),
+        }
+    }
+
+    /// The list of Hoare cases (a non-intersection counts as one case). Pure types have no
+    /// Hoare case.
+    pub fn cases(&self) -> Vec<(Sfa, RType, Sfa)> {
+        match self {
+            HType::Pure(_) => Vec::new(),
+            HType::Hoare { pre, ty, post } => vec![(pre.clone(), ty.clone(), post.clone())],
+            HType::Inter(cases) => cases.iter().flat_map(HType::cases).collect(),
+        }
+    }
+}
+
+impl fmt::Display for HType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HType::Pure(t) => write!(f, "{t}"),
+            HType::Hoare { pre, ty, post } => write!(f, "[{pre}] {ty} [{post}]"),
+            HType::Inter(cases) => {
+                for (i, c) in cases.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " /\\ ")?;
+                    }
+                    write!(f, "({c})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erasure_of_nested_types() {
+        let t = RType::ghost(
+            "p",
+            Sort::named("Path.t"),
+            RType::arrow(
+                "path",
+                RType::base(Sort::named("Path.t")),
+                HType::hoare(Sfa::universe(), RType::base(Sort::Bool), Sfa::universe()),
+            ),
+        );
+        assert_eq!(
+            t.erase(),
+            BasicType::arrow(
+                BasicType::Base(Sort::named("Path.t")),
+                BasicType::Base(Sort::Bool)
+            )
+        );
+    }
+
+    #[test]
+    fn singleton_and_qualifier_at() {
+        let t = RType::singleton(Sort::Int, Term::int(3));
+        assert_eq!(
+            t.qualifier_at("x").unwrap(),
+            Formula::eq(Term::var("x"), Term::int(3))
+        );
+        assert_eq!(t.sort(), Some(&Sort::Int));
+    }
+
+    #[test]
+    fn substitution_avoids_capture() {
+        // {ν:int | ν = y} with y ↦ 3
+        let t = RType::refined(Sort::Int, Formula::eq(Term::var(NU), Term::var("y")));
+        let s = t.subst("y", &Term::int(3));
+        assert_eq!(s, RType::singleton(Sort::Int, Term::int(3)));
+        // substituting ν is a no-op
+        assert_eq!(t.subst(NU, &Term::int(0)), t);
+        // ghost binder shadows
+        let g = RType::ghost("a", Sort::Int, t.clone());
+        assert_eq!(g.subst("a", &Term::int(1)), g);
+    }
+
+    #[test]
+    fn intersection_flattens() {
+        let h = HType::hoare(Sfa::universe(), RType::base(Sort::Unit), Sfa::universe());
+        let i = HType::inter(vec![h.clone(), HType::inter(vec![h.clone(), h.clone()])]);
+        assert_eq!(i.cases().len(), 3);
+        let single = HType::inter(vec![h.clone()]);
+        assert_eq!(single, h);
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = RType::refined(Sort::Bool, Formula::eq(Term::var(NU), Term::bool(true)));
+        assert_eq!(t.to_string(), "{v:bool | v == true}");
+        assert_eq!(RType::base(Sort::Int).to_string(), "int");
+        let h = HType::hoare(Sfa::universe(), RType::base(Sort::Unit), Sfa::universe());
+        assert!(h.to_string().starts_with('['));
+    }
+
+    #[test]
+    fn subst_in_hoare_types_reaches_automata() {
+        let pre = Sfa::event(
+            "put",
+            vec!["key".into(), "val".into()],
+            "res",
+            Formula::eq(Term::var("key"), Term::var("k")),
+        );
+        let h = HType::hoare(pre, RType::base(Sort::Unit), Sfa::universe());
+        let s = h.subst("k", &Term::atom("/a"));
+        match s {
+            HType::Hoare { pre, .. } => {
+                assert!(pre.free_vars().is_empty());
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Regression test: the finite-alphabet abstraction must not conflate distinct context
+//! variables across trace positions (the "bridge literal" issue found while checking the
+//! guarded Set.insert method).
+
+use hat_core::rty::NU;
+use hat_logic::{Formula, Solver, Sort, Term};
+use hat_sfa::{InclusionChecker, OpSig, Sfa, VarCtx};
+
+fn ev(op: &str, args: &[&str], phi: Formula) -> Sfa {
+    Sfa::event(op, args.iter().map(|s| s.to_string()).collect(), NU, phi)
+}
+
+fn ins_el() -> Sfa {
+    ev("insert", &["y"], Formula::eq(Term::var("y"), Term::var("el")))
+}
+
+fn inv() -> Sfa {
+    Sfa::globally(Sfa::implies(
+        ins_el(),
+        Sfa::next(Sfa::not(Sfa::eventually(ins_el()))),
+    ))
+}
+
+fn ops() -> Vec<OpSig> {
+    vec![
+        OpSig::new("insert", vec![("x".into(), Sort::Int)], Sort::Unit),
+        OpSig::new("mem", vec![("x".into(), Sort::Int)], Sort::Bool),
+    ]
+}
+
+#[test]
+fn set_insert_branch_preconditions_are_precise() {
+    let ctx = VarCtx::new(
+        vec![("el".into(), Sort::Int), ("elem".into(), Sort::Int)],
+        vec![],
+    );
+    let mut checker = InclusionChecker::new(ops());
+    let mut solver = Solver::default();
+
+    let one = |e: Sfa| Sfa::and(vec![e, Sfa::last()]);
+    let present = Sfa::eventually(ev("insert", &["y"], Formula::eq(Term::var("y"), Term::var("elem"))));
+    let absent = Sfa::not(present.clone());
+    let mem_ev = |r: bool| {
+        ev(
+            "mem",
+            &["y"],
+            Formula::and(vec![
+                Formula::eq(Term::var("y"), Term::var("elem")),
+                Formula::eq(Term::var(NU), Term::bool(r)),
+            ]),
+        )
+    };
+
+    // Case "present", true arm: pre1 = (I; <T>&LAST) & (present; mem_true&LAST)
+    let pre1 = Sfa::and(vec![
+        Sfa::concat(inv(), one(Sfa::any_event())),
+        Sfa::concat(present.clone(), one(mem_ev(true))),
+    ]);
+    let r1 = checker.check(&ctx, &pre1, &inv(), &mut solver).unwrap();
+    let _ = format!("present/true-arm tail inclusion: {r1}");
+
+    // Case "absent", false arm after insert:
+    let pre_mem = Sfa::and(vec![
+        Sfa::concat(inv(), one(Sfa::any_event())),
+        Sfa::concat(absent.clone(), one(mem_ev(false))),
+    ]);
+    let pre2 = Sfa::and(vec![
+        Sfa::concat(pre_mem, one(Sfa::any_event())),
+        Sfa::concat(
+            Sfa::universe(),
+            one(ev("insert", &["y"], Formula::eq(Term::var("y"), Term::var("elem")))),
+        ),
+    ]);
+    let r2 = checker.check(&ctx, &pre2, &inv(), &mut solver).unwrap();
+    let _ = format!("absent/false-arm tail inclusion: {r2}");
+
+    assert!(r1 && r2, "r1={r1} r2={r2}");
+}

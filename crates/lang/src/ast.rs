@@ -1,0 +1,374 @@
+//! Abstract syntax of λᴱ (paper Fig. 2).
+//!
+//! Programs are in *monadic normal form*: the only compound expressions are let-bindings of
+//! operator applications, function applications and nested computations, plus pattern
+//! matching over values. This is the form the bidirectional type checker operates on.
+
+use hat_logic::{Constant, Ident, Sort};
+use std::fmt;
+
+/// Basic (unrefined) types: base sorts and arrows. Refinement erasure (`⌊·⌋`) lands here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BasicType {
+    /// A base sort (`unit`, `bool`, `int`, `Path.t`, ...).
+    Base(Sort),
+    /// A function type.
+    Arrow(Box<BasicType>, Box<BasicType>),
+}
+
+impl BasicType {
+    /// A base type from a sort.
+    pub fn base(sort: Sort) -> Self {
+        BasicType::Base(sort)
+    }
+
+    /// The `bool` base type.
+    pub fn bool() -> Self {
+        BasicType::Base(Sort::Bool)
+    }
+
+    /// The `int` base type.
+    pub fn int() -> Self {
+        BasicType::Base(Sort::Int)
+    }
+
+    /// The `unit` base type.
+    pub fn unit() -> Self {
+        BasicType::Base(Sort::Unit)
+    }
+
+    /// An arrow type.
+    pub fn arrow(a: BasicType, b: BasicType) -> Self {
+        BasicType::Arrow(Box::new(a), Box::new(b))
+    }
+
+    /// The underlying sort, if this is a base type.
+    pub fn as_base(&self) -> Option<&Sort> {
+        match self {
+            BasicType::Base(s) => Some(s),
+            BasicType::Arrow(_, _) => None,
+        }
+    }
+}
+
+impl fmt::Display for BasicType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasicType::Base(s) => write!(f, "{s}"),
+            BasicType::Arrow(a, b) => write!(f, "({a} -> {b})"),
+        }
+    }
+}
+
+/// Values (`v` in Fig. 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A constant.
+    Const(Constant),
+    /// A variable.
+    Var(Ident),
+    /// A data-constructor application (e.g. `true`, `None`, `Cons(x, xs)`).
+    Ctor(Ident, Vec<Value>),
+    /// A lambda abstraction with an annotated parameter type.
+    Lambda {
+        /// Parameter name.
+        param: Ident,
+        /// Parameter type annotation.
+        param_ty: BasicType,
+        /// Body computation.
+        body: Box<Expr>,
+    },
+    /// A recursive function `fix f : t. λx : tx. e`.
+    Fix {
+        /// Name of the recursive function (bound in the body).
+        fname: Ident,
+        /// Type annotation of the recursive function.
+        fty: BasicType,
+        /// Parameter name.
+        param: Ident,
+        /// Parameter type annotation.
+        param_ty: BasicType,
+        /// Body computation.
+        body: Box<Expr>,
+    },
+}
+
+impl Value {
+    /// A variable value.
+    pub fn var(x: impl Into<Ident>) -> Self {
+        Value::Var(x.into())
+    }
+
+    /// A constant value.
+    pub fn constant(c: impl Into<Constant>) -> Self {
+        Value::Const(c.into())
+    }
+
+    /// The boolean constant.
+    pub fn bool(b: bool) -> Self {
+        Value::Const(Constant::Bool(b))
+    }
+
+    /// The integer constant.
+    pub fn int(i: i64) -> Self {
+        Value::Const(Constant::Int(i))
+    }
+
+    /// The unit constant.
+    pub fn unit() -> Self {
+        Value::Const(Constant::Unit)
+    }
+
+    /// An atom constant (member of a named sort).
+    pub fn atom(s: impl Into<String>) -> Self {
+        Value::Const(Constant::Atom(s.into()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(c) => write!(f, "{c}"),
+            Value::Var(x) => write!(f, "{x}"),
+            Value::Ctor(d, args) if args.is_empty() => write!(f, "{d}"),
+            Value::Ctor(d, args) => {
+                write!(f, "{d}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Lambda { param, param_ty, body } => {
+                write!(f, "(fun ({param}: {param_ty}) -> {body})")
+            }
+            Value::Fix {
+                fname,
+                param,
+                param_ty,
+                body,
+                ..
+            } => write!(f, "(fix {fname} (fun ({param}: {param_ty}) -> {body}))"),
+        }
+    }
+}
+
+/// One arm of a pattern match: a constructor pattern with binders and a body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchArm {
+    /// Constructor name (`true`, `false`, `None`, `Cons`, ...).
+    pub ctor: Ident,
+    /// Variables bound to the constructor's arguments.
+    pub binders: Vec<Ident>,
+    /// The arm's body.
+    pub body: Expr,
+}
+
+/// Computations (`e` in Fig. 2), in monadic normal form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A value used as a (pure, effect-free) computation.
+    Value(Value),
+    /// `let x = op v̄ in e` — application of an *effectful* library operator.
+    LetEffOp {
+        /// Binder for the operator's result.
+        x: Ident,
+        /// Operator name (e.g. `put`).
+        op: Ident,
+        /// Argument values.
+        args: Vec<Value>,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `let x = op v̄ in e` — application of a *pure* built-in operator.
+    LetPureOp {
+        /// Binder for the operator's result.
+        x: Ident,
+        /// Operator name (e.g. `+`, `parent`, `isDir`).
+        op: Ident,
+        /// Argument values.
+        args: Vec<Value>,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `let x = v1 v2 in e` — function application.
+    LetApp {
+        /// Binder for the application's result.
+        x: Ident,
+        /// The function value.
+        func: Value,
+        /// The argument value.
+        arg: Value,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `let x = e1 in e2` — sequencing of computations.
+    Let {
+        /// Binder.
+        x: Ident,
+        /// Bound computation.
+        rhs: Box<Expr>,
+        /// Continuation.
+        body: Box<Expr>,
+    },
+    /// `match v with d̄ ȳ -> ē` — pattern matching on a value.
+    Match {
+        /// The scrutinee.
+        scrutinee: Value,
+        /// The arms.
+        arms: Vec<MatchArm>,
+    },
+}
+
+impl Expr {
+    /// A value computation.
+    pub fn value(v: Value) -> Self {
+        Expr::Value(v)
+    }
+
+    /// The number of control-flow branches of the expression — the `#Branch` metric of the
+    /// paper's evaluation (a `match` with *n* arms contributes *n − 1* extra paths).
+    pub fn branch_count(&self) -> usize {
+        match self {
+            Expr::Value(_) => 1,
+            Expr::LetEffOp { body, .. } | Expr::LetPureOp { body, .. } | Expr::LetApp { body, .. } => {
+                body.branch_count()
+            }
+            Expr::Let { rhs, body, .. } => rhs.branch_count() + body.branch_count() - 1,
+            Expr::Match { arms, .. } => arms.iter().map(|a| a.body.branch_count()).sum::<usize>().max(1),
+        }
+    }
+
+    /// The number of operator and function applications — the `#App` metric of the paper.
+    pub fn app_count(&self) -> usize {
+        match self {
+            Expr::Value(_) => 0,
+            Expr::LetEffOp { body, .. } | Expr::LetPureOp { body, .. } | Expr::LetApp { body, .. } => {
+                1 + body.app_count()
+            }
+            Expr::Let { rhs, body, .. } => rhs.app_count() + body.app_count(),
+            Expr::Match { arms, .. } => arms.iter().map(|a| a.body.app_count()).sum(),
+        }
+    }
+
+    /// Names of the effectful operators syntactically used by the expression
+    /// (an over-approximation for nested lambdas).
+    pub fn effect_ops(&self) -> Vec<Ident> {
+        let mut out = Vec::new();
+        self.collect_effect_ops(&mut out);
+        out
+    }
+
+    fn collect_effect_ops(&self, out: &mut Vec<Ident>) {
+        match self {
+            Expr::Value(Value::Lambda { body, .. }) | Expr::Value(Value::Fix { body, .. }) => {
+                body.collect_effect_ops(out)
+            }
+            Expr::Value(_) => {}
+            Expr::LetEffOp { op, body, .. } => {
+                if !out.contains(op) {
+                    out.push(op.clone());
+                }
+                body.collect_effect_ops(out);
+            }
+            Expr::LetPureOp { body, .. } | Expr::LetApp { body, .. } => body.collect_effect_ops(out),
+            Expr::Let { rhs, body, .. } => {
+                rhs.collect_effect_ops(out);
+                body.collect_effect_ops(out);
+            }
+            Expr::Match { arms, .. } => {
+                for a in arms {
+                    a.body.collect_effect_ops(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Value(v) => write!(f, "{v}"),
+            Expr::LetEffOp { x, op, args, body } | Expr::LetPureOp { x, op, args, body } => {
+                write!(f, "let {x} = {op}")?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                write!(f, " in {body}")
+            }
+            Expr::LetApp { x, func, arg, body } => {
+                write!(f, "let {x} = {func} {arg} in {body}")
+            }
+            Expr::Let { x, rhs, body } => write!(f, "let {x} = ({rhs}) in {body}"),
+            Expr::Match { scrutinee, arms } => {
+                write!(f, "match {scrutinee} with")?;
+                for arm in arms {
+                    write!(f, " | {}", arm.ctor)?;
+                    for b in &arm.binders {
+                        write!(f, " {b}")?;
+                    }
+                    write!(f, " -> {}", arm.body)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn display_of_values() {
+        assert_eq!(Value::int(3).to_string(), "3");
+        assert_eq!(Value::var("x").to_string(), "x");
+        assert_eq!(Value::Ctor("None".into(), vec![]).to_string(), "None");
+        assert_eq!(
+            Value::Ctor("Cons".into(), vec![Value::int(1), Value::var("xs")]).to_string(),
+            "Cons(1, xs)"
+        );
+    }
+
+    #[test]
+    fn branch_and_app_counts() {
+        // if exists path then false else (put path bytes; true)
+        let e = let_eff(
+            "b",
+            "exists",
+            vec![Value::var("path")],
+            ite(
+                Value::var("b"),
+                ret(Value::bool(false)),
+                let_eff(
+                    "u",
+                    "put",
+                    vec![Value::var("path"), Value::var("bytes")],
+                    ret(Value::bool(true)),
+                ),
+            ),
+        );
+        assert_eq!(e.branch_count(), 2);
+        assert_eq!(e.app_count(), 2);
+        assert_eq!(e.effect_ops(), vec!["exists".to_string(), "put".to_string()]);
+    }
+
+    #[test]
+    fn basic_type_display_and_accessors() {
+        let t = BasicType::arrow(BasicType::base(Sort::named("Path.t")), BasicType::bool());
+        assert_eq!(t.to_string(), "(Path.t -> bool)");
+        assert!(t.as_base().is_none());
+        assert_eq!(BasicType::int().as_base(), Some(&Sort::Int));
+    }
+
+    #[test]
+    fn expr_display_mentions_operators() {
+        let e = let_eff("u", "put", vec![Value::var("k"), Value::var("v")], ret(Value::unit()));
+        let s = e.to_string();
+        assert!(s.contains("put"));
+        assert!(s.contains("let u"));
+    }
+}

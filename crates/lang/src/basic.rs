@@ -1,0 +1,398 @@
+//! Basic (simply-typed) type checking — the `⊢s` judgement of the paper (Fig. 11).
+//!
+//! The refinement/HAT type system assumes every term is well-typed at the basic level;
+//! this module provides that check, with operator and constructor signatures supplied by
+//! the library models.
+
+use crate::ast::{BasicType, Expr, Value};
+use hat_logic::{Constant, Ident, Sort};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors produced by basic type checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BasicTypeError {
+    /// A variable was not bound in the context.
+    UnboundVariable(Ident),
+    /// An operator (pure or effectful) is not declared.
+    UnknownOperator(Ident),
+    /// A data constructor is not declared.
+    UnknownConstructor(Ident),
+    /// An application or operator call had the wrong argument type or arity.
+    Mismatch(String),
+}
+
+impl fmt::Display for BasicTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasicTypeError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            BasicTypeError::UnknownOperator(op) => write!(f, "unknown operator `{op}`"),
+            BasicTypeError::UnknownConstructor(d) => write!(f, "unknown constructor `{d}`"),
+            BasicTypeError::Mismatch(m) => write!(f, "type mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BasicTypeError {}
+
+/// The basic typing context: variables, operator signatures and constructor signatures.
+#[derive(Debug, Clone, Default)]
+pub struct BasicTyCtx {
+    /// Variable bindings.
+    pub vars: BTreeMap<Ident, BasicType>,
+    /// Pure operator signatures (argument types, result type).
+    pub pure_ops: BTreeMap<Ident, (Vec<BasicType>, BasicType)>,
+    /// Effectful operator signatures.
+    pub eff_ops: BTreeMap<Ident, (Vec<BasicType>, BasicType)>,
+    /// Data-constructor signatures.
+    pub ctors: BTreeMap<Ident, (Vec<BasicType>, BasicType)>,
+}
+
+impl BasicTyCtx {
+    /// A context pre-populated with the boolean constructors and the standard pure
+    /// operators of λᴱ (arithmetic, comparisons, boolean connectives).
+    pub fn standard() -> Self {
+        let mut ctx = BasicTyCtx::default();
+        ctx.ctors.insert("true".into(), (vec![], BasicType::bool()));
+        ctx.ctors.insert("false".into(), (vec![], BasicType::bool()));
+        for op in ["+", "-", "*", "mod"] {
+            ctx.pure_ops
+                .insert(op.into(), (vec![BasicType::int(), BasicType::int()], BasicType::int()));
+        }
+        for op in ["<", "<=", ">", ">="] {
+            ctx.pure_ops
+                .insert(op.into(), (vec![BasicType::int(), BasicType::int()], BasicType::bool()));
+        }
+        ctx.pure_ops
+            .insert("not".into(), (vec![BasicType::bool()], BasicType::bool()));
+        for op in ["&&", "||"] {
+            ctx.pure_ops.insert(
+                op.into(),
+                (vec![BasicType::bool(), BasicType::bool()], BasicType::bool()),
+            );
+        }
+        ctx
+    }
+
+    /// Binds a variable.
+    pub fn bind(&mut self, x: impl Into<Ident>, t: BasicType) -> &mut Self {
+        self.vars.insert(x.into(), t);
+        self
+    }
+
+    /// Declares a pure operator.
+    pub fn declare_pure(&mut self, op: impl Into<Ident>, args: Vec<BasicType>, ret: BasicType) {
+        self.pure_ops.insert(op.into(), (args, ret));
+    }
+
+    /// Declares an effectful operator.
+    pub fn declare_eff(&mut self, op: impl Into<Ident>, args: Vec<BasicType>, ret: BasicType) {
+        self.eff_ops.insert(op.into(), (args, ret));
+    }
+
+    fn constant_type(c: &Constant) -> BasicType {
+        match c {
+            Constant::Unit => BasicType::unit(),
+            Constant::Bool(_) => BasicType::bool(),
+            Constant::Int(_) => BasicType::int(),
+            Constant::Atom(_) => BasicType::base(Sort::named("atom")),
+        }
+    }
+
+    fn compatible(expected: &BasicType, actual: &BasicType) -> bool {
+        match (expected, actual) {
+            // Atom constants inhabit any named sort.
+            (BasicType::Base(Sort::Named(_)), BasicType::Base(Sort::Named(n))) if n == "atom" => true,
+            (BasicType::Arrow(a1, b1), BasicType::Arrow(a2, b2)) => {
+                Self::compatible(a1, a2) && Self::compatible(b1, b2)
+            }
+            _ => expected == actual,
+        }
+    }
+
+    /// Infers the basic type of a value.
+    pub fn check_value(&self, v: &Value) -> Result<BasicType, BasicTypeError> {
+        match v {
+            Value::Const(c) => Ok(Self::constant_type(c)),
+            Value::Var(x) => self
+                .vars
+                .get(x)
+                .cloned()
+                .ok_or_else(|| BasicTypeError::UnboundVariable(x.clone())),
+            Value::Ctor(d, args) => {
+                let (arg_tys, ret) = self
+                    .ctors
+                    .get(d)
+                    .cloned()
+                    .ok_or_else(|| BasicTypeError::UnknownConstructor(d.clone()))?;
+                if arg_tys.len() != args.len() {
+                    return Err(BasicTypeError::Mismatch(format!(
+                        "constructor `{d}` expects {} arguments, got {}",
+                        arg_tys.len(),
+                        args.len()
+                    )));
+                }
+                for (expected, actual) in arg_tys.iter().zip(args) {
+                    let at = self.check_value(actual)?;
+                    if !Self::compatible(expected, &at) {
+                        return Err(BasicTypeError::Mismatch(format!(
+                            "constructor `{d}` argument expected {expected}, got {at}"
+                        )));
+                    }
+                }
+                Ok(ret)
+            }
+            Value::Lambda { param, param_ty, body } => {
+                let mut inner = self.clone();
+                inner.bind(param.clone(), param_ty.clone());
+                let body_ty = inner.check_expr(body)?;
+                Ok(BasicType::arrow(param_ty.clone(), body_ty))
+            }
+            Value::Fix {
+                fname,
+                fty,
+                param,
+                param_ty,
+                body,
+            } => {
+                let mut inner = self.clone();
+                inner.bind(fname.clone(), fty.clone());
+                inner.bind(param.clone(), param_ty.clone());
+                let body_ty = inner.check_expr(body)?;
+                let actual = BasicType::arrow(param_ty.clone(), body_ty);
+                if !Self::compatible(fty, &actual) {
+                    return Err(BasicTypeError::Mismatch(format!(
+                        "fix `{fname}` annotated {fty} but body has type {actual}"
+                    )));
+                }
+                Ok(fty.clone())
+            }
+        }
+    }
+
+    fn check_op_args(
+        &self,
+        op: &str,
+        arg_tys: &[BasicType],
+        args: &[Value],
+    ) -> Result<(), BasicTypeError> {
+        if arg_tys.len() != args.len() {
+            return Err(BasicTypeError::Mismatch(format!(
+                "operator `{op}` expects {} arguments, got {}",
+                arg_tys.len(),
+                args.len()
+            )));
+        }
+        for (expected, actual) in arg_tys.iter().zip(args) {
+            let at = self.check_value(actual)?;
+            if !Self::compatible(expected, &at) {
+                return Err(BasicTypeError::Mismatch(format!(
+                    "operator `{op}` argument expected {expected}, got {at}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Infers the basic type of a computation.
+    pub fn check_expr(&self, e: &Expr) -> Result<BasicType, BasicTypeError> {
+        match e {
+            Expr::Value(v) => self.check_value(v),
+            Expr::LetPureOp { x, op, args, body } => {
+                // Equality is polymorphic over base types.
+                if op == "==" || op == "!=" {
+                    if args.len() != 2 {
+                        return Err(BasicTypeError::Mismatch(format!(
+                            "operator `{op}` expects 2 arguments, got {}",
+                            args.len()
+                        )));
+                    }
+                    let t1 = self.check_value(&args[0])?;
+                    let t2 = self.check_value(&args[1])?;
+                    if !Self::compatible(&t1, &t2) && !Self::compatible(&t2, &t1) {
+                        return Err(BasicTypeError::Mismatch(format!(
+                            "cannot compare `{t1}` with `{t2}`"
+                        )));
+                    }
+                    let mut inner = self.clone();
+                    inner.bind(x.clone(), BasicType::bool());
+                    return inner.check_expr(body);
+                }
+                let (arg_tys, ret) = self
+                    .pure_ops
+                    .get(op)
+                    .cloned()
+                    .ok_or_else(|| BasicTypeError::UnknownOperator(op.clone()))?;
+                self.check_op_args(op, &arg_tys, args)?;
+                let mut inner = self.clone();
+                inner.bind(x.clone(), ret);
+                inner.check_expr(body)
+            }
+            Expr::LetEffOp { x, op, args, body } => {
+                let (arg_tys, ret) = self
+                    .eff_ops
+                    .get(op)
+                    .cloned()
+                    .ok_or_else(|| BasicTypeError::UnknownOperator(op.clone()))?;
+                self.check_op_args(op, &arg_tys, args)?;
+                let mut inner = self.clone();
+                inner.bind(x.clone(), ret);
+                inner.check_expr(body)
+            }
+            Expr::LetApp { x, func, arg, body } => {
+                let fty = self.check_value(func)?;
+                let aty = self.check_value(arg)?;
+                match fty {
+                    BasicType::Arrow(expected, ret) => {
+                        if !Self::compatible(&expected, &aty) {
+                            return Err(BasicTypeError::Mismatch(format!(
+                                "application expected argument of type {expected}, got {aty}"
+                            )));
+                        }
+                        let mut inner = self.clone();
+                        inner.bind(x.clone(), *ret);
+                        inner.check_expr(body)
+                    }
+                    other => Err(BasicTypeError::Mismatch(format!(
+                        "application of non-function value of type {other}"
+                    ))),
+                }
+            }
+            Expr::Let { x, rhs, body } => {
+                let rt = self.check_expr(rhs)?;
+                let mut inner = self.clone();
+                inner.bind(x.clone(), rt);
+                inner.check_expr(body)
+            }
+            Expr::Match { scrutinee, arms } => {
+                let _ = self.check_value(scrutinee)?;
+                let mut result: Option<BasicType> = None;
+                for arm in arms {
+                    let (arg_tys, _) = self
+                        .ctors
+                        .get(&arm.ctor)
+                        .cloned()
+                        .ok_or_else(|| BasicTypeError::UnknownConstructor(arm.ctor.clone()))?;
+                    let mut inner = self.clone();
+                    for (b, t) in arm.binders.iter().zip(arg_tys) {
+                        inner.bind(b.clone(), t);
+                    }
+                    let at = inner.check_expr(&arm.body)?;
+                    match &result {
+                        None => result = Some(at),
+                        Some(prev) if Self::compatible(prev, &at) || Self::compatible(&at, prev) => {}
+                        Some(prev) => {
+                            return Err(BasicTypeError::Mismatch(format!(
+                                "match arms have different types: {prev} vs {at}"
+                            )))
+                        }
+                    }
+                }
+                result.ok_or_else(|| BasicTypeError::Mismatch("empty match".into()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    fn kv_ctx() -> BasicTyCtx {
+        let mut ctx = BasicTyCtx::standard();
+        let path = BasicType::base(Sort::named("Path.t"));
+        let bytes = BasicType::base(Sort::named("Bytes.t"));
+        ctx.declare_eff("put", vec![path.clone(), bytes.clone()], BasicType::unit());
+        ctx.declare_eff("exists", vec![path.clone()], BasicType::bool());
+        ctx.declare_eff("get", vec![path.clone()], bytes.clone());
+        ctx.declare_pure("parent", vec![path.clone()], path.clone());
+        ctx.declare_pure("isDir", vec![bytes], BasicType::bool());
+        ctx.bind("path", path);
+        ctx.bind("bytes", BasicType::base(Sort::named("Bytes.t")));
+        ctx
+    }
+
+    #[test]
+    fn well_typed_filesystem_fragment() {
+        let ctx = kv_ctx();
+        let e = let_eff(
+            "b",
+            "exists",
+            vec![Value::var("path")],
+            ite(
+                Value::var("b"),
+                ret(Value::bool(false)),
+                let_pure(
+                    "pp",
+                    "parent",
+                    vec![Value::var("path")],
+                    let_eff(
+                        "u",
+                        "put",
+                        vec![Value::var("pp"), Value::var("bytes")],
+                        ret(Value::bool(true)),
+                    ),
+                ),
+            ),
+        );
+        assert_eq!(ctx.check_expr(&e).unwrap(), BasicType::bool());
+    }
+
+    #[test]
+    fn unbound_variable_is_reported() {
+        let ctx = kv_ctx();
+        let e = ret(Value::var("nope"));
+        assert_eq!(
+            ctx.check_expr(&e),
+            Err(BasicTypeError::UnboundVariable("nope".into()))
+        );
+    }
+
+    #[test]
+    fn operator_arity_is_checked() {
+        let ctx = kv_ctx();
+        let e = let_eff("u", "put", vec![Value::var("path")], ret(Value::unit()));
+        assert!(matches!(ctx.check_expr(&e), Err(BasicTypeError::Mismatch(_))));
+        let e2 = let_eff("u", "frobnicate", vec![], ret(Value::unit()));
+        assert!(matches!(
+            ctx.check_expr(&e2),
+            Err(BasicTypeError::UnknownOperator(_))
+        ));
+    }
+
+    #[test]
+    fn branch_types_must_agree() {
+        let ctx = kv_ctx();
+        let e = ite(Value::bool(true), ret(Value::int(1)), ret(Value::bool(false)));
+        assert!(matches!(ctx.check_expr(&e), Err(BasicTypeError::Mismatch(_))));
+    }
+
+    #[test]
+    fn lambda_and_application() {
+        let mut ctx = kv_ctx();
+        ctx.bind("n", BasicType::int());
+        let inc = lambda(
+            "x",
+            BasicType::int(),
+            let_pure("y", "+", vec![Value::var("x"), Value::int(1)], ret(Value::var("y"))),
+        );
+        assert_eq!(
+            ctx.check_value(&inc).unwrap(),
+            BasicType::arrow(BasicType::int(), BasicType::int())
+        );
+        let e = let_in(
+            "f",
+            ret(inc),
+            let_app("r", Value::var("f"), Value::var("n"), ret(Value::var("r"))),
+        );
+        assert_eq!(ctx.check_expr(&e).unwrap(), BasicType::int());
+    }
+
+    #[test]
+    fn atom_constants_inhabit_named_sorts() {
+        let ctx = kv_ctx();
+        let e = let_eff("b", "exists", vec![Value::atom("/a")], ret(Value::var("b")));
+        assert_eq!(ctx.check_expr(&e).unwrap(), BasicType::bool());
+    }
+}

@@ -1,0 +1,180 @@
+//! A small builder API for writing λᴱ programs from Rust.
+//!
+//! The benchmark suite (`hat-suite`), the examples and the tests all construct their
+//! programs with these helpers; they keep monadic-normal-form programs readable:
+//!
+//! ```
+//! use hat_lang::builder::*;
+//! use hat_lang::Value;
+//!
+//! // let b = exists path in if b then false else (let _ = put path bytes in true)
+//! let add_naive = let_eff(
+//!     "b",
+//!     "exists",
+//!     vec![Value::var("path")],
+//!     ite(
+//!         Value::var("b"),
+//!         ret(Value::bool(false)),
+//!         seq_eff("put", vec![Value::var("path"), Value::var("bytes")], ret(Value::bool(true))),
+//!     ),
+//! );
+//! assert_eq!(add_naive.branch_count(), 2);
+//! ```
+
+use crate::ast::{BasicType, Expr, MatchArm, Value};
+use hat_logic::Ident;
+
+/// A value returned as the final result of a computation.
+pub fn ret(v: Value) -> Expr {
+    Expr::Value(v)
+}
+
+/// `let x = op v̄ in body` for an effectful operator.
+pub fn let_eff(x: impl Into<Ident>, op: impl Into<Ident>, args: Vec<Value>, body: Expr) -> Expr {
+    Expr::LetEffOp {
+        x: x.into(),
+        op: op.into(),
+        args,
+        body: Box::new(body),
+    }
+}
+
+/// `op v̄; body` — effectful operator whose result is ignored.
+pub fn seq_eff(op: impl Into<Ident>, args: Vec<Value>, body: Expr) -> Expr {
+    let_eff(fresh_ignore(), op, args, body)
+}
+
+/// `let x = op v̄ in body` for a pure operator (arithmetic, method-predicate tests, ...).
+pub fn let_pure(x: impl Into<Ident>, op: impl Into<Ident>, args: Vec<Value>, body: Expr) -> Expr {
+    Expr::LetPureOp {
+        x: x.into(),
+        op: op.into(),
+        args,
+        body: Box::new(body),
+    }
+}
+
+/// `let x = f v in body` — function application.
+pub fn let_app(x: impl Into<Ident>, func: Value, arg: Value, body: Expr) -> Expr {
+    Expr::LetApp {
+        x: x.into(),
+        func,
+        arg,
+        body: Box::new(body),
+    }
+}
+
+/// `let x = e1 in e2`.
+pub fn let_in(x: impl Into<Ident>, rhs: Expr, body: Expr) -> Expr {
+    Expr::Let {
+        x: x.into(),
+        rhs: Box::new(rhs),
+        body: Box::new(body),
+    }
+}
+
+/// `match v with | ctor ȳ -> e | ...`
+pub fn match_on(scrutinee: Value, arms: Vec<(Ident, Vec<Ident>, Expr)>) -> Expr {
+    Expr::Match {
+        scrutinee,
+        arms: arms
+            .into_iter()
+            .map(|(ctor, binders, body)| MatchArm { ctor, binders, body })
+            .collect(),
+    }
+}
+
+/// `if v then e1 else e2`, desugared to a match on the boolean constructors
+/// (exactly how the paper treats conditionals).
+pub fn ite(cond: Value, then_branch: Expr, else_branch: Expr) -> Expr {
+    match_on(
+        cond,
+        vec![
+            ("true".into(), vec![], then_branch),
+            ("false".into(), vec![], else_branch),
+        ],
+    )
+}
+
+/// An anonymous function value.
+pub fn lambda(param: impl Into<Ident>, param_ty: BasicType, body: Expr) -> Value {
+    Value::Lambda {
+        param: param.into(),
+        param_ty,
+        body: Box::new(body),
+    }
+}
+
+/// A recursive function value `fix f. λx. body`.
+pub fn fix(
+    fname: impl Into<Ident>,
+    fty: BasicType,
+    param: impl Into<Ident>,
+    param_ty: BasicType,
+    body: Expr,
+) -> Value {
+    Value::Fix {
+        fname: fname.into(),
+        fty,
+        param: param.into(),
+        param_ty,
+        body: Box::new(body),
+    }
+}
+
+/// A "don't care" binder name; each call returns a distinct name so shadowing warnings in
+/// downstream analyses are avoided.
+pub fn fresh_ignore() -> Ident {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    format!("_ignore{}", COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ite_desugars_to_match() {
+        let e = ite(Value::var("b"), ret(Value::int(1)), ret(Value::int(2)));
+        match e {
+            Expr::Match { arms, .. } => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[0].ctor, "true");
+                assert_eq!(arms[1].ctor, "false");
+            }
+            other => panic!("expected match, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fresh_ignore_names_are_distinct() {
+        assert_ne!(fresh_ignore(), fresh_ignore());
+    }
+
+    #[test]
+    fn nested_lets_compose() {
+        let e = let_pure(
+            "pp",
+            "parent",
+            vec![Value::var("path")],
+            let_eff("b", "exists", vec![Value::var("pp")], ret(Value::var("b"))),
+        );
+        assert_eq!(e.app_count(), 2);
+        assert_eq!(e.effect_ops(), vec!["exists".to_string()]);
+    }
+
+    #[test]
+    fn lambda_and_fix_builders() {
+        let f = lambda("x", BasicType::int(), ret(Value::var("x")));
+        assert!(matches!(f, Value::Lambda { .. }));
+        let g = fix(
+            "loop",
+            BasicType::arrow(BasicType::int(), BasicType::int()),
+            "n",
+            BasicType::int(),
+            ret(Value::var("n")),
+        );
+        assert!(matches!(g, Value::Fix { .. }));
+    }
+}

@@ -1,0 +1,633 @@
+//! A trace-based big-step interpreter for λᴱ.
+//!
+//! The paper gives λᴱ an operational semantics parameterised by an *effect context*: a trace
+//! of the effectful operations performed so far (Fig. 3/10). Each library defines how its
+//! operators behave as a function of that trace (e.g. `get k` returns the value of the most
+//! recent `put` of `k`, and gets stuck if there is none). The interpreter mirrors this: it
+//! evaluates a program under a starting trace and extends the trace as effects happen, so
+//! tests can validate that verified programs only ever produce traces accepted by their
+//! representation invariant (Corollary 4.9).
+
+use crate::ast::{Expr, Value};
+use hat_logic::{Constant, Ident, Interpretation};
+use hat_sfa::{Event, Trace};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Runtime values: constants, constructor values, and closures.
+#[derive(Debug, Clone)]
+pub enum RtValue {
+    /// A constant.
+    Const(Constant),
+    /// A constructor value.
+    Ctor(Ident, Vec<RtValue>),
+    /// A closure (possibly recursive).
+    Closure {
+        /// `Some(f)` if the closure is recursive and `f` is bound to itself in the body.
+        fixpoint: Option<Ident>,
+        /// Parameter name.
+        param: Ident,
+        /// Body.
+        body: Box<Expr>,
+        /// Captured environment.
+        env: Env,
+    },
+}
+
+impl RtValue {
+    /// The constant payload, if this is a constant.
+    pub fn as_const(&self) -> Option<&Constant> {
+        match self {
+            RtValue::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean constant (or boolean constructor).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            RtValue::Const(Constant::Bool(b)) => Some(*b),
+            RtValue::Ctor(d, args) if args.is_empty() && d == "true" => Some(true),
+            RtValue::Ctor(d, args) if args.is_empty() && d == "false" => Some(false),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RtValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtValue::Const(c) => write!(f, "{c}"),
+            RtValue::Ctor(d, args) if args.is_empty() => write!(f, "{d}"),
+            RtValue::Ctor(d, args) => {
+                write!(f, "{d}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            RtValue::Closure { param, .. } => write!(f, "<closure fun {param}>"),
+        }
+    }
+}
+
+/// Runtime environments.
+pub type Env = BTreeMap<Ident, RtValue>;
+
+/// Errors raised during evaluation. `Stuck` corresponds to the paper's "no reduction rule
+/// applies" situations (e.g. `get` of a key that was never `put`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// A variable had no binding.
+    UnboundVariable(Ident),
+    /// An effectful operator cannot step under the current trace.
+    Stuck(String),
+    /// A pure operator or application was used at the wrong type.
+    TypeError(String),
+    /// An operator is not handled by the library model.
+    UnknownOperator(Ident),
+    /// The evaluation exceeded the step bound (runaway recursion).
+    OutOfFuel,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            InterpError::Stuck(m) => write!(f, "stuck: {m}"),
+            InterpError::TypeError(m) => write!(f, "runtime type error: {m}"),
+            InterpError::UnknownOperator(op) => write!(f, "unknown operator `{op}`"),
+            InterpError::OutOfFuel => write!(f, "evaluation exceeded the step bound"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// The behaviour of one effectful operator as a function of the current trace
+/// (the `α ⊨ op v̄ ⇓ v` judgement of Fig. 10).
+pub type EffectSemantics =
+    Arc<dyn Fn(&Trace, &[Constant]) -> Result<Constant, InterpError> + Send + Sync>;
+
+/// A library model: trace-based semantics for a set of effectful operators.
+#[derive(Clone, Default)]
+pub struct LibraryModel {
+    handlers: BTreeMap<Ident, EffectSemantics>,
+}
+
+impl fmt::Debug for LibraryModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LibraryModel")
+            .field("ops", &self.handlers.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl LibraryModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the semantics of one operator.
+    pub fn define<F>(&mut self, op: impl Into<Ident>, f: F) -> &mut Self
+    where
+        F: Fn(&Trace, &[Constant]) -> Result<Constant, InterpError> + Send + Sync + 'static,
+    {
+        self.handlers.insert(op.into(), Arc::new(f));
+        self
+    }
+
+    /// Merges another model into this one.
+    pub fn extend(&mut self, other: &LibraryModel) -> &mut Self {
+        for (k, v) in &other.handlers {
+            self.handlers.insert(k.clone(), v.clone());
+        }
+        self
+    }
+
+    /// The operators this model defines.
+    pub fn ops(&self) -> Vec<Ident> {
+        self.handlers.keys().cloned().collect()
+    }
+
+    /// Applies an operator under a trace.
+    pub fn apply(&self, trace: &Trace, op: &str, args: &[Constant]) -> Result<Constant, InterpError> {
+        match self.handlers.get(op) {
+            Some(h) => h(trace, args),
+            None => Err(InterpError::UnknownOperator(op.to_string())),
+        }
+    }
+}
+
+/// The interpreter: a library model for effectful operators plus an interpretation of pure
+/// named functions and method predicates.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    /// Semantics of the effectful operators.
+    pub library: LibraryModel,
+    /// Semantics of pure named functions and method predicates (e.g. `parent`, `isDir`).
+    pub pure: Interpretation,
+    /// Evaluation step bound.
+    pub fuel: usize,
+}
+
+impl Interpreter {
+    /// Creates an interpreter.
+    pub fn new(library: LibraryModel, pure: Interpretation) -> Self {
+        Interpreter {
+            library,
+            pure,
+            fuel: 100_000,
+        }
+    }
+
+    fn value(&self, env: &Env, v: &Value) -> Result<RtValue, InterpError> {
+        match v {
+            Value::Const(c) => Ok(RtValue::Const(c.clone())),
+            Value::Var(x) => env
+                .get(x)
+                .cloned()
+                .ok_or_else(|| InterpError::UnboundVariable(x.clone())),
+            Value::Ctor(d, args) => {
+                // The boolean constructors evaluate to boolean constants so that pure
+                // operators and effect handlers can consume them uniformly.
+                if args.is_empty() && d == "true" {
+                    return Ok(RtValue::Const(Constant::Bool(true)));
+                }
+                if args.is_empty() && d == "false" {
+                    return Ok(RtValue::Const(Constant::Bool(false)));
+                }
+                let vals: Vec<RtValue> =
+                    args.iter().map(|a| self.value(env, a)).collect::<Result<_, _>>()?;
+                Ok(RtValue::Ctor(d.clone(), vals))
+            }
+            Value::Lambda { param, body, .. } => Ok(RtValue::Closure {
+                fixpoint: None,
+                param: param.clone(),
+                body: body.clone(),
+                env: env.clone(),
+            }),
+            Value::Fix {
+                fname, param, body, ..
+            } => Ok(RtValue::Closure {
+                fixpoint: Some(fname.clone()),
+                param: param.clone(),
+                body: body.clone(),
+                env: env.clone(),
+            }),
+        }
+    }
+
+    fn constant_args(&self, env: &Env, args: &[Value]) -> Result<Vec<Constant>, InterpError> {
+        args.iter()
+            .map(|a| {
+                let v = self.value(env, a)?;
+                v.as_const().cloned().ok_or_else(|| {
+                    InterpError::TypeError(format!("operator argument `{v}` is not a first-order value"))
+                })
+            })
+            .collect()
+    }
+
+    fn pure_op(&self, op: &str, args: &[Constant]) -> Result<Constant, InterpError> {
+        let int = |c: &Constant| {
+            c.as_int()
+                .ok_or_else(|| InterpError::TypeError(format!("expected integer, got `{c}`")))
+        };
+        let boolean = |c: &Constant| {
+            c.as_bool()
+                .ok_or_else(|| InterpError::TypeError(format!("expected boolean, got `{c}`")))
+        };
+        match (op, args) {
+            ("+", [a, b]) => Ok(Constant::Int(int(a)?.wrapping_add(int(b)?))),
+            ("-", [a, b]) => Ok(Constant::Int(int(a)?.wrapping_sub(int(b)?))),
+            ("*", [a, b]) => Ok(Constant::Int(int(a)?.wrapping_mul(int(b)?))),
+            ("mod", [a, b]) => {
+                let d = int(b)?;
+                if d == 0 {
+                    return Err(InterpError::TypeError("mod by zero".into()));
+                }
+                Ok(Constant::Int(int(a)?.rem_euclid(d)))
+            }
+            ("<", [a, b]) => Ok(Constant::Bool(int(a)? < int(b)?)),
+            ("<=", [a, b]) => Ok(Constant::Bool(int(a)? <= int(b)?)),
+            (">", [a, b]) => Ok(Constant::Bool(int(a)? > int(b)?)),
+            (">=", [a, b]) => Ok(Constant::Bool(int(a)? >= int(b)?)),
+            ("==", [a, b]) => Ok(Constant::Bool(a == b)),
+            ("!=", [a, b]) => Ok(Constant::Bool(a != b)),
+            ("not", [a]) => Ok(Constant::Bool(!boolean(a)?)),
+            ("&&", [a, b]) => Ok(Constant::Bool(boolean(a)? && boolean(b)?)),
+            ("||", [a, b]) => Ok(Constant::Bool(boolean(a)? || boolean(b)?)),
+            _ => {
+                // Named pure functions and method predicates come from the interpretation.
+                if let Ok(c) = self.pure.func(op, args) {
+                    return Ok(c);
+                }
+                match self.pure.pred(op, args) {
+                    Ok(b) => Ok(Constant::Bool(b)),
+                    Err(_) => Err(InterpError::UnknownOperator(op.to_string())),
+                }
+            }
+        }
+    }
+
+    /// Evaluates an expression under an environment and an effect context, returning the
+    /// result value and the extended trace.
+    pub fn eval(&self, env: &Env, trace: &Trace, e: &Expr) -> Result<(RtValue, Trace), InterpError> {
+        let mut fuel = self.fuel;
+        let mut trace = trace.clone();
+        let v = self.eval_inner(env, &mut trace, e, &mut fuel)?;
+        Ok((v, trace))
+    }
+
+    fn eval_inner(
+        &self,
+        env: &Env,
+        trace: &mut Trace,
+        e: &Expr,
+        fuel: &mut usize,
+    ) -> Result<RtValue, InterpError> {
+        if *fuel == 0 {
+            return Err(InterpError::OutOfFuel);
+        }
+        *fuel -= 1;
+        match e {
+            Expr::Value(v) => self.value(env, v),
+            Expr::LetPureOp { x, op, args, body } => {
+                let argv = self.constant_args(env, args)?;
+                let result = self.pure_op(op, &argv)?;
+                let mut env2 = env.clone();
+                env2.insert(x.clone(), RtValue::Const(result));
+                self.eval_inner(&env2, trace, body, fuel)
+            }
+            Expr::LetEffOp { x, op, args, body } => {
+                let argv = self.constant_args(env, args)?;
+                let result = self.library.apply(trace, op, &argv)?;
+                trace.push(Event::new(op.clone(), argv, result.clone()));
+                let mut env2 = env.clone();
+                env2.insert(x.clone(), RtValue::Const(result));
+                self.eval_inner(&env2, trace, body, fuel)
+            }
+            Expr::LetApp { x, func, arg, body } => {
+                let f = self.value(env, func)?;
+                let a = self.value(env, arg)?;
+                let result = self.apply_closure(f, a, trace, fuel)?;
+                let mut env2 = env.clone();
+                env2.insert(x.clone(), result);
+                self.eval_inner(&env2, trace, body, fuel)
+            }
+            Expr::Let { x, rhs, body } => {
+                let r = self.eval_inner(env, trace, rhs, fuel)?;
+                let mut env2 = env.clone();
+                env2.insert(x.clone(), r);
+                self.eval_inner(&env2, trace, body, fuel)
+            }
+            Expr::Match { scrutinee, arms } => {
+                let v = self.value(env, scrutinee)?;
+                let (ctor, ctor_args) = match &v {
+                    RtValue::Const(Constant::Bool(true)) => ("true".to_string(), Vec::new()),
+                    RtValue::Const(Constant::Bool(false)) => ("false".to_string(), Vec::new()),
+                    RtValue::Ctor(d, args) => (d.clone(), args.clone()),
+                    other => {
+                        return Err(InterpError::TypeError(format!(
+                            "match on non-constructor value `{other}`"
+                        )))
+                    }
+                };
+                for arm in arms {
+                    if arm.ctor == ctor {
+                        let mut env2 = env.clone();
+                        for (b, val) in arm.binders.iter().zip(ctor_args) {
+                            env2.insert(b.clone(), val);
+                        }
+                        return self.eval_inner(&env2, trace, &arm.body, fuel);
+                    }
+                }
+                Err(InterpError::Stuck(format!("no match arm for constructor `{ctor}`")))
+            }
+        }
+    }
+
+    /// Applies a closure value to an argument (used for higher-order benchmarks like
+    /// `LazySet`'s thunks).
+    pub fn apply_closure(
+        &self,
+        f: RtValue,
+        a: RtValue,
+        trace: &mut Trace,
+        fuel: &mut usize,
+    ) -> Result<RtValue, InterpError> {
+        match f {
+            RtValue::Closure {
+                fixpoint,
+                param,
+                body,
+                env,
+            } => {
+                let mut env2 = env.clone();
+                if let Some(fname) = &fixpoint {
+                    env2.insert(
+                        fname.clone(),
+                        RtValue::Closure {
+                            fixpoint: fixpoint.clone(),
+                            param: param.clone(),
+                            body: body.clone(),
+                            env,
+                        },
+                    );
+                }
+                env2.insert(param, a);
+                self.eval_inner(&env2, trace, &body, fuel)
+            }
+            other => Err(InterpError::TypeError(format!(
+                "application of non-function value `{other}`"
+            ))),
+        }
+    }
+}
+
+/// The trace-based key-value store model of the paper (Example 3.1): `put` always succeeds,
+/// `exists` reports whether the key was ever put, `get` returns the most recent value put
+/// for the key and gets stuck otherwise.
+pub fn kvstore_model() -> LibraryModel {
+    let mut m = LibraryModel::new();
+    m.define("put", |_trace, args| match args {
+        [_k, _v] => Ok(Constant::Unit),
+        _ => Err(InterpError::TypeError("put expects 2 arguments".into())),
+    });
+    m.define("exists", |trace, args| match args {
+        [k] => Ok(Constant::Bool(trace.any(|e| e.op == "put" && e.args.first() == Some(k)))),
+        _ => Err(InterpError::TypeError("exists expects 1 argument".into())),
+    });
+    m.define("get", |trace, args| match args {
+        [k] => trace
+            .last_matching(|e| e.op == "put" && e.args.first() == Some(k))
+            .map(|e| e.args[1].clone())
+            .ok_or_else(|| InterpError::Stuck(format!("get of a key never put: {k}"))),
+        _ => Err(InterpError::TypeError("get expects 1 argument".into())),
+    });
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    fn interp() -> Interpreter {
+        Interpreter::new(kvstore_model(), Interpretation::filesystem())
+    }
+
+    fn init_trace() -> Trace {
+        Trace::from_events(vec![Event::new(
+            "put",
+            vec![Constant::atom("/"), Constant::atom("dir:root")],
+            Constant::Unit,
+        )])
+    }
+
+    /// The (incorrect) `add_bad` of Example 2.1: blindly put the path.
+    fn add_bad() -> Expr {
+        seq_eff(
+            "put",
+            vec![Value::var("path"), Value::var("bytes")],
+            ret(Value::bool(true)),
+        )
+    }
+
+    /// The correct `add` of Fig. 1 (specialised to files, without the parent-update step).
+    fn add_ok() -> Expr {
+        let_eff(
+            "b",
+            "exists",
+            vec![Value::var("path")],
+            ite(
+                Value::var("b"),
+                ret(Value::bool(false)),
+                let_pure(
+                    "pp",
+                    "parent",
+                    vec![Value::var("path")],
+                    let_eff(
+                        "pb",
+                        "exists",
+                        vec![Value::var("pp")],
+                        ite(
+                            Value::var("pb"),
+                            let_eff(
+                                "bytes2",
+                                "get",
+                                vec![Value::var("pp")],
+                                let_pure(
+                                    "d",
+                                    "isDir",
+                                    vec![Value::var("bytes2")],
+                                    ite(
+                                        Value::var("d"),
+                                        seq_eff(
+                                            "put",
+                                            vec![Value::var("path"), Value::var("bytes")],
+                                            ret(Value::bool(true)),
+                                        ),
+                                        ret(Value::bool(false)),
+                                    ),
+                                ),
+                            ),
+                            ret(Value::bool(false)),
+                        ),
+                    ),
+                ),
+            ),
+        )
+    }
+
+    fn env_with(path: &str, bytes: &str) -> Env {
+        let mut env = Env::new();
+        env.insert("path".into(), RtValue::Const(Constant::atom(path)));
+        env.insert("bytes".into(), RtValue::Const(Constant::atom(bytes)));
+        env
+    }
+
+    #[test]
+    fn example_2_1_traces_are_reproduced() {
+        let i = interp();
+        // add_bad "/a/b.txt" appends a put without any checks: trace α1 of the paper.
+        let (v, t) = i.eval(&env_with("/a/b.txt", "file:1"), &init_trace(), &add_bad()).unwrap();
+        assert_eq!(v.as_bool(), Some(true));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1).unwrap().op, "put");
+        // add "/a/b.txt" checks for the parent and fails: trace α2 of the paper.
+        let (v, t) = i.eval(&env_with("/a/b.txt", "file:1"), &init_trace(), &add_ok()).unwrap();
+        assert_eq!(v.as_bool(), Some(false));
+        let ops: Vec<&str> = t.iter().map(|e| e.op.as_str()).collect();
+        assert_eq!(ops, vec!["put", "exists", "exists"]);
+        assert_eq!(t.get(1).unwrap().result, Constant::Bool(false));
+        assert_eq!(t.get(2).unwrap().result, Constant::Bool(false));
+    }
+
+    #[test]
+    fn add_succeeds_when_parent_is_a_directory() {
+        let i = interp();
+        let (v, t) = i.eval(&env_with("/a", "dir:a"), &init_trace(), &add_ok()).unwrap();
+        assert_eq!(v.as_bool(), Some(true));
+        assert_eq!(t.iter().filter(|e| e.op == "put").count(), 2);
+        // Now add a file below it, starting from the produced trace.
+        let (v2, t2) = i.eval(&env_with("/a/b.txt", "file:1"), &t, &add_ok()).unwrap();
+        assert_eq!(v2.as_bool(), Some(true));
+        assert!(t2.any(|e| e.op == "put" && e.args[0] == Constant::atom("/a/b.txt")));
+    }
+
+    #[test]
+    fn get_of_missing_key_is_stuck() {
+        let i = interp();
+        let e = let_eff("x", "get", vec![Value::atom("/nope")], ret(Value::var("x")));
+        let err = i.eval(&Env::new(), &init_trace(), &e).unwrap_err();
+        assert!(matches!(err, InterpError::Stuck(_)));
+    }
+
+    #[test]
+    fn get_returns_most_recent_put() {
+        let i = interp();
+        let mut t = init_trace();
+        t.push(Event::new(
+            "put",
+            vec![Constant::atom("/a"), Constant::atom("dir:old")],
+            Constant::Unit,
+        ));
+        t.push(Event::new(
+            "put",
+            vec![Constant::atom("/a"), Constant::atom("dir:new")],
+            Constant::Unit,
+        ));
+        let e = let_eff("x", "get", vec![Value::atom("/a")], ret(Value::var("x")));
+        let (v, _) = i.eval(&Env::new(), &t, &e).unwrap();
+        assert_eq!(v.as_const(), Some(&Constant::atom("dir:new")));
+    }
+
+    #[test]
+    fn pure_arithmetic_and_predicates() {
+        let i = interp();
+        let e = let_pure(
+            "x",
+            "+",
+            vec![Value::int(2), Value::int(3)],
+            let_pure(
+                "b",
+                "<",
+                vec![Value::var("x"), Value::int(10)],
+                ret(Value::var("b")),
+            ),
+        );
+        let (v, t) = i.eval(&Env::new(), &Trace::new(), &e).unwrap();
+        assert_eq!(v.as_bool(), Some(true));
+        assert!(t.is_empty(), "pure operators must not extend the trace");
+    }
+
+    #[test]
+    fn closures_and_recursion() {
+        let i = interp();
+        // let rec sum n = if n <= 0 then 0 else n + sum (n - 1)
+        let sum = fix(
+            "sum",
+            crate::ast::BasicType::arrow(crate::ast::BasicType::int(), crate::ast::BasicType::int()),
+            "n",
+            crate::ast::BasicType::int(),
+            let_pure(
+                "stop",
+                "<=",
+                vec![Value::var("n"), Value::int(0)],
+                ite(
+                    Value::var("stop"),
+                    ret(Value::int(0)),
+                    let_pure(
+                        "m",
+                        "-",
+                        vec![Value::var("n"), Value::int(1)],
+                        let_app(
+                            "rest",
+                            Value::var("sum"),
+                            Value::var("m"),
+                            let_pure(
+                                "total",
+                                "+",
+                                vec![Value::var("n"), Value::var("rest")],
+                                ret(Value::var("total")),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        );
+        let e = let_in(
+            "f",
+            ret(sum),
+            let_app("r", Value::var("f"), Value::int(5), ret(Value::var("r"))),
+        );
+        let (v, _) = i.eval(&Env::new(), &Trace::new(), &e).unwrap();
+        assert_eq!(v.as_const(), Some(&Constant::Int(15)));
+    }
+
+    #[test]
+    fn fuel_bound_stops_divergence() {
+        let mut i = interp();
+        i.fuel = 100;
+        let loop_forever = fix(
+            "loop",
+            crate::ast::BasicType::arrow(crate::ast::BasicType::int(), crate::ast::BasicType::int()),
+            "n",
+            crate::ast::BasicType::int(),
+            let_app("r", Value::var("loop"), Value::var("n"), ret(Value::var("r"))),
+        );
+        let e = let_in(
+            "f",
+            ret(loop_forever),
+            let_app("r", Value::var("f"), Value::int(0), ret(Value::var("r"))),
+        );
+        assert_eq!(i.eval(&Env::new(), &Trace::new(), &e).unwrap_err(), InterpError::OutOfFuel);
+    }
+}

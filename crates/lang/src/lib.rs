@@ -1,0 +1,25 @@
+//! # hat-lang
+//!
+//! The core calculus **λᴱ** of the HAT paper (§3): a call-by-value functional language in
+//! monadic normal form with pure operators, *effectful* library operators, inductive data,
+//! pattern matching and recursion.
+//!
+//! The crate provides:
+//!
+//! * the abstract syntax ([`ast`]) split into values and computations, exactly as in
+//!   Fig. 2 of the paper,
+//! * an ergonomic builder API ([`builder`]) used by the benchmark suite and tests to write
+//!   λᴱ programs from Rust,
+//! * a basic (simply-typed) type checker ([`basic`]) implementing the `⊢s` judgement that
+//!   the refinement system assumes as a precondition,
+//! * a trace-based big-step interpreter ([`interp`]) whose effectful operators are resolved
+//!   against pluggable library models, mirroring the `α ⊨ e ⇓ v` semantics of Fig. 3/10.
+
+pub mod ast;
+pub mod basic;
+pub mod builder;
+pub mod interp;
+
+pub use ast::{BasicType, Expr, MatchArm, Value};
+pub use basic::{BasicTyCtx, BasicTypeError};
+pub use interp::{EffectSemantics, InterpError, Interpreter, LibraryModel};

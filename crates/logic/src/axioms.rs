@@ -1,0 +1,172 @@
+//! Method predicates and their axiomatisation.
+//!
+//! The paper pins down the meaning of *method predicates* (`isDir`, `isDel`, ...) with a set
+//! of first-order lemmas, e.g. `∀x. isDir(x) ⇒ ¬isDel(x)`. The solver instantiates these
+//! axioms over the ground terms of each query (EPR-style Herbrand instantiation), which is
+//! sufficient for the verification conditions produced by the type checker.
+
+use crate::formula::Formula;
+use crate::sort::Sort;
+use crate::Ident;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Declaration of a method predicate: name and argument sorts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodPredicate {
+    /// Predicate name, e.g. `isDir`.
+    pub name: Ident,
+    /// Argument sorts.
+    pub args: Vec<Sort>,
+}
+
+impl MethodPredicate {
+    /// Declares a method predicate.
+    pub fn new(name: impl Into<Ident>, args: Vec<Sort>) -> Self {
+        MethodPredicate {
+            name: name.into(),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for MethodPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} : (", self.name)?;
+        for (i, s) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ") -> bool")
+    }
+}
+
+/// A universally quantified axiom: `∀ vars. body`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axiom {
+    /// Human-readable name used in diagnostics.
+    pub name: String,
+    /// Quantified variables and their sorts.
+    pub vars: Vec<(Ident, Sort)>,
+    /// The quantifier-free body.
+    pub body: Formula,
+}
+
+impl Axiom {
+    /// Creates an axiom.
+    pub fn new(name: impl Into<String>, vars: Vec<(Ident, Sort)>, body: Formula) -> Self {
+        Axiom {
+            name: name.into(),
+            vars,
+            body,
+        }
+    }
+}
+
+/// Declarations of method predicates, uninterpreted function signatures and axioms,
+/// shared by the solver and the front-end.
+#[derive(Debug, Clone, Default)]
+pub struct AxiomSet {
+    /// Declared method predicates.
+    pub predicates: BTreeMap<Ident, MethodPredicate>,
+    /// Declared uninterpreted function result sorts, e.g. `parent : Path.t -> Path.t`.
+    pub functions: BTreeMap<Ident, (Vec<Sort>, Sort)>,
+    /// Axioms relating the predicates and functions.
+    pub axioms: Vec<Axiom>,
+}
+
+impl AxiomSet {
+    /// An empty axiom set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a method predicate.
+    pub fn declare_pred(&mut self, name: impl Into<Ident>, args: Vec<Sort>) -> &mut Self {
+        let name = name.into();
+        self.predicates
+            .insert(name.clone(), MethodPredicate::new(name, args));
+        self
+    }
+
+    /// Declares an uninterpreted function.
+    pub fn declare_func(
+        &mut self,
+        name: impl Into<Ident>,
+        args: Vec<Sort>,
+        ret: Sort,
+    ) -> &mut Self {
+        self.functions.insert(name.into(), (args, ret));
+        self
+    }
+
+    /// Adds an axiom.
+    pub fn add_axiom(&mut self, ax: Axiom) -> &mut Self {
+        self.axioms.push(ax);
+        self
+    }
+
+    /// Merges another axiom set into this one (later declarations win).
+    pub fn extend(&mut self, other: &AxiomSet) -> &mut Self {
+        for (k, v) in &other.predicates {
+            self.predicates.insert(k.clone(), v.clone());
+        }
+        for (k, v) in &other.functions {
+            self.functions.insert(k.clone(), v.clone());
+        }
+        self.axioms.extend(other.axioms.iter().cloned());
+        self
+    }
+
+    /// Whether a predicate is declared.
+    pub fn has_pred(&self, name: &str) -> bool {
+        self.predicates.contains_key(name)
+    }
+
+    /// Result sort of an uninterpreted function, if declared.
+    pub fn func_ret_sort(&self, name: &str) -> Option<&Sort> {
+        self.functions.get(name).map(|(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn declare_and_query() {
+        let mut ax = AxiomSet::new();
+        ax.declare_pred("isDir", vec![Sort::named("Bytes.t")]);
+        ax.declare_func("parent", vec![Sort::named("Path.t")], Sort::named("Path.t"));
+        assert!(ax.has_pred("isDir"));
+        assert!(!ax.has_pred("isFile"));
+        assert_eq!(ax.func_ret_sort("parent"), Some(&Sort::named("Path.t")));
+    }
+
+    #[test]
+    fn axiom_construction_and_extend() {
+        let mut a = AxiomSet::new();
+        a.add_axiom(Axiom::new(
+            "dir-not-del",
+            vec![("x".into(), Sort::named("Bytes.t"))],
+            Formula::implies(
+                Formula::pred("isDir", vec![Term::var("x")]),
+                Formula::not(Formula::pred("isDel", vec![Term::var("x")])),
+            ),
+        ));
+        let mut b = AxiomSet::new();
+        b.declare_pred("isDel", vec![Sort::named("Bytes.t")]);
+        b.extend(&a);
+        assert_eq!(b.axioms.len(), 1);
+        assert!(b.has_pred("isDel"));
+    }
+
+    #[test]
+    fn display_of_predicate_declaration() {
+        let p = MethodPredicate::new("isDir", vec![Sort::named("Bytes.t")]);
+        assert_eq!(p.to_string(), "isDir : (Bytes.t) -> bool");
+    }
+}

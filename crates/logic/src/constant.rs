@@ -1,0 +1,120 @@
+//! Literal constants shared between the logic, the core language and traces.
+
+use crate::sort::Sort;
+use std::fmt;
+
+/// A constant value.
+///
+/// `Atom` constants inhabit named (uninterpreted) sorts; they are written
+/// `"like this"` or `` `like_this `` in the surface syntax and support only equality.
+/// The interpreter also uses them to model opaque library values (paths, byte blobs,
+/// graph nodes, ...).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Constant {
+    /// The unit value `()`.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// A value of a named sort, identified by its textual name.
+    Atom(String),
+}
+
+impl Constant {
+    /// Builds an atom constant of a named sort.
+    pub fn atom(s: impl Into<String>) -> Self {
+        Constant::Atom(s.into())
+    }
+
+    /// The sort of this constant. Atoms report the provided named sort when known;
+    /// callers that track sorts should prefer the typed AST.
+    pub fn sort(&self) -> Sort {
+        match self {
+            Constant::Unit => Sort::Unit,
+            Constant::Bool(_) => Sort::Bool,
+            Constant::Int(_) => Sort::Int,
+            Constant::Atom(_) => Sort::Named("atom".into()),
+        }
+    }
+
+    /// Returns the boolean payload if this is a boolean constant.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Constant::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload if this is an integer constant.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Constant::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Unit => write!(f, "()"),
+            Constant::Bool(b) => write!(f, "{b}"),
+            Constant::Int(i) => write!(f, "{i}"),
+            Constant::Atom(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+impl From<bool> for Constant {
+    fn from(b: bool) -> Self {
+        Constant::Bool(b)
+    }
+}
+
+impl From<i64> for Constant {
+    fn from(i: i64) -> Self {
+        Constant::Int(i)
+    }
+}
+
+impl From<()> for Constant {
+    fn from(_: ()) -> Self {
+        Constant::Unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Constant::Unit.to_string(), "()");
+        assert_eq!(Constant::Bool(true).to_string(), "true");
+        assert_eq!(Constant::Int(-3).to_string(), "-3");
+        assert_eq!(Constant::atom("/a/b.txt").to_string(), "\"/a/b.txt\"");
+    }
+
+    #[test]
+    fn payload_accessors() {
+        assert_eq!(Constant::Bool(false).as_bool(), Some(false));
+        assert_eq!(Constant::Int(7).as_int(), Some(7));
+        assert_eq!(Constant::Unit.as_bool(), None);
+        assert_eq!(Constant::atom("x").as_int(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Constant::from(true), Constant::Bool(true));
+        assert_eq!(Constant::from(42i64), Constant::Int(42));
+        assert_eq!(Constant::from(()), Constant::Unit);
+    }
+
+    #[test]
+    fn sorts_of_constants() {
+        assert_eq!(Constant::Unit.sort(), Sort::Unit);
+        assert_eq!(Constant::Int(1).sort(), Sort::Int);
+        assert_eq!(Constant::Bool(true).sort(), Sort::Bool);
+    }
+}

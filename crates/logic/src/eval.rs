@@ -1,0 +1,374 @@
+//! Ground evaluation of terms and formulas.
+//!
+//! The interpreter (`hat-lang`) and the trace-acceptance judgement (`hat-sfa`) both need to
+//! decide whether a *ground* qualifier holds for concrete event arguments. Method predicates
+//! and uninterpreted pure functions are given meaning by an [`Interpretation`].
+
+use crate::constant::Constant;
+use crate::formula::{Atom, Formula};
+use crate::term::{FuncSym, Term};
+use crate::Ident;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised during ground evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable had no binding in the evaluation context.
+    UnboundVariable(Ident),
+    /// A function or predicate was applied to values outside its domain.
+    TypeMismatch(String),
+    /// The interpretation does not define a symbol.
+    UnknownSymbol(String),
+    /// Quantification over an infinite sort cannot be evaluated.
+    UnevaluableQuantifier(Ident),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            EvalError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EvalError::UnknownSymbol(s) => write!(f, "unknown symbol `{s}`"),
+            EvalError::UnevaluableQuantifier(x) => {
+                write!(f, "cannot evaluate quantifier over infinite sort (variable `{x}`)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// An interpretation of uninterpreted symbols: named pure functions (e.g. `parent`)
+/// and method predicates (e.g. `isDir`).
+#[derive(Clone)]
+pub struct Interpretation {
+    funcs: BTreeMap<String, Arc<dyn Fn(&[Constant]) -> Option<Constant> + Send + Sync>>,
+    preds: BTreeMap<String, Arc<dyn Fn(&[Constant]) -> Option<bool> + Send + Sync>>,
+}
+
+impl fmt::Debug for Interpretation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interpretation")
+            .field("funcs", &self.funcs.keys().collect::<Vec<_>>())
+            .field("preds", &self.preds.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Default for Interpretation {
+    fn default() -> Self {
+        Interpretation {
+            funcs: BTreeMap::new(),
+            preds: BTreeMap::new(),
+        }
+    }
+}
+
+impl Interpretation {
+    /// An interpretation with no symbols defined.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a pure function.
+    pub fn define_func<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: Fn(&[Constant]) -> Option<Constant> + Send + Sync + 'static,
+    {
+        self.funcs.insert(name.into(), Arc::new(f));
+        self
+    }
+
+    /// Registers a method predicate.
+    pub fn define_pred<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: Fn(&[Constant]) -> Option<bool> + Send + Sync + 'static,
+    {
+        self.preds.insert(name.into(), Arc::new(f));
+        self
+    }
+
+    /// Evaluates a named function.
+    pub fn func(&self, name: &str, args: &[Constant]) -> Result<Constant, EvalError> {
+        match self.funcs.get(name) {
+            Some(f) => f(args).ok_or_else(|| {
+                EvalError::TypeMismatch(format!("function `{name}` rejected its arguments"))
+            }),
+            None => Err(EvalError::UnknownSymbol(name.to_string())),
+        }
+    }
+
+    /// Evaluates a method predicate.
+    pub fn pred(&self, name: &str, args: &[Constant]) -> Result<bool, EvalError> {
+        match self.preds.get(name) {
+            Some(f) => f(args).ok_or_else(|| {
+                EvalError::TypeMismatch(format!("predicate `{name}` rejected its arguments"))
+            }),
+            None => Err(EvalError::UnknownSymbol(name.to_string())),
+        }
+    }
+
+    /// The "path" interpretation used by the file-system benchmarks: paths are atoms whose
+    /// textual form is a `/`-separated path, `parent` strips the last component, `isRoot`
+    /// recognises `/`, and byte-blob predicates recognise the atoms produced by the
+    /// `File` library model (`dir:*`, `file:*`, `del:*`).
+    pub fn filesystem() -> Self {
+        let mut i = Interpretation::new();
+        i.define_func("parent", |args| match args {
+            [Constant::Atom(p)] => Some(Constant::Atom(parent_path(p))),
+            _ => None,
+        });
+        i.define_pred("isRoot", |args| match args {
+            [Constant::Atom(p)] => Some(p == "/"),
+            _ => None,
+        });
+        i.define_pred("isDir", |args| match args {
+            [Constant::Atom(b)] => Some(b.starts_with("dir:")),
+            _ => None,
+        });
+        i.define_pred("isFile", |args| match args {
+            [Constant::Atom(b)] => Some(b.starts_with("file:")),
+            _ => None,
+        });
+        i.define_pred("isDel", |args| match args {
+            [Constant::Atom(b)] => Some(b.starts_with("del:")),
+            _ => None,
+        });
+        i
+    }
+}
+
+/// Computes the parent of a `/`-separated path ("/a/b" ↦ "/a", "/a" ↦ "/", "/" ↦ "/").
+pub fn parent_path(p: &str) -> String {
+    if p == "/" {
+        return "/".to_string();
+    }
+    match p.rfind('/') {
+        Some(0) => "/".to_string(),
+        Some(i) => p[..i].to_string(),
+        None => "/".to_string(),
+    }
+}
+
+/// A ground evaluation context: variable bindings plus an interpretation.
+#[derive(Debug, Clone, Default)]
+pub struct EvalCtx {
+    /// Variable bindings.
+    pub bindings: BTreeMap<Ident, Constant>,
+    /// Interpretation of uninterpreted symbols.
+    pub interp: Interpretation,
+}
+
+impl EvalCtx {
+    /// Creates a context with the given interpretation and no bindings.
+    pub fn new(interp: Interpretation) -> Self {
+        EvalCtx {
+            bindings: BTreeMap::new(),
+            interp,
+        }
+    }
+
+    /// Adds a variable binding.
+    pub fn bind(&mut self, var: impl Into<Ident>, c: Constant) -> &mut Self {
+        self.bindings.insert(var.into(), c);
+        self
+    }
+
+    /// Evaluates a term to a constant.
+    pub fn eval_term(&self, t: &Term) -> Result<Constant, EvalError> {
+        match t {
+            Term::Var(x) => self
+                .bindings
+                .get(x)
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
+            Term::Const(c) => Ok(c.clone()),
+            Term::App(sym, args) => {
+                let vals: Vec<Constant> =
+                    args.iter().map(|a| self.eval_term(a)).collect::<Result<_, _>>()?;
+                match sym {
+                    FuncSym::Add | FuncSym::Sub | FuncSym::Mul | FuncSym::Mod => {
+                        let (a, b) = match (&vals[..], sym) {
+                            ([Constant::Int(a), Constant::Int(b)], _) => (*a, *b),
+                            _ => {
+                                return Err(EvalError::TypeMismatch(format!(
+                                    "arithmetic on non-integers in `{t}`"
+                                )))
+                            }
+                        };
+                        let r = match sym {
+                            FuncSym::Add => a.wrapping_add(b),
+                            FuncSym::Sub => a.wrapping_sub(b),
+                            FuncSym::Mul => a.wrapping_mul(b),
+                            FuncSym::Mod => {
+                                if b == 0 {
+                                    return Err(EvalError::TypeMismatch("mod by zero".into()));
+                                }
+                                a.rem_euclid(b)
+                            }
+                            _ => unreachable!(),
+                        };
+                        Ok(Constant::Int(r))
+                    }
+                    FuncSym::Neg => match &vals[..] {
+                        [Constant::Int(a)] => Ok(Constant::Int(-a)),
+                        _ => Err(EvalError::TypeMismatch("negation of non-integer".into())),
+                    },
+                    FuncSym::Named(name) => self.interp.func(name, &vals),
+                }
+            }
+        }
+    }
+
+    /// Evaluates an atom to a boolean.
+    pub fn eval_atom(&self, a: &Atom) -> Result<bool, EvalError> {
+        match a {
+            Atom::Eq(l, r) => Ok(self.eval_term(l)? == self.eval_term(r)?),
+            Atom::Lt(l, r) => match (self.eval_term(l)?, self.eval_term(r)?) {
+                (Constant::Int(a), Constant::Int(b)) => Ok(a < b),
+                _ => Err(EvalError::TypeMismatch("ordering on non-integers".into())),
+            },
+            Atom::Le(l, r) => match (self.eval_term(l)?, self.eval_term(r)?) {
+                (Constant::Int(a), Constant::Int(b)) => Ok(a <= b),
+                _ => Err(EvalError::TypeMismatch("ordering on non-integers".into())),
+            },
+            Atom::Pred(p, args) => {
+                let vals: Vec<Constant> =
+                    args.iter().map(|t| self.eval_term(t)).collect::<Result<_, _>>()?;
+                self.interp.pred(p, &vals)
+            }
+            Atom::BoolTerm(t) => match self.eval_term(t)? {
+                Constant::Bool(b) => Ok(b),
+                other => Err(EvalError::TypeMismatch(format!(
+                    "expected boolean, got `{other}`"
+                ))),
+            },
+        }
+    }
+
+    /// Evaluates a formula to a boolean. Quantifiers over finite sorts are expanded;
+    /// quantifiers over infinite sorts are an error.
+    pub fn eval_formula(&self, f: &Formula) -> Result<bool, EvalError> {
+        match f {
+            Formula::True => Ok(true),
+            Formula::False => Ok(false),
+            Formula::Atom(a) => self.eval_atom(a),
+            Formula::Not(g) => Ok(!self.eval_formula(g)?),
+            Formula::And(fs) => {
+                for g in fs {
+                    if !self.eval_formula(g)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Or(fs) => {
+                for g in fs {
+                    if self.eval_formula(g)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Implies(p, q) => Ok(!self.eval_formula(p)? || self.eval_formula(q)?),
+            Formula::Iff(p, q) => Ok(self.eval_formula(p)? == self.eval_formula(q)?),
+            Formula::Forall(x, sort, body) => {
+                let domain: Vec<Constant> = match sort {
+                    crate::sort::Sort::Unit => vec![Constant::Unit],
+                    crate::sort::Sort::Bool => vec![Constant::Bool(false), Constant::Bool(true)],
+                    _ => return Err(EvalError::UnevaluableQuantifier(x.clone())),
+                };
+                let mut ctx = self.clone();
+                for c in domain {
+                    ctx.bind(x.clone(), c);
+                    if !ctx.eval_formula(body)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Sort;
+
+    #[test]
+    fn arithmetic_evaluation() {
+        let ctx = EvalCtx::default();
+        let t = Term::add(Term::int(2), Term::sub(Term::int(10), Term::int(3)));
+        assert_eq!(ctx.eval_term(&t).unwrap(), Constant::Int(9));
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let ctx = EvalCtx::default();
+        assert_eq!(
+            ctx.eval_term(&Term::var("x")),
+            Err(EvalError::UnboundVariable("x".into()))
+        );
+    }
+
+    #[test]
+    fn filesystem_interpretation_models_paths() {
+        let mut ctx = EvalCtx::new(Interpretation::filesystem());
+        ctx.bind("p", Constant::atom("/a/b.txt"));
+        let parent = Term::app("parent", vec![Term::var("p")]);
+        assert_eq!(ctx.eval_term(&parent).unwrap(), Constant::atom("/a"));
+        assert!(!ctx.eval_formula(&Formula::pred("isRoot", vec![Term::var("p")])).unwrap());
+        ctx.bind("q", Constant::atom("/"));
+        assert!(ctx.eval_formula(&Formula::pred("isRoot", vec![Term::var("q")])).unwrap());
+        ctx.bind("b", Constant::atom("dir:1"));
+        assert!(ctx.eval_formula(&Formula::pred("isDir", vec![Term::var("b")])).unwrap());
+        assert!(!ctx.eval_formula(&Formula::pred("isFile", vec![Term::var("b")])).unwrap());
+    }
+
+    #[test]
+    fn parent_path_edge_cases() {
+        assert_eq!(parent_path("/"), "/");
+        assert_eq!(parent_path("/a"), "/");
+        assert_eq!(parent_path("/a/b"), "/a");
+        assert_eq!(parent_path("/a/b/c.txt"), "/a/b");
+    }
+
+    #[test]
+    fn finite_quantifier_expansion() {
+        let ctx = EvalCtx::default();
+        // forall b:bool. b || !b
+        let f = Formula::forall(
+            "b",
+            Sort::Bool,
+            Formula::or(vec![
+                Formula::bool_term(Term::var("b")),
+                Formula::not(Formula::bool_term(Term::var("b"))),
+            ]),
+        );
+        assert!(ctx.eval_formula(&f).unwrap());
+        // forall b:bool. b  is false
+        let g = Formula::forall("b", Sort::Bool, Formula::bool_term(Term::var("b")));
+        assert!(!ctx.eval_formula(&g).unwrap());
+    }
+
+    #[test]
+    fn infinite_quantifier_is_rejected() {
+        let ctx = EvalCtx::default();
+        let f = Formula::forall("n", Sort::Int, Formula::le(Term::int(0), Term::var("n")));
+        assert!(matches!(
+            ctx.eval_formula(&f),
+            Err(EvalError::UnevaluableQuantifier(_))
+        ));
+    }
+
+    #[test]
+    fn ordering_atoms() {
+        let ctx = EvalCtx::default();
+        assert!(ctx.eval_formula(&Formula::lt(Term::int(1), Term::int(2))).unwrap());
+        assert!(!ctx.eval_formula(&Formula::lt(Term::int(2), Term::int(2))).unwrap());
+        assert!(ctx.eval_formula(&Formula::le(Term::int(2), Term::int(2))).unwrap());
+    }
+}

@@ -1,0 +1,440 @@
+//! Qualifier formulas (`φ` in the paper's grammar).
+
+use crate::sort::Sort;
+use crate::term::Term;
+use crate::Ident;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An atomic proposition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Atom {
+    /// Equality between two terms (any sort).
+    Eq(Term, Term),
+    /// Strict integer ordering.
+    Lt(Term, Term),
+    /// Non-strict integer ordering.
+    Le(Term, Term),
+    /// A method predicate application, e.g. `isDir(val)`.
+    Pred(Ident, Vec<Term>),
+    /// A boolean-sorted term used as a proposition (e.g. a boolean variable).
+    BoolTerm(Term),
+}
+
+impl Atom {
+    /// Collects free variables into `out`.
+    pub fn collect_vars(&self, out: &mut BTreeSet<Ident>) {
+        match self {
+            Atom::Eq(a, b) | Atom::Lt(a, b) | Atom::Le(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Atom::Pred(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            Atom::BoolTerm(t) => t.collect_vars(out),
+        }
+    }
+
+    /// Substitutes a variable by a term inside the atom.
+    pub fn subst_var(&self, var: &str, t: &Term) -> Atom {
+        match self {
+            Atom::Eq(a, b) => Atom::Eq(a.subst_var(var, t), b.subst_var(var, t)),
+            Atom::Lt(a, b) => Atom::Lt(a.subst_var(var, t), b.subst_var(var, t)),
+            Atom::Le(a, b) => Atom::Le(a.subst_var(var, t), b.subst_var(var, t)),
+            Atom::Pred(p, args) => {
+                Atom::Pred(p.clone(), args.iter().map(|a| a.subst_var(var, t)).collect())
+            }
+            Atom::BoolTerm(b) => Atom::BoolTerm(b.subst_var(var, t)),
+        }
+    }
+
+    /// Renames all variables through the mapping.
+    pub fn rename_vars(&self, f: &dyn Fn(&str) -> Option<Ident>) -> Atom {
+        match self {
+            Atom::Eq(a, b) => Atom::Eq(a.rename_vars(f), b.rename_vars(f)),
+            Atom::Lt(a, b) => Atom::Lt(a.rename_vars(f), b.rename_vars(f)),
+            Atom::Le(a, b) => Atom::Le(a.rename_vars(f), b.rename_vars(f)),
+            Atom::Pred(p, args) => {
+                Atom::Pred(p.clone(), args.iter().map(|a| a.rename_vars(f)).collect())
+            }
+            Atom::BoolTerm(t) => Atom::BoolTerm(t.rename_vars(f)),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Eq(a, b) => write!(f, "{a} == {b}"),
+            Atom::Lt(a, b) => write!(f, "{a} < {b}"),
+            Atom::Le(a, b) => write!(f, "{a} <= {b}"),
+            Atom::Pred(p, args) => {
+                write!(f, "{p}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Atom::BoolTerm(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A qualifier formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Formula {
+    /// ⊤
+    True,
+    /// ⊥
+    False,
+    /// An atomic proposition.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction.
+    And(Vec<Formula>),
+    /// N-ary disjunction.
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Universal quantification over a base sort.
+    Forall(Ident, Sort, Box<Formula>),
+}
+
+impl Formula {
+    /// Equality atom.
+    pub fn eq(a: Term, b: Term) -> Self {
+        Formula::Atom(Atom::Eq(a, b))
+    }
+
+    /// Strict less-than atom.
+    pub fn lt(a: Term, b: Term) -> Self {
+        Formula::Atom(Atom::Lt(a, b))
+    }
+
+    /// Non-strict less-than atom.
+    pub fn le(a: Term, b: Term) -> Self {
+        Formula::Atom(Atom::Le(a, b))
+    }
+
+    /// Method-predicate atom.
+    pub fn pred(name: impl Into<Ident>, args: Vec<Term>) -> Self {
+        Formula::Atom(Atom::Pred(name.into(), args))
+    }
+
+    /// Boolean term used as proposition.
+    pub fn bool_term(t: Term) -> Self {
+        Formula::Atom(Atom::BoolTerm(t))
+    }
+
+    /// Negation (with trivial simplification of constants).
+    pub fn not(f: Formula) -> Self {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction of a list, flattening nested conjunctions and constants.
+    pub fn and(fs: Vec<Formula>) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.into_iter().next().expect("len checked"),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction of a list, flattening nested disjunctions and constants.
+    pub fn or(fs: Vec<Formula>) -> Self {
+        let mut out = Vec::new();
+        for f in fs {
+            match f {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.into_iter().next().expect("len checked"),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Implication.
+    pub fn implies(p: Formula, q: Formula) -> Self {
+        match (&p, &q) {
+            (Formula::True, _) => q,
+            (Formula::False, _) => Formula::True,
+            (_, Formula::True) => Formula::True,
+            _ => Formula::Implies(Box::new(p), Box::new(q)),
+        }
+    }
+
+    /// Bi-implication.
+    pub fn iff(p: Formula, q: Formula) -> Self {
+        Formula::Iff(Box::new(p), Box::new(q))
+    }
+
+    /// Universal quantification.
+    pub fn forall(x: impl Into<Ident>, sort: Sort, body: Formula) -> Self {
+        Formula::Forall(x.into(), sort, Box::new(body))
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Ident> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, out: &mut BTreeSet<Ident>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => a.collect_vars(out),
+            Formula::Not(f) => f.collect_free_vars(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free_vars(out);
+                }
+            }
+            Formula::Implies(p, q) | Formula::Iff(p, q) => {
+                p.collect_free_vars(out);
+                q.collect_free_vars(out);
+            }
+            Formula::Forall(x, _, body) => {
+                let mut inner = BTreeSet::new();
+                body.collect_free_vars(&mut inner);
+                inner.remove(x);
+                out.extend(inner);
+            }
+        }
+    }
+
+    /// Capture-avoiding substitution of a free variable by a term.
+    pub fn subst_var(&self, var: &str, t: &Term) -> Formula {
+        match self {
+            Formula::True | Formula::False => self.clone(),
+            Formula::Atom(a) => Formula::Atom(a.subst_var(var, t)),
+            Formula::Not(f) => Formula::not(f.subst_var(var, t)),
+            Formula::And(fs) => Formula::and(fs.iter().map(|f| f.subst_var(var, t)).collect()),
+            Formula::Or(fs) => Formula::or(fs.iter().map(|f| f.subst_var(var, t)).collect()),
+            Formula::Implies(p, q) => {
+                Formula::Implies(Box::new(p.subst_var(var, t)), Box::new(q.subst_var(var, t)))
+            }
+            Formula::Iff(p, q) => {
+                Formula::Iff(Box::new(p.subst_var(var, t)), Box::new(q.subst_var(var, t)))
+            }
+            Formula::Forall(x, s, body) => {
+                if x == var {
+                    self.clone()
+                } else {
+                    Formula::Forall(x.clone(), s.clone(), Box::new(body.subst_var(var, t)))
+                }
+            }
+        }
+    }
+
+    /// Renames free variables through the mapping (bound variables are untouched).
+    pub fn rename_free_vars(&self, f: &dyn Fn(&str) -> Option<Ident>) -> Formula {
+        match self {
+            Formula::True | Formula::False => self.clone(),
+            Formula::Atom(a) => Formula::Atom(a.rename_vars(f)),
+            Formula::Not(inner) => Formula::Not(Box::new(inner.rename_free_vars(f))),
+            Formula::And(fs) => {
+                Formula::And(fs.iter().map(|g| g.rename_free_vars(f)).collect())
+            }
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|g| g.rename_free_vars(f)).collect()),
+            Formula::Implies(p, q) => Formula::Implies(
+                Box::new(p.rename_free_vars(f)),
+                Box::new(q.rename_free_vars(f)),
+            ),
+            Formula::Iff(p, q) => Formula::Iff(
+                Box::new(p.rename_free_vars(f)),
+                Box::new(q.rename_free_vars(f)),
+            ),
+            Formula::Forall(x, s, body) => {
+                let shadow = x.clone();
+                let g = move |v: &str| if v == shadow { None } else { f(v) };
+                Formula::Forall(x.clone(), s.clone(), Box::new(body.rename_free_vars(&g)))
+            }
+        }
+    }
+
+    /// Collects every atom of the formula (used for minterm construction).
+    pub fn collect_atoms(&self, out: &mut Vec<Atom>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => {
+                if !out.contains(a) {
+                    out.push(a.clone());
+                }
+            }
+            Formula::Not(f) => f.collect_atoms(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_atoms(out);
+                }
+            }
+            Formula::Implies(p, q) | Formula::Iff(p, q) => {
+                p.collect_atoms(out);
+                q.collect_atoms(out);
+            }
+            Formula::Forall(_, _, body) => body.collect_atoms(out),
+        }
+    }
+
+    /// Number of AST nodes — the paper reports invariant sizes (`s_I`) as literal counts;
+    /// [`Formula::literal_count`] matches that metric more closely.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False => 1,
+            Formula::Atom(_) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+            Formula::Implies(p, q) | Formula::Iff(p, q) => 1 + p.size() + q.size(),
+            Formula::Forall(_, _, body) => 1 + body.size(),
+        }
+    }
+
+    /// Number of atom occurrences (the paper's literal-count metric).
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Formula::True | Formula::False => 0,
+            Formula::Atom(_) => 1,
+            Formula::Not(f) => f.literal_count(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().map(Formula::literal_count).sum(),
+            Formula::Implies(p, q) | Formula::Iff(p, q) => p.literal_count() + q.literal_count(),
+            Formula::Forall(_, _, body) => body.literal_count(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Not(inner) => write!(f, "!({inner})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Implies(p, q) => write!(f, "({p} ==> {q})"),
+            Formula::Iff(p, q) => write!(f, "({p} <=> {q})"),
+            Formula::Forall(x, s, body) => write!(f, "(forall {x}:{s}. {body})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Term {
+        Term::var("x")
+    }
+
+    #[test]
+    fn smart_constructors_simplify_constants() {
+        assert_eq!(Formula::and(vec![Formula::True, Formula::True]), Formula::True);
+        assert_eq!(
+            Formula::and(vec![Formula::False, Formula::eq(x(), x())]),
+            Formula::False
+        );
+        assert_eq!(Formula::or(vec![Formula::False]), Formula::False);
+        assert_eq!(Formula::or(vec![Formula::True, Formula::False]), Formula::True);
+        assert_eq!(Formula::not(Formula::True), Formula::False);
+        assert_eq!(Formula::not(Formula::not(Formula::eq(x(), x()))), Formula::eq(x(), x()));
+    }
+
+    #[test]
+    fn and_flattens_nested() {
+        let f = Formula::and(vec![
+            Formula::and(vec![Formula::eq(x(), Term::int(1)), Formula::eq(x(), Term::int(2))]),
+            Formula::eq(x(), Term::int(3)),
+        ]);
+        match f {
+            Formula::And(fs) => assert_eq!(fs.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let f = Formula::forall("x", Sort::Int, Formula::lt(x(), Term::var("y")));
+        let fv = f.free_vars();
+        assert!(fv.contains("y"));
+        assert!(!fv.contains("x"));
+    }
+
+    #[test]
+    fn substitution_respects_binders() {
+        let f = Formula::forall("x", Sort::Int, Formula::lt(x(), Term::var("y")));
+        let g = f.subst_var("x", &Term::int(0));
+        assert_eq!(f, g, "bound x must not be substituted");
+        let h = f.subst_var("y", &Term::int(0));
+        assert!(h.free_vars().is_empty());
+    }
+
+    #[test]
+    fn literal_count_matches_atom_occurrences() {
+        let f = Formula::implies(
+            Formula::and(vec![Formula::pred("isDir", vec![x()]), Formula::lt(x(), Term::int(3))]),
+            Formula::not(Formula::pred("isDel", vec![x()])),
+        );
+        assert_eq!(f.literal_count(), 3);
+    }
+
+    #[test]
+    fn collect_atoms_deduplicates() {
+        let a = Formula::pred("isDir", vec![x()]);
+        let f = Formula::and(vec![a.clone(), Formula::not(a.clone())]);
+        let mut atoms = Vec::new();
+        f.collect_atoms(&mut atoms);
+        assert_eq!(atoms.len(), 1);
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let f = Formula::implies(Formula::pred("p", vec![x()]), Formula::eq(x(), Term::int(1)));
+        assert_eq!(f.to_string(), "(p(x) ==> x == 1)");
+    }
+}

@@ -1,0 +1,45 @@
+//! # hat-logic
+//!
+//! First-order logic infrastructure for the HAT (Hoare Automata Types) verifier:
+//! sorts, constants, terms, quantifier-free-ish formulas ("qualifiers" in the paper),
+//! ground evaluation, simplification, and an SMT-lite decision procedure
+//! (DPLL + congruence closure + integer difference bounds + method-predicate axiom
+//! instantiation) that plays the role Z3 plays in the original Marple implementation.
+//!
+//! The fragment handled is exactly the fragment the paper's verification conditions
+//! fall into: boolean combinations of literals over equality, integer orderings and
+//! uninterpreted *method predicates*, universally closed over the typing context
+//! (effectively propositional / EPR after grounding).
+//!
+//! ```
+//! use hat_logic::{Formula, Term, Sort, solver::Solver};
+//!
+//! // x:int, x > 0 ⊢ x ≥ 0
+//! let x = Term::var("x");
+//! let hyp = Formula::lt(Term::int(0), x.clone());
+//! let goal = Formula::le(Term::int(0), x.clone());
+//! let mut solver = Solver::default();
+//! assert!(solver.entails(&[("x".into(), Sort::Int)], &[hyp], &goal));
+//! ```
+
+pub mod axioms;
+pub mod constant;
+pub mod eval;
+pub mod formula;
+pub mod simplify;
+pub mod solver;
+pub mod sort;
+pub mod subst;
+pub mod term;
+
+pub use axioms::{AxiomSet, MethodPredicate};
+pub use constant::Constant;
+pub use eval::{EvalCtx, EvalError, Interpretation};
+pub use formula::{Atom, Formula};
+pub use solver::{Solver, SolverStats};
+pub use sort::Sort;
+pub use subst::Subst;
+pub use term::{FuncSym, Term};
+
+/// Identifiers used throughout the verifier (variables, operators, predicates).
+pub type Ident = String;

@@ -1,0 +1,243 @@
+//! Lightweight formula simplification.
+//!
+//! Simplification is used before solver calls (smaller Tseitin encodings) and when pretty
+//! printing inferred types. It performs constant folding, negation normal form pushing,
+//! elimination of trivially-true atoms (`t == t`) and duplicate removal inside `∧`/`∨`.
+
+use crate::formula::{Atom, Formula};
+use crate::term::Term;
+
+/// Simplifies a formula. The result is logically equivalent to the input.
+pub fn simplify(f: &Formula) -> Formula {
+    fold(f)
+}
+
+/// Negation normal form: negations pushed down to atoms; implications and iffs expanded.
+/// `negate` indicates whether the current subformula is under an odd number of negations.
+pub fn to_nnf(f: &Formula, negate: bool) -> Formula {
+    match f {
+        Formula::True => {
+            if negate {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::False => {
+            if negate {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::Atom(a) => {
+            let base = Formula::Atom(a.clone());
+            if negate {
+                Formula::Not(Box::new(base))
+            } else {
+                base
+            }
+        }
+        Formula::Not(g) => to_nnf(g, !negate),
+        Formula::And(fs) => {
+            let parts: Vec<Formula> = fs.iter().map(|g| to_nnf(g, negate)).collect();
+            if negate {
+                Formula::or(parts)
+            } else {
+                Formula::and(parts)
+            }
+        }
+        Formula::Or(fs) => {
+            let parts: Vec<Formula> = fs.iter().map(|g| to_nnf(g, negate)).collect();
+            if negate {
+                Formula::and(parts)
+            } else {
+                Formula::or(parts)
+            }
+        }
+        Formula::Implies(p, q) => {
+            // p ==> q  ≡  ¬p ∨ q
+            let np = to_nnf(p, !negate);
+            let nq = to_nnf(q, negate);
+            if negate {
+                // ¬(p ==> q) ≡ p ∧ ¬q
+                Formula::and(vec![np, nq])
+            } else {
+                Formula::or(vec![np, nq])
+            }
+        }
+        Formula::Iff(p, q) => {
+            // p <=> q ≡ (p ∧ q) ∨ (¬p ∧ ¬q)
+            let pp = to_nnf(p, false);
+            let qq = to_nnf(q, false);
+            let notp = to_nnf(p, true);
+            let notq = to_nnf(q, true);
+            let expanded = Formula::or(vec![
+                Formula::and(vec![pp.clone(), qq.clone()]),
+                Formula::and(vec![notp.clone(), notq.clone()]),
+            ]);
+            if negate {
+                Formula::or(vec![Formula::and(vec![pp, notq]), Formula::and(vec![notp, qq])])
+            } else {
+                expanded
+            }
+        }
+        Formula::Forall(x, s, body) => {
+            // Quantifiers are kept in place; negation stays outside a negated quantifier.
+            let inner = to_nnf(body, false);
+            let q = Formula::Forall(x.clone(), s.clone(), Box::new(inner));
+            if negate {
+                Formula::Not(Box::new(q))
+            } else {
+                q
+            }
+        }
+    }
+}
+
+fn fold_atom(a: &Atom) -> Option<bool> {
+    match a {
+        Atom::Eq(l, r) => {
+            if l == r {
+                Some(true)
+            } else {
+                match (l, r) {
+                    (Term::Const(a), Term::Const(b)) => Some(a == b),
+                    _ => None,
+                }
+            }
+        }
+        Atom::Lt(l, r) => match (l.as_const().and_then(|c| c.as_int()), r.as_const().and_then(|c| c.as_int())) {
+            (Some(a), Some(b)) => Some(a < b),
+            _ => {
+                if l == r {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+        },
+        Atom::Le(l, r) => match (l.as_const().and_then(|c| c.as_int()), r.as_const().and_then(|c| c.as_int())) {
+            (Some(a), Some(b)) => Some(a <= b),
+            _ => {
+                if l == r {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+        },
+        Atom::Pred(_, _) => None,
+        Atom::BoolTerm(t) => t.as_const().and_then(|c| c.as_bool()),
+    }
+}
+
+fn fold(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False => f.clone(),
+        Formula::Atom(a) => match fold_atom(a) {
+            Some(true) => Formula::True,
+            Some(false) => Formula::False,
+            None => f.clone(),
+        },
+        Formula::Not(g) => Formula::not(fold(g)),
+        Formula::And(fs) => {
+            let mut parts: Vec<Formula> = fs.iter().map(fold).collect();
+            parts.dedup();
+            Formula::and(dedup_preserving(parts))
+        }
+        Formula::Or(fs) => {
+            let parts: Vec<Formula> = fs.iter().map(fold).collect();
+            Formula::or(dedup_preserving(parts))
+        }
+        Formula::Implies(p, q) => Formula::implies(fold(p), fold(q)),
+        Formula::Iff(p, q) => {
+            let (fp, fq) = (fold(p), fold(q));
+            if fp == fq {
+                Formula::True
+            } else {
+                Formula::iff(fp, fq)
+            }
+        }
+        Formula::Forall(x, s, body) => {
+            let b = fold(body);
+            match b {
+                Formula::True => Formula::True,
+                other => Formula::Forall(x.clone(), s.clone(), Box::new(other)),
+            }
+        }
+    }
+}
+
+fn dedup_preserving(parts: Vec<Formula>) -> Vec<Formula> {
+    let mut seen = Vec::new();
+    for p in parts {
+        if !seen.contains(&p) {
+            seen.push(p);
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Sort;
+
+    #[test]
+    fn nnf_pushes_negation_through_connectives() {
+        let f = Formula::not(Formula::and(vec![
+            Formula::pred("p", vec![Term::var("x")]),
+            Formula::pred("q", vec![Term::var("x")]),
+        ]));
+        let nnf = to_nnf(&f, false);
+        assert_eq!(nnf.to_string(), "(!(p(x)) || !(q(x)))");
+    }
+
+    #[test]
+    fn nnf_expands_implication() {
+        let f = Formula::Implies(
+            Box::new(Formula::pred("p", vec![])),
+            Box::new(Formula::pred("q", vec![])),
+        );
+        assert_eq!(to_nnf(&f, false).to_string(), "(!(p()) || q())");
+        assert_eq!(to_nnf(&f, true).to_string(), "(p() && !(q()))");
+    }
+
+    #[test]
+    fn constant_folding_of_ground_atoms() {
+        let f = Formula::and(vec![
+            Formula::eq(Term::int(1), Term::int(1)),
+            Formula::lt(Term::int(1), Term::int(2)),
+            Formula::pred("p", vec![]),
+        ]);
+        assert_eq!(simplify(&f), Formula::pred("p", vec![]));
+    }
+
+    #[test]
+    fn reflexive_equality_is_true() {
+        let f = Formula::eq(Term::var("x"), Term::var("x"));
+        assert_eq!(simplify(&f), Formula::True);
+        let g = Formula::lt(Term::var("x"), Term::var("x"));
+        assert_eq!(simplify(&g), Formula::False);
+    }
+
+    #[test]
+    fn duplicate_conjuncts_removed() {
+        let p = Formula::pred("p", vec![Term::var("x")]);
+        let f = Formula::And(vec![p.clone(), p.clone(), p.clone()]);
+        assert_eq!(simplify(&f), p);
+    }
+
+    #[test]
+    fn trivial_forall_collapses() {
+        let f = Formula::forall("x", Sort::Int, Formula::eq(Term::var("x"), Term::var("x")));
+        assert_eq!(simplify(&f), Formula::True);
+    }
+
+    #[test]
+    fn iff_of_identical_sides_is_true() {
+        let p = Formula::pred("p", vec![]);
+        assert_eq!(simplify(&Formula::iff(p.clone(), p)), Formula::True);
+    }
+}

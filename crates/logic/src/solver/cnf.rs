@@ -1,0 +1,186 @@
+//! Tseitin encoding of quantifier-free formulas into CNF.
+
+use crate::formula::{Atom, Formula};
+
+/// A propositional literal over solver variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lit {
+    /// Zero-based variable index.
+    pub var: usize,
+    /// Polarity.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// The negation of this literal.
+    pub fn negate(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+}
+
+/// Builds a CNF (Tseitin encoding) from quantifier-free formulas.
+///
+/// Theory atoms are mapped to dedicated variables (retrievable through [`CnfBuilder::atoms`]);
+/// internal connective variables are fresh and carry no theory meaning.
+#[derive(Debug, Default)]
+pub struct CnfBuilder {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    atoms: Vec<(Atom, usize)>,
+}
+
+impl CnfBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of propositional variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The accumulated clauses (consuming).
+    pub fn take_clauses(&mut self) -> Vec<Vec<Lit>> {
+        std::mem::take(&mut self.clauses)
+    }
+
+    /// The theory atoms and their variable indices.
+    pub fn atoms(&self) -> &[(Atom, usize)] {
+        &self.atoms
+    }
+
+    fn fresh(&mut self) -> usize {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    fn atom_var(&mut self, a: &Atom) -> usize {
+        if let Some((_, v)) = self.atoms.iter().find(|(x, _)| x == a) {
+            return *v;
+        }
+        let v = self.fresh();
+        self.atoms.push((a.clone(), v));
+        v
+    }
+
+    /// Adds a unit clause asserting the literal.
+    pub fn assert_lit(&mut self, l: Lit) {
+        self.clauses.push(vec![l]);
+    }
+
+    /// Encodes a quantifier-free formula, returning a literal equivalent to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula still contains quantifiers (the caller must eliminate them).
+    pub fn encode(&mut self, f: &Formula) -> Lit {
+        match f {
+            Formula::True => {
+                let v = self.fresh();
+                let l = Lit { var: v, positive: true };
+                self.clauses.push(vec![l]);
+                l
+            }
+            Formula::False => {
+                let v = self.fresh();
+                let l = Lit { var: v, positive: true };
+                self.clauses.push(vec![l.negate()]);
+                l
+            }
+            Formula::Atom(a) => Lit {
+                var: self.atom_var(a),
+                positive: true,
+            },
+            Formula::Not(g) => self.encode(g).negate(),
+            Formula::And(fs) => {
+                let lits: Vec<Lit> = fs.iter().map(|g| self.encode(g)).collect();
+                let v = self.fresh();
+                let out = Lit { var: v, positive: true };
+                // out -> li
+                for l in &lits {
+                    self.clauses.push(vec![out.negate(), *l]);
+                }
+                // (l1 ∧ ... ∧ ln) -> out
+                let mut clause: Vec<Lit> = lits.iter().map(|l| l.negate()).collect();
+                clause.push(out);
+                self.clauses.push(clause);
+                out
+            }
+            Formula::Or(fs) => {
+                let lits: Vec<Lit> = fs.iter().map(|g| self.encode(g)).collect();
+                let v = self.fresh();
+                let out = Lit { var: v, positive: true };
+                // li -> out
+                for l in &lits {
+                    self.clauses.push(vec![l.negate(), out]);
+                }
+                // out -> (l1 ∨ ... ∨ ln)
+                let mut clause: Vec<Lit> = lits.clone();
+                clause.push(out.negate());
+                self.clauses.push(clause);
+                out
+            }
+            Formula::Implies(p, q) => {
+                let expanded = Formula::Or(vec![Formula::Not(p.clone()), (**q).clone()]);
+                self.encode(&expanded)
+            }
+            Formula::Iff(p, q) => {
+                let expanded = Formula::And(vec![
+                    Formula::Or(vec![Formula::Not(p.clone()), (**q).clone()]),
+                    Formula::Or(vec![Formula::Not(q.clone()), (**p).clone()]),
+                ]);
+                self.encode(&expanded)
+            }
+            Formula::Forall(_, _, _) => {
+                panic!("CnfBuilder::encode called on a quantified formula; eliminate quantifiers first")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn atoms_are_shared() {
+        let mut b = CnfBuilder::new();
+        let p = Formula::pred("p", vec![Term::var("x")]);
+        let f = Formula::And(vec![p.clone(), Formula::Not(Box::new(p.clone()))]);
+        let _ = b.encode(&f);
+        assert_eq!(b.atoms().len(), 1, "the same atom must get a single variable");
+    }
+
+    #[test]
+    fn encode_true_false() {
+        let mut b = CnfBuilder::new();
+        let t = b.encode(&Formula::True);
+        let f = b.encode(&Formula::False);
+        assert_ne!(t.var, f.var);
+        assert!(b.num_vars() >= 2);
+    }
+
+    #[test]
+    fn negation_flips_polarity() {
+        let mut b = CnfBuilder::new();
+        let p = Formula::pred("p", vec![]);
+        let l1 = b.encode(&p);
+        let l2 = b.encode(&Formula::Not(Box::new(p)));
+        assert_eq!(l1.var, l2.var);
+        assert_ne!(l1.positive, l2.positive);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantified")]
+    fn encoding_quantifier_panics() {
+        let mut b = CnfBuilder::new();
+        let f = Formula::forall("x", crate::sort::Sort::Int, Formula::True);
+        let _ = b.encode(&f);
+    }
+}

@@ -1,0 +1,546 @@
+//! An SMT-lite decision procedure for HAT verification conditions.
+//!
+//! The original Marple tool discharges its verification conditions with Z3. The conditions
+//! fall into a small fragment: boolean combinations of literals over equality, integer
+//! orderings, and uninterpreted method predicates, universally closed over the typing
+//! context, with method-predicate axioms as background lemmas. This module decides that
+//! fragment with a classical lazy-SMT loop:
+//!
+//! 1. method-predicate axioms are ground-instantiated over the query's terms (EPR style);
+//! 2. quantifiers are eliminated (skolemisation for existential strength, finite
+//!    instantiation for universal strength — sound for entailment);
+//! 3. the propositional skeleton is Tseitin-encoded and searched by DPLL;
+//! 4. each propositional model is checked against the theory (congruence closure over
+//!    uninterpreted functions + integer difference bounds); theory conflicts become
+//!    blocking clauses.
+
+mod cnf;
+mod sat;
+mod theory;
+
+pub use cnf::{CnfBuilder, Lit};
+pub use sat::SatSolver;
+pub use theory::TheoryCheck;
+
+use crate::axioms::AxiomSet;
+use crate::formula::{Atom, Formula};
+use crate::simplify::{simplify, to_nnf};
+use crate::sort::Sort;
+use crate::term::{FuncSym, Term};
+use crate::Ident;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+/// Counters describing solver work, mirroring the `#SAT` / `t_SAT` columns of the paper.
+#[derive(Debug, Clone, Default)]
+pub struct SolverStats {
+    /// Number of satisfiability queries answered.
+    pub queries: usize,
+    /// Number of queries answered "satisfiable".
+    pub sat: usize,
+    /// Number of queries answered "unsatisfiable".
+    pub unsat: usize,
+    /// Total time spent inside the solver.
+    pub time: Duration,
+    /// Number of theory (congruence/difference-bound) consistency checks performed.
+    pub theory_checks: usize,
+}
+
+impl SolverStats {
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = SolverStats::default();
+    }
+}
+
+/// The solver. Construction is cheap; axioms can be shared across queries.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    /// Background axioms (method-predicate lemmas and function signatures).
+    pub axioms: AxiomSet,
+    /// Work counters.
+    pub stats: SolverStats,
+    /// Maximum number of axiom instantiations per query (guards against blow-up).
+    pub max_instantiations: usize,
+    fresh: usize,
+}
+
+/// Declared sorts of the free variables of a query.
+pub type SortEnv = [(Ident, Sort)];
+
+impl Solver {
+    /// Creates a solver with the given background axioms.
+    pub fn with_axioms(axioms: AxiomSet) -> Self {
+        Solver {
+            axioms,
+            stats: SolverStats::default(),
+            max_instantiations: 4096,
+            fresh: 0,
+        }
+    }
+
+    fn fresh_var(&mut self, prefix: &str) -> Ident {
+        self.fresh += 1;
+        format!("{prefix}%{}", self.fresh)
+    }
+
+    /// Is `f` satisfiable, treating the given variables as free constants of their sorts?
+    pub fn is_satisfiable(&mut self, vars: &SortEnv, f: &Formula) -> bool {
+        let start = Instant::now();
+        self.stats.queries += 1;
+        let result = self.check_sat(vars, f);
+        if result {
+            self.stats.sat += 1;
+        } else {
+            self.stats.unsat += 1;
+        }
+        self.stats.time += start.elapsed();
+        result
+    }
+
+    /// Is `f` valid (true under every interpretation of the free variables)?
+    pub fn is_valid(&mut self, vars: &SortEnv, f: &Formula) -> bool {
+        !self.is_satisfiable(vars, &Formula::not(f.clone()))
+    }
+
+    /// Does the conjunction of `hyps` entail `goal`?
+    pub fn entails(&mut self, vars: &SortEnv, hyps: &[Formula], goal: &Formula) -> bool {
+        let hyp = Formula::and(hyps.to_vec());
+        self.is_valid(vars, &Formula::implies(hyp, goal.clone()))
+    }
+
+    fn check_sat(&mut self, vars: &SortEnv, f: &Formula) -> bool {
+        let simplified = simplify(f);
+        match simplified {
+            Formula::True => return true,
+            Formula::False => return false,
+            _ => {}
+        }
+
+        // Quantifier elimination.
+        let mut env: BTreeMap<Ident, Sort> = vars.iter().cloned().collect();
+        let nnf = to_nnf(&simplified, false);
+        let ground = self.collect_ground_terms(&nnf, &env);
+        let qfree = self.eliminate_quantifiers(&nnf, &mut env, &ground);
+
+        // Axiom instantiation.
+        let with_axioms = {
+            let insts = self.instantiate_axioms(&qfree, &env);
+            Formula::and(std::iter::once(qfree).chain(insts).collect())
+        };
+        let final_formula = simplify(&with_axioms);
+        match final_formula {
+            Formula::True => return true,
+            Formula::False => return false,
+            _ => {}
+        }
+
+        // Propositional encoding.
+        let mut builder = CnfBuilder::new();
+        let root = builder.encode(&final_formula);
+        builder.assert_lit(root);
+        let atoms = builder.atoms().to_vec();
+        let mut sat = SatSolver::new(builder.num_vars(), builder.take_clauses());
+
+        // Lazy theory loop.
+        loop {
+            match sat.solve() {
+                None => return false,
+                Some(model) => {
+                    self.stats.theory_checks += 1;
+                    let lits: Vec<(Atom, bool)> = atoms
+                        .iter()
+                        .filter_map(|(atom, var)| model.get(*var).map(|b| (atom.clone(), b)))
+                        .collect();
+                    let check = TheoryCheck::new(&env, &self.axioms);
+                    match check.consistent(&lits) {
+                        Ok(()) => return true,
+                        Err(core) => {
+                            // Block this (partial) assignment.
+                            let clause: Vec<Lit> = core
+                                .iter()
+                                .filter_map(|(atom, val)| {
+                                    atoms.iter().find(|(a, _)| a == atom).map(|(_, var)| Lit {
+                                        var: *var,
+                                        positive: !*val,
+                                    })
+                                })
+                                .collect();
+                            if clause.is_empty() {
+                                return false;
+                            }
+                            sat.add_clause(clause);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects ground-ish terms of the formula bucketed by (best-effort) sort,
+    /// used for quantifier and axiom instantiation.
+    fn collect_ground_terms(
+        &self,
+        f: &Formula,
+        env: &BTreeMap<Ident, Sort>,
+    ) -> BTreeMap<Sort, BTreeSet<Term>> {
+        let mut atoms = Vec::new();
+        f.collect_atoms(&mut atoms);
+        let mut out: BTreeMap<Sort, BTreeSet<Term>> = BTreeMap::new();
+        let mut add = |sort: Sort, t: Term| {
+            out.entry(sort).or_default().insert(t);
+        };
+        let mut terms = Vec::new();
+        for a in &atoms {
+            match a {
+                Atom::Eq(l, r) | Atom::Lt(l, r) | Atom::Le(l, r) => {
+                    terms.push(l.clone());
+                    terms.push(r.clone());
+                }
+                Atom::Pred(_, args) => terms.extend(args.iter().cloned()),
+                Atom::BoolTerm(t) => terms.push(t.clone()),
+            }
+        }
+        // Also include all subterms.
+        let mut all = Vec::new();
+        while let Some(t) = terms.pop() {
+            if let Term::App(_, args) = &t {
+                for a in args {
+                    terms.push(a.clone());
+                }
+            }
+            all.push(t);
+        }
+        for t in all {
+            if let Some(sort) = self.guess_sort(&t, env) {
+                add(sort, t);
+            } else {
+                add(Sort::Named("?".into()), t);
+            }
+        }
+        out
+    }
+
+    /// Best-effort sort inference for instantiation purposes.
+    pub(crate) fn guess_sort(&self, t: &Term, env: &BTreeMap<Ident, Sort>) -> Option<Sort> {
+        match t {
+            Term::Var(x) => env.get(x).cloned(),
+            Term::Const(c) => match c {
+                crate::constant::Constant::Atom(_) => None,
+                other => Some(other.sort()),
+            },
+            Term::App(FuncSym::Named(f), _) => self.axioms.func_ret_sort(f).cloned(),
+            Term::App(_, _) => Some(Sort::Int),
+        }
+    }
+
+    /// Eliminates quantifiers from an NNF formula.
+    ///
+    /// * `∀x. φ` in positive position is replaced by a finite conjunction of instances over
+    ///   the known ground terms of a compatible sort plus one fresh constant (a sound
+    ///   weakening for entailment checking);
+    /// * `¬∀x. φ` is skolemised: `¬φ[x ↦ fresh]`.
+    fn eliminate_quantifiers(
+        &mut self,
+        f: &Formula,
+        env: &mut BTreeMap<Ident, Sort>,
+        ground: &BTreeMap<Sort, BTreeSet<Term>>,
+    ) -> Formula {
+        match f {
+            Formula::True | Formula::False | Formula::Atom(_) => f.clone(),
+            Formula::Not(inner) => match inner.as_ref() {
+                Formula::Forall(x, s, body) => {
+                    let fresh = self.fresh_var(x);
+                    env.insert(fresh.clone(), s.clone());
+                    let skolemised = body.subst_var(x, &Term::Var(fresh));
+                    let neg = to_nnf(&Formula::not(skolemised), false);
+                    self.eliminate_quantifiers(&neg, env, ground)
+                }
+                _ => Formula::not(self.eliminate_quantifiers(inner, env, ground)),
+            },
+            Formula::And(fs) => Formula::and(
+                fs.iter()
+                    .map(|g| self.eliminate_quantifiers(g, env, ground))
+                    .collect(),
+            ),
+            Formula::Or(fs) => Formula::or(
+                fs.iter()
+                    .map(|g| self.eliminate_quantifiers(g, env, ground))
+                    .collect(),
+            ),
+            Formula::Implies(p, q) => Formula::implies(
+                self.eliminate_quantifiers(p, env, ground),
+                self.eliminate_quantifiers(q, env, ground),
+            ),
+            Formula::Iff(p, q) => Formula::iff(
+                self.eliminate_quantifiers(p, env, ground),
+                self.eliminate_quantifiers(q, env, ground),
+            ),
+            Formula::Forall(x, s, body) => {
+                let mut instances: Vec<Term> = Vec::new();
+                if let Some(set) = ground.get(s) {
+                    instances.extend(set.iter().cloned());
+                }
+                if let Some(set) = ground.get(&Sort::Named("?".into())) {
+                    instances.extend(set.iter().cloned());
+                }
+                let fresh = self.fresh_var(x);
+                env.insert(fresh.clone(), s.clone());
+                instances.push(Term::Var(fresh));
+                let parts: Vec<Formula> = instances
+                    .into_iter()
+                    .take(64)
+                    .map(|t| {
+                        let inst = body.subst_var(x, &t);
+                        self.eliminate_quantifiers(&to_nnf(&inst, false), env, ground)
+                    })
+                    .collect();
+                Formula::and(parts)
+            }
+        }
+    }
+
+    /// Instantiates background axioms over the ground terms of the query.
+    fn instantiate_axioms(&self, f: &Formula, env: &BTreeMap<Ident, Sort>) -> Vec<Formula> {
+        if self.axioms.axioms.is_empty() {
+            return Vec::new();
+        }
+        let ground = self.collect_ground_terms(f, env);
+        let unknown = Sort::Named("?".into());
+        let mut out = Vec::new();
+        let mut count = 0usize;
+        for ax in &self.axioms.axioms {
+            // Candidate terms per quantified variable.
+            let candidates: Vec<Vec<Term>> = ax
+                .vars
+                .iter()
+                .map(|(_, s)| {
+                    let mut v: Vec<Term> = ground.get(s).into_iter().flatten().cloned().collect();
+                    v.extend(ground.get(&unknown).into_iter().flatten().cloned());
+                    v
+                })
+                .collect();
+            if candidates.iter().any(|c| c.is_empty()) {
+                continue;
+            }
+            let mut indices = vec![0usize; candidates.len()];
+            'outer: loop {
+                let mut inst = ax.body.clone();
+                for (i, (x, _)) in ax.vars.iter().enumerate() {
+                    inst = inst.subst_var(x, &candidates[i][indices[i]]);
+                }
+                out.push(inst);
+                count += 1;
+                if count >= self.max_instantiations {
+                    return out;
+                }
+                // advance odometer
+                let mut k = 0;
+                loop {
+                    indices[k] += 1;
+                    if indices[k] < candidates[k].len() {
+                        break;
+                    }
+                    indices[k] = 0;
+                    k += 1;
+                    if k == candidates.len() {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms::Axiom;
+    use crate::constant::Constant;
+
+    fn int_env() -> Vec<(Ident, Sort)> {
+        vec![("x".into(), Sort::Int), ("y".into(), Sort::Int), ("z".into(), Sort::Int)]
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::default();
+        assert!(s.is_satisfiable(&[], &Formula::True));
+        assert!(!s.is_satisfiable(&[], &Formula::False));
+        assert!(s.is_valid(&[], &Formula::True));
+    }
+
+    #[test]
+    fn propositional_reasoning() {
+        let mut s = Solver::default();
+        let p = Formula::pred("p", vec![Term::var("x")]);
+        let q = Formula::pred("q", vec![Term::var("x")]);
+        // (p ∧ (p ⇒ q)) ⇒ q is valid.
+        let f = Formula::implies(
+            Formula::and(vec![p.clone(), Formula::implies(p.clone(), q.clone())]),
+            q.clone(),
+        );
+        let env = vec![("x".to_string(), Sort::named("T"))];
+        assert!(s.is_valid(&env, &f));
+        // p ∧ ¬p unsat.
+        assert!(!s.is_satisfiable(&env, &Formula::and(vec![p.clone(), Formula::not(p)])));
+    }
+
+    #[test]
+    fn equality_reasoning_with_congruence() {
+        let mut s = Solver::default();
+        let env = vec![("a".to_string(), Sort::named("T")), ("b".to_string(), Sort::named("T"))];
+        // a = b ⊢ f(a) = f(b)
+        let hyp = Formula::eq(Term::var("a"), Term::var("b"));
+        let goal = Formula::eq(
+            Term::app("f", vec![Term::var("a")]),
+            Term::app("f", vec![Term::var("b")]),
+        );
+        assert!(s.entails(&env, &[hyp.clone()], &goal));
+        // a = b does not entail g(a) = h(b)
+        let bad = Formula::eq(
+            Term::app("g", vec![Term::var("a")]),
+            Term::app("h", vec![Term::var("b")]),
+        );
+        assert!(!s.entails(&env, &[hyp], &bad));
+    }
+
+    #[test]
+    fn distinct_constants_are_distinct() {
+        let mut s = Solver::default();
+        let f = Formula::eq(Term::atom("/a"), Term::atom("/b"));
+        assert!(!s.is_satisfiable(&[], &f));
+        let g = Formula::eq(Term::int(1), Term::int(2));
+        assert!(!s.is_satisfiable(&[], &g));
+    }
+
+    #[test]
+    fn arithmetic_ordering_entailment() {
+        let mut s = Solver::default();
+        let env = int_env();
+        // x < y ∧ y < z ⊢ x < z
+        let hyps = vec![
+            Formula::lt(Term::var("x"), Term::var("y")),
+            Formula::lt(Term::var("y"), Term::var("z")),
+        ];
+        assert!(s.entails(&env, &hyps, &Formula::lt(Term::var("x"), Term::var("z"))));
+        // x < y does not entail y < x
+        assert!(!s.entails(
+            &env,
+            &[Formula::lt(Term::var("x"), Term::var("y"))],
+            &Formula::lt(Term::var("y"), Term::var("x"))
+        ));
+        // x <= y ∧ y <= x ⊢ x = y
+        let hyps = vec![
+            Formula::le(Term::var("x"), Term::var("y")),
+            Formula::le(Term::var("y"), Term::var("x")),
+        ];
+        assert!(s.entails(&env, &hyps, &Formula::eq(Term::var("x"), Term::var("y"))));
+    }
+
+    #[test]
+    fn numeric_constant_bounds() {
+        let mut s = Solver::default();
+        let env = int_env();
+        // x < 3 ∧ 5 < x is unsat
+        let f = Formula::and(vec![
+            Formula::lt(Term::var("x"), Term::int(3)),
+            Formula::lt(Term::int(5), Term::var("x")),
+        ]);
+        assert!(!s.is_satisfiable(&env, &f));
+        // 0 <= x ∧ x <= 0 ∧ x != 0 is unsat
+        let g = Formula::and(vec![
+            Formula::le(Term::int(0), Term::var("x")),
+            Formula::le(Term::var("x"), Term::int(0)),
+            Formula::not(Formula::eq(Term::var("x"), Term::int(0))),
+        ]);
+        assert!(!s.is_satisfiable(&env, &g));
+    }
+
+    #[test]
+    fn method_predicate_axioms_are_used() {
+        let mut axioms = AxiomSet::new();
+        axioms.declare_pred("isDir", vec![Sort::named("Bytes.t")]);
+        axioms.declare_pred("isDel", vec![Sort::named("Bytes.t")]);
+        axioms.add_axiom(Axiom::new(
+            "dir-not-del",
+            vec![("b".into(), Sort::named("Bytes.t"))],
+            Formula::implies(
+                Formula::pred("isDir", vec![Term::var("b")]),
+                Formula::not(Formula::pred("isDel", vec![Term::var("b")])),
+            ),
+        ));
+        let mut s = Solver::with_axioms(axioms);
+        let env = vec![("v".to_string(), Sort::named("Bytes.t"))];
+        // isDir(v) ⊢ ¬isDel(v)
+        assert!(s.entails(
+            &env,
+            &[Formula::pred("isDir", vec![Term::var("v")])],
+            &Formula::not(Formula::pred("isDel", vec![Term::var("v")]))
+        ));
+        // isDir(v) ∧ isDel(v) is unsat under the axioms
+        assert!(!s.is_satisfiable(
+            &env,
+            &Formula::and(vec![
+                Formula::pred("isDir", vec![Term::var("v")]),
+                Formula::pred("isDel", vec![Term::var("v")]),
+            ])
+        ));
+        // but isFile is unconstrained
+        assert!(s.is_satisfiable(&env, &Formula::pred("isFile", vec![Term::var("v")])));
+    }
+
+    #[test]
+    fn quantified_goal_is_skolemised() {
+        let mut s = Solver::default();
+        // ⊢ ∀x:int. x = x
+        let f = Formula::forall("x", Sort::Int, Formula::eq(Term::var("x"), Term::var("x")));
+        assert!(s.is_valid(&[], &f));
+        // ⊬ ∀x:int. x < 0
+        let g = Formula::forall("x", Sort::Int, Formula::lt(Term::var("x"), Term::int(0)));
+        assert!(!s.is_valid(&[], &g));
+    }
+
+    #[test]
+    fn bool_terms_as_propositions() {
+        let mut s = Solver::default();
+        let env = vec![("b".to_string(), Sort::Bool)];
+        let b = Term::var("b");
+        // b = true ⊢ b
+        assert!(s.entails(
+            &env,
+            &[Formula::eq(b.clone(), Term::bool(true))],
+            &Formula::bool_term(b.clone())
+        ));
+        // b = false ⊢ ¬b
+        assert!(s.entails(
+            &env,
+            &[Formula::eq(b.clone(), Term::bool(false))],
+            &Formula::not(Formula::bool_term(b))
+        ));
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let mut s = Solver::default();
+        let before = s.stats.queries;
+        let _ = s.is_satisfiable(&[], &Formula::pred("p", vec![]));
+        assert_eq!(s.stats.queries, before + 1);
+        assert!(s.stats.sat >= 1);
+    }
+
+    #[test]
+    fn atom_constants_vs_variables() {
+        let mut s = Solver::default();
+        let env = vec![("p".to_string(), Sort::named("Path.t"))];
+        // p = "/" is satisfiable; p = "/" ∧ p = "/a" is not.
+        assert!(s.is_satisfiable(&env, &Formula::eq(Term::var("p"), Term::atom("/"))));
+        let f = Formula::and(vec![
+            Formula::eq(Term::var("p"), Term::atom("/")),
+            Formula::eq(Term::var("p"), Term::atom("/a")),
+        ]);
+        assert!(!s.is_satisfiable(&env, &f));
+        let _ = Constant::Atom("/".into());
+    }
+}

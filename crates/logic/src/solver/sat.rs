@@ -1,0 +1,203 @@
+//! A small DPLL SAT solver used as the propositional core of the lazy-SMT loop.
+
+use super::cnf::Lit;
+
+/// A satisfying assignment.
+#[derive(Debug, Clone)]
+pub struct Model {
+    assignment: Vec<Option<bool>>,
+}
+
+impl Model {
+    /// The value of a variable in the model, if assigned.
+    pub fn get(&self, var: usize) -> Option<bool> {
+        self.assignment.get(var).copied().flatten()
+    }
+}
+
+/// DPLL solver with unit propagation and chronological backtracking.
+///
+/// Clauses may be added between calls to [`SatSolver::solve`] (used for theory blocking
+/// clauses); each call solves from scratch, which is plenty fast for the clause counts the
+/// type checker produces.
+#[derive(Debug)]
+pub struct SatSolver {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl SatSolver {
+    /// Creates a solver over `num_vars` variables with initial clauses.
+    pub fn new(num_vars: usize, clauses: Vec<Vec<Lit>>) -> Self {
+        SatSolver { num_vars, clauses }
+    }
+
+    /// Adds a clause (e.g. a theory blocking clause).
+    pub fn add_clause(&mut self, clause: Vec<Lit>) {
+        self.clauses.push(clause);
+    }
+
+    /// Finds a satisfying assignment, or `None` if the clause set is unsatisfiable.
+    pub fn solve(&self) -> Option<Model> {
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        if self.dpll(&mut assignment) {
+            Some(Model { assignment })
+        } else {
+            None
+        }
+    }
+
+    fn clause_status(&self, clause: &[Lit], assignment: &[Option<bool>]) -> ClauseStatus {
+        let mut unassigned = None;
+        let mut unassigned_count = 0;
+        for l in clause {
+            match assignment[l.var] {
+                Some(v) if v == l.positive => return ClauseStatus::Satisfied,
+                Some(_) => {}
+                None => {
+                    unassigned = Some(*l);
+                    unassigned_count += 1;
+                }
+            }
+        }
+        match unassigned_count {
+            0 => ClauseStatus::Conflict,
+            1 => ClauseStatus::Unit(unassigned.expect("counted above")),
+            _ => ClauseStatus::Unresolved,
+        }
+    }
+
+    /// Unit propagation; returns false on conflict, recording assigned vars in `trail`.
+    fn propagate(&self, assignment: &mut [Option<bool>], trail: &mut Vec<usize>) -> bool {
+        loop {
+            let mut changed = false;
+            for clause in &self.clauses {
+                match self.clause_status(clause, assignment) {
+                    ClauseStatus::Conflict => return false,
+                    ClauseStatus::Unit(l) => {
+                        assignment[l.var] = Some(l.positive);
+                        trail.push(l.var);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn dpll(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        let mut trail = Vec::new();
+        if !self.propagate(assignment, &mut trail) {
+            for v in trail {
+                assignment[v] = None;
+            }
+            return false;
+        }
+        // Pick an unassigned variable, preferring ones that occur in clauses.
+        let var = (0..self.num_vars).find(|&v| assignment[v].is_none());
+        let var = match var {
+            None => return true,
+            Some(v) => v,
+        };
+        for value in [true, false] {
+            assignment[var] = Some(value);
+            if self.dpll(assignment) {
+                return true;
+            }
+            assignment[var] = None;
+        }
+        for v in trail {
+            assignment[v] = None;
+        }
+        false
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClauseStatus {
+    Satisfied,
+    Conflict,
+    Unit(Lit),
+    Unresolved,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(var: usize, positive: bool) -> Lit {
+        Lit { var, positive }
+    }
+
+    #[test]
+    fn satisfiable_instance() {
+        // (a ∨ b) ∧ (¬a ∨ b) — satisfiable with b = true.
+        let s = SatSolver::new(2, vec![vec![lit(0, true), lit(1, true)], vec![lit(0, false), lit(1, true)]]);
+        let m = s.solve().expect("should be satisfiable");
+        assert_eq!(m.get(1), Some(true));
+    }
+
+    #[test]
+    fn unsatisfiable_instance() {
+        // a ∧ ¬a
+        let s = SatSolver::new(1, vec![vec![lit(0, true)], vec![lit(0, false)]]);
+        assert!(s.solve().is_none());
+    }
+
+    #[test]
+    fn unit_propagation_chains() {
+        // a, a→b, b→c  (as clauses) forces c.
+        let s = SatSolver::new(3, vec![
+            vec![lit(0, true)],
+            vec![lit(0, false), lit(1, true)],
+            vec![lit(1, false), lit(2, true)],
+        ]);
+        let m = s.solve().unwrap();
+        assert_eq!(m.get(0), Some(true));
+        assert_eq!(m.get(1), Some(true));
+        assert_eq!(m.get(2), Some(true));
+    }
+
+    #[test]
+    fn blocking_clause_changes_model() {
+        let mut s = SatSolver::new(1, vec![]);
+        let m = s.solve().unwrap();
+        let first = m.get(0);
+        // Block whatever was found (unassigned counts as "either", so force both ways).
+        if let Some(v) = first {
+            s.add_clause(vec![lit(0, !v)]);
+            let m2 = s.solve().unwrap();
+            assert_eq!(m2.get(0), Some(!v));
+            s.add_clause(vec![lit(0, v)]);
+            assert!(s.solve().is_none());
+        }
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let s = SatSolver::new(1, vec![vec![]]);
+        assert!(s.solve().is_none());
+    }
+
+    #[test]
+    fn pigeonhole_small_unsat() {
+        // 3 pigeons, 2 holes: vars p_ij = pigeon i in hole j (i in 0..3, j in 0..2).
+        let var = |i: usize, j: usize| i * 2 + j;
+        let mut clauses = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![lit(var(i, 0), true), lit(var(i, 1), true)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    clauses.push(vec![lit(var(i1, j), false), lit(var(i2, j), false)]);
+                }
+            }
+        }
+        let s = SatSolver::new(6, clauses);
+        assert!(s.solve().is_none());
+    }
+}

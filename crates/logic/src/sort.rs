@@ -1,0 +1,94 @@
+//! Base sorts of the qualifier logic and of λᴱ base types.
+
+use std::fmt;
+
+/// A base sort (the `b` of the paper's grammar).
+///
+/// Beyond the built-in sorts the verifier uses *named* uninterpreted sorts for the
+/// datatypes manipulated by the stateful libraries (`Path.t`, `Bytes.t`, `Elem.t`,
+/// `Node.t`, ...). Values of a named sort support only equality and method predicates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// The unit sort with a single inhabitant.
+    Unit,
+    /// Booleans.
+    Bool,
+    /// Unbounded integers (the paper's `int` / `nat`).
+    Int,
+    /// An uninterpreted, named sort (e.g. `Path.t`).
+    Named(String),
+}
+
+impl Sort {
+    /// A named sort; `Sort::named("Path.t")`.
+    pub fn named(name: impl Into<String>) -> Self {
+        Sort::Named(name.into())
+    }
+
+    /// Returns `true` for sorts whose values the arithmetic theory understands.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Sort::Int)
+    }
+
+    /// Returns `true` if this sort has finitely many inhabitants (unit, bool).
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Sort::Unit | Sort::Bool)
+    }
+
+    /// A human-readable name, used in error messages and pretty printing.
+    pub fn name(&self) -> &str {
+        match self {
+            Sort::Unit => "unit",
+            Sort::Bool => "bool",
+            Sort::Int => "int",
+            Sort::Named(n) => n,
+        }
+    }
+
+    /// Parses a sort name as written in the surface syntax.
+    pub fn parse(name: &str) -> Self {
+        match name {
+            "unit" => Sort::Unit,
+            "bool" => Sort::Bool,
+            "int" | "nat" => Sort::Int,
+            other => Sort::Named(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_builtin_sorts() {
+        assert_eq!(Sort::parse("unit"), Sort::Unit);
+        assert_eq!(Sort::parse("bool"), Sort::Bool);
+        assert_eq!(Sort::parse("int"), Sort::Int);
+        assert_eq!(Sort::parse("nat"), Sort::Int);
+    }
+
+    #[test]
+    fn parse_named_sort_roundtrips() {
+        let s = Sort::parse("Path.t");
+        assert_eq!(s, Sort::Named("Path.t".into()));
+        assert_eq!(s.to_string(), "Path.t");
+        assert!(!s.is_numeric());
+        assert!(!s.is_finite());
+    }
+
+    #[test]
+    fn finite_and_numeric_classification() {
+        assert!(Sort::Bool.is_finite());
+        assert!(Sort::Unit.is_finite());
+        assert!(!Sort::Int.is_finite());
+        assert!(Sort::Int.is_numeric());
+        assert!(!Sort::Bool.is_numeric());
+    }
+}

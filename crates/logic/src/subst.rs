@@ -1,0 +1,125 @@
+//! Simultaneous substitutions (the closing substitutions `σ` of the paper).
+
+use crate::formula::Formula;
+use crate::term::Term;
+use crate::Ident;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite map from variables to terms, applied simultaneously.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: BTreeMap<Ident, Term>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single-binding substitution.
+    pub fn single(var: impl Into<Ident>, t: Term) -> Self {
+        let mut s = Self::new();
+        s.bind(var, t);
+        s
+    }
+
+    /// Adds (or overwrites) a binding.
+    pub fn bind(&mut self, var: impl Into<Ident>, t: Term) -> &mut Self {
+        self.map.insert(var.into(), t);
+        self
+    }
+
+    /// Looks up a binding.
+    pub fn get(&self, var: &str) -> Option<&Term> {
+        self.map.get(var)
+    }
+
+    /// Whether the substitution has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over the bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ident, &Term)> {
+        self.map.iter()
+    }
+
+    /// Applies the substitution to a term (sequentially over bindings;
+    /// bindings are expected to have disjoint domains and ranges).
+    pub fn apply_term(&self, t: &Term) -> Term {
+        let mut out = t.clone();
+        for (v, r) in &self.map {
+            out = out.subst_var(v, r);
+        }
+        out
+    }
+
+    /// Applies the substitution to a formula.
+    pub fn apply_formula(&self, f: &Formula) -> Formula {
+        let mut out = f.clone();
+        for (v, r) in &self.map {
+            out = out.subst_var(v, r);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (v, t)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} ↦ {t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<(Ident, Term)> for Subst {
+    fn from_iter<I: IntoIterator<Item = (Ident, Term)>>(iter: I) -> Self {
+        Subst {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_to_formula() {
+        let f = Formula::eq(Term::var("x"), Term::var("y"));
+        let s = Subst::single("x", Term::int(1));
+        assert_eq!(s.apply_formula(&f), Formula::eq(Term::int(1), Term::var("y")));
+    }
+
+    #[test]
+    fn multiple_bindings_apply_simultaneously_enough() {
+        let f = Formula::eq(Term::var("x"), Term::var("y"));
+        let s: Subst = vec![
+            ("x".to_string(), Term::int(1)),
+            ("y".to_string(), Term::int(2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.apply_formula(&f), Formula::eq(Term::int(1), Term::int(2)));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn display_lists_bindings() {
+        let s = Subst::single("p", Term::atom("/"));
+        assert_eq!(s.to_string(), "[p ↦ \"/\"]");
+    }
+}

@@ -1,0 +1,272 @@
+//! First-order terms appearing in qualifiers.
+
+use crate::constant::Constant;
+use crate::Ident;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Function symbols usable inside qualifier terms.
+///
+/// Arithmetic symbols are interpreted by both the evaluator and the solver's
+/// difference-bound theory (where expressible); `Named` symbols (e.g. `parent`)
+/// are treated as uninterpreted functions handled by congruence closure, with
+/// their intended meaning pinned down by [`crate::AxiomSet`] lemmas.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuncSym {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Euclidean remainder.
+    Mod,
+    /// Unary negation.
+    Neg,
+    /// An uninterpreted pure function such as `parent : Path.t -> Path.t`.
+    Named(String),
+}
+
+impl FuncSym {
+    /// A named (uninterpreted) function symbol.
+    pub fn named(name: impl Into<String>) -> Self {
+        FuncSym::Named(name.into())
+    }
+
+    /// The display name of this symbol.
+    pub fn name(&self) -> &str {
+        match self {
+            FuncSym::Add => "+",
+            FuncSym::Sub => "-",
+            FuncSym::Mul => "*",
+            FuncSym::Mod => "mod",
+            FuncSym::Neg => "neg",
+            FuncSym::Named(n) => n,
+        }
+    }
+}
+
+impl fmt::Display for FuncSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A first-order term: variable, constant or function application.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable reference.
+    Var(Ident),
+    /// A constant literal.
+    Const(Constant),
+    /// Application of a function symbol to argument terms.
+    App(FuncSym, Vec<Term>),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: impl Into<Ident>) -> Self {
+        Term::Var(name.into())
+    }
+
+    /// The distinguished value variable `ν` used by refinement types.
+    pub fn nu() -> Self {
+        Term::Var("v".into())
+    }
+
+    /// An integer constant term.
+    pub fn int(i: i64) -> Self {
+        Term::Const(Constant::Int(i))
+    }
+
+    /// A boolean constant term.
+    pub fn bool(b: bool) -> Self {
+        Term::Const(Constant::Bool(b))
+    }
+
+    /// The unit constant term.
+    pub fn unit() -> Self {
+        Term::Const(Constant::Unit)
+    }
+
+    /// An atom constant term (value of a named sort).
+    pub fn atom(s: impl Into<String>) -> Self {
+        Term::Const(Constant::Atom(s.into()))
+    }
+
+    /// Application of a named uninterpreted function.
+    pub fn app(name: impl Into<String>, args: Vec<Term>) -> Self {
+        Term::App(FuncSym::named(name), args)
+    }
+
+    /// `lhs + rhs`.
+    pub fn add(lhs: Term, rhs: Term) -> Self {
+        Term::App(FuncSym::Add, vec![lhs, rhs])
+    }
+
+    /// `lhs - rhs`.
+    pub fn sub(lhs: Term, rhs: Term) -> Self {
+        Term::App(FuncSym::Sub, vec![lhs, rhs])
+    }
+
+    /// Collects the free variables of the term into `out`.
+    pub fn collect_vars(&self, out: &mut BTreeSet<Ident>) {
+        match self {
+            Term::Var(x) => {
+                out.insert(x.clone());
+            }
+            Term::Const(_) => {}
+            Term::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// The set of free variables of the term.
+    pub fn free_vars(&self) -> BTreeSet<Ident> {
+        let mut s = BTreeSet::new();
+        self.collect_vars(&mut s);
+        s
+    }
+
+    /// Returns the constant payload if the term is a constant.
+    pub fn as_const(&self) -> Option<&Constant> {
+        match self {
+            Term::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Returns true if the term mentions the given variable.
+    pub fn mentions(&self, var: &str) -> bool {
+        match self {
+            Term::Var(x) => x == var,
+            Term::Const(_) => false,
+            Term::App(_, args) => args.iter().any(|a| a.mentions(var)),
+        }
+    }
+
+    /// Capture-avoiding substitution of a variable by a term
+    /// (terms have no binders, so this is plain substitution).
+    pub fn subst_var(&self, var: &str, replacement: &Term) -> Term {
+        match self {
+            Term::Var(x) if x == var => replacement.clone(),
+            Term::Var(_) | Term::Const(_) => self.clone(),
+            Term::App(f, args) => Term::App(
+                f.clone(),
+                args.iter().map(|a| a.subst_var(var, replacement)).collect(),
+            ),
+        }
+    }
+
+    /// Renames every variable through `f`.
+    pub fn rename_vars(&self, f: &dyn Fn(&str) -> Option<Ident>) -> Term {
+        match self {
+            Term::Var(x) => match f(x) {
+                Some(y) => Term::Var(y),
+                None => self.clone(),
+            },
+            Term::Const(_) => self.clone(),
+            Term::App(sym, args) => Term::App(
+                sym.clone(),
+                args.iter().map(|a| a.rename_vars(f)).collect(),
+            ),
+        }
+    }
+
+    /// Size of the term (number of AST nodes), used for ranking heuristics.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Const(_) => 1,
+            Term::App(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(x) => write!(f, "{x}"),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::App(FuncSym::Add, args) if args.len() == 2 => {
+                write!(f, "({} + {})", args[0], args[1])
+            }
+            Term::App(FuncSym::Sub, args) if args.len() == 2 => {
+                write!(f, "({} - {})", args[0], args[1])
+            }
+            Term::App(FuncSym::Mul, args) if args.len() == 2 => {
+                write!(f, "({} * {})", args[0], args[1])
+            }
+            Term::App(FuncSym::Mod, args) if args.len() == 2 => {
+                write!(f, "({} mod {})", args[0], args[1])
+            }
+            Term::App(sym, args) => {
+                write!(f, "{sym}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<Constant> for Term {
+    fn from(c: Constant) -> Self {
+        Term::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_vars_of_nested_application() {
+        let t = Term::app("parent", vec![Term::var("p")]);
+        let t2 = Term::add(t, Term::var("q"));
+        let fv = t2.free_vars();
+        assert!(fv.contains("p"));
+        assert!(fv.contains("q"));
+        assert_eq!(fv.len(), 2);
+    }
+
+    #[test]
+    fn substitution_replaces_all_occurrences() {
+        let t = Term::add(Term::var("x"), Term::app("f", vec![Term::var("x")]));
+        let r = t.subst_var("x", &Term::int(1));
+        assert!(!r.mentions("x"));
+        assert_eq!(r.to_string(), "(1 + f(1))");
+    }
+
+    #[test]
+    fn substitution_leaves_other_vars() {
+        let t = Term::var("y");
+        assert_eq!(t.subst_var("x", &Term::int(0)), Term::var("y"));
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        let t = Term::sub(Term::var("a"), Term::int(2));
+        assert_eq!(t.to_string(), "(a - 2)");
+        assert_eq!(Term::app("parent", vec![Term::var("p")]).to_string(), "parent(p)");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let t = Term::add(Term::var("x"), Term::int(1));
+        assert_eq!(t.size(), 3);
+    }
+
+    #[test]
+    fn rename_vars_applies_mapping() {
+        let t = Term::app("f", vec![Term::var("x"), Term::var("y")]);
+        let r = t.rename_vars(&|v| if v == "x" { Some("z".to_string()) } else { None });
+        assert_eq!(r.to_string(), "f(z, y)");
+    }
+}

@@ -1,0 +1,337 @@
+//! Denotational trace acceptance: the judgement `α, i ⊨ A` of paper Fig. 7.
+//!
+//! This is the *semantics* of symbolic automata on concrete traces. The type checker never
+//! uses it (it reasons symbolically through minterms and DFAs); it is used by the
+//! interpreter-based tests and examples to validate that checked programs really do produce
+//! traces accepted by their representation invariants (Corollary 4.9, empirically).
+
+use crate::ast::Sfa;
+use crate::event::{Event, Trace};
+use hat_logic::{Constant, EvalCtx, EvalError, Ident, Interpretation};
+use std::collections::BTreeMap;
+
+/// A model for evaluating qualifiers on concrete events: an interpretation of method
+/// predicates / pure functions plus bindings for the context variables mentioned by the
+/// automaton (ghost variables, function parameters).
+#[derive(Debug, Clone, Default)]
+pub struct TraceModel {
+    /// Interpretation of method predicates and pure functions.
+    pub interp: Interpretation,
+    /// Bindings for context variables.
+    pub bindings: BTreeMap<Ident, Constant>,
+}
+
+impl TraceModel {
+    /// Creates a model with the given interpretation and no context bindings.
+    pub fn new(interp: Interpretation) -> Self {
+        TraceModel {
+            interp,
+            bindings: BTreeMap::new(),
+        }
+    }
+
+    /// Binds a context variable.
+    pub fn bind(mut self, var: impl Into<Ident>, c: Constant) -> Self {
+        self.bindings.insert(var.into(), c);
+        self
+    }
+
+    fn event_ctx(&self, args: &[Ident], result: &Ident, event: &Event) -> Option<EvalCtx> {
+        if args.len() != event.args.len() {
+            return None;
+        }
+        let mut ctx = EvalCtx::new(self.interp.clone());
+        for (k, v) in &self.bindings {
+            ctx.bind(k.clone(), v.clone());
+        }
+        for (name, value) in args.iter().zip(event.args.iter()) {
+            ctx.bind(name.clone(), value.clone());
+        }
+        ctx.bind(result.clone(), event.result.clone());
+        Some(ctx)
+    }
+
+    fn plain_ctx(&self) -> EvalCtx {
+        let mut ctx = EvalCtx::new(self.interp.clone());
+        for (k, v) in &self.bindings {
+            ctx.bind(k.clone(), v.clone());
+        }
+        ctx
+    }
+}
+
+/// Does the trace `α` satisfy the automaton `A` (i.e. `α ∈ L(A)`, acceptance at index 0)?
+pub fn accepts(model: &TraceModel, trace: &Trace, a: &Sfa) -> Result<bool, EvalError> {
+    sat_at(model, trace.events(), 0, a)
+}
+
+/// The indexed judgement `α, i ⊨ A` over a slice of events (the slice is the whole trace).
+pub fn sat_at(model: &TraceModel, events: &[Event], i: usize, a: &Sfa) -> Result<bool, EvalError> {
+    let len = events.len();
+    match a {
+        Sfa::Zero => Ok(false),
+        Sfa::Epsilon => Ok(i >= len),
+        Sfa::Event(e) => {
+            if i >= len {
+                return Ok(false);
+            }
+            let event = &events[i];
+            if event.op != e.op {
+                return Ok(false);
+            }
+            match model.event_ctx(&e.args, &e.result, event) {
+                None => Ok(false),
+                Some(ctx) => ctx.eval_formula(&e.phi),
+            }
+        }
+        Sfa::Guard(phi) => {
+            if i >= len {
+                return Ok(false);
+            }
+            model.plain_ctx().eval_formula(phi)
+        }
+        Sfa::Not(inner) => Ok(!sat_at(model, events, i, inner)?),
+        Sfa::And(parts) => {
+            for p in parts {
+                if !sat_at(model, events, i, p)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Sfa::Or(parts) => {
+            for p in parts {
+                if sat_at(model, events, i, p)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Sfa::Concat(a1, a2) => {
+            // α[i..len] = α1 α2 with α1 ∈ L(A1) and α2 ∈ L(A2).
+            for j in i..=len {
+                let first = &events[i..j];
+                let second = &events[j..];
+                if sat_at(model, first, 0, a1)? && sat_at(model, second, 0, a2)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Sfa::Next(inner) => {
+            if i >= len {
+                // Position past the end of the trace behaves like the empty suffix.
+                sat_at(model, events, len, inner)
+            } else {
+                sat_at(model, events, i + 1, inner)
+            }
+        }
+        Sfa::Until(a1, a2) => {
+            for j in i..len {
+                if sat_at(model, events, j, a2)? {
+                    let mut all = true;
+                    for k in i..j {
+                        if !sat_at(model, events, k, a1)? {
+                            all = false;
+                            break;
+                        }
+                    }
+                    if all {
+                        return Ok(true);
+                    }
+                }
+            }
+            Ok(false)
+        }
+        Sfa::Star(inner) => {
+            if i >= len {
+                return Ok(true);
+            }
+            // Try to peel a non-empty prefix accepted by `inner`.
+            for j in (i + 1)..=len {
+                let first = &events[i..j];
+                if sat_at(model, first, 0, inner)? && sat_at(model, events, j, a)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_logic::{Formula, Term};
+
+    fn put(k: &str, v: &str) -> Event {
+        Event::new("put", vec![Constant::atom(k), Constant::atom(v)], Constant::Unit)
+    }
+
+    fn exists(k: &str, r: bool) -> Event {
+        Event::new("exists", vec![Constant::atom(k)], Constant::Bool(r))
+    }
+
+    fn fs_model() -> TraceModel {
+        TraceModel::new(Interpretation::filesystem())
+    }
+
+    /// `⟨put key val = v | key = p⟩` with context variable `p`.
+    fn put_key_eq_p() -> Sfa {
+        Sfa::event(
+            "put",
+            vec!["key".into(), "val".into()],
+            "v",
+            Formula::eq(Term::var("key"), Term::var("p")),
+        )
+    }
+
+    #[test]
+    fn single_event_matching() {
+        let model = fs_model().bind("p", Constant::atom("/a"));
+        let t = Trace::from_events(vec![put("/a", "dir:a")]);
+        assert!(accepts(&model, &t, &put_key_eq_p()).unwrap());
+        let t2 = Trace::from_events(vec![put("/b", "dir:b")]);
+        assert!(!accepts(&model, &t2, &put_key_eq_p()).unwrap());
+        // Different operator never matches.
+        let t3 = Trace::from_events(vec![exists("/a", true)]);
+        assert!(!accepts(&model, &t3, &put_key_eq_p()).unwrap());
+    }
+
+    #[test]
+    fn event_only_constrains_first_position() {
+        let model = fs_model().bind("p", Constant::atom("/a"));
+        // first event matches, remainder unconstrained
+        let t = Trace::from_events(vec![put("/a", "dir:a"), put("/zzz", "file:9")]);
+        assert!(accepts(&model, &t, &put_key_eq_p()).unwrap());
+        // empty trace never satisfies an event literal
+        assert!(!accepts(&model, &Trace::new(), &put_key_eq_p()).unwrap());
+    }
+
+    #[test]
+    fn eventually_and_globally() {
+        let model = fs_model().bind("p", Constant::atom("/a"));
+        let ev = Sfa::eventually(put_key_eq_p());
+        let glob = Sfa::globally(put_key_eq_p());
+        let t = Trace::from_events(vec![put("/x", "dir:x"), put("/a", "dir:a")]);
+        assert!(accepts(&model, &t, &ev).unwrap());
+        assert!(!accepts(&model, &t, &glob).unwrap());
+        let t_all = Trace::from_events(vec![put("/a", "dir:1"), put("/a", "dir:2")]);
+        assert!(accepts(&model, &t_all, &glob).unwrap());
+        // The empty trace satisfies □ but not ♦.
+        assert!(accepts(&model, &Trace::new(), &glob).unwrap());
+        assert!(!accepts(&model, &Trace::new(), &ev).unwrap());
+    }
+
+    #[test]
+    fn last_modality_pins_trace_length() {
+        let model = fs_model().bind("p", Constant::atom("/a"));
+        let exactly_one = Sfa::and(vec![put_key_eq_p(), Sfa::last()]);
+        assert!(accepts(&model, &Trace::from_events(vec![put("/a", "dir:a")]), &exactly_one).unwrap());
+        assert!(!accepts(
+            &model,
+            &Trace::from_events(vec![put("/a", "dir:a"), put("/b", "dir:b")]),
+            &exactly_one
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn concatenation_splits_the_trace() {
+        let model = fs_model().bind("p", Constant::atom("/a"));
+        // □⟨⊤⟩ ; (put p ∧ LAST): trace ends with a put of p.
+        let ends_with_put_p = Sfa::concat(Sfa::universe(), Sfa::and(vec![put_key_eq_p(), Sfa::last()]));
+        let good = Trace::from_events(vec![put("/x", "dir:x"), put("/a", "dir:a")]);
+        let bad = Trace::from_events(vec![put("/a", "dir:a"), put("/x", "dir:x")]);
+        assert!(accepts(&model, &good, &ends_with_put_p).unwrap());
+        assert!(!accepts(&model, &bad, &ends_with_put_p).unwrap());
+    }
+
+    #[test]
+    fn until_semantics() {
+        let model = fs_model();
+        // ¬⟨put .. = v | isDel(val)⟩ U ⟨put .. | isDir(val)⟩
+        let del = Sfa::event(
+            "put",
+            vec!["key".into(), "val".into()],
+            "v",
+            Formula::pred("isDel", vec![Term::var("val")]),
+        );
+        let dir = Sfa::event(
+            "put",
+            vec!["key".into(), "val".into()],
+            "v",
+            Formula::pred("isDir", vec![Term::var("val")]),
+        );
+        let u = Sfa::until(Sfa::not(del), dir);
+        let ok = Trace::from_events(vec![put("/a", "file:1"), put("/b", "dir:2")]);
+        assert!(accepts(&model, &ok, &u).unwrap());
+        let bad = Trace::from_events(vec![put("/a", "del:1"), put("/b", "dir:2")]);
+        assert!(!accepts(&model, &bad, &u).unwrap());
+        let never = Trace::from_events(vec![put("/a", "file:1")]);
+        assert!(!accepts(&model, &never, &u).unwrap());
+    }
+
+    #[test]
+    fn next_shifts_position() {
+        let model = fs_model().bind("p", Constant::atom("/a"));
+        let f = Sfa::next(put_key_eq_p());
+        let t = Trace::from_events(vec![put("/zzz", "dir:z"), put("/a", "dir:a")]);
+        assert!(accepts(&model, &t, &f).unwrap());
+        let t2 = Trace::from_events(vec![put("/a", "dir:a"), put("/zzz", "dir:z")]);
+        assert!(!accepts(&model, &t2, &f).unwrap());
+    }
+
+    #[test]
+    fn uniqueness_invariant_of_the_set_adt() {
+        // I_Set(el) = □(⟨insert x = v | x = el⟩ ⇒ ◯¬♦⟨insert x = v | x = el⟩)
+        let ins_el = || {
+            Sfa::event(
+                "insert",
+                vec!["x".into()],
+                "v",
+                Formula::eq(Term::var("x"), Term::var("el")),
+            )
+        };
+        let inv = Sfa::globally(Sfa::implies(
+            ins_el(),
+            Sfa::next(Sfa::not(Sfa::eventually(ins_el()))),
+        ));
+        let model = TraceModel::new(Interpretation::new()).bind("el", Constant::Int(7));
+        let insert = |n: i64| Event::new("insert", vec![Constant::Int(n)], Constant::Unit);
+        let ok = Trace::from_events(vec![insert(7), insert(3), insert(5)]);
+        assert!(accepts(&model, &ok, &inv).unwrap());
+        let dup = Trace::from_events(vec![insert(7), insert(3), insert(7)]);
+        assert!(!accepts(&model, &dup, &inv).unwrap());
+        // duplicates of a *different* element do not violate the invariant for el = 7
+        let dup_other = Trace::from_events(vec![insert(3), insert(3)]);
+        assert!(accepts(&model, &dup_other, &inv).unwrap());
+    }
+
+    #[test]
+    fn guard_checks_context_only() {
+        let model = fs_model().bind("p", Constant::atom("/"));
+        let g = Sfa::globally(Sfa::guard(Formula::pred("isRoot", vec![Term::var("p")])));
+        let t = Trace::from_events(vec![put("/x", "dir:x"), put("/y", "dir:y")]);
+        assert!(accepts(&model, &t, &g).unwrap());
+        let model2 = fs_model().bind("p", Constant::atom("/a"));
+        assert!(!accepts(&model2, &t, &g).unwrap());
+        // On the empty trace □⟨φ⟩ holds vacuously.
+        assert!(accepts(&model2, &Trace::new(), &g).unwrap());
+    }
+
+    #[test]
+    fn star_accepts_repetitions() {
+        let model = fs_model();
+        let one_put = Sfa::and(vec![
+            Sfa::event("put", vec!["key".into(), "val".into()], "v", Formula::True),
+            Sfa::last(),
+        ]);
+        let puts_only = Sfa::star(one_put);
+        let t = Trace::from_events(vec![put("/a", "x"), put("/b", "y"), put("/c", "z")]);
+        assert!(accepts(&model, &t, &puts_only).unwrap());
+        let t2 = Trace::from_events(vec![put("/a", "x"), exists("/a", true)]);
+        assert!(!accepts(&model, &t2, &puts_only).unwrap());
+        assert!(accepts(&model, &Trace::new(), &puts_only).unwrap());
+    }
+}

@@ -1,0 +1,370 @@
+//! Deterministic finite automata over a minterm alphabet, built with Brzozowski-style
+//! derivatives of symbolic-automaton formulas (the "alphabet transformation" of paper
+//! Algorithm 2 followed by classical automaton construction).
+
+use crate::ast::{Sfa, SymbolicEvent};
+use crate::minterm::Minterm;
+use hat_logic::Formula;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Decides whether a minterm (an equivalence class of concrete events) is covered by a
+/// symbolic event or guard. Implementations typically answer by SMT entailment queries.
+pub trait TransitionOracle {
+    /// Does every event described by `m` match the symbolic event `e`?
+    fn event_matches(&mut self, e: &SymbolicEvent, m: &Minterm) -> bool;
+    /// Does the (event-independent) guard `phi` hold under the minterm's context valuation?
+    fn guard_holds(&mut self, phi: &Formula, m: &Minterm) -> bool;
+}
+
+/// Errors raised while constructing a DFA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfaBuildError {
+    /// The derivative construction exceeded the state bound (the formula is too complex).
+    TooManyStates(usize),
+}
+
+impl fmt::Display for DfaBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfaBuildError::TooManyStates(n) => {
+                write!(f, "derivative construction exceeded {n} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DfaBuildError {}
+
+/// A complete DFA over a finite minterm alphabet. State 0 is the initial state.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// The formula labelling each state (its residual language).
+    pub states: Vec<Sfa>,
+    /// Whether each state accepts (i.e. its residual language contains the empty trace).
+    pub accepting: Vec<bool>,
+    /// `transitions[s][c]` is the successor of state `s` on alphabet symbol `c`.
+    pub transitions: Vec<Vec<usize>>,
+}
+
+/// Whether the automaton accepts the empty trace (`ν` in derivative terminology).
+pub fn nullable(a: &Sfa) -> bool {
+    match a {
+        Sfa::Zero | Sfa::Event(_) | Sfa::Guard(_) | Sfa::Until(_, _) => false,
+        Sfa::Epsilon | Sfa::Star(_) => true,
+        Sfa::Not(x) => !nullable(x),
+        Sfa::And(parts) => parts.iter().all(nullable),
+        Sfa::Or(parts) => parts.iter().any(nullable),
+        Sfa::Concat(x, y) => nullable(x) && nullable(y),
+        // Positions past the end of a trace behave like the empty suffix (see `accept`).
+        Sfa::Next(x) => nullable(x),
+    }
+}
+
+/// The Brzozowski derivative of `a` with respect to the minterm `m`: a formula accepted by
+/// exactly the traces `α` such that `e·α` is accepted by `a` for events `e` in class `m`.
+pub fn derivative(a: &Sfa, m: &Minterm, oracle: &mut dyn TransitionOracle) -> Sfa {
+    match a {
+        Sfa::Zero | Sfa::Epsilon => Sfa::Zero,
+        Sfa::Event(e) => {
+            if e.op == m.op && oracle.event_matches(e, m) {
+                Sfa::universe()
+            } else {
+                Sfa::Zero
+            }
+        }
+        Sfa::Guard(phi) => {
+            if oracle.guard_holds(phi, m) {
+                Sfa::universe()
+            } else {
+                Sfa::Zero
+            }
+        }
+        Sfa::Not(x) => Sfa::not(derivative(x, m, oracle)),
+        Sfa::And(parts) => Sfa::and(parts.iter().map(|p| derivative(p, m, oracle)).collect()),
+        Sfa::Or(parts) => Sfa::or(parts.iter().map(|p| derivative(p, m, oracle)).collect()),
+        Sfa::Concat(x, y) => {
+            let left = Sfa::concat(derivative(x, m, oracle), (**y).clone());
+            if nullable(x) {
+                Sfa::or(vec![left, derivative(y, m, oracle)])
+            } else {
+                left
+            }
+        }
+        Sfa::Next(x) => (**x).clone(),
+        Sfa::Until(x, y) => {
+            let dy = derivative(y, m, oracle);
+            let dx = derivative(x, m, oracle);
+            Sfa::or(vec![dy, Sfa::and(vec![dx, a.clone()])])
+        }
+        Sfa::Star(x) => Sfa::concat(derivative(x, m, oracle), a.clone()),
+    }
+}
+
+impl Dfa {
+    /// Builds the complete DFA of `a` over the alphabet `alphabet`.
+    pub fn build(
+        a: &Sfa,
+        alphabet: &[Minterm],
+        oracle: &mut dyn TransitionOracle,
+        max_states: usize,
+    ) -> Result<Dfa, DfaBuildError> {
+        let mut states: Vec<Sfa> = vec![a.clone()];
+        let mut index: BTreeMap<Sfa, usize> = BTreeMap::new();
+        index.insert(a.clone(), 0);
+        let mut transitions: Vec<Vec<usize>> = Vec::new();
+        let mut work = vec![0usize];
+        while let Some(s) = work.pop() {
+            if transitions.len() <= s {
+                transitions.resize(states.len(), Vec::new());
+            }
+            if !transitions[s].is_empty() {
+                continue;
+            }
+            let formula = states[s].clone();
+            let mut row = Vec::with_capacity(alphabet.len());
+            for m in alphabet {
+                let d = derivative(&formula, m, oracle);
+                let target = match index.get(&d) {
+                    Some(&t) => t,
+                    None => {
+                        let t = states.len();
+                        if t >= max_states {
+                            return Err(DfaBuildError::TooManyStates(max_states));
+                        }
+                        states.push(d.clone());
+                        index.insert(d, t);
+                        work.push(t);
+                        t
+                    }
+                };
+                row.push(target);
+            }
+            if transitions.len() < states.len() {
+                transitions.resize(states.len(), Vec::new());
+            }
+            transitions[s] = row;
+        }
+        if transitions.len() < states.len() {
+            transitions.resize(states.len(), Vec::new());
+        }
+        // Any state left without a row (unreachable duplicates) gets a self-loop row.
+        let alphabet_len = alphabet.len();
+        for (s, row) in transitions.iter_mut().enumerate() {
+            if row.is_empty() && alphabet_len > 0 {
+                *row = vec![s; alphabet_len];
+            }
+        }
+        let accepting = states.iter().map(nullable).collect();
+        Ok(Dfa {
+            states,
+            accepting,
+            transitions,
+        })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of transitions (states × alphabet symbols actually stored).
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+
+    /// Runs the DFA on a word of alphabet-symbol indices.
+    pub fn accepts_word(&self, word: &[usize]) -> bool {
+        let mut s = 0usize;
+        for &c in word {
+            s = self.transitions[s][c];
+        }
+        self.accepting[s]
+    }
+
+    /// Checks `L(self) ⊆ L(other)`; both DFAs must be over the same alphabet.
+    /// Returns a counterexample word on failure.
+    pub fn included_in(&self, other: &Dfa) -> Result<(), Vec<usize>> {
+        let alphabet_len = self.transitions.first().map(Vec::len).unwrap_or(0);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back((0usize, 0usize, Vec::new()));
+        seen.insert((0usize, 0usize));
+        while let Some((sa, sb, word)) = queue.pop_front() {
+            if self.accepting[sa] && !other.accepting[sb] {
+                return Err(word);
+            }
+            for c in 0..alphabet_len {
+                let na = self.transitions[sa][c];
+                let nb = other.transitions[sb][c];
+                if seen.insert((na, nb)) {
+                    let mut w = word.clone();
+                    w.push(c);
+                    queue.push_back((na, nb, w));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_logic::{Atom, Term};
+
+    /// A purely syntactic oracle for tests: a minterm matches a symbolic event iff every
+    /// atom of the event's qualifier appears positively in the minterm (after the canonical
+    /// renaming already used to build the minterm), and guards are evaluated the same way.
+    #[derive(Default)]
+    struct SyntacticOracle;
+
+    fn atom_holds(m: &Minterm, atom: &Atom) -> bool {
+        m.assignment
+            .iter()
+            .any(|(a, v)| a == atom && *v)
+    }
+
+    impl TransitionOracle for SyntacticOracle {
+        fn event_matches(&mut self, e: &SymbolicEvent, m: &Minterm) -> bool {
+            let renamed = e.phi.rename_free_vars(&|v: &str| {
+                if v == e.result {
+                    Some(crate::minterm::res_name())
+                } else {
+                    e.args.iter().position(|x| x == v).map(crate::minterm::arg_name)
+                }
+            });
+            match renamed {
+                Formula::True => true,
+                Formula::Atom(a) => atom_holds(m, &a),
+                Formula::And(fs) => fs.iter().all(|f| match f {
+                    Formula::Atom(a) => atom_holds(m, a),
+                    Formula::True => true,
+                    _ => false,
+                }),
+                _ => false,
+            }
+        }
+        fn guard_holds(&mut self, phi: &Formula, m: &Minterm) -> bool {
+            match phi {
+                Formula::True => true,
+                Formula::Atom(a) => atom_holds(m, a),
+                _ => false,
+            }
+        }
+    }
+
+    fn ins_el() -> Sfa {
+        Sfa::event(
+            "insert",
+            vec!["x".into()],
+            "v",
+            Formula::eq(Term::var("x"), Term::var("el")),
+        )
+    }
+
+    /// Alphabet with two minterms: insert of el (index 0), insert of something else (1).
+    fn alphabet() -> Vec<Minterm> {
+        let lit = Atom::Eq(Term::var("#arg0"), Term::var("el"));
+        vec![
+            Minterm {
+                op: "insert".into(),
+                assignment: vec![(lit.clone(), true)],
+            },
+            Minterm {
+                op: "insert".into(),
+                assignment: vec![(lit, false)],
+            },
+        ]
+    }
+
+    #[test]
+    fn nullable_matches_acceptance_of_empty_trace() {
+        assert!(nullable(&Sfa::universe()));
+        assert!(nullable(&Sfa::Epsilon));
+        assert!(!nullable(&ins_el()));
+        assert!(!nullable(&Sfa::eventually(ins_el())));
+        assert!(nullable(&Sfa::globally(ins_el())));
+        assert!(nullable(&Sfa::last()));
+    }
+
+    #[test]
+    fn derivative_of_event_literal() {
+        let mut o = SyntacticOracle;
+        let a = ins_el();
+        let d_match = derivative(&a, &alphabet()[0], &mut o);
+        assert!(d_match.is_universe());
+        let d_miss = derivative(&a, &alphabet()[1], &mut o);
+        assert_eq!(d_miss, Sfa::Zero);
+    }
+
+    #[test]
+    fn dfa_for_uniqueness_invariant() {
+        // I = □(ins_el ⇒ ◯¬♦ins_el): at most one insert of el.
+        let inv = Sfa::globally(Sfa::implies(
+            ins_el(),
+            Sfa::next(Sfa::not(Sfa::eventually(ins_el()))),
+        ));
+        let mut o = SyntacticOracle;
+        let dfa = Dfa::build(&inv, &alphabet(), &mut o, 1000).unwrap();
+        assert!(dfa.num_states() >= 2);
+        // [], [other], [el], [el, other] accepted; [el, el], [el, other, el] rejected.
+        assert!(dfa.accepts_word(&[]));
+        assert!(dfa.accepts_word(&[1]));
+        assert!(dfa.accepts_word(&[0]));
+        assert!(dfa.accepts_word(&[0, 1]));
+        assert!(!dfa.accepts_word(&[0, 0]));
+        assert!(!dfa.accepts_word(&[0, 1, 0]));
+    }
+
+    #[test]
+    fn inclusion_between_dfas() {
+        let mut o = SyntacticOracle;
+        let at_most_one = Sfa::globally(Sfa::implies(
+            ins_el(),
+            Sfa::next(Sfa::not(Sfa::eventually(ins_el()))),
+        ));
+        let no_insert_el = Sfa::globally(Sfa::not(ins_el()));
+        let d_strict = Dfa::build(&no_insert_el, &alphabet(), &mut o, 1000).unwrap();
+        let d_weak = Dfa::build(&at_most_one, &alphabet(), &mut o, 1000).unwrap();
+        // never inserting el ⊆ inserting at most once
+        assert!(d_strict.included_in(&d_weak).is_ok());
+        // the converse fails, with a counterexample containing an insert of el
+        let cex = d_weak.included_in(&d_strict).unwrap_err();
+        assert!(cex.contains(&0));
+    }
+
+    #[test]
+    fn universe_dfa_accepts_everything() {
+        let mut o = SyntacticOracle;
+        let dfa = Dfa::build(&Sfa::universe(), &alphabet(), &mut o, 100).unwrap();
+        assert!(dfa.accepts_word(&[]));
+        assert!(dfa.accepts_word(&[0, 1, 0, 1]));
+        let zero = Dfa::build(&Sfa::Zero, &alphabet(), &mut o, 100).unwrap();
+        assert!(zero.included_in(&dfa).is_ok());
+        assert!(dfa.included_in(&zero).is_err());
+    }
+
+    #[test]
+    fn concatenation_with_last() {
+        // □⟨⊤⟩ ; (ins_el ∧ LAST): last event inserts el.
+        let mut o = SyntacticOracle;
+        let a = Sfa::concat(Sfa::universe(), Sfa::and(vec![ins_el(), Sfa::last()]));
+        let dfa = Dfa::build(&a, &alphabet(), &mut o, 1000).unwrap();
+        assert!(!dfa.accepts_word(&[]));
+        assert!(dfa.accepts_word(&[0]));
+        assert!(dfa.accepts_word(&[1, 0]));
+        assert!(!dfa.accepts_word(&[0, 1]));
+    }
+
+    #[test]
+    fn state_bound_is_enforced() {
+        let mut o = SyntacticOracle;
+        let inv = Sfa::globally(Sfa::implies(
+            ins_el(),
+            Sfa::next(Sfa::not(Sfa::eventually(ins_el()))),
+        ));
+        let err = Dfa::build(&inv, &alphabet(), &mut o, 1).unwrap_err();
+        assert!(matches!(err, DfaBuildError::TooManyStates(1)));
+    }
+}

@@ -1,0 +1,174 @@
+//! Concrete effect events and traces.
+
+use hat_logic::Constant;
+use std::fmt;
+
+/// A concrete effect event `op v̄ = v`: the operator that was invoked, its argument values
+/// and the value it returned (paper §3, Fig. 3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Name of the effectful operator (e.g. `put`).
+    pub op: String,
+    /// Argument values.
+    pub args: Vec<Constant>,
+    /// Result value.
+    pub result: Constant,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(op: impl Into<String>, args: Vec<Constant>, result: Constant) -> Self {
+        Event {
+            op: op.into(),
+            args,
+            result,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        for a in &self.args {
+            write!(f, " {a}")?;
+        }
+        write!(f, " = {}", self.result)
+    }
+}
+
+/// A trace: the history of effect events produced by a computation, oldest first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// The empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// A trace from a vector of events.
+    pub fn from_events(events: Vec<Event>) -> Self {
+        Trace { events }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events, oldest first.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Appends an event (the computation performed one more effect).
+    pub fn push(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// Concatenation of two traces (`α α'` in the paper).
+    pub fn concat(&self, other: &Trace) -> Trace {
+        let mut events = self.events.clone();
+        events.extend(other.events.iter().cloned());
+        Trace { events }
+    }
+
+    /// The event at position `i`, if any.
+    pub fn get(&self, i: usize) -> Option<&Event> {
+        self.events.get(i)
+    }
+
+    /// Iterates over events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// The most recent event matching the predicate, searching backwards.
+    pub fn last_matching<F: Fn(&Event) -> bool>(&self, pred: F) -> Option<&Event> {
+        self.events.iter().rev().find(|e| pred(e))
+    }
+
+    /// Whether any event matches the predicate.
+    pub fn any<F: Fn(&Event) -> bool>(&self, pred: F) -> bool {
+        self.events.iter().any(|e| pred(e))
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<Event> for Trace {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        Trace {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(k: &str, v: &str) -> Event {
+        Event::new("put", vec![Constant::atom(k), Constant::atom(v)], Constant::Unit)
+    }
+
+    #[test]
+    fn display_of_events_and_traces() {
+        let e = put("/", "dir:root");
+        assert_eq!(e.to_string(), "put \"/\" \"dir:root\" = ()");
+        let t = Trace::from_events(vec![e.clone(), put("/a", "file:1")]);
+        assert_eq!(
+            t.to_string(),
+            "[put \"/\" \"dir:root\" = (); put \"/a\" \"file:1\" = ()]"
+        );
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let t1 = Trace::from_events(vec![put("/", "dir:root")]);
+        let t2 = Trace::from_events(vec![put("/a", "dir:a")]);
+        let t = t1.concat(&t2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(0).unwrap().args[0], Constant::atom("/"));
+        assert_eq!(t.get(1).unwrap().args[0], Constant::atom("/a"));
+    }
+
+    #[test]
+    fn last_matching_searches_backwards() {
+        let t = Trace::from_events(vec![put("/a", "v1"), put("/b", "v2"), put("/a", "v3")]);
+        let last_a = t
+            .last_matching(|e| e.args[0] == Constant::atom("/a"))
+            .unwrap();
+        assert_eq!(last_a.args[1], Constant::atom("v3"));
+        assert!(t.any(|e| e.args[0] == Constant::atom("/b")));
+        assert!(!t.any(|e| e.op == "get"));
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(put("/", "dir:root"));
+        assert_eq!(t.len(), 1);
+        let collected: Trace = t.iter().cloned().collect();
+        assert_eq!(collected, t);
+    }
+}

@@ -1,0 +1,419 @@
+//! Symbolic-automaton language inclusion (paper §5.1, Algorithm 1).
+//!
+//! `Γ ⊢ A ⊆ B` holds when, under every closing substitution of the typing context `Γ`,
+//! every trace accepted by `A` is accepted by `B`. The check follows the paper:
+//!
+//! 1. collect the literals of `Γ`, `A` and `B` and build the satisfiable minterms
+//!    (SMT queries — the `#SAT` column of the evaluation);
+//! 2. for every valuation of the *context* literals (the outer loop over `φ_Γ`),
+//!    translate both automata to classical DFAs over the minterm alphabet
+//!    (alphabet transformation, Algorithm 2) and
+//! 3. check DFA language inclusion by product construction
+//!    (the `#FA⊆` column of the evaluation).
+
+use crate::ast::{OpSig, Sfa, SymbolicEvent};
+use crate::dfa::{Dfa, DfaBuildError, TransitionOracle};
+use crate::minterm::{arg_name, build_minterms, res_name, Minterm};
+use hat_logic::{Formula, Ident, Sort};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// The logical part of a typing context: in-scope variables with their sorts, and the
+/// facts (refinement qualifiers) known about them.
+#[derive(Debug, Clone, Default)]
+pub struct VarCtx {
+    /// Variables in scope (function parameters, ghost variables, let-bound values).
+    pub vars: Vec<(Ident, Sort)>,
+    /// Facts known about those variables.
+    pub facts: Vec<Formula>,
+}
+
+impl VarCtx {
+    /// Creates a context.
+    pub fn new(vars: Vec<(Ident, Sort)>, facts: Vec<Formula>) -> Self {
+        VarCtx { vars, facts }
+    }
+
+    /// Adds a variable binding.
+    pub fn push_var(&mut self, name: impl Into<Ident>, sort: Sort) {
+        self.vars.push((name.into(), sort));
+    }
+
+    /// Adds a fact.
+    pub fn push_fact(&mut self, fact: Formula) {
+        self.facts.push(fact);
+    }
+}
+
+/// The SMT interface needed by minterm construction and transition resolution.
+/// Implemented by [`hat_logic::Solver`]; wrappers can intercept calls to collect statistics.
+pub trait SolverOracle {
+    /// Is the conjunction of `facts` satisfiable, with `vars` as free constants?
+    fn is_sat(&mut self, vars: &[(Ident, Sort)], facts: &[Formula]) -> bool;
+    /// Does the conjunction of `facts` entail `goal`?
+    fn entails(&mut self, vars: &[(Ident, Sort)], facts: &[Formula], goal: &Formula) -> bool;
+    /// Number of SMT queries issued so far (for the `#SAT` column).
+    fn query_count(&self) -> usize;
+    /// Total time spent answering queries (for the `t_SAT` column).
+    fn query_time(&self) -> Duration;
+}
+
+impl SolverOracle for hat_logic::Solver {
+    fn is_sat(&mut self, vars: &[(Ident, Sort)], facts: &[Formula]) -> bool {
+        self.is_satisfiable(vars, &Formula::and(facts.to_vec()))
+    }
+
+    fn entails(&mut self, vars: &[(Ident, Sort)], facts: &[Formula], goal: &Formula) -> bool {
+        hat_logic::Solver::entails(self, vars, facts, goal)
+    }
+
+    fn query_count(&self) -> usize {
+        self.stats.queries
+    }
+
+    fn query_time(&self) -> Duration {
+        self.stats.time
+    }
+}
+
+/// Work counters for inclusion checking, matching the evaluation columns of the paper.
+#[derive(Debug, Clone, Default)]
+pub struct InclusionStats {
+    /// Number of automaton-pair inclusion checks performed (`#FA⊆`).
+    pub fa_inclusions: usize,
+    /// Number of DFAs constructed.
+    pub dfas_built: usize,
+    /// Total number of transitions across constructed DFAs (for `avg. s_FA`).
+    pub fa_transitions: usize,
+    /// Total number of states across constructed DFAs.
+    pub fa_states: usize,
+    /// Number of satisfiable minterms constructed.
+    pub minterms: usize,
+    /// Total wall-clock time spent inside inclusion checking (includes solver time).
+    pub time: Duration,
+}
+
+impl InclusionStats {
+    /// Average number of transitions per constructed DFA (the paper's `avg. s_FA`).
+    pub fn avg_fa_size(&self) -> f64 {
+        if self.dfas_built == 0 {
+            0.0
+        } else {
+            self.fa_transitions as f64 / self.dfas_built as f64
+        }
+    }
+
+    /// Merges another stats record into this one.
+    pub fn merge(&mut self, other: &InclusionStats) {
+        self.fa_inclusions += other.fa_inclusions;
+        self.dfas_built += other.dfas_built;
+        self.fa_transitions += other.fa_transitions;
+        self.fa_states += other.fa_states;
+        self.minterms += other.minterms;
+        self.time += other.time;
+    }
+}
+
+/// Resolves DFA transitions by SMT entailment, with caching.
+struct MatchOracle<'a> {
+    ctx: &'a VarCtx,
+    ops: &'a [OpSig],
+    oracle: &'a mut dyn SolverOracle,
+    event_cache: BTreeMap<(SymbolicEvent, Minterm), bool>,
+    guard_cache: BTreeMap<(Formula, Minterm), bool>,
+}
+
+impl<'a> MatchOracle<'a> {
+    fn event_vars(&self, op: &str) -> Vec<(Ident, Sort)> {
+        let mut vars = self.ctx.vars.clone();
+        if let Some(sig) = self.ops.iter().find(|o| o.name == op) {
+            for (i, (_, sort)) in sig.args.iter().enumerate() {
+                vars.push((arg_name(i), sort.clone()));
+            }
+            vars.push((res_name(), sig.ret.clone()));
+        }
+        vars
+    }
+}
+
+impl TransitionOracle for MatchOracle<'_> {
+    fn event_matches(&mut self, e: &SymbolicEvent, m: &Minterm) -> bool {
+        if e.op != m.op {
+            return false;
+        }
+        let key = (e.clone(), m.clone());
+        if let Some(&v) = self.event_cache.get(&key) {
+            return v;
+        }
+        let renamed = e.phi.rename_free_vars(&|v: &str| {
+            if v == e.result {
+                Some(res_name())
+            } else {
+                e.args.iter().position(|x| x == v).map(arg_name)
+            }
+        });
+        let mut facts = self.ctx.facts.clone();
+        facts.push(m.formula());
+        let vars = self.event_vars(&m.op);
+        let result = self.oracle.entails(&vars, &facts, &renamed);
+        self.event_cache.insert(key, result);
+        result
+    }
+
+    fn guard_holds(&mut self, phi: &Formula, m: &Minterm) -> bool {
+        let key = (phi.clone(), m.clone());
+        if let Some(&v) = self.guard_cache.get(&key) {
+            return v;
+        }
+        let mut facts = self.ctx.facts.clone();
+        facts.push(m.formula());
+        let vars = self.event_vars(&m.op);
+        let result = self.oracle.entails(&vars, &facts, phi);
+        self.guard_cache.insert(key, result);
+        result
+    }
+}
+
+/// The symbolic-automaton inclusion checker.
+///
+/// It is parameterised by the alphabet of effectful operators in scope (the library API)
+/// and a bound on the number of DFA states.
+#[derive(Debug, Clone)]
+pub struct InclusionChecker {
+    /// Signatures of every effectful operator that may appear in traces.
+    pub ops: Vec<OpSig>,
+    /// Bound on the number of DFA states per automaton.
+    pub max_states: usize,
+    /// Accumulated statistics.
+    pub stats: InclusionStats,
+}
+
+impl InclusionChecker {
+    /// Creates a checker for the given operator alphabet.
+    pub fn new(ops: Vec<OpSig>) -> Self {
+        InclusionChecker {
+            ops,
+            max_states: 8192,
+            stats: InclusionStats::default(),
+        }
+    }
+
+    /// Checks `Γ ⊢ A ⊆ B`.
+    pub fn check(
+        &mut self,
+        ctx: &VarCtx,
+        a: &Sfa,
+        b: &Sfa,
+        oracle: &mut dyn SolverOracle,
+    ) -> Result<bool, DfaBuildError> {
+        let start = Instant::now();
+        let result = self.check_inner(ctx, a, b, oracle);
+        self.stats.time += start.elapsed();
+        result
+    }
+
+    fn check_inner(
+        &mut self,
+        ctx: &VarCtx,
+        a: &Sfa,
+        b: &Sfa,
+        oracle: &mut dyn SolverOracle,
+    ) -> Result<bool, DfaBuildError> {
+        // Trivial cases avoid minterm construction entirely.
+        if a == b || matches!(a, Sfa::Zero) || b.is_universe() {
+            return Ok(true);
+        }
+        let set = build_minterms(ctx, &self.ops, &[a, b], oracle);
+        self.stats.minterms += set.minterms.len();
+        let mut matcher = MatchOracle {
+            ctx,
+            ops: &self.ops,
+            oracle,
+            event_cache: BTreeMap::new(),
+            guard_cache: BTreeMap::new(),
+        };
+        for group in set.uniform_groups() {
+            let alphabet: Vec<Minterm> = set
+                .group_indices(&group)
+                .into_iter()
+                .map(|i| set.minterms[i].clone())
+                .collect();
+            let da = Dfa::build(a, &alphabet, &mut matcher, self.max_states)?;
+            let db = Dfa::build(b, &alphabet, &mut matcher, self.max_states)?;
+            self.stats.dfas_built += 2;
+            self.stats.fa_states += da.num_states() + db.num_states();
+            self.stats.fa_transitions += da.num_transitions() + db.num_transitions();
+            self.stats.fa_inclusions += 1;
+            if da.included_in(&db).is_err() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Helpers shared by this crate's unit tests.
+#[cfg(test)]
+pub mod tests_support {
+    /// In tests the "oracle" is simply the real solver.
+    pub type PlainOracle = hat_logic::Solver;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_logic::{Solver, Term};
+
+    fn set_ops() -> Vec<OpSig> {
+        vec![
+            OpSig::new("insert", vec![("x".into(), Sort::Int)], Sort::Unit),
+            OpSig::new("mem", vec![("x".into(), Sort::Int)], Sort::Bool),
+        ]
+    }
+
+    fn ins_el() -> Sfa {
+        Sfa::event(
+            "insert",
+            vec!["x".into()],
+            "v",
+            Formula::eq(Term::var("x"), Term::var("el")),
+        )
+    }
+
+    /// I_Set(el): once el is inserted it is never inserted again.
+    fn uniqueness_invariant() -> Sfa {
+        Sfa::globally(Sfa::implies(
+            ins_el(),
+            Sfa::next(Sfa::not(Sfa::eventually(ins_el()))),
+        ))
+    }
+
+    fn ctx_el() -> VarCtx {
+        VarCtx::new(vec![("el".into(), Sort::Int)], vec![])
+    }
+
+    #[test]
+    fn reflexivity_and_trivial_cases() {
+        let mut checker = InclusionChecker::new(set_ops());
+        let mut solver = Solver::default();
+        let inv = uniqueness_invariant();
+        assert!(checker.check(&ctx_el(), &inv, &inv, &mut solver).unwrap());
+        assert!(checker.check(&ctx_el(), &Sfa::Zero, &inv, &mut solver).unwrap());
+        assert!(checker
+            .check(&ctx_el(), &inv, &Sfa::universe(), &mut solver)
+            .unwrap());
+    }
+
+    #[test]
+    fn strictly_smaller_language_is_included() {
+        let mut checker = InclusionChecker::new(set_ops());
+        let mut solver = Solver::default();
+        let never = Sfa::globally(Sfa::not(ins_el()));
+        let at_most_once = uniqueness_invariant();
+        assert!(checker
+            .check(&ctx_el(), &never, &at_most_once, &mut solver)
+            .unwrap());
+        assert!(!checker
+            .check(&ctx_el(), &at_most_once, &never, &mut solver)
+            .unwrap());
+        assert!(checker.stats.fa_inclusions >= 2);
+        assert!(checker.stats.minterms >= 2);
+        assert!(solver.stats.queries > 0);
+    }
+
+    #[test]
+    fn insert_preserves_uniqueness_only_when_not_present() {
+        let mut checker = InclusionChecker::new(set_ops());
+        let mut solver = Solver::default();
+        let inv = uniqueness_invariant();
+        // Context automaton: invariant holds and el has never been inserted.
+        let ctx_auto = Sfa::and(vec![inv.clone(), Sfa::not(Sfa::eventually(ins_el()))]);
+        // After appending a single insert of el, the invariant must still hold:
+        //   (ctx; ⟨insert el⟩ ∧ LAST) ⊆ I
+        let post = Sfa::concat(ctx_auto, Sfa::and(vec![ins_el(), Sfa::last()]));
+        assert!(checker.check(&ctx_el(), &post, &inv, &mut solver).unwrap());
+
+        // Without the "not present" assumption the insertion may duplicate el:
+        let bad_post = Sfa::concat(inv.clone(), Sfa::and(vec![ins_el(), Sfa::last()]));
+        assert!(!checker.check(&ctx_el(), &bad_post, &inv, &mut solver).unwrap());
+    }
+
+    #[test]
+    fn guard_disjunct_splits_into_uniform_groups() {
+        // A = □⟨isRoot(p)⟩ ∨ □¬⟨put key _ = v | key = p⟩ is included in itself but not in
+        // □¬⟨put key _ = v | key = p⟩ alone (the root case allows puts of p).
+        let kv_ops = vec![OpSig::new(
+            "put",
+            vec![
+                ("key".into(), Sort::named("Path.t")),
+                ("val".into(), Sort::named("Bytes.t")),
+            ],
+            Sort::Unit,
+        )];
+        let put_p = Sfa::event(
+            "put",
+            vec!["key".into(), "val".into()],
+            "v",
+            Formula::eq(Term::var("key"), Term::var("p")),
+        );
+        let root_guard = Sfa::globally(Sfa::guard(Formula::pred("isRoot", vec![Term::var("p")])));
+        let no_put_p = Sfa::globally(Sfa::not(put_p));
+        let a = Sfa::or(vec![root_guard, no_put_p.clone()]);
+        let ctx = VarCtx::new(vec![("p".into(), Sort::named("Path.t"))], vec![]);
+        let mut checker = InclusionChecker::new(kv_ops);
+        let mut solver = Solver::default();
+        assert!(checker.check(&ctx, &a, &a, &mut solver).unwrap());
+        assert!(!checker.check(&ctx, &a, &no_put_p, &mut solver).unwrap());
+        // With the context fact isRoot(p), A collapses to the universe, so inclusion in
+        // the no-put automaton still fails...
+        let ctx_root = VarCtx::new(
+            vec![("p".into(), Sort::named("Path.t"))],
+            vec![Formula::pred("isRoot", vec![Term::var("p")])],
+        );
+        assert!(!checker.check(&ctx_root, &a, &no_put_p, &mut solver).unwrap());
+        // ...but inclusion of the no-put automaton in A succeeds trivially under that fact.
+        assert!(checker.check(&ctx_root, &no_put_p, &a, &mut solver).unwrap());
+    }
+
+    #[test]
+    fn context_facts_prune_impossible_events() {
+        // Under the fact el < 0, an insert with argument 0 can never be the element el.
+        let ops = set_ops();
+        let insert_zero = Sfa::event(
+            "insert",
+            vec!["x".into()],
+            "v",
+            Formula::eq(Term::var("x"), Term::int(0)),
+        );
+        let not_ins_el = Sfa::globally(Sfa::not(ins_el()));
+        let only_zero = Sfa::globally(Sfa::or(vec![Sfa::not(Sfa::any_event()), insert_zero]));
+        let ctx = VarCtx::new(
+            vec![("el".into(), Sort::Int)],
+            vec![Formula::lt(Term::var("el"), Term::int(0))],
+        );
+        let mut checker = InclusionChecker::new(ops);
+        let mut solver = Solver::default();
+        // Every trace of inserts of 0 never inserts el (because el < 0 ≠ 0).
+        assert!(checker.check(&ctx, &only_zero, &not_ins_el, &mut solver).unwrap());
+        // Without the context fact the inclusion must fail (el could be 0).
+        let ctx_plain = ctx_el();
+        assert!(!checker
+            .check(&ctx_plain, &only_zero, &not_ins_el, &mut solver)
+            .unwrap());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut checker = InclusionChecker::new(set_ops());
+        let mut solver = Solver::default();
+        let inv = uniqueness_invariant();
+        let never = Sfa::globally(Sfa::not(ins_el()));
+        let _ = checker.check(&ctx_el(), &never, &inv, &mut solver).unwrap();
+        assert!(checker.stats.dfas_built >= 2);
+        assert!(checker.stats.fa_transitions > 0);
+        assert!(checker.stats.avg_fa_size() > 0.0);
+        let mut other = InclusionStats::default();
+        other.merge(&checker.stats);
+        assert_eq!(other.fa_inclusions, checker.stats.fa_inclusions);
+    }
+}

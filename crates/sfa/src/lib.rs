@@ -1,0 +1,31 @@
+//! # hat-sfa
+//!
+//! Symbolic finite automata (SFA) for the HAT verifier.
+//!
+//! SFAs are written as formulas of symbolic linear temporal logic on finite traces
+//! (LTLf, De Giacomo & Vardi 2013) whose atoms are *symbolic events*
+//! `⟨op x̄ = ν | φ⟩` describing a call to an effectful library operator together with a
+//! qualifier over its arguments and result. This crate provides:
+//!
+//! * concrete [`Event`]s and [`Trace`]s produced by the `hat-lang` interpreter,
+//! * the [`Sfa`] formula AST with the paper's derived operators (`♦`, `□`, `LAST`, ...),
+//! * the denotational acceptance judgement `α, i ⊨ A` ([`accept`]),
+//! * minterm construction over the symbolic alphabet ([`minterm`]),
+//! * derivative-based DFA construction over a minterm alphabet ([`dfa`]),
+//! * the language-inclusion check used by HAT subtyping ([`inclusion`]), which mirrors
+//!   Algorithm 1 of the paper (including its use of SMT queries to keep only satisfiable
+//!   minterms).
+
+pub mod accept;
+pub mod ast;
+pub mod dfa;
+pub mod event;
+pub mod inclusion;
+pub mod minterm;
+
+pub use accept::{accepts, TraceModel};
+pub use ast::{OpSig, Sfa, SymbolicEvent};
+pub use dfa::{Dfa, DfaBuildError};
+pub use event::{Event, Trace};
+pub use inclusion::{InclusionChecker, InclusionStats, SolverOracle, VarCtx};
+pub use minterm::{Minterm, MintermSet};

@@ -1,0 +1,98 @@
+//! # hat-stdlib
+//!
+//! Specifications and executable models of the backing stateful libraries used by the
+//! paper's benchmark suite (Table 1): a persistent key-value store, a stateful set, a
+//! persistent memory cell, a linked list, a tree and a graph.
+//!
+//! For each library the crate provides:
+//!
+//! * a [`hat_core::Delta`] with HAT signatures for its effectful operators, refinement
+//!   signatures for the pure helpers it relies on, and method-predicate axioms
+//!   (the analogue of the paper's Example 4.2 signatures), and
+//! * a [`hat_lang::LibraryModel`] giving the operators a trace-based executable semantics
+//!   (the analogue of Fig. 10) so that interpreter-based tests can validate verified code.
+//!
+//! The specifications are intentionally written the way a library author would write them:
+//! permissive preconditions, postconditions that only describe the event appended by the
+//! call, and intersection types when the result depends on the effect history (e.g.
+//! `exists` / `mem`).
+
+pub mod kvstore;
+pub mod libset;
+pub mod linkedlist;
+pub mod memcell;
+pub mod preds;
+pub mod stategraph;
+pub mod statetree;
+
+pub use kvstore::{kvstore_delta, kvstore_model};
+pub use libset::{set_delta, set_model};
+pub use linkedlist::{linkedlist_delta, linkedlist_model};
+pub use memcell::{memcell_delta, memcell_model};
+pub use stategraph::{graph_delta, graph_model};
+pub use statetree::{tree_delta, tree_model};
+
+/// Sorts shared by the library specifications.
+pub mod sorts {
+    use hat_logic::Sort;
+
+    /// `Path.t` — fully elaborated file-system paths.
+    pub fn path() -> Sort {
+        Sort::named("Path.t")
+    }
+
+    /// `Bytes.t` — opaque file/directory contents.
+    pub fn bytes() -> Sort {
+        Sort::named("Bytes.t")
+    }
+
+    /// `Elem.t` — elements stored in cells of the linked list / tree libraries.
+    pub fn elem() -> Sort {
+        Sort::named("Elem.t")
+    }
+
+    /// `Node.t` — graph nodes (also used as automaton states by the DFA benchmark).
+    pub fn node() -> Sort {
+        Sort::named("Node.t")
+    }
+
+    /// `Char.t` — transition labels of the DFA benchmark.
+    pub fn char_t() -> Sort {
+        Sort::named("Char.t")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_libraries_expose_alphabets() {
+        assert!(!kvstore_delta().alphabet().is_empty());
+        assert!(!set_delta().alphabet().is_empty());
+        assert!(!memcell_delta().alphabet().is_empty());
+        assert!(!linkedlist_delta().alphabet().is_empty());
+        assert!(!tree_delta().alphabet().is_empty());
+        assert!(!graph_delta().alphabet().is_empty());
+    }
+
+    #[test]
+    fn library_models_cover_their_signatures() {
+        let pairs = [
+            (kvstore_delta(), kvstore_model()),
+            (set_delta(), set_model()),
+            (memcell_delta(), memcell_model()),
+            (linkedlist_delta(), linkedlist_model()),
+            (tree_delta(), tree_model()),
+            (graph_delta(), graph_model()),
+        ];
+        for (delta, model) in pairs {
+            for op in delta.eff_ops.keys() {
+                assert!(
+                    model.ops().contains(op),
+                    "library model is missing executable semantics for `{op}`"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! A stateful integer Set library: `insert : int → unit`, `mem : int → bool`.
+
+use crate::preds::integer_axioms;
+use hat_core::delta::events::{appends, ev};
+use hat_core::{Delta, EffOpSig, HoareCase, RType, NU};
+use hat_lang::interp::{InterpError, LibraryModel};
+use hat_logic::{Constant, Formula, Sort, Term};
+use hat_sfa::Sfa;
+
+/// `P_inserted(x)`: some insert of `x` appears in the trace.
+pub fn p_inserted(x: Term) -> Sfa {
+    Sfa::eventually(ev("insert", &["x"], Formula::eq(Term::var("x"), x)))
+}
+
+/// The HAT signatures of the Set library.
+pub fn set_delta() -> Delta {
+    let mut d = Delta::new();
+    let int = RType::base(Sort::Int);
+
+    let ins_event = ev("insert", &["x"], Formula::eq(Term::var("x"), Term::var("e")));
+    d.declare_eff(
+        "insert",
+        EffOpSig {
+            ghosts: vec![],
+            params: vec![("e".into(), int.clone())],
+            cases: vec![HoareCase {
+                pre: Sfa::universe(),
+                ty: RType::base(Sort::Unit),
+                post: appends(&Sfa::universe(), ins_event),
+            }],
+        },
+    );
+
+    let mem_event = |r: bool| {
+        ev(
+            "mem",
+            &["x"],
+            Formula::and(vec![
+                Formula::eq(Term::var("x"), Term::var("e")),
+                Formula::eq(Term::var(NU), Term::bool(r)),
+            ]),
+        )
+    };
+    let present = p_inserted(Term::var("e"));
+    let absent = Sfa::not(present.clone());
+    d.declare_eff(
+        "mem",
+        EffOpSig {
+            ghosts: vec![],
+            params: vec![("e".into(), int.clone())],
+            cases: vec![
+                HoareCase {
+                    pre: present.clone(),
+                    ty: RType::bool_singleton(true),
+                    post: appends(&present, mem_event(true)),
+                },
+                HoareCase {
+                    pre: absent.clone(),
+                    ty: RType::bool_singleton(false),
+                    post: appends(&absent, mem_event(false)),
+                },
+            ],
+        },
+    );
+
+    d.axioms = integer_axioms();
+    d
+}
+
+/// Executable trace semantics of the Set library.
+pub fn set_model() -> LibraryModel {
+    let mut m = LibraryModel::new();
+    m.define("insert", |_trace, args| match args {
+        [_] => Ok(Constant::Unit),
+        _ => Err(InterpError::TypeError("insert expects 1 argument".into())),
+    });
+    m.define("mem", |trace, args| match args {
+        [x] => Ok(Constant::Bool(
+            trace.any(|e| e.op == "insert" && e.args.first() == Some(x)),
+        )),
+        _ => Err(InterpError::TypeError("mem expects 1 argument".into())),
+    });
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_lang::interp::Interpreter;
+    use hat_lang::builder::*;
+    use hat_lang::Value;
+    use hat_logic::Interpretation;
+    use hat_sfa::Trace;
+
+    #[test]
+    fn mem_reflects_insert_history() {
+        let interp = Interpreter::new(set_model(), Interpretation::new());
+        let prog = let_eff(
+            "u",
+            "insert",
+            vec![Value::int(7)],
+            let_eff("b", "mem", vec![Value::int(7)], ret(Value::var("b"))),
+        );
+        let (v, trace) = interp.eval(&Default::default(), &Trace::new(), &prog).unwrap();
+        assert_eq!(v.as_bool(), Some(true));
+        assert_eq!(trace.len(), 2);
+        let prog2 = let_eff("b", "mem", vec![Value::int(9)], ret(Value::var("b")));
+        let (v2, _) = interp.eval(&Default::default(), &Trace::new(), &prog2).unwrap();
+        assert_eq!(v2.as_bool(), Some(false));
+    }
+
+    #[test]
+    fn signatures_have_the_expected_shape() {
+        let d = set_delta();
+        assert_eq!(d.eff_ops["insert"].cases.len(), 1);
+        assert_eq!(d.eff_ops["mem"].cases.len(), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! A low-level linked-list library: node allocation and next-pointer manipulation.
+//!
+//! Operators: `newnode : int → Node.t` (allocate a cell holding a value),
+//! `setnext : Node.t → Node.t → unit` (link two cells),
+//! `hasnext : Node.t → bool`.
+//! Clients such as the Stack and Queue ADTs maintain invariants like "the list is not
+//! circular" purely in terms of the `newnode`/`setnext` event history.
+
+use crate::preds::integer_axioms;
+use crate::sorts;
+use hat_core::delta::events::{appends, ev};
+use hat_core::{Delta, EffOpSig, HoareCase, RType, NU};
+use hat_lang::interp::{InterpError, LibraryModel};
+use hat_logic::{Constant, Formula, Sort, Term};
+use hat_sfa::Sfa;
+
+/// `P_linked(n)`: node `n` has been given a successor by some `setnext`.
+pub fn p_linked(n: Term) -> Sfa {
+    Sfa::eventually(ev(
+        "setnext",
+        &["src", "dst"],
+        Formula::eq(Term::var("src"), n),
+    ))
+}
+
+/// `P_alloc(n)`: node `n` was returned by some `newnode` call.
+pub fn p_alloc(n: Term) -> Sfa {
+    Sfa::eventually(ev("newnode", &["x"], Formula::eq(Term::var(NU), n)))
+}
+
+/// The HAT signatures of the linked-list library.
+pub fn linkedlist_delta() -> Delta {
+    let mut d = Delta::new();
+    let node = RType::base(sorts::node());
+    let int = RType::base(Sort::Int);
+
+    // newnode : x:int → [□⟨⊤⟩] {ν : Node.t | ¬P_alloc(ν)} [□⟨⊤⟩; ⟨newnode x = ν⟩ ∧ LAST]
+    // Freshness of the returned node is part of the library guarantee; it is expressed by
+    // the precondition/postcondition pair of the appended event rather than the value
+    // qualifier (values cannot mention traces).
+    let new_event = ev("newnode", &["x"], Formula::eq(Term::var("x"), Term::var("e")));
+    d.declare_eff(
+        "newnode",
+        EffOpSig {
+            ghosts: vec![],
+            params: vec![("e".into(), int)],
+            cases: vec![HoareCase {
+                pre: Sfa::universe(),
+                ty: RType::base(sorts::node()),
+                post: appends(&Sfa::universe(), new_event),
+            }],
+        },
+    );
+
+    // setnext : src:Node.t → dst:Node.t → [□⟨⊤⟩] unit [□⟨⊤⟩; ⟨setnext src dst⟩ ∧ LAST]
+    let set_event = ev(
+        "setnext",
+        &["src", "dst"],
+        Formula::and(vec![
+            Formula::eq(Term::var("src"), Term::var("m")),
+            Formula::eq(Term::var("dst"), Term::var("n")),
+        ]),
+    );
+    d.declare_eff(
+        "setnext",
+        EffOpSig {
+            ghosts: vec![],
+            params: vec![("m".into(), node.clone()), ("n".into(), node.clone())],
+            cases: vec![HoareCase {
+                pre: Sfa::universe(),
+                ty: RType::base(Sort::Unit),
+                post: appends(&Sfa::universe(), set_event),
+            }],
+        },
+    );
+
+    // hasnext : n:Node.t → intersection on whether the node was ever linked.
+    let has_event = |r: bool| {
+        ev(
+            "hasnext",
+            &["src"],
+            Formula::and(vec![
+                Formula::eq(Term::var("src"), Term::var("m")),
+                Formula::eq(Term::var(NU), Term::bool(r)),
+            ]),
+        )
+    };
+    let linked = p_linked(Term::var("m"));
+    let unlinked = Sfa::not(linked.clone());
+    d.declare_eff(
+        "hasnext",
+        EffOpSig {
+            ghosts: vec![],
+            params: vec![("m".into(), node)],
+            cases: vec![
+                HoareCase {
+                    pre: linked.clone(),
+                    ty: RType::bool_singleton(true),
+                    post: appends(&linked, has_event(true)),
+                },
+                HoareCase {
+                    pre: unlinked.clone(),
+                    ty: RType::bool_singleton(false),
+                    post: appends(&unlinked, has_event(false)),
+                },
+            ],
+        },
+    );
+
+    d.axioms = integer_axioms();
+    d
+}
+
+/// Executable trace semantics of the linked-list library. Node identities are modelled as
+/// atoms `node:<k>` where `k` counts the allocations so far (freshness by construction).
+pub fn linkedlist_model() -> LibraryModel {
+    let mut m = LibraryModel::new();
+    m.define("newnode", |trace, args| match args {
+        [_] => {
+            let count = trace.iter().filter(|e| e.op == "newnode").count();
+            Ok(Constant::atom(format!("node:{count}")))
+        }
+        _ => Err(InterpError::TypeError("newnode expects 1 argument".into())),
+    });
+    m.define("setnext", |_trace, args| match args {
+        [_, _] => Ok(Constant::Unit),
+        _ => Err(InterpError::TypeError("setnext expects 2 arguments".into())),
+    });
+    m.define("hasnext", |trace, args| match args {
+        [n] => Ok(Constant::Bool(
+            trace.any(|e| e.op == "setnext" && e.args.first() == Some(n)),
+        )),
+        _ => Err(InterpError::TypeError("hasnext expects 1 argument".into())),
+    });
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_sfa::Trace;
+
+    #[test]
+    fn newnode_allocates_fresh_identities() {
+        let m = linkedlist_model();
+        let mut t = Trace::new();
+        let a = m.apply(&t, "newnode", &[Constant::Int(1)]).unwrap();
+        t.push(hat_sfa::Event::new("newnode", vec![Constant::Int(1)], a.clone()));
+        let b = m.apply(&t, "newnode", &[Constant::Int(2)]).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn signatures_cover_the_api() {
+        let d = linkedlist_delta();
+        for op in ["newnode", "setnext", "hasnext"] {
+            assert!(d.eff_ops.contains_key(op));
+        }
+        assert_eq!(d.eff_ops["hasnext"].cases.len(), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! The persistent memory-cell library of the MinSet benchmark (paper Example 4.3):
+//! `write : int → unit`, `read : unit → int`, plus `is_init : unit → bool`.
+
+use crate::preds::integer_axioms;
+use hat_core::delta::events::{appends, ev};
+use hat_core::{Delta, EffOpSig, HoareCase, RType, NU};
+use hat_lang::interp::{InterpError, LibraryModel};
+use hat_logic::{Constant, Formula, Sort, Term};
+use hat_sfa::Sfa;
+
+/// `P_written(a)`: the most recent `write` stored `a`.
+pub fn p_written(a: Term) -> Sfa {
+    Sfa::eventually(Sfa::and(vec![
+        ev("write", &["x"], Formula::eq(Term::var("x"), a)),
+        Sfa::next(Sfa::globally(Sfa::not(ev("write", &["x"], Formula::True)))),
+    ]))
+}
+
+/// `P_any_write`: some write has happened (the cell is initialised).
+pub fn p_any_write() -> Sfa {
+    Sfa::eventually(ev("write", &["x"], Formula::True))
+}
+
+/// The HAT signatures of the memory cell. `read` uses a ghost variable for the hidden cell
+/// content, exercising the abduction machinery of the checker.
+pub fn memcell_delta() -> Delta {
+    let mut d = Delta::new();
+    let int = RType::base(Sort::Int);
+
+    let write_event = ev("write", &["x"], Formula::eq(Term::var("x"), Term::var("e")));
+    d.declare_eff(
+        "write",
+        EffOpSig {
+            ghosts: vec![],
+            params: vec![("e".into(), int.clone())],
+            cases: vec![HoareCase {
+                pre: Sfa::universe(),
+                ty: RType::base(Sort::Unit),
+                post: appends(&Sfa::universe(), write_event),
+            }],
+        },
+    );
+
+    // read : a:int ⇢ unit → [P_written(a)] {ν = a} [P_written(a); ⟨read = ν | ν = a⟩ ∧ LAST]
+    let read_event = ev("read", &[], Formula::eq(Term::var(NU), Term::var("a")));
+    d.declare_eff(
+        "read",
+        EffOpSig {
+            ghosts: vec![("a".into(), Sort::Int)],
+            params: vec![("u".into(), RType::base(Sort::Unit))],
+            cases: vec![HoareCase {
+                pre: p_written(Term::var("a")),
+                ty: RType::singleton(Sort::Int, Term::var("a")),
+                post: appends(&p_written(Term::var("a")), read_event),
+            }],
+        },
+    );
+
+    // is_init : unit → intersection on whether any write has happened.
+    let init_event = |r: bool| ev("is_init", &[], Formula::eq(Term::var(NU), Term::bool(r)));
+    let initialised = p_any_write();
+    let uninitialised = Sfa::not(initialised.clone());
+    d.declare_eff(
+        "is_init",
+        EffOpSig {
+            ghosts: vec![],
+            params: vec![("u".into(), RType::base(Sort::Unit))],
+            cases: vec![
+                HoareCase {
+                    pre: initialised.clone(),
+                    ty: RType::bool_singleton(true),
+                    post: appends(&initialised, init_event(true)),
+                },
+                HoareCase {
+                    pre: uninitialised.clone(),
+                    ty: RType::bool_singleton(false),
+                    post: appends(&uninitialised, init_event(false)),
+                },
+            ],
+        },
+    );
+
+    d.axioms = integer_axioms();
+    d
+}
+
+/// Executable trace semantics of the memory cell.
+pub fn memcell_model() -> LibraryModel {
+    let mut m = LibraryModel::new();
+    m.define("write", |_trace, args| match args {
+        [_] => Ok(Constant::Unit),
+        _ => Err(InterpError::TypeError("write expects 1 argument".into())),
+    });
+    m.define("read", |trace, args| match args {
+        [_unit] => trace
+            .last_matching(|e| e.op == "write")
+            .map(|e| e.args[0].clone())
+            .ok_or_else(|| InterpError::Stuck("read of an uninitialised cell".into())),
+        _ => Err(InterpError::TypeError("read expects 1 argument".into())),
+    });
+    m.define("is_init", |trace, args| match args {
+        [_unit] => Ok(Constant::Bool(trace.any(|e| e.op == "write"))),
+        _ => Err(InterpError::TypeError("is_init expects 1 argument".into())),
+    });
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_logic::Interpretation;
+    use hat_sfa::{accepts, Event, Trace, TraceModel};
+
+    #[test]
+    fn p_written_describes_the_latest_write() {
+        let model = TraceModel::new(Interpretation::new()).bind("a", Constant::Int(3));
+        let write = |n: i64| Event::new("write", vec![Constant::Int(n)], Constant::Unit);
+        let sfa = p_written(Term::var("a"));
+        assert!(accepts(&model, &Trace::from_events(vec![write(1), write(3)]), &sfa).unwrap());
+        assert!(!accepts(&model, &Trace::from_events(vec![write(3), write(1)]), &sfa).unwrap());
+        assert!(!accepts(&model, &Trace::new(), &sfa).unwrap());
+    }
+
+    #[test]
+    fn read_requires_initialisation() {
+        let m = memcell_model();
+        let err = m.apply(&Trace::new(), "read", &[Constant::Unit]).unwrap_err();
+        assert!(matches!(err, InterpError::Stuck(_)));
+        let mut t = Trace::new();
+        t.push(Event::new("write", vec![Constant::Int(5)], Constant::Unit));
+        assert_eq!(m.apply(&t, "read", &[Constant::Unit]).unwrap(), Constant::Int(5));
+    }
+
+    #[test]
+    fn read_signature_carries_a_ghost() {
+        let d = memcell_delta();
+        assert_eq!(d.eff_ops["read"].ghosts.len(), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Method predicates and their axioms (paper §6: "the semantics of method predicates are
+//! defined via a set of lemmas in FOL").
+
+use crate::sorts;
+use hat_logic::axioms::Axiom;
+use hat_logic::{AxiomSet, Formula, Sort, Term};
+
+/// Method predicates and pure functions of the file-system benchmarks:
+/// `isRoot`, `isDir`, `isFile`, `isDel`, `parent`, `addChild`, `delChild`, `setDeleted`.
+pub fn filesystem_axioms() -> AxiomSet {
+    let mut ax = AxiomSet::new();
+    let bytes = sorts::bytes();
+    let path = sorts::path();
+    ax.declare_pred("isDir", vec![bytes.clone()]);
+    ax.declare_pred("isFile", vec![bytes.clone()]);
+    ax.declare_pred("isDel", vec![bytes.clone()]);
+    ax.declare_pred("isRoot", vec![path.clone()]);
+    ax.declare_func("parent", vec![path.clone()], path.clone());
+    ax.declare_func("addChild", vec![bytes.clone(), path.clone()], bytes.clone());
+    ax.declare_func("delChild", vec![bytes.clone(), path.clone()], bytes.clone());
+    ax.declare_func("setDeleted", vec![bytes.clone()], bytes.clone());
+
+    let b = || Term::var("b");
+    let p = || Term::var("p");
+    // A value cannot be two kinds at once.
+    ax.add_axiom(Axiom::new(
+        "dir-not-del",
+        vec![("b".into(), bytes.clone())],
+        Formula::implies(
+            Formula::pred("isDir", vec![b()]),
+            Formula::not(Formula::pred("isDel", vec![b()])),
+        ),
+    ));
+    ax.add_axiom(Axiom::new(
+        "dir-not-file",
+        vec![("b".into(), bytes.clone())],
+        Formula::implies(
+            Formula::pred("isDir", vec![b()]),
+            Formula::not(Formula::pred("isFile", vec![b()])),
+        ),
+    ));
+    ax.add_axiom(Axiom::new(
+        "file-not-del",
+        vec![("b".into(), bytes.clone())],
+        Formula::implies(
+            Formula::pred("isFile", vec![b()]),
+            Formula::not(Formula::pred("isDel", vec![b()])),
+        ),
+    ));
+    // Updating a directory's child list keeps it a directory; marking deleted makes it
+    // deleted; the root is its own parent.
+    ax.add_axiom(Axiom::new(
+        "addchild-keeps-dir",
+        vec![("b".into(), bytes.clone()), ("p".into(), path.clone())],
+        Formula::iff(
+            Formula::pred("isDir", vec![Term::app("addChild", vec![b(), p()])]),
+            Formula::pred("isDir", vec![b()]),
+        ),
+    ));
+    ax.add_axiom(Axiom::new(
+        "addchild-not-file",
+        vec![("b".into(), bytes.clone()), ("p".into(), path.clone())],
+        Formula::not(Formula::pred("isFile", vec![Term::app("addChild", vec![b(), p()])])),
+    ));
+    ax.add_axiom(Axiom::new(
+        "addchild-not-del",
+        vec![("b".into(), bytes.clone()), ("p".into(), path.clone())],
+        Formula::not(Formula::pred("isDel", vec![Term::app("addChild", vec![b(), p()])])),
+    ));
+    ax.add_axiom(Axiom::new(
+        "delchild-keeps-dir",
+        vec![("b".into(), bytes.clone()), ("p".into(), path.clone())],
+        Formula::iff(
+            Formula::pred("isDir", vec![Term::app("delChild", vec![b(), p()])]),
+            Formula::pred("isDir", vec![b()]),
+        ),
+    ));
+    ax.add_axiom(Axiom::new(
+        "setdeleted-is-del",
+        vec![("b".into(), bytes.clone())],
+        Formula::pred("isDel", vec![Term::app("setDeleted", vec![b()])]),
+    ));
+    ax.add_axiom(Axiom::new(
+        "root-parent",
+        vec![("p".into(), path.clone())],
+        Formula::implies(
+            Formula::pred("isRoot", vec![p()]),
+            Formula::eq(Term::app("parent", vec![p()]), p()),
+        ),
+    ));
+    ax
+}
+
+/// Axioms for the integer-element libraries (sets, heaps, memory cells): nothing beyond
+/// linear arithmetic, which the solver handles natively.
+pub fn integer_axioms() -> AxiomSet {
+    AxiomSet::new()
+}
+
+/// Axioms for graph benchmarks: node/character sorts are uninterpreted, so only equality
+/// reasoning is needed; declared here for symmetry and future extension.
+pub fn graph_axioms() -> AxiomSet {
+    let mut ax = AxiomSet::new();
+    ax.declare_func("srcOf", vec![Sort::named("Edge.t")], sorts::node());
+    ax
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_logic::Solver;
+
+    #[test]
+    fn filesystem_axioms_are_usable_by_the_solver() {
+        let mut solver = Solver::with_axioms(filesystem_axioms());
+        let env = vec![
+            ("b".to_string(), sorts::bytes()),
+            ("p".to_string(), sorts::path()),
+        ];
+        // isDir(b) ⊢ ¬isFile(b)
+        assert!(solver.entails(
+            &env,
+            &[Formula::pred("isDir", vec![Term::var("b")])],
+            &Formula::not(Formula::pred("isFile", vec![Term::var("b")]))
+        ));
+        // isDir(b) ⊢ isDir(addChild(b, p))
+        assert!(solver.entails(
+            &env,
+            &[Formula::pred("isDir", vec![Term::var("b")])],
+            &Formula::pred(
+                "isDir",
+                vec![Term::app("addChild", vec![Term::var("b"), Term::var("p")])]
+            )
+        ));
+        // setDeleted(b) is deleted, hence not a directory.
+        assert!(solver.entails(
+            &env,
+            &[],
+            &Formula::not(Formula::pred(
+                "isDir",
+                vec![Term::app("setDeleted", vec![Term::var("b")])]
+            ))
+        ));
+    }
+
+    #[test]
+    fn axioms_do_not_overconstrain() {
+        let mut solver = Solver::with_axioms(filesystem_axioms());
+        let env = vec![("b".to_string(), sorts::bytes())];
+        // A value may be neither a dir nor a file nor deleted.
+        assert!(solver.is_satisfiable(
+            &env,
+            &Formula::and(vec![
+                Formula::not(Formula::pred("isDir", vec![Term::var("b")])),
+                Formula::not(Formula::pred("isFile", vec![Term::var("b")])),
+                Formula::not(Formula::pred("isDel", vec![Term::var("b")])),
+            ])
+        ));
+        // And isFile alone is satisfiable.
+        assert!(solver.is_satisfiable(&env, &Formula::pred("isFile", vec![Term::var("b")])));
+    }
+}

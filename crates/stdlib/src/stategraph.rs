@@ -1,0 +1,230 @@
+//! A stateful labelled-graph library used by the DFA, ConnectedGraph and Queue benchmarks.
+//!
+//! Operators: `connect : Node.t → Char.t → Node.t → unit`,
+//! `disconnect : Node.t → Char.t → Node.t → unit`,
+//! `has_edge : Node.t → Char.t → Node.t → bool`,
+//! `add_vertex : Node.t → unit`, `is_vertex : Node.t → bool`.
+
+use crate::preds::graph_axioms;
+use crate::sorts;
+use hat_core::delta::events::{appends, ev};
+use hat_core::{Delta, EffOpSig, HoareCase, RType, NU};
+use hat_lang::interp::{InterpError, LibraryModel};
+use hat_logic::{Constant, Formula, Sort, Term};
+use hat_sfa::Sfa;
+
+/// `P_edge(s, c, t)`: the edge `s --c--> t` has been connected and not disconnected since.
+pub fn p_edge(s: Term, c: Term, t: Term) -> Sfa {
+    let connect = ev(
+        "connect",
+        &["src", "ch", "dst"],
+        Formula::and(vec![
+            Formula::eq(Term::var("src"), s.clone()),
+            Formula::eq(Term::var("ch"), c.clone()),
+            Formula::eq(Term::var("dst"), t.clone()),
+        ]),
+    );
+    let disconnect = ev(
+        "disconnect",
+        &["src", "ch", "dst"],
+        Formula::and(vec![
+            Formula::eq(Term::var("src"), s),
+            Formula::eq(Term::var("ch"), c),
+            Formula::eq(Term::var("dst"), t),
+        ]),
+    );
+    Sfa::eventually(Sfa::and(vec![
+        connect,
+        Sfa::next(Sfa::globally(Sfa::not(disconnect))),
+    ]))
+}
+
+/// `P_vertex(n)`: the vertex `n` has been added.
+pub fn p_vertex(n: Term) -> Sfa {
+    Sfa::eventually(ev("add_vertex", &["n"], Formula::eq(Term::var("n"), n)))
+}
+
+/// The HAT signatures of the graph library.
+pub fn graph_delta() -> Delta {
+    let mut d = Delta::new();
+    let node = RType::base(sorts::node());
+    let ch = RType::base(sorts::char_t());
+
+    let edge_params = vec![
+        ("s".into(), node.clone()),
+        ("c".into(), ch.clone()),
+        ("t".into(), node.clone()),
+    ];
+    let edge_event = |op: &str| {
+        ev(
+            op,
+            &["src", "ch", "dst"],
+            Formula::and(vec![
+                Formula::eq(Term::var("src"), Term::var("s")),
+                Formula::eq(Term::var("ch"), Term::var("c")),
+                Formula::eq(Term::var("dst"), Term::var("t")),
+            ]),
+        )
+    };
+    for op in ["connect", "disconnect"] {
+        d.declare_eff(
+            op,
+            EffOpSig {
+                ghosts: vec![],
+                params: edge_params.clone(),
+                cases: vec![HoareCase {
+                    pre: Sfa::universe(),
+                    ty: RType::base(Sort::Unit),
+                    post: appends(&Sfa::universe(), edge_event(op)),
+                }],
+            },
+        );
+    }
+
+    let has_event = |r: bool| {
+        ev(
+            "has_edge",
+            &["src", "ch", "dst"],
+            Formula::and(vec![
+                Formula::eq(Term::var("src"), Term::var("s")),
+                Formula::eq(Term::var("ch"), Term::var("c")),
+                Formula::eq(Term::var("dst"), Term::var("t")),
+                Formula::eq(Term::var(NU), Term::bool(r)),
+            ]),
+        )
+    };
+    let present = p_edge(Term::var("s"), Term::var("c"), Term::var("t"));
+    let absent = Sfa::not(present.clone());
+    d.declare_eff(
+        "has_edge",
+        EffOpSig {
+            ghosts: vec![],
+            params: edge_params,
+            cases: vec![
+                HoareCase {
+                    pre: present.clone(),
+                    ty: RType::bool_singleton(true),
+                    post: appends(&present, has_event(true)),
+                },
+                HoareCase {
+                    pre: absent.clone(),
+                    ty: RType::bool_singleton(false),
+                    post: appends(&absent, has_event(false)),
+                },
+            ],
+        },
+    );
+
+    let vertex_event = ev("add_vertex", &["n"], Formula::eq(Term::var("n"), Term::var("s")));
+    d.declare_eff(
+        "add_vertex",
+        EffOpSig {
+            ghosts: vec![],
+            params: vec![("s".into(), node.clone())],
+            cases: vec![HoareCase {
+                pre: Sfa::universe(),
+                ty: RType::base(Sort::Unit),
+                post: appends(&Sfa::universe(), vertex_event),
+            }],
+        },
+    );
+
+    let is_vertex_event = |r: bool| {
+        ev(
+            "is_vertex",
+            &["n"],
+            Formula::and(vec![
+                Formula::eq(Term::var("n"), Term::var("s")),
+                Formula::eq(Term::var(NU), Term::bool(r)),
+            ]),
+        )
+    };
+    let v_present = p_vertex(Term::var("s"));
+    let v_absent = Sfa::not(v_present.clone());
+    d.declare_eff(
+        "is_vertex",
+        EffOpSig {
+            ghosts: vec![],
+            params: vec![("s".into(), node)],
+            cases: vec![
+                HoareCase {
+                    pre: v_present.clone(),
+                    ty: RType::bool_singleton(true),
+                    post: appends(&v_present, is_vertex_event(true)),
+                },
+                HoareCase {
+                    pre: v_absent.clone(),
+                    ty: RType::bool_singleton(false),
+                    post: appends(&v_absent, is_vertex_event(false)),
+                },
+            ],
+        },
+    );
+
+    d.axioms = graph_axioms();
+    d
+}
+
+/// Executable trace semantics of the graph library.
+pub fn graph_model() -> LibraryModel {
+    let mut m = LibraryModel::new();
+    for op in ["connect", "disconnect"] {
+        m.define(op, |_trace, args| match args {
+            [_, _, _] => Ok(Constant::Unit),
+            _ => Err(InterpError::TypeError("edge operators expect 3 arguments".into())),
+        });
+    }
+    m.define("has_edge", |trace, args| match args {
+        [s, c, t] => {
+            let mut present = false;
+            for e in trace.iter() {
+                if e.args.len() == 3 && &e.args[0] == s && &e.args[1] == c && &e.args[2] == t {
+                    match e.op.as_str() {
+                        "connect" => present = true,
+                        "disconnect" => present = false,
+                        _ => {}
+                    }
+                }
+            }
+            Ok(Constant::Bool(present))
+        }
+        _ => Err(InterpError::TypeError("has_edge expects 3 arguments".into())),
+    });
+    m.define("add_vertex", |_trace, args| match args {
+        [_] => Ok(Constant::Unit),
+        _ => Err(InterpError::TypeError("add_vertex expects 1 argument".into())),
+    });
+    m.define("is_vertex", |trace, args| match args {
+        [n] => Ok(Constant::Bool(
+            trace.any(|e| e.op == "add_vertex" && e.args.first() == Some(n)),
+        )),
+        _ => Err(InterpError::TypeError("is_vertex expects 1 argument".into())),
+    });
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_sfa::{Event, Trace};
+
+    #[test]
+    fn has_edge_respects_disconnect() {
+        let m = graph_model();
+        let a = || Constant::atom("n1");
+        let b = || Constant::atom("n2");
+        let c = || Constant::atom("x");
+        let mut t = Trace::new();
+        t.push(Event::new("connect", vec![a(), c(), b()], Constant::Unit));
+        assert_eq!(m.apply(&t, "has_edge", &[a(), c(), b()]).unwrap(), Constant::Bool(true));
+        t.push(Event::new("disconnect", vec![a(), c(), b()], Constant::Unit));
+        assert_eq!(m.apply(&t, "has_edge", &[a(), c(), b()]).unwrap(), Constant::Bool(false));
+    }
+
+    #[test]
+    fn delta_shape() {
+        let d = graph_delta();
+        assert_eq!(d.eff_ops.len(), 5);
+        assert_eq!(d.eff_ops["has_edge"].cases.len(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! A stateful binary-tree library used by the Set/Heap/LazySet/FileSystem benchmarks.
+//!
+//! Operators: `addroot : int → unit`, `addchild : int → int → unit` (attach `child` below
+//! `parent`), `contains : int → bool`. Clients express properties like "the tree is a
+//! binary search tree" or "parents are directories" over the `addchild` event history.
+
+use crate::preds::integer_axioms;
+use hat_core::delta::events::{appends, ev};
+use hat_core::{Delta, EffOpSig, HoareCase, RType, NU};
+use hat_lang::interp::{InterpError, LibraryModel};
+use hat_logic::{Constant, Formula, Sort, Term};
+use hat_sfa::Sfa;
+
+/// `P_in_tree(x)`: the value `x` has been added to the tree (as root or as a child).
+pub fn p_in_tree(x: Term) -> Sfa {
+    Sfa::or(vec![
+        Sfa::eventually(ev("addroot", &["r"], Formula::eq(Term::var("r"), x.clone()))),
+        Sfa::eventually(ev(
+            "addchild",
+            &["parent", "child"],
+            Formula::eq(Term::var("child"), x),
+        )),
+    ])
+}
+
+/// The HAT signatures of the tree library.
+pub fn tree_delta() -> Delta {
+    let mut d = Delta::new();
+    let int = RType::base(Sort::Int);
+
+    let root_event = ev("addroot", &["r"], Formula::eq(Term::var("r"), Term::var("x")));
+    d.declare_eff(
+        "addroot",
+        EffOpSig {
+            ghosts: vec![],
+            params: vec![("x".into(), int.clone())],
+            cases: vec![HoareCase {
+                pre: Sfa::universe(),
+                ty: RType::base(Sort::Unit),
+                post: appends(&Sfa::universe(), root_event),
+            }],
+        },
+    );
+
+    let child_event = ev(
+        "addchild",
+        &["parent", "child"],
+        Formula::and(vec![
+            Formula::eq(Term::var("parent"), Term::var("p")),
+            Formula::eq(Term::var("child"), Term::var("c")),
+        ]),
+    );
+    d.declare_eff(
+        "addchild",
+        EffOpSig {
+            ghosts: vec![],
+            params: vec![("p".into(), int.clone()), ("c".into(), int.clone())],
+            cases: vec![HoareCase {
+                pre: Sfa::universe(),
+                ty: RType::base(Sort::Unit),
+                post: appends(&Sfa::universe(), child_event),
+            }],
+        },
+    );
+
+    let contains_event = |r: bool| {
+        ev(
+            "contains",
+            &["q"],
+            Formula::and(vec![
+                Formula::eq(Term::var("q"), Term::var("x")),
+                Formula::eq(Term::var(NU), Term::bool(r)),
+            ]),
+        )
+    };
+    let present = p_in_tree(Term::var("x"));
+    let absent = Sfa::not(present.clone());
+    d.declare_eff(
+        "contains",
+        EffOpSig {
+            ghosts: vec![],
+            params: vec![("x".into(), int)],
+            cases: vec![
+                HoareCase {
+                    pre: present.clone(),
+                    ty: RType::bool_singleton(true),
+                    post: appends(&present, contains_event(true)),
+                },
+                HoareCase {
+                    pre: absent.clone(),
+                    ty: RType::bool_singleton(false),
+                    post: appends(&absent, contains_event(false)),
+                },
+            ],
+        },
+    );
+
+    d.axioms = integer_axioms();
+    d
+}
+
+/// Executable trace semantics of the tree library.
+pub fn tree_model() -> LibraryModel {
+    let mut m = LibraryModel::new();
+    m.define("addroot", |_trace, args| match args {
+        [_] => Ok(Constant::Unit),
+        _ => Err(InterpError::TypeError("addroot expects 1 argument".into())),
+    });
+    m.define("addchild", |_trace, args| match args {
+        [_, _] => Ok(Constant::Unit),
+        _ => Err(InterpError::TypeError("addchild expects 2 arguments".into())),
+    });
+    m.define("contains", |trace, args| match args {
+        [x] => Ok(Constant::Bool(trace.any(|e| {
+            (e.op == "addroot" && e.args.first() == Some(x))
+                || (e.op == "addchild" && e.args.get(1) == Some(x))
+        }))),
+        _ => Err(InterpError::TypeError("contains expects 1 argument".into())),
+    });
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_sfa::{Event, Trace};
+
+    #[test]
+    fn contains_tracks_roots_and_children() {
+        let m = tree_model();
+        let mut t = Trace::new();
+        t.push(Event::new("addroot", vec![Constant::Int(10)], Constant::Unit));
+        t.push(Event::new(
+            "addchild",
+            vec![Constant::Int(10), Constant::Int(5)],
+            Constant::Unit,
+        ));
+        assert_eq!(m.apply(&t, "contains", &[Constant::Int(5)]).unwrap(), Constant::Bool(true));
+        assert_eq!(m.apply(&t, "contains", &[Constant::Int(7)]).unwrap(), Constant::Bool(false));
+    }
+
+    #[test]
+    fn delta_shape() {
+        let d = tree_delta();
+        assert_eq!(d.eff_ops.len(), 3);
+        assert_eq!(d.eff_ops["contains"].cases.len(), 2);
+    }
+}

@@ -1,0 +1,444 @@
+//! The DFA and ConnectedGraph configurations (rows 16–19 of Table 1/2).
+
+use crate::stacks::at_most_once;
+use crate::{inv_sig, Benchmark, Method};
+use hat_core::delta::events::ev;
+use hat_core::RType;
+use hat_lang::builder::*;
+use hat_lang::Value;
+use hat_logic::{Formula, Sort, Term};
+use hat_sfa::Sfa;
+use hat_stdlib::{graph_delta, graph_model, kvstore_delta, kvstore_model, set_delta, set_model, sorts};
+
+/// The determinism invariant `I_DFA(n, c)` of Example 4.5: after connecting a transition
+/// out of `(n, c)`, no further transition out of `(n, c)` may be connected until one has
+/// been disconnected.
+pub fn i_dfa(n: Term, c: Term) -> Sfa {
+    let connect_nc = ev(
+        "connect",
+        &["src", "ch", "dst"],
+        Formula::and(vec![
+            Formula::eq(Term::var("src"), n.clone()),
+            Formula::eq(Term::var("ch"), c.clone()),
+        ]),
+    );
+    let disconnect_nc = ev(
+        "disconnect",
+        &["src", "ch", "dst"],
+        Formula::and(vec![
+            Formula::eq(Term::var("src"), n),
+            Formula::eq(Term::var("ch"), c),
+        ]),
+    );
+    Sfa::globally(Sfa::not(Sfa::and(vec![
+        connect_nc.clone(),
+        Sfa::next(Sfa::until(Sfa::not(disconnect_nc), connect_nc)),
+    ])))
+}
+
+/// DFA over the graph library.
+fn dfa_graph() -> Benchmark {
+    let ghosts = vec![("n".to_string(), sorts::node()), ("c".to_string(), sorts::char_t())];
+    let inv = i_dfa(Term::var("n"), Term::var("c"));
+    let node = RType::base(sorts::node());
+    let ch = RType::base(sorts::char_t());
+    let methods = vec![
+        // Replace the transition out of (s, x): disconnect whatever was there, then connect.
+        Method::ok(
+            inv_sig(
+                "add_transition",
+                &ghosts,
+                vec![
+                    ("s".into(), node.clone()),
+                    ("x".into(), ch.clone()),
+                    ("old".into(), node.clone()),
+                    ("t".into(), node.clone()),
+                ],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
+            let_eff(
+                "u1",
+                "disconnect",
+                vec![Value::var("s"), Value::var("x"), Value::var("old")],
+                let_eff(
+                    "u2",
+                    "connect",
+                    vec![Value::var("s"), Value::var("x"), Value::var("t")],
+                    ret(Value::unit()),
+                ),
+            ),
+        ),
+        Method::ok(
+            inv_sig(
+                "del_transition",
+                &ghosts,
+                vec![
+                    ("s".into(), node.clone()),
+                    ("x".into(), ch.clone()),
+                    ("t".into(), node.clone()),
+                ],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
+            let_eff(
+                "u",
+                "disconnect",
+                vec![Value::var("s"), Value::var("x"), Value::var("t")],
+                ret(Value::unit()),
+            ),
+        ),
+        Method::ok(
+            inv_sig(
+                "is_transition",
+                &ghosts,
+                vec![
+                    ("s".into(), node.clone()),
+                    ("x".into(), ch.clone()),
+                    ("t".into(), node.clone()),
+                ],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff(
+                "b",
+                "has_edge",
+                vec![Value::var("s"), Value::var("x"), Value::var("t")],
+                ret(Value::var("b")),
+            ),
+        ),
+        Method::ok(
+            inv_sig("add_node", &ghosts, vec![("s".into(), node.clone())], RType::base(Sort::Unit), &inv),
+            let_eff("u", "add_vertex", vec![Value::var("s")], ret(Value::unit())),
+        ),
+        Method::buggy(
+            inv_sig(
+                "add_transition_bad",
+                &ghosts,
+                vec![
+                    ("s".into(), node.clone()),
+                    ("x".into(), ch.clone()),
+                    ("t".into(), node.clone()),
+                    ("t2".into(), node.clone()),
+                ],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
+            // Connects two transitions out of (s, x) without an intervening disconnect.
+            let_eff(
+                "u1",
+                "connect",
+                vec![Value::var("s"), Value::var("x"), Value::var("t")],
+                let_eff(
+                    "u2",
+                    "connect",
+                    vec![Value::var("s"), Value::var("x"), Value::var("t2")],
+                    ret(Value::unit()),
+                ),
+            ),
+        ),
+    ];
+    Benchmark {
+        adt: "DFA",
+        library: "Graph",
+        invariant_description: "Determinism of transitions",
+        policy: "Two states can have at most one edge for a character",
+        ghosts,
+        invariant: inv,
+        delta: graph_delta(),
+        model: graph_model(),
+        methods,
+        slow: true,
+    }
+}
+
+/// DFA over the key-value store: a transition's (state, character) pair is encoded as the
+/// key; determinism is "each key is written at most once" (stale transitions are removed
+/// by a fresh key generation in the client, as in the paper's KVStore encoding).
+fn dfa_kvstore() -> Benchmark {
+    let ghosts = vec![("n".to_string(), sorts::path())];
+    let inv = at_most_once(ev(
+        "put",
+        &["key", "val"],
+        Formula::eq(Term::var("key"), Term::var("n")),
+    ));
+    let path = RType::base(sorts::path());
+    let bytes = RType::base(sorts::bytes());
+    let methods = vec![
+        Method::ok(
+            inv_sig(
+                "add_transition",
+                &ghosts,
+                vec![("nc".into(), path.clone()), ("target".into(), bytes.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff(
+                "present",
+                "exists",
+                vec![Value::var("nc")],
+                ite(
+                    Value::var("present"),
+                    ret(Value::bool(false)),
+                    let_eff(
+                        "u",
+                        "put",
+                        vec![Value::var("nc"), Value::var("target")],
+                        ret(Value::bool(true)),
+                    ),
+                ),
+            ),
+        ),
+        Method::ok(
+            inv_sig(
+                "is_transition",
+                &ghosts,
+                vec![("nc".into(), path.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff("b", "exists", vec![Value::var("nc")], ret(Value::var("b"))),
+        ),
+        Method::ok(
+            inv_sig(
+                "is_node",
+                &ghosts,
+                vec![("nc".into(), path.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff("b", "exists", vec![Value::var("nc")], ret(Value::var("b"))),
+        ),
+        Method::buggy(
+            inv_sig(
+                "add_transition_bad",
+                &ghosts,
+                vec![("nc".into(), path.clone()), ("target".into(), bytes.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff(
+                "u",
+                "put",
+                vec![Value::var("nc"), Value::var("target")],
+                ret(Value::bool(true)),
+            ),
+        ),
+    ];
+    Benchmark {
+        adt: "DFA",
+        library: "KVStore",
+        invariant_description: "Determinism of transitions",
+        policy: "Each (state, character) key holds at most one stored transition",
+        ghosts,
+        invariant: inv,
+        delta: kvstore_delta(),
+        model: kvstore_model(),
+        methods,
+        slow: false,
+    }
+}
+
+/// ConnectedGraph over the Set library: edges are stored as encoded pairs, and no pair is
+/// inserted twice.
+fn connectedgraph_set() -> Benchmark {
+    let ghosts = vec![("el".to_string(), Sort::Int)];
+    let inv = at_most_once(ev("insert", &["x"], Formula::eq(Term::var("x"), Term::var("el"))));
+    let int = RType::base(Sort::Int);
+    let methods = vec![
+        Method::ok(
+            inv_sig("add_transition", &ghosts, vec![("pair".into(), int.clone())], RType::base(Sort::Unit), &inv),
+            let_eff(
+                "present",
+                "mem",
+                vec![Value::var("pair")],
+                ite(
+                    Value::var("present"),
+                    ret(Value::unit()),
+                    let_eff("u", "insert", vec![Value::var("pair")], ret(Value::unit())),
+                ),
+            ),
+        ),
+        Method::ok(
+            inv_sig("is_transition", &ghosts, vec![("pair".into(), int.clone())], RType::base(Sort::Bool), &inv),
+            let_eff("b", "mem", vec![Value::var("pair")], ret(Value::var("b"))),
+        ),
+        Method::ok(
+            inv_sig("singleton", &ghosts, vec![("pair".into(), int.clone())], RType::base(Sort::Unit), &inv),
+            let_eff(
+                "present",
+                "mem",
+                vec![Value::var("pair")],
+                ite(
+                    Value::var("present"),
+                    ret(Value::unit()),
+                    let_eff("u", "insert", vec![Value::var("pair")], ret(Value::unit())),
+                ),
+            ),
+        ),
+        Method::buggy(
+            inv_sig("add_transition_bad", &ghosts, vec![("pair".into(), int)], RType::base(Sort::Unit), &inv),
+            let_eff("u", "insert", vec![Value::var("pair")], ret(Value::unit())),
+        ),
+    ];
+    Benchmark {
+        adt: "ConnectedGraph",
+        library: "Set",
+        invariant_description: "Connectivity",
+        policy: "The set stores unique (source, target) pairs",
+        ghosts,
+        invariant: inv,
+        delta: set_delta(),
+        model: set_model(),
+        methods,
+        slow: false,
+    }
+}
+
+/// ConnectedGraph over the graph library: no self loops are ever added, so every edge
+/// genuinely connects two distinct vertices.
+fn connectedgraph_graph() -> Benchmark {
+    let ghosts = vec![("n".to_string(), sorts::node())];
+    let self_loop = ev(
+        "connect",
+        &["src", "ch", "dst"],
+        Formula::and(vec![
+            Formula::eq(Term::var("src"), Term::var("n")),
+            Formula::eq(Term::var("dst"), Term::var("n")),
+        ]),
+    );
+    let inv = Sfa::globally(Sfa::not(self_loop));
+    let node = RType::base(sorts::node());
+    let ch = RType::base(sorts::char_t());
+    let methods = vec![
+        Method::ok(
+            inv_sig(
+                "add_transition",
+                &ghosts,
+                vec![
+                    ("s".into(), node.clone()),
+                    ("t".into(), node.clone()),
+                    ("lbl".into(), ch.clone()),
+                ],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_pure(
+                "same",
+                "==",
+                vec![Value::var("s"), Value::var("t")],
+                ite(
+                    Value::var("same"),
+                    ret(Value::bool(false)),
+                    let_eff(
+                        "u",
+                        "connect",
+                        vec![Value::var("s"), Value::var("lbl"), Value::var("t")],
+                        ret(Value::bool(true)),
+                    ),
+                ),
+            ),
+        ),
+        Method::ok(
+            inv_sig("add_node", &ghosts, vec![("s".into(), node.clone())], RType::base(Sort::Unit), &inv),
+            let_eff("u", "add_vertex", vec![Value::var("s")], ret(Value::unit())),
+        ),
+        Method::ok(
+            inv_sig("is_node", &ghosts, vec![("s".into(), node.clone())], RType::base(Sort::Bool), &inv),
+            let_eff("b", "is_vertex", vec![Value::var("s")], ret(Value::var("b"))),
+        ),
+        Method::ok(
+            inv_sig(
+                "is_transition",
+                &ghosts,
+                vec![
+                    ("s".into(), node.clone()),
+                    ("t".into(), node.clone()),
+                    ("lbl".into(), ch.clone()),
+                ],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff(
+                "b",
+                "has_edge",
+                vec![Value::var("s"), Value::var("lbl"), Value::var("t")],
+                ret(Value::var("b")),
+            ),
+        ),
+        Method::buggy(
+            inv_sig(
+                "add_transition_bad",
+                &ghosts,
+                vec![("s".into(), node.clone()), ("lbl".into(), ch)],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
+            let_eff(
+                "u",
+                "connect",
+                vec![Value::var("s"), Value::var("lbl"), Value::var("s")],
+                ret(Value::unit()),
+            ),
+        ),
+    ];
+    Benchmark {
+        adt: "ConnectedGraph",
+        library: "Graph",
+        invariant_description: "Connectivity",
+        policy: "All edges connect two distinct nodes (no self loops)",
+        ghosts,
+        invariant: inv,
+        delta: graph_delta(),
+        model: graph_model(),
+        methods,
+        slow: false,
+    }
+}
+
+/// The configurations defined in this module.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![dfa_kvstore(), dfa_graph(), connectedgraph_set(), connectedgraph_graph()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_logic::{Constant, Interpretation};
+    use hat_sfa::{accepts, Event, Trace, TraceModel};
+
+    #[test]
+    fn four_configurations() {
+        assert_eq!(benchmarks().len(), 4);
+    }
+
+    #[test]
+    fn dfa_invariant_rejects_nondeterminism() {
+        let model = TraceModel::new(Interpretation::new())
+            .bind("n", Constant::atom("q0"))
+            .bind("c", Constant::atom("a"));
+        let inv = i_dfa(Term::var("n"), Term::var("c"));
+        let connect = |s: &str, c: &str, t: &str| {
+            Event::new(
+                "connect",
+                vec![Constant::atom(s), Constant::atom(c), Constant::atom(t)],
+                Constant::Unit,
+            )
+        };
+        let disconnect = |s: &str, c: &str, t: &str| {
+            Event::new(
+                "disconnect",
+                vec![Constant::atom(s), Constant::atom(c), Constant::atom(t)],
+                Constant::Unit,
+            )
+        };
+        let ok = Trace::from_events(vec![
+            connect("q0", "a", "q1"),
+            disconnect("q0", "a", "q1"),
+            connect("q0", "a", "q2"),
+        ]);
+        assert!(accepts(&model, &ok, &inv).unwrap());
+        let bad = Trace::from_events(vec![connect("q0", "a", "q1"), connect("q0", "a", "q2")]);
+        assert!(!accepts(&model, &bad, &inv).unwrap());
+    }
+}

@@ -1,0 +1,486 @@
+//! Stack, Queue and Heap configurations backed by the LinkedList, KVStore and Graph
+//! libraries (rows 1–4, 8 of Table 1/2).
+
+use crate::{inv_sig, Benchmark, Method};
+use hat_core::delta::events::ev;
+use hat_core::RType;
+use hat_lang::builder::*;
+use hat_lang::Value;
+use hat_logic::{Formula, Sort, Term};
+use hat_sfa::Sfa;
+use hat_stdlib::{
+    kvstore_delta, kvstore_model, linkedlist_delta, linkedlist_model, graph_delta, graph_model,
+    sorts,
+};
+
+/// "An event matching `e` happens at most once": `□(e ⇒ ◯¬♦e)`.
+pub fn at_most_once(e: Sfa) -> Sfa {
+    Sfa::globally(Sfa::implies(e.clone(), Sfa::next(Sfa::not(Sfa::eventually(e)))))
+}
+
+fn node_ghost() -> Vec<(String, Sort)> {
+    vec![("n".to_string(), sorts::node())]
+}
+
+/// Stack over the linked-list library: the next pointer of a cell is set at most once,
+/// which rules out cycles among the cells the stack has allocated.
+fn stack_linkedlist() -> Benchmark {
+    let setnext_n = ev(
+        "setnext",
+        &["src", "dst"],
+        Formula::eq(Term::var("src"), Term::var("n")),
+    );
+    let inv = at_most_once(setnext_n);
+    let ghosts = node_ghost();
+    let node = RType::base(sorts::node());
+    let methods = vec![
+        // cons top elem: allocate a node and link it in front of the current top, but only
+        // if the fresh node has never been linked before.
+        Method::ok(
+            inv_sig(
+                "cons",
+                &ghosts,
+                vec![("top".into(), node.clone()), ("elem".into(), RType::base(Sort::Int))],
+                node.clone(),
+                &inv,
+            ),
+            let_eff(
+                "nd",
+                "newnode",
+                vec![Value::var("elem")],
+                let_eff(
+                    "linked",
+                    "hasnext",
+                    vec![Value::var("nd")],
+                    ite(
+                        Value::var("linked"),
+                        ret(Value::var("nd")),
+                        let_eff(
+                            "u",
+                            "setnext",
+                            vec![Value::var("nd"), Value::var("top")],
+                            ret(Value::var("nd")),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        Method::ok(
+            inv_sig(
+                "is_empty",
+                &ghosts,
+                vec![("top".into(), node.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff("b", "hasnext", vec![Value::var("top")], ret(Value::var("b"))),
+        ),
+        Method::ok(
+            inv_sig(
+                "empty",
+                &ghosts,
+                vec![("elem".into(), RType::base(Sort::Int))],
+                node.clone(),
+                &inv,
+            ),
+            let_eff("nd", "newnode", vec![Value::var("elem")], ret(Value::var("nd"))),
+        ),
+        // Buggy cons: re-link the node unconditionally (may set the same cell's next twice).
+        Method::buggy(
+            inv_sig(
+                "cons_bad",
+                &ghosts,
+                vec![("top".into(), node.clone()), ("nd".into(), node.clone())],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
+            let_eff(
+                "u",
+                "setnext",
+                vec![Value::var("nd"), Value::var("top")],
+                let_eff(
+                    "u2",
+                    "setnext",
+                    vec![Value::var("nd"), Value::var("top")],
+                    ret(Value::unit()),
+                ),
+            ),
+        ),
+    ];
+    Benchmark {
+        adt: "Stack",
+        library: "LinkedList",
+        invariant_description: "LIFO-property",
+        policy: "The addresses that store elements are unique (no cell is re-linked)",
+        ghosts,
+        invariant: inv,
+        delta: linkedlist_delta(),
+        model: linkedlist_model(),
+        methods,
+        slow: false,
+    }
+}
+
+/// Stack over the key-value store: cells are store keys and each key is written at most
+/// once, so the chain of cells can never become circular.
+fn stack_kvstore() -> Benchmark {
+    let ghosts = vec![("p".to_string(), sorts::path())];
+    let put_p = ev("put", &["key", "val"], Formula::eq(Term::var("key"), Term::var("p")));
+    let inv = at_most_once(put_p);
+    let path = RType::base(sorts::path());
+    let bytes = RType::base(sorts::bytes());
+    let guarded_put = |name: &str| {
+        Method::ok(
+            inv_sig(
+                name,
+                &ghosts,
+                vec![("cell".into(), path.clone()), ("payload".into(), bytes.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff(
+                "present",
+                "exists",
+                vec![Value::var("cell")],
+                ite(
+                    Value::var("present"),
+                    ret(Value::bool(false)),
+                    let_eff(
+                        "u",
+                        "put",
+                        vec![Value::var("cell"), Value::var("payload")],
+                        ret(Value::bool(true)),
+                    ),
+                ),
+            ),
+        )
+    };
+    let methods = vec![
+        guarded_put("cons"),
+        guarded_put("concat_aux"),
+        Method::ok(
+            inv_sig(
+                "head",
+                &ghosts,
+                vec![("cell".into(), path.clone()), ("default".into(), bytes.clone())],
+                bytes.clone(),
+                &inv,
+            ),
+            // `get` may only be called when the cell is known to exist.
+            let_eff(
+                "present",
+                "exists",
+                vec![Value::var("cell")],
+                ite(
+                    Value::var("present"),
+                    let_eff("v", "get", vec![Value::var("cell")], ret(Value::var("v"))),
+                    ret(Value::var("default")),
+                ),
+            ),
+        ),
+        Method::ok(
+            inv_sig(
+                "is_empty",
+                &ghosts,
+                vec![("cell".into(), path.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff("present", "exists", vec![Value::var("cell")], ret(Value::var("present"))),
+        ),
+        Method::buggy(
+            inv_sig(
+                "cons_bad",
+                &ghosts,
+                vec![("cell".into(), path.clone()), ("payload".into(), bytes.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff(
+                "u",
+                "put",
+                vec![Value::var("cell"), Value::var("payload")],
+                ret(Value::bool(true)),
+            ),
+        ),
+    ];
+    Benchmark {
+        adt: "Stack",
+        library: "KVStore",
+        invariant_description: "LIFO-property",
+        policy: "Not a circular linked list (each cell key is written at most once)",
+        ghosts,
+        invariant: inv,
+        delta: kvstore_delta(),
+        model: kvstore_model(),
+        methods,
+        slow: false,
+    }
+}
+
+/// Queue over the linked list: symmetric to the stack, but the uniqueness constraint is on
+/// the *target* of `setnext` (a cell is enqueued behind at most one predecessor).
+fn queue_linkedlist() -> Benchmark {
+    let ghosts = node_ghost();
+    let target_n = ev(
+        "setnext",
+        &["src", "dst"],
+        Formula::eq(Term::var("dst"), Term::var("n")),
+    );
+    let inv = at_most_once(target_n);
+    let node = RType::base(sorts::node());
+    let methods = vec![
+        Method::ok(
+            inv_sig(
+                "snoc",
+                &ghosts,
+                vec![("tail".into(), node.clone()), ("elem".into(), RType::base(Sort::Int))],
+                node.clone(),
+                &inv,
+            ),
+            // Allocate the new last cell and hang it behind the current tail only when the
+            // tail has no successor yet.
+            let_eff(
+                "nd",
+                "newnode",
+                vec![Value::var("elem")],
+                let_eff(
+                    "linked",
+                    "hasnext",
+                    vec![Value::var("tail")],
+                    ite(
+                        Value::var("linked"),
+                        ret(Value::var("nd")),
+                        let_eff(
+                            "u",
+                            "setnext",
+                            vec![Value::var("tail"), Value::var("nd")],
+                            ret(Value::var("nd")),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        Method::ok(
+            inv_sig(
+                "is_empty",
+                &ghosts,
+                vec![("front".into(), node.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff("b", "hasnext", vec![Value::var("front")], ret(Value::var("b"))),
+        ),
+        Method::ok(
+            inv_sig(
+                "empty",
+                &ghosts,
+                vec![("elem".into(), RType::base(Sort::Int))],
+                node.clone(),
+                &inv,
+            ),
+            let_eff("nd", "newnode", vec![Value::var("elem")], ret(Value::var("nd"))),
+        ),
+        Method::buggy(
+            inv_sig(
+                "snoc_bad",
+                &ghosts,
+                vec![("tail".into(), node.clone()), ("nd".into(), node.clone())],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
+            let_eff(
+                "u",
+                "setnext",
+                vec![Value::var("tail"), Value::var("nd")],
+                let_eff(
+                    "u2",
+                    "setnext",
+                    vec![Value::var("tail"), Value::var("nd")],
+                    ret(Value::unit()),
+                ),
+            ),
+        ),
+    ];
+    Benchmark {
+        adt: "Queue",
+        library: "LinkedList",
+        invariant_description: "FIFO-property",
+        policy: "Not a circular linked list (each cell is enqueued behind at most once)",
+        ghosts,
+        invariant: inv,
+        delta: linkedlist_delta(),
+        model: linkedlist_model(),
+        methods,
+        slow: false,
+    }
+}
+
+/// Queue over the graph library: vertices are queue cells and edges the "next" relation.
+/// The invariant forbids self loops and gives every vertex out-degree at most one.
+fn queue_graph() -> Benchmark {
+    let ghosts = node_ghost();
+    let self_loop = ev(
+        "connect",
+        &["src", "ch", "dst"],
+        Formula::and(vec![
+            Formula::eq(Term::var("src"), Term::var("n")),
+            Formula::eq(Term::var("dst"), Term::var("n")),
+        ]),
+    );
+    let out_edge = ev(
+        "connect",
+        &["src", "ch", "dst"],
+        Formula::eq(Term::var("src"), Term::var("n")),
+    );
+    let inv = Sfa::and(vec![
+        Sfa::globally(Sfa::not(self_loop)),
+        at_most_once(out_edge),
+    ]);
+    let node = RType::base(sorts::node());
+    let ch = RType::base(sorts::char_t());
+    let methods = vec![
+        Method::ok(
+            inv_sig(
+                "snoc",
+                &ghosts,
+                vec![
+                    ("tail".into(), node.clone()),
+                    ("fresh".into(), node.clone()),
+                    ("lbl".into(), ch.clone()),
+                ],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            // Only link tail → fresh when the two cells differ and tail has no successor.
+            let_pure(
+                "same",
+                "==",
+                vec![Value::var("tail"), Value::var("fresh")],
+                ite(
+                    Value::var("same"),
+                    ret(Value::bool(false)),
+                    let_eff(
+                        "linked",
+                        "has_edge",
+                        vec![Value::var("tail"), Value::var("lbl"), Value::var("fresh")],
+                        ite(
+                            Value::var("linked"),
+                            ret(Value::bool(false)),
+                            let_eff(
+                                "u",
+                                "connect",
+                                vec![Value::var("tail"), Value::var("lbl"), Value::var("fresh")],
+                                ret(Value::bool(true)),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        Method::ok(
+            inv_sig(
+                "is_empty",
+                &ghosts,
+                vec![
+                    ("front".into(), node.clone()),
+                    ("next".into(), node.clone()),
+                    ("lbl".into(), ch.clone()),
+                ],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff(
+                "b",
+                "has_edge",
+                vec![Value::var("front"), Value::var("lbl"), Value::var("next")],
+                ret(Value::var("b")),
+            ),
+        ),
+        Method::ok(
+            inv_sig(
+                "empty",
+                &ghosts,
+                vec![("cell".into(), node.clone())],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
+            let_eff("u", "add_vertex", vec![Value::var("cell")], ret(Value::unit())),
+        ),
+        Method::buggy(
+            inv_sig(
+                "snoc_bad",
+                &ghosts,
+                vec![("tail".into(), node.clone()), ("lbl".into(), ch.clone())],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
+            // Self loop: connects a cell to itself.
+            let_eff(
+                "u",
+                "connect",
+                vec![Value::var("tail"), Value::var("lbl"), Value::var("tail")],
+                ret(Value::unit()),
+            ),
+        ),
+    ];
+    Benchmark {
+        adt: "Queue",
+        library: "Graph",
+        invariant_description: "FIFO-property",
+        policy: "No self-loops; out-degree of every node is at most 1",
+        ghosts,
+        invariant: inv,
+        delta: graph_delta(),
+        model: graph_model(),
+        methods,
+        slow: true,
+    }
+}
+
+/// Heap over the linked list: the cells form a non-circular chain (next pointer written at
+/// most once), mirroring the Stack configuration with a heap-flavoured API.
+fn heap_linkedlist() -> Benchmark {
+    let mut b = stack_linkedlist();
+    b.adt = "Heap";
+    b.invariant_description = "Min-heap property";
+    b.policy = "Not a circular linked list; the elements are kept sorted";
+    // Rename the API to the heap vocabulary.
+    for (m, name) in b.methods.iter_mut().zip(["insert", "contains", "empty", "insert_bad"]) {
+        m.sig.name = name.to_string();
+    }
+    b
+}
+
+/// The configurations defined in this module.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        stack_linkedlist(),
+        stack_kvstore(),
+        queue_linkedlist(),
+        queue_graph(),
+        heap_linkedlist(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_configurations() {
+        assert_eq!(benchmarks().len(), 5);
+    }
+
+    #[test]
+    fn stack_kvstore_cons_verifies_and_cons_bad_fails() {
+        let b = stack_kvstore();
+        let mut checker = b.checker();
+        let cons = &b.methods[0];
+        let report = checker.check_method(&cons.sig, &cons.body).unwrap();
+        assert!(report.verified, "{:?}", report.failures);
+        let bad = b.methods.iter().find(|m| !m.expect_verified).unwrap();
+        let report = checker.check_method(&bad.sig, &bad.body).unwrap();
+        assert!(!report.verified);
+    }
+}

@@ -1,0 +1,88 @@
+//! Cross-crate integration tests: the checker's verdicts match expectations on fast
+//! benchmark configurations, and (an empirical reading of Corollary 4.9) traces produced
+//! by running verified methods through the interpreter are accepted by the representation
+//! invariant.
+
+use hat_lang::interp::{Env, Interpreter, RtValue};
+use hat_logic::{Constant, Interpretation};
+use hat_sfa::{accepts, Trace, TraceModel};
+use proptest::prelude::*;
+
+#[test]
+fn fast_configurations_match_expected_verdicts() {
+    for (adt, lib) in [
+        ("Set", "KVStore"),
+        ("Heap", "Tree"),
+        ("Stack", "KVStore"),
+        ("Stack", "LinkedList"),
+        ("ConnectedGraph", "Set"),
+        ("ConnectedGraph", "Graph"),
+        ("DFA", "KVStore"),
+    ] {
+        let bench = hat_suite::find(adt, lib).expect("configuration exists");
+        let reports = bench.check_all();
+        for (m, r) in bench.methods.iter().zip(&reports) {
+            assert_eq!(
+                r.verified, m.expect_verified,
+                "{}/{}::{} expected verified={}, failures: {:?}",
+                adt, lib, m.sig.name, m.expect_verified, r.failures
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Corollary 4.9, empirically: replaying the verified guarded Set insert over random
+    /// insertion sequences never produces a trace that violates the uniqueness invariant,
+    /// for any choice of the ghost element.
+    #[test]
+    fn verified_set_insert_preserves_uniqueness(elems in proptest::collection::vec(0i64..8, 0..12)) {
+        let bench = hat_suite::find("ConnectedGraph", "Set").expect("configuration exists");
+        let insert = &bench
+            .methods
+            .iter()
+            .find(|m| m.sig.name == "add_transition")
+            .expect("method exists")
+            .body;
+        let interp = Interpreter::new(bench.model.clone(), Interpretation::new());
+        let mut trace = Trace::new();
+        for e in &elems {
+            let mut env = Env::new();
+            env.insert("pair".into(), RtValue::Const(Constant::Int(*e)));
+            let (_, t) = interp.eval(&env, &trace, insert).expect("evaluation succeeds");
+            trace = t;
+        }
+        for el in 0i64..8 {
+            let model = TraceModel::new(Interpretation::new()).bind("el", Constant::Int(el));
+            prop_assert!(
+                accepts(&model, &trace, &bench.invariant).expect("acceptance is defined"),
+                "invariant violated for el = {el} on trace {trace}"
+            );
+        }
+    }
+
+    /// The buggy unguarded insert *does* violate the invariant on some runs — the checker's
+    /// rejection is not vacuous.
+    #[test]
+    fn buggy_insert_violates_uniqueness_dynamically(elem in 0i64..4) {
+        let bench = hat_suite::find("ConnectedGraph", "Set").expect("configuration exists");
+        let bad = &bench
+            .methods
+            .iter()
+            .find(|m| !m.expect_verified)
+            .expect("buggy method exists")
+            .body;
+        let interp = Interpreter::new(bench.model.clone(), Interpretation::new());
+        let mut trace = Trace::new();
+        for _ in 0..2 {
+            let mut env = Env::new();
+            env.insert("pair".into(), RtValue::Const(Constant::Int(elem)));
+            let (_, t) = interp.eval(&env, &trace, bad).expect("evaluation succeeds");
+            trace = t;
+        }
+        let model = TraceModel::new(Interpretation::new()).bind("el", Constant::Int(elem));
+        prop_assert!(!accepts(&model, &trace, &bench.invariant).expect("acceptance is defined"));
+    }
+}

@@ -1,0 +1,29 @@
+//! The DFA benchmark (paper Example 4.5): a deterministic finite automaton stored in a
+//! stateful graph library. The invariant forbids two outgoing transitions on the same
+//! character without an intervening disconnect.
+//!
+//! Run with `cargo run --release -p marple --example dfa_determinism`.
+
+fn main() {
+    let bench = hat_suite::find("DFA", "Graph").expect("benchmark exists");
+    println!("invariant size (literals): {}", bench.invariant_size());
+    let mut checker = bench.checker();
+    for m in &bench.methods {
+        let report = checker.check_method(&m.sig, &m.body).unwrap();
+        println!(
+            "{:<22} verified={} (expected {}) — branches={}, apps={}, #SAT={}, #FA⊆={}",
+            m.sig.name,
+            report.verified,
+            m.expect_verified,
+            report.branches,
+            report.apps,
+            report.stats.sat_queries,
+            report.stats.fa_inclusions
+        );
+        if report.verified != m.expect_verified {
+            for f in &report.failures {
+                println!("    {f}");
+            }
+        }
+    }
+}
