@@ -6,11 +6,19 @@ use hat_logic::{Formula, Solver, Sort, Term};
 use hat_sfa::{InclusionChecker, OpSig, Sfa, VarCtx};
 
 fn ins(el: &str) -> Sfa {
-    Sfa::event("insert", vec!["x".into()], "v", Formula::eq(Term::var("x"), Term::var(el)))
+    Sfa::event(
+        "insert",
+        vec!["x".into()],
+        "v",
+        Formula::eq(Term::var("x"), Term::var(el)),
+    )
 }
 
 fn uniqueness(el: &str) -> Sfa {
-    Sfa::globally(Sfa::implies(ins(el), Sfa::next(Sfa::not(Sfa::eventually(ins(el))))))
+    Sfa::globally(Sfa::implies(
+        ins(el),
+        Sfa::next(Sfa::not(Sfa::eventually(ins(el)))),
+    ))
 }
 
 fn bench_inclusion(c: &mut Criterion) {
@@ -20,7 +28,10 @@ fn bench_inclusion(c: &mut Criterion) {
         OpSig::new("insert", vec![("x".into(), Sort::Int)], Sort::Unit),
         OpSig::new("mem", vec![("x".into(), Sort::Int)], Sort::Bool),
     ];
-    let ctx = VarCtx::new(vec![("el".into(), Sort::Int), ("elem".into(), Sort::Int)], vec![]);
+    let ctx = VarCtx::new(
+        vec![("el".into(), Sort::Int), ("elem".into(), Sort::Int)],
+        vec![],
+    );
     group.bench_function("uniqueness_preservation_inclusion", |b| {
         b.iter(|| {
             let mut checker = InclusionChecker::new(ops.clone());

@@ -18,7 +18,10 @@ fn bench_solver(c: &mut Criterion) {
         })
     });
     group.bench_function("congruence_entailment", |b| {
-        let env = vec![("a".to_string(), Sort::named("T")), ("b".to_string(), Sort::named("T"))];
+        let env = vec![
+            ("a".to_string(), Sort::named("T")),
+            ("b".to_string(), Sort::named("T")),
+        ];
         let hyp = Formula::eq(Term::var("a"), Term::var("b"));
         let goal = Formula::eq(
             Term::app("f", vec![Term::app("f", vec![Term::var("a")])]),
@@ -26,7 +29,7 @@ fn bench_solver(c: &mut Criterion) {
         );
         b.iter(|| {
             let mut s = Solver::default();
-            assert!(s.entails(&env, &[hyp.clone()], &goal));
+            assert!(s.entails(&env, std::slice::from_ref(&hyp), &goal));
         })
     });
     group.finish();

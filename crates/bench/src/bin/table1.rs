@@ -1,13 +1,36 @@
 //! Regenerates Table 1 of the paper: one row per (ADT, library) configuration with the
 //! method count, ghost count, invariant size, total verification time and the work
-//! counters of the most demanding method.
+//! counters of the most demanding method. Afterwards it exercises the `hat-engine`
+//! subsystem — 1 vs N jobs, cold vs warm cache — and writes the measurements to
+//! `BENCH_engine.json`.
 //!
-//! Usage: `cargo run --release -p hat-bench --bin table1 [adt-filter]`
+//! Usage: `cargo run --release -p hat-bench --bin table1 [adt-filter|--full]`
+//!
+//! By default the engine comparison excludes the configurations marked `slow` in the
+//! suite (a single cold FileSystem/KVStore run takes tens of minutes); pass `--full` to
+//! include them. The excluded names are recorded in the JSON, never dropped silently.
+//! With an ADT filter only the table is printed and the engine comparison is skipped.
 
-use hat_bench::{method_columns, table1_row};
+use hat_bench::{engine_comparison, method_columns, table1_row, write_engine_json};
 
 fn main() {
-    let filter = std::env::args().nth(1).unwrap_or_default().to_lowercase();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut include_slow = false;
+    let mut filter = String::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--full" => include_slow = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`\nusage: table1 [adt-filter] [--full]");
+                std::process::exit(2);
+            }
+            other if filter.is_empty() => filter = other.to_lowercase(),
+            other => {
+                eprintln!("unexpected argument `{other}`\nusage: table1 [adt-filter] [--full]");
+                std::process::exit(2);
+            }
+        }
+    }
     println!(
         "{:<15} {:<11} {:>7} {:>6} {:>4} {:>9} | hardest: {:>8} {:>5} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9}",
         "ADT", "Library", "#Method", "#Ghost", "s_I", "t_total", "#Branch", "#App", "#SAT", "#FA⊆", "#Asm", "avg sFA", "tSAT", "tFA⊆"
@@ -17,6 +40,13 @@ fn main() {
             && !bench.adt.to_lowercase().contains(&filter)
             && !bench.library.to_lowercase().contains(&filter)
         {
+            continue;
+        }
+        if bench.slow && !include_slow && filter.is_empty() {
+            println!(
+                "{:<15} {:<11} (slow configuration; run with --full or an ADT filter)",
+                bench.adt, bench.library
+            );
             continue;
         }
         let (row, _) = table1_row(&bench);
@@ -37,6 +67,22 @@ fn main() {
         );
         if !row.all_as_expected {
             println!("    !! some method did not match its expected verification outcome");
+        }
+    }
+
+    if filter.is_empty() {
+        eprintln!("measuring hat-engine (1 vs N jobs, cold vs warm cache)...");
+        let comparison = engine_comparison(&hat_suite::all_benchmarks(), include_slow);
+        if !comparison.skipped.is_empty() {
+            eprintln!(
+                "engine comparison excludes slow configurations: {} (pass --full to include)",
+                comparison.skipped.join(", ")
+            );
+        }
+        let path = "BENCH_engine.json";
+        match write_engine_json(path, &comparison) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
 }

@@ -2,7 +2,10 @@
 //! policy of every benchmark configuration.
 
 fn main() {
-    println!("{:<15} {:<11} {:<40} {}", "ADT", "Library", "Representation invariant", "Policy governing interactions");
+    println!(
+        "{:<15} {:<11} {:<40} Policy governing interactions",
+        "ADT", "Library", "Representation invariant"
+    );
     for b in hat_suite::all_benchmarks() {
         println!(
             "{:<15} {:<11} {:<40} {}",

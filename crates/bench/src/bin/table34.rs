@@ -9,7 +9,17 @@ fn main() {
     let filter = std::env::args().nth(1).unwrap_or_default().to_lowercase();
     println!(
         "{:<15} {:<11} {:<20} {:>8} {:>5} {:>6} {:>6} {:>6} {:>9} {:>9} {:>9}",
-        "ADT", "Library", "Method", "#Branch", "#App", "#SAT", "#Inc", "#Asm", "avg s_A", "t_SAT", "t_Inc"
+        "ADT",
+        "Library",
+        "Method",
+        "#Branch",
+        "#App",
+        "#SAT",
+        "#Inc",
+        "#Asm",
+        "avg s_A",
+        "t_SAT",
+        "t_Inc"
     );
     for bench in hat_suite::all_benchmarks() {
         if !filter.is_empty()

@@ -6,7 +6,9 @@
 //! symbolic-automaton engine. See `EXPERIMENTS.md` for the paper-vs-measured record.
 
 use hat_core::MethodReport;
+use hat_engine::{CacheStatsSnapshot, Engine, EngineConfig, RunSummary};
 use hat_suite::Benchmark;
+use std::io::Write;
 
 /// The aggregated row of Table 1 for one configuration.
 #[derive(Debug, Clone)]
@@ -32,7 +34,10 @@ pub struct Table1Row {
 /// Runs the checker over one configuration and summarises it as a Table 1 row.
 pub fn table1_row(bench: &Benchmark) -> (Table1Row, Vec<MethodReport>) {
     let reports = bench.check_all();
-    let total: f64 = reports.iter().map(|r| r.stats.total_time.as_secs_f64()).sum();
+    let total: f64 = reports
+        .iter()
+        .map(|r| r.stats.total_time.as_secs_f64())
+        .sum();
     let all_as_expected = bench
         .methods
         .iter()
@@ -56,6 +61,207 @@ pub fn table1_row(bench: &Benchmark) -> (Table1Row, Vec<MethodReport>) {
         hardest,
     };
     (row, reports)
+}
+
+/// One measured engine configuration (e.g. "1 job, cold cache") over the whole suite.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// Human-readable label, e.g. `jobs=4 warm`.
+    pub label: String,
+    /// Worker count of the run.
+    pub jobs: usize,
+    /// Whether the run reused a cache populated by an earlier run.
+    pub warm: bool,
+    /// Wall-clock seconds for the whole suite.
+    pub wall_seconds: f64,
+    /// Run-wide cache counters (per-run deltas).
+    pub cache: CacheStatsSnapshot,
+    /// Per-benchmark measurements, in suite order.
+    pub benchmarks: Vec<EngineBenchRow>,
+}
+
+/// Engine measurements for one benchmark configuration within a run.
+#[derive(Debug, Clone)]
+pub struct EngineBenchRow {
+    /// ADT name.
+    pub adt: String,
+    /// Library name.
+    pub library: String,
+    /// Summed per-method verification seconds.
+    pub check_seconds: f64,
+    /// SMT queries issued by this benchmark's methods.
+    pub sat_queries: usize,
+    /// Cache hits recorded by this benchmark's methods.
+    pub cache_hits: usize,
+    /// Cache misses recorded by this benchmark's methods.
+    pub cache_misses: usize,
+}
+
+fn engine_run(label: &str, jobs: usize, warm: bool, summary: &RunSummary) -> EngineRun {
+    EngineRun {
+        label: label.to_string(),
+        jobs,
+        warm,
+        wall_seconds: summary.wall.as_secs_f64(),
+        cache: summary.cache,
+        benchmarks: summary
+            .benchmarks
+            .iter()
+            .map(|b| EngineBenchRow {
+                adt: b.adt.clone(),
+                library: b.library.clone(),
+                check_seconds: b.check_time.as_secs_f64(),
+                sat_queries: b.sat_queries(),
+                cache_hits: b.cache_hits(),
+                cache_misses: b.cache_misses(),
+            })
+            .collect(),
+    }
+}
+
+/// The result of [`engine_comparison`]: the four measured runs plus the names of any
+/// configurations that were excluded (never silently).
+#[derive(Debug, Clone)]
+pub struct EngineComparison {
+    /// The measured runs.
+    pub runs: Vec<EngineRun>,
+    /// `"ADT/Library"` names of configurations excluded from the comparison.
+    pub skipped: Vec<String>,
+}
+
+/// Exercises the `hat-engine` subsystem in four configurations — sequential and parallel,
+/// each with a cold and a warm (same-engine) cache. With `include_slow` false the
+/// configurations marked `slow` in the suite (whose minterm alphabets make a single
+/// cold run take tens of minutes) are excluded and recorded in
+/// [`EngineComparison::skipped`].
+pub fn engine_comparison(benches: &[Benchmark], include_slow: bool) -> EngineComparison {
+    let (included, skipped): (Vec<&Benchmark>, Vec<&Benchmark>) =
+        benches.iter().partition(|b| include_slow || !b.slow);
+    let included: Vec<Benchmark> = included.into_iter().cloned().collect();
+    EngineComparison {
+        runs: comparison_runs(&included),
+        skipped: skipped
+            .into_iter()
+            .map(|b| format!("{}/{}", b.adt, b.library))
+            .collect(),
+    }
+}
+
+fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
+    let parallel_jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    let mut runs = Vec::new();
+    let sequential = Engine::new(EngineConfig {
+        jobs: 1,
+        cache_path: None,
+    })
+    .expect("in-memory engine");
+    runs.push(engine_run(
+        "jobs=1 cold",
+        1,
+        false,
+        &sequential.check_benchmarks(benches),
+    ));
+    runs.push(engine_run(
+        "jobs=1 warm",
+        1,
+        true,
+        &sequential.check_benchmarks(benches),
+    ));
+    let parallel = Engine::new(EngineConfig {
+        jobs: parallel_jobs,
+        cache_path: None,
+    })
+    .expect("in-memory engine");
+    runs.push(engine_run(
+        &format!("jobs={parallel_jobs} cold"),
+        parallel_jobs,
+        false,
+        &parallel.check_benchmarks(benches),
+    ));
+    runs.push(engine_run(
+        &format!("jobs={parallel_jobs} warm"),
+        parallel_jobs,
+        true,
+        &parallel.check_benchmarks(benches),
+    ));
+    runs
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Serialises [`engine_comparison`] measurements as JSON (hand-rolled: the build
+/// environment has no serde).
+pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::Result<()> {
+    let runs = &comparison.runs;
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"schema\": \"hat-engine-bench v1\",")?;
+    writeln!(
+        out,
+        "  \"skipped\": [{}],",
+        comparison
+            .skipped
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )?;
+    writeln!(out, "  \"runs\": [")?;
+    for (i, run) in runs.iter().enumerate() {
+        writeln!(out, "    {{")?;
+        writeln!(out, "      \"label\": \"{}\",", json_escape(&run.label))?;
+        writeln!(out, "      \"jobs\": {},", run.jobs)?;
+        writeln!(out, "      \"warm_cache\": {},", run.warm)?;
+        writeln!(out, "      \"wall_seconds\": {:.6},", run.wall_seconds)?;
+        writeln!(out, "      \"cache_hits\": {},", run.cache.hits)?;
+        writeln!(out, "      \"cache_misses\": {},", run.cache.misses)?;
+        writeln!(
+            out,
+            "      \"cache_hit_rate\": {:.6},",
+            run.cache.hit_rate()
+        )?;
+        writeln!(out, "      \"benchmarks\": [")?;
+        for (j, b) in run.benchmarks.iter().enumerate() {
+            write!(
+                out,
+                "        {{\"adt\": \"{}\", \"library\": \"{}\", \"check_seconds\": {:.6}, \"sat_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+                json_escape(&b.adt),
+                json_escape(&b.library),
+                b.check_seconds,
+                b.sat_queries,
+                b.cache_hits,
+                b.cache_misses
+            )?;
+            writeln!(
+                out,
+                "{}",
+                if j + 1 < run.benchmarks.len() {
+                    ","
+                } else {
+                    ""
+                }
+            )?;
+        }
+        writeln!(out, "      ]")?;
+        writeln!(out, "    }}{}", if i + 1 < runs.len() { "," } else { "" })?;
+    }
+    writeln!(out, "  ]")?;
+    writeln!(out, "}}")?;
+    Ok(())
 }
 
 /// Formats a method report as the per-method columns shared by Tables 1, 3 and 4.

@@ -1,18 +1,59 @@
 //! `marple` — the command-line driver of the HAT representation-invariant verifier.
 //!
 //! ```text
-//! marple list                  # list the benchmark configurations
-//! marple check <adt> <lib>     # verify one configuration and print a report
-//! marple check-all             # verify every configuration
+//! marple list                             # list the benchmark configurations
+//! marple check <adt> <lib> [options]      # verify one configuration and print a report
+//! marple check-all [options]              # verify every configuration
+//!
+//! options:
+//!   --jobs N       verify on N worker threads (default 1; verdicts are identical)
+//!   --cache PATH   persist the solver-query cache at PATH so repeated runs start warm
 //! ```
 
+use hat_engine::{BenchmarkRun, Engine, EngineConfig, RunSummary};
 use hat_suite::{all_benchmarks, find, Benchmark};
+use std::path::PathBuf;
 
-fn report(bench: &Benchmark) -> bool {
+struct Options {
+    jobs: usize,
+    cache_path: Option<PathBuf>,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        jobs: 1,
+        cache_path: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let value = it.next().ok_or("--jobs needs a value")?;
+                opts.jobs = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("invalid --jobs value `{value}`"))?;
+            }
+            "--cache" => {
+                let value = it.next().ok_or("--cache needs a path")?;
+                opts.cache_path = Some(PathBuf::from(value));
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => opts.positional.push(other.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn print_run(bench: &Benchmark, run: &BenchmarkRun) -> bool {
     println!("== {} / {} — {}", bench.adt, bench.library, bench.policy);
-    let reports = bench.check_all();
     let mut ok = true;
-    for (m, r) in bench.methods.iter().zip(&reports) {
+    for (m, r) in bench.methods.iter().zip(&run.reports) {
         let status = match (r.verified, m.expect_verified) {
             (true, true) => "verified",
             (false, false) => "rejected (as expected)",
@@ -37,24 +78,64 @@ fn report(bench: &Benchmark) -> bool {
     ok
 }
 
+fn print_cache_line(summary: &RunSummary, lifetime: hat_engine::CacheStatsSnapshot) {
+    let c = &summary.cache;
+    println!(
+        "cache: {} hits / {} misses ({:.1}% hit rate), {} loaded from disk, {} stale; wall {:.2}s",
+        c.hits,
+        c.misses,
+        100.0 * c.hit_rate(),
+        lifetime.disk_loaded,
+        lifetime.stale,
+        summary.wall.as_secs_f64()
+    );
+}
+
+fn run(benches: Vec<Benchmark>, opts: &Options) -> bool {
+    let engine = match Engine::new(EngineConfig {
+        jobs: opts.jobs,
+        cache_path: opts.cache_path.clone(),
+    }) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("cannot open cache: {e}");
+            std::process::exit(2);
+        }
+    };
+    let summary = engine.check_benchmarks(&benches);
+    let mut ok = true;
+    for (bench, run) in benches.iter().zip(&summary.benchmarks) {
+        ok &= print_run(bench, run);
+    }
+    print_cache_line(&summary, engine.cache().stats());
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") | None => {
             println!("Available benchmark configurations (ADT / library):");
             for b in all_benchmarks() {
-                println!("  {:<15} {:<11} — {}", b.adt, b.library, b.invariant_description);
+                println!(
+                    "  {:<15} {:<11} — {}",
+                    b.adt, b.library, b.invariant_description
+                );
             }
             println!("\nRun `marple check <adt> <library>` to verify one of them.");
         }
         Some("check") => {
-            let (Some(adt), Some(lib)) = (args.get(1), args.get(2)) else {
-                eprintln!("usage: marple check <adt> <library>");
+            let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
+                eprintln!("{e}\nusage: marple check <adt> <library> [--jobs N] [--cache PATH]");
+                std::process::exit(2);
+            });
+            let (Some(adt), Some(lib)) = (opts.positional.first(), opts.positional.get(1)) else {
+                eprintln!("usage: marple check <adt> <library> [--jobs N] [--cache PATH]");
                 std::process::exit(2);
             };
             match find(adt, lib) {
                 Some(b) => {
-                    let ok = report(&b);
+                    let ok = run(vec![b], &opts);
                     std::process::exit(if ok { 0 } else { 1 });
                 }
                 None => {
@@ -64,10 +145,11 @@ fn main() {
             }
         }
         Some("check-all") => {
-            let mut ok = true;
-            for b in all_benchmarks() {
-                ok &= report(&b);
-            }
+            let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
+                eprintln!("{e}\nusage: marple check-all [--jobs N] [--cache PATH]");
+                std::process::exit(2);
+            });
+            let ok = run(all_benchmarks(), &opts);
             std::process::exit(if ok { 0 } else { 1 });
         }
         Some(other) => {

@@ -97,10 +97,7 @@ pub fn ghost_candidates(ghosts: &[Ident], ctx_auto: &Sfa, target: &Sfa) -> Vec<F
                 // transfer (they would be ill-scoped as ghost facts).
                 let locals2: BTreeSet<&Ident> =
                     args2.iter().chain(std::iter::once(result2)).collect();
-                if vars2
-                    .iter()
-                    .any(|v| v != other_var && locals2.contains(v))
-                {
+                if vars2.iter().any(|v| v != other_var && locals2.contains(v)) {
                     continue;
                 }
                 let transferred =

@@ -15,7 +15,7 @@ use crate::rty::{HType, RType, NU};
 use crate::subtype::sub_base;
 use hat_lang::{Expr, Value};
 use hat_logic::{Constant, Formula, Ident, Solver, Sort, Term};
-use hat_sfa::{InclusionChecker, Sfa};
+use hat_sfa::{InclusionChecker, Sfa, SolverOracle};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -55,6 +55,11 @@ pub struct CheckStats {
     /// Number of operator preconditions that had to be assumed because abduction could not
     /// discharge them (0 for a faithful verification run).
     pub assumed_preconditions: usize,
+    /// Number of SMT queries answered from a shared result cache (0 without a caching
+    /// oracle; see the `hat-engine` crate).
+    pub cache_hits: usize,
+    /// Number of SMT queries that reached the underlying decision procedure.
+    pub cache_misses: usize,
 }
 
 /// The outcome of checking one method.
@@ -102,25 +107,44 @@ impl fmt::Display for CheckError {
 impl std::error::Error for CheckError {}
 
 /// The HAT type checker for one library specification `Δ`.
-#[derive(Debug)]
+///
+/// The SMT backend is a [`SolverOracle`] trait object: by default a bare
+/// [`hat_logic::Solver`], but callers (notably the `hat-engine` crate) can inject a
+/// caching or instrumented oracle via [`Checker::with_oracle`].
 pub struct Checker {
     /// The library specification (operator signatures and axioms).
     pub delta: Delta,
     /// The SMT backend.
-    pub solver: Solver,
+    pub oracle: Box<dyn SolverOracle>,
     /// The SFA inclusion backend.
     pub inclusion: InclusionChecker,
     fresh: usize,
 }
 
+impl fmt::Debug for Checker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Checker")
+            .field("delta", &self.delta)
+            .field("inclusion", &self.inclusion)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Checker {
-    /// Creates a checker for a library specification.
+    /// Creates a checker for a library specification, backed by a plain solver.
     pub fn new(delta: Delta) -> Self {
         let solver = Solver::with_axioms(delta.axioms.clone());
+        Checker::with_oracle(delta, Box::new(solver))
+    }
+
+    /// Creates a checker whose SMT queries go through the given oracle. The oracle must
+    /// already know the library's axioms (a bare solver would be built with
+    /// `Solver::with_axioms(delta.axioms.clone())`).
+    pub fn with_oracle(delta: Delta, oracle: Box<dyn SolverOracle>) -> Self {
         let inclusion = InclusionChecker::new(delta.alphabet());
         Checker {
             delta,
-            solver,
+            oracle,
             inclusion,
             fresh: 0,
         }
@@ -133,9 +157,16 @@ impl Checker {
 
     /// Verifies a method body against its HAT signature, returning a report with the
     /// outcome and the work counters of Tables 1/3/4.
-    pub fn check_method(&mut self, sig: &MethodSig, body: &Expr) -> Result<MethodReport, CheckError> {
+    pub fn check_method(
+        &mut self,
+        sig: &MethodSig,
+        body: &Expr,
+    ) -> Result<MethodReport, CheckError> {
         let start = Instant::now();
-        let sat_before = self.solver.stats.clone();
+        let queries_before = self.oracle.query_count();
+        let time_before = self.oracle.query_time();
+        let hits_before = self.oracle.cache_hits();
+        let misses_before = self.oracle.cache_misses();
         let incl_before = self.inclusion.stats.clone();
 
         let mut ctx = TypeCtx::new();
@@ -148,15 +179,22 @@ impl Checker {
 
         let mut failures = Vec::new();
         let mut assumed = 0usize;
-        self.check_expr(&ctx, body, &sig.pre, &sig.ret, &sig.post, &mut failures, &mut assumed)?;
+        self.check_expr(
+            &ctx,
+            body,
+            &sig.pre,
+            &sig.ret,
+            &sig.post,
+            &mut failures,
+            &mut assumed,
+        )?;
 
-        let sat_after = self.solver.stats.clone();
         let incl_after = self.inclusion.stats.clone();
         let total_time = start.elapsed();
-        let sat_time = sat_after.time.saturating_sub(sat_before.time);
+        let sat_time = self.oracle.query_time().saturating_sub(time_before);
         let dfas = incl_after.dfas_built - incl_before.dfas_built;
         let stats = CheckStats {
-            sat_queries: sat_after.queries - sat_before.queries,
+            sat_queries: self.oracle.query_count() - queries_before,
             sat_time,
             fa_inclusions: incl_after.fa_inclusions - incl_before.fa_inclusions,
             avg_fa_size: if dfas == 0 {
@@ -170,6 +208,8 @@ impl Checker {
                 .saturating_sub(sat_time),
             total_time,
             assumed_preconditions: assumed,
+            cache_hits: self.oracle.cache_hits() - hits_before,
+            cache_misses: self.oracle.cache_misses() - misses_before,
         };
         Ok(MethodReport {
             name: sig.name.clone(),
@@ -278,29 +318,46 @@ impl Checker {
         assumed: &mut usize,
     ) -> Result<(), CheckError> {
         // Returning a function: check the lambda body against the arrow's HAT.
-        if let (Value::Lambda { param, body, .. }, arrow) = (v, self.strip_ghosts(ctx, ret)) {
-            if let (RType::Arrow { param: p, param_ty, ret: fun_ret }, ctx2) = arrow {
-                let mut inner = ctx2.push(param.clone(), (*param_ty).clone());
-                if &p != param {
-                    // The signature's parameter name scopes over the result; rename by
-                    // substituting it with the lambda's actual parameter.
-                    inner = inner.push(p.clone(), (*param_ty).clone());
+        if let (
+            Value::Lambda { param, body, .. },
+            (
+                RType::Arrow {
+                    param: p,
+                    param_ty,
+                    ret: fun_ret,
+                },
+                ctx2,
+            ),
+        ) = (v, self.strip_ghosts(ctx, ret))
+        {
+            let mut inner = ctx2.push(param.clone(), (*param_ty).clone());
+            if &p != param {
+                // The signature's parameter name scopes over the result; rename by
+                // substituting it with the lambda's actual parameter.
+                inner = inner.push(p.clone(), (*param_ty).clone());
+            }
+            match fun_ret.as_ref() {
+                HType::Pure(t) => {
+                    return self.check_expr(
+                        &inner,
+                        body,
+                        &Sfa::Zero,
+                        t,
+                        &Sfa::universe(),
+                        failures,
+                        assumed,
+                    )
                 }
-                match fun_ret.as_ref() {
-                    HType::Pure(t) => {
-                        return self.check_expr(&inner, body, &Sfa::Zero, t, &Sfa::universe(), failures, assumed)
-                    }
-                    HType::Hoare { pre, ty, post } => {
-                        return self.check_expr(&inner, body, pre, ty, post, failures, assumed)
-                    }
-                    HType::Inter(cases) => {
-                        for c in cases {
-                            if let HType::Hoare { pre, ty, post } = c {
-                                self.check_expr(&inner, body, pre, ty, post, failures, assumed)?;
-                            }
+                HType::Hoare { pre, ty, post } => {
+                    return self.check_expr(&inner, body, pre, ty, post, failures, assumed)
+                }
+                HType::Inter(cases) => {
+                    for c in cases {
+                        if let HType::Hoare { pre, ty, post } = c {
+                            self.check_expr(&inner, body, pre, ty, post, failures, assumed)?;
                         }
-                        return Ok(());
                     }
+                    return Ok(());
                 }
             }
         }
@@ -311,7 +368,7 @@ impl Checker {
         match self.synth_value(ctx, v) {
             Ok(t) => {
                 if let RType::Base { .. } = ret {
-                    if !sub_base(&mut self.solver, ctx, &t, ret) {
+                    if !sub_base(self.oracle.as_mut(), ctx, &t, ret) {
                         failures.push(format!("return value `{v}` does not satisfy `{ret}`"));
                     }
                 }
@@ -436,7 +493,12 @@ impl Checker {
         assumed: &mut usize,
     ) -> Result<(), CheckError> {
         let (arrow, ctx_with_ghosts) = self.strip_ghosts(ctx, fty);
-        let RType::Arrow { param, param_ty, ret: fret } = arrow else {
+        let RType::Arrow {
+            param,
+            param_ty,
+            ret: fret,
+        } = arrow
+        else {
             return Err(CheckError::Unsupported(format!(
                 "application of `{fname}` which does not have an arrow type"
             )));
@@ -446,7 +508,7 @@ impl Checker {
             if self.context_consistent(ctx) {
                 match self.synth_value(ctx, arg) {
                     Ok(at) => {
-                        if !sub_base(&mut self.solver, ctx, &at, &param_ty) {
+                        if !sub_base(self.oracle.as_mut(), ctx, &at, &param_ty) {
                             failures.push(format!(
                                 "argument `{arg}` of `{fname}` does not satisfy `{param_ty}`"
                             ));
@@ -470,7 +532,11 @@ impl Checker {
                 let cases: Vec<HoareCase> = other
                     .cases()
                     .into_iter()
-                    .map(|(p, t, q)| HoareCase { pre: p, ty: t, post: q })
+                    .map(|(p, t, q)| HoareCase {
+                        pre: p,
+                        ty: t,
+                        post: q,
+                    })
                     .collect();
                 self.check_cases(
                     &ctx_with_ghosts,
@@ -531,7 +597,9 @@ impl Checker {
         match v {
             Value::Const(c) => Ok(RType::singleton(c.sort(), Term::Const(c.clone()))),
             Value::Var(x) => match ctx.lookup(x) {
-                Some(RType::Base { sort, .. }) => Ok(RType::singleton(sort.clone(), Term::var(x.clone()))),
+                Some(RType::Base { sort, .. }) => {
+                    Ok(RType::singleton(sort.clone(), Term::var(x.clone())))
+                }
                 Some(other) => Ok(other.clone()),
                 None => Err(CheckError::Unsupported(format!("unbound variable `{x}`"))),
             },
@@ -548,9 +616,13 @@ impl Checker {
     fn pure_result_type(&mut self, op: &str, args: &[Term]) -> Result<RType, CheckError> {
         let nu = Term::var(NU);
         let bool_iff = |phi: Formula| {
-            RType::refined(Sort::Bool, Formula::iff(Formula::bool_term(nu.clone()), phi))
+            RType::refined(
+                Sort::Bool,
+                Formula::iff(Formula::bool_term(nu.clone()), phi),
+            )
         };
-        let binary = |f: fn(Term, Term) -> Formula, args: &[Term]| f(args[0].clone(), args[1].clone());
+        let binary =
+            |f: fn(Term, Term) -> Formula, args: &[Term]| f(args[0].clone(), args[1].clone());
         match (op, args.len()) {
             ("+", 2) => Ok(RType::refined(
                 Sort::Int,
@@ -587,8 +659,7 @@ impl Checker {
     /// obligation hold vacuously (dead branches).
     fn context_consistent(&mut self, ctx: &TypeCtx) -> bool {
         let l = ctx.logical();
-        self.solver
-            .is_satisfiable(&l.vars, &Formula::and(l.facts.clone()))
+        self.oracle.is_sat(&l.vars, &l.facts)
     }
 
     /// `Γ ⊢ A ⊆ B` with vacuous success for inconsistent contexts.
@@ -598,7 +669,7 @@ impl Checker {
         }
         let l = ctx.logical();
         self.inclusion
-            .check(&l, a, b, &mut self.solver)
+            .check(&l, a, b, self.oracle.as_mut())
             .map_err(|e| CheckError::AutomatonTooLarge(e.to_string()))
     }
 }
@@ -615,7 +686,11 @@ mod tests {
         let mut d = Delta::new();
         let int = RType::base(Sort::Int);
         // insert : x:int → [□⟨⊤⟩] unit [□⟨⊤⟩; ⟨insert x⟩ ∧ LAST]
-        let ins_event = ev("insert", &["y"], Formula::eq(Term::var("y"), Term::var("x")));
+        let ins_event = ev(
+            "insert",
+            &["y"],
+            Formula::eq(Term::var("y"), Term::var("x")),
+        );
         d.declare_eff(
             "insert",
             EffOpSig {
@@ -629,7 +704,11 @@ mod tests {
             },
         );
         // mem : x:int → ([♦⟨insert x⟩] {ν=true} [..]) ⊓ ([¬♦⟨insert x⟩] {ν=false} [..])
-        let present = Sfa::eventually(ev("insert", &["y"], Formula::eq(Term::var("y"), Term::var("x"))));
+        let present = Sfa::eventually(ev(
+            "insert",
+            &["y"],
+            Formula::eq(Term::var("y"), Term::var("x")),
+        ));
         let absent = Sfa::not(present.clone());
         let mem_ev = |r: bool| {
             ev(
@@ -665,7 +744,13 @@ mod tests {
 
     /// I_Set(el): el is never inserted twice.
     fn uniqueness_invariant() -> Sfa {
-        let ins_el = || ev("insert", &["y"], Formula::eq(Term::var("y"), Term::var("el")));
+        let ins_el = || {
+            ev(
+                "insert",
+                &["y"],
+                Formula::eq(Term::var("y"), Term::var("el")),
+            )
+        };
         Sfa::globally(Sfa::implies(
             ins_el(),
             Sfa::next(Sfa::not(Sfa::eventually(ins_el()))),
@@ -705,7 +790,9 @@ mod tests {
     #[test]
     fn guarded_insert_preserves_the_invariant() {
         let mut checker = Checker::new(set_delta());
-        let report = checker.check_method(&set_insert_sig(), &guarded_insert()).unwrap();
+        let report = checker
+            .check_method(&set_insert_sig(), &guarded_insert())
+            .unwrap();
         assert!(report.verified, "failures: {:?}", report.failures);
         assert_eq!(report.branches, 2);
         assert_eq!(report.apps, 2);
@@ -718,7 +805,9 @@ mod tests {
     #[test]
     fn unguarded_insert_is_rejected() {
         let mut checker = Checker::new(set_delta());
-        let report = checker.check_method(&set_insert_sig(), &unguarded_insert()).unwrap();
+        let report = checker
+            .check_method(&set_insert_sig(), &unguarded_insert())
+            .unwrap();
         assert!(!report.verified);
         assert!(!report.failures.is_empty());
     }

@@ -105,7 +105,13 @@ mod tests {
     #[test]
     fn logical_projection_collects_sorts_and_facts() {
         let ctx = TypeCtx::new()
-            .push("n", RType::refined(Sort::Int, Formula::lt(Term::int(0), Term::var(crate::rty::NU))))
+            .push(
+                "n",
+                RType::refined(
+                    Sort::Int,
+                    Formula::lt(Term::int(0), Term::var(crate::rty::NU)),
+                ),
+            )
             .push("b", RType::base(Sort::Bool));
         let l = ctx.logical();
         assert_eq!(l.vars.len(), 2);

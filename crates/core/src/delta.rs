@@ -3,7 +3,7 @@
 //! operators and method predicates.
 
 use crate::rty::{RType, NU};
-use hat_lang::{BasicType, BasicTyCtx};
+use hat_lang::{BasicTyCtx, BasicType};
 use hat_logic::{AxiomSet, Formula, Ident, Sort, Term};
 use hat_sfa::{OpSig, Sfa};
 use std::collections::BTreeMap;
@@ -247,7 +247,10 @@ mod tests {
             "parent",
             PureOpSig {
                 params: vec![("p".into(), RType::base(Sort::named("Path.t")))],
-                ret: RType::singleton(Sort::named("Path.t"), Term::app("parent", vec![Term::var("p")])),
+                ret: RType::singleton(
+                    Sort::named("Path.t"),
+                    Term::app("parent", vec![Term::var("p")]),
+                ),
             },
         );
         let ctx = delta.basic_ctx();
@@ -259,12 +262,18 @@ mod tests {
     fn pure_sig_instantiation() {
         let sig = PureOpSig {
             params: vec![("p".into(), RType::base(Sort::named("Path.t")))],
-            ret: RType::singleton(Sort::named("Path.t"), Term::app("parent", vec![Term::var("p")])),
+            ret: RType::singleton(
+                Sort::named("Path.t"),
+                Term::app("parent", vec![Term::var("p")]),
+            ),
         };
         let t = sig.instantiate(&[Term::var("path")]);
         assert_eq!(
             t.qualifier_at("pp").unwrap(),
-            Formula::eq(Term::var("pp"), Term::app("parent", vec![Term::var("path")]))
+            Formula::eq(
+                Term::var("pp"),
+                Term::app("parent", vec![Term::var("path")])
+            )
         );
     }
 

@@ -84,9 +84,7 @@ impl RType {
     pub fn erase(&self) -> BasicType {
         match self {
             RType::Base { sort, .. } => BasicType::Base(sort.clone()),
-            RType::Arrow { param_ty, ret, .. } => {
-                BasicType::arrow(param_ty.erase(), ret.erase())
-            }
+            RType::Arrow { param_ty, ret, .. } => BasicType::arrow(param_ty.erase(), ret.erase()),
             RType::Ghost { body, .. } => body.erase(),
         }
     }
@@ -102,7 +100,11 @@ impl RType {
                 sort: sort.clone(),
                 qualifier: qualifier.subst_var(var, t),
             },
-            RType::Arrow { param, param_ty, ret } => {
+            RType::Arrow {
+                param,
+                param_ty,
+                ret,
+            } => {
                 let new_ret = if param == var {
                     ret.clone()
                 } else {
@@ -152,7 +154,11 @@ impl fmt::Display for RType {
                 Formula::True => write!(f, "{sort}"),
                 q => write!(f, "{{v:{sort} | {q}}}"),
             },
-            RType::Arrow { param, param_ty, ret } => write!(f, "{param}:{param_ty} -> {ret}"),
+            RType::Arrow {
+                param,
+                param_ty,
+                ret,
+            } => write!(f, "{param}:{param_ty} -> {ret}"),
             RType::Ghost { var, sort, body } => write!(f, "{var}:{sort} ~> {body}"),
         }
     }
@@ -160,6 +166,7 @@ impl fmt::Display for RType {
 
 /// Hoare Automata Types (`τ` in the paper's grammar).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)] // Hoare is by far the common case; boxing would churn
 pub enum HType {
     /// A pure type used as a computation type (no constraint on traces; rule `TEPur`).
     Pure(RType),

@@ -2,12 +2,13 @@
 
 use crate::ctx::TypeCtx;
 use crate::rty::{RType, NU};
-use hat_logic::{Solver, Sort};
-use hat_sfa::{InclusionChecker, Sfa};
+use hat_logic::Sort;
+use hat_sfa::{InclusionChecker, Sfa, SolverOracle};
 
 /// `Γ ⊢ {ν | φ₁} <: {ν | φ₂}` — rule `SubBaseAlg`: the context facts and `φ₁` must entail
-/// `φ₂` (an SMT validity query).
-pub fn sub_base(solver: &mut Solver, ctx: &TypeCtx, sub: &RType, sup: &RType) -> bool {
+/// `φ₂` (an SMT validity query). The solver is abstracted as a [`SolverOracle`] so the
+/// same rule runs against a bare [`hat_logic::Solver`] or a caching wrapper.
+pub fn sub_base(solver: &mut dyn SolverOracle, ctx: &TypeCtx, sub: &RType, sup: &RType) -> bool {
     match (sub, sup) {
         (
             RType::Base {
@@ -48,7 +49,7 @@ pub fn sub_base(solver: &mut Solver, ctx: &TypeCtx, sub: &RType, sup: &RType) ->
 /// covariant on result types and postconditions (under the stronger precondition context).
 #[allow(clippy::too_many_arguments)]
 pub fn sub_hoare(
-    solver: &mut Solver,
+    solver: &mut dyn SolverOracle,
     inclusion: &mut InclusionChecker,
     ctx: &TypeCtx,
     pre1: &Sfa,
@@ -71,17 +72,22 @@ pub fn sub_hoare(
     let guard = Sfa::concat(pre2.clone(), Sfa::universe());
     let lhs = Sfa::and(vec![guard.clone(), post1.clone()]);
     let rhs = Sfa::and(vec![guard, post2.clone()]);
-    inclusion.check(&logical, &lhs, &rhs, solver).unwrap_or(false)
+    inclusion
+        .check(&logical, &lhs, &rhs, solver)
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hat_logic::{Formula, Term};
+    use hat_logic::{Formula, Solver, Term};
     use hat_sfa::OpSig;
 
     fn int_ctx() -> TypeCtx {
-        TypeCtx::new().push("n", RType::refined(Sort::Int, Formula::lt(Term::int(0), Term::var(NU))))
+        TypeCtx::new().push(
+            "n",
+            RType::refined(Sort::Int, Formula::lt(Term::int(0), Term::var(NU))),
+        )
     }
 
     #[test]
@@ -120,7 +126,11 @@ mod tests {
     #[test]
     fn hoare_subtyping_is_contravariant_in_preconditions() {
         let mut solver = Solver::default();
-        let ops = vec![OpSig::new("insert", vec![("x".into(), Sort::Int)], Sort::Unit)];
+        let ops = vec![OpSig::new(
+            "insert",
+            vec![("x".into(), Sort::Int)],
+            Sort::Unit,
+        )];
         let mut inclusion = InclusionChecker::new(ops);
         let ctx = TypeCtx::new().push("el", RType::base(Sort::Int));
         let ins_el = Sfa::event(

@@ -11,7 +11,11 @@ fn ev(op: &str, args: &[&str], phi: Formula) -> Sfa {
 }
 
 fn ins_el() -> Sfa {
-    ev("insert", &["y"], Formula::eq(Term::var("y"), Term::var("el")))
+    ev(
+        "insert",
+        &["y"],
+        Formula::eq(Term::var("y"), Term::var("el")),
+    )
 }
 
 fn inv() -> Sfa {
@@ -38,7 +42,11 @@ fn set_insert_branch_preconditions_are_precise() {
     let mut solver = Solver::default();
 
     let one = |e: Sfa| Sfa::and(vec![e, Sfa::last()]);
-    let present = Sfa::eventually(ev("insert", &["y"], Formula::eq(Term::var("y"), Term::var("elem"))));
+    let present = Sfa::eventually(ev(
+        "insert",
+        &["y"],
+        Formula::eq(Term::var("y"), Term::var("elem")),
+    ));
     let absent = Sfa::not(present.clone());
     let mem_ev = |r: bool| {
         ev(
@@ -68,7 +76,11 @@ fn set_insert_branch_preconditions_are_precise() {
         Sfa::concat(pre_mem, one(Sfa::any_event())),
         Sfa::concat(
             Sfa::universe(),
-            one(ev("insert", &["y"], Formula::eq(Term::var("y"), Term::var("elem")))),
+            one(ev(
+                "insert",
+                &["y"],
+                Formula::eq(Term::var("y"), Term::var("elem")),
+            )),
         ),
     ]);
     let r2 = checker.check(&ctx, &pre2, &inv(), &mut solver).unwrap();

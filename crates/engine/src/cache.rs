@@ -1,0 +1,340 @@
+//! The shared solver-query cache: a sharded concurrent map from canonical query keys to
+//! verdicts, optionally fronting an append-only disk log so repeated runs start warm.
+//!
+//! # Disk log format
+//!
+//! The log is a plain text file. The first line is the header `hat-engine-cache v1`; every
+//! further line is `<verdict>\t<key>` where `<verdict>` is `0` (unsatisfiable) or `1`
+//! (satisfiable) and `<key>` is the canonical key from [`crate::canon`] (which never
+//! contains tabs or newlines). Appends are line-atomic under a mutex, so a log written by
+//! one run can be replayed by the next; a log with a different header — e.g. written by a
+//! future format version — is ignored wholesale and counted as stale rather than
+//! half-trusted. Malformed lines (a torn final write) are skipped and counted as stale.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::hash::{Hash, Hasher};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+const HEADER: &str = "hat-engine-cache v1";
+const SHARDS: usize = 64;
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Queries answered from the in-memory map (including entries loaded from disk).
+    pub hits: usize,
+    /// Queries that missed and had to be solved.
+    pub misses: usize,
+    /// Entries replayed from the disk log at startup.
+    pub disk_loaded: usize,
+    /// Disk-log lines (or whole files) ignored as unreadable or from another version.
+    pub stale: usize,
+}
+
+impl CacheStatsSnapshot {
+    /// Fraction of lookups answered from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    disk_loaded: AtomicUsize,
+    stale: AtomicUsize,
+}
+
+/// The concurrent verdict cache shared by every worker of a verification run.
+pub struct QueryCache {
+    shards: Vec<RwLock<HashMap<String, bool>>>,
+    log: Option<Mutex<BufWriter<File>>>,
+    path: Option<PathBuf>,
+    counters: CacheCounters,
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryCache")
+            .field("entries", &self.len())
+            .field("path", &self.path)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl QueryCache {
+    fn empty() -> Self {
+        QueryCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            log: None,
+            path: None,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// A purely in-memory cache (no persistence).
+    pub fn in_memory() -> Self {
+        Self::empty()
+    }
+
+    /// A cache backed by an append-only log at `path`. Existing entries are replayed into
+    /// memory (warm start) and new verdicts are appended. A file whose header belongs to
+    /// a different format version is left untouched: the cache runs in-memory only and
+    /// counts the file as stale (destroying data a newer binary wrote would be worse
+    /// than running cold).
+    pub fn with_disk_log(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let mut cache = Self::empty();
+        let path = path.as_ref();
+        cache.path = Some(path.to_path_buf());
+        let mut needs_header = true;
+        if path.exists() {
+            let reader = BufReader::new(File::open(path)?);
+            let mut lines = reader.lines();
+            match lines.next() {
+                Some(Ok(header)) if header == HEADER => {
+                    needs_header = false;
+                    for line in lines {
+                        let Ok(line) = line else {
+                            cache.counters.stale.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        };
+                        match line.split_once('\t') {
+                            Some(("0", key)) => cache.load_entry(key, false),
+                            Some(("1", key)) => cache.load_entry(key, true),
+                            _ => {
+                                cache.counters.stale.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Unknown header: a different format version (or not a cache file at
+                    // all). Do not write to it.
+                    cache.counters.stale.fetch_add(1, Ordering::Relaxed);
+                    return Ok(cache);
+                }
+                None => {}
+            }
+        }
+        let mut file = if needs_header {
+            // Only reached for a missing or empty file.
+            let file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)?;
+            BufWriter::new(file)
+        } else {
+            let mut existing = OpenOptions::new().read(true).append(true).open(path)?;
+            // A run killed mid-write can leave the final line without its newline;
+            // appending directly after it would merge two records into one unparseable
+            // line. Terminate the torn line first.
+            use std::io::{Read, Seek, SeekFrom};
+            let len = existing.seek(SeekFrom::End(0))?;
+            if len > 0 {
+                existing.seek(SeekFrom::End(-1))?;
+                let mut last = [0u8; 1];
+                existing.read_exact(&mut last)?;
+                if last != [b'\n'] {
+                    existing.write_all(b"\n")?;
+                }
+            }
+            BufWriter::new(existing)
+        };
+        if needs_header {
+            writeln!(file, "{HEADER}")?;
+        }
+        cache.log = Some(Mutex::new(file));
+        Ok(cache)
+    }
+
+    fn load_entry(&mut self, key: &str, verdict: bool) {
+        let shard = self.shard_of(key);
+        self.shards[shard]
+            .write()
+            .expect("cache shard poisoned")
+            .insert(key.to_string(), verdict);
+        self.counters.disk_loaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn shard_of(&self, key: &str) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    /// Looks a key up, counting a hit or a miss.
+    pub fn lookup(&self, key: &str) -> Option<bool> {
+        let shard = self.shard_of(key);
+        let found = self.shards[shard]
+            .read()
+            .expect("cache shard poisoned")
+            .get(key)
+            .copied();
+        match found {
+            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Records a verdict, appending it to the disk log when one is attached. Racing
+    /// inserts of the same key are harmless: canonical keys determine their verdict.
+    pub fn insert(&self, key: String, verdict: bool) {
+        let shard = self.shard_of(&key);
+        let fresh = self.shards[shard]
+            .write()
+            .expect("cache shard poisoned")
+            .insert(key.clone(), verdict)
+            .is_none();
+        if fresh {
+            if let Some(log) = &self.log {
+                let mut log = log.lock().expect("cache log poisoned");
+                let _ = writeln!(log, "{}\t{}", if verdict { "1" } else { "0" }, key);
+            }
+        }
+    }
+
+    /// Flushes the disk log (called at the end of a run; also happens on drop).
+    pub fn flush(&self) {
+        if let Some(log) = &self.log {
+            let _ = log.lock().expect("cache log poisoned").flush();
+        }
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the hit/miss/disk counters.
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            disk_loaded: self.counters.disk_loaded.load(Ordering::Relaxed),
+            stale: self.counters.stale.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for QueryCache {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hat-engine-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let cache = QueryCache::in_memory();
+        assert_eq!(cache.lookup("k"), None);
+        cache.insert("k".into(), true);
+        assert_eq!(cache.lookup("k"), Some(true));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_log_roundtrip() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = QueryCache::with_disk_log(&path).unwrap();
+            cache.insert("alpha".into(), true);
+            cache.insert("beta".into(), false);
+            cache.flush();
+        }
+        let warm = QueryCache::with_disk_log(&path).unwrap();
+        assert_eq!(warm.len(), 2);
+        assert_eq!(warm.stats().disk_loaded, 2);
+        assert_eq!(warm.lookup("alpha"), Some(true));
+        assert_eq!(warm.lookup("beta"), Some(false));
+        assert_eq!(warm.stats().stale, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_inserts_are_logged_once() {
+        let path = temp_path("dedup");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = QueryCache::with_disk_log(&path).unwrap();
+            cache.insert("k".into(), true);
+            cache.insert("k".into(), true);
+        }
+        let warm = QueryCache::with_disk_log(&path).unwrap();
+        assert_eq!(warm.stats().disk_loaded, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_header_is_ignored_and_left_untouched() {
+        let path = temp_path("stale");
+        let foreign = "hat-engine-cache v999\n1\tk\n";
+        std::fs::write(&path, foreign).unwrap();
+        let cache = QueryCache::with_disk_log(&path).unwrap();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().stale, 1);
+        // The cache degrades to in-memory: inserts work but are not persisted, and the
+        // foreign file's contents survive byte for byte.
+        cache.insert("k2".into(), false);
+        cache.flush();
+        drop(cache);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), foreign);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped_and_terminated_before_appending() {
+        let path = temp_path("torn");
+        std::fs::write(&path, format!("{HEADER}\n1\tgood\nmalformed-without-tab")).unwrap();
+        {
+            let cache = QueryCache::with_disk_log(&path).unwrap();
+            assert_eq!(cache.lookup("good"), Some(true));
+            assert_eq!(cache.stats().stale, 1);
+            // Appending after the torn line must not merge records into one line.
+            cache.insert("fresh".into(), true);
+        }
+        let warm = QueryCache::with_disk_log(&path).unwrap();
+        assert_eq!(warm.lookup("good"), Some(true));
+        assert_eq!(warm.lookup("fresh"), Some(true));
+        let _ = std::fs::remove_file(&path);
+    }
+}

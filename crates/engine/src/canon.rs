@@ -1,0 +1,508 @@
+//! Canonical forms for solver queries.
+//!
+//! Two satisfiability queries that differ only in the *names* of their variables have the
+//! same answer, and — after the determinism fix in `hat-logic` (the fresh-name counter is
+//! restarted per query) — the solver produces that answer by an identical computation on
+//! the renamed form. This module exploits that: it α-renames a query into a canonical form
+//! whose free variables are numbered `$k0, $k1, …` in order of first occurrence and whose
+//! bound variables are numbered `$q0, $q1, …` in traversal order, then serialises the
+//! result into a stable textual key.
+//!
+//! Keys are *sound*, not complete: α-equivalent queries (same sorts, renamed variables,
+//! renamed binders) collide; queries that differ in structure — reordered conjuncts,
+//! distinct sorts that merely share a display name, different goals — do not. Every
+//! user-supplied identifier (predicate names, function symbols, named sorts, atom
+//! constants) is length-prefixed in the key, so no crafted name can alias another key.
+
+use hat_logic::{Atom, AxiomSet, Constant, Formula, FuncSym, Ident, Sort, Term};
+use std::collections::BTreeMap;
+
+/// A query in canonical form: the renamed sort environment, the renamed formula, and the
+/// stable cache key. Solving `formula` under `vars` is equivalent to solving the original
+/// query, and depends only on `key`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalQuery {
+    /// Sorts of the canonical free variables, in order of first occurrence.
+    pub vars: Vec<(Ident, Sort)>,
+    /// The α-renamed formula.
+    pub formula: Formula,
+    /// The stable textual key identifying the query up to α-equivalence.
+    pub key: String,
+}
+
+struct Renamer<'a> {
+    /// Declared sorts of the original free variables.
+    env: BTreeMap<&'a str, &'a Sort>,
+    /// Original free-variable name → canonical name.
+    free: BTreeMap<Ident, Ident>,
+    /// Canonical environment, in assignment order.
+    out_vars: Vec<(Ident, Sort)>,
+    /// Number of binders renamed so far.
+    binders: usize,
+}
+
+impl Renamer<'_> {
+    fn free_name(&mut self, x: &str) -> Ident {
+        if let Some(c) = self.free.get(x) {
+            return c.clone();
+        }
+        let canon = format!("$k{}", self.free.len());
+        self.free.insert(x.to_string(), canon.clone());
+        if let Some(sort) = self.env.get(x) {
+            self.out_vars.push((canon.clone(), (*sort).clone()));
+        }
+        canon
+    }
+
+    fn term(&mut self, t: &Term, bound: &[(Ident, Ident)]) -> Term {
+        match t {
+            Term::Var(x) => match bound.iter().rev().find(|(orig, _)| orig == x) {
+                Some((_, canon)) => Term::Var(canon.clone()),
+                None => Term::Var(self.free_name(x)),
+            },
+            Term::Const(_) => t.clone(),
+            Term::App(f, args) => Term::App(
+                f.clone(),
+                args.iter().map(|a| self.term(a, bound)).collect(),
+            ),
+        }
+    }
+
+    fn atom(&mut self, a: &Atom, bound: &[(Ident, Ident)]) -> Atom {
+        match a {
+            Atom::Eq(l, r) => Atom::Eq(self.term(l, bound), self.term(r, bound)),
+            Atom::Lt(l, r) => Atom::Lt(self.term(l, bound), self.term(r, bound)),
+            Atom::Le(l, r) => Atom::Le(self.term(l, bound), self.term(r, bound)),
+            Atom::Pred(p, args) => Atom::Pred(
+                p.clone(),
+                args.iter().map(|t| self.term(t, bound)).collect(),
+            ),
+            Atom::BoolTerm(t) => Atom::BoolTerm(self.term(t, bound)),
+        }
+    }
+
+    fn formula(&mut self, f: &Formula, bound: &mut Vec<(Ident, Ident)>) -> Formula {
+        match f {
+            Formula::True | Formula::False => f.clone(),
+            Formula::Atom(a) => Formula::Atom(self.atom(a, bound)),
+            Formula::Not(g) => Formula::Not(Box::new(self.formula(g, bound))),
+            Formula::And(fs) => Formula::And(fs.iter().map(|g| self.formula(g, bound)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|g| self.formula(g, bound)).collect()),
+            Formula::Implies(p, q) => Formula::Implies(
+                Box::new(self.formula(p, bound)),
+                Box::new(self.formula(q, bound)),
+            ),
+            Formula::Iff(p, q) => Formula::Iff(
+                Box::new(self.formula(p, bound)),
+                Box::new(self.formula(q, bound)),
+            ),
+            Formula::Forall(x, s, body) => {
+                let canon = format!("$q{}", self.binders);
+                self.binders += 1;
+                bound.push((x.clone(), canon.clone()));
+                let renamed = self.formula(body, bound);
+                bound.pop();
+                Formula::Forall(canon, s.clone(), Box::new(renamed))
+            }
+        }
+    }
+}
+
+/// Canonicalises a satisfiability query. Variables declared in `vars` but not occurring in
+/// `f` are dropped (they cannot affect satisfiability: every sort is inhabited).
+pub fn canonicalize(vars: &[(Ident, Sort)], f: &Formula) -> CanonicalQuery {
+    let mut renamer = Renamer {
+        env: vars.iter().map(|(x, s)| (x.as_str(), s)).collect(),
+        free: BTreeMap::new(),
+        out_vars: Vec::new(),
+        binders: 0,
+    };
+    let mut bound = Vec::new();
+    let formula = renamer.formula(f, &mut bound);
+    let mut key = String::with_capacity(128);
+    key.push_str("sat|");
+    for (x, s) in &renamer.out_vars {
+        key.push_str(x);
+        key.push(':');
+        ser_sort(s, &mut key);
+        key.push(',');
+    }
+    key.push('|');
+    ser_formula(&formula, &mut key);
+    CanonicalQuery {
+        vars: renamer.out_vars,
+        formula,
+        key,
+    }
+}
+
+/// A stable fingerprint of an axiom set, for inclusion in cache keys.
+///
+/// A solver verdict is a function of *(axioms, vars, formula)* — axioms are instantiated
+/// into every query — so a cache shared across oracles with different axiom sets (the
+/// engine shares one cache across all benchmarks) must separate their entries. Function
+/// and predicate declarations come from sorted maps; axioms are canonicalised
+/// individually (so binder names don't matter) and then sorted (so declaration order
+/// doesn't matter). The serialisation is hashed (FNV-1a, two 64-bit lanes) to keep keys
+/// short.
+pub fn axioms_fingerprint(ax: &AxiomSet) -> String {
+    let mut s = String::new();
+    for (name, (args, ret)) in &ax.functions {
+        s.push('F');
+        ser_name(name, &mut s);
+        s.push(':');
+        for a in args {
+            ser_sort(a, &mut s);
+        }
+        s.push('>');
+        ser_sort(ret, &mut s);
+    }
+    for (name, pred) in &ax.predicates {
+        s.push('P');
+        ser_name(name, &mut s);
+        s.push(':');
+        for a in &pred.args {
+            ser_sort(a, &mut s);
+        }
+    }
+    let mut axiom_keys: Vec<String> = ax
+        .axioms
+        .iter()
+        .map(|a| {
+            // Close the axiom over its quantified variables; canonicalisation then makes
+            // the key independent of the variable names the axiom was written with.
+            let closed = a.vars.iter().rev().fold(a.body.clone(), |acc, (x, sort)| {
+                Formula::Forall(x.clone(), sort.clone(), Box::new(acc))
+            });
+            canonicalize(&[], &closed).key
+        })
+        .collect();
+    axiom_keys.sort();
+    for k in axiom_keys {
+        s.push('A');
+        s.push_str(&k);
+    }
+    format!(
+        "{:016x}{:016x}",
+        fnv1a64(&s, 0xcbf29ce484222325),
+        fnv1a64(&s, 0x811c9dc5a003f285)
+    )
+}
+
+fn fnv1a64(s: &str, offset_basis: u64) -> u64 {
+    let mut h = offset_basis;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Serialises a user-supplied name with a length prefix, so names containing the key's
+/// delimiter characters cannot forge a different key. Control characters (and the escape
+/// character itself) are escaped so keys never contain tabs or newlines — the disk-log
+/// format (`<verdict>\t<key>\n` lines) depends on that invariant; the length prefix
+/// counts the escaped form, which keeps the encoding injective.
+fn ser_name(n: &str, out: &mut String) {
+    let escaped: String = n
+        .chars()
+        .flat_map(|c| match c {
+            '\\' => "\\\\".chars().collect::<Vec<_>>(),
+            c if (c as u32) < 0x20 || c == '\u{7f}' => {
+                format!("\\x{:02x}", c as u32).chars().collect()
+            }
+            c => vec![c],
+        })
+        .collect();
+    out.push_str(&escaped.len().to_string());
+    out.push('#');
+    out.push_str(&escaped);
+}
+
+fn ser_sort(s: &Sort, out: &mut String) {
+    match s {
+        Sort::Unit => out.push('u'),
+        Sort::Bool => out.push('b'),
+        Sort::Int => out.push('i'),
+        Sort::Named(n) => {
+            out.push('N');
+            ser_name(n, out);
+        }
+    }
+}
+
+fn ser_const(c: &Constant, out: &mut String) {
+    match c {
+        Constant::Unit => out.push_str("cu"),
+        Constant::Bool(b) => out.push_str(if *b { "ct" } else { "cf" }),
+        Constant::Int(i) => {
+            out.push_str("ci");
+            out.push_str(&i.to_string());
+        }
+        Constant::Atom(a) => {
+            out.push_str("ca");
+            ser_name(a, out);
+        }
+    }
+}
+
+fn ser_func(f: &FuncSym, out: &mut String) {
+    match f {
+        FuncSym::Add => out.push('+'),
+        FuncSym::Sub => out.push('-'),
+        FuncSym::Mul => out.push('*'),
+        FuncSym::Mod => out.push('%'),
+        FuncSym::Neg => out.push('~'),
+        FuncSym::Named(n) => {
+            out.push('f');
+            ser_name(n, out);
+        }
+    }
+}
+
+fn ser_term(t: &Term, out: &mut String) {
+    match t {
+        // Canonical variable names ($k…/$q…) contain no delimiters, so they are safe raw.
+        Term::Var(x) => {
+            out.push('v');
+            out.push_str(x);
+            out.push(';');
+        }
+        Term::Const(c) => {
+            ser_const(c, out);
+            out.push(';');
+        }
+        Term::App(f, args) => {
+            out.push('(');
+            ser_func(f, out);
+            out.push(' ');
+            for a in args {
+                ser_term(a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn ser_atom(a: &Atom, out: &mut String) {
+    match a {
+        Atom::Eq(l, r) => {
+            out.push_str("(= ");
+            ser_term(l, out);
+            ser_term(r, out);
+            out.push(')');
+        }
+        Atom::Lt(l, r) => {
+            out.push_str("(< ");
+            ser_term(l, out);
+            ser_term(r, out);
+            out.push(')');
+        }
+        Atom::Le(l, r) => {
+            out.push_str("(<= ");
+            ser_term(l, out);
+            ser_term(r, out);
+            out.push(')');
+        }
+        Atom::Pred(p, args) => {
+            out.push_str("(P");
+            ser_name(p, out);
+            out.push(' ');
+            for t in args {
+                ser_term(t, out);
+            }
+            out.push(')');
+        }
+        Atom::BoolTerm(t) => {
+            out.push_str("(B ");
+            ser_term(t, out);
+            out.push(')');
+        }
+    }
+}
+
+fn ser_formula(f: &Formula, out: &mut String) {
+    match f {
+        Formula::True => out.push('T'),
+        Formula::False => out.push('F'),
+        Formula::Atom(a) => ser_atom(a, out),
+        Formula::Not(g) => {
+            out.push_str("(! ");
+            ser_formula(g, out);
+            out.push(')');
+        }
+        Formula::And(fs) => {
+            out.push_str("(& ");
+            for g in fs {
+                ser_formula(g, out);
+            }
+            out.push(')');
+        }
+        Formula::Or(fs) => {
+            out.push_str("(| ");
+            for g in fs {
+                ser_formula(g, out);
+            }
+            out.push(')');
+        }
+        Formula::Implies(p, q) => {
+            out.push_str("(-> ");
+            ser_formula(p, out);
+            ser_formula(q, out);
+            out.push(')');
+        }
+        Formula::Iff(p, q) => {
+            out.push_str("(<-> ");
+            ser_formula(p, out);
+            ser_formula(q, out);
+            out.push(')');
+        }
+        Formula::Forall(x, s, body) => {
+            out.push_str("(A ");
+            out.push_str(x);
+            out.push(':');
+            ser_sort(s, out);
+            out.push('.');
+            ser_formula(body, out);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(vars: &[(Ident, Sort)], f: &Formula) -> String {
+        canonicalize(vars, f).key
+    }
+
+    fn int_env(names: &[&str]) -> Vec<(Ident, Sort)> {
+        names.iter().map(|n| (n.to_string(), Sort::Int)).collect()
+    }
+
+    #[test]
+    fn renamed_free_variables_collide() {
+        let f = Formula::lt(Term::var("x"), Term::var("y"));
+        let g = Formula::lt(Term::var("a"), Term::var("b"));
+        assert_eq!(
+            key(&int_env(&["x", "y"]), &f),
+            key(&int_env(&["a", "b"]), &g)
+        );
+    }
+
+    #[test]
+    fn swapped_binder_names_collide() {
+        let f = Formula::forall("x", Sort::Int, Formula::lt(Term::var("x"), Term::int(3)));
+        let g = Formula::forall("y", Sort::Int, Formula::lt(Term::var("y"), Term::int(3)));
+        assert_eq!(key(&[], &f), key(&[], &g));
+    }
+
+    #[test]
+    fn nested_binders_respect_shadowing() {
+        // ∀x. (x > 0 ∧ ∀x. x < 9) vs ∀x. (x > 0 ∧ ∀y. y < 9): α-equivalent.
+        let inner_x = Formula::forall("x", Sort::Int, Formula::lt(Term::var("x"), Term::int(9)));
+        let inner_y = Formula::forall("y", Sort::Int, Formula::lt(Term::var("y"), Term::int(9)));
+        let outer = |inner: Formula| {
+            Formula::forall(
+                "x",
+                Sort::Int,
+                Formula::And(vec![Formula::lt(Term::int(0), Term::var("x")), inner]),
+            )
+        };
+        assert_eq!(key(&[], &outer(inner_x)), key(&[], &outer(inner_y.clone())));
+        // ...but ∀x. (x > 0 ∧ ∀y. x < 9) refers to the *outer* binder: different key.
+        let inner_outer_ref =
+            Formula::forall("y", Sort::Int, Formula::lt(Term::var("x"), Term::int(9)));
+        assert_ne!(key(&[], &outer(inner_y)), key(&[], &outer(inner_outer_ref)));
+    }
+
+    #[test]
+    fn reordered_conjuncts_do_not_collide() {
+        let p = Formula::pred("p", vec![Term::var("x")]);
+        let q = Formula::pred("q", vec![Term::var("y")]);
+        let env = int_env(&["x", "y"]);
+        let pq = Formula::And(vec![p.clone(), q.clone()]);
+        let qp = Formula::And(vec![q, p]);
+        assert_ne!(key(&env, &pq), key(&env, &qp));
+    }
+
+    #[test]
+    fn swapped_predicates_do_not_collide() {
+        // p(x) ∧ q(y) vs q(x) ∧ p(y): same shape after naive renaming, different meaning.
+        let env = int_env(&["x", "y"]);
+        let f = Formula::And(vec![
+            Formula::pred("p", vec![Term::var("x")]),
+            Formula::pred("q", vec![Term::var("y")]),
+        ]);
+        let g = Formula::And(vec![
+            Formula::pred("q", vec![Term::var("x")]),
+            Formula::pred("p", vec![Term::var("y")]),
+        ]);
+        assert_ne!(key(&env, &f), key(&env, &g));
+    }
+
+    #[test]
+    fn distinct_sorts_with_same_display_name_do_not_collide() {
+        // Sort::Int and Sort::Named("int") both display as "int" but must key differently.
+        let f = Formula::pred("p", vec![Term::var("x")]);
+        let as_int = vec![("x".to_string(), Sort::Int)];
+        let as_named = vec![("x".to_string(), Sort::named("int"))];
+        assert_ne!(key(&as_int, &f), key(&as_named, &f));
+    }
+
+    #[test]
+    fn declared_and_undeclared_variables_do_not_collide() {
+        let f = Formula::pred("p", vec![Term::var("x")]);
+        assert_ne!(key(&int_env(&["x"]), &f), key(&[], &f));
+    }
+
+    #[test]
+    fn crafted_names_cannot_alias_keys() {
+        // A predicate named "p(v$k0;)" must not produce the key of p applied to a variable.
+        let env = int_env(&["x"]);
+        let f = Formula::pred("p", vec![Term::var("x")]);
+        let crafted = Formula::pred("p(v$k0;)", vec![]);
+        assert_ne!(key(&env, &f), key(&env, &crafted));
+    }
+
+    #[test]
+    fn control_characters_in_names_are_escaped_out_of_keys() {
+        // The disk log stores one `<verdict>\t<key>\n` record per line, so keys must never
+        // contain raw tabs or newlines, and the escaping must stay injective.
+        let f = Formula::pred("p\n1\tinjected", vec![]);
+        let k = key(&[], &f);
+        assert!(
+            !k.contains('\n') && !k.contains('\t'),
+            "raw control chars leaked: {k:?}"
+        );
+        // A name spelling out the escape sequence must not collide with the escaped name.
+        let spelled = Formula::pred("p\\x0a1\\x09injected", vec![]);
+        assert_ne!(key(&[], &f), key(&[], &spelled));
+    }
+
+    #[test]
+    fn unused_context_variables_are_dropped() {
+        let f = Formula::lt(Term::var("x"), Term::int(0));
+        assert_eq!(
+            key(&int_env(&["x"]), &f),
+            key(&int_env(&["x", "unused"]), &f)
+        );
+    }
+
+    #[test]
+    fn canonical_form_is_alpha_renamed_and_solvable() {
+        let f = Formula::lt(Term::var("n"), Term::var("m"));
+        let c = canonicalize(&int_env(&["n", "m"]), &f);
+        assert_eq!(
+            c.vars,
+            vec![
+                ("$k0".to_string(), Sort::Int),
+                ("$k1".to_string(), Sort::Int)
+            ]
+        );
+        assert_eq!(c.formula, Formula::lt(Term::var("$k0"), Term::var("$k1")));
+        let mut solver = hat_logic::Solver::default();
+        assert!(solver.is_satisfiable(&c.vars, &c.formula));
+    }
+}

@@ -1,0 +1,55 @@
+//! # hat-engine
+//!
+//! The parallel verification engine of the HAT checker: a worker pool over
+//! (benchmark, method) verification jobs, sharing one solver-query cache that is optionally
+//! persisted to disk so repeated runs start warm. This is the subsystem behind
+//! `marple check-all --jobs N --cache <path>`.
+//!
+//! ## Query cache
+//!
+//! Every SMT query the checker issues — subtyping entailments and context-consistency
+//! checks from `hat-core`, minterm-satisfiability and transition queries from
+//! `hat-sfa::inclusion` — funnels through one [`hat_sfa::SolverOracle`] implementation,
+//! [`CachingOracle`]. The oracle reduces each query to a satisfiability problem,
+//! α-renames it into a canonical form ([`canon`]) — free variables become `$k0, $k1, …`
+//! in order of first occurrence (with their sorts), bound variables `$q0, $q1, …` in
+//! traversal order — and serialises that form into a stable textual key. Queries that
+//! differ only in variable or binder names therefore share one cache entry, while
+//! structurally different queries (reordered conjuncts, a named sort shadowing a built-in
+//! sort's name, crafted predicate names) never collide: user-supplied names are
+//! length-prefixed in the key. On a miss the oracle solves the *canonical* form, so every
+//! verdict is a pure function of its key — which is why `--jobs N` produces verdicts
+//! identical to a sequential run no matter how the cache interleaves.
+//!
+//! ## Disk log
+//!
+//! With [`EngineConfig::cache_path`] set, verdicts append to a plain-text log
+//! (`hat-engine-cache v1` header, then one `<verdict>\t<key>` line each; see [`cache`]).
+//! The next run replays the log into memory and starts warm; logs from other format
+//! versions are ignored wholesale and counted as stale.
+//!
+//! ## Scheduler
+//!
+//! [`Engine::check_benchmarks`] flattens the benchmark suite into (benchmark, method)
+//! jobs, drains them from an atomic work-queue with `jobs` worker threads (each with its
+//! own solver, all with the shared cache), and reassembles reports into input order — so
+//! output is deterministic regardless of which worker finishes first.
+//!
+//! ```
+//! use hat_engine::{Engine, EngineConfig};
+//!
+//! let benches = vec![hat_suite::find("Stack", "LinkedList").expect("configuration exists")];
+//! let engine = Engine::new(EngineConfig { jobs: 2, cache_path: None }).expect("engine");
+//! let summary = engine.check_benchmarks(&benches);
+//! assert!(summary.benchmarks[0].reports.iter().any(|r| r.verified));
+//! ```
+
+pub mod cache;
+pub mod canon;
+pub mod oracle;
+pub mod schedule;
+
+pub use cache::{CacheStatsSnapshot, QueryCache};
+pub use canon::{canonicalize, CanonicalQuery};
+pub use oracle::CachingOracle;
+pub use schedule::{BenchmarkRun, Engine, EngineConfig, RunSummary};

@@ -1,0 +1,247 @@
+//! A caching [`SolverOracle`]: the bridge between the checker layers and the shared
+//! [`QueryCache`].
+//!
+//! Every oracle query — context-consistency checks and subtyping entailments from
+//! `hat-core`, minterm-satisfiability and transition queries from `hat-sfa` — is reduced
+//! to one satisfiability problem, canonicalised ([`crate::canon`]), and looked up in the
+//! cache. On a miss the *canonical* form is handed to the worker's own [`Solver`], so the
+//! verdict depends only on the cache key; this is what makes cached parallel runs produce
+//! exactly the verdicts of a sequential run.
+
+use crate::cache::QueryCache;
+use crate::canon::{axioms_fingerprint, canonicalize};
+use hat_logic::{AxiomSet, Formula, Ident, Solver, Sort};
+use hat_sfa::SolverOracle;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A solver wrapped with the shared query cache. Each worker owns one (the underlying
+/// solver is not thread-safe); the cache is shared through an [`Arc`].
+pub struct CachingOracle {
+    solver: Solver,
+    cache: Arc<QueryCache>,
+    /// Fingerprint of the solver's axiom set, prefixed onto every cache key: a verdict
+    /// depends on the axioms instantiated into the query, and the cache is shared across
+    /// oracles with *different* axiom sets (one per benchmark).
+    key_prefix: String,
+    queries: usize,
+    hits: usize,
+    misses: usize,
+}
+
+impl CachingOracle {
+    /// Creates an oracle over the given background axioms and shared cache.
+    pub fn new(axioms: AxiomSet, cache: Arc<QueryCache>) -> Self {
+        let key_prefix = Self::key_prefix_for(&axioms);
+        Self::with_key_prefix(axioms, cache, key_prefix)
+    }
+
+    /// The cache-key prefix [`CachingOracle::new`] would derive for an axiom set. Callers
+    /// spawning many oracles over the same axioms (one per method job) can compute it
+    /// once and pass it to [`CachingOracle::with_key_prefix`].
+    pub fn key_prefix_for(axioms: &AxiomSet) -> String {
+        format!("ax{}|", axioms_fingerprint(axioms))
+    }
+
+    /// Creates an oracle with a precomputed key prefix. The prefix must be
+    /// [`CachingOracle::key_prefix_for`] of the same axiom set, or cache entries would be
+    /// shared across incompatible axiom sets.
+    pub fn with_key_prefix(axioms: AxiomSet, cache: Arc<QueryCache>, key_prefix: String) -> Self {
+        CachingOracle {
+            solver: Solver::with_axioms(axioms),
+            cache,
+            key_prefix,
+            queries: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The shared cache this oracle reads and writes.
+    pub fn cache(&self) -> &Arc<QueryCache> {
+        &self.cache
+    }
+
+    /// Answers a satisfiability query through the cache, solving the canonical form on a
+    /// miss.
+    fn cached_sat(&mut self, vars: &[(Ident, Sort)], f: &Formula) -> bool {
+        self.queries += 1;
+        // Constant formulas need no solver and would only pollute the cache.
+        match f {
+            Formula::True => return true,
+            Formula::False => return false,
+            _ => {}
+        }
+        let canonical = canonicalize(vars, f);
+        let key = format!("{}{}", self.key_prefix, canonical.key);
+        if let Some(verdict) = self.cache.lookup(&key) {
+            self.hits += 1;
+            return verdict;
+        }
+        self.misses += 1;
+        let verdict = self
+            .solver
+            .is_satisfiable(&canonical.vars, &canonical.formula);
+        self.cache.insert(key, verdict);
+        verdict
+    }
+}
+
+impl SolverOracle for CachingOracle {
+    fn is_sat(&mut self, vars: &[(Ident, Sort)], facts: &[Formula]) -> bool {
+        let f = Formula::and(facts.to_vec());
+        self.cached_sat(vars, &f)
+    }
+
+    fn entails(&mut self, vars: &[(Ident, Sort)], facts: &[Formula], goal: &Formula) -> bool {
+        // facts ⊨ goal iff facts ∧ ¬goal is unsatisfiable — the same reduction the plain
+        // solver applies, phrased so entailments and satisfiability share cache entries.
+        let f = Formula::and(
+            facts
+                .iter()
+                .cloned()
+                .chain(std::iter::once(Formula::not(goal.clone())))
+                .collect(),
+        );
+        !self.cached_sat(vars, &f)
+    }
+
+    fn query_count(&self) -> usize {
+        self.queries
+    }
+
+    fn query_time(&self) -> Duration {
+        self.solver.stats.time
+    }
+
+    fn cache_hits(&self) -> usize {
+        self.hits
+    }
+
+    fn cache_misses(&self) -> usize {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_logic::Term;
+
+    fn env(names: &[&str]) -> Vec<(Ident, Sort)> {
+        names.iter().map(|n| (n.to_string(), Sort::Int)).collect()
+    }
+
+    #[test]
+    fn verdicts_match_the_plain_solver() {
+        let cache = Arc::new(QueryCache::in_memory());
+        let mut cached = CachingOracle::new(AxiomSet::new(), cache);
+        let mut plain = Solver::default();
+        let vars = env(&["x", "y", "z"]);
+        let cases: Vec<(Vec<Formula>, Formula)> = vec![
+            (
+                vec![
+                    Formula::lt(Term::var("x"), Term::var("y")),
+                    Formula::lt(Term::var("y"), Term::var("z")),
+                ],
+                Formula::lt(Term::var("x"), Term::var("z")),
+            ),
+            (
+                vec![Formula::lt(Term::var("x"), Term::var("y"))],
+                Formula::lt(Term::var("y"), Term::var("x")),
+            ),
+            (
+                vec![Formula::eq(Term::var("x"), Term::int(2))],
+                Formula::lt(Term::var("x"), Term::int(3)),
+            ),
+        ];
+        for (facts, goal) in &cases {
+            assert_eq!(
+                SolverOracle::entails(&mut cached, &vars, facts, goal),
+                plain.entails(&vars, facts, goal),
+                "entailment mismatch for {facts:?} ⊢ {goal}"
+            );
+            assert_eq!(
+                SolverOracle::is_sat(&mut cached, &vars, facts),
+                plain.is_satisfiable(&vars, &Formula::and(facts.clone())),
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_without_touching_the_solver() {
+        let cache = Arc::new(QueryCache::in_memory());
+        let mut oracle = CachingOracle::new(AxiomSet::new(), cache);
+        let vars = env(&["x"]);
+        let facts = vec![Formula::lt(Term::int(0), Term::var("x"))];
+        let goal = Formula::le(Term::int(0), Term::var("x"));
+        assert!(SolverOracle::entails(&mut oracle, &vars, &facts, &goal));
+        let solver_queries = oracle.solver.stats.queries;
+        assert!(SolverOracle::entails(&mut oracle, &vars, &facts, &goal));
+        assert_eq!(
+            oracle.solver.stats.queries, solver_queries,
+            "second run must be a pure hit"
+        );
+        assert_eq!(oracle.cache_hits(), 1);
+        assert_eq!(oracle.cache_misses(), 1);
+        assert_eq!(oracle.query_count(), 2);
+    }
+
+    #[test]
+    fn alpha_equivalent_queries_share_entries() {
+        let cache = Arc::new(QueryCache::in_memory());
+        let mut oracle = CachingOracle::new(AxiomSet::new(), cache.clone());
+        let f1 = vec![Formula::lt(Term::var("a"), Term::var("b"))];
+        let f2 = vec![Formula::lt(Term::var("p"), Term::var("q"))];
+        assert!(SolverOracle::is_sat(&mut oracle, &env(&["a", "b"]), &f1));
+        assert!(SolverOracle::is_sat(&mut oracle, &env(&["p", "q"]), &f2));
+        assert_eq!(oracle.cache_hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn constant_formulas_bypass_the_cache() {
+        let cache = Arc::new(QueryCache::in_memory());
+        let mut oracle = CachingOracle::new(AxiomSet::new(), cache.clone());
+        assert!(SolverOracle::is_sat(&mut oracle, &[], &[]));
+        assert!(!SolverOracle::is_sat(&mut oracle, &[], &[Formula::False]));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn oracles_with_different_axiom_sets_do_not_share_entries() {
+        // Regression test: verdicts depend on the axiom set, so a cache shared by
+        // benchmarks with different axioms must keep their entries apart.
+        use hat_logic::axioms::Axiom;
+        let sort = Sort::named("Bytes.t");
+        let vars = vec![("v".to_string(), sort.clone())];
+        let query = vec![
+            Formula::pred("isDir", vec![Term::var("v")]),
+            Formula::pred("isDel", vec![Term::var("v")]),
+        ];
+        let mut strict = AxiomSet::new();
+        strict.declare_pred("isDir", vec![sort.clone()]);
+        strict.declare_pred("isDel", vec![sort.clone()]);
+        strict.add_axiom(Axiom::new(
+            "dir-not-del",
+            vec![("b".into(), sort)],
+            Formula::implies(
+                Formula::pred("isDir", vec![Term::var("b")]),
+                Formula::not(Formula::pred("isDel", vec![Term::var("b")])),
+            ),
+        ));
+        let cache = Arc::new(QueryCache::in_memory());
+        // Under no axioms the conjunction is satisfiable...
+        let mut lax_oracle = CachingOracle::new(AxiomSet::new(), cache.clone());
+        assert!(SolverOracle::is_sat(&mut lax_oracle, &vars, &query));
+        // ...under the disjointness axiom it is not, even with the lax verdict cached.
+        let mut strict_oracle = CachingOracle::new(strict, cache.clone());
+        assert!(!SolverOracle::is_sat(&mut strict_oracle, &vars, &query));
+        assert_eq!(
+            strict_oracle.cache_hits(),
+            0,
+            "must not reuse the lax entry"
+        );
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,270 @@
+//! The parallel verification scheduler.
+//!
+//! A verification run is a work-queue of (benchmark, method) jobs drained by `jobs` worker
+//! threads. Each worker owns its solver (wrapped in a [`CachingOracle`]) but shares the
+//! run-wide [`QueryCache`], so work one method discharges is available to every other
+//! method — across workers and, with a disk log, across runs. Reports are written into
+//! pre-allocated slots keyed by (benchmark, method) index, so aggregation is deterministic
+//! regardless of completion order; verdicts themselves are order-independent because every
+//! cached verdict is a pure function of its canonical key.
+
+use crate::cache::{CacheStatsSnapshot, QueryCache};
+use crate::oracle::CachingOracle;
+use hat_core::{Checker, MethodReport};
+use hat_suite::Benchmark;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a verification run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads (1 = sequential).
+    pub jobs: usize,
+    /// Path of the persistent cache log; `None` keeps the cache in memory only.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            jobs: 1,
+            cache_path: None,
+        }
+    }
+}
+
+/// The verification results of one benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRun {
+    /// ADT name.
+    pub adt: String,
+    /// Backing library name.
+    pub library: String,
+    /// One report per method, in method order.
+    pub reports: Vec<MethodReport>,
+    /// Summed per-method verification time (CPU-side; wall clock shrinks with `jobs`).
+    pub check_time: Duration,
+}
+
+impl BenchmarkRun {
+    /// Whether every method matched its expected verdict.
+    pub fn all_as_expected(&self, bench: &Benchmark) -> bool {
+        bench
+            .methods
+            .iter()
+            .zip(&self.reports)
+            .all(|(m, r)| r.verified == m.expect_verified)
+    }
+
+    /// Total SMT queries issued by this benchmark's methods.
+    pub fn sat_queries(&self) -> usize {
+        self.reports.iter().map(|r| r.stats.sat_queries).sum()
+    }
+
+    /// Total cache hits recorded by this benchmark's methods.
+    pub fn cache_hits(&self) -> usize {
+        self.reports.iter().map(|r| r.stats.cache_hits).sum()
+    }
+
+    /// Total cache misses (queries that reached a solver).
+    pub fn cache_misses(&self) -> usize {
+        self.reports.iter().map(|r| r.stats.cache_misses).sum()
+    }
+}
+
+/// The outcome of a whole run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Per-benchmark results, in input order.
+    pub benchmarks: Vec<BenchmarkRun>,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Cache counters accumulated during this run (deltas, not lifetime totals).
+    pub cache: CacheStatsSnapshot,
+}
+
+/// The parallel verification engine: a worker pool plus the shared query cache.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    cache: Arc<QueryCache>,
+}
+
+impl Engine {
+    /// Creates an engine, loading the persistent cache when one is configured.
+    pub fn new(config: EngineConfig) -> std::io::Result<Self> {
+        let cache = match &config.cache_path {
+            Some(path) => Arc::new(QueryCache::with_disk_log(path)?),
+            None => Arc::new(QueryCache::in_memory()),
+        };
+        Ok(Engine { config, cache })
+    }
+
+    /// The shared query cache (e.g. for reporting lifetime statistics).
+    pub fn cache(&self) -> &Arc<QueryCache> {
+        &self.cache
+    }
+
+    /// Verifies every method of every benchmark, fanning the (benchmark, method) jobs out
+    /// over the configured number of workers.
+    pub fn check_benchmarks(&self, benches: &[Benchmark]) -> RunSummary {
+        let start = Instant::now();
+        let stats_before = self.cache.stats();
+        let jobs: Vec<(usize, usize)> = benches
+            .iter()
+            .enumerate()
+            .flat_map(|(b, bench)| (0..bench.methods.len()).map(move |m| (b, m)))
+            .collect();
+        // One fingerprint per benchmark, not per method job: canonicalising the axiom set
+        // is not free and every method of a benchmark shares it.
+        let key_prefixes: Vec<String> = benches
+            .iter()
+            .map(|b| CachingOracle::key_prefix_for(&b.delta.axioms))
+            .collect();
+        let slots: Vec<Mutex<Option<MethodReport>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.config.jobs.max(1).min(jobs.len().max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(b, m)) = jobs.get(i) else { break };
+                    let bench = &benches[b];
+                    let method = &bench.methods[m];
+                    let oracle = CachingOracle::with_key_prefix(
+                        bench.delta.axioms.clone(),
+                        Arc::clone(&self.cache),
+                        key_prefixes[b].clone(),
+                    );
+                    let mut checker = Checker::with_oracle(bench.delta.clone(), Box::new(oracle));
+                    let report = checker
+                        .check_method(&method.sig, &method.body)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "checking {}::{} failed to run: {e}",
+                                bench.adt, method.sig.name
+                            )
+                        });
+                    *slots[i].lock().expect("report slot poisoned") = Some(report);
+                });
+            }
+        });
+
+        let mut results: Vec<BenchmarkRun> = benches
+            .iter()
+            .map(|b| BenchmarkRun {
+                adt: b.adt.to_string(),
+                library: b.library.to_string(),
+                reports: Vec::with_capacity(b.methods.len()),
+                check_time: Duration::ZERO,
+            })
+            .collect();
+        for (&(b, _), slot) in jobs.iter().zip(&slots) {
+            let report = slot
+                .lock()
+                .expect("report slot poisoned")
+                .take()
+                .expect("every job ran");
+            results[b].check_time += report.stats.total_time;
+            results[b].reports.push(report);
+        }
+
+        self.cache.flush();
+        let after = self.cache.stats();
+        RunSummary {
+            benchmarks: results,
+            wall: start.elapsed(),
+            cache: CacheStatsSnapshot {
+                hits: after.hits - stats_before.hits,
+                misses: after.misses - stats_before.misses,
+                // Disk replay happens at engine construction, so these deltas are 0 for
+                // every run; lifetime values live in `Engine::cache().stats()`.
+                disk_loaded: after.disk_loaded - stats_before.disk_loaded,
+                stale: after.stale - stats_before.stale,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_benches() -> Vec<Benchmark> {
+        // Two small configurations keep this test quick even in debug builds.
+        vec![
+            hat_suite::find("ConnectedGraph", "Set").expect("configuration exists"),
+            hat_suite::find("Stack", "LinkedList").expect("configuration exists"),
+        ]
+    }
+
+    fn verdicts(summary: &RunSummary) -> Vec<Vec<bool>> {
+        summary
+            .benchmarks
+            .iter()
+            .map(|b| b.reports.iter().map(|r| r.verified).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_verdicts_match_sequential() {
+        let benches = fast_benches();
+        let sequential = Engine::new(EngineConfig::default())
+            .expect("in-memory engine")
+            .check_benchmarks(&benches);
+        let parallel = Engine::new(EngineConfig {
+            jobs: 4,
+            cache_path: None,
+        })
+        .expect("in-memory engine")
+        .check_benchmarks(&benches);
+        assert_eq!(verdicts(&sequential), verdicts(&parallel));
+        for (b, run) in benches.iter().zip(&sequential.benchmarks) {
+            assert!(run.all_as_expected(b), "{}/{} regressed", b.adt, b.library);
+        }
+    }
+
+    #[test]
+    fn warm_cache_reduces_solver_work() {
+        let benches = vec![hat_suite::find("ConnectedGraph", "Set").expect("configuration exists")];
+        let engine = Engine::new(EngineConfig::default()).expect("in-memory engine");
+        let cold = engine.check_benchmarks(&benches);
+        let warm = engine.check_benchmarks(&benches);
+        assert_eq!(verdicts(&cold), verdicts(&warm));
+        assert!(warm.cache.hits > 0, "second run must hit the cache");
+        assert!(
+            warm.cache.misses < cold.cache.misses,
+            "warm run should reach the solver less ({} vs {})",
+            warm.cache.misses,
+            cold.cache.misses
+        );
+    }
+
+    #[test]
+    fn disk_log_carries_verdicts_across_engines() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("hat-engine-sched-{}.cache", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let benches = vec![hat_suite::find("Stack", "LinkedList").expect("configuration exists")];
+        let cold = Engine::new(EngineConfig {
+            jobs: 2,
+            cache_path: Some(path.clone()),
+        })
+        .expect("disk-backed engine")
+        .check_benchmarks(&benches);
+        let warm_engine = Engine::new(EngineConfig {
+            jobs: 2,
+            cache_path: Some(path.clone()),
+        })
+        .expect("disk-backed engine");
+        assert!(warm_engine.cache().stats().disk_loaded > 0);
+        let warm = warm_engine.check_benchmarks(&benches);
+        assert_eq!(verdicts(&cold), verdicts(&warm));
+        assert!(warm.cache.hits > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -141,7 +141,11 @@ impl fmt::Display for Value {
                 }
                 write!(f, ")")
             }
-            Value::Lambda { param, param_ty, body } => {
+            Value::Lambda {
+                param,
+                param_ty,
+                body,
+            } => {
                 write!(f, "(fun ({param}: {param_ty}) -> {body})")
             }
             Value::Fix {
@@ -233,11 +237,15 @@ impl Expr {
     pub fn branch_count(&self) -> usize {
         match self {
             Expr::Value(_) => 1,
-            Expr::LetEffOp { body, .. } | Expr::LetPureOp { body, .. } | Expr::LetApp { body, .. } => {
-                body.branch_count()
-            }
+            Expr::LetEffOp { body, .. }
+            | Expr::LetPureOp { body, .. }
+            | Expr::LetApp { body, .. } => body.branch_count(),
             Expr::Let { rhs, body, .. } => rhs.branch_count() + body.branch_count() - 1,
-            Expr::Match { arms, .. } => arms.iter().map(|a| a.body.branch_count()).sum::<usize>().max(1),
+            Expr::Match { arms, .. } => arms
+                .iter()
+                .map(|a| a.body.branch_count())
+                .sum::<usize>()
+                .max(1),
         }
     }
 
@@ -245,9 +253,9 @@ impl Expr {
     pub fn app_count(&self) -> usize {
         match self {
             Expr::Value(_) => 0,
-            Expr::LetEffOp { body, .. } | Expr::LetPureOp { body, .. } | Expr::LetApp { body, .. } => {
-                1 + body.app_count()
-            }
+            Expr::LetEffOp { body, .. }
+            | Expr::LetPureOp { body, .. }
+            | Expr::LetApp { body, .. } => 1 + body.app_count(),
             Expr::Let { rhs, body, .. } => rhs.app_count() + body.app_count(),
             Expr::Match { arms, .. } => arms.iter().map(|a| a.body.app_count()).sum(),
         }
@@ -273,7 +281,9 @@ impl Expr {
                 }
                 body.collect_effect_ops(out);
             }
-            Expr::LetPureOp { body, .. } | Expr::LetApp { body, .. } => body.collect_effect_ops(out),
+            Expr::LetPureOp { body, .. } | Expr::LetApp { body, .. } => {
+                body.collect_effect_ops(out)
+            }
             Expr::Let { rhs, body, .. } => {
                 rhs.collect_effect_ops(out);
                 body.collect_effect_ops(out);
@@ -353,7 +363,10 @@ mod tests {
         );
         assert_eq!(e.branch_count(), 2);
         assert_eq!(e.app_count(), 2);
-        assert_eq!(e.effect_ops(), vec!["exists".to_string(), "put".to_string()]);
+        assert_eq!(
+            e.effect_ops(),
+            vec!["exists".to_string(), "put".to_string()]
+        );
     }
 
     #[test]
@@ -366,7 +379,12 @@ mod tests {
 
     #[test]
     fn expr_display_mentions_operators() {
-        let e = let_eff("u", "put", vec![Value::var("k"), Value::var("v")], ret(Value::unit()));
+        let e = let_eff(
+            "u",
+            "put",
+            vec![Value::var("k"), Value::var("v")],
+            ret(Value::unit()),
+        );
         let s = e.to_string();
         assert!(s.contains("put"));
         assert!(s.contains("let u"));

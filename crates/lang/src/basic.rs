@@ -54,21 +54,29 @@ impl BasicTyCtx {
     pub fn standard() -> Self {
         let mut ctx = BasicTyCtx::default();
         ctx.ctors.insert("true".into(), (vec![], BasicType::bool()));
-        ctx.ctors.insert("false".into(), (vec![], BasicType::bool()));
+        ctx.ctors
+            .insert("false".into(), (vec![], BasicType::bool()));
         for op in ["+", "-", "*", "mod"] {
-            ctx.pure_ops
-                .insert(op.into(), (vec![BasicType::int(), BasicType::int()], BasicType::int()));
+            ctx.pure_ops.insert(
+                op.into(),
+                (vec![BasicType::int(), BasicType::int()], BasicType::int()),
+            );
         }
         for op in ["<", "<=", ">", ">="] {
-            ctx.pure_ops
-                .insert(op.into(), (vec![BasicType::int(), BasicType::int()], BasicType::bool()));
+            ctx.pure_ops.insert(
+                op.into(),
+                (vec![BasicType::int(), BasicType::int()], BasicType::bool()),
+            );
         }
         ctx.pure_ops
             .insert("not".into(), (vec![BasicType::bool()], BasicType::bool()));
         for op in ["&&", "||"] {
             ctx.pure_ops.insert(
                 op.into(),
-                (vec![BasicType::bool(), BasicType::bool()], BasicType::bool()),
+                (
+                    vec![BasicType::bool(), BasicType::bool()],
+                    BasicType::bool(),
+                ),
             );
         }
         ctx
@@ -102,7 +110,9 @@ impl BasicTyCtx {
     fn compatible(expected: &BasicType, actual: &BasicType) -> bool {
         match (expected, actual) {
             // Atom constants inhabit any named sort.
-            (BasicType::Base(Sort::Named(_)), BasicType::Base(Sort::Named(n))) if n == "atom" => true,
+            (BasicType::Base(Sort::Named(_)), BasicType::Base(Sort::Named(n))) if n == "atom" => {
+                true
+            }
             (BasicType::Arrow(a1, b1), BasicType::Arrow(a2, b2)) => {
                 Self::compatible(a1, a2) && Self::compatible(b1, b2)
             }
@@ -142,7 +152,11 @@ impl BasicTyCtx {
                 }
                 Ok(ret)
             }
-            Value::Lambda { param, param_ty, body } => {
+            Value::Lambda {
+                param,
+                param_ty,
+                body,
+            } => {
                 let mut inner = self.clone();
                 inner.bind(param.clone(), param_ty.clone());
                 let body_ty = inner.check_expr(body)?;
@@ -280,7 +294,8 @@ impl BasicTyCtx {
                     let at = inner.check_expr(&arm.body)?;
                     match &result {
                         None => result = Some(at),
-                        Some(prev) if Self::compatible(prev, &at) || Self::compatible(&at, prev) => {}
+                        Some(prev)
+                            if Self::compatible(prev, &at) || Self::compatible(&at, prev) => {}
                         Some(prev) => {
                             return Err(BasicTypeError::Mismatch(format!(
                                 "match arms have different types: {prev} vs {at}"
@@ -353,7 +368,10 @@ mod tests {
     fn operator_arity_is_checked() {
         let ctx = kv_ctx();
         let e = let_eff("u", "put", vec![Value::var("path")], ret(Value::unit()));
-        assert!(matches!(ctx.check_expr(&e), Err(BasicTypeError::Mismatch(_))));
+        assert!(matches!(
+            ctx.check_expr(&e),
+            Err(BasicTypeError::Mismatch(_))
+        ));
         let e2 = let_eff("u", "frobnicate", vec![], ret(Value::unit()));
         assert!(matches!(
             ctx.check_expr(&e2),
@@ -364,8 +382,15 @@ mod tests {
     #[test]
     fn branch_types_must_agree() {
         let ctx = kv_ctx();
-        let e = ite(Value::bool(true), ret(Value::int(1)), ret(Value::bool(false)));
-        assert!(matches!(ctx.check_expr(&e), Err(BasicTypeError::Mismatch(_))));
+        let e = ite(
+            Value::bool(true),
+            ret(Value::int(1)),
+            ret(Value::bool(false)),
+        );
+        assert!(matches!(
+            ctx.check_expr(&e),
+            Err(BasicTypeError::Mismatch(_))
+        ));
     }
 
     #[test]
@@ -375,7 +400,12 @@ mod tests {
         let inc = lambda(
             "x",
             BasicType::int(),
-            let_pure("y", "+", vec![Value::var("x"), Value::int(1)], ret(Value::var("y"))),
+            let_pure(
+                "y",
+                "+",
+                vec![Value::var("x"), Value::int(1)],
+                ret(Value::var("y")),
+            ),
         );
         assert_eq!(
             ctx.check_value(&inc).unwrap(),

@@ -79,7 +79,11 @@ pub fn match_on(scrutinee: Value, arms: Vec<(Ident, Vec<Ident>, Expr)>) -> Expr 
         scrutinee,
         arms: arms
             .into_iter()
-            .map(|(ctor, binders, body)| MatchArm { ctor, binders, body })
+            .map(|(ctor, binders, body)| MatchArm {
+                ctor,
+                binders,
+                body,
+            })
             .collect(),
     }
 }

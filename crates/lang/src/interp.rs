@@ -156,7 +156,12 @@ impl LibraryModel {
     }
 
     /// Applies an operator under a trace.
-    pub fn apply(&self, trace: &Trace, op: &str, args: &[Constant]) -> Result<Constant, InterpError> {
+    pub fn apply(
+        &self,
+        trace: &Trace,
+        op: &str,
+        args: &[Constant],
+    ) -> Result<Constant, InterpError> {
         match self.handlers.get(op) {
             Some(h) => h(trace, args),
             None => Err(InterpError::UnknownOperator(op.to_string())),
@@ -202,8 +207,10 @@ impl Interpreter {
                 if args.is_empty() && d == "false" {
                     return Ok(RtValue::Const(Constant::Bool(false)));
                 }
-                let vals: Vec<RtValue> =
-                    args.iter().map(|a| self.value(env, a)).collect::<Result<_, _>>()?;
+                let vals: Vec<RtValue> = args
+                    .iter()
+                    .map(|a| self.value(env, a))
+                    .collect::<Result<_, _>>()?;
                 Ok(RtValue::Ctor(d.clone(), vals))
             }
             Value::Lambda { param, body, .. } => Ok(RtValue::Closure {
@@ -228,7 +235,9 @@ impl Interpreter {
             .map(|a| {
                 let v = self.value(env, a)?;
                 v.as_const().cloned().ok_or_else(|| {
-                    InterpError::TypeError(format!("operator argument `{v}` is not a first-order value"))
+                    InterpError::TypeError(format!(
+                        "operator argument `{v}` is not a first-order value"
+                    ))
                 })
             })
             .collect()
@@ -278,7 +287,12 @@ impl Interpreter {
 
     /// Evaluates an expression under an environment and an effect context, returning the
     /// result value and the extended trace.
-    pub fn eval(&self, env: &Env, trace: &Trace, e: &Expr) -> Result<(RtValue, Trace), InterpError> {
+    pub fn eval(
+        &self,
+        env: &Env,
+        trace: &Trace,
+        e: &Expr,
+    ) -> Result<(RtValue, Trace), InterpError> {
         let mut fuel = self.fuel;
         let mut trace = trace.clone();
         let v = self.eval_inner(env, &mut trace, e, &mut fuel)?;
@@ -348,7 +362,9 @@ impl Interpreter {
                         return self.eval_inner(&env2, trace, &arm.body, fuel);
                     }
                 }
-                Err(InterpError::Stuck(format!("no match arm for constructor `{ctor}`")))
+                Err(InterpError::Stuck(format!(
+                    "no match arm for constructor `{ctor}`"
+                )))
             }
         }
     }
@@ -401,7 +417,9 @@ pub fn kvstore_model() -> LibraryModel {
         _ => Err(InterpError::TypeError("put expects 2 arguments".into())),
     });
     m.define("exists", |trace, args| match args {
-        [k] => Ok(Constant::Bool(trace.any(|e| e.op == "put" && e.args.first() == Some(k)))),
+        [k] => Ok(Constant::Bool(
+            trace.any(|e| e.op == "put" && e.args.first() == Some(k)),
+        )),
         _ => Err(InterpError::TypeError("exists expects 1 argument".into())),
     });
     m.define("get", |trace, args| match args {
@@ -497,12 +515,16 @@ mod tests {
     fn example_2_1_traces_are_reproduced() {
         let i = interp();
         // add_bad "/a/b.txt" appends a put without any checks: trace α1 of the paper.
-        let (v, t) = i.eval(&env_with("/a/b.txt", "file:1"), &init_trace(), &add_bad()).unwrap();
+        let (v, t) = i
+            .eval(&env_with("/a/b.txt", "file:1"), &init_trace(), &add_bad())
+            .unwrap();
         assert_eq!(v.as_bool(), Some(true));
         assert_eq!(t.len(), 2);
         assert_eq!(t.get(1).unwrap().op, "put");
         // add "/a/b.txt" checks for the parent and fails: trace α2 of the paper.
-        let (v, t) = i.eval(&env_with("/a/b.txt", "file:1"), &init_trace(), &add_ok()).unwrap();
+        let (v, t) = i
+            .eval(&env_with("/a/b.txt", "file:1"), &init_trace(), &add_ok())
+            .unwrap();
         assert_eq!(v.as_bool(), Some(false));
         let ops: Vec<&str> = t.iter().map(|e| e.op.as_str()).collect();
         assert_eq!(ops, vec!["put", "exists", "exists"]);
@@ -513,11 +535,15 @@ mod tests {
     #[test]
     fn add_succeeds_when_parent_is_a_directory() {
         let i = interp();
-        let (v, t) = i.eval(&env_with("/a", "dir:a"), &init_trace(), &add_ok()).unwrap();
+        let (v, t) = i
+            .eval(&env_with("/a", "dir:a"), &init_trace(), &add_ok())
+            .unwrap();
         assert_eq!(v.as_bool(), Some(true));
         assert_eq!(t.iter().filter(|e| e.op == "put").count(), 2);
         // Now add a file below it, starting from the produced trace.
-        let (v2, t2) = i.eval(&env_with("/a/b.txt", "file:1"), &t, &add_ok()).unwrap();
+        let (v2, t2) = i
+            .eval(&env_with("/a/b.txt", "file:1"), &t, &add_ok())
+            .unwrap();
         assert_eq!(v2.as_bool(), Some(true));
         assert!(t2.any(|e| e.op == "put" && e.args[0] == Constant::atom("/a/b.txt")));
     }
@@ -574,7 +600,10 @@ mod tests {
         // let rec sum n = if n <= 0 then 0 else n + sum (n - 1)
         let sum = fix(
             "sum",
-            crate::ast::BasicType::arrow(crate::ast::BasicType::int(), crate::ast::BasicType::int()),
+            crate::ast::BasicType::arrow(
+                crate::ast::BasicType::int(),
+                crate::ast::BasicType::int(),
+            ),
             "n",
             crate::ast::BasicType::int(),
             let_pure(
@@ -618,16 +647,27 @@ mod tests {
         i.fuel = 100;
         let loop_forever = fix(
             "loop",
-            crate::ast::BasicType::arrow(crate::ast::BasicType::int(), crate::ast::BasicType::int()),
+            crate::ast::BasicType::arrow(
+                crate::ast::BasicType::int(),
+                crate::ast::BasicType::int(),
+            ),
             "n",
             crate::ast::BasicType::int(),
-            let_app("r", Value::var("loop"), Value::var("n"), ret(Value::var("r"))),
+            let_app(
+                "r",
+                Value::var("loop"),
+                Value::var("n"),
+                ret(Value::var("r")),
+            ),
         );
         let e = let_in(
             "f",
             ret(loop_forever),
             let_app("r", Value::var("f"), Value::int(0), ret(Value::var("r"))),
         );
-        assert_eq!(i.eval(&Env::new(), &Trace::new(), &e).unwrap_err(), InterpError::OutOfFuel);
+        assert_eq!(
+            i.eval(&Env::new(), &Trace::new(), &e).unwrap_err(),
+            InterpError::OutOfFuel
+        );
     }
 }

@@ -32,7 +32,10 @@ impl fmt::Display for EvalError {
             EvalError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             EvalError::UnknownSymbol(s) => write!(f, "unknown symbol `{s}`"),
             EvalError::UnevaluableQuantifier(x) => {
-                write!(f, "cannot evaluate quantifier over infinite sort (variable `{x}`)")
+                write!(
+                    f,
+                    "cannot evaluate quantifier over infinite sort (variable `{x}`)"
+                )
             }
         }
     }
@@ -40,12 +43,17 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
+/// Implementation of a named pure function.
+pub type FuncImpl = Arc<dyn Fn(&[Constant]) -> Option<Constant> + Send + Sync>;
+/// Implementation of a method predicate.
+pub type PredImpl = Arc<dyn Fn(&[Constant]) -> Option<bool> + Send + Sync>;
+
 /// An interpretation of uninterpreted symbols: named pure functions (e.g. `parent`)
 /// and method predicates (e.g. `isDir`).
-#[derive(Clone)]
+#[derive(Clone, Default)]
 pub struct Interpretation {
-    funcs: BTreeMap<String, Arc<dyn Fn(&[Constant]) -> Option<Constant> + Send + Sync>>,
-    preds: BTreeMap<String, Arc<dyn Fn(&[Constant]) -> Option<bool> + Send + Sync>>,
+    funcs: BTreeMap<String, FuncImpl>,
+    preds: BTreeMap<String, PredImpl>,
 }
 
 impl fmt::Debug for Interpretation {
@@ -54,15 +62,6 @@ impl fmt::Debug for Interpretation {
             .field("funcs", &self.funcs.keys().collect::<Vec<_>>())
             .field("preds", &self.preds.keys().collect::<Vec<_>>())
             .finish()
-    }
-}
-
-impl Default for Interpretation {
-    fn default() -> Self {
-        Interpretation {
-            funcs: BTreeMap::new(),
-            preds: BTreeMap::new(),
-        }
     }
 }
 
@@ -186,8 +185,10 @@ impl EvalCtx {
                 .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
             Term::Const(c) => Ok(c.clone()),
             Term::App(sym, args) => {
-                let vals: Vec<Constant> =
-                    args.iter().map(|a| self.eval_term(a)).collect::<Result<_, _>>()?;
+                let vals: Vec<Constant> = args
+                    .iter()
+                    .map(|a| self.eval_term(a))
+                    .collect::<Result<_, _>>()?;
                 match sym {
                     FuncSym::Add | FuncSym::Sub | FuncSym::Mul | FuncSym::Mod => {
                         let (a, b) = match (&vals[..], sym) {
@@ -235,8 +236,10 @@ impl EvalCtx {
                 _ => Err(EvalError::TypeMismatch("ordering on non-integers".into())),
             },
             Atom::Pred(p, args) => {
-                let vals: Vec<Constant> =
-                    args.iter().map(|t| self.eval_term(t)).collect::<Result<_, _>>()?;
+                let vals: Vec<Constant> = args
+                    .iter()
+                    .map(|t| self.eval_term(t))
+                    .collect::<Result<_, _>>()?;
                 self.interp.pred(p, &vals)
             }
             Atom::BoolTerm(t) => match self.eval_term(t)? {
@@ -320,12 +323,20 @@ mod tests {
         ctx.bind("p", Constant::atom("/a/b.txt"));
         let parent = Term::app("parent", vec![Term::var("p")]);
         assert_eq!(ctx.eval_term(&parent).unwrap(), Constant::atom("/a"));
-        assert!(!ctx.eval_formula(&Formula::pred("isRoot", vec![Term::var("p")])).unwrap());
+        assert!(!ctx
+            .eval_formula(&Formula::pred("isRoot", vec![Term::var("p")]))
+            .unwrap());
         ctx.bind("q", Constant::atom("/"));
-        assert!(ctx.eval_formula(&Formula::pred("isRoot", vec![Term::var("q")])).unwrap());
+        assert!(ctx
+            .eval_formula(&Formula::pred("isRoot", vec![Term::var("q")]))
+            .unwrap());
         ctx.bind("b", Constant::atom("dir:1"));
-        assert!(ctx.eval_formula(&Formula::pred("isDir", vec![Term::var("b")])).unwrap());
-        assert!(!ctx.eval_formula(&Formula::pred("isFile", vec![Term::var("b")])).unwrap());
+        assert!(ctx
+            .eval_formula(&Formula::pred("isDir", vec![Term::var("b")]))
+            .unwrap());
+        assert!(!ctx
+            .eval_formula(&Formula::pred("isFile", vec![Term::var("b")]))
+            .unwrap());
     }
 
     #[test]
@@ -367,8 +378,14 @@ mod tests {
     #[test]
     fn ordering_atoms() {
         let ctx = EvalCtx::default();
-        assert!(ctx.eval_formula(&Formula::lt(Term::int(1), Term::int(2))).unwrap());
-        assert!(!ctx.eval_formula(&Formula::lt(Term::int(2), Term::int(2))).unwrap());
-        assert!(ctx.eval_formula(&Formula::le(Term::int(2), Term::int(2))).unwrap());
+        assert!(ctx
+            .eval_formula(&Formula::lt(Term::int(1), Term::int(2)))
+            .unwrap());
+        assert!(!ctx
+            .eval_formula(&Formula::lt(Term::int(2), Term::int(2)))
+            .unwrap());
+        assert!(ctx
+            .eval_formula(&Formula::le(Term::int(2), Term::int(2)))
+            .unwrap());
     }
 }

@@ -44,9 +44,10 @@ impl Atom {
             Atom::Eq(a, b) => Atom::Eq(a.subst_var(var, t), b.subst_var(var, t)),
             Atom::Lt(a, b) => Atom::Lt(a.subst_var(var, t), b.subst_var(var, t)),
             Atom::Le(a, b) => Atom::Le(a.subst_var(var, t), b.subst_var(var, t)),
-            Atom::Pred(p, args) => {
-                Atom::Pred(p.clone(), args.iter().map(|a| a.subst_var(var, t)).collect())
-            }
+            Atom::Pred(p, args) => Atom::Pred(
+                p.clone(),
+                args.iter().map(|a| a.subst_var(var, t)).collect(),
+            ),
             Atom::BoolTerm(b) => Atom::BoolTerm(b.subst_var(var, t)),
         }
     }
@@ -136,6 +137,7 @@ impl Formula {
     }
 
     /// Negation (with trivial simplification of constants).
+    #[allow(clippy::should_implement_trait)] // associated constructor, not operator overloading
     pub fn not(f: Formula) -> Self {
         match f {
             Formula::True => Formula::False,
@@ -261,9 +263,7 @@ impl Formula {
             Formula::True | Formula::False => self.clone(),
             Formula::Atom(a) => Formula::Atom(a.rename_vars(f)),
             Formula::Not(inner) => Formula::Not(Box::new(inner.rename_free_vars(f))),
-            Formula::And(fs) => {
-                Formula::And(fs.iter().map(|g| g.rename_free_vars(f)).collect())
-            }
+            Formula::And(fs) => Formula::And(fs.iter().map(|g| g.rename_free_vars(f)).collect()),
             Formula::Or(fs) => Formula::Or(fs.iter().map(|g| g.rename_free_vars(f)).collect()),
             Formula::Implies(p, q) => Formula::Implies(
                 Box::new(p.rename_free_vars(f)),
@@ -374,21 +374,33 @@ mod tests {
 
     #[test]
     fn smart_constructors_simplify_constants() {
-        assert_eq!(Formula::and(vec![Formula::True, Formula::True]), Formula::True);
+        assert_eq!(
+            Formula::and(vec![Formula::True, Formula::True]),
+            Formula::True
+        );
         assert_eq!(
             Formula::and(vec![Formula::False, Formula::eq(x(), x())]),
             Formula::False
         );
         assert_eq!(Formula::or(vec![Formula::False]), Formula::False);
-        assert_eq!(Formula::or(vec![Formula::True, Formula::False]), Formula::True);
+        assert_eq!(
+            Formula::or(vec![Formula::True, Formula::False]),
+            Formula::True
+        );
         assert_eq!(Formula::not(Formula::True), Formula::False);
-        assert_eq!(Formula::not(Formula::not(Formula::eq(x(), x()))), Formula::eq(x(), x()));
+        assert_eq!(
+            Formula::not(Formula::not(Formula::eq(x(), x()))),
+            Formula::eq(x(), x())
+        );
     }
 
     #[test]
     fn and_flattens_nested() {
         let f = Formula::and(vec![
-            Formula::and(vec![Formula::eq(x(), Term::int(1)), Formula::eq(x(), Term::int(2))]),
+            Formula::and(vec![
+                Formula::eq(x(), Term::int(1)),
+                Formula::eq(x(), Term::int(2)),
+            ]),
             Formula::eq(x(), Term::int(3)),
         ]);
         match f {
@@ -417,7 +429,10 @@ mod tests {
     #[test]
     fn literal_count_matches_atom_occurrences() {
         let f = Formula::implies(
-            Formula::and(vec![Formula::pred("isDir", vec![x()]), Formula::lt(x(), Term::int(3))]),
+            Formula::and(vec![
+                Formula::pred("isDir", vec![x()]),
+                Formula::lt(x(), Term::int(3)),
+            ]),
             Formula::not(Formula::pred("isDel", vec![x()])),
         );
         assert_eq!(f.literal_count(), 3);
@@ -434,7 +449,10 @@ mod tests {
 
     #[test]
     fn display_roundtrip_shape() {
-        let f = Formula::implies(Formula::pred("p", vec![x()]), Formula::eq(x(), Term::int(1)));
+        let f = Formula::implies(
+            Formula::pred("p", vec![x()]),
+            Formula::eq(x(), Term::int(1)),
+        );
         assert_eq!(f.to_string(), "(p(x) ==> x == 1)");
     }
 }

@@ -77,7 +77,10 @@ pub fn to_nnf(f: &Formula, negate: bool) -> Formula {
                 Formula::and(vec![notp.clone(), notq.clone()]),
             ]);
             if negate {
-                Formula::or(vec![Formula::and(vec![pp, notq]), Formula::and(vec![notp, qq])])
+                Formula::or(vec![
+                    Formula::and(vec![pp, notq]),
+                    Formula::and(vec![notp, qq]),
+                ])
             } else {
                 expanded
             }
@@ -107,7 +110,10 @@ fn fold_atom(a: &Atom) -> Option<bool> {
                 }
             }
         }
-        Atom::Lt(l, r) => match (l.as_const().and_then(|c| c.as_int()), r.as_const().and_then(|c| c.as_int())) {
+        Atom::Lt(l, r) => match (
+            l.as_const().and_then(|c| c.as_int()),
+            r.as_const().and_then(|c| c.as_int()),
+        ) {
             (Some(a), Some(b)) => Some(a < b),
             _ => {
                 if l == r {
@@ -117,7 +123,10 @@ fn fold_atom(a: &Atom) -> Option<bool> {
                 }
             }
         },
-        Atom::Le(l, r) => match (l.as_const().and_then(|c| c.as_int()), r.as_const().and_then(|c| c.as_int())) {
+        Atom::Le(l, r) => match (
+            l.as_const().and_then(|c| c.as_int()),
+            r.as_const().and_then(|c| c.as_int()),
+        ) {
             (Some(a), Some(b)) => Some(a <= b),
             _ => {
                 if l == r {

@@ -82,13 +82,19 @@ impl CnfBuilder {
         match f {
             Formula::True => {
                 let v = self.fresh();
-                let l = Lit { var: v, positive: true };
+                let l = Lit {
+                    var: v,
+                    positive: true,
+                };
                 self.clauses.push(vec![l]);
                 l
             }
             Formula::False => {
                 let v = self.fresh();
-                let l = Lit { var: v, positive: true };
+                let l = Lit {
+                    var: v,
+                    positive: true,
+                };
                 self.clauses.push(vec![l.negate()]);
                 l
             }
@@ -100,7 +106,10 @@ impl CnfBuilder {
             Formula::And(fs) => {
                 let lits: Vec<Lit> = fs.iter().map(|g| self.encode(g)).collect();
                 let v = self.fresh();
-                let out = Lit { var: v, positive: true };
+                let out = Lit {
+                    var: v,
+                    positive: true,
+                };
                 // out -> li
                 for l in &lits {
                     self.clauses.push(vec![out.negate(), *l]);
@@ -114,7 +123,10 @@ impl CnfBuilder {
             Formula::Or(fs) => {
                 let lits: Vec<Lit> = fs.iter().map(|g| self.encode(g)).collect();
                 let v = self.fresh();
-                let out = Lit { var: v, positive: true };
+                let out = Lit {
+                    var: v,
+                    positive: true,
+                };
                 // li -> out
                 for l in &lits {
                     self.clauses.push(vec![l.negate(), out]);
@@ -154,7 +166,11 @@ mod tests {
         let p = Formula::pred("p", vec![Term::var("x")]);
         let f = Formula::And(vec![p.clone(), Formula::Not(Box::new(p.clone()))]);
         let _ = b.encode(&f);
-        assert_eq!(b.atoms().len(), 1, "the same atom must get a single variable");
+        assert_eq!(
+            b.atoms().len(),
+            1,
+            "the same atom must get a single variable"
+        );
     }
 
     #[test]

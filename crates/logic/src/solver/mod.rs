@@ -88,6 +88,10 @@ impl Solver {
     pub fn is_satisfiable(&mut self, vars: &SortEnv, f: &Formula) -> bool {
         let start = Instant::now();
         self.stats.queries += 1;
+        // Fresh names are scoped to one query; restarting the counter makes every answer a
+        // pure function of (axioms, vars, f), which result caches and parallel verification
+        // rely on (instantiation order depends on generated names).
+        self.fresh = 0;
         let result = self.check_sat(vars, f);
         if result {
             self.stats.sat += 1;
@@ -360,7 +364,11 @@ mod tests {
     use crate::constant::Constant;
 
     fn int_env() -> Vec<(Ident, Sort)> {
-        vec![("x".into(), Sort::Int), ("y".into(), Sort::Int), ("z".into(), Sort::Int)]
+        vec![
+            ("x".into(), Sort::Int),
+            ("y".into(), Sort::Int),
+            ("z".into(), Sort::Int),
+        ]
     }
 
     #[test]
@@ -390,14 +398,17 @@ mod tests {
     #[test]
     fn equality_reasoning_with_congruence() {
         let mut s = Solver::default();
-        let env = vec![("a".to_string(), Sort::named("T")), ("b".to_string(), Sort::named("T"))];
+        let env = vec![
+            ("a".to_string(), Sort::named("T")),
+            ("b".to_string(), Sort::named("T")),
+        ];
         // a = b ⊢ f(a) = f(b)
         let hyp = Formula::eq(Term::var("a"), Term::var("b"));
         let goal = Formula::eq(
             Term::app("f", vec![Term::var("a")]),
             Term::app("f", vec![Term::var("b")]),
         );
-        assert!(s.entails(&env, &[hyp.clone()], &goal));
+        assert!(s.entails(&env, std::slice::from_ref(&hyp), &goal));
         // a = b does not entail g(a) = h(b)
         let bad = Formula::eq(
             Term::app("g", vec![Term::var("a")]),

@@ -135,7 +135,13 @@ mod tests {
     #[test]
     fn satisfiable_instance() {
         // (a ∨ b) ∧ (¬a ∨ b) — satisfiable with b = true.
-        let s = SatSolver::new(2, vec![vec![lit(0, true), lit(1, true)], vec![lit(0, false), lit(1, true)]]);
+        let s = SatSolver::new(
+            2,
+            vec![
+                vec![lit(0, true), lit(1, true)],
+                vec![lit(0, false), lit(1, true)],
+            ],
+        );
         let m = s.solve().expect("should be satisfiable");
         assert_eq!(m.get(1), Some(true));
     }
@@ -150,11 +156,14 @@ mod tests {
     #[test]
     fn unit_propagation_chains() {
         // a, a→b, b→c  (as clauses) forces c.
-        let s = SatSolver::new(3, vec![
-            vec![lit(0, true)],
-            vec![lit(0, false), lit(1, true)],
-            vec![lit(1, false), lit(2, true)],
-        ]);
+        let s = SatSolver::new(
+            3,
+            vec![
+                vec![lit(0, true)],
+                vec![lit(0, false), lit(1, true)],
+                vec![lit(1, false), lit(2, true)],
+            ],
+        );
         let m = s.solve().unwrap();
         assert_eq!(m.get(0), Some(true));
         assert_eq!(m.get(1), Some(true));

@@ -100,7 +100,10 @@ mod tests {
     fn apply_to_formula() {
         let f = Formula::eq(Term::var("x"), Term::var("y"));
         let s = Subst::single("x", Term::int(1));
-        assert_eq!(s.apply_formula(&f), Formula::eq(Term::int(1), Term::var("y")));
+        assert_eq!(
+            s.apply_formula(&f),
+            Formula::eq(Term::int(1), Term::var("y"))
+        );
     }
 
     #[test]

@@ -100,11 +100,13 @@ impl Term {
     }
 
     /// `lhs + rhs`.
+    #[allow(clippy::should_implement_trait)] // associated constructor, not operator overloading
     pub fn add(lhs: Term, rhs: Term) -> Self {
         Term::App(FuncSym::Add, vec![lhs, rhs])
     }
 
     /// `lhs - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(lhs: Term, rhs: Term) -> Self {
         Term::App(FuncSym::Sub, vec![lhs, rhs])
     }
@@ -169,10 +171,9 @@ impl Term {
                 None => self.clone(),
             },
             Term::Const(_) => self.clone(),
-            Term::App(sym, args) => Term::App(
-                sym.clone(),
-                args.iter().map(|a| a.rename_vars(f)).collect(),
-            ),
+            Term::App(sym, args) => {
+                Term::App(sym.clone(), args.iter().map(|a| a.rename_vars(f)).collect())
+            }
         }
     }
 
@@ -254,7 +255,10 @@ mod tests {
     fn display_is_reasonable() {
         let t = Term::sub(Term::var("a"), Term::int(2));
         assert_eq!(t.to_string(), "(a - 2)");
-        assert_eq!(Term::app("parent", vec![Term::var("p")]).to_string(), "parent(p)");
+        assert_eq!(
+            Term::app("parent", vec![Term::var("p")]).to_string(),
+            "parent(p)"
+        );
     }
 
     #[test]
@@ -266,7 +270,13 @@ mod tests {
     #[test]
     fn rename_vars_applies_mapping() {
         let t = Term::app("f", vec![Term::var("x"), Term::var("y")]);
-        let r = t.rename_vars(&|v| if v == "x" { Some("z".to_string()) } else { None });
+        let r = t.rename_vars(&|v| {
+            if v == "x" {
+                Some("z".to_string())
+            } else {
+                None
+            }
+        });
         assert_eq!(r.to_string(), "f(z, y)");
     }
 }

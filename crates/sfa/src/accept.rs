@@ -165,7 +165,11 @@ mod tests {
     use hat_logic::{Formula, Term};
 
     fn put(k: &str, v: &str) -> Event {
-        Event::new("put", vec![Constant::atom(k), Constant::atom(v)], Constant::Unit)
+        Event::new(
+            "put",
+            vec![Constant::atom(k), Constant::atom(v)],
+            Constant::Unit,
+        )
     }
 
     fn exists(k: &str, r: bool) -> Event {
@@ -227,7 +231,12 @@ mod tests {
     fn last_modality_pins_trace_length() {
         let model = fs_model().bind("p", Constant::atom("/a"));
         let exactly_one = Sfa::and(vec![put_key_eq_p(), Sfa::last()]);
-        assert!(accepts(&model, &Trace::from_events(vec![put("/a", "dir:a")]), &exactly_one).unwrap());
+        assert!(accepts(
+            &model,
+            &Trace::from_events(vec![put("/a", "dir:a")]),
+            &exactly_one
+        )
+        .unwrap());
         assert!(!accepts(
             &model,
             &Trace::from_events(vec![put("/a", "dir:a"), put("/b", "dir:b")]),
@@ -240,7 +249,8 @@ mod tests {
     fn concatenation_splits_the_trace() {
         let model = fs_model().bind("p", Constant::atom("/a"));
         // □⟨⊤⟩ ; (put p ∧ LAST): trace ends with a put of p.
-        let ends_with_put_p = Sfa::concat(Sfa::universe(), Sfa::and(vec![put_key_eq_p(), Sfa::last()]));
+        let ends_with_put_p =
+            Sfa::concat(Sfa::universe(), Sfa::and(vec![put_key_eq_p(), Sfa::last()]));
         let good = Trace::from_events(vec![put("/x", "dir:x"), put("/a", "dir:a")]);
         let bad = Trace::from_events(vec![put("/a", "dir:a"), put("/x", "dir:x")]);
         assert!(accepts(&model, &good, &ends_with_put_p).unwrap());

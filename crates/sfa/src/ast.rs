@@ -187,6 +187,7 @@ impl Sfa {
     }
 
     /// Complement (with light simplification).
+    #[allow(clippy::should_implement_trait)] // associated constructor, not operator overloading
     pub fn not(a: Sfa) -> Sfa {
         match a {
             Sfa::Not(inner) => *inner,
@@ -480,7 +481,10 @@ mod tests {
     fn derived_operators_expand_as_in_the_paper() {
         let e = put_event(Formula::True);
         // ♦e = ⟨⊤⟩ U e
-        assert_eq!(Sfa::eventually(e.clone()), Sfa::until(Sfa::any_event(), e.clone()));
+        assert_eq!(
+            Sfa::eventually(e.clone()),
+            Sfa::until(Sfa::any_event(), e.clone())
+        );
         // □e = ¬(⟨⊤⟩ U ¬e)
         assert_eq!(
             Sfa::globally(e.clone()),
@@ -522,7 +526,12 @@ mod tests {
     #[test]
     fn ops_and_literal_count() {
         let inv = Sfa::globally(Sfa::implies(
-            Sfa::event("insert", vec!["x".into()], "v", Formula::eq(Term::var("x"), Term::var("el"))),
+            Sfa::event(
+                "insert",
+                vec!["x".into()],
+                "v",
+                Formula::eq(Term::var("x"), Term::var("el")),
+            ),
             Sfa::next(Sfa::not(Sfa::eventually(Sfa::event(
                 "insert",
                 vec!["x".into()],

@@ -220,9 +220,7 @@ mod tests {
     struct SyntacticOracle;
 
     fn atom_holds(m: &Minterm, atom: &Atom) -> bool {
-        m.assignment
-            .iter()
-            .any(|(a, v)| a == atom && *v)
+        m.assignment.iter().any(|(a, v)| a == atom && *v)
     }
 
     impl TransitionOracle for SyntacticOracle {
@@ -231,7 +229,10 @@ mod tests {
                 if v == e.result {
                     Some(crate::minterm::res_name())
                 } else {
-                    e.args.iter().position(|x| x == v).map(crate::minterm::arg_name)
+                    e.args
+                        .iter()
+                        .position(|x| x == v)
+                        .map(crate::minterm::arg_name)
                 }
             });
             match renamed {

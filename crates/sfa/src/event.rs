@@ -97,7 +97,7 @@ impl Trace {
 
     /// Whether any event matches the predicate.
     pub fn any<F: Fn(&Event) -> bool>(&self, pred: F) -> bool {
-        self.events.iter().any(|e| pred(e))
+        self.events.iter().any(pred)
     }
 }
 
@@ -127,7 +127,11 @@ mod tests {
     use super::*;
 
     fn put(k: &str, v: &str) -> Event {
-        Event::new("put", vec![Constant::atom(k), Constant::atom(v)], Constant::Unit)
+        Event::new(
+            "put",
+            vec![Constant::atom(k), Constant::atom(v)],
+            Constant::Unit,
+        )
     }
 
     #[test]

@@ -56,6 +56,14 @@ pub trait SolverOracle {
     fn query_count(&self) -> usize;
     /// Total time spent answering queries (for the `t_SAT` column).
     fn query_time(&self) -> Duration;
+    /// Number of queries answered from a shared result cache (0 for an uncached solver).
+    fn cache_hits(&self) -> usize {
+        0
+    }
+    /// Number of queries that reached the underlying decision procedure.
+    fn cache_misses(&self) -> usize {
+        self.query_count()
+    }
 }
 
 impl SolverOracle for hat_logic::Solver {
@@ -298,7 +306,9 @@ mod tests {
         let mut solver = Solver::default();
         let inv = uniqueness_invariant();
         assert!(checker.check(&ctx_el(), &inv, &inv, &mut solver).unwrap());
-        assert!(checker.check(&ctx_el(), &Sfa::Zero, &inv, &mut solver).unwrap());
+        assert!(checker
+            .check(&ctx_el(), &Sfa::Zero, &inv, &mut solver)
+            .unwrap());
         assert!(checker
             .check(&ctx_el(), &inv, &Sfa::universe(), &mut solver)
             .unwrap());
@@ -335,7 +345,9 @@ mod tests {
 
         // Without the "not present" assumption the insertion may duplicate el:
         let bad_post = Sfa::concat(inv.clone(), Sfa::and(vec![ins_el(), Sfa::last()]));
-        assert!(!checker.check(&ctx_el(), &bad_post, &inv, &mut solver).unwrap());
+        assert!(!checker
+            .check(&ctx_el(), &bad_post, &inv, &mut solver)
+            .unwrap());
     }
 
     #[test]
@@ -370,9 +382,13 @@ mod tests {
             vec![("p".into(), Sort::named("Path.t"))],
             vec![Formula::pred("isRoot", vec![Term::var("p")])],
         );
-        assert!(!checker.check(&ctx_root, &a, &no_put_p, &mut solver).unwrap());
+        assert!(!checker
+            .check(&ctx_root, &a, &no_put_p, &mut solver)
+            .unwrap());
         // ...but inclusion of the no-put automaton in A succeeds trivially under that fact.
-        assert!(checker.check(&ctx_root, &no_put_p, &a, &mut solver).unwrap());
+        assert!(checker
+            .check(&ctx_root, &no_put_p, &a, &mut solver)
+            .unwrap());
     }
 
     #[test]
@@ -394,7 +410,9 @@ mod tests {
         let mut checker = InclusionChecker::new(ops);
         let mut solver = Solver::default();
         // Every trace of inserts of 0 never inserts el (because el < 0 ≠ 0).
-        assert!(checker.check(&ctx, &only_zero, &not_ins_el, &mut solver).unwrap());
+        assert!(checker
+            .check(&ctx, &only_zero, &not_ins_el, &mut solver)
+            .unwrap());
         // Without the context fact the inclusion must fail (el could be 0).
         let ctx_plain = ctx_el();
         assert!(!checker

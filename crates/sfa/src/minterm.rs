@@ -372,7 +372,11 @@ mod tests {
                 ],
                 Sort::Unit,
             ),
-            OpSig::new("exists", vec![("key".into(), Sort::named("Path.t"))], Sort::Bool),
+            OpSig::new(
+                "exists",
+                vec![("key".into(), Sort::named("Path.t"))],
+                Sort::Bool,
+            ),
         ]
     }
 
@@ -449,7 +453,11 @@ mod tests {
             Sort::Unit,
         )];
         let set = build_minterms(&ctx, &ops, &[&a], &mut oracle);
-        assert_eq!(set.minterms.len(), 3, "2^2 combinations minus the contradictory one");
+        assert_eq!(
+            set.minterms.len(),
+            3,
+            "2^2 combinations minus the contradictory one"
+        );
         assert!(set.pruned >= 1);
     }
 

@@ -13,11 +13,7 @@ use hat_sfa::Sfa;
 
 /// `P_exists(k)`: some `put` of key `k` appears in the trace (Example 4.1).
 pub fn p_exists(k: Term) -> Sfa {
-    Sfa::eventually(ev(
-        "put",
-        &["key", "val"],
-        Formula::eq(Term::var("key"), k),
-    ))
+    Sfa::eventually(ev("put", &["key", "val"], Formula::eq(Term::var("key"), k)))
 }
 
 /// `P_stored(k, a)`: the most recent `put` of key `k` stored the value `a` (Example 4.1).
@@ -102,7 +98,11 @@ pub fn kvstore_delta() -> Delta {
     );
 
     // get : k:Path.t → [P_exists(k)] Bytes.t [P_exists(k); ⟨get k⟩ ∧ LAST]
-    let get_event = ev("get", &["key"], Formula::eq(Term::var("key"), Term::var("k")));
+    let get_event = ev(
+        "get",
+        &["key"],
+        Formula::eq(Term::var("key"), Term::var("k")),
+    );
     d.declare_eff(
         "get",
         EffOpSig {
@@ -176,7 +176,10 @@ pub fn kvstore_delta() -> Delta {
         "setDeleted",
         PureOpSig {
             params: vec![("b".into(), bytes.clone())],
-            ret: RType::singleton(sorts::bytes(), Term::app("setDeleted", vec![Term::var("b")])),
+            ret: RType::singleton(
+                sorts::bytes(),
+                Term::app("setDeleted", vec![Term::var("b")]),
+            ),
         },
     );
 
@@ -210,8 +213,8 @@ pub fn kvstore_model() -> LibraryModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hat_sfa::{accepts, Event, Trace, TraceModel};
     use hat_logic::Interpretation;
+    use hat_sfa::{accepts, Event, Trace, TraceModel};
 
     #[test]
     fn delta_declares_the_full_api() {
@@ -219,7 +222,15 @@ mod tests {
         for op in ["put", "exists", "get"] {
             assert!(d.eff_ops.contains_key(op));
         }
-        for op in ["parent", "isDir", "isFile", "isDel", "isRoot", "addChild", "setDeleted"] {
+        for op in [
+            "parent",
+            "isDir",
+            "isFile",
+            "isDel",
+            "isRoot",
+            "addChild",
+            "setDeleted",
+        ] {
             assert!(d.pure_ops.contains_key(op), "missing pure op {op}");
         }
         assert!(!d.axioms.axioms.is_empty());
@@ -232,10 +243,18 @@ mod tests {
             .bind("k", Constant::atom("/a"))
             .bind("a", Constant::atom("dir:new"));
         let put = |k: &str, v: &str| {
-            Event::new("put", vec![Constant::atom(k), Constant::atom(v)], Constant::Unit)
+            Event::new(
+                "put",
+                vec![Constant::atom(k), Constant::atom(v)],
+                Constant::Unit,
+            )
         };
         let sfa = p_stored(Term::var("k"), Term::var("a"));
-        let good = Trace::from_events(vec![put("/a", "dir:old"), put("/a", "dir:new"), put("/b", "x")]);
+        let good = Trace::from_events(vec![
+            put("/a", "dir:old"),
+            put("/a", "dir:new"),
+            put("/b", "x"),
+        ]);
         assert!(accepts(&model, &good, &sfa).unwrap());
         let stale = Trace::from_events(vec![put("/a", "dir:new"), put("/a", "dir:old")]);
         assert!(!accepts(&model, &stale, &sfa).unwrap());

@@ -17,7 +17,11 @@ pub fn set_delta() -> Delta {
     let mut d = Delta::new();
     let int = RType::base(Sort::Int);
 
-    let ins_event = ev("insert", &["x"], Formula::eq(Term::var("x"), Term::var("e")));
+    let ins_event = ev(
+        "insert",
+        &["x"],
+        Formula::eq(Term::var("x"), Term::var("e")),
+    );
     d.declare_eff(
         "insert",
         EffOpSig {
@@ -86,8 +90,8 @@ pub fn set_model() -> LibraryModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hat_lang::interp::Interpreter;
     use hat_lang::builder::*;
+    use hat_lang::interp::Interpreter;
     use hat_lang::Value;
     use hat_logic::Interpretation;
     use hat_sfa::Trace;
@@ -101,11 +105,15 @@ mod tests {
             vec![Value::int(7)],
             let_eff("b", "mem", vec![Value::int(7)], ret(Value::var("b"))),
         );
-        let (v, trace) = interp.eval(&Default::default(), &Trace::new(), &prog).unwrap();
+        let (v, trace) = interp
+            .eval(&Default::default(), &Trace::new(), &prog)
+            .unwrap();
         assert_eq!(v.as_bool(), Some(true));
         assert_eq!(trace.len(), 2);
         let prog2 = let_eff("b", "mem", vec![Value::int(9)], ret(Value::var("b")));
-        let (v2, _) = interp.eval(&Default::default(), &Trace::new(), &prog2).unwrap();
+        let (v2, _) = interp
+            .eval(&Default::default(), &Trace::new(), &prog2)
+            .unwrap();
         assert_eq!(v2.as_bool(), Some(false));
     }
 

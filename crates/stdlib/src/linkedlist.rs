@@ -38,7 +38,11 @@ pub fn linkedlist_delta() -> Delta {
     // Freshness of the returned node is part of the library guarantee; it is expressed by
     // the precondition/postcondition pair of the appended event rather than the value
     // qualifier (values cannot mention traces).
-    let new_event = ev("newnode", &["x"], Formula::eq(Term::var("x"), Term::var("e")));
+    let new_event = ev(
+        "newnode",
+        &["x"],
+        Formula::eq(Term::var("x"), Term::var("e")),
+    );
     d.declare_eff(
         "newnode",
         EffOpSig {
@@ -145,7 +149,11 @@ mod tests {
         let m = linkedlist_model();
         let mut t = Trace::new();
         let a = m.apply(&t, "newnode", &[Constant::Int(1)]).unwrap();
-        t.push(hat_sfa::Event::new("newnode", vec![Constant::Int(1)], a.clone()));
+        t.push(hat_sfa::Event::new(
+            "newnode",
+            vec![Constant::Int(1)],
+            a.clone(),
+        ));
         let b = m.apply(&t, "newnode", &[Constant::Int(2)]).unwrap();
         assert_ne!(a, b);
     }

@@ -124,11 +124,16 @@ mod tests {
     #[test]
     fn read_requires_initialisation() {
         let m = memcell_model();
-        let err = m.apply(&Trace::new(), "read", &[Constant::Unit]).unwrap_err();
+        let err = m
+            .apply(&Trace::new(), "read", &[Constant::Unit])
+            .unwrap_err();
         assert!(matches!(err, InterpError::Stuck(_)));
         let mut t = Trace::new();
         t.push(Event::new("write", vec![Constant::Int(5)], Constant::Unit));
-        assert_eq!(m.apply(&t, "read", &[Constant::Unit]).unwrap(), Constant::Int(5));
+        assert_eq!(
+            m.apply(&t, "read", &[Constant::Unit]).unwrap(),
+            Constant::Int(5)
+        );
     }
 
     #[test]

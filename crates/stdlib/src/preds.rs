@@ -60,12 +60,18 @@ pub fn filesystem_axioms() -> AxiomSet {
     ax.add_axiom(Axiom::new(
         "addchild-not-file",
         vec![("b".into(), bytes.clone()), ("p".into(), path.clone())],
-        Formula::not(Formula::pred("isFile", vec![Term::app("addChild", vec![b(), p()])])),
+        Formula::not(Formula::pred(
+            "isFile",
+            vec![Term::app("addChild", vec![b(), p()])],
+        )),
     ));
     ax.add_axiom(Axiom::new(
         "addchild-not-del",
         vec![("b".into(), bytes.clone()), ("p".into(), path.clone())],
-        Formula::not(Formula::pred("isDel", vec![Term::app("addChild", vec![b(), p()])])),
+        Formula::not(Formula::pred(
+            "isDel",
+            vec![Term::app("addChild", vec![b(), p()])],
+        )),
     ));
     ax.add_axiom(Axiom::new(
         "delchild-keeps-dir",

@@ -115,7 +115,11 @@ pub fn graph_delta() -> Delta {
         },
     );
 
-    let vertex_event = ev("add_vertex", &["n"], Formula::eq(Term::var("n"), Term::var("s")));
+    let vertex_event = ev(
+        "add_vertex",
+        &["n"],
+        Formula::eq(Term::var("n"), Term::var("s")),
+    );
     d.declare_eff(
         "add_vertex",
         EffOpSig {
@@ -171,7 +175,9 @@ pub fn graph_model() -> LibraryModel {
     for op in ["connect", "disconnect"] {
         m.define(op, |_trace, args| match args {
             [_, _, _] => Ok(Constant::Unit),
-            _ => Err(InterpError::TypeError("edge operators expect 3 arguments".into())),
+            _ => Err(InterpError::TypeError(
+                "edge operators expect 3 arguments".into(),
+            )),
         });
     }
     m.define("has_edge", |trace, args| match args {
@@ -188,17 +194,25 @@ pub fn graph_model() -> LibraryModel {
             }
             Ok(Constant::Bool(present))
         }
-        _ => Err(InterpError::TypeError("has_edge expects 3 arguments".into())),
+        _ => Err(InterpError::TypeError(
+            "has_edge expects 3 arguments".into(),
+        )),
     });
     m.define("add_vertex", |_trace, args| match args {
         [_] => Ok(Constant::Unit),
-        _ => Err(InterpError::TypeError("add_vertex expects 1 argument".into())),
+        _ => Err(InterpError::TypeError(
+            "add_vertex expects 1 argument".into(),
+        )),
     });
     m.define("is_vertex", |trace, args| match args {
-        [n] => Ok(Constant::Bool(
-            trace.any(|e| e.op == "add_vertex" && e.args.first() == Some(n)),
+        [n] => {
+            Ok(Constant::Bool(trace.any(|e| {
+                e.op == "add_vertex" && e.args.first() == Some(n)
+            })))
+        }
+        _ => Err(InterpError::TypeError(
+            "is_vertex expects 1 argument".into(),
         )),
-        _ => Err(InterpError::TypeError("is_vertex expects 1 argument".into())),
     });
     m
 }
@@ -216,9 +230,19 @@ mod tests {
         let c = || Constant::atom("x");
         let mut t = Trace::new();
         t.push(Event::new("connect", vec![a(), c(), b()], Constant::Unit));
-        assert_eq!(m.apply(&t, "has_edge", &[a(), c(), b()]).unwrap(), Constant::Bool(true));
-        t.push(Event::new("disconnect", vec![a(), c(), b()], Constant::Unit));
-        assert_eq!(m.apply(&t, "has_edge", &[a(), c(), b()]).unwrap(), Constant::Bool(false));
+        assert_eq!(
+            m.apply(&t, "has_edge", &[a(), c(), b()]).unwrap(),
+            Constant::Bool(true)
+        );
+        t.push(Event::new(
+            "disconnect",
+            vec![a(), c(), b()],
+            Constant::Unit,
+        ));
+        assert_eq!(
+            m.apply(&t, "has_edge", &[a(), c(), b()]).unwrap(),
+            Constant::Bool(false)
+        );
     }
 
     #[test]

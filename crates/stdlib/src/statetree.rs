@@ -14,7 +14,11 @@ use hat_sfa::Sfa;
 /// `P_in_tree(x)`: the value `x` has been added to the tree (as root or as a child).
 pub fn p_in_tree(x: Term) -> Sfa {
     Sfa::or(vec![
-        Sfa::eventually(ev("addroot", &["r"], Formula::eq(Term::var("r"), x.clone()))),
+        Sfa::eventually(ev(
+            "addroot",
+            &["r"],
+            Formula::eq(Term::var("r"), x.clone()),
+        )),
         Sfa::eventually(ev(
             "addchild",
             &["parent", "child"],
@@ -28,7 +32,11 @@ pub fn tree_delta() -> Delta {
     let mut d = Delta::new();
     let int = RType::base(Sort::Int);
 
-    let root_event = ev("addroot", &["r"], Formula::eq(Term::var("r"), Term::var("x")));
+    let root_event = ev(
+        "addroot",
+        &["r"],
+        Formula::eq(Term::var("r"), Term::var("x")),
+    );
     d.declare_eff(
         "addroot",
         EffOpSig {
@@ -108,7 +116,9 @@ pub fn tree_model() -> LibraryModel {
     });
     m.define("addchild", |_trace, args| match args {
         [_, _] => Ok(Constant::Unit),
-        _ => Err(InterpError::TypeError("addchild expects 2 arguments".into())),
+        _ => Err(InterpError::TypeError(
+            "addchild expects 2 arguments".into(),
+        )),
     });
     m.define("contains", |trace, args| match args {
         [x] => Ok(Constant::Bool(trace.any(|e| {
@@ -129,14 +139,24 @@ mod tests {
     fn contains_tracks_roots_and_children() {
         let m = tree_model();
         let mut t = Trace::new();
-        t.push(Event::new("addroot", vec![Constant::Int(10)], Constant::Unit));
+        t.push(Event::new(
+            "addroot",
+            vec![Constant::Int(10)],
+            Constant::Unit,
+        ));
         t.push(Event::new(
             "addchild",
             vec![Constant::Int(10), Constant::Int(5)],
             Constant::Unit,
         ));
-        assert_eq!(m.apply(&t, "contains", &[Constant::Int(5)]).unwrap(), Constant::Bool(true));
-        assert_eq!(m.apply(&t, "contains", &[Constant::Int(7)]).unwrap(), Constant::Bool(false));
+        assert_eq!(
+            m.apply(&t, "contains", &[Constant::Int(5)]).unwrap(),
+            Constant::Bool(true)
+        );
+        assert_eq!(
+            m.apply(&t, "contains", &[Constant::Int(7)]).unwrap(),
+            Constant::Bool(false)
+        );
     }
 
     #[test]

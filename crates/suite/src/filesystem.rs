@@ -144,7 +144,10 @@ fn filesystem_kvstore() -> Benchmark {
             inv_sig(
                 "add",
                 &ghosts,
-                vec![("path".into(), path.clone()), ("payload".into(), bytes.clone())],
+                vec![
+                    ("path".into(), path.clone()),
+                    ("payload".into(), bytes.clone()),
+                ],
                 RType::base(Sort::Bool),
                 &inv,
             ),
@@ -177,13 +180,21 @@ fn filesystem_kvstore() -> Benchmark {
                 RType::base(Sort::Bool),
                 &inv,
             ),
-            let_eff("present", "exists", vec![Value::var("path")], ret(Value::var("present"))),
+            let_eff(
+                "present",
+                "exists",
+                vec![Value::var("path")],
+                ret(Value::var("present")),
+            ),
         ),
         Method::buggy(
             inv_sig(
                 "add_bad",
                 &ghosts,
-                vec![("path".into(), path.clone()), ("payload".into(), bytes.clone())],
+                vec![
+                    ("path".into(), path.clone()),
+                    ("payload".into(), bytes.clone()),
+                ],
                 RType::base(Sort::Bool),
                 &inv,
             ),
@@ -231,10 +242,18 @@ fn filesystem_tree() -> Benchmark {
             ret: RType::singleton(Sort::Int, Term::app("parentOf", vec![Term::var("x")])),
         },
     );
-    delta.axioms.declare_func("parentOf", vec![Sort::Int], Sort::Int);
+    delta
+        .axioms
+        .declare_func("parentOf", vec![Sort::Int], Sort::Int);
     let methods = vec![
         Method::ok(
-            inv_sig("add", &ghosts, vec![("path".into(), int.clone())], RType::base(Sort::Bool), &inv),
+            inv_sig(
+                "add",
+                &ghosts,
+                vec![("path".into(), int.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
             let_pure(
                 "pp",
                 "parentOf",
@@ -257,7 +276,13 @@ fn filesystem_tree() -> Benchmark {
             ),
         ),
         Method::ok(
-            inv_sig("init", &ghosts, vec![("root".into(), int.clone())], RType::base(Sort::Unit), &inv),
+            inv_sig(
+                "init",
+                &ghosts,
+                vec![("root".into(), int.clone())],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
             let_eff("u", "addroot", vec![Value::var("root")], ret(Value::unit())),
         ),
         Method::ok(
@@ -268,13 +293,21 @@ fn filesystem_tree() -> Benchmark {
                 RType::base(Sort::Bool),
                 &inv,
             ),
-            let_eff("present", "contains", vec![Value::var("path")], ret(Value::var("present"))),
+            let_eff(
+                "present",
+                "contains",
+                vec![Value::var("path")],
+                ret(Value::var("present")),
+            ),
         ),
         Method::buggy(
             inv_sig(
                 "add_bad",
                 &ghosts,
-                vec![("path".into(), int.clone()), ("somewhere".into(), int.clone())],
+                vec![
+                    ("path".into(), int.clone()),
+                    ("somewhere".into(), int.clone()),
+                ],
                 RType::base(Sort::Bool),
                 &inv,
             ),
@@ -315,16 +348,25 @@ mod tests {
     #[test]
     fn the_invariant_distinguishes_the_paper_traces() {
         // α1 (add_bad) violates I_FS for p = "/a/b.txt"; α2 (correct add) satisfies it.
-        let model = TraceModel::new(Interpretation::filesystem()).bind("p", Constant::atom("/a/b.txt"));
+        let model =
+            TraceModel::new(Interpretation::filesystem()).bind("p", Constant::atom("/a/b.txt"));
         let inv = i_fs(Term::var("p"));
         let put = |k: &str, v: &str| {
-            Event::new("put", vec![Constant::atom(k), Constant::atom(v)], Constant::Unit)
+            Event::new(
+                "put",
+                vec![Constant::atom(k), Constant::atom(v)],
+                Constant::Unit,
+            )
         };
         let alpha1 = Trace::from_events(vec![put("/", "dir:root"), put("/a/b.txt", "file:1")]);
         assert!(!accepts(&model, &alpha1, &inv).unwrap());
         let alpha2 = Trace::from_events(vec![
             put("/", "dir:root"),
-            Event::new("exists", vec![Constant::atom("/a/b.txt")], Constant::Bool(false)),
+            Event::new(
+                "exists",
+                vec![Constant::atom("/a/b.txt")],
+                Constant::Bool(false),
+            ),
             Event::new("exists", vec![Constant::atom("/a")], Constant::Bool(false)),
         ]);
         assert!(accepts(&model, &alpha2, &inv).unwrap());

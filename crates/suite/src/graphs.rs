@@ -8,7 +8,9 @@ use hat_lang::builder::*;
 use hat_lang::Value;
 use hat_logic::{Formula, Sort, Term};
 use hat_sfa::Sfa;
-use hat_stdlib::{graph_delta, graph_model, kvstore_delta, kvstore_model, set_delta, set_model, sorts};
+use hat_stdlib::{
+    graph_delta, graph_model, kvstore_delta, kvstore_model, set_delta, set_model, sorts,
+};
 
 /// The determinism invariant `I_DFA(n, c)` of Example 4.5: after connecting a transition
 /// out of `(n, c)`, no further transition out of `(n, c)` may be connected until one has
@@ -38,7 +40,10 @@ pub fn i_dfa(n: Term, c: Term) -> Sfa {
 
 /// DFA over the graph library.
 fn dfa_graph() -> Benchmark {
-    let ghosts = vec![("n".to_string(), sorts::node()), ("c".to_string(), sorts::char_t())];
+    let ghosts = vec![
+        ("n".to_string(), sorts::node()),
+        ("c".to_string(), sorts::char_t()),
+    ];
     let inv = i_dfa(Term::var("n"), Term::var("c"));
     let node = RType::base(sorts::node());
     let ch = RType::base(sorts::char_t());
@@ -108,7 +113,13 @@ fn dfa_graph() -> Benchmark {
             ),
         ),
         Method::ok(
-            inv_sig("add_node", &ghosts, vec![("s".into(), node.clone())], RType::base(Sort::Unit), &inv),
+            inv_sig(
+                "add_node",
+                &ghosts,
+                vec![("s".into(), node.clone())],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
             let_eff("u", "add_vertex", vec![Value::var("s")], ret(Value::unit())),
         ),
         Method::buggy(
@@ -169,7 +180,10 @@ fn dfa_kvstore() -> Benchmark {
             inv_sig(
                 "add_transition",
                 &ghosts,
-                vec![("nc".into(), path.clone()), ("target".into(), bytes.clone())],
+                vec![
+                    ("nc".into(), path.clone()),
+                    ("target".into(), bytes.clone()),
+                ],
                 RType::base(Sort::Bool),
                 &inv,
             ),
@@ -213,7 +227,10 @@ fn dfa_kvstore() -> Benchmark {
             inv_sig(
                 "add_transition_bad",
                 &ghosts,
-                vec![("nc".into(), path.clone()), ("target".into(), bytes.clone())],
+                vec![
+                    ("nc".into(), path.clone()),
+                    ("target".into(), bytes.clone()),
+                ],
                 RType::base(Sort::Bool),
                 &inv,
             ),
@@ -243,11 +260,21 @@ fn dfa_kvstore() -> Benchmark {
 /// inserted twice.
 fn connectedgraph_set() -> Benchmark {
     let ghosts = vec![("el".to_string(), Sort::Int)];
-    let inv = at_most_once(ev("insert", &["x"], Formula::eq(Term::var("x"), Term::var("el"))));
+    let inv = at_most_once(ev(
+        "insert",
+        &["x"],
+        Formula::eq(Term::var("x"), Term::var("el")),
+    ));
     let int = RType::base(Sort::Int);
     let methods = vec![
         Method::ok(
-            inv_sig("add_transition", &ghosts, vec![("pair".into(), int.clone())], RType::base(Sort::Unit), &inv),
+            inv_sig(
+                "add_transition",
+                &ghosts,
+                vec![("pair".into(), int.clone())],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
             let_eff(
                 "present",
                 "mem",
@@ -260,11 +287,23 @@ fn connectedgraph_set() -> Benchmark {
             ),
         ),
         Method::ok(
-            inv_sig("is_transition", &ghosts, vec![("pair".into(), int.clone())], RType::base(Sort::Bool), &inv),
+            inv_sig(
+                "is_transition",
+                &ghosts,
+                vec![("pair".into(), int.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
             let_eff("b", "mem", vec![Value::var("pair")], ret(Value::var("b"))),
         ),
         Method::ok(
-            inv_sig("singleton", &ghosts, vec![("pair".into(), int.clone())], RType::base(Sort::Unit), &inv),
+            inv_sig(
+                "singleton",
+                &ghosts,
+                vec![("pair".into(), int.clone())],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
             let_eff(
                 "present",
                 "mem",
@@ -277,7 +316,13 @@ fn connectedgraph_set() -> Benchmark {
             ),
         ),
         Method::buggy(
-            inv_sig("add_transition_bad", &ghosts, vec![("pair".into(), int)], RType::base(Sort::Unit), &inv),
+            inv_sig(
+                "add_transition_bad",
+                &ghosts,
+                vec![("pair".into(), int)],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
             let_eff("u", "insert", vec![Value::var("pair")], ret(Value::unit())),
         ),
     ];
@@ -340,12 +385,29 @@ fn connectedgraph_graph() -> Benchmark {
             ),
         ),
         Method::ok(
-            inv_sig("add_node", &ghosts, vec![("s".into(), node.clone())], RType::base(Sort::Unit), &inv),
+            inv_sig(
+                "add_node",
+                &ghosts,
+                vec![("s".into(), node.clone())],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
             let_eff("u", "add_vertex", vec![Value::var("s")], ret(Value::unit())),
         ),
         Method::ok(
-            inv_sig("is_node", &ghosts, vec![("s".into(), node.clone())], RType::base(Sort::Bool), &inv),
-            let_eff("b", "is_vertex", vec![Value::var("s")], ret(Value::var("b"))),
+            inv_sig(
+                "is_node",
+                &ghosts,
+                vec![("s".into(), node.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff(
+                "b",
+                "is_vertex",
+                vec![Value::var("s")],
+                ret(Value::var("b")),
+            ),
         ),
         Method::ok(
             inv_sig(
@@ -398,7 +460,12 @@ fn connectedgraph_graph() -> Benchmark {
 
 /// The configurations defined in this module.
 pub fn benchmarks() -> Vec<Benchmark> {
-    vec![dfa_kvstore(), dfa_graph(), connectedgraph_set(), connectedgraph_graph()]
+    vec![
+        dfa_kvstore(),
+        dfa_graph(),
+        connectedgraph_set(),
+        connectedgraph_graph(),
+    ]
 }
 
 #[cfg(test)]

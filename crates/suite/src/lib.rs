@@ -110,9 +110,9 @@ impl Benchmark {
         self.methods
             .iter()
             .map(|m| {
-                checker
-                    .check_method(&m.sig, &m.body)
-                    .unwrap_or_else(|e| panic!("checking {}::{} failed to run: {e}", self.adt, m.sig.name))
+                checker.check_method(&m.sig, &m.body).unwrap_or_else(|e| {
+                    panic!("checking {}::{} failed to run: {e}", self.adt, m.sig.name)
+                })
             })
             .collect()
     }
@@ -149,9 +149,9 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
 
 /// Looks a configuration up by ADT and library name (case-insensitive).
 pub fn find(adt: &str, library: &str) -> Option<Benchmark> {
-    all_benchmarks().into_iter().find(|b| {
-        b.adt.eq_ignore_ascii_case(adt) && b.library.eq_ignore_ascii_case(library)
-    })
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.adt.eq_ignore_ascii_case(adt) && b.library.eq_ignore_ascii_case(library))
 }
 
 #[cfg(test)]
@@ -169,8 +169,18 @@ mod tests {
     #[test]
     fn every_configuration_is_well_formed() {
         for b in all_benchmarks() {
-            assert!(!b.methods.is_empty(), "{}/{} has no methods", b.adt, b.library);
-            assert!(b.invariant_size() > 0, "{}/{} has a trivial invariant", b.adt, b.library);
+            assert!(
+                !b.methods.is_empty(),
+                "{}/{} has no methods",
+                b.adt,
+                b.library
+            );
+            assert!(
+                b.invariant_size() > 0,
+                "{}/{} has a trivial invariant",
+                b.adt,
+                b.library
+            );
             assert!(
                 !b.delta.alphabet().is_empty(),
                 "{}/{} has an empty operator alphabet",
@@ -188,7 +198,10 @@ mod tests {
                     ctx.bind(p.clone(), t.erase());
                 }
                 ctx.check_expr(&m.body).unwrap_or_else(|e| {
-                    panic!("{}/{}::{} is not basically typed: {e}", b.adt, b.library, m.sig.name)
+                    panic!(
+                        "{}/{}::{} is not basically typed: {e}",
+                        b.adt, b.library, m.sig.name
+                    )
                 });
             }
         }

@@ -20,13 +20,21 @@ fn el_ghost() -> Vec<(String, Sort)> {
 
 /// Uniqueness invariant over the Set library: `el` is never inserted twice (I_Set / I_LSet).
 fn set_uniqueness() -> Sfa {
-    at_most_once(ev("insert", &["x"], Formula::eq(Term::var("x"), Term::var("el"))))
+    at_most_once(ev(
+        "insert",
+        &["x"],
+        Formula::eq(Term::var("x"), Term::var("el")),
+    ))
 }
 
 /// Uniqueness invariant over the Tree library: `el` is never added (as root or child) twice.
 fn tree_uniqueness() -> Sfa {
     let added = Sfa::or(vec![
-        ev("addroot", &["r"], Formula::eq(Term::var("r"), Term::var("el"))),
+        ev(
+            "addroot",
+            &["r"],
+            Formula::eq(Term::var("r"), Term::var("el")),
+        ),
         ev(
             "addchild",
             &["parent", "child"],
@@ -66,19 +74,48 @@ fn set_over_set_methods(inv: &Sfa) -> Vec<Method> {
     let int = RType::base(Sort::Int);
     vec![
         Method::ok(
-            inv_sig("insert", &ghosts, vec![("elem".into(), int.clone())], RType::base(Sort::Unit), inv),
+            inv_sig(
+                "insert",
+                &ghosts,
+                vec![("elem".into(), int.clone())],
+                RType::base(Sort::Unit),
+                inv,
+            ),
             guarded_set_insert(),
         ),
         Method::ok(
-            inv_sig("mem", &ghosts, vec![("elem".into(), int.clone())], RType::base(Sort::Bool), inv),
-            let_eff("present", "mem", vec![Value::var("elem")], ret(Value::var("present"))),
+            inv_sig(
+                "mem",
+                &ghosts,
+                vec![("elem".into(), int.clone())],
+                RType::base(Sort::Bool),
+                inv,
+            ),
+            let_eff(
+                "present",
+                "mem",
+                vec![Value::var("elem")],
+                ret(Value::var("present")),
+            ),
         ),
         Method::ok(
-            inv_sig("empty", &ghosts, vec![("elem".into(), int.clone())], RType::base(Sort::Unit), inv),
+            inv_sig(
+                "empty",
+                &ghosts,
+                vec![("elem".into(), int.clone())],
+                RType::base(Sort::Unit),
+                inv,
+            ),
             ret(Value::unit()),
         ),
         Method::buggy(
-            inv_sig("insert_bad", &ghosts, vec![("elem".into(), int)], RType::base(Sort::Unit), inv),
+            inv_sig(
+                "insert_bad",
+                &ghosts,
+                vec![("elem".into(), int)],
+                RType::base(Sort::Unit),
+                inv,
+            ),
             let_eff("u", "insert", vec![Value::var("elem")], ret(Value::unit())),
         ),
     ]
@@ -115,11 +152,28 @@ fn set_tree() -> Benchmark {
             ),
         ),
         Method::ok(
-            inv_sig("mem", &ghosts, vec![("elem".into(), int.clone())], RType::base(Sort::Bool), &inv),
-            let_eff("present", "contains", vec![Value::var("elem")], ret(Value::var("present"))),
+            inv_sig(
+                "mem",
+                &ghosts,
+                vec![("elem".into(), int.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff(
+                "present",
+                "contains",
+                vec![Value::var("elem")],
+                ret(Value::var("present")),
+            ),
         ),
         Method::ok(
-            inv_sig("empty", &ghosts, vec![("elem".into(), int.clone())], RType::base(Sort::Unit), &inv),
+            inv_sig(
+                "empty",
+                &ghosts,
+                vec![("elem".into(), int.clone())],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
             let_eff(
                 "present",
                 "contains",
@@ -196,11 +250,28 @@ fn set_kvstore() -> Benchmark {
             ),
         ),
         Method::ok(
-            inv_sig("mem", &ghosts, vec![("key".into(), path.clone())], RType::base(Sort::Bool), &inv),
-            let_eff("present", "exists", vec![Value::var("key")], ret(Value::var("present"))),
+            inv_sig(
+                "mem",
+                &ghosts,
+                vec![("key".into(), path.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff(
+                "present",
+                "exists",
+                vec![Value::var("key")],
+                ret(Value::var("present")),
+            ),
         ),
         Method::ok(
-            inv_sig("empty", &ghosts, vec![("key".into(), path.clone())], RType::base(Sort::Unit), &inv),
+            inv_sig(
+                "empty",
+                &ghosts,
+                vec![("key".into(), path.clone())],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
             ret(Value::unit()),
         ),
         Method::buggy(
@@ -276,12 +347,29 @@ fn heap_tree() -> Benchmark {
             ),
         ),
         Method::ok(
-            inv_sig("minimum", &ghosts, vec![("elem".into(), int.clone())], RType::base(Sort::Unit), &inv),
+            inv_sig(
+                "minimum",
+                &ghosts,
+                vec![("elem".into(), int.clone())],
+                RType::base(Sort::Unit),
+                &inv,
+            ),
             let_eff("u", "addroot", vec![Value::var("elem")], ret(Value::unit())),
         ),
         Method::ok(
-            inv_sig("contains", &ghosts, vec![("elem".into(), int.clone())], RType::base(Sort::Bool), &inv),
-            let_eff("present", "contains", vec![Value::var("elem")], ret(Value::var("present"))),
+            inv_sig(
+                "contains",
+                &ghosts,
+                vec![("elem".into(), int.clone())],
+                RType::base(Sort::Bool),
+                &inv,
+            ),
+            let_eff(
+                "present",
+                "contains",
+                vec![Value::var("elem")],
+                ret(Value::var("present")),
+            ),
         ),
         Method::buggy(
             inv_sig(
@@ -317,7 +405,11 @@ fn heap_tree() -> Benchmark {
 /// into the backing set.
 fn minset(library: &'static str) -> Benchmark {
     let ghosts = el_ghost();
-    let write_el = ev("write", &["x"], Formula::eq(Term::var("x"), Term::var("el")));
+    let write_el = ev(
+        "write",
+        &["x"],
+        Formula::eq(Term::var("x"), Term::var("el")),
+    );
     let (member_event, delta, model, policy): (Sfa, _, _, &'static str) = if library == "Set" {
         (
             ev("insert", &["x"], Formula::eq(Term::var("x"), Term::var("el"))),
@@ -335,7 +427,11 @@ fn minset(library: &'static str) -> Benchmark {
         )
     } else {
         (
-            ev("put", &["key", "val"], Formula::eq(Term::var("val"), Term::var("el"))),
+            ev(
+                "put",
+                &["key", "val"],
+                Formula::eq(Term::var("val"), Term::var("el")),
+            ),
             {
                 let mut d = kvstore_delta();
                 d.extend(&memcell_delta());
@@ -401,11 +497,23 @@ fn minset(library: &'static str) -> Benchmark {
     }
     let methods = vec![
         Method::ok(
-            inv_sig("minset_insert", &ghosts, insert_params.clone(), RType::base(Sort::Unit), &inv),
+            inv_sig(
+                "minset_insert",
+                &ghosts,
+                insert_params.clone(),
+                RType::base(Sort::Unit),
+                &inv,
+            ),
             insert_body,
         ),
         Method::ok(
-            inv_sig("minimum", &ghosts, vec![("u".into(), RType::base(Sort::Unit))], RType::base(Sort::Int), &inv),
+            inv_sig(
+                "minimum",
+                &ghosts,
+                vec![("u".into(), RType::base(Sort::Unit))],
+                RType::base(Sort::Int),
+                &inv,
+            ),
             let_eff("m", "read", vec![Value::var("u")], ret(Value::var("m"))),
         ),
         Method::ok(
@@ -419,7 +527,13 @@ fn minset(library: &'static str) -> Benchmark {
             let_eff("b", "is_init", vec![Value::var("u")], ret(Value::var("b"))),
         ),
         Method::buggy(
-            inv_sig("minset_insert_bad", &ghosts, insert_params, RType::base(Sort::Unit), &inv),
+            inv_sig(
+                "minset_insert_bad",
+                &ghosts,
+                insert_params,
+                RType::base(Sort::Unit),
+                &inv,
+            ),
             // Caches the element without recording it in the backing collection.
             let_eff("u2", "write", vec![Value::var("elem")], ret(Value::unit())),
         ),
@@ -469,11 +583,22 @@ fn lazyset(library: &'static str) -> Benchmark {
             unit.clone(),
             &inv,
         ),
-        let_app("r", Value::var("thunk"), Value::unit(), ret(Value::var("r"))),
+        let_app(
+            "r",
+            Value::var("thunk"),
+            Value::unit(),
+            ret(Value::var("r")),
+        ),
     );
     // new_thunk: the empty delayed computation, returned as a function value.
     let new_thunk = Method::ok(
-        inv_sig("new_thunk", &ghosts, vec![("seed".into(), int.clone())], thunk_ty.clone(), &inv),
+        inv_sig(
+            "new_thunk",
+            &ghosts,
+            vec![("seed".into(), int.clone())],
+            thunk_ty.clone(),
+            &inv,
+        ),
         ret(lambda("u", BasicType::unit(), ret(Value::unit()))),
     );
     // lazy_insert: delay a guarded insert of `elem`.
@@ -518,16 +643,33 @@ fn lazyset(library: &'static str) -> Benchmark {
         lazy_params.insert(0, ("key".to_string(), RType::base(sorts::path())));
     }
     let lazy_insert = Method::ok(
-        inv_sig("lazy_insert", &ghosts, lazy_params.clone(), thunk_ty.clone(), &inv),
+        inv_sig(
+            "lazy_insert",
+            &ghosts,
+            lazy_params.clone(),
+            thunk_ty.clone(),
+            &inv,
+        ),
         ret(lambda("u", BasicType::unit(), insert_body.clone())),
     );
     let lazy_mem_body: hat_lang::Expr = match library {
-        "Tree" => let_eff("b", "contains", vec![Value::var("elem")], ret(Value::var("b"))),
+        "Tree" => let_eff(
+            "b",
+            "contains",
+            vec![Value::var("elem")],
+            ret(Value::var("b")),
+        ),
         "Set" => let_eff("b", "mem", vec![Value::var("elem")], ret(Value::var("b"))),
         _ => let_eff("b", "exists", vec![Value::var("key")], ret(Value::var("b"))),
     };
     let lazy_mem = Method::ok(
-        inv_sig("lazy_mem", &ghosts, lazy_params.clone(), RType::base(Sort::Bool), &inv),
+        inv_sig(
+            "lazy_mem",
+            &ghosts,
+            lazy_params.clone(),
+            RType::base(Sort::Bool),
+            &inv,
+        ),
         lazy_mem_body,
     );
     let bad = Method::buggy(

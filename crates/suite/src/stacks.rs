@@ -9,13 +9,16 @@ use hat_lang::Value;
 use hat_logic::{Formula, Sort, Term};
 use hat_sfa::Sfa;
 use hat_stdlib::{
-    kvstore_delta, kvstore_model, linkedlist_delta, linkedlist_model, graph_delta, graph_model,
+    graph_delta, graph_model, kvstore_delta, kvstore_model, linkedlist_delta, linkedlist_model,
     sorts,
 };
 
 /// "An event matching `e` happens at most once": `□(e ⇒ ◯¬♦e)`.
 pub fn at_most_once(e: Sfa) -> Sfa {
-    Sfa::globally(Sfa::implies(e.clone(), Sfa::next(Sfa::not(Sfa::eventually(e)))))
+    Sfa::globally(Sfa::implies(
+        e.clone(),
+        Sfa::next(Sfa::not(Sfa::eventually(e))),
+    ))
 }
 
 fn node_ghost() -> Vec<(String, Sort)> {
@@ -40,7 +43,10 @@ fn stack_linkedlist() -> Benchmark {
             inv_sig(
                 "cons",
                 &ghosts,
-                vec![("top".into(), node.clone()), ("elem".into(), RType::base(Sort::Int))],
+                vec![
+                    ("top".into(), node.clone()),
+                    ("elem".into(), RType::base(Sort::Int)),
+                ],
                 node.clone(),
                 &inv,
             ),
@@ -73,7 +79,12 @@ fn stack_linkedlist() -> Benchmark {
                 RType::base(Sort::Bool),
                 &inv,
             ),
-            let_eff("b", "hasnext", vec![Value::var("top")], ret(Value::var("b"))),
+            let_eff(
+                "b",
+                "hasnext",
+                vec![Value::var("top")],
+                ret(Value::var("b")),
+            ),
         ),
         Method::ok(
             inv_sig(
@@ -83,7 +94,12 @@ fn stack_linkedlist() -> Benchmark {
                 node.clone(),
                 &inv,
             ),
-            let_eff("nd", "newnode", vec![Value::var("elem")], ret(Value::var("nd"))),
+            let_eff(
+                "nd",
+                "newnode",
+                vec![Value::var("elem")],
+                ret(Value::var("nd")),
+            ),
         ),
         // Buggy cons: re-link the node unconditionally (may set the same cell's next twice).
         Method::buggy(
@@ -125,7 +141,11 @@ fn stack_linkedlist() -> Benchmark {
 /// once, so the chain of cells can never become circular.
 fn stack_kvstore() -> Benchmark {
     let ghosts = vec![("p".to_string(), sorts::path())];
-    let put_p = ev("put", &["key", "val"], Formula::eq(Term::var("key"), Term::var("p")));
+    let put_p = ev(
+        "put",
+        &["key", "val"],
+        Formula::eq(Term::var("key"), Term::var("p")),
+    );
     let inv = at_most_once(put_p);
     let path = RType::base(sorts::path());
     let bytes = RType::base(sorts::bytes());
@@ -134,7 +154,10 @@ fn stack_kvstore() -> Benchmark {
             inv_sig(
                 name,
                 &ghosts,
-                vec![("cell".into(), path.clone()), ("payload".into(), bytes.clone())],
+                vec![
+                    ("cell".into(), path.clone()),
+                    ("payload".into(), bytes.clone()),
+                ],
                 RType::base(Sort::Bool),
                 &inv,
             ),
@@ -162,7 +185,10 @@ fn stack_kvstore() -> Benchmark {
             inv_sig(
                 "head",
                 &ghosts,
-                vec![("cell".into(), path.clone()), ("default".into(), bytes.clone())],
+                vec![
+                    ("cell".into(), path.clone()),
+                    ("default".into(), bytes.clone()),
+                ],
                 bytes.clone(),
                 &inv,
             ),
@@ -186,13 +212,21 @@ fn stack_kvstore() -> Benchmark {
                 RType::base(Sort::Bool),
                 &inv,
             ),
-            let_eff("present", "exists", vec![Value::var("cell")], ret(Value::var("present"))),
+            let_eff(
+                "present",
+                "exists",
+                vec![Value::var("cell")],
+                ret(Value::var("present")),
+            ),
         ),
         Method::buggy(
             inv_sig(
                 "cons_bad",
                 &ghosts,
-                vec![("cell".into(), path.clone()), ("payload".into(), bytes.clone())],
+                vec![
+                    ("cell".into(), path.clone()),
+                    ("payload".into(), bytes.clone()),
+                ],
                 RType::base(Sort::Bool),
                 &inv,
             ),
@@ -234,7 +268,10 @@ fn queue_linkedlist() -> Benchmark {
             inv_sig(
                 "snoc",
                 &ghosts,
-                vec![("tail".into(), node.clone()), ("elem".into(), RType::base(Sort::Int))],
+                vec![
+                    ("tail".into(), node.clone()),
+                    ("elem".into(), RType::base(Sort::Int)),
+                ],
                 node.clone(),
                 &inv,
             ),
@@ -269,7 +306,12 @@ fn queue_linkedlist() -> Benchmark {
                 RType::base(Sort::Bool),
                 &inv,
             ),
-            let_eff("b", "hasnext", vec![Value::var("front")], ret(Value::var("b"))),
+            let_eff(
+                "b",
+                "hasnext",
+                vec![Value::var("front")],
+                ret(Value::var("b")),
+            ),
         ),
         Method::ok(
             inv_sig(
@@ -279,7 +321,12 @@ fn queue_linkedlist() -> Benchmark {
                 node.clone(),
                 &inv,
             ),
-            let_eff("nd", "newnode", vec![Value::var("elem")], ret(Value::var("nd"))),
+            let_eff(
+                "nd",
+                "newnode",
+                vec![Value::var("elem")],
+                ret(Value::var("nd")),
+            ),
         ),
         Method::buggy(
             inv_sig(
@@ -405,7 +452,12 @@ fn queue_graph() -> Benchmark {
                 RType::base(Sort::Unit),
                 &inv,
             ),
-            let_eff("u", "add_vertex", vec![Value::var("cell")], ret(Value::unit())),
+            let_eff(
+                "u",
+                "add_vertex",
+                vec![Value::var("cell")],
+                ret(Value::unit()),
+            ),
         ),
         Method::buggy(
             inv_sig(
@@ -446,7 +498,11 @@ fn heap_linkedlist() -> Benchmark {
     b.invariant_description = "Min-heap property";
     b.policy = "Not a circular linked list; the elements are kept sorted";
     // Rename the API to the heap vocabulary.
-    for (m, name) in b.methods.iter_mut().zip(["insert", "contains", "empty", "insert_bad"]) {
+    for (m, name) in b
+        .methods
+        .iter_mut()
+        .zip(["insert", "contains", "empty", "insert_bad"])
+    {
         m.sig.name = name.to_string();
     }
     b

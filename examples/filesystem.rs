@@ -26,8 +26,18 @@ fn main() {
     env.insert("path".into(), RtValue::Const(Constant::atom("/a/b.txt")));
     env.insert("payload".into(), RtValue::Const(Constant::atom("file:1")));
 
-    let add = &bench.methods.iter().find(|m| m.sig.name == "add").unwrap().body;
-    let add_bad = &bench.methods.iter().find(|m| m.sig.name == "add_bad").unwrap().body;
+    let add = &bench
+        .methods
+        .iter()
+        .find(|m| m.sig.name == "add")
+        .unwrap()
+        .body;
+    let add_bad = &bench
+        .methods
+        .iter()
+        .find(|m| m.sig.name == "add_bad")
+        .unwrap()
+        .body;
     let (v_ok, t_ok) = interp.eval(&env, &init, add).unwrap();
     let (v_bad, t_bad) = interp.eval(&env, &init, add_bad).unwrap();
     println!("add      returned {v_ok}, trace: {t_ok}");
@@ -35,8 +45,14 @@ fn main() {
 
     let model = TraceModel::new(Interpretation::filesystem()).bind("p", Constant::atom("/a/b.txt"));
     let inv = filesystem::i_fs(Term::var("p"));
-    println!("trace of add     satisfies I_FS: {}", accepts(&model, &t_ok, &inv).unwrap());
-    println!("trace of add_bad satisfies I_FS: {}", accepts(&model, &t_bad, &inv).unwrap());
+    println!(
+        "trace of add     satisfies I_FS: {}",
+        accepts(&model, &t_ok, &inv).unwrap()
+    );
+    println!(
+        "trace of add_bad satisfies I_FS: {}",
+        accepts(&model, &t_bad, &inv).unwrap()
+    );
 
     // --- Static verification via the HAT checker ------------------------------------
     let mut checker = bench.checker();

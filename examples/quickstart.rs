@@ -13,7 +13,13 @@ use hat_stdlib::set_delta;
 
 fn main() {
     // I_Set(el): once `el` has been inserted it is never inserted again.
-    let ins_el = || ev("insert", &["x"], Formula::eq(Term::var("x"), Term::var("el")));
+    let ins_el = || {
+        ev(
+            "insert",
+            &["x"],
+            Formula::eq(Term::var("x"), Term::var("el")),
+        )
+    };
     let invariant = Sfa::globally(Sfa::implies(
         ins_el(),
         Sfa::next(Sfa::not(Sfa::eventually(ins_el()))),
@@ -54,7 +60,10 @@ fn main() {
     // The unguarded insert is rejected.
     let bad = let_eff("u", "insert", vec![Value::var("elem")], ret(Value::unit()));
     let report = checker.check_method(&sig, &bad).expect("checking runs");
-    println!("unguarded insert verified: {} (expected false)", report.verified);
+    println!(
+        "unguarded insert verified: {} (expected false)",
+        report.verified
+    );
     for f in &report.failures {
         println!("  reason: {f}");
     }
