@@ -79,6 +79,20 @@ fn main() {
                 comparison.skipped.join(", ")
             );
         }
+        if let Some(largest) = comparison
+            .enum_reduction
+            .iter()
+            .max_by_key(|r| r.naive_queries)
+        {
+            eprintln!(
+                "largest configuration {}/{}: cold enumeration queries {} (naive) -> {} (incremental), {:.1}x fewer",
+                largest.adt,
+                largest.library,
+                largest.naive_enumeration,
+                largest.incremental_enumeration,
+                largest.enumeration_reduction()
+            );
+        }
         let path = "BENCH_engine.json";
         match write_engine_json(path, &comparison) {
             Ok(()) => eprintln!("wrote {path}"),

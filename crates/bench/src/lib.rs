@@ -7,6 +7,7 @@
 
 use hat_core::MethodReport;
 use hat_engine::{CacheStatsSnapshot, Engine, EngineConfig, RunSummary};
+use hat_sfa::EnumerationMode;
 use hat_suite::Benchmark;
 use std::io::Write;
 
@@ -72,6 +73,8 @@ pub struct EngineRun {
     pub jobs: usize,
     /// Whether the run reused a cache populated by an earlier run.
     pub warm: bool,
+    /// Minterm enumeration strategy of the run (`"naive"` or `"incremental"`).
+    pub enumeration: &'static str,
     /// Wall-clock seconds for the whole suite.
     pub wall_seconds: f64,
     /// Run-wide cache counters (per-run deltas).
@@ -89,19 +92,45 @@ pub struct EngineBenchRow {
     pub library: String,
     /// Summed per-method verification seconds.
     pub check_seconds: f64,
-    /// SMT queries issued by this benchmark's methods.
+    /// Standalone SMT queries issued by this benchmark's methods.
     pub sat_queries: usize,
+    /// Incremental enumeration checks issued by this benchmark's methods.
+    pub enum_queries: usize,
+    /// Unsatisfiable enumeration branches abandoned.
+    pub pruned_subtrees: usize,
+    /// Alphabet transformations answered from the minterm-set memo.
+    pub minterm_memo_hits: usize,
+    /// Inclusion checks answered from the inclusion-verdict memo.
+    pub inclusion_memo_hits: usize,
     /// Cache hits recorded by this benchmark's methods.
     pub cache_hits: usize,
     /// Cache misses recorded by this benchmark's methods.
     pub cache_misses: usize,
 }
 
-fn engine_run(label: &str, jobs: usize, warm: bool, summary: &RunSummary) -> EngineRun {
+impl EngineBenchRow {
+    /// Standalone queries plus incremental checks: the number to compare across
+    /// enumeration modes.
+    pub fn total_solver_work(&self) -> usize {
+        self.sat_queries + self.enum_queries
+    }
+}
+
+fn engine_run(
+    label: &str,
+    jobs: usize,
+    warm: bool,
+    enumeration: EnumerationMode,
+    summary: &RunSummary,
+) -> EngineRun {
     EngineRun {
         label: label.to_string(),
         jobs,
         warm,
+        enumeration: match enumeration {
+            EnumerationMode::Naive => "naive",
+            EnumerationMode::Incremental => "incremental",
+        },
         wall_seconds: summary.wall.as_secs_f64(),
         cache: summary.cache,
         benchmarks: summary
@@ -112,6 +141,10 @@ fn engine_run(label: &str, jobs: usize, warm: bool, summary: &RunSummary) -> Eng
                 library: b.library.clone(),
                 check_seconds: b.check_time.as_secs_f64(),
                 sat_queries: b.sat_queries(),
+                enum_queries: b.enum_queries(),
+                pruned_subtrees: b.pruned_subtrees(),
+                minterm_memo_hits: b.minterm_memo_hits(),
+                inclusion_memo_hits: b.inclusion_memo_hits(),
                 cache_hits: b.cache_hits(),
                 cache_misses: b.cache_misses(),
             })
@@ -119,27 +152,98 @@ fn engine_run(label: &str, jobs: usize, warm: bool, summary: &RunSummary) -> Eng
     }
 }
 
-/// The result of [`engine_comparison`]: the four measured runs plus the names of any
-/// configurations that were excluded (never silently).
+/// The cold-enumeration cost of one configuration under both strategies: the evidence for
+/// the "incremental enumeration reduces cold SAT-query count" claim.
+#[derive(Debug, Clone)]
+pub struct EnumReductionRow {
+    /// ADT name.
+    pub adt: String,
+    /// Library name.
+    pub library: String,
+    /// Total solver work (queries) of the cold naive run.
+    pub naive_queries: usize,
+    /// Total solver work (queries + scoped checks) of the cold incremental run.
+    pub incremental_queries: usize,
+    /// Enumeration-only queries of the naive run. Both modes issue an identical set of
+    /// non-enumeration queries (transition entailments, subtyping, consistency checks —
+    /// the incremental run's standalone `sat_queries`), so the naive enumeration cost is
+    /// the naive total minus that shared part.
+    pub naive_enumeration: usize,
+    /// Enumeration-only checks of the incremental run (its scoped-session checks).
+    pub incremental_enumeration: usize,
+}
+
+impl EnumReductionRow {
+    /// naive / incremental ratio over total solver work (∞-safe: 0 when incremental
+    /// is 0).
+    pub fn reduction(&self) -> f64 {
+        if self.incremental_queries == 0 {
+            0.0
+        } else {
+            self.naive_queries as f64 / self.incremental_queries as f64
+        }
+    }
+
+    /// naive / incremental ratio over enumeration work only — the cost the incremental
+    /// search tree actually replaces (∞-safe: 0 when incremental is 0).
+    pub fn enumeration_reduction(&self) -> f64 {
+        if self.incremental_enumeration == 0 {
+            0.0
+        } else {
+            self.naive_enumeration as f64 / self.incremental_enumeration as f64
+        }
+    }
+}
+
+/// The result of [`engine_comparison`]: the measured runs, the naive-vs-incremental
+/// cold-enumeration comparison, and the names of any configurations that were excluded
+/// (never silently).
 #[derive(Debug, Clone)]
 pub struct EngineComparison {
     /// The measured runs.
     pub runs: Vec<EngineRun>,
+    /// Per-benchmark cold enumeration cost, naive vs incremental.
+    pub enum_reduction: Vec<EnumReductionRow>,
     /// `"ADT/Library"` names of configurations excluded from the comparison.
     pub skipped: Vec<String>,
 }
 
-/// Exercises the `hat-engine` subsystem in four configurations — sequential and parallel,
-/// each with a cold and a warm (same-engine) cache. With `include_slow` false the
-/// configurations marked `slow` in the suite (whose minterm alphabets make a single
-/// cold run take tens of minutes) are excluded and recorded in
-/// [`EngineComparison::skipped`].
+/// Exercises the `hat-engine` subsystem: a cold naive-enumeration baseline, then
+/// sequential and parallel incremental runs, each with a cold and a warm (same-engine)
+/// cache. With `include_slow` false the configurations marked `slow` in the suite (whose
+/// minterm alphabets make a single cold naive run take tens of minutes) are excluded and
+/// recorded in [`EngineComparison::skipped`].
 pub fn engine_comparison(benches: &[Benchmark], include_slow: bool) -> EngineComparison {
     let (included, skipped): (Vec<&Benchmark>, Vec<&Benchmark>) =
         benches.iter().partition(|b| include_slow || !b.slow);
     let included: Vec<Benchmark> = included.into_iter().cloned().collect();
+    let runs = comparison_runs(&included);
+    let enum_reduction = runs
+        .iter()
+        .find(|r| r.enumeration == "naive" && !r.warm)
+        .zip(
+            runs.iter()
+                .find(|r| r.enumeration == "incremental" && !r.warm),
+        )
+        .map(|(naive, incremental)| {
+            naive
+                .benchmarks
+                .iter()
+                .zip(&incremental.benchmarks)
+                .map(|(n, i)| EnumReductionRow {
+                    adt: n.adt.clone(),
+                    library: n.library.clone(),
+                    naive_queries: n.total_solver_work(),
+                    incremental_queries: i.total_solver_work(),
+                    naive_enumeration: n.total_solver_work().saturating_sub(i.sat_queries),
+                    incremental_enumeration: i.enum_queries,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     EngineComparison {
-        runs: comparison_runs(&included),
+        runs,
+        enum_reduction,
         skipped: skipped
             .into_iter()
             .map(|b| format!("{}/{}", b.adt, b.library))
@@ -153,38 +257,55 @@ fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
         .unwrap_or(4)
         .clamp(2, 8);
     let mut runs = Vec::new();
+    let naive = Engine::new(EngineConfig {
+        jobs: 1,
+        enumeration: EnumerationMode::Naive,
+        ..EngineConfig::default()
+    })
+    .expect("in-memory engine");
+    runs.push(engine_run(
+        "jobs=1 cold naive-enum",
+        1,
+        false,
+        EnumerationMode::Naive,
+        &naive.check_benchmarks(benches),
+    ));
     let sequential = Engine::new(EngineConfig {
         jobs: 1,
-        cache_path: None,
+        ..EngineConfig::default()
     })
     .expect("in-memory engine");
     runs.push(engine_run(
         "jobs=1 cold",
         1,
         false,
+        EnumerationMode::Incremental,
         &sequential.check_benchmarks(benches),
     ));
     runs.push(engine_run(
         "jobs=1 warm",
         1,
         true,
+        EnumerationMode::Incremental,
         &sequential.check_benchmarks(benches),
     ));
     let parallel = Engine::new(EngineConfig {
         jobs: parallel_jobs,
-        cache_path: None,
+        ..EngineConfig::default()
     })
     .expect("in-memory engine");
     runs.push(engine_run(
         &format!("jobs={parallel_jobs} cold"),
         parallel_jobs,
         false,
+        EnumerationMode::Incremental,
         &parallel.check_benchmarks(benches),
     ));
     runs.push(engine_run(
         &format!("jobs={parallel_jobs} warm"),
         parallel_jobs,
         true,
+        EnumerationMode::Incremental,
         &parallel.check_benchmarks(benches),
     ));
     runs
@@ -209,7 +330,7 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
     let runs = &comparison.runs;
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(out, "{{")?;
-    writeln!(out, "  \"schema\": \"hat-engine-bench v1\",")?;
+    writeln!(out, "  \"schema\": \"hat-engine-bench v2\",")?;
     writeln!(
         out,
         "  \"skipped\": [{}],",
@@ -220,12 +341,38 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
             .collect::<Vec<_>>()
             .join(", ")
     )?;
+    writeln!(out, "  \"enum_reduction\": [")?;
+    for (i, row) in comparison.enum_reduction.iter().enumerate() {
+        write!(
+            out,
+            "    {{\"adt\": \"{}\", \"library\": \"{}\", \"naive_queries\": {}, \"incremental_queries\": {}, \"reduction\": {:.3}, \"naive_enumeration\": {}, \"incremental_enumeration\": {}, \"enumeration_reduction\": {:.3}}}",
+            json_escape(&row.adt),
+            json_escape(&row.library),
+            row.naive_queries,
+            row.incremental_queries,
+            row.reduction(),
+            row.naive_enumeration,
+            row.incremental_enumeration,
+            row.enumeration_reduction()
+        )?;
+        writeln!(
+            out,
+            "{}",
+            if i + 1 < comparison.enum_reduction.len() {
+                ","
+            } else {
+                ""
+            }
+        )?;
+    }
+    writeln!(out, "  ],")?;
     writeln!(out, "  \"runs\": [")?;
     for (i, run) in runs.iter().enumerate() {
         writeln!(out, "    {{")?;
         writeln!(out, "      \"label\": \"{}\",", json_escape(&run.label))?;
         writeln!(out, "      \"jobs\": {},", run.jobs)?;
         writeln!(out, "      \"warm_cache\": {},", run.warm)?;
+        writeln!(out, "      \"enumeration\": \"{}\",", run.enumeration)?;
         writeln!(out, "      \"wall_seconds\": {:.6},", run.wall_seconds)?;
         writeln!(out, "      \"cache_hits\": {},", run.cache.hits)?;
         writeln!(out, "      \"cache_misses\": {},", run.cache.misses)?;
@@ -234,15 +381,24 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
             "      \"cache_hit_rate\": {:.6},",
             run.cache.hit_rate()
         )?;
+        writeln!(
+            out,
+            "      \"minterm_memo_hits\": {},",
+            run.cache.minterm_hits
+        )?;
         writeln!(out, "      \"benchmarks\": [")?;
         for (j, b) in run.benchmarks.iter().enumerate() {
             write!(
                 out,
-                "        {{\"adt\": \"{}\", \"library\": \"{}\", \"check_seconds\": {:.6}, \"sat_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+                "        {{\"adt\": \"{}\", \"library\": \"{}\", \"check_seconds\": {:.6}, \"sat_queries\": {}, \"enum_queries\": {}, \"pruned_subtrees\": {}, \"minterm_memo_hits\": {}, \"inclusion_memo_hits\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
                 json_escape(&b.adt),
                 json_escape(&b.library),
                 b.check_seconds,
                 b.sat_queries,
+                b.enum_queries,
+                b.pruned_subtrees,
+                b.minterm_memo_hits,
+                b.inclusion_memo_hits,
                 b.cache_hits,
                 b.cache_misses
             )?;

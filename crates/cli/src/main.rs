@@ -8,15 +8,19 @@
 //! options:
 //!   --jobs N       verify on N worker threads (default 1; verdicts are identical)
 //!   --cache PATH   persist the solver-query cache at PATH so repeated runs start warm
+//!   --enum MODE    minterm enumeration: `incremental` (default) or `naive`
+//!                  (verdicts are identical; naive is the paper-faithful baseline)
 //! ```
 
 use hat_engine::{BenchmarkRun, Engine, EngineConfig, RunSummary};
+use hat_sfa::EnumerationMode;
 use hat_suite::{all_benchmarks, find, Benchmark};
 use std::path::PathBuf;
 
 struct Options {
     jobs: usize,
     cache_path: Option<PathBuf>,
+    enumeration: EnumerationMode,
     positional: Vec<String>,
 }
 
@@ -24,6 +28,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         jobs: 1,
         cache_path: None,
+        enumeration: EnumerationMode::default(),
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -40,6 +45,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--cache" => {
                 let value = it.next().ok_or("--cache needs a path")?;
                 opts.cache_path = Some(PathBuf::from(value));
+            }
+            "--enum" => {
+                let value = it.next().ok_or("--enum needs a mode")?;
+                opts.enumeration = match value.as_str() {
+                    "naive" => EnumerationMode::Naive,
+                    "incremental" => EnumerationMode::Incremental,
+                    other => {
+                        return Err(format!("invalid --enum mode `{other}` (naive|incremental)"))
+                    }
+                };
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
@@ -62,10 +77,11 @@ fn print_run(bench: &Benchmark, run: &BenchmarkRun) -> bool {
         };
         ok &= r.verified == m.expect_verified;
         println!(
-            "   {:<22} {:<32} #SAT={:<5} #FA⊆={:<3} t={:.2}s",
+            "   {:<22} {:<32} #SAT={:<5} #enum={:<5} #FA⊆={:<3} t={:.2}s",
             m.sig.name,
             status,
             r.stats.sat_queries,
+            r.stats.enum_queries,
             r.stats.fa_inclusions,
             r.stats.total_time.as_secs_f64()
         );
@@ -81,10 +97,11 @@ fn print_run(bench: &Benchmark, run: &BenchmarkRun) -> bool {
 fn print_cache_line(summary: &RunSummary, lifetime: hat_engine::CacheStatsSnapshot) {
     let c = &summary.cache;
     println!(
-        "cache: {} hits / {} misses ({:.1}% hit rate), {} loaded from disk, {} stale; wall {:.2}s",
+        "cache: {} hits / {} misses ({:.1}% hit rate), {} minterm-set hits, {} loaded from disk, {} stale; wall {:.2}s",
         c.hits,
         c.misses,
         100.0 * c.hit_rate(),
+        c.minterm_hits,
         lifetime.disk_loaded,
         lifetime.stale,
         summary.wall.as_secs_f64()
@@ -95,6 +112,7 @@ fn run(benches: Vec<Benchmark>, opts: &Options) -> bool {
     let engine = match Engine::new(EngineConfig {
         jobs: opts.jobs,
         cache_path: opts.cache_path.clone(),
+        enumeration: opts.enumeration,
     }) {
         Ok(engine) => engine,
         Err(e) => {

@@ -60,6 +60,15 @@ pub struct CheckStats {
     pub cache_hits: usize,
     /// Number of SMT queries that reached the underlying decision procedure.
     pub cache_misses: usize,
+    /// Number of incremental scoped-session checks issued during minterm enumeration
+    /// (0 with naive enumeration, whose work is visible in `sat_queries` instead).
+    pub enum_queries: usize,
+    /// Number of unsatisfiable enumeration branches abandoned (pruned subtrees).
+    pub pruned_subtrees: usize,
+    /// Number of alphabet transformations answered from the minterm-set memo.
+    pub minterm_memo_hits: usize,
+    /// Number of whole automata-inclusion checks answered from the inclusion memo.
+    pub inclusion_memo_hits: usize,
 }
 
 /// The outcome of checking one method.
@@ -210,6 +219,10 @@ impl Checker {
             assumed_preconditions: assumed,
             cache_hits: self.oracle.cache_hits() - hits_before,
             cache_misses: self.oracle.cache_misses() - misses_before,
+            enum_queries: incl_after.enum_queries - incl_before.enum_queries,
+            pruned_subtrees: incl_after.pruned_subtrees - incl_before.pruned_subtrees,
+            minterm_memo_hits: incl_after.minterm_memo_hits - incl_before.minterm_memo_hits,
+            inclusion_memo_hits: incl_after.inclusion_memo_hits - incl_before.inclusion_memo_hits,
         };
         Ok(MethodReport {
             name: sig.name.clone(),

@@ -1,16 +1,31 @@
-//! The shared solver-query cache: a sharded concurrent map from canonical query keys to
-//! verdicts, optionally fronting an append-only disk log so repeated runs start warm.
+//! The shared verdict cache: sharded concurrent maps from canonical keys to verdicts,
+//! optionally fronting an append-only disk log so repeated runs start warm.
 //!
-//! # Disk log format
+//! Three kinds of entries share the cache:
 //!
-//! The log is a plain text file. The first line is the header `hat-engine-cache v1`; every
-//! further line is `<verdict>\t<key>` where `<verdict>` is `0` (unsatisfiable) or `1`
-//! (satisfiable) and `<key>` is the canonical key from [`crate::canon`] (which never
-//! contains tabs or newlines). Appends are line-atomic under a mutex, so a log written by
-//! one run can be replayed by the next; a log with a different header — e.g. written by a
-//! future format version — is ignored wholesale and counted as stale rather than
-//! half-trusted. Malformed lines (a torn final write) are skipped and counted as stale.
+//! * **Solver verdicts** (`S` records): one satisfiability bit per canonical query key.
+//! * **Inclusion verdicts** (`I` records): one bit per canonical automata-inclusion key —
+//!   a hit skips minterm construction and DFA building entirely.
+//! * **Minterm sets** (in-memory only): whole memoised alphabet transformations keyed by
+//!   [`crate::canon::alphabet_key`]. These are structured values, not single bits, and are
+//!   cheap to rebuild from warm solver verdicts, so they are not persisted.
+//!
+//! # Disk log format (v2)
+//!
+//! The log is a plain text file. The first line is the header `hat-engine-cache v2`;
+//! every further line is `<kind><verdict>\t<key>` where `<kind>` is `S` (solver) or `I`
+//! (inclusion), `<verdict>` is `0` or `1`, and `<key>` is a canonical key from
+//! [`crate::canon`] (which never contains tabs or newlines). Appends are line-atomic
+//! under a mutex, so a log written by one run can be replayed by the next.
+//!
+//! A log with the previous `v1` header (`<verdict>\t<key>` solver records only) is
+//! **migrated**: its entries are loaded and the file is atomically rewritten in the v2
+//! format. A log with any other header — e.g. written by a future format version — is
+//! ignored wholesale and counted as stale rather than half-trusted (the cache runs
+//! in-memory and never writes to the foreign file). Malformed lines (a torn final write)
+//! are skipped and counted as stale.
 
+use hat_sfa::MintermSet;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -20,8 +35,27 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
-const HEADER: &str = "hat-engine-cache v1";
+const HEADER_V2: &str = "hat-engine-cache v2";
+const HEADER_V1: &str = "hat-engine-cache v1";
 const SHARDS: usize = 64;
+
+/// The namespace of a boolean cache entry, doubling as its disk-record kind tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Solver,
+    Inclusion,
+}
+
+impl Kind {
+    fn tag(self) -> char {
+        match self {
+            Kind::Solver => 'S',
+            Kind::Inclusion => 'I',
+        }
+    }
+
+    const ALL: [Kind; 2] = [Kind::Solver, Kind::Inclusion];
+}
 
 /// A point-in-time snapshot of the cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,6 +68,10 @@ pub struct CacheStatsSnapshot {
     pub disk_loaded: usize,
     /// Disk-log lines (or whole files) ignored as unreadable or from another version.
     pub stale: usize,
+    /// Alphabet transformations answered from the minterm-set memo.
+    pub minterm_hits: usize,
+    /// Alphabet transformations that had to be enumerated.
+    pub minterm_misses: usize,
 }
 
 impl CacheStatsSnapshot {
@@ -54,11 +92,16 @@ struct CacheCounters {
     misses: AtomicUsize,
     disk_loaded: AtomicUsize,
     stale: AtomicUsize,
+    minterm_hits: AtomicUsize,
+    minterm_misses: AtomicUsize,
 }
 
 /// The concurrent verdict cache shared by every worker of a verification run.
 pub struct QueryCache {
-    shards: Vec<RwLock<HashMap<String, bool>>>,
+    /// One shard set per entry kind (indexed by `Kind as usize`), so lookups hash the
+    /// caller's key directly instead of allocating a tagged copy per access.
+    shards: [Vec<RwLock<HashMap<String, bool>>>; 2],
+    minterms: RwLock<HashMap<String, MintermSet>>,
     log: Option<Mutex<BufWriter<File>>>,
     path: Option<PathBuf>,
     counters: CacheCounters,
@@ -82,8 +125,10 @@ impl Default for QueryCache {
 
 impl QueryCache {
     fn empty() -> Self {
+        let shard_set = || (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect();
         QueryCache {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: [shard_set(), shard_set()],
+            minterms: RwLock::new(HashMap::new()),
             log: None,
             path: None,
             counters: CacheCounters::default(),
@@ -96,29 +141,54 @@ impl QueryCache {
     }
 
     /// A cache backed by an append-only log at `path`. Existing entries are replayed into
-    /// memory (warm start) and new verdicts are appended. A file whose header belongs to
-    /// a different format version is left untouched: the cache runs in-memory only and
-    /// counts the file as stale (destroying data a newer binary wrote would be worse
-    /// than running cold).
+    /// memory (warm start) and new verdicts are appended. A `v1` log is migrated to the
+    /// current format in place (atomically, via a temporary file). A file whose header
+    /// belongs to any other format version is left untouched: the cache runs in-memory
+    /// only and counts the file as stale (destroying data a newer binary wrote would be
+    /// worse than running cold).
     pub fn with_disk_log(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let mut cache = Self::empty();
         let path = path.as_ref();
         cache.path = Some(path.to_path_buf());
-        let mut needs_header = true;
+        // How to open the log after reading: start a fresh v2 file, append to the
+        // existing v2 file, or rewrite a migrated v1 file.
+        let mut fresh = true;
+        let mut migrate = false;
         if path.exists() {
             let reader = BufReader::new(File::open(path)?);
             let mut lines = reader.lines();
             match lines.next() {
-                Some(Ok(header)) if header == HEADER => {
-                    needs_header = false;
+                Some(Ok(header)) if header == HEADER_V2 => {
+                    fresh = false;
                     for line in lines {
                         let Ok(line) = line else {
                             cache.counters.stale.fetch_add(1, Ordering::Relaxed);
                             continue;
                         };
                         match line.split_once('\t') {
-                            Some(("0", key)) => cache.load_entry(key, false),
-                            Some(("1", key)) => cache.load_entry(key, true),
+                            Some(("S0", key)) => cache.load_entry(Kind::Solver, key, false),
+                            Some(("S1", key)) => cache.load_entry(Kind::Solver, key, true),
+                            Some(("I0", key)) => cache.load_entry(Kind::Inclusion, key, false),
+                            Some(("I1", key)) => cache.load_entry(Kind::Inclusion, key, true),
+                            _ => {
+                                cache.counters.stale.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                Some(Ok(header)) if header == HEADER_V1 => {
+                    // The previous schema: untyped `<verdict>\t<key>` solver records.
+                    // Load them, then rewrite the whole file in the current format.
+                    fresh = false;
+                    migrate = true;
+                    for line in lines {
+                        let Ok(line) = line else {
+                            cache.counters.stale.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        };
+                        match line.split_once('\t') {
+                            Some(("0", key)) => cache.load_entry(Kind::Solver, key, false),
+                            Some(("1", key)) => cache.load_entry(Kind::Solver, key, true),
                             _ => {
                                 cache.counters.stale.fetch_add(1, Ordering::Relaxed);
                             }
@@ -134,7 +204,10 @@ impl QueryCache {
                 None => {}
             }
         }
-        let mut file = if needs_header {
+        if migrate {
+            cache.rewrite_log(path)?;
+        }
+        let mut file = if fresh {
             // Only reached for a missing or empty file.
             let file = OpenOptions::new()
                 .write(true)
@@ -159,32 +232,51 @@ impl QueryCache {
             }
             BufWriter::new(existing)
         };
-        if needs_header {
-            writeln!(file, "{HEADER}")?;
+        if fresh {
+            writeln!(file, "{HEADER_V2}")?;
         }
         cache.log = Some(Mutex::new(file));
         Ok(cache)
     }
 
-    fn load_entry(&mut self, key: &str, verdict: bool) {
-        let shard = self.shard_of(key);
-        self.shards[shard]
+    /// Atomically rewrites the log at `path` with the current in-memory entries in the
+    /// v2 format (used to migrate a v1 log).
+    fn rewrite_log(&self, path: &Path) -> std::io::Result<()> {
+        let mut tmp = path.to_path_buf();
+        tmp.set_extension("migrating");
+        {
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            writeln!(out, "{HEADER_V2}")?;
+            for kind in Kind::ALL {
+                for shard in &self.shards[kind as usize] {
+                    for (key, verdict) in shard.read().expect("cache shard poisoned").iter() {
+                        writeln!(out, "{}{}\t{key}", kind.tag(), u8::from(*verdict))?;
+                    }
+                }
+            }
+            out.flush()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    fn load_entry(&mut self, kind: Kind, key: &str, verdict: bool) {
+        let shard = Self::shard_of(key);
+        self.shards[kind as usize][shard]
             .write()
             .expect("cache shard poisoned")
             .insert(key.to_string(), verdict);
         self.counters.disk_loaded.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn shard_of(&self, key: &str) -> usize {
+    fn shard_of(key: &str) -> usize {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         (h.finish() as usize) % SHARDS
     }
 
-    /// Looks a key up, counting a hit or a miss.
-    pub fn lookup(&self, key: &str) -> Option<bool> {
-        let shard = self.shard_of(key);
-        let found = self.shards[shard]
+    fn lookup_kind(&self, kind: Kind, key: &str) -> Option<bool> {
+        let shard = Self::shard_of(key);
+        let found = self.shards[kind as usize][shard]
             .read()
             .expect("cache shard poisoned")
             .get(key)
@@ -196,11 +288,9 @@ impl QueryCache {
         found
     }
 
-    /// Records a verdict, appending it to the disk log when one is attached. Racing
-    /// inserts of the same key are harmless: canonical keys determine their verdict.
-    pub fn insert(&self, key: String, verdict: bool) {
-        let shard = self.shard_of(&key);
-        let fresh = self.shards[shard]
+    fn insert_kind(&self, kind: Kind, key: String, verdict: bool) {
+        let shard = Self::shard_of(&key);
+        let fresh = self.shards[kind as usize][shard]
             .write()
             .expect("cache shard poisoned")
             .insert(key.clone(), verdict)
@@ -208,9 +298,55 @@ impl QueryCache {
         if fresh {
             if let Some(log) = &self.log {
                 let mut log = log.lock().expect("cache log poisoned");
-                let _ = writeln!(log, "{}\t{}", if verdict { "1" } else { "0" }, key);
+                let _ = writeln!(log, "{}{}\t{}", kind.tag(), u8::from(verdict), key);
             }
         }
+    }
+
+    /// Looks a solver-verdict key up, counting a hit or a miss.
+    pub fn lookup(&self, key: &str) -> Option<bool> {
+        self.lookup_kind(Kind::Solver, key)
+    }
+
+    /// Records a solver verdict, appending it to the disk log when one is attached.
+    /// Racing inserts of the same key are harmless: canonical keys determine their
+    /// verdict.
+    pub fn insert(&self, key: String, verdict: bool) {
+        self.insert_kind(Kind::Solver, key, verdict);
+    }
+
+    /// Looks an inclusion-verdict key up, counting a hit or a miss.
+    pub fn lookup_inclusion(&self, key: &str) -> Option<bool> {
+        self.lookup_kind(Kind::Inclusion, key)
+    }
+
+    /// Records an automata-inclusion verdict.
+    pub fn insert_inclusion(&self, key: String, verdict: bool) {
+        self.insert_kind(Kind::Inclusion, key, verdict);
+    }
+
+    /// Looks a memoised minterm set up by its canonical alphabet key.
+    pub fn lookup_minterms(&self, key: &str) -> Option<MintermSet> {
+        let found = self
+            .minterms
+            .read()
+            .expect("minterm memo poisoned")
+            .get(key)
+            .cloned();
+        match found {
+            Some(_) => self.counters.minterm_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.minterm_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Memoises an enumerated minterm set (in-memory only; racing stores of the same key
+    /// are harmless because enumeration is a pure function of the canonical key).
+    pub fn insert_minterms(&self, key: String, set: MintermSet) {
+        self.minterms
+            .write()
+            .expect("minterm memo poisoned")
+            .insert(key, set);
     }
 
     /// Flushes the disk log (called at the end of a run; also happens on drop).
@@ -220,10 +356,11 @@ impl QueryCache {
         }
     }
 
-    /// Number of cached verdicts.
+    /// Number of cached verdicts (both kinds).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
+            .flatten()
             .map(|s| s.read().expect("cache shard poisoned").len())
             .sum()
     }
@@ -240,6 +377,8 @@ impl QueryCache {
             misses: self.counters.misses.load(Ordering::Relaxed),
             disk_loaded: self.counters.disk_loaded.load(Ordering::Relaxed),
             stale: self.counters.stale.load(Ordering::Relaxed),
+            minterm_hits: self.counters.minterm_hits.load(Ordering::Relaxed),
+            minterm_misses: self.counters.minterm_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -307,7 +446,7 @@ mod tests {
     #[test]
     fn unknown_header_is_ignored_and_left_untouched() {
         let path = temp_path("stale");
-        let foreign = "hat-engine-cache v999\n1\tk\n";
+        let foreign = "hat-engine-cache v999\nS1\tk\n";
         std::fs::write(&path, foreign).unwrap();
         let cache = QueryCache::with_disk_log(&path).unwrap();
         assert_eq!(cache.len(), 0);
@@ -324,7 +463,11 @@ mod tests {
     #[test]
     fn torn_final_line_is_skipped_and_terminated_before_appending() {
         let path = temp_path("torn");
-        std::fs::write(&path, format!("{HEADER}\n1\tgood\nmalformed-without-tab")).unwrap();
+        std::fs::write(
+            &path,
+            format!("{HEADER_V2}\nS1\tgood\nmalformed-without-tab"),
+        )
+        .unwrap();
         {
             let cache = QueryCache::with_disk_log(&path).unwrap();
             assert_eq!(cache.lookup("good"), Some(true));
@@ -335,6 +478,83 @@ mod tests {
         let warm = QueryCache::with_disk_log(&path).unwrap();
         assert_eq!(warm.lookup("good"), Some(true));
         assert_eq!(warm.lookup("fresh"), Some(true));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v1_logs_are_migrated_not_misread() {
+        let path = temp_path("migrate-v1");
+        std::fs::write(
+            &path,
+            "hat-engine-cache v1\n1\tsat|k1\n0\tsat|k2\nmalformed",
+        )
+        .unwrap();
+        let cache = QueryCache::with_disk_log(&path).unwrap();
+        assert_eq!(cache.lookup("sat|k1"), Some(true));
+        assert_eq!(cache.lookup("sat|k2"), Some(false));
+        assert_eq!(cache.stats().disk_loaded, 2);
+        assert_eq!(cache.stats().stale, 1, "the torn v1 line is skipped");
+        // New entries of both kinds append to the migrated file.
+        cache.insert_inclusion("incl|k3".into(), true);
+        drop(cache);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            contents.starts_with(HEADER_V2),
+            "the file must be rewritten with the v2 header, got: {contents:?}"
+        );
+        let warm = QueryCache::with_disk_log(&path).unwrap();
+        assert_eq!(warm.lookup("sat|k1"), Some(true));
+        assert_eq!(warm.lookup("sat|k2"), Some(false));
+        assert_eq!(warm.lookup_inclusion("incl|k3"), Some(true));
+        assert_eq!(warm.stats().stale, 0, "a migrated log replays cleanly");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn solver_and_inclusion_namespaces_never_collide() {
+        let cache = QueryCache::in_memory();
+        cache.insert("shared-key".into(), true);
+        assert_eq!(cache.lookup_inclusion("shared-key"), None);
+        cache.insert_inclusion("shared-key".into(), false);
+        assert_eq!(cache.lookup("shared-key"), Some(true));
+        assert_eq!(cache.lookup_inclusion("shared-key"), Some(false));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn inclusion_verdicts_roundtrip_through_the_disk_log() {
+        let path = temp_path("incl-roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = QueryCache::with_disk_log(&path).unwrap();
+            cache.insert_inclusion("incl|a".into(), true);
+            cache.insert("sat|b".into(), false);
+        }
+        let warm = QueryCache::with_disk_log(&path).unwrap();
+        assert_eq!(warm.stats().disk_loaded, 2);
+        assert_eq!(warm.lookup_inclusion("incl|a"), Some(true));
+        assert_eq!(warm.lookup("sat|b"), Some(false));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn minterm_memo_is_in_memory_only() {
+        let path = temp_path("minterm-memo");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = QueryCache::with_disk_log(&path).unwrap();
+            assert!(cache.lookup_minterms("mt|x").is_none());
+            cache.insert_minterms("mt|x".into(), MintermSet::default());
+            assert!(cache.lookup_minterms("mt|x").is_some());
+            let stats = cache.stats();
+            assert_eq!((stats.minterm_hits, stats.minterm_misses), (1, 1));
+        }
+        let warm = QueryCache::with_disk_log(&path).unwrap();
+        assert!(
+            warm.lookup_minterms("mt|x").is_none(),
+            "minterm sets are not persisted"
+        );
+        assert_eq!(warm.stats().stale, 0, "the memo must not pollute the log");
         let _ = std::fs::remove_file(&path);
     }
 }

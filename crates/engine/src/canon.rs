@@ -15,6 +15,7 @@
 //! constants) is length-prefixed in the key, so no crafted name can alias another key.
 
 use hat_logic::{Atom, AxiomSet, Constant, Formula, FuncSym, Ident, Sort, Term};
+use hat_sfa::{LiteralPool, Minterm, MintermSet, OpSig, Sfa, VarCtx};
 use std::collections::BTreeMap;
 
 /// A query in canonical form: the renamed sort environment, the renamed formula, and the
@@ -133,6 +134,238 @@ pub fn canonicalize(vars: &[(Ident, Sort)], f: &Formula) -> CanonicalQuery {
         vars: renamer.out_vars,
         formula,
         key,
+    }
+}
+
+/// A canonical key for one alphabet transformation — the typing context, the operator
+/// alphabet and the collected literal pool, α-renamed — together with the renaming that
+/// produced it. Two structurally equal transformations (e.g. the same obligation under
+/// differently-freshened ghost variables) share a key; the renaming moves a memoised
+/// [`MintermSet`] between them.
+#[derive(Debug, Clone)]
+pub struct AlphabetKey {
+    /// The stable textual key (prefix it with an axiom-set fingerprint before sharing a
+    /// cache across benchmarks).
+    pub key: String,
+    /// Original free-variable name → canonical name, in order of first occurrence.
+    forward: BTreeMap<Ident, Ident>,
+}
+
+impl AlphabetKey {
+    fn rename_set(set: &MintermSet, rename: &dyn Fn(&str) -> Option<Ident>) -> MintermSet {
+        MintermSet {
+            minterms: set
+                .minterms
+                .iter()
+                .map(|m| Minterm {
+                    op: m.op.clone(),
+                    assignment: m
+                        .assignment
+                        .iter()
+                        .map(|(a, v)| (a.rename_vars(rename), *v))
+                        .collect(),
+                })
+                .collect(),
+            uniform_literals: set
+                .uniform_literals
+                .iter()
+                .map(|a| a.rename_vars(rename))
+                .collect(),
+            pruned: set.pruned,
+            enum_queries: set.enum_queries,
+            from_memo: set.from_memo,
+        }
+    }
+
+    /// Renames a minterm set built for this key's original query into canonical names
+    /// (the form stored in a shared memo).
+    pub fn to_canonical(&self, set: &MintermSet) -> MintermSet {
+        Self::rename_set(set, &|x| self.forward.get(x).cloned())
+    }
+
+    /// Renames a memoised canonical minterm set back into this key's original names.
+    pub fn from_canonical(&self, set: &MintermSet) -> MintermSet {
+        let inverse: BTreeMap<&str, &Ident> = self
+            .forward
+            .iter()
+            .map(|(orig, canon)| (canon.as_str(), orig))
+            .collect();
+        Self::rename_set(set, &|x| inverse.get(x).map(|orig| (*orig).clone()))
+    }
+}
+
+fn renamer_for<'a>(ctx: &'a VarCtx) -> Renamer<'a> {
+    Renamer {
+        env: ctx.vars.iter().map(|(x, s)| (x.as_str(), s)).collect(),
+        free: BTreeMap::new(),
+        out_vars: Vec::new(),
+        binders: 0,
+    }
+}
+
+fn ser_ops(ops: &[OpSig], out: &mut String) {
+    for op in ops {
+        out.push('O');
+        ser_name(&op.name, out);
+        out.push(':');
+        // Argument names are irrelevant (minterm literals use the canonical `#argN`
+        // names); only the sorts and the arity matter.
+        for (_, sort) in &op.args {
+            ser_sort(sort, out);
+        }
+        out.push('>');
+        ser_sort(&op.ret, out);
+    }
+}
+
+/// Canonicalises an alphabet transformation: the context facts, operator alphabet and
+/// literal pool, α-renamed with one shared renamer so a memoised minterm set can be
+/// transported between α-equivalent queries.
+pub fn alphabet_key(ctx: &VarCtx, ops: &[OpSig], pool: &LiteralPool) -> AlphabetKey {
+    let mut renamer = renamer_for(ctx);
+    let mut bound = Vec::new();
+    let mut body = String::with_capacity(256);
+    for fact in &ctx.facts {
+        body.push('f');
+        ser_formula(&renamer.formula(fact, &mut bound), &mut body);
+    }
+    ser_ops(ops, &mut body);
+    for (op, atoms) in &pool.per_op {
+        body.push('p');
+        ser_name(op, &mut body);
+        for a in atoms {
+            ser_atom(&renamer.atom(a, &bound), &mut body);
+        }
+    }
+    body.push('u');
+    for a in &pool.uniform {
+        ser_atom(&renamer.atom(a, &bound), &mut body);
+    }
+    let mut key = String::with_capacity(body.len() + 64);
+    key.push_str("mt|");
+    for (x, s) in &renamer.out_vars {
+        key.push_str(x);
+        key.push(':');
+        ser_sort(s, &mut key);
+        key.push(',');
+    }
+    key.push('|');
+    key.push_str(&body);
+    AlphabetKey {
+        key,
+        forward: renamer.free,
+    }
+}
+
+/// Canonicalises a whole automata-inclusion check `Γ ⊢ A ⊆ B` into a stable key: the
+/// context facts, the operator alphabet, the DFA state bound and both automata, α-renamed
+/// with one shared renamer. The verdict of an inclusion check is a pure function of this
+/// key (given the axiom-set fingerprint callers prefix), so structurally equal checks can
+/// share one memoised verdict and skip minterm construction and DFA building entirely.
+pub fn inclusion_check_key(
+    ctx: &VarCtx,
+    ops: &[OpSig],
+    max_states: usize,
+    a: &Sfa,
+    b: &Sfa,
+) -> String {
+    let mut renamer = renamer_for(ctx);
+    let mut bound = Vec::new();
+    let mut body = String::with_capacity(256);
+    for fact in &ctx.facts {
+        body.push('f');
+        ser_formula(&renamer.formula(fact, &mut bound), &mut body);
+    }
+    ser_ops(ops, &mut body);
+    body.push('a');
+    ser_sfa(&mut renamer, a, &mut bound, &mut body);
+    body.push('b');
+    ser_sfa(&mut renamer, b, &mut bound, &mut body);
+    let mut key = String::with_capacity(body.len() + 64);
+    key.push_str("incl|");
+    key.push_str(&max_states.to_string());
+    key.push('|');
+    for (x, s) in &renamer.out_vars {
+        key.push_str(x);
+        key.push(':');
+        ser_sort(s, &mut key);
+        key.push(',');
+    }
+    key.push('|');
+    key.push_str(&body);
+    key
+}
+
+/// Serialises a symbolic automaton under the shared renamer. Event argument and result
+/// names are binders scoping over the event qualifier: they are renamed like quantifier
+/// binders, so two events differing only in those names collide.
+fn ser_sfa(renamer: &mut Renamer, sfa: &Sfa, bound: &mut Vec<(Ident, Ident)>, out: &mut String) {
+    match sfa {
+        Sfa::Zero => out.push('0'),
+        Sfa::Epsilon => out.push('1'),
+        Sfa::Event(e) => {
+            out.push_str("(E");
+            ser_name(&e.op, out);
+            let before = bound.len();
+            for arg in &e.args {
+                let canon = format!("$q{}", renamer.binders);
+                renamer.binders += 1;
+                bound.push((arg.clone(), canon));
+            }
+            let res_canon = format!("$q{}", renamer.binders);
+            renamer.binders += 1;
+            bound.push((e.result.clone(), res_canon));
+            out.push(' ');
+            ser_formula(&renamer.formula(&e.phi, bound), out);
+            bound.truncate(before);
+            out.push(')');
+        }
+        Sfa::Guard(phi) => {
+            out.push_str("(G ");
+            ser_formula(&renamer.formula(phi, bound), out);
+            out.push(')');
+        }
+        Sfa::Not(x) => {
+            out.push_str("(N ");
+            ser_sfa(renamer, x, bound, out);
+            out.push(')');
+        }
+        Sfa::Next(x) => {
+            out.push_str("(X ");
+            ser_sfa(renamer, x, bound, out);
+            out.push(')');
+        }
+        Sfa::Star(x) => {
+            out.push_str("(S ");
+            ser_sfa(renamer, x, bound, out);
+            out.push(')');
+        }
+        Sfa::And(parts) => {
+            out.push_str("(C ");
+            for p in parts {
+                ser_sfa(renamer, p, bound, out);
+            }
+            out.push(')');
+        }
+        Sfa::Or(parts) => {
+            out.push_str("(D ");
+            for p in parts {
+                ser_sfa(renamer, p, bound, out);
+            }
+            out.push(')');
+        }
+        Sfa::Concat(x, y) => {
+            out.push_str("(; ");
+            ser_sfa(renamer, x, bound, out);
+            ser_sfa(renamer, y, bound, out);
+            out.push(')');
+        }
+        Sfa::Until(x, y) => {
+            out.push_str("(U ");
+            ser_sfa(renamer, x, bound, out);
+            ser_sfa(renamer, y, bound, out);
+            out.push(')');
+        }
     }
 }
 
@@ -487,6 +720,154 @@ mod tests {
         assert_eq!(
             key(&int_env(&["x"]), &f),
             key(&int_env(&["x", "unused"]), &f)
+        );
+    }
+
+    #[test]
+    fn fuzzed_names_never_break_key_invariants() {
+        // A proptest-free fuzz loop (deterministic xorshift, as in the suite's
+        // end-to-end tests) over name escaping: keys must never contain record
+        // delimiters, and distinct name multisets must never collide.
+        struct XorShift(u64);
+        impl XorShift {
+            fn next(&mut self) -> u64 {
+                let mut x = self.0;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                self.0 = x;
+                x
+            }
+        }
+        let mut rng = XorShift(0x6a09e667f3bcc909);
+        // An alphabet biased towards the characters the escaping must defend against.
+        let alphabet: Vec<char> = vec![
+            '\t', '\n', '\r', '\\', '#', '|', ';', '(', ')', ':', ',', '$', 'a', 'b', '0',
+            '\u{7f}', '\u{1}', 'é', '→',
+        ];
+        let random_name = |rng: &mut XorShift| -> String {
+            let len = (rng.next() % 12) as usize;
+            (0..len)
+                .map(|_| alphabet[(rng.next() % alphabet.len() as u64) as usize])
+                .collect()
+        };
+        let mut seen: BTreeMap<String, String> = BTreeMap::new();
+        for _ in 0..512 {
+            let name = random_name(&mut rng);
+            let f = Formula::pred(name.clone(), vec![Term::atom(random_name(&mut rng))]);
+            let k = key(&[], &f);
+            assert!(
+                !k.contains('\t') && !k.contains('\n') && !k.contains('\r'),
+                "key for {name:?} leaks a record delimiter: {k:?}"
+            );
+            // Same formula → same key; a different pred/constant pair → different key.
+            assert_eq!(k, key(&[], &f), "keys must be deterministic");
+            if let Some(prev) = seen.get(&k) {
+                assert_eq!(
+                    prev,
+                    &format!("{f}"),
+                    "two distinct formulas collided on key {k:?}"
+                );
+            } else {
+                seen.insert(k, format!("{f}"));
+            }
+        }
+    }
+
+    #[test]
+    fn alphabet_keys_share_across_renamings_and_transport_minterm_sets() {
+        let pool_for = |var: &str| LiteralPool {
+            per_op: vec![(
+                "put".to_string(),
+                vec![Atom::Eq(Term::var("#arg0"), Term::var(var))],
+            )],
+            uniform: vec![Atom::Lt(Term::int(0), Term::var(var))],
+        };
+        let ops = vec![hat_sfa::OpSig::new(
+            "put",
+            vec![("key".to_string(), Sort::Int)],
+            Sort::Unit,
+        )];
+        let ctx_p = VarCtx::new(vec![("p".to_string(), Sort::Int)], vec![]);
+        let ctx_q = VarCtx::new(vec![("q".to_string(), Sort::Int)], vec![]);
+        let key_p = alphabet_key(&ctx_p, &ops, &pool_for("p"));
+        let key_q = alphabet_key(&ctx_q, &ops, &pool_for("q"));
+        assert_eq!(
+            key_p.key, key_q.key,
+            "α-equivalent transformations share a key"
+        );
+
+        // A set built under `p` transports to `q` through the canonical form.
+        let set_p = MintermSet {
+            minterms: vec![Minterm {
+                op: "put".into(),
+                assignment: vec![(Atom::Eq(Term::var("#arg0"), Term::var("p")), true)],
+            }],
+            uniform_literals: vec![Atom::Lt(Term::int(0), Term::var("p"))],
+            ..MintermSet::default()
+        };
+        let transported = key_q.from_canonical(&key_p.to_canonical(&set_p));
+        assert_eq!(
+            transported.minterms[0].assignment[0].0,
+            Atom::Eq(Term::var("#arg0"), Term::var("q"))
+        );
+        assert_eq!(
+            transported.uniform_literals[0],
+            Atom::Lt(Term::int(0), Term::var("q"))
+        );
+
+        // Different literal pools must not collide.
+        let mut bigger = pool_for("p");
+        bigger.uniform.push(Atom::Le(Term::var("p"), Term::int(9)));
+        assert_ne!(key_p.key, alphabet_key(&ctx_p, &ops, &bigger).key);
+    }
+
+    #[test]
+    fn inclusion_keys_distinguish_direction_and_share_alpha_equivalent_checks() {
+        let ops = vec![hat_sfa::OpSig::new(
+            "put",
+            vec![("key".to_string(), Sort::Int)],
+            Sort::Unit,
+        )];
+        let ev = |ctx_var: &str| {
+            Sfa::event(
+                "put",
+                vec!["key".into()],
+                "v",
+                Formula::eq(Term::var("key"), Term::var(ctx_var)),
+            )
+        };
+        let ctx_p = VarCtx::new(vec![("p".to_string(), Sort::Int)], vec![]);
+        let ctx_q = VarCtx::new(vec![("q".to_string(), Sort::Int)], vec![]);
+        let a_p = Sfa::globally(Sfa::not(ev("p")));
+        let b_p = Sfa::eventually(ev("p"));
+        let forward = inclusion_check_key(&ctx_p, &ops, 64, &a_p, &b_p);
+        let backward = inclusion_check_key(&ctx_p, &ops, 64, &b_p, &a_p);
+        assert_ne!(
+            forward, backward,
+            "A ⊆ B and B ⊆ A must not share a verdict"
+        );
+        // α-renamed contexts (freshened ghosts) share keys.
+        let a_q = Sfa::globally(Sfa::not(ev("q")));
+        let b_q = Sfa::eventually(ev("q"));
+        assert_eq!(forward, inclusion_check_key(&ctx_q, &ops, 64, &a_q, &b_q));
+        // A different state bound is a different key.
+        assert_ne!(forward, inclusion_check_key(&ctx_p, &ops, 65, &a_p, &b_p));
+        // Event binder names do not matter...
+        let ev_renamed = Sfa::event(
+            "put",
+            vec!["k2".into()],
+            "w",
+            Formula::eq(Term::var("k2"), Term::var("p")),
+        );
+        assert_eq!(
+            forward,
+            inclusion_check_key(&ctx_p, &ops, 64, &Sfa::globally(Sfa::not(ev_renamed)), &b_p)
+        );
+        // ...but the automaton structure does.
+        assert_ne!(
+            forward,
+            inclusion_check_key(&ctx_p, &ops, 64, &Sfa::globally(ev("p")), &b_p)
         );
     }
 

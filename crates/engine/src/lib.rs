@@ -39,7 +39,7 @@
 //! use hat_engine::{Engine, EngineConfig};
 //!
 //! let benches = vec![hat_suite::find("Stack", "LinkedList").expect("configuration exists")];
-//! let engine = Engine::new(EngineConfig { jobs: 2, cache_path: None }).expect("engine");
+//! let engine = Engine::new(EngineConfig { jobs: 2, ..EngineConfig::default() }).expect("engine");
 //! let summary = engine.check_benchmarks(&benches);
 //! assert!(summary.benchmarks[0].reports.iter().any(|r| r.verified));
 //! ```

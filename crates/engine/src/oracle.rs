@@ -9,9 +9,9 @@
 //! exactly the verdicts of a sequential run.
 
 use crate::cache::QueryCache;
-use crate::canon::{axioms_fingerprint, canonicalize};
-use hat_logic::{AxiomSet, Formula, Ident, Solver, Sort};
-use hat_sfa::SolverOracle;
+use crate::canon::{alphabet_key, axioms_fingerprint, canonicalize, inclusion_check_key};
+use hat_logic::{Atom, AxiomSet, Formula, Ident, ScopedSession, Solver, Sort};
+use hat_sfa::{LiteralPool, MintermSet, OpSig, Sfa, SolverOracle, VarCtx};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -24,6 +24,10 @@ pub struct CachingOracle {
     /// depends on the axioms instantiated into the query, and the cache is shared across
     /// oracles with *different* axiom sets (one per benchmark).
     key_prefix: String,
+    /// The alphabet key computed by the last `minterm_lookup` miss. `build_minterms_with`
+    /// always pairs a miss with a `minterm_store` for the same transformation, so the
+    /// store reuses this instead of re-canonicalising the whole alphabet.
+    pending_alphabet: Option<(String, crate::canon::AlphabetKey)>,
     queries: usize,
     hits: usize,
     misses: usize,
@@ -51,6 +55,7 @@ impl CachingOracle {
             solver: Solver::with_axioms(axioms),
             cache,
             key_prefix,
+            pending_alphabet: None,
             queries: 0,
             hits: 0,
             misses: 0,
@@ -120,6 +125,70 @@ impl SolverOracle for CachingOracle {
 
     fn cache_misses(&self) -> usize {
         self.misses
+    }
+
+    fn scoped_session<'a>(
+        &'a mut self,
+        vars: &[(Ident, Sort)],
+        base: &[Formula],
+        literals: &[Atom],
+    ) -> Option<ScopedSession<'a>> {
+        // Incremental checks bypass the per-query cache (they are cheaper than a cache
+        // round-trip); the whole enumeration is instead memoised as a minterm set.
+        Some(self.solver.scoped(vars, base, literals))
+    }
+
+    fn minterm_lookup(
+        &mut self,
+        ctx: &VarCtx,
+        ops: &[OpSig],
+        pool: &LiteralPool,
+    ) -> Option<MintermSet> {
+        let alphabet = alphabet_key(ctx, ops, pool);
+        let key = format!("{}{}", self.key_prefix, alphabet.key);
+        let found = self
+            .cache
+            .lookup_minterms(&key)
+            .map(|stored| alphabet.from_canonical(&stored));
+        self.pending_alphabet = if found.is_none() {
+            Some((key, alphabet))
+        } else {
+            None
+        };
+        found
+    }
+
+    fn minterm_store(&mut self, ctx: &VarCtx, ops: &[OpSig], pool: &LiteralPool, set: &MintermSet) {
+        // The paired lookup (a miss) left its key behind; recompute only if the pairing
+        // was broken by an unexpected call sequence.
+        let (key, alphabet) = self.pending_alphabet.take().unwrap_or_else(|| {
+            let alphabet = alphabet_key(ctx, ops, pool);
+            (format!("{}{}", self.key_prefix, alphabet.key), alphabet)
+        });
+        self.cache.insert_minterms(key, alphabet.to_canonical(set));
+    }
+
+    fn inclusion_key(
+        &mut self,
+        ctx: &VarCtx,
+        ops: &[OpSig],
+        max_states: usize,
+        a: &Sfa,
+        b: &Sfa,
+    ) -> Option<String> {
+        Some(format!(
+            "{}{}",
+            self.key_prefix,
+            inclusion_check_key(ctx, ops, max_states, a, b)
+        ))
+    }
+
+    fn inclusion_lookup(&mut self, key: &str) -> Option<bool> {
+        self.cache.lookup_inclusion(key)
+    }
+
+    fn inclusion_store(&mut self, key: &str, verdict: bool) {
+        self.cache.insert_inclusion(key.to_string(), verdict);
     }
 }
 

@@ -11,6 +11,7 @@
 use crate::cache::{CacheStatsSnapshot, QueryCache};
 use crate::oracle::CachingOracle;
 use hat_core::{Checker, MethodReport};
+use hat_sfa::EnumerationMode;
 use hat_suite::Benchmark;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -24,6 +25,9 @@ pub struct EngineConfig {
     pub jobs: usize,
     /// Path of the persistent cache log; `None` keeps the cache in memory only.
     pub cache_path: Option<PathBuf>,
+    /// Minterm enumeration strategy (incremental by default; naive is kept for
+    /// differential testing and paper-faithful measurement).
+    pub enumeration: EnumerationMode,
 }
 
 impl Default for EngineConfig {
@@ -31,6 +35,7 @@ impl Default for EngineConfig {
         EngineConfig {
             jobs: 1,
             cache_path: None,
+            enumeration: EnumerationMode::default(),
         }
     }
 }
@@ -71,6 +76,36 @@ impl BenchmarkRun {
     /// Total cache misses (queries that reached a solver).
     pub fn cache_misses(&self) -> usize {
         self.reports.iter().map(|r| r.stats.cache_misses).sum()
+    }
+
+    /// Total incremental enumeration checks issued by this benchmark's methods.
+    pub fn enum_queries(&self) -> usize {
+        self.reports.iter().map(|r| r.stats.enum_queries).sum()
+    }
+
+    /// Total pruned enumeration subtrees across this benchmark's methods.
+    pub fn pruned_subtrees(&self) -> usize {
+        self.reports.iter().map(|r| r.stats.pruned_subtrees).sum()
+    }
+
+    /// Total alphabet transformations answered from the minterm-set memo.
+    pub fn minterm_memo_hits(&self) -> usize {
+        self.reports.iter().map(|r| r.stats.minterm_memo_hits).sum()
+    }
+
+    /// Total inclusion checks answered from the inclusion-verdict memo.
+    pub fn inclusion_memo_hits(&self) -> usize {
+        self.reports
+            .iter()
+            .map(|r| r.stats.inclusion_memo_hits)
+            .sum()
+    }
+
+    /// Total solver work: standalone SMT queries plus incremental enumeration checks.
+    /// This is the number to compare across enumeration modes (naive enumeration issues
+    /// standalone queries; incremental enumeration issues scoped checks).
+    pub fn total_solver_work(&self) -> usize {
+        self.sat_queries() + self.enum_queries()
     }
 }
 
@@ -141,6 +176,7 @@ impl Engine {
                         key_prefixes[b].clone(),
                     );
                     let mut checker = Checker::with_oracle(bench.delta.clone(), Box::new(oracle));
+                    checker.inclusion.enumeration = self.config.enumeration;
                     let report = checker
                         .check_method(&method.sig, &method.body)
                         .unwrap_or_else(|e| {
@@ -185,6 +221,8 @@ impl Engine {
                 // every run; lifetime values live in `Engine::cache().stats()`.
                 disk_loaded: after.disk_loaded - stats_before.disk_loaded,
                 stale: after.stale - stats_before.stale,
+                minterm_hits: after.minterm_hits - stats_before.minterm_hits,
+                minterm_misses: after.minterm_misses - stats_before.minterm_misses,
             },
         }
     }
@@ -218,7 +256,7 @@ mod tests {
             .check_benchmarks(&benches);
         let parallel = Engine::new(EngineConfig {
             jobs: 4,
-            cache_path: None,
+            ..EngineConfig::default()
         })
         .expect("in-memory engine")
         .check_benchmarks(&benches);
@@ -253,12 +291,14 @@ mod tests {
         let cold = Engine::new(EngineConfig {
             jobs: 2,
             cache_path: Some(path.clone()),
+            ..EngineConfig::default()
         })
         .expect("disk-backed engine")
         .check_benchmarks(&benches);
         let warm_engine = Engine::new(EngineConfig {
             jobs: 2,
             cache_path: Some(path.clone()),
+            ..EngineConfig::default()
         })
         .expect("disk-backed engine");
         assert!(warm_engine.cache().stats().disk_loaded > 0);

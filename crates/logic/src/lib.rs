@@ -36,7 +36,7 @@ pub use axioms::{AxiomSet, MethodPredicate};
 pub use constant::Constant;
 pub use eval::{EvalCtx, EvalError, Interpretation};
 pub use formula::{Atom, Formula};
-pub use solver::{Solver, SolverStats};
+pub use solver::{ScopedSession, Solver, SolverStats};
 pub use sort::Sort;
 pub use subst::Subst;
 pub use term::{FuncSym, Term};

@@ -44,6 +44,10 @@ pub struct SolverStats {
     pub time: Duration,
     /// Number of theory (congruence/difference-bound) consistency checks performed.
     pub theory_checks: usize,
+    /// Number of incremental checks answered by scoped sessions ([`Solver::scoped`]).
+    /// These are *not* counted in `queries`: a scoped check reuses a preprocessed CNF
+    /// and is orders of magnitude cheaper than a standalone query.
+    pub scoped_checks: usize,
 }
 
 impl SolverStats {
@@ -304,6 +308,90 @@ impl Solver {
         }
     }
 
+    /// Opens a scoped incremental session over a fixed base formula and a pool of
+    /// candidate literals.
+    ///
+    /// The expensive, per-query part of [`Solver::is_satisfiable`] — simplification,
+    /// quantifier elimination, axiom instantiation and CNF construction — is performed
+    /// exactly once here, over the *union* of the base facts and every candidate literal
+    /// (the same ground-term basis a standalone query over a full literal assignment
+    /// would use, which is what makes session verdicts coincide with standalone
+    /// verdicts on full assignments). Afterwards each [`ScopedSession::check`] costs one
+    /// DPLL search plus theory validation: candidate literals are pushed and retracted
+    /// as *assumptions* ([`ScopedSession::assume`] / [`ScopedSession::retract`]) without
+    /// rebuilding any state, so an enumeration can walk a search tree and abandon a
+    /// subtree the moment a partial assignment is unsatisfiable.
+    ///
+    /// Theory conflicts discovered during any check are learned as blocking clauses and
+    /// persist for the lifetime of the session (they are assumption-independent facts),
+    /// so later checks never re-discover them.
+    pub fn scoped<'a>(
+        &'a mut self,
+        vars: &SortEnv,
+        base: &[Formula],
+        literals: &[Atom],
+    ) -> ScopedSession<'a> {
+        // Fresh names are scoped to the session, exactly as they are scoped to one
+        // standalone query: the counter restarts so session construction is a pure
+        // function of (axioms, vars, base, literals).
+        self.fresh = 0;
+        let mut env: BTreeMap<Ident, Sort> = vars.iter().cloned().collect();
+
+        // Ground-term basis: the base facts *and* every candidate literal, mirroring what
+        // a standalone query over a full literal assignment would collect (literal signs
+        // do not matter — ground terms are sign-blind).
+        let atom_formulas: Vec<Formula> =
+            literals.iter().map(|a| Formula::Atom(a.clone())).collect();
+        let basis = Formula::and(
+            base.iter()
+                .cloned()
+                .chain(atom_formulas.iter().cloned())
+                .collect(),
+        );
+        let basis_nnf = to_nnf(&simplify(&basis), false);
+        let ground = self.collect_ground_terms(&basis_nnf, &env);
+
+        // Assert only the base facts (quantifier-eliminated over the full basis); the
+        // literals themselves enter and leave through assumptions.
+        let base_nnf = to_nnf(&simplify(&Formula::and(base.to_vec())), false);
+        let qfree_base = self.eliminate_quantifiers(&base_nnf, &mut env, &ground);
+        let inst_source = Formula::and(
+            std::iter::once(qfree_base.clone())
+                .chain(atom_formulas)
+                .collect(),
+        );
+        let insts = self.instantiate_axioms(&inst_source, &env);
+        let asserted = simplify(&Formula::and(
+            std::iter::once(qfree_base).chain(insts).collect(),
+        ));
+
+        let base_false = matches!(asserted, Formula::False);
+        let mut builder = CnfBuilder::new();
+        if !base_false {
+            let root = builder.encode(&asserted);
+            builder.assert_lit(root);
+        }
+        // Register a propositional variable for every candidate literal, whether or not
+        // it occurs in the asserted base.
+        let literal_vars: Vec<usize> = literals
+            .iter()
+            .map(|a| builder.encode(&Formula::Atom(a.clone())).var)
+            .collect();
+        let atoms = builder.atoms().to_vec();
+        let sat = SatSolver::new(builder.num_vars(), builder.take_clauses());
+        ScopedSession {
+            solver: self,
+            env,
+            sat,
+            atoms,
+            literal_vars,
+            assumptions: Vec::new(),
+            base_false,
+            checks: 0,
+            conflicts: 0,
+        }
+    }
+
     /// Instantiates background axioms over the ground terms of the query.
     fn instantiate_axioms(&self, f: &Formula, env: &BTreeMap<Ident, Sort>) -> Vec<Formula> {
         if self.axioms.axioms.is_empty() {
@@ -354,6 +442,173 @@ impl Solver {
             }
         }
         out
+    }
+}
+
+/// An incremental solving session opened with [`Solver::scoped`]: a fixed base formula,
+/// a pool of candidate literals, and a stack of assumed literal polarities.
+///
+/// The session owns one SAT solver instance whose clause database (base CNF, axiom
+/// instances, learned theory conflicts) persists across checks. Assumptions are scoped to
+/// each check, so `assume`/`retract` are O(1): nothing is rebuilt when the search moves
+/// between branches.
+pub struct ScopedSession<'a> {
+    solver: &'a mut Solver,
+    env: BTreeMap<Ident, Sort>,
+    sat: SatSolver,
+    atoms: Vec<(Atom, usize)>,
+    literal_vars: Vec<usize>,
+    assumptions: Vec<Lit>,
+    base_false: bool,
+    checks: usize,
+    conflicts: usize,
+}
+
+impl std::fmt::Debug for ScopedSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopedSession")
+            .field("literals", &self.literal_vars.len())
+            .field("depth", &self.assumptions.len())
+            .field("checks", &self.checks)
+            .field("conflicts", &self.conflicts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScopedSession<'_> {
+    /// Number of candidate literals in the session's pool.
+    pub fn num_literals(&self) -> usize {
+        self.literal_vars.len()
+    }
+
+    /// Current assumption depth (number of `assume`s not yet retracted).
+    pub fn depth(&self) -> usize {
+        self.assumptions.len()
+    }
+
+    /// Number of incremental checks issued so far.
+    pub fn checks(&self) -> usize {
+        self.checks
+    }
+
+    /// Number of theory conflicts discovered (and learned) so far.
+    pub fn conflicts(&self) -> usize {
+        self.conflicts
+    }
+
+    /// Pushes an assumption: candidate literal `index` takes polarity `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range of the literal pool.
+    pub fn assume(&mut self, index: usize, value: bool) {
+        let var = self.literal_vars[index];
+        self.assumptions.push(Lit {
+            var,
+            positive: value,
+        });
+    }
+
+    /// Pops the most recent assumption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no assumption is active.
+    pub fn retract(&mut self) {
+        self.assumptions
+            .pop()
+            .expect("retract without a matching assume");
+    }
+
+    /// Is the base formula together with the current assumptions satisfiable?
+    ///
+    /// On success, returns a *witness projection*: the polarity the satisfying model
+    /// assigns to every candidate literal (index-aligned with the pool). The witness is a
+    /// full, theory-consistent assignment, so it certifies an entire satisfiable leaf of
+    /// the enumeration tree, not just the current partial assignment. On failure the
+    /// whole subtree under the current assumptions is unsatisfiable.
+    pub fn check(&mut self) -> Option<Vec<bool>> {
+        let start = Instant::now();
+        self.checks += 1;
+        self.solver.stats.scoped_checks += 1;
+        let result = self.check_inner();
+        self.solver.stats.time += start.elapsed();
+        result
+    }
+
+    fn check_inner(&mut self) -> Option<Vec<bool>> {
+        if self.base_false {
+            return None;
+        }
+        loop {
+            match self.sat.solve_with(&self.assumptions) {
+                None => return None,
+                Some(model) => {
+                    self.solver.stats.theory_checks += 1;
+                    let lits: Vec<(Atom, bool)> = self
+                        .atoms
+                        .iter()
+                        .filter_map(|(atom, var)| model.get(*var).map(|b| (atom.clone(), b)))
+                        .collect();
+                    let check = TheoryCheck::new(&self.env, &self.solver.axioms);
+                    match check.consistent(&lits) {
+                        Ok(()) => {
+                            return Some(
+                                self.literal_vars
+                                    .iter()
+                                    // Totality is load-bearing: a defaulted polarity
+                                    // would bypass the theory check just performed.
+                                    .map(|v| model.get(*v).expect("dpll models are total"))
+                                    .collect(),
+                            );
+                        }
+                        Err(core) => {
+                            // A theory conflict is assumption-independent: the blocked
+                            // assignment is inconsistent with the theory itself, so the
+                            // learned clause is sound for every later check too.
+                            let clause: Vec<Lit> =
+                                core.iter()
+                                    .filter_map(|(atom, val)| {
+                                        self.atoms.iter().find(|(a, _)| a == atom).map(
+                                            |(_, var)| Lit {
+                                                var: *var,
+                                                positive: !*val,
+                                            },
+                                        )
+                                    })
+                                    .collect();
+                            if clause.is_empty() {
+                                return None;
+                            }
+                            self.conflicts += 1;
+                            self.sat.add_clause(clause);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Permanently excludes a full literal projection from all later checks (AllSAT-style
+    /// enumeration: block each witness as it is emitted). With an empty literal pool this
+    /// adds the empty clause, making every later check unsatisfiable — the enumeration of
+    /// zero literals has exactly one leaf.
+    pub fn block(&mut self, projection: &[bool]) {
+        assert_eq!(
+            projection.len(),
+            self.literal_vars.len(),
+            "projection must cover the whole literal pool"
+        );
+        let clause: Vec<Lit> = self
+            .literal_vars
+            .iter()
+            .zip(projection)
+            .map(|(var, value)| Lit {
+                var: *var,
+                positive: !value,
+            })
+            .collect();
+        self.sat.add_clause(clause);
     }
 }
 
@@ -539,6 +794,186 @@ mod tests {
         let _ = s.is_satisfiable(&[], &Formula::pred("p", vec![]));
         assert_eq!(s.stats.queries, before + 1);
         assert!(s.stats.sat >= 1);
+    }
+
+    #[test]
+    fn scoped_push_pop_nesting_matches_standalone_queries() {
+        // Base: x < y.  Literals: y < z, x < z, z < x.
+        let env = int_env();
+        let base = vec![Formula::lt(Term::var("x"), Term::var("y"))];
+        let literals = vec![
+            Atom::Lt(Term::var("y"), Term::var("z")),
+            Atom::Lt(Term::var("x"), Term::var("z")),
+            Atom::Lt(Term::var("z"), Term::var("x")),
+        ];
+        let mut s = Solver::default();
+        let mut session = s.scoped(&env, &base, &literals);
+        assert_eq!(session.num_literals(), 3);
+        assert_eq!(session.depth(), 0);
+        assert!(session.check().is_some(), "base alone is satisfiable");
+
+        // y < z pushed: still satisfiable; nested x < z: still satisfiable.
+        session.assume(0, true);
+        assert_eq!(session.depth(), 1);
+        assert!(session.check().is_some());
+        session.assume(1, true);
+        assert_eq!(session.depth(), 2);
+        assert!(session.check().is_some());
+        // Deepest level: z < x contradicts x < y < z.
+        session.assume(2, true);
+        assert!(session.check().is_none(), "x<y ∧ y<z ∧ x<z ∧ z<x is unsat");
+        session.retract();
+        // After retracting the contradiction the previous level is intact.
+        assert!(session.check().is_some());
+        session.retract();
+        session.retract();
+        assert_eq!(session.depth(), 0);
+        assert!(session.check().is_some());
+    }
+
+    #[test]
+    fn scoped_unsat_at_depth_prunes_the_subtree() {
+        // Base: x < y ∧ y < z. The assumption z < x is unsat at depth 1; every deeper
+        // assumption keeps it unsat (the whole subtree is pruned).
+        let env = int_env();
+        let base = vec![
+            Formula::lt(Term::var("x"), Term::var("y")),
+            Formula::lt(Term::var("y"), Term::var("z")),
+        ];
+        let literals = vec![
+            Atom::Lt(Term::var("z"), Term::var("x")),
+            Atom::Lt(Term::var("x"), Term::var("z")),
+        ];
+        let mut s = Solver::default();
+        let mut session = s.scoped(&env, &base, &literals);
+        session.assume(0, true);
+        assert!(session.check().is_none());
+        for value in [true, false] {
+            session.assume(1, value);
+            assert!(
+                session.check().is_none(),
+                "children of an unsat node are unsat"
+            );
+            session.retract();
+        }
+        session.retract();
+        // The sibling branch (¬(z < x)) is satisfiable.
+        session.assume(0, false);
+        assert!(session.check().is_some());
+    }
+
+    #[test]
+    fn scoped_witness_certifies_a_full_leaf_and_block_excludes_it() {
+        let env = int_env();
+        let literals = vec![
+            Atom::Lt(Term::var("x"), Term::var("y")),
+            Atom::Lt(Term::var("y"), Term::var("z")),
+        ];
+        let mut s = Solver::default();
+        let mut session = s.scoped(&env, &[], &literals);
+        let mut seen = std::collections::BTreeSet::new();
+        // AllSAT: every check yields a fresh projection until the space is exhausted.
+        while let Some(projection) = session.check() {
+            assert_eq!(projection.len(), 2);
+            assert!(seen.insert(projection.clone()), "projections never repeat");
+            session.block(&projection);
+        }
+        assert_eq!(seen.len(), 4, "all four sign combinations are satisfiable");
+        assert_eq!(
+            session.checks(),
+            5,
+            "one check per leaf plus the closing unsat"
+        );
+    }
+
+    #[test]
+    fn scoped_empty_literal_pool_has_one_leaf() {
+        let mut s = Solver::default();
+        let mut session = s.scoped(&[], &[], &[]);
+        let w = session
+            .check()
+            .expect("the empty conjunction is satisfiable");
+        assert!(w.is_empty());
+        session.block(&w);
+        assert!(
+            session.check().is_none(),
+            "blocking the empty projection closes the space"
+        );
+    }
+
+    #[test]
+    fn scoped_theory_conflicts_are_learned_once() {
+        // isDir(v) ∧ isDel(v) is a pure theory conflict under the axiom; once learned it
+        // must not be re-discovered by later checks.
+        let mut axioms = AxiomSet::new();
+        axioms.declare_pred("isDir", vec![Sort::named("Bytes.t")]);
+        axioms.declare_pred("isDel", vec![Sort::named("Bytes.t")]);
+        axioms.add_axiom(Axiom::new(
+            "dir-not-del",
+            vec![("b".into(), Sort::named("Bytes.t"))],
+            Formula::implies(
+                Formula::pred("isDir", vec![Term::var("b")]),
+                Formula::not(Formula::pred("isDel", vec![Term::var("b")])),
+            ),
+        ));
+        let env = vec![("v".to_string(), Sort::named("Bytes.t"))];
+        let literals = vec![
+            Atom::Pred("isDir".into(), vec![Term::var("v")]),
+            Atom::Pred("isDel".into(), vec![Term::var("v")]),
+        ];
+        let mut s = Solver::with_axioms(axioms);
+        let mut session = s.scoped(&env, &[], &literals);
+        session.assume(0, true);
+        session.assume(1, true);
+        assert!(session.check().is_none());
+        let conflicts_after_first = session.conflicts();
+        assert!(session.check().is_none());
+        assert_eq!(
+            session.conflicts(),
+            conflicts_after_first,
+            "the second check reuses the learned clause"
+        );
+        session.retract();
+        assert!(session.check().is_some(), "isDir(v) alone is satisfiable");
+    }
+
+    #[test]
+    fn scoped_sessions_keep_fresh_name_counter_hygiene() {
+        // Verdicts and solver work must be a pure function of the query, with or without
+        // an interleaved scoped session: the fresh-name counter restarts every time.
+        let probe = |s: &mut Solver| {
+            let env = vec![("a".to_string(), Sort::named("T"))];
+            let f = Formula::forall(
+                "q",
+                Sort::named("T"),
+                Formula::implies(
+                    Formula::pred("p", vec![Term::var("q")]),
+                    Formula::pred("p", vec![Term::var("q")]),
+                ),
+            );
+            let before = s.stats.theory_checks;
+            let verdict = s.is_satisfiable(&env, &f);
+            (verdict, s.stats.theory_checks - before)
+        };
+        let mut plain = Solver::default();
+        let baseline = probe(&mut plain);
+
+        let mut with_session = Solver::default();
+        let first = probe(&mut with_session);
+        {
+            let env = vec![("x".to_string(), Sort::Int)];
+            let literals = vec![Atom::Lt(Term::var("x"), Term::int(0))];
+            let mut session = with_session.scoped(&env, &[], &literals);
+            session.assume(0, true);
+            let _ = session.check();
+        }
+        let second = probe(&mut with_session);
+        assert_eq!(first, baseline);
+        assert_eq!(
+            second, baseline,
+            "a scoped session must not leak fresh names"
+        );
+        assert!(with_session.stats.scoped_checks >= 1);
     }
 
     #[test]

@@ -39,7 +39,21 @@ impl SatSolver {
 
     /// Finds a satisfying assignment, or `None` if the clause set is unsatisfiable.
     pub fn solve(&self) -> Option<Model> {
+        self.solve_with(&[])
+    }
+
+    /// Finds a satisfying assignment extending the given assumptions, or `None` if the
+    /// clause set is unsatisfiable under them. Assumptions are scoped to this call: the
+    /// clause database is untouched, so a caller can probe many assumption sets against
+    /// one (growing) set of clauses — the core of the scoped-solver API.
+    pub fn solve_with(&self, assumptions: &[Lit]) -> Option<Model> {
         let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        for l in assumptions {
+            match assignment[l.var] {
+                Some(v) if v != l.positive => return None,
+                _ => assignment[l.var] = Some(l.positive),
+            }
+        }
         if self.dpll(&mut assignment) {
             Some(Model { assignment })
         } else {
@@ -183,6 +197,27 @@ mod tests {
             s.add_clause(vec![lit(0, v)]);
             assert!(s.solve().is_none());
         }
+    }
+
+    #[test]
+    fn assumptions_scope_to_one_call() {
+        // (a ∨ b) with assumption ¬a forces b; the clause set itself stays satisfiable
+        // with a = true afterwards.
+        let s = SatSolver::new(2, vec![vec![lit(0, true), lit(1, true)]]);
+        let m = s.solve_with(&[lit(0, false)]).expect("sat under ¬a");
+        assert_eq!(m.get(0), Some(false));
+        assert_eq!(m.get(1), Some(true));
+        // Conflicting assumptions are unsat without touching the clause database.
+        assert!(s.solve_with(&[lit(0, true), lit(0, false)]).is_none());
+        // And a plain solve is unaffected by earlier assumption probes.
+        assert!(s.solve().is_some());
+    }
+
+    #[test]
+    fn assumptions_conflicting_with_units_are_unsat() {
+        let s = SatSolver::new(1, vec![vec![lit(0, true)]]);
+        assert!(s.solve_with(&[lit(0, false)]).is_none());
+        assert!(s.solve_with(&[lit(0, true)]).is_some());
     }
 
     #[test]

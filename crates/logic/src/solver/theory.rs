@@ -143,14 +143,34 @@ impl<'a> TheoryCheck<'a> {
 
     /// Checks whether the literal set is consistent with the theory.
     ///
-    /// On conflict, returns a conflict "core"; the current implementation returns the full
-    /// literal set, which is always a valid (if non-minimal) core for blocking purposes.
+    /// On conflict, returns a *minimised* conflict core: a subset of the literals that is
+    /// still theory-inconsistent and from which no single literal can be removed. Small
+    /// cores matter enormously for the lazy-SMT loop: a blocking clause built from the
+    /// full literal set excludes exactly one propositional model, so the loop can cycle
+    /// through exponentially many theory-equivalent models; a blocking clause built from
+    /// a minimal core excludes the whole family at once.
     pub fn consistent(&self, lits: &[(Atom, bool)]) -> Result<(), Vec<(Atom, bool)>> {
         if self.check(lits) {
             Ok(())
         } else {
-            Err(lits.to_vec())
+            Err(self.minimise_core(lits.to_vec()))
         }
+    }
+
+    /// Deletion-based core minimisation: drop each literal whose removal keeps the set
+    /// inconsistent. Deterministic (literals are visited in order), so cached verdicts
+    /// and parallel runs see identical blocking behaviour.
+    fn minimise_core(&self, mut core: Vec<(Atom, bool)>) -> Vec<(Atom, bool)> {
+        let mut i = 0;
+        while i < core.len() {
+            let removed = core.remove(i);
+            if self.check(&core) {
+                // The literal is load-bearing; put it back and move on.
+                core.insert(i, removed);
+                i += 1;
+            }
+        }
+        core
     }
 
     fn check(&self, lits: &[(Atom, bool)]) -> bool {

@@ -13,8 +13,10 @@
 
 use crate::ast::{OpSig, Sfa, SymbolicEvent};
 use crate::dfa::{Dfa, DfaBuildError, TransitionOracle};
-use crate::minterm::{arg_name, build_minterms, res_name, Minterm};
-use hat_logic::{Formula, Ident, Sort};
+use crate::minterm::{
+    arg_name, build_minterms_with, res_name, EnumerationMode, LiteralPool, Minterm, MintermSet,
+};
+use hat_logic::{Atom, Formula, Ident, ScopedSession, Sort};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -64,6 +66,65 @@ pub trait SolverOracle {
     fn cache_misses(&self) -> usize {
         self.query_count()
     }
+
+    /// Opens an incremental scoped-assumption session over the underlying solver, used
+    /// by incremental minterm enumeration. `None` (the default) makes enumeration fall
+    /// back to one standalone query per assignment-tree node.
+    fn scoped_session<'a>(
+        &'a mut self,
+        vars: &[(Ident, Sort)],
+        base: &[Formula],
+        literals: &[Atom],
+    ) -> Option<ScopedSession<'a>> {
+        let _ = (vars, base, literals);
+        None
+    }
+
+    /// Looks up a memoised minterm set for a structurally equal alphabet transformation —
+    /// same context, operators and literal pool up to α-renaming (and, for caching
+    /// oracles, the same background axioms). The oracle is responsible for renaming the
+    /// stored set back into this query's variable names. `None` (the default) disables
+    /// minterm-set memoisation.
+    fn minterm_lookup(
+        &mut self,
+        ctx: &VarCtx,
+        ops: &[OpSig],
+        pool: &LiteralPool,
+    ) -> Option<MintermSet> {
+        let _ = (ctx, ops, pool);
+        None
+    }
+
+    /// Memoises an enumerated minterm set for later [`SolverOracle::minterm_lookup`]s.
+    fn minterm_store(&mut self, ctx: &VarCtx, ops: &[OpSig], pool: &LiteralPool, set: &MintermSet) {
+        let _ = (ctx, ops, pool, set);
+    }
+
+    /// A memo key identifying a whole automata-inclusion check up to α-equivalence.
+    /// `None` (the default) disables inclusion-verdict memoisation.
+    fn inclusion_key(
+        &mut self,
+        ctx: &VarCtx,
+        ops: &[OpSig],
+        max_states: usize,
+        a: &Sfa,
+        b: &Sfa,
+    ) -> Option<String> {
+        let _ = (ctx, ops, max_states, a, b);
+        None
+    }
+
+    /// Looks a memoised inclusion verdict up by the key from
+    /// [`SolverOracle::inclusion_key`].
+    fn inclusion_lookup(&mut self, key: &str) -> Option<bool> {
+        let _ = key;
+        None
+    }
+
+    /// Memoises an inclusion verdict under the given key.
+    fn inclusion_store(&mut self, key: &str, verdict: bool) {
+        let _ = (key, verdict);
+    }
 }
 
 impl SolverOracle for hat_logic::Solver {
@@ -82,6 +143,15 @@ impl SolverOracle for hat_logic::Solver {
     fn query_time(&self) -> Duration {
         self.stats.time
     }
+
+    fn scoped_session<'a>(
+        &'a mut self,
+        vars: &[(Ident, Sort)],
+        base: &[Formula],
+        literals: &[Atom],
+    ) -> Option<ScopedSession<'a>> {
+        Some(self.scoped(vars, base, literals))
+    }
 }
 
 /// Work counters for inclusion checking, matching the evaluation columns of the paper.
@@ -97,6 +167,15 @@ pub struct InclusionStats {
     pub fa_states: usize,
     /// Number of satisfiable minterms constructed.
     pub minterms: usize,
+    /// Number of incremental enumeration checks issued during minterm construction
+    /// (0 when enumeration runs naively; those queries show up in the oracle's count).
+    pub enum_queries: usize,
+    /// Number of unsatisfiable enumeration branches abandoned (pruned subtrees).
+    pub pruned_subtrees: usize,
+    /// Number of alphabet transformations answered from the minterm-set memo.
+    pub minterm_memo_hits: usize,
+    /// Number of whole inclusion checks answered from the inclusion-verdict memo.
+    pub inclusion_memo_hits: usize,
     /// Total wall-clock time spent inside inclusion checking (includes solver time).
     pub time: Duration,
 }
@@ -118,6 +197,10 @@ impl InclusionStats {
         self.fa_transitions += other.fa_transitions;
         self.fa_states += other.fa_states;
         self.minterms += other.minterms;
+        self.enum_queries += other.enum_queries;
+        self.pruned_subtrees += other.pruned_subtrees;
+        self.minterm_memo_hits += other.minterm_memo_hits;
+        self.inclusion_memo_hits += other.inclusion_memo_hits;
         self.time += other.time;
     }
 }
@@ -192,6 +275,8 @@ pub struct InclusionChecker {
     pub ops: Vec<OpSig>,
     /// Bound on the number of DFA states per automaton.
     pub max_states: usize,
+    /// How minterm satisfiability is established during alphabet transformation.
+    pub enumeration: EnumerationMode,
     /// Accumulated statistics.
     pub stats: InclusionStats,
 }
@@ -202,6 +287,7 @@ impl InclusionChecker {
         InclusionChecker {
             ops,
             max_states: 8192,
+            enumeration: EnumerationMode::default(),
             stats: InclusionStats::default(),
         }
     }
@@ -231,8 +317,22 @@ impl InclusionChecker {
         if a == b || matches!(a, Sfa::Zero) || b.is_universe() {
             return Ok(true);
         }
-        let set = build_minterms(ctx, &self.ops, &[a, b], oracle);
+        // Structurally equal inclusion checks (same context, operators and automata up to
+        // α-renaming) skip minterm construction and DFA building entirely.
+        let memo_key = oracle.inclusion_key(ctx, &self.ops, self.max_states, a, b);
+        if let Some(key) = &memo_key {
+            if let Some(verdict) = oracle.inclusion_lookup(key) {
+                self.stats.inclusion_memo_hits += 1;
+                return Ok(verdict);
+            }
+        }
+        let set = build_minterms_with(ctx, &self.ops, &[a, b], oracle, self.enumeration);
         self.stats.minterms += set.minterms.len();
+        self.stats.enum_queries += set.enum_queries;
+        self.stats.pruned_subtrees += set.pruned;
+        if set.from_memo {
+            self.stats.minterm_memo_hits += 1;
+        }
         let mut matcher = MatchOracle {
             ctx,
             ops: &self.ops,
@@ -240,6 +340,7 @@ impl InclusionChecker {
             event_cache: BTreeMap::new(),
             guard_cache: BTreeMap::new(),
         };
+        let mut verdict = true;
         for group in set.uniform_groups() {
             let alphabet: Vec<Minterm> = set
                 .group_indices(&group)
@@ -253,10 +354,14 @@ impl InclusionChecker {
             self.stats.fa_transitions += da.num_transitions() + db.num_transitions();
             self.stats.fa_inclusions += 1;
             if da.included_in(&db).is_err() {
-                return Ok(false);
+                verdict = false;
+                break;
             }
         }
-        Ok(true)
+        if let Some(key) = memo_key {
+            matcher.oracle.inclusion_store(&key, verdict);
+        }
+        Ok(verdict)
     }
 }
 

@@ -28,4 +28,4 @@ pub use ast::{OpSig, Sfa, SymbolicEvent};
 pub use dfa::{Dfa, DfaBuildError};
 pub use event::{Event, Trace};
 pub use inclusion::{InclusionChecker, InclusionStats, SolverOracle, VarCtx};
-pub use minterm::{Minterm, MintermSet};
+pub use minterm::{EnumerationMode, LiteralPool, Minterm, MintermSet};

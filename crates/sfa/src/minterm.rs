@@ -6,11 +6,49 @@
 //! combinations of the literals appearing in the automata (and typing context), one family
 //! per effectful operator. Satisfiability of each combination is established with the SMT
 //! solver — these are the `#SAT` queries reported in the paper's evaluation.
+//!
+//! # Enumeration strategies
+//!
+//! Two enumeration strategies produce that alphabet, selected by [`EnumerationMode`]:
+//!
+//! * **Naive** (the paper's reading of Algorithm 1): a depth-first walk over the literal
+//!   assignment tree issuing one standalone SMT query per node. Unsatisfiable subtrees are
+//!   abandoned early, but every query repeats the whole solver pipeline — simplification,
+//!   quantifier elimination, axiom instantiation, CNF construction — and in a mostly
+//!   satisfiable literal space the query count still grows as `O(2^n)`.
+//! * **Incremental** (the default): one scoped solver session per operator
+//!   ([`hat_logic::Solver::scoped`]) preprocesses the context and the literal pool once;
+//!   the search tree then lives inside the session's DPLL search, where assigned literals
+//!   branch one at a time and a falsified clause prunes an entire subtree without a new
+//!   query. Each incremental check returns a *witness*: a full, theory-consistent literal
+//!   projection, i.e. one satisfiable leaf. Blocking each witness and re-checking
+//!   enumerates exactly the satisfiable minterms in `|minterms| + 1` checks — the query
+//!   count is proportional to the satisfiable frontier, not the candidate space.
+//!
+//! Both strategies provably produce the same minterm set: the incremental session is
+//! built over the same ground-term basis a naive *leaf* query uses (the context plus the
+//! whole literal pool), so a full assignment is satisfiable in the session iff the naive
+//! leaf query says so — and the interior of the naive tree only ever prunes assignments
+//! whose every completion is unsatisfiable. The differential harness in
+//! `tests/minterm_differential.rs` enforces this equivalence.
 
 use crate::ast::{OpSig, Sfa};
 use crate::inclusion::{SolverOracle, VarCtx};
 use hat_logic::{Atom, Formula, Ident, Sort};
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
+
+/// How [`build_minterms`] establishes satisfiability of candidate literal assignments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnumerationMode {
+    /// One standalone SMT query per node of the assignment tree.
+    Naive,
+    /// One scoped incremental session per operator; checks proportional to the
+    /// satisfiable frontier. Falls back to naive when the oracle cannot provide a
+    /// scoped session.
+    #[default]
+    Incremental,
+}
 
 /// Canonical name of the `i`-th argument of an event inside minterm literals.
 pub fn arg_name(i: usize) -> Ident {
@@ -71,8 +109,15 @@ pub struct MintermSet {
     pub minterms: Vec<Minterm>,
     /// Literals over context variables only.
     pub uniform_literals: Vec<Atom>,
-    /// Number of boolean combinations that were pruned as unsatisfiable.
+    /// Number of unsatisfiable branches abandoned during enumeration: pruned subtrees of
+    /// the naive walk, or learned conflicts plus closing-unsat answers of the
+    /// incremental search.
     pub pruned: usize,
+    /// Number of incremental scoped-session checks issued (0 in naive mode, where all
+    /// work is visible through the oracle's query count instead).
+    pub enum_queries: usize,
+    /// Whether this set was answered from a minterm-set memo rather than enumerated.
+    pub from_memo: bool,
 }
 
 impl MintermSet {
@@ -262,24 +307,47 @@ fn mentions_event_var(t: &hat_logic::Term) -> bool {
     t.free_vars().iter().any(|v| v.starts_with('#'))
 }
 
-/// Builds the satisfiable minterms of the given automata under the typing context.
-///
-/// Every declared operator in `ops` gets a family of minterms (operators with no literals
-/// get a single unconstrained minterm, so that events of "irrelevant" operators can still
-/// appear in traces). Unsatisfiable boolean combinations are pruned eagerly: the
-/// enumeration descends literal by literal and abandons a branch as soon as the partial
-/// conjunction is inconsistent with the context.
+/// Builds the satisfiable minterms of the given automata under the typing context, with
+/// the default (incremental) enumeration mode. See [`build_minterms_with`].
 pub fn build_minterms(
     ctx: &VarCtx,
     ops: &[OpSig],
     automata: &[&Sfa],
     oracle: &mut dyn SolverOracle,
 ) -> MintermSet {
+    build_minterms_with(ctx, ops, automata, oracle, EnumerationMode::default())
+}
+
+/// Builds the satisfiable minterms of the given automata under the typing context.
+///
+/// Every declared operator in `ops` gets a family of minterms (operators with no literals
+/// get a single unconstrained minterm, so that events of "irrelevant" operators can still
+/// appear in traces). Unsatisfiable boolean combinations are pruned eagerly; the strategy
+/// for establishing satisfiability is chosen by `mode` (see the module docs).
+///
+/// Oracles that support minterm-set memoisation (see [`SolverOracle::minterm_lookup`])
+/// can answer the whole construction from a memo when a structurally equal alphabet
+/// transformation — same context, same operators, same literal pool up to α-renaming —
+/// has already been enumerated.
+pub fn build_minterms_with(
+    ctx: &VarCtx,
+    ops: &[OpSig],
+    automata: &[&Sfa],
+    oracle: &mut dyn SolverOracle,
+    mode: EnumerationMode,
+) -> MintermSet {
     let pool = LiteralPool::collect(ctx, automata);
+    if let Some(mut cached) = oracle.minterm_lookup(ctx, ops, &pool) {
+        // A memo hit costs no enumeration work; the counters describe this call, not
+        // the call that originally built the set.
+        cached.enum_queries = 0;
+        cached.pruned = 0;
+        cached.from_memo = true;
+        return cached;
+    }
     let mut set = MintermSet {
-        minterms: Vec::new(),
         uniform_literals: pool.uniform.clone(),
-        pruned: 0,
+        ..MintermSet::default()
     };
 
     for op in ops {
@@ -303,19 +371,87 @@ pub fn build_minterms(
         }
         vars.push((res_name(), op.ret.clone()));
 
-        let mut assignment: Vec<(Atom, bool)> = Vec::new();
-        enumerate(
-            ctx,
-            oracle,
-            &vars,
-            &literals,
-            0,
-            &mut assignment,
-            &op.name,
-            &mut set,
-        );
+        let incremental = mode == EnumerationMode::Incremental
+            && enumerate_incremental(ctx, oracle, &vars, &literals, &op.name, &mut set);
+        if !incremental {
+            let mut assignment: Vec<(Atom, bool)> = Vec::new();
+            enumerate(
+                ctx,
+                oracle,
+                &vars,
+                &literals,
+                0,
+                &mut assignment,
+                &op.name,
+                &mut set,
+            );
+        }
     }
+    oracle.minterm_store(ctx, ops, &pool, &set);
     set
+}
+
+/// Incremental enumeration of one operator's minterms over a scoped solver session.
+/// Returns `false` when the oracle cannot provide a session (the caller falls back to the
+/// naive walk).
+///
+/// Each successful check yields a witness projection — one satisfiable leaf — which is
+/// recorded and blocked; the session's internal search prunes unsatisfiable subtrees by
+/// clause propagation instead of per-node queries. When every boolean combination has
+/// been found the closing unsatisfiability check is skipped (the space is exhausted by
+/// counting), which keeps the incremental check count at or below the naive query count
+/// even for literal-free operators.
+fn enumerate_incremental(
+    ctx: &VarCtx,
+    oracle: &mut dyn SolverOracle,
+    vars: &[(Ident, Sort)],
+    literals: &[Atom],
+    op: &str,
+    out: &mut MintermSet,
+) -> bool {
+    let Some(mut session) = oracle.scoped_session(vars, &ctx.facts, literals) else {
+        return false;
+    };
+    let exhaustive = literals.len() < usize::BITS as usize - 1;
+    let mut found: Vec<Vec<bool>> = Vec::new();
+    loop {
+        if exhaustive && found.len() == 1usize << literals.len() {
+            break; // every combination is satisfiable; nothing left to close.
+        }
+        let conflicts_before = session.conflicts();
+        match session.check() {
+            None => {
+                out.pruned += session.conflicts() - conflicts_before + 1;
+                break;
+            }
+            Some(projection) => {
+                out.pruned += session.conflicts() - conflicts_before;
+                session.block(&projection);
+                found.push(projection);
+            }
+        }
+    }
+    out.enum_queries += session.checks();
+
+    // Emit in the naive depth-first order (true explored before false at every level) so
+    // both modes produce bit-identical minterm sets.
+    found.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            match (x, y) {
+                (true, false) => return Ordering::Less,
+                (false, true) => return Ordering::Greater,
+                _ => {}
+            }
+        }
+        Ordering::Equal
+    });
+    for projection in found {
+        out.minterms.push(Minterm {
+            op: op.to_string(),
+            assignment: literals.iter().cloned().zip(projection).collect(),
+        });
+    }
+    true
 }
 
 #[allow(clippy::too_many_arguments)]

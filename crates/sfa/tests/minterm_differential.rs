@@ -1,0 +1,300 @@
+//! Differential verdict-equivalence harness: naive vs. incremental minterm enumeration.
+//!
+//! The incremental enumeration (`EnumerationMode::Incremental`) must be observationally
+//! identical to the paper-faithful naive walk: the same minterm sets (bit for bit,
+//! including order), the same inclusion verdicts, and never more solver work. This
+//! harness generates a deterministic stream of random configurations — contexts, facts,
+//! operator signatures and automata — with the same xorshift generator the suite's
+//! end-to-end tests use, and checks all three properties on every case.
+
+use hat_logic::{Atom, Formula, Solver, Sort, Term};
+use hat_sfa::minterm::{build_minterms_with, EnumerationMode, MintermSet};
+use hat_sfa::{InclusionChecker, OpSig, Sfa, SolverOracle, VarCtx};
+
+/// The deterministic xorshift generator from `suite/tests/end_to_end.rs`.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn flip(&mut self) -> bool {
+        self.below(2) == 0
+    }
+}
+
+const CTX_VARS: [&str; 3] = ["el", "lo", "hi"];
+
+fn random_ctx_term(rng: &mut XorShift) -> Term {
+    if rng.below(3) == 0 {
+        Term::int(rng.below(3) as i64)
+    } else {
+        Term::var(CTX_VARS[rng.below(CTX_VARS.len() as u64) as usize])
+    }
+}
+
+/// A random atom over the event argument `x` and/or the context variables.
+fn random_atom(rng: &mut XorShift, event_local: bool) -> Atom {
+    let l = if event_local {
+        Term::var("x")
+    } else {
+        random_ctx_term(rng)
+    };
+    let r = random_ctx_term(rng);
+    match rng.below(3) {
+        0 => Atom::Eq(l, r),
+        1 => Atom::Lt(l, r),
+        _ => Atom::Le(l, r),
+    }
+}
+
+fn random_fact(rng: &mut XorShift) -> Formula {
+    let atom = Formula::Atom(random_atom(rng, false));
+    if rng.flip() {
+        atom
+    } else {
+        Formula::not(atom)
+    }
+}
+
+fn random_event(rng: &mut XorShift) -> Sfa {
+    let mut conjuncts = Vec::new();
+    for _ in 0..=rng.below(2) {
+        let f = Formula::Atom(random_atom(rng, true));
+        conjuncts.push(if rng.flip() { f } else { Formula::not(f) });
+    }
+    Sfa::event("tick", vec!["x".into()], "v", Formula::and(conjuncts))
+}
+
+fn random_sfa(rng: &mut XorShift, depth: u64) -> Sfa {
+    if depth == 0 {
+        return if rng.flip() {
+            random_event(rng)
+        } else {
+            Sfa::guard(Formula::Atom(random_atom(rng, false)))
+        };
+    }
+    match rng.below(6) {
+        0 => Sfa::not(random_sfa(rng, depth - 1)),
+        1 => Sfa::globally(random_sfa(rng, depth - 1)),
+        2 => Sfa::eventually(random_sfa(rng, depth - 1)),
+        3 => Sfa::and(vec![random_sfa(rng, depth - 1), random_sfa(rng, depth - 1)]),
+        4 => Sfa::or(vec![random_sfa(rng, depth - 1), random_sfa(rng, depth - 1)]),
+        _ => Sfa::concat(random_sfa(rng, depth - 1), random_sfa(rng, depth - 1)),
+    }
+}
+
+fn random_case(rng: &mut XorShift) -> (VarCtx, Vec<OpSig>, Sfa, Sfa) {
+    let vars: Vec<(String, Sort)> = CTX_VARS
+        .iter()
+        .map(|v| (v.to_string(), Sort::Int))
+        .collect();
+    let mut facts = Vec::new();
+    for _ in 0..rng.below(3) {
+        facts.push(random_fact(rng));
+    }
+    let ctx = VarCtx::new(vars, facts);
+    let ops = vec![
+        OpSig::new("tick", vec![("x".into(), Sort::Int)], Sort::Unit),
+        OpSig::new("probe", vec![], Sort::Bool),
+    ];
+    let a = random_sfa(rng, 2);
+    let b = random_sfa(rng, 2);
+    (ctx, ops, a, b)
+}
+
+/// Naive work = standalone queries; incremental work = standalone queries (fallbacks,
+/// transition resolution, …) plus scoped-session checks.
+fn total_work(solver: &Solver, set: &MintermSet) -> usize {
+    solver.stats.queries + set.enum_queries
+}
+
+#[test]
+fn minterm_sets_are_bit_identical_across_modes() {
+    let mut rng = XorShift(0x2545f4914f6cdd1d);
+    for case in 0..32 {
+        let (ctx, ops, a, b) = random_case(&mut rng);
+        let mut naive_solver = Solver::default();
+        let naive = build_minterms_with(
+            &ctx,
+            &ops,
+            &[&a, &b],
+            &mut naive_solver,
+            EnumerationMode::Naive,
+        );
+        let mut inc_solver = Solver::default();
+        let incremental = build_minterms_with(
+            &ctx,
+            &ops,
+            &[&a, &b],
+            &mut inc_solver,
+            EnumerationMode::Incremental,
+        );
+        assert_eq!(
+            naive.minterms, incremental.minterms,
+            "case {case}: minterm sets diverged for automata {a} vs {b} (ctx facts {:?})",
+            ctx.facts
+        );
+        assert_eq!(
+            naive.uniform_literals, incremental.uniform_literals,
+            "case {case}: uniform literal pools diverged"
+        );
+        assert!(
+            total_work(&inc_solver, &incremental) <= total_work(&naive_solver, &naive),
+            "case {case}: incremental issued more solver work ({} + {} checks) than naive ({} queries)",
+            inc_solver.stats.queries,
+            incremental.enum_queries,
+            naive_solver.stats.queries,
+        );
+    }
+}
+
+#[test]
+fn inclusion_verdicts_are_identical_across_modes() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    for case in 0..16 {
+        let (ctx, ops, a, b) = random_case(&mut rng);
+        let mut naive_checker = InclusionChecker::new(ops.clone());
+        naive_checker.enumeration = EnumerationMode::Naive;
+        let mut naive_solver = Solver::default();
+        let naive = naive_checker.check(&ctx, &a, &b, &mut naive_solver);
+
+        let mut inc_checker = InclusionChecker::new(ops);
+        inc_checker.enumeration = EnumerationMode::Incremental;
+        let mut inc_solver = Solver::default();
+        let incremental = inc_checker.check(&ctx, &a, &b, &mut inc_solver);
+
+        match (naive, incremental) {
+            (Ok(vn), Ok(vi)) => assert_eq!(
+                vn, vi,
+                "case {case}: inclusion verdict diverged for {a} ⊆ {b}"
+            ),
+            (Err(_), Err(_)) => {}
+            (n, i) => panic!("case {case}: one mode errored: naive={n:?} incremental={i:?}"),
+        }
+        assert_eq!(
+            naive_checker.stats.minterms, inc_checker.stats.minterms,
+            "case {case}: modes built different alphabets"
+        );
+        let naive_work = naive_solver.stats.queries;
+        let inc_work = inc_solver.stats.queries + inc_checker.stats.enum_queries;
+        assert!(
+            inc_work <= naive_work,
+            "case {case}: incremental work {inc_work} exceeds naive {naive_work}"
+        );
+    }
+}
+
+#[test]
+fn incremental_reduces_queries_on_a_pruning_heavy_space() {
+    // Three events over the same operator argument with pairwise-distinct context terms:
+    // most of the 2^n candidate space is unsatisfiable, which is where the incremental
+    // search pays off — and the reduction must be at least 3x.
+    let mk_event = |rhs: Term| {
+        Sfa::event(
+            "put",
+            vec!["key".into()],
+            "v",
+            Formula::eq(Term::var("key"), rhs),
+        )
+    };
+    let a = Sfa::and(vec![
+        mk_event(Term::var("p")),
+        mk_event(Term::var("q")),
+        mk_event(Term::var("r")),
+        mk_event(Term::int(7)),
+    ]);
+    let b = Sfa::globally(Sfa::or(vec![
+        mk_event(Term::var("p")),
+        Sfa::guard(Formula::lt(Term::var("p"), Term::var("q"))),
+    ]));
+    let ctx = VarCtx::new(
+        vec![
+            ("p".into(), Sort::Int),
+            ("q".into(), Sort::Int),
+            ("r".into(), Sort::Int),
+        ],
+        vec![
+            Formula::lt(Term::var("p"), Term::var("q")),
+            Formula::lt(Term::var("q"), Term::var("r")),
+        ],
+    );
+    let ops = vec![OpSig::new(
+        "put",
+        vec![("key".into(), Sort::Int)],
+        Sort::Unit,
+    )];
+
+    let mut naive_solver = Solver::default();
+    let naive = build_minterms_with(
+        &ctx,
+        &ops,
+        &[&a, &b],
+        &mut naive_solver,
+        EnumerationMode::Naive,
+    );
+    let mut inc_solver = Solver::default();
+    let incremental = build_minterms_with(
+        &ctx,
+        &ops,
+        &[&a, &b],
+        &mut inc_solver,
+        EnumerationMode::Incremental,
+    );
+    assert_eq!(naive.minterms, incremental.minterms);
+    let naive_work = naive_solver.stats.queries;
+    let inc_work = inc_solver.stats.queries + incremental.enum_queries;
+    assert!(
+        inc_work * 3 <= naive_work,
+        "expected a >=3x query reduction, got naive={naive_work} incremental={inc_work}"
+    );
+}
+
+#[test]
+fn oracle_without_scoped_sessions_falls_back_to_naive() {
+    /// An oracle that forwards to a solver but refuses scoped sessions.
+    struct NoScope(Solver);
+    impl SolverOracle for NoScope {
+        fn is_sat(&mut self, vars: &[(String, Sort)], facts: &[Formula]) -> bool {
+            self.0.is_sat(vars, facts)
+        }
+        fn entails(&mut self, vars: &[(String, Sort)], facts: &[Formula], goal: &Formula) -> bool {
+            SolverOracle::entails(&mut self.0, vars, facts, goal)
+        }
+        fn query_count(&self) -> usize {
+            self.0.query_count()
+        }
+        fn query_time(&self) -> std::time::Duration {
+            self.0.query_time()
+        }
+    }
+
+    let mut rng = XorShift(0xdeadbeefcafef00d);
+    let (ctx, ops, a, b) = random_case(&mut rng);
+    let mut plain = Solver::default();
+    let naive = build_minterms_with(&ctx, &ops, &[&a, &b], &mut plain, EnumerationMode::Naive);
+    let mut fallback = NoScope(Solver::default());
+    let incremental = build_minterms_with(
+        &ctx,
+        &ops,
+        &[&a, &b],
+        &mut fallback,
+        EnumerationMode::Incremental,
+    );
+    assert_eq!(naive.minterms, incremental.minterms);
+    assert_eq!(
+        incremental.enum_queries, 0,
+        "fallback must not report scoped checks"
+    );
+    assert_eq!(fallback.query_count(), plain.query_count());
+}

@@ -77,8 +77,10 @@ pub struct Benchmark {
     pub model: LibraryModel,
     /// The ADT methods.
     pub methods: Vec<Method>,
-    /// Whether the configuration is expensive to check (used by the benchmark harness to
-    /// order work; nothing is skipped).
+    /// Whether a cold check of the configuration is expensive enough that the benchmark
+    /// harness and snapshot tests exclude it by default (only `FileSystem/KVStore`
+    /// remains flagged: its *naive* enumeration baseline is infeasible in this
+    /// environment, though the incremental strategy verifies it in a few minutes).
     pub slow: bool,
 }
 

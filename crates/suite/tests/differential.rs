@@ -1,0 +1,69 @@
+//! Suite-level differential harness: the naive and incremental enumeration strategies
+//! must produce identical verdicts (and identical failure messages) on real benchmark
+//! configurations, with the incremental strategy never doing more solver work. This
+//! complements the randomised harness in `hat-sfa/tests/minterm_differential.rs` with
+//! the actual verification workload.
+
+use hat_sfa::EnumerationMode;
+
+/// Small configurations keep the naive baseline affordable in debug builds; between them
+/// they cover ghost variables, intersection types, uniform-literal groups and both
+/// verdict polarities (each has at least one deliberately buggy method).
+const FAST_CONFIGS: [(&str, &str); 3] = [
+    ("Stack", "LinkedList"),
+    ("ConnectedGraph", "Set"),
+    ("Heap", "Tree"),
+];
+
+#[test]
+fn naive_and_incremental_checkers_agree_on_fast_configs() {
+    for (adt, lib) in FAST_CONFIGS {
+        let bench = hat_suite::find(adt, lib).expect("configuration exists");
+        let mut naive_checker = bench.checker();
+        naive_checker.inclusion.enumeration = EnumerationMode::Naive;
+        let mut inc_checker = bench.checker();
+        inc_checker.inclusion.enumeration = EnumerationMode::Incremental;
+
+        let mut naive_work = 0usize;
+        let mut inc_work = 0usize;
+        for m in &bench.methods {
+            let naive = naive_checker
+                .check_method(&m.sig, &m.body)
+                .expect("naive check runs");
+            let incremental = inc_checker
+                .check_method(&m.sig, &m.body)
+                .expect("incremental check runs");
+            assert_eq!(
+                naive.verified, incremental.verified,
+                "{adt}/{lib}::{} verdict diverged between enumeration modes",
+                m.sig.name
+            );
+            assert_eq!(
+                naive.failures, incremental.failures,
+                "{adt}/{lib}::{} failure messages diverged",
+                m.sig.name
+            );
+            assert_eq!(
+                naive.verified, m.expect_verified,
+                "{adt}/{lib}::{} regressed against the expected verdict",
+                m.sig.name
+            );
+            // Naive enumeration issues standalone queries; incremental issues scoped
+            // checks on top of its remaining standalone queries.
+            assert_eq!(
+                naive.stats.enum_queries, 0,
+                "naive mode must not use sessions"
+            );
+            naive_work += naive.stats.sat_queries;
+            inc_work += incremental.stats.sat_queries + incremental.stats.enum_queries;
+        }
+        assert!(
+            inc_work <= naive_work,
+            "{adt}/{lib}: incremental total work {inc_work} exceeds naive {naive_work}"
+        );
+        assert!(
+            inc_work > 0,
+            "{adt}/{lib}: the incremental run did no solver work at all"
+        );
+    }
+}
