@@ -93,6 +93,23 @@ fn main() {
                 largest.enumeration_reduction()
             );
         }
+        if let Some(largest) = comparison
+            .prune_reduction
+            .iter()
+            .max_by_key(|r| r.unpruned_transitions)
+        {
+            eprintln!(
+                "largest DFA workload {}/{}: transitions {} (unpruned) -> {} (pruned), {:.1}x fewer ({} alphabet symbols dropped; states {} = {})",
+                largest.adt,
+                largest.library,
+                largest.unpruned_transitions,
+                largest.pruned_transitions,
+                largest.reduction(),
+                largest.alphabet_pruned,
+                largest.unpruned_states,
+                largest.pruned_states
+            );
+        }
         let path = "BENCH_engine.json";
         match write_engine_json(path, &comparison) {
             Ok(()) => eprintln!("wrote {path}"),

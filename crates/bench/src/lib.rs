@@ -75,6 +75,8 @@ pub struct EngineRun {
     pub warm: bool,
     /// Minterm enumeration strategy of the run (`"naive"` or `"incremental"`).
     pub enumeration: &'static str,
+    /// Whether per-group alphabet pruning ran before DFA construction.
+    pub prune: bool,
     /// Wall-clock seconds for the whole suite.
     pub wall_seconds: f64,
     /// Run-wide cache counters (per-run deltas).
@@ -106,6 +108,14 @@ pub struct EngineBenchRow {
     pub cache_hits: usize,
     /// Cache misses recorded by this benchmark's methods.
     pub cache_misses: usize,
+    /// Total DFA states constructed by this benchmark's methods.
+    pub dfa_states: usize,
+    /// Total DFA transitions constructed by this benchmark's methods.
+    pub dfa_transitions: usize,
+    /// Alphabet symbols dropped by per-group pruning.
+    pub alphabet_pruned: usize,
+    /// DFA transitions answered from the run-wide transition memo.
+    pub transition_memo_hits: usize,
 }
 
 impl EngineBenchRow {
@@ -121,6 +131,7 @@ fn engine_run(
     jobs: usize,
     warm: bool,
     enumeration: EnumerationMode,
+    prune: bool,
     summary: &RunSummary,
 ) -> EngineRun {
     EngineRun {
@@ -131,6 +142,7 @@ fn engine_run(
             EnumerationMode::Naive => "naive",
             EnumerationMode::Incremental => "incremental",
         },
+        prune,
         wall_seconds: summary.wall.as_secs_f64(),
         cache: summary.cache,
         benchmarks: summary
@@ -147,6 +159,10 @@ fn engine_run(
                 inclusion_memo_hits: b.inclusion_memo_hits(),
                 cache_hits: b.cache_hits(),
                 cache_misses: b.cache_misses(),
+                dfa_states: b.dfa_states(),
+                dfa_transitions: b.dfa_transitions(),
+                alphabet_pruned: b.alphabet_pruned(),
+                transition_memo_hits: b.transition_memo_hits(),
             })
             .collect(),
     }
@@ -195,24 +211,58 @@ impl EnumReductionRow {
     }
 }
 
+/// The DFA-construction cost of one configuration with and without per-group alphabet
+/// pruning: the evidence for the "pruning shrinks product construction without changing
+/// the reachable state set" claim.
+#[derive(Debug, Clone)]
+pub struct PruneReductionRow {
+    /// ADT name.
+    pub adt: String,
+    /// Library name.
+    pub library: String,
+    /// DFA transitions constructed by the cold unpruned run.
+    pub unpruned_transitions: usize,
+    /// DFA transitions constructed by the cold pruned run.
+    pub pruned_transitions: usize,
+    /// DFA states of the unpruned run (must equal the pruned run's).
+    pub unpruned_states: usize,
+    /// DFA states of the pruned run.
+    pub pruned_states: usize,
+    /// Alphabet symbols dropped by the pruned run.
+    pub alphabet_pruned: usize,
+}
+
+impl PruneReductionRow {
+    /// unpruned / pruned transition ratio (∞-safe: 0 when pruned is 0).
+    pub fn reduction(&self) -> f64 {
+        if self.pruned_transitions == 0 {
+            0.0
+        } else {
+            self.unpruned_transitions as f64 / self.pruned_transitions as f64
+        }
+    }
+}
+
 /// The result of [`engine_comparison`]: the measured runs, the naive-vs-incremental
-/// cold-enumeration comparison, and the names of any configurations that were excluded
-/// (never silently).
+/// cold-enumeration comparison, the pruned-vs-unpruned DFA-construction comparison, and
+/// the names of any configurations that were excluded (never silently).
 #[derive(Debug, Clone)]
 pub struct EngineComparison {
     /// The measured runs.
     pub runs: Vec<EngineRun>,
     /// Per-benchmark cold enumeration cost, naive vs incremental.
     pub enum_reduction: Vec<EnumReductionRow>,
+    /// Per-benchmark cold DFA-construction cost, unpruned vs pruned.
+    pub prune_reduction: Vec<PruneReductionRow>,
     /// `"ADT/Library"` names of configurations excluded from the comparison.
     pub skipped: Vec<String>,
 }
 
-/// Exercises the `hat-engine` subsystem: a cold naive-enumeration baseline, then
-/// sequential and parallel incremental runs, each with a cold and a warm (same-engine)
-/// cache. With `include_slow` false the configurations marked `slow` in the suite (whose
-/// minterm alphabets make a single cold naive run take tens of minutes) are excluded and
-/// recorded in [`EngineComparison::skipped`].
+/// Exercises the `hat-engine` subsystem: a cold naive-enumeration baseline, a cold
+/// unpruned baseline, then sequential and parallel incremental runs, each with a cold
+/// and a warm (same-engine) cache. With `include_slow` false the configurations marked
+/// `slow` in the suite (whose minterm alphabets make a single cold naive run take tens
+/// of minutes) are excluded and recorded in [`EngineComparison::skipped`].
 pub fn engine_comparison(benches: &[Benchmark], include_slow: bool) -> EngineComparison {
     let (included, skipped): (Vec<&Benchmark>, Vec<&Benchmark>) =
         benches.iter().partition(|b| include_slow || !b.slow);
@@ -223,7 +273,7 @@ pub fn engine_comparison(benches: &[Benchmark], include_slow: bool) -> EngineCom
         .find(|r| r.enumeration == "naive" && !r.warm)
         .zip(
             runs.iter()
-                .find(|r| r.enumeration == "incremental" && !r.warm),
+                .find(|r| r.enumeration == "incremental" && r.prune && !r.warm),
         )
         .map(|(naive, incremental)| {
             naive
@@ -241,9 +291,34 @@ pub fn engine_comparison(benches: &[Benchmark], include_slow: bool) -> EngineCom
                 .collect()
         })
         .unwrap_or_default();
+    let prune_reduction = runs
+        .iter()
+        .find(|r| r.enumeration == "incremental" && !r.prune && !r.warm)
+        .zip(
+            runs.iter()
+                .find(|r| r.enumeration == "incremental" && r.prune && !r.warm),
+        )
+        .map(|(unpruned, pruned)| {
+            unpruned
+                .benchmarks
+                .iter()
+                .zip(&pruned.benchmarks)
+                .map(|(u, p)| PruneReductionRow {
+                    adt: u.adt.clone(),
+                    library: u.library.clone(),
+                    unpruned_transitions: u.dfa_transitions,
+                    pruned_transitions: p.dfa_transitions,
+                    unpruned_states: u.dfa_states,
+                    pruned_states: p.dfa_states,
+                    alphabet_pruned: p.alphabet_pruned,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     EngineComparison {
         runs,
         enum_reduction,
+        prune_reduction,
         skipped: skipped
             .into_iter()
             .map(|b| format!("{}/{}", b.adt, b.library))
@@ -268,7 +343,22 @@ fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
         1,
         false,
         EnumerationMode::Naive,
+        true,
         &naive.check_benchmarks(benches),
+    ));
+    let unpruned = Engine::new(EngineConfig {
+        jobs: 1,
+        prune: false,
+        ..EngineConfig::default()
+    })
+    .expect("in-memory engine");
+    runs.push(engine_run(
+        "jobs=1 cold unpruned",
+        1,
+        false,
+        EnumerationMode::Incremental,
+        false,
+        &unpruned.check_benchmarks(benches),
     ));
     let sequential = Engine::new(EngineConfig {
         jobs: 1,
@@ -280,6 +370,7 @@ fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
         1,
         false,
         EnumerationMode::Incremental,
+        true,
         &sequential.check_benchmarks(benches),
     ));
     runs.push(engine_run(
@@ -287,6 +378,7 @@ fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
         1,
         true,
         EnumerationMode::Incremental,
+        true,
         &sequential.check_benchmarks(benches),
     ));
     let parallel = Engine::new(EngineConfig {
@@ -299,6 +391,7 @@ fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
         parallel_jobs,
         false,
         EnumerationMode::Incremental,
+        true,
         &parallel.check_benchmarks(benches),
     ));
     runs.push(engine_run(
@@ -306,6 +399,7 @@ fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
         parallel_jobs,
         true,
         EnumerationMode::Incremental,
+        true,
         &parallel.check_benchmarks(benches),
     ));
     runs
@@ -330,7 +424,7 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
     let runs = &comparison.runs;
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(out, "{{")?;
-    writeln!(out, "  \"schema\": \"hat-engine-bench v2\",")?;
+    writeln!(out, "  \"schema\": \"hat-engine-bench v3\",")?;
     writeln!(
         out,
         "  \"skipped\": [{}],",
@@ -366,6 +460,31 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
         )?;
     }
     writeln!(out, "  ],")?;
+    writeln!(out, "  \"prune_reduction\": [")?;
+    for (i, row) in comparison.prune_reduction.iter().enumerate() {
+        write!(
+            out,
+            "    {{\"adt\": \"{}\", \"library\": \"{}\", \"unpruned_transitions\": {}, \"pruned_transitions\": {}, \"reduction\": {:.3}, \"unpruned_states\": {}, \"pruned_states\": {}, \"alphabet_pruned\": {}}}",
+            json_escape(&row.adt),
+            json_escape(&row.library),
+            row.unpruned_transitions,
+            row.pruned_transitions,
+            row.reduction(),
+            row.unpruned_states,
+            row.pruned_states,
+            row.alphabet_pruned
+        )?;
+        writeln!(
+            out,
+            "{}",
+            if i + 1 < comparison.prune_reduction.len() {
+                ","
+            } else {
+                ""
+            }
+        )?;
+    }
+    writeln!(out, "  ],")?;
     writeln!(out, "  \"runs\": [")?;
     for (i, run) in runs.iter().enumerate() {
         writeln!(out, "    {{")?;
@@ -373,6 +492,7 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
         writeln!(out, "      \"jobs\": {},", run.jobs)?;
         writeln!(out, "      \"warm_cache\": {},", run.warm)?;
         writeln!(out, "      \"enumeration\": \"{}\",", run.enumeration)?;
+        writeln!(out, "      \"prune\": {},", run.prune)?;
         writeln!(out, "      \"wall_seconds\": {:.6},", run.wall_seconds)?;
         writeln!(out, "      \"cache_hits\": {},", run.cache.hits)?;
         writeln!(out, "      \"cache_misses\": {},", run.cache.misses)?;
@@ -386,11 +506,16 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
             "      \"minterm_memo_hits\": {},",
             run.cache.minterm_hits
         )?;
+        writeln!(
+            out,
+            "      \"transition_memo_hits\": {},",
+            run.cache.transition_hits
+        )?;
         writeln!(out, "      \"benchmarks\": [")?;
         for (j, b) in run.benchmarks.iter().enumerate() {
             write!(
                 out,
-                "        {{\"adt\": \"{}\", \"library\": \"{}\", \"check_seconds\": {:.6}, \"sat_queries\": {}, \"enum_queries\": {}, \"pruned_subtrees\": {}, \"minterm_memo_hits\": {}, \"inclusion_memo_hits\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+                "        {{\"adt\": \"{}\", \"library\": \"{}\", \"check_seconds\": {:.6}, \"sat_queries\": {}, \"enum_queries\": {}, \"pruned_subtrees\": {}, \"minterm_memo_hits\": {}, \"inclusion_memo_hits\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"dfa_states\": {}, \"dfa_transitions\": {}, \"alphabet_pruned\": {}, \"transition_memo_hits\": {}}}",
                 json_escape(&b.adt),
                 json_escape(&b.library),
                 b.check_seconds,
@@ -400,7 +525,11 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
                 b.minterm_memo_hits,
                 b.inclusion_memo_hits,
                 b.cache_hits,
-                b.cache_misses
+                b.cache_misses,
+                b.dfa_states,
+                b.dfa_transitions,
+                b.alphabet_pruned,
+                b.transition_memo_hits
             )?;
             writeln!(
                 out,

@@ -10,6 +10,9 @@
 //!   --cache PATH   persist the solver-query cache at PATH so repeated runs start warm
 //!   --enum MODE    minterm enumeration: `incremental` (default) or `naive`
 //!                  (verdicts are identical; naive is the paper-faithful baseline)
+//!   --prune MODE   per-group alphabet pruning before DFA construction: `on` (default)
+//!                  or `off` (verdict- and state-count-identical; off is the
+//!                  measurement baseline)
 //! ```
 
 use hat_engine::{BenchmarkRun, Engine, EngineConfig, RunSummary};
@@ -21,6 +24,7 @@ struct Options {
     jobs: usize,
     cache_path: Option<PathBuf>,
     enumeration: EnumerationMode,
+    prune: bool,
     positional: Vec<String>,
 }
 
@@ -29,6 +33,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         jobs: 1,
         cache_path: None,
         enumeration: EnumerationMode::default(),
+        prune: true,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -54,6 +59,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     other => {
                         return Err(format!("invalid --enum mode `{other}` (naive|incremental)"))
                     }
+                };
+            }
+            "--prune" => {
+                let value = it.next().ok_or("--prune needs a mode")?;
+                opts.prune = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("invalid --prune mode `{other}` (on|off)")),
                 };
             }
             other if other.starts_with('-') => {
@@ -96,14 +109,19 @@ fn print_run(bench: &Benchmark, run: &BenchmarkRun) -> bool {
 
 fn print_cache_line(summary: &RunSummary, lifetime: hat_engine::CacheStatsSnapshot) {
     let c = &summary.cache;
+    let pruned: usize = summary.benchmarks.iter().map(|b| b.alphabet_pruned()).sum();
+    let dfa_states: usize = summary.benchmarks.iter().map(|b| b.dfa_states()).sum();
     println!(
-        "cache: {} hits / {} misses ({:.1}% hit rate), {} minterm-set hits, {} loaded from disk, {} stale; wall {:.2}s",
+        "cache: {} hits / {} misses ({:.1}% hit rate), {} minterm-set hits, {} transition-memo hits, {} loaded from disk, {} stale; dfa: {} states, {} alphabet symbols pruned; wall {:.2}s",
         c.hits,
         c.misses,
         100.0 * c.hit_rate(),
         c.minterm_hits,
+        c.transition_hits,
         lifetime.disk_loaded,
         lifetime.stale,
+        dfa_states,
+        pruned,
         summary.wall.as_secs_f64()
     );
 }
@@ -113,6 +131,7 @@ fn run(benches: Vec<Benchmark>, opts: &Options) -> bool {
         jobs: opts.jobs,
         cache_path: opts.cache_path.clone(),
         enumeration: opts.enumeration,
+        prune: opts.prune,
     }) {
         Ok(engine) => engine,
         Err(e) => {
@@ -144,11 +163,11 @@ fn main() {
         }
         Some("check") => {
             let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
-                eprintln!("{e}\nusage: marple check <adt> <library> [--jobs N] [--cache PATH]");
+                eprintln!("{e}\nusage: marple check <adt> <library> [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off]");
                 std::process::exit(2);
             });
             let (Some(adt), Some(lib)) = (opts.positional.first(), opts.positional.get(1)) else {
-                eprintln!("usage: marple check <adt> <library> [--jobs N] [--cache PATH]");
+                eprintln!("usage: marple check <adt> <library> [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off]");
                 std::process::exit(2);
             };
             match find(adt, lib) {
@@ -164,7 +183,7 @@ fn main() {
         }
         Some("check-all") => {
             let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
-                eprintln!("{e}\nusage: marple check-all [--jobs N] [--cache PATH]");
+                eprintln!("{e}\nusage: marple check-all [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off]");
                 std::process::exit(2);
             });
             let ok = run(all_benchmarks(), &opts);

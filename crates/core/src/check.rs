@@ -69,6 +69,15 @@ pub struct CheckStats {
     pub minterm_memo_hits: usize,
     /// Number of whole automata-inclusion checks answered from the inclusion memo.
     pub inclusion_memo_hits: usize,
+    /// Total states of the DFAs constructed for this method.
+    pub dfa_states: usize,
+    /// Total transitions of the DFAs constructed for this method.
+    pub dfa_transitions: usize,
+    /// Number of alphabet symbols dropped by per-group pruning before product
+    /// construction.
+    pub alphabet_pruned: usize,
+    /// Number of DFA transitions answered from the run-wide transition memo.
+    pub transition_memo_hits: usize,
 }
 
 /// The outcome of checking one method.
@@ -223,6 +232,11 @@ impl Checker {
             pruned_subtrees: incl_after.pruned_subtrees - incl_before.pruned_subtrees,
             minterm_memo_hits: incl_after.minterm_memo_hits - incl_before.minterm_memo_hits,
             inclusion_memo_hits: incl_after.inclusion_memo_hits - incl_before.inclusion_memo_hits,
+            dfa_states: incl_after.fa_states - incl_before.fa_states,
+            dfa_transitions: incl_after.fa_transitions - incl_before.fa_transitions,
+            alphabet_pruned: incl_after.alphabet_pruned - incl_before.alphabet_pruned,
+            transition_memo_hits: incl_after.transition_memo_hits
+                - incl_before.transition_memo_hits,
         };
         Ok(MethodReport {
             name: sig.name.clone(),

@@ -1,31 +1,37 @@
 //! The shared verdict cache: sharded concurrent maps from canonical keys to verdicts,
 //! optionally fronting an append-only disk log so repeated runs start warm.
 //!
-//! Three kinds of entries share the cache:
+//! Four kinds of entries share the cache:
 //!
 //! * **Solver verdicts** (`S` records): one satisfiability bit per canonical query key.
 //! * **Inclusion verdicts** (`I` records): one bit per canonical automata-inclusion key —
 //!   a hit skips minterm construction and DFA building entirely.
-//! * **Minterm sets** (in-memory only): whole memoised alphabet transformations keyed by
-//!   [`crate::canon::alphabet_key`]. These are structured values, not single bits, and are
-//!   cheap to rebuild from warm solver verdicts, so they are not persisted.
+//! * **Minterm sets** (`M` records): whole memoised alphabet transformations keyed by
+//!   [`crate::canon::alphabet_key`], persisted through the line-safe atom serialisation
+//!   of [`crate::atomio`] — a warm run skips minterm enumeration entirely.
+//! * **DFA transitions** (in-memory only): memoised `state × answers → successor`
+//!   derivatives keyed by [`crate::canon::transition_key`]. Successor formulas are cheap
+//!   to rebuild from warm solver verdicts, so they are not persisted.
 //!
-//! # Disk log format (v2)
+//! # Disk log format (v3)
 //!
-//! The log is a plain text file. The first line is the header `hat-engine-cache v2`;
-//! every further line is `<kind><verdict>\t<key>` where `<kind>` is `S` (solver) or `I`
-//! (inclusion), `<verdict>` is `0` or `1`, and `<key>` is a canonical key from
-//! [`crate::canon`] (which never contains tabs or newlines). Appends are line-atomic
-//! under a mutex, so a log written by one run can be replayed by the next.
+//! The log is a plain text file. The first line is the header `hat-engine-cache v3`;
+//! every further line is either `<kind><verdict>\t<key>` where `<kind>` is `S` (solver)
+//! or `I` (inclusion) and `<verdict>` is `0` or `1`, or `M\t<key>\t<payload>` where
+//! `<payload>` is an [`crate::atomio`] minterm-set record. Keys and payloads never
+//! contain tabs or newlines. Appends are line-atomic under a mutex, so a log written by
+//! one run can be replayed by the next.
 //!
-//! A log with the previous `v1` header (`<verdict>\t<key>` solver records only) is
-//! **migrated**: its entries are loaded and the file is atomically rewritten in the v2
-//! format. A log with any other header — e.g. written by a future format version — is
-//! ignored wholesale and counted as stale rather than half-trusted (the cache runs
-//! in-memory and never writes to the foreign file). Malformed lines (a torn final write)
-//! are skipped and counted as stale.
+//! Logs with the previous `v1` header (`<verdict>\t<key>` solver records only) or `v2`
+//! header (`S`/`I` records only) are **migrated**: their entries are loaded and the file
+//! is atomically rewritten in the v3 format. A log with any other header — e.g. written
+//! by a future format version — is ignored wholesale and counted as stale rather than
+//! half-trusted (the cache runs in-memory and never writes to the foreign file).
+//! Malformed lines (a torn final write, an unparseable minterm payload) are skipped and
+//! counted as stale.
 
-use hat_sfa::MintermSet;
+use crate::atomio::{parse_minterm_set, ser_minterm_set};
+use hat_sfa::{MintermSet, Sfa};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -35,6 +41,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
+const HEADER_V3: &str = "hat-engine-cache v3";
 const HEADER_V2: &str = "hat-engine-cache v2";
 const HEADER_V1: &str = "hat-engine-cache v1";
 const SHARDS: usize = 64;
@@ -72,6 +79,10 @@ pub struct CacheStatsSnapshot {
     pub minterm_hits: usize,
     /// Alphabet transformations that had to be enumerated.
     pub minterm_misses: usize,
+    /// DFA transitions answered from the transition memo.
+    pub transition_hits: usize,
+    /// DFA transitions that had to be derived.
+    pub transition_misses: usize,
 }
 
 impl CacheStatsSnapshot {
@@ -94,6 +105,8 @@ struct CacheCounters {
     stale: AtomicUsize,
     minterm_hits: AtomicUsize,
     minterm_misses: AtomicUsize,
+    transition_hits: AtomicUsize,
+    transition_misses: AtomicUsize,
 }
 
 /// The concurrent verdict cache shared by every worker of a verification run.
@@ -102,6 +115,7 @@ pub struct QueryCache {
     /// caller's key directly instead of allocating a tagged copy per access.
     shards: [Vec<RwLock<HashMap<String, bool>>>; 2],
     minterms: RwLock<HashMap<String, MintermSet>>,
+    transitions: RwLock<HashMap<String, Sfa>>,
     log: Option<Mutex<BufWriter<File>>>,
     path: Option<PathBuf>,
     counters: CacheCounters,
@@ -129,6 +143,7 @@ impl QueryCache {
         QueryCache {
             shards: [shard_set(), shard_set()],
             minterms: RwLock::new(HashMap::new()),
+            transitions: RwLock::new(HashMap::new()),
             log: None,
             path: None,
             counters: CacheCounters::default(),
@@ -141,25 +156,28 @@ impl QueryCache {
     }
 
     /// A cache backed by an append-only log at `path`. Existing entries are replayed into
-    /// memory (warm start) and new verdicts are appended. A `v1` log is migrated to the
-    /// current format in place (atomically, via a temporary file). A file whose header
-    /// belongs to any other format version is left untouched: the cache runs in-memory
-    /// only and counts the file as stale (destroying data a newer binary wrote would be
-    /// worse than running cold).
+    /// memory (warm start) and new verdicts are appended. A `v1` or `v2` log is migrated
+    /// to the current format in place (atomically, via a temporary file). A file whose
+    /// header belongs to any other format version is left untouched: the cache runs
+    /// in-memory only and counts the file as stale (destroying data a newer binary wrote
+    /// would be worse than running cold).
     pub fn with_disk_log(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let mut cache = Self::empty();
         let path = path.as_ref();
         cache.path = Some(path.to_path_buf());
-        // How to open the log after reading: start a fresh v2 file, append to the
-        // existing v2 file, or rewrite a migrated v1 file.
+        // How to open the log after reading: start a fresh v3 file, append to the
+        // existing v3 file, or rewrite a migrated v1/v2 file.
         let mut fresh = true;
         let mut migrate = false;
         if path.exists() {
             let reader = BufReader::new(File::open(path)?);
             let mut lines = reader.lines();
             match lines.next() {
-                Some(Ok(header)) if header == HEADER_V2 => {
+                Some(Ok(header)) if header == HEADER_V3 || header == HEADER_V2 => {
+                    // v2 records are a subset of v3 records (no `M` lines), so one loop
+                    // replays both; a v2 file is rewritten under the current header.
                     fresh = false;
+                    migrate = header == HEADER_V2;
                     for line in lines {
                         let Ok(line) = line else {
                             cache.counters.stale.fetch_add(1, Ordering::Relaxed);
@@ -170,6 +188,24 @@ impl QueryCache {
                             Some(("S1", key)) => cache.load_entry(Kind::Solver, key, true),
                             Some(("I0", key)) => cache.load_entry(Kind::Inclusion, key, false),
                             Some(("I1", key)) => cache.load_entry(Kind::Inclusion, key, true),
+                            Some(("M", rest)) => match rest.split_once('\t') {
+                                Some((key, payload)) => match parse_minterm_set(payload) {
+                                    Some(set) => {
+                                        cache
+                                            .minterms
+                                            .get_mut()
+                                            .expect("minterm memo poisoned")
+                                            .insert(key.to_string(), set);
+                                        cache.counters.disk_loaded.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    None => {
+                                        cache.counters.stale.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                },
+                                None => {
+                                    cache.counters.stale.fetch_add(1, Ordering::Relaxed);
+                                }
+                            },
                             _ => {
                                 cache.counters.stale.fetch_add(1, Ordering::Relaxed);
                             }
@@ -233,26 +269,29 @@ impl QueryCache {
             BufWriter::new(existing)
         };
         if fresh {
-            writeln!(file, "{HEADER_V2}")?;
+            writeln!(file, "{HEADER_V3}")?;
         }
         cache.log = Some(Mutex::new(file));
         Ok(cache)
     }
 
     /// Atomically rewrites the log at `path` with the current in-memory entries in the
-    /// v2 format (used to migrate a v1 log).
+    /// v3 format (used to migrate a v1 or v2 log).
     fn rewrite_log(&self, path: &Path) -> std::io::Result<()> {
         let mut tmp = path.to_path_buf();
         tmp.set_extension("migrating");
         {
             let mut out = BufWriter::new(File::create(&tmp)?);
-            writeln!(out, "{HEADER_V2}")?;
+            writeln!(out, "{HEADER_V3}")?;
             for kind in Kind::ALL {
                 for shard in &self.shards[kind as usize] {
                     for (key, verdict) in shard.read().expect("cache shard poisoned").iter() {
                         writeln!(out, "{}{}\t{key}", kind.tag(), u8::from(*verdict))?;
                     }
                 }
+            }
+            for (key, set) in self.minterms.read().expect("minterm memo poisoned").iter() {
+                writeln!(out, "M\t{key}\t{}", ser_minterm_set(set))?;
             }
             out.flush()?;
         }
@@ -340,13 +379,53 @@ impl QueryCache {
         found
     }
 
-    /// Memoises an enumerated minterm set (in-memory only; racing stores of the same key
-    /// are harmless because enumeration is a pure function of the canonical key).
+    /// Memoises an enumerated minterm set, appending it to the disk log when one is
+    /// attached (racing stores of the same key are harmless because enumeration is a
+    /// pure function of the canonical key).
     pub fn insert_minterms(&self, key: String, set: MintermSet) {
-        self.minterms
+        let fresh = self
+            .minterms
             .write()
             .expect("minterm memo poisoned")
-            .insert(key, set);
+            .insert(key.clone(), set.clone())
+            .is_none();
+        if fresh {
+            if let Some(log) = &self.log {
+                let mut log = log.lock().expect("cache log poisoned");
+                let _ = writeln!(log, "M\t{key}\t{}", ser_minterm_set(&set));
+            }
+        }
+    }
+
+    /// Looks a memoised DFA transition up by its canonical transition key.
+    pub fn lookup_transition(&self, key: &str) -> Option<Sfa> {
+        let found = self
+            .transitions
+            .read()
+            .expect("transition memo poisoned")
+            .get(key)
+            .cloned();
+        match found {
+            Some(_) => self
+                .counters
+                .transition_hits
+                .fetch_add(1, Ordering::Relaxed),
+            None => self
+                .counters
+                .transition_misses
+                .fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Memoises a DFA transition (in-memory only: successors are cheap to rebuild from
+    /// warm solver verdicts; racing stores of the same key are harmless because the
+    /// successor is a pure function of the canonical key).
+    pub fn insert_transition(&self, key: String, succ: Sfa) {
+        self.transitions
+            .write()
+            .expect("transition memo poisoned")
+            .insert(key, succ);
     }
 
     /// Flushes the disk log (called at the end of a run; also happens on drop).
@@ -379,6 +458,8 @@ impl QueryCache {
             stale: self.counters.stale.load(Ordering::Relaxed),
             minterm_hits: self.counters.minterm_hits.load(Ordering::Relaxed),
             minterm_misses: self.counters.minterm_misses.load(Ordering::Relaxed),
+            transition_hits: self.counters.transition_hits.load(Ordering::Relaxed),
+            transition_misses: self.counters.transition_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -465,7 +546,7 @@ mod tests {
         let path = temp_path("torn");
         std::fs::write(
             &path,
-            format!("{HEADER_V2}\nS1\tgood\nmalformed-without-tab"),
+            format!("{HEADER_V3}\nS1\tgood\nmalformed-without-tab"),
         )
         .unwrap();
         {
@@ -499,13 +580,36 @@ mod tests {
         drop(cache);
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(
-            contents.starts_with(HEADER_V2),
-            "the file must be rewritten with the v2 header, got: {contents:?}"
+            contents.starts_with(HEADER_V3),
+            "the file must be rewritten with the current header, got: {contents:?}"
         );
         let warm = QueryCache::with_disk_log(&path).unwrap();
         assert_eq!(warm.lookup("sat|k1"), Some(true));
         assert_eq!(warm.lookup("sat|k2"), Some(false));
         assert_eq!(warm.lookup_inclusion("incl|k3"), Some(true));
+        assert_eq!(warm.stats().stale, 0, "a migrated log replays cleanly");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v2_logs_are_migrated_to_v3() {
+        let path = temp_path("migrate-v2");
+        std::fs::write(&path, format!("{HEADER_V2}\nS1\tsat|k1\nI0\tincl|k2\n")).unwrap();
+        let cache = QueryCache::with_disk_log(&path).unwrap();
+        assert_eq!(cache.lookup("sat|k1"), Some(true));
+        assert_eq!(cache.lookup_inclusion("incl|k2"), Some(false));
+        // Minterm sets now persist alongside the migrated records.
+        cache.insert_minterms("mt|k3".into(), MintermSet::default());
+        drop(cache);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            contents.starts_with(HEADER_V3),
+            "v2 logs must be rewritten under the v3 header, got: {contents:?}"
+        );
+        let warm = QueryCache::with_disk_log(&path).unwrap();
+        assert_eq!(warm.lookup("sat|k1"), Some(true));
+        assert_eq!(warm.lookup_inclusion("incl|k2"), Some(false));
+        assert!(warm.lookup_minterms("mt|k3").is_some());
         assert_eq!(warm.stats().stale, 0, "a migrated log replays cleanly");
         let _ = std::fs::remove_file(&path);
     }
@@ -538,21 +642,74 @@ mod tests {
     }
 
     #[test]
-    fn minterm_memo_is_in_memory_only() {
-        let path = temp_path("minterm-memo");
+    fn minterm_sets_roundtrip_through_the_disk_log() {
+        use hat_logic::{Atom, Term};
+        use hat_sfa::Minterm;
+        let path = temp_path("minterm-roundtrip");
         let _ = std::fs::remove_file(&path);
+        let set = MintermSet {
+            minterms: vec![Minterm {
+                op: "put".into(),
+                assignment: vec![(Atom::Eq(Term::var("#arg0"), Term::var("$k0")), true)],
+            }],
+            uniform_literals: vec![Atom::Lt(Term::int(0), Term::var("$k0"))],
+            pruned: 3,
+            enum_queries: 5,
+            from_memo: false,
+        };
         {
             let cache = QueryCache::with_disk_log(&path).unwrap();
             assert!(cache.lookup_minterms("mt|x").is_none());
-            cache.insert_minterms("mt|x".into(), MintermSet::default());
+            cache.insert_minterms("mt|x".into(), set.clone());
             assert!(cache.lookup_minterms("mt|x").is_some());
             let stats = cache.stats();
             assert_eq!((stats.minterm_hits, stats.minterm_misses), (1, 1));
         }
         let warm = QueryCache::with_disk_log(&path).unwrap();
+        let replayed = warm
+            .lookup_minterms("mt|x")
+            .expect("minterm sets are persisted as M records");
+        assert_eq!(replayed.minterms, set.minterms);
+        assert_eq!(replayed.uniform_literals, set.uniform_literals);
+        assert_eq!(warm.stats().stale, 0);
+        assert_eq!(warm.stats().disk_loaded, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_minterm_payload_degrades_to_a_cold_entry() {
+        let path = temp_path("torn-minterm");
+        std::fs::write(
+            &path,
+            format!("{HEADER_V3}\nS1\tgood\nM\tmt|x\tU0;M1;O3#put"),
+        )
+        .unwrap();
+        let cache = QueryCache::with_disk_log(&path).unwrap();
+        assert_eq!(cache.lookup("good"), Some(true));
         assert!(
-            warm.lookup_minterms("mt|x").is_none(),
-            "minterm sets are not persisted"
+            cache.lookup_minterms("mt|x").is_none(),
+            "a torn payload must not produce a wrong alphabet"
+        );
+        assert_eq!(cache.stats().stale, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn transition_memo_is_in_memory_only() {
+        let path = temp_path("transition-memo");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = QueryCache::with_disk_log(&path).unwrap();
+            assert!(cache.lookup_transition("tr|x").is_none());
+            cache.insert_transition("tr|x".into(), Sfa::Zero);
+            assert_eq!(cache.lookup_transition("tr|x"), Some(Sfa::Zero));
+            let stats = cache.stats();
+            assert_eq!((stats.transition_hits, stats.transition_misses), (1, 1));
+        }
+        let warm = QueryCache::with_disk_log(&path).unwrap();
+        assert!(
+            warm.lookup_transition("tr|x").is_none(),
+            "transitions are not persisted"
         );
         assert_eq!(warm.stats().stale, 0, "the memo must not pollute the log");
         let _ = std::fs::remove_file(&path);

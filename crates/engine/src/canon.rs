@@ -257,6 +257,79 @@ pub fn alphabet_key(ctx: &VarCtx, ops: &[OpSig], pool: &LiteralPool) -> Alphabet
     }
 }
 
+/// A canonical key for one DFA transition — the residual state formula together with the
+/// signed oracle answers for every symbolic event and guard occurring in it, α-renamed —
+/// plus the renaming that produced it.
+///
+/// A Brzozowski successor is a pure *syntactic* function of exactly this data: the
+/// derivative construction consults the oracle only for events and guards of the formula
+/// it derives, and axioms, context facts and the concrete minterm influence the successor
+/// only through those answers (which are part of the key). The key therefore carries no
+/// axiom fingerprint — structurally equal transitions are shared across benchmarks.
+#[derive(Debug, Clone)]
+pub struct TransitionKey {
+    /// The stable textual key.
+    pub key: String,
+    /// Original free-variable name → canonical name, in order of first occurrence.
+    forward: BTreeMap<Ident, Ident>,
+}
+
+impl TransitionKey {
+    /// Renames a successor computed for this key's original state into canonical names
+    /// (the form stored in a shared memo). The caller must pass the successor in
+    /// [`Sfa::alpha_normal`] form, so its binders are `$q…` and cannot collide with the
+    /// canonical `$k…` free names.
+    pub fn to_canonical(&self, succ: &Sfa) -> Sfa {
+        succ.rename_free_vars(&|x| self.forward.get(x).cloned())
+    }
+
+    /// Renames a memoised canonical successor back into this key's original names. The
+    /// result is re-sorted by the caller (`Sfa::alpha_normal`): `And`/`Or` children were
+    /// ordered under the storer's names.
+    pub fn from_canonical(&self, succ: &Sfa) -> Sfa {
+        let inverse: BTreeMap<&str, &Ident> = self
+            .forward
+            .iter()
+            .map(|(orig, canon)| (canon.as_str(), orig))
+            .collect();
+        succ.rename_free_vars(&|x| inverse.get(x).map(|orig| (*orig).clone()))
+    }
+}
+
+/// Canonicalises one DFA transition: the residual state and the signed event/guard
+/// answers, α-renamed with one shared renamer so a memoised successor can be transported
+/// between α-equivalent states.
+pub fn transition_key(
+    state: &Sfa,
+    event_answers: &[(&hat_sfa::SymbolicEvent, bool)],
+    guard_answers: &[(&Formula, bool)],
+) -> TransitionKey {
+    let mut renamer = Renamer {
+        env: BTreeMap::new(),
+        free: BTreeMap::new(),
+        out_vars: Vec::new(),
+        binders: 0,
+    };
+    let mut bound = Vec::new();
+    let mut key = String::with_capacity(256);
+    key.push_str("tr|");
+    ser_sfa(&mut renamer, state, &mut bound, &mut key);
+    key.push('|');
+    for (e, answer) in event_answers {
+        ser_event(&mut renamer, e, &mut bound, &mut key);
+        key.push(if *answer { '1' } else { '0' });
+    }
+    key.push('|');
+    for (phi, answer) in guard_answers {
+        ser_formula(&renamer.formula(phi, &mut bound), &mut key);
+        key.push(if *answer { '1' } else { '0' });
+    }
+    TransitionKey {
+        key,
+        forward: renamer.free,
+    }
+}
+
 /// Canonicalises a whole automata-inclusion check `Γ ⊢ A ⊆ B` into a stable key: the
 /// context facts, the operator alphabet, the DFA state bound and both automata, α-renamed
 /// with one shared renamer. The verdict of an inclusion check is a pure function of this
@@ -296,30 +369,39 @@ pub fn inclusion_check_key(
     key
 }
 
-/// Serialises a symbolic automaton under the shared renamer. Event argument and result
-/// names are binders scoping over the event qualifier: they are renamed like quantifier
-/// binders, so two events differing only in those names collide.
+/// Serialises a symbolic event under the shared renamer. Argument and result names are
+/// binders scoping over the event qualifier: they are renamed like quantifier binders,
+/// so two events differing only in those names collide.
+fn ser_event(
+    renamer: &mut Renamer,
+    e: &hat_sfa::SymbolicEvent,
+    bound: &mut Vec<(Ident, Ident)>,
+    out: &mut String,
+) {
+    out.push_str("(E");
+    ser_name(&e.op, out);
+    let before = bound.len();
+    for arg in &e.args {
+        let canon = format!("$q{}", renamer.binders);
+        renamer.binders += 1;
+        bound.push((arg.clone(), canon));
+    }
+    let res_canon = format!("$q{}", renamer.binders);
+    renamer.binders += 1;
+    bound.push((e.result.clone(), res_canon));
+    out.push(' ');
+    ser_formula(&renamer.formula(&e.phi, bound), out);
+    bound.truncate(before);
+    out.push(')');
+}
+
+/// Serialises a symbolic automaton under the shared renamer (see [`ser_event`] for the
+/// binder discipline).
 fn ser_sfa(renamer: &mut Renamer, sfa: &Sfa, bound: &mut Vec<(Ident, Ident)>, out: &mut String) {
     match sfa {
         Sfa::Zero => out.push('0'),
         Sfa::Epsilon => out.push('1'),
-        Sfa::Event(e) => {
-            out.push_str("(E");
-            ser_name(&e.op, out);
-            let before = bound.len();
-            for arg in &e.args {
-                let canon = format!("$q{}", renamer.binders);
-                renamer.binders += 1;
-                bound.push((arg.clone(), canon));
-            }
-            let res_canon = format!("$q{}", renamer.binders);
-            renamer.binders += 1;
-            bound.push((e.result.clone(), res_canon));
-            out.push(' ');
-            ser_formula(&renamer.formula(&e.phi, bound), out);
-            bound.truncate(before);
-            out.push(')');
-        }
+        Sfa::Event(e) => ser_event(renamer, e, bound, out),
         Sfa::Guard(phi) => {
             out.push_str("(G ");
             ser_formula(&renamer.formula(phi, bound), out);

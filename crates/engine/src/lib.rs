@@ -44,6 +44,7 @@
 //! assert!(summary.benchmarks[0].reports.iter().any(|r| r.verified));
 //! ```
 
+pub mod atomio;
 pub mod cache;
 pub mod canon;
 pub mod oracle;

@@ -9,9 +9,11 @@
 //! exactly the verdicts of a sequential run.
 
 use crate::cache::QueryCache;
-use crate::canon::{alphabet_key, axioms_fingerprint, canonicalize, inclusion_check_key};
+use crate::canon::{
+    alphabet_key, axioms_fingerprint, canonicalize, inclusion_check_key, transition_key,
+};
 use hat_logic::{Atom, AxiomSet, Formula, Ident, ScopedSession, Solver, Sort};
-use hat_sfa::{LiteralPool, MintermSet, OpSig, Sfa, SolverOracle, VarCtx};
+use hat_sfa::{LiteralPool, MintermSet, OpSig, Sfa, SolverOracle, SymbolicEvent, VarCtx};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,6 +30,10 @@ pub struct CachingOracle {
     /// always pairs a miss with a `minterm_store` for the same transformation, so the
     /// store reuses this instead of re-canonicalising the whole alphabet.
     pending_alphabet: Option<(String, crate::canon::AlphabetKey)>,
+    /// The transition key computed by the last `transition_lookup` miss. The DFA
+    /// construction always pairs a miss with a `transition_store` for the same
+    /// transition, so the store reuses this instead of re-canonicalising.
+    pending_transition: Option<(String, crate::canon::TransitionKey)>,
     queries: usize,
     hits: usize,
     misses: usize,
@@ -56,6 +62,7 @@ impl CachingOracle {
             cache,
             key_prefix,
             pending_alphabet: None,
+            pending_transition: None,
             queries: 0,
             hits: 0,
             misses: 0,
@@ -189,6 +196,49 @@ impl SolverOracle for CachingOracle {
 
     fn inclusion_store(&mut self, key: &str, verdict: bool) {
         self.cache.insert_inclusion(key.to_string(), verdict);
+    }
+
+    fn memoises_transitions(&self) -> bool {
+        true
+    }
+
+    fn transition_lookup(
+        &mut self,
+        state: &Sfa,
+        event_answers: &[(&SymbolicEvent, bool)],
+        guard_answers: &[(&Formula, bool)],
+    ) -> Option<Sfa> {
+        // No axiom prefix: the successor is a pure syntactic function of the state and
+        // the signed answers (which the key contains), so structurally equal transitions
+        // are shared across benchmarks with different axiom sets.
+        let tk = transition_key(state, event_answers, guard_answers);
+        let found = self
+            .cache
+            .lookup_transition(&tk.key)
+            .map(|stored| tk.from_canonical(&stored));
+        self.pending_transition = if found.is_none() {
+            let key = tk.key.clone();
+            Some((key, tk))
+        } else {
+            None
+        };
+        found
+    }
+
+    fn transition_store(
+        &mut self,
+        state: &Sfa,
+        event_answers: &[(&SymbolicEvent, bool)],
+        guard_answers: &[(&Formula, bool)],
+        succ: &Sfa,
+    ) {
+        // The paired lookup (a miss) left its key behind; recompute only if the pairing
+        // was broken by an unexpected call sequence.
+        let (key, tk) = self.pending_transition.take().unwrap_or_else(|| {
+            let tk = transition_key(state, event_answers, guard_answers);
+            (tk.key.clone(), tk)
+        });
+        self.cache.insert_transition(key, tk.to_canonical(succ));
     }
 }
 

@@ -28,6 +28,10 @@ pub struct EngineConfig {
     /// Minterm enumeration strategy (incremental by default; naive is kept for
     /// differential testing and paper-faithful measurement).
     pub enumeration: EnumerationMode,
+    /// Whether per-group alphabet pruning runs before DFA product construction (on by
+    /// default; the unpruned path is kept for differential testing and measurement —
+    /// both paths are verdict- and state-count-identical).
+    pub prune: bool,
 }
 
 impl Default for EngineConfig {
@@ -36,6 +40,7 @@ impl Default for EngineConfig {
             jobs: 1,
             cache_path: None,
             enumeration: EnumerationMode::default(),
+            prune: true,
         }
     }
 }
@@ -98,6 +103,29 @@ impl BenchmarkRun {
         self.reports
             .iter()
             .map(|r| r.stats.inclusion_memo_hits)
+            .sum()
+    }
+
+    /// Total DFA states constructed by this benchmark's methods.
+    pub fn dfa_states(&self) -> usize {
+        self.reports.iter().map(|r| r.stats.dfa_states).sum()
+    }
+
+    /// Total DFA transitions constructed by this benchmark's methods.
+    pub fn dfa_transitions(&self) -> usize {
+        self.reports.iter().map(|r| r.stats.dfa_transitions).sum()
+    }
+
+    /// Total alphabet symbols dropped by per-group pruning.
+    pub fn alphabet_pruned(&self) -> usize {
+        self.reports.iter().map(|r| r.stats.alphabet_pruned).sum()
+    }
+
+    /// Total DFA transitions answered from the transition memo.
+    pub fn transition_memo_hits(&self) -> usize {
+        self.reports
+            .iter()
+            .map(|r| r.stats.transition_memo_hits)
             .sum()
     }
 
@@ -177,6 +205,7 @@ impl Engine {
                     );
                     let mut checker = Checker::with_oracle(bench.delta.clone(), Box::new(oracle));
                     checker.inclusion.enumeration = self.config.enumeration;
+                    checker.inclusion.prune = self.config.prune;
                     let report = checker
                         .check_method(&method.sig, &method.body)
                         .unwrap_or_else(|e| {
@@ -223,6 +252,8 @@ impl Engine {
                 stale: after.stale - stats_before.stale,
                 minterm_hits: after.minterm_hits - stats_before.minterm_hits,
                 minterm_misses: after.minterm_misses - stats_before.minterm_misses,
+                transition_hits: after.transition_hits - stats_before.transition_hits,
+                transition_misses: after.transition_misses - stats_before.transition_misses,
             },
         }
     }
@@ -279,6 +310,45 @@ mod tests {
             "warm run should reach the solver less ({} vs {})",
             warm.cache.misses,
             cold.cache.misses
+        );
+    }
+
+    #[test]
+    fn pruned_and_memoised_construction_matches_the_unpruned_path() {
+        let benches = fast_benches();
+        let unpruned = Engine::new(EngineConfig {
+            prune: false,
+            ..EngineConfig::default()
+        })
+        .expect("in-memory engine")
+        .check_benchmarks(&benches);
+        let pruned_engine = Engine::new(EngineConfig::default()).expect("in-memory engine");
+        let pruned = pruned_engine.check_benchmarks(&benches);
+        assert_eq!(verdicts(&unpruned), verdicts(&pruned));
+        for (u, p) in unpruned.benchmarks.iter().zip(&pruned.benchmarks) {
+            assert_eq!(
+                u.dfa_states(),
+                p.dfa_states(),
+                "{}/{}: pruning changed the reachable DFA state set",
+                u.adt,
+                u.library
+            );
+            assert!(
+                p.dfa_transitions() <= u.dfa_transitions(),
+                "{}/{}: pruning produced more transitions",
+                u.adt,
+                u.library
+            );
+        }
+        let total_pruned: usize = pruned.benchmarks.iter().map(|b| b.alphabet_pruned()).sum();
+        assert!(total_pruned > 0, "no benchmark exercised the pruner");
+        // The caching oracle memoises transitions run-wide: a second pass over the same
+        // benchmarks must answer every derivative from the memo.
+        let warm = pruned_engine.check_benchmarks(&benches);
+        assert_eq!(verdicts(&pruned), verdicts(&warm));
+        assert!(
+            pruned_engine.cache().stats().transition_hits > 0,
+            "structurally equal sub-automata must share memoised transitions"
         );
     }
 

@@ -356,6 +356,134 @@ impl Sfa {
         out
     }
 
+    /// Renames free (context) variables through the mapping. Event argument and result
+    /// names are binders scoping over their qualifier: they shadow the mapping and are
+    /// left untouched. The mapping's target names must not collide with binder names
+    /// (callers renaming into `$`-prefixed canonical names, or out of them into ordinary
+    /// identifiers, satisfy this by construction).
+    pub fn rename_free_vars(&self, f: &dyn Fn(&str) -> Option<Ident>) -> Sfa {
+        match self {
+            Sfa::Zero | Sfa::Epsilon => self.clone(),
+            Sfa::Event(e) => {
+                let locals = e.local_vars();
+                let phi =
+                    e.phi
+                        .rename_free_vars(&|v: &str| if locals.contains(v) { None } else { f(v) });
+                Sfa::Event(SymbolicEvent {
+                    op: e.op.clone(),
+                    args: e.args.clone(),
+                    result: e.result.clone(),
+                    phi,
+                })
+            }
+            Sfa::Guard(phi) => Sfa::Guard(phi.rename_free_vars(f)),
+            Sfa::Not(a) => Sfa::Not(Box::new(a.rename_free_vars(f))),
+            Sfa::And(parts) => Sfa::And(parts.iter().map(|p| p.rename_free_vars(f)).collect()),
+            Sfa::Or(parts) => Sfa::Or(parts.iter().map(|p| p.rename_free_vars(f)).collect()),
+            Sfa::Concat(a, b) => Sfa::Concat(
+                Box::new(a.rename_free_vars(f)),
+                Box::new(b.rename_free_vars(f)),
+            ),
+            Sfa::Next(a) => Sfa::Next(Box::new(a.rename_free_vars(f))),
+            Sfa::Until(a, b) => Sfa::Until(
+                Box::new(a.rename_free_vars(f)),
+                Box::new(b.rename_free_vars(f)),
+            ),
+            Sfa::Star(a) => Sfa::Star(Box::new(a.rename_free_vars(f))),
+        }
+    }
+
+    /// The α-normal form of the automaton: every event's argument and result binders are
+    /// renamed to `$q0, $q1, …` *positionally and locally to that event* (free context
+    /// variables are untouched; `$` never starts an ordinary identifier, so no capture is
+    /// possible), and the tree is rebuilt through the smart constructors so `And`/`Or`
+    /// children are re-sorted and re-deduplicated under the canonical binder names.
+    ///
+    /// Local (per-event) numbering makes the form compositional — the normal form of a
+    /// node depends only on the normal forms of its children — so it is idempotent, and
+    /// two automata that differ only in event binder spellings normalise to equal values.
+    /// The DFA construction normalises every state, so memoised successors (stored
+    /// binder-canonically) and freshly computed derivatives can never disagree on state
+    /// identity.
+    pub fn alpha_normal(&self) -> Sfa {
+        match self {
+            Sfa::Zero | Sfa::Epsilon | Sfa::Guard(_) => self.clone(),
+            Sfa::Event(e) => {
+                let mut map: Vec<(Ident, Ident)> = Vec::new();
+                let args: Vec<Ident> = e
+                    .args
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| {
+                        let canon = format!("$q{i}");
+                        map.push((a.clone(), canon.clone()));
+                        canon
+                    })
+                    .collect();
+                let result = {
+                    let canon = format!("$q{}", e.args.len());
+                    map.push((e.result.clone(), canon.clone()));
+                    canon
+                };
+                // Later binders shadow earlier ones with the same name (reversed search).
+                let phi = e.phi.rename_free_vars(&|v: &str| {
+                    map.iter()
+                        .rev()
+                        .find(|(orig, _)| orig == v)
+                        .map(|(_, c)| c.clone())
+                });
+                Sfa::Event(SymbolicEvent {
+                    op: e.op.clone(),
+                    args,
+                    result,
+                    phi,
+                })
+            }
+            Sfa::Not(a) => Sfa::not(a.alpha_normal()),
+            Sfa::And(parts) => Sfa::and(parts.iter().map(Sfa::alpha_normal).collect()),
+            Sfa::Or(parts) => Sfa::or(parts.iter().map(Sfa::alpha_normal).collect()),
+            Sfa::Concat(a, b) => Sfa::concat(a.alpha_normal(), b.alpha_normal()),
+            Sfa::Next(a) => Sfa::next(a.alpha_normal()),
+            Sfa::Until(a, b) => Sfa::until(a.alpha_normal(), b.alpha_normal()),
+            Sfa::Star(a) => Sfa::star(a.alpha_normal()),
+        }
+    }
+
+    /// Collects the distinct symbolic events and guard formulas of the automaton, in
+    /// first-occurrence order. These are exactly the oracle queries a derivative of the
+    /// automaton can make: every event/guard of a Brzozowski derivative is a subterm of
+    /// the formula it was derived from, so the answers for this list fully determine the
+    /// successor of any residual state under a given alphabet symbol.
+    pub fn collect_events_guards<'a>(
+        &'a self,
+        events: &mut Vec<&'a SymbolicEvent>,
+        guards: &mut Vec<&'a Formula>,
+    ) {
+        match self {
+            Sfa::Zero | Sfa::Epsilon => {}
+            Sfa::Event(e) => {
+                if !events.contains(&e) {
+                    events.push(e);
+                }
+            }
+            Sfa::Guard(phi) => {
+                if !guards.contains(&phi) {
+                    guards.push(phi);
+                }
+            }
+            Sfa::Not(a) | Sfa::Next(a) | Sfa::Star(a) => a.collect_events_guards(events, guards),
+            Sfa::And(parts) | Sfa::Or(parts) => {
+                for p in parts {
+                    p.collect_events_guards(events, guards);
+                }
+            }
+            Sfa::Concat(a, b) | Sfa::Until(a, b) => {
+                a.collect_events_guards(events, guards);
+                b.collect_events_guards(events, guards);
+            }
+        }
+    }
+
     /// Number of symbolic-event / guard literal occurrences — the paper's `s_I` metric.
     pub fn literal_count(&self) -> usize {
         match self {

@@ -15,6 +15,21 @@ pub trait TransitionOracle {
     fn event_matches(&mut self, e: &SymbolicEvent, m: &Minterm) -> bool;
     /// Does the (event-independent) guard `phi` hold under the minterm's context valuation?
     fn guard_holds(&mut self, phi: &Formula, m: &Minterm) -> bool;
+
+    /// Looks up a memoised successor for `state × minterm`. A successor is a pure
+    /// syntactic function of the state formula and the oracle's answers for the events
+    /// and guards occurring in it, so implementations can key a run-wide memo on exactly
+    /// that data (α-renamed) and share transitions across structurally equal
+    /// sub-automata. `None` (the default) computes the derivative.
+    fn derivative_lookup(&mut self, state: &Sfa, m: &Minterm) -> Option<Sfa> {
+        let _ = (state, m);
+        None
+    }
+
+    /// Memoises a computed successor for later [`TransitionOracle::derivative_lookup`]s.
+    fn derivative_store(&mut self, state: &Sfa, m: &Minterm, succ: &Sfa) {
+        let _ = (state, m, succ);
+    }
 }
 
 /// Errors raised while constructing a DFA.
@@ -109,6 +124,10 @@ impl Dfa {
         oracle: &mut dyn TransitionOracle,
         max_states: usize,
     ) -> Result<Dfa, DfaBuildError> {
+        // Every state is kept in α-normal form so that residuals that differ only in
+        // event binder spelling (including memoised successors, which are stored
+        // binder-canonically) share one state.
+        let a = a.alpha_normal();
         let mut states: Vec<Sfa> = vec![a.clone()];
         let mut index: BTreeMap<Sfa, usize> = BTreeMap::new();
         index.insert(a.clone(), 0);
@@ -124,7 +143,17 @@ impl Dfa {
             let formula = states[s].clone();
             let mut row = Vec::with_capacity(alphabet.len());
             for m in alphabet {
-                let d = derivative(&formula, m, oracle);
+                // Memoised successors come back with the caller's free-variable names
+                // but were sorted under the storer's, so they are re-normalised; fresh
+                // derivatives are normalised before being stored and indexed.
+                let d = match oracle.derivative_lookup(&formula, m) {
+                    Some(d) => d.alpha_normal(),
+                    None => {
+                        let d = derivative(&formula, m, oracle).alpha_normal();
+                        oracle.derivative_store(&formula, m, &d);
+                        d
+                    }
+                };
                 let target = match index.get(&d) {
                     Some(&t) => t,
                     None => {

@@ -125,6 +125,41 @@ pub trait SolverOracle {
     fn inclusion_store(&mut self, key: &str, verdict: bool) {
         let _ = (key, verdict);
     }
+
+    /// Whether [`SolverOracle::transition_lookup`] can ever answer: lets the DFA
+    /// construction skip assembling answer signatures entirely for oracles without a
+    /// transition memo.
+    fn memoises_transitions(&self) -> bool {
+        false
+    }
+
+    /// Looks up a memoised DFA transition. A Brzozowski successor is a pure syntactic
+    /// function of the state formula and the signed answers for the symbolic events and
+    /// guards occurring in it (axioms, context facts and the concrete minterm only enter
+    /// through those answers), so the memo key is exactly that data, α-renamed.
+    /// Implementations must return the successor renamed back into the caller's variable
+    /// names. `None` (the default) disables transition memoisation.
+    fn transition_lookup(
+        &mut self,
+        state: &Sfa,
+        event_answers: &[(&SymbolicEvent, bool)],
+        guard_answers: &[(&Formula, bool)],
+    ) -> Option<Sfa> {
+        let _ = (state, event_answers, guard_answers);
+        None
+    }
+
+    /// Memoises a computed DFA transition for later
+    /// [`SolverOracle::transition_lookup`]s.
+    fn transition_store(
+        &mut self,
+        state: &Sfa,
+        event_answers: &[(&SymbolicEvent, bool)],
+        guard_answers: &[(&Formula, bool)],
+        succ: &Sfa,
+    ) {
+        let _ = (state, event_answers, guard_answers, succ);
+    }
 }
 
 impl SolverOracle for hat_logic::Solver {
@@ -176,6 +211,13 @@ pub struct InclusionStats {
     pub minterm_memo_hits: usize,
     /// Number of whole inclusion checks answered from the inclusion-verdict memo.
     pub inclusion_memo_hits: usize,
+    /// Number of alphabet symbols dropped by per-group pruning before product
+    /// construction (minterms whose transition behaviour another symbol of the same
+    /// group already exhibits).
+    pub alphabet_pruned: usize,
+    /// Number of DFA transitions answered from the run-wide transition memo instead of
+    /// being derived.
+    pub transition_memo_hits: usize,
     /// Total wall-clock time spent inside inclusion checking (includes solver time).
     pub time: Duration,
 }
@@ -201,6 +243,8 @@ impl InclusionStats {
         self.pruned_subtrees += other.pruned_subtrees;
         self.minterm_memo_hits += other.minterm_memo_hits;
         self.inclusion_memo_hits += other.inclusion_memo_hits;
+        self.alphabet_pruned += other.alphabet_pruned;
+        self.transition_memo_hits += other.transition_memo_hits;
         self.time += other.time;
     }
 }
@@ -210,11 +254,33 @@ struct MatchOracle<'a> {
     ctx: &'a VarCtx,
     ops: &'a [OpSig],
     oracle: &'a mut dyn SolverOracle,
-    event_cache: BTreeMap<(SymbolicEvent, Minterm), bool>,
+    /// Keyed on (operator, canonically-renamed qualifier, minterm): event binder
+    /// spellings never reach the entailment query, so they must not split the cache
+    /// either (DFA states carry α-normalised binders, the original automata the
+    /// user's).
+    event_cache: BTreeMap<(String, Formula, Minterm), bool>,
     guard_cache: BTreeMap<(Formula, Minterm), bool>,
+    /// The signature assembled by the last `derivative_lookup` miss. `Dfa::build` always
+    /// pairs a miss with a `derivative_store` for the same transition, so the store
+    /// reuses it instead of re-walking the state and re-probing the answer caches.
+    pending_signature: Option<Signature>,
+    /// Number of successors answered from the oracle's transition memo.
+    memo_hits: usize,
 }
 
 impl<'a> MatchOracle<'a> {
+    fn new(ctx: &'a VarCtx, ops: &'a [OpSig], oracle: &'a mut dyn SolverOracle) -> Self {
+        MatchOracle {
+            ctx,
+            ops,
+            oracle,
+            event_cache: BTreeMap::new(),
+            guard_cache: BTreeMap::new(),
+            pending_signature: None,
+            memo_hits: 0,
+        }
+    }
+
     fn event_vars(&self, op: &str) -> Vec<(Ident, Sort)> {
         let mut vars = self.ctx.vars.clone();
         if let Some(sig) = self.ops.iter().find(|o| o.name == op) {
@@ -225,16 +291,58 @@ impl<'a> MatchOracle<'a> {
         }
         vars
     }
+
+    /// The signed answers for every event and guard of `state` under `m` — the complete
+    /// oracle data a derivative of `state` with respect to `m` can consult. The
+    /// underlying entailment queries share the per-check caches with the derivative
+    /// computation itself, so resolving the signature never duplicates solver work.
+    fn answer_signature(&mut self, state: &Sfa, m: &Minterm) -> Signature {
+        let mut events = Vec::new();
+        let mut guards = Vec::new();
+        state.collect_events_guards(&mut events, &mut guards);
+        let events: Vec<(SymbolicEvent, bool)> = events
+            .into_iter()
+            .map(|e| {
+                let e = e.clone();
+                let ans = self.event_matches(&e, m);
+                (e, ans)
+            })
+            .collect();
+        let guards: Vec<(Formula, bool)> = guards
+            .into_iter()
+            .map(|phi| {
+                let phi = phi.clone();
+                let ans = self.guard_holds(&phi, m);
+                (phi, ans)
+            })
+            .collect();
+        Signature { events, guards }
+    }
+}
+
+/// The signed event/guard answers of one minterm with respect to a pair of automata:
+/// minterms with equal signatures are interchangeable alphabet symbols (they induce the
+/// same successor on every residual state), so only one representative per signature has
+/// to survive into product construction.
+struct Signature {
+    events: Vec<(SymbolicEvent, bool)>,
+    guards: Vec<(Formula, bool)>,
+}
+
+impl Signature {
+    fn event_refs(&self) -> Vec<(&SymbolicEvent, bool)> {
+        self.events.iter().map(|(e, b)| (e, *b)).collect()
+    }
+
+    fn guard_refs(&self) -> Vec<(&Formula, bool)> {
+        self.guards.iter().map(|(phi, b)| (phi, *b)).collect()
+    }
 }
 
 impl TransitionOracle for MatchOracle<'_> {
     fn event_matches(&mut self, e: &SymbolicEvent, m: &Minterm) -> bool {
         if e.op != m.op {
             return false;
-        }
-        let key = (e.clone(), m.clone());
-        if let Some(&v) = self.event_cache.get(&key) {
-            return v;
         }
         let renamed = e.phi.rename_free_vars(&|v: &str| {
             if v == e.result {
@@ -243,15 +351,33 @@ impl TransitionOracle for MatchOracle<'_> {
                 e.args.iter().position(|x| x == v).map(arg_name)
             }
         });
+        // A minterm is a complete truth assignment over the literal pool, and the pool
+        // collected every atom of this (canonically renamed) qualifier, so the entailment
+        // `Γ ∧ m ⊨ φ` is decided by evaluating φ under the assignment: if φ evaluates
+        // true it is entailed propositionally; if false, any model of the (satisfiable)
+        // minterm falsifies it. No SMT query is needed — the solver fallback only fires
+        // for qualifiers with atoms from outside the pool.
+        if let Some(v) = eval_under(&renamed, &m.assignment) {
+            return v;
+        }
+        let key = (e.op.clone(), renamed, m.clone());
+        if let Some(&v) = self.event_cache.get(&key) {
+            return v;
+        }
         let mut facts = self.ctx.facts.clone();
         facts.push(m.formula());
         let vars = self.event_vars(&m.op);
-        let result = self.oracle.entails(&vars, &facts, &renamed);
+        let result = self.oracle.entails(&vars, &facts, &key.1);
         self.event_cache.insert(key, result);
         result
     }
 
     fn guard_holds(&mut self, phi: &Formula, m: &Minterm) -> bool {
+        // Guards mention only context variables; their atoms are uniform literals of the
+        // pool, all assigned by the minterm (see `event_matches`).
+        if let Some(v) = eval_under(phi, &m.assignment) {
+            return v;
+        }
         let key = (phi.clone(), m.clone());
         if let Some(&v) = self.guard_cache.get(&key) {
             return v;
@@ -262,6 +388,36 @@ impl TransitionOracle for MatchOracle<'_> {
         let result = self.oracle.entails(&vars, &facts, phi);
         self.guard_cache.insert(key, result);
         result
+    }
+
+    fn derivative_lookup(&mut self, state: &Sfa, m: &Minterm) -> Option<Sfa> {
+        if !self.oracle.memoises_transitions() {
+            return None;
+        }
+        let sig = self.answer_signature(state, m);
+        let found = self
+            .oracle
+            .transition_lookup(state, &sig.event_refs(), &sig.guard_refs());
+        if found.is_some() {
+            self.memo_hits += 1;
+        }
+        self.pending_signature = found.is_none().then_some(sig);
+        found
+    }
+
+    fn derivative_store(&mut self, state: &Sfa, m: &Minterm, succ: &Sfa) {
+        if !self.oracle.memoises_transitions() {
+            return;
+        }
+        // The paired lookup (a miss) left its signature behind; recompute (from the
+        // per-check answer caches it filled) only if the pairing was broken by an
+        // unexpected call sequence.
+        let sig = self
+            .pending_signature
+            .take()
+            .unwrap_or_else(|| self.answer_signature(state, m));
+        self.oracle
+            .transition_store(state, &sig.event_refs(), &sig.guard_refs(), succ);
     }
 }
 
@@ -277,6 +433,12 @@ pub struct InclusionChecker {
     pub max_states: usize,
     /// How minterm satisfiability is established during alphabet transformation.
     pub enumeration: EnumerationMode,
+    /// Whether per-group alphabet pruning runs before product construction (on by
+    /// default; the unpruned path is kept for differential testing and measurement).
+    /// Pruning collapses alphabet symbols with identical transition behaviour — e.g.
+    /// the one-minterm families of operators referenced by neither automaton — and is
+    /// verdict- and state-count-preserving.
+    pub prune: bool,
     /// Accumulated statistics.
     pub stats: InclusionStats,
 }
@@ -288,6 +450,7 @@ impl InclusionChecker {
             ops,
             max_states: 8192,
             enumeration: EnumerationMode::default(),
+            prune: true,
             stats: InclusionStats::default(),
         }
     }
@@ -333,20 +496,19 @@ impl InclusionChecker {
         if set.from_memo {
             self.stats.minterm_memo_hits += 1;
         }
-        let mut matcher = MatchOracle {
-            ctx,
-            ops: &self.ops,
-            oracle,
-            event_cache: BTreeMap::new(),
-            guard_cache: BTreeMap::new(),
-        };
+        let mut matcher = MatchOracle::new(ctx, &self.ops, oracle);
         let mut verdict = true;
         for group in set.uniform_groups() {
-            let alphabet: Vec<Minterm> = set
+            let mut alphabet: Vec<Minterm> = set
                 .group_indices(&group)
                 .into_iter()
                 .map(|i| set.minterms[i].clone())
                 .collect();
+            if self.prune {
+                let before = alphabet.len();
+                alphabet = prune_alphabet(a, b, alphabet, &mut matcher);
+                self.stats.alphabet_pruned += before - alphabet.len();
+            }
             let da = Dfa::build(a, &alphabet, &mut matcher, self.max_states)?;
             let db = Dfa::build(b, &alphabet, &mut matcher, self.max_states)?;
             self.stats.dfas_built += 2;
@@ -358,11 +520,95 @@ impl InclusionChecker {
                 break;
             }
         }
+        self.stats.transition_memo_hits += matcher.memo_hits;
         if let Some(key) = memo_key {
             matcher.oracle.inclusion_store(&key, verdict);
         }
         Ok(verdict)
     }
+}
+
+/// Three-valued evaluation of a formula under a (partial) truth assignment to its atoms:
+/// `Some(v)` when the assigned atoms determine the value, `None` when an unassigned atom
+/// (or a quantifier) leaves it open. Short-circuiting is sound: a falsified conjunct
+/// decides a conjunction even when siblings are undetermined.
+fn eval_under(f: &Formula, assignment: &[(Atom, bool)]) -> Option<bool> {
+    match f {
+        Formula::True => Some(true),
+        Formula::False => Some(false),
+        Formula::Atom(a) => assignment.iter().find(|(x, _)| x == a).map(|(_, v)| *v),
+        Formula::Not(g) => eval_under(g, assignment).map(|b| !b),
+        Formula::And(fs) => {
+            let mut all_known = true;
+            for g in fs {
+                match eval_under(g, assignment) {
+                    Some(false) => return Some(false),
+                    Some(true) => {}
+                    None => all_known = false,
+                }
+            }
+            all_known.then_some(true)
+        }
+        Formula::Or(fs) => {
+            let mut all_known = true;
+            for g in fs {
+                match eval_under(g, assignment) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => all_known = false,
+                }
+            }
+            all_known.then_some(false)
+        }
+        Formula::Implies(p, q) => match (eval_under(p, assignment), eval_under(q, assignment)) {
+            (Some(false), _) | (_, Some(true)) => Some(true),
+            (Some(true), Some(false)) => Some(false),
+            _ => None,
+        },
+        Formula::Iff(p, q) => Some(eval_under(p, assignment)? == eval_under(q, assignment)?),
+        Formula::Forall(_, _, _) => None,
+    }
+}
+
+/// Per-group alphabet pruning: keeps one representative of every transition-behaviour
+/// class of the group's minterms.
+///
+/// Within one uniform group, two minterms whose signed answers agree on every symbolic
+/// event and guard of `a` and `b` induce the same successor on every residual state of
+/// either DFA (a derivative can only consult the events and guards of the formula it
+/// derives, all of which occur in the original pair), so the product construction over
+/// the pruned alphabet reaches exactly the same states and the same inclusion verdict —
+/// only the duplicate columns disappear. The classic win is operators referenced by
+/// neither automaton: each contributes one all-false column per group, and they all
+/// collapse into one.
+///
+/// The signature entailments are answered through the same per-check caches the DFA
+/// construction uses, so pruning issues no query the unpruned build would not.
+fn prune_alphabet(
+    a: &Sfa,
+    b: &Sfa,
+    alphabet: Vec<Minterm>,
+    matcher: &mut MatchOracle,
+) -> Vec<Minterm> {
+    let mut events = Vec::new();
+    let mut guards = Vec::new();
+    a.collect_events_guards(&mut events, &mut guards);
+    b.collect_events_guards(&mut events, &mut guards);
+    let mut seen: std::collections::BTreeSet<Vec<bool>> = std::collections::BTreeSet::new();
+    let mut kept = Vec::with_capacity(alphabet.len());
+    for m in alphabet {
+        let mut bits: Vec<bool> = Vec::with_capacity(events.len() + guards.len());
+        for e in &events {
+            bits.push(matcher.event_matches(e, &m));
+        }
+        for phi in &guards {
+            bits.push(matcher.guard_holds(phi, &m));
+        }
+        if seen.insert(bits) {
+            kept.push(m);
+        }
+    }
+    kept
 }
 
 /// Helpers shared by this crate's unit tests.
@@ -433,7 +679,9 @@ mod tests {
             .unwrap());
         assert!(checker.stats.fa_inclusions >= 2);
         assert!(checker.stats.minterms >= 2);
-        assert!(solver.stats.queries > 0);
+        // Transition resolution is propositional (minterms assign every qualifier atom),
+        // so the remaining solver work is the scoped enumeration of the alphabet.
+        assert!(solver.stats.queries + checker.stats.enum_queries > 0);
     }
 
     #[test]

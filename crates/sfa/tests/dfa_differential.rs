@@ -1,0 +1,183 @@
+//! Differential harness for the DFA-construction pipeline: per-group alphabet pruning
+//! (and the state α-normalisation that backs the transition memo) must be observationally
+//! identical to the unpruned path — the same inclusion verdicts and the same DFA state
+//! counts, with never more transitions. Configurations are generated with the same
+//! deterministic xorshift stream the other differential harnesses use.
+
+use hat_logic::{Atom, Formula, Solver, Sort, Term};
+use hat_sfa::{InclusionChecker, OpSig, Sfa, VarCtx};
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn flip(&mut self) -> bool {
+        self.below(2) == 0
+    }
+}
+
+const CTX_VARS: [&str; 3] = ["el", "lo", "hi"];
+
+fn random_ctx_term(rng: &mut XorShift) -> Term {
+    if rng.below(3) == 0 {
+        Term::int(rng.below(3) as i64)
+    } else {
+        Term::var(CTX_VARS[rng.below(CTX_VARS.len() as u64) as usize])
+    }
+}
+
+fn random_atom(rng: &mut XorShift, event_local: bool) -> Atom {
+    let l = if event_local {
+        Term::var("x")
+    } else {
+        random_ctx_term(rng)
+    };
+    let r = random_ctx_term(rng);
+    match rng.below(3) {
+        0 => Atom::Eq(l, r),
+        1 => Atom::Lt(l, r),
+        _ => Atom::Le(l, r),
+    }
+}
+
+fn random_event(rng: &mut XorShift) -> Sfa {
+    let mut conjuncts = Vec::new();
+    for _ in 0..=rng.below(2) {
+        let f = Formula::Atom(random_atom(rng, true));
+        conjuncts.push(if rng.flip() { f } else { Formula::not(f) });
+    }
+    Sfa::event("tick", vec!["x".into()], "v", Formula::and(conjuncts))
+}
+
+fn random_sfa(rng: &mut XorShift, depth: u64) -> Sfa {
+    if depth == 0 {
+        return if rng.flip() {
+            random_event(rng)
+        } else {
+            Sfa::guard(Formula::Atom(random_atom(rng, false)))
+        };
+    }
+    match rng.below(6) {
+        0 => Sfa::not(random_sfa(rng, depth - 1)),
+        1 => Sfa::globally(random_sfa(rng, depth - 1)),
+        2 => Sfa::eventually(random_sfa(rng, depth - 1)),
+        3 => Sfa::and(vec![random_sfa(rng, depth - 1), random_sfa(rng, depth - 1)]),
+        4 => Sfa::or(vec![random_sfa(rng, depth - 1), random_sfa(rng, depth - 1)]),
+        _ => Sfa::concat(random_sfa(rng, depth - 1), random_sfa(rng, depth - 1)),
+    }
+}
+
+fn random_case(rng: &mut XorShift) -> (VarCtx, Vec<OpSig>, Sfa, Sfa) {
+    let vars: Vec<(String, Sort)> = CTX_VARS
+        .iter()
+        .map(|v| (v.to_string(), Sort::Int))
+        .collect();
+    let mut facts = Vec::new();
+    for _ in 0..rng.below(3) {
+        let atom = Formula::Atom(random_atom(rng, false));
+        facts.push(if rng.flip() { atom } else { Formula::not(atom) });
+    }
+    let ctx = VarCtx::new(vars, facts);
+    // The `probe` and `noop` operators are referenced by no automaton: their per-group
+    // minterm families are exactly what pruning is expected to collapse.
+    let ops = vec![
+        OpSig::new("tick", vec![("x".into(), Sort::Int)], Sort::Unit),
+        OpSig::new("probe", vec![], Sort::Bool),
+        OpSig::new("noop", vec![], Sort::Unit),
+    ];
+    let a = random_sfa(rng, 2);
+    let b = random_sfa(rng, 2);
+    (ctx, ops, a, b)
+}
+
+#[test]
+fn pruned_construction_is_verdict_and_state_count_identical() {
+    let mut rng = XorShift(0xc0ffee123456789f);
+    let mut pruned_something = false;
+    for case in 0..24 {
+        let (ctx, ops, a, b) = random_case(&mut rng);
+
+        let mut unpruned_checker = InclusionChecker::new(ops.clone());
+        unpruned_checker.prune = false;
+        let mut unpruned_solver = Solver::default();
+        let unpruned = unpruned_checker.check(&ctx, &a, &b, &mut unpruned_solver);
+
+        let mut pruned_checker = InclusionChecker::new(ops);
+        assert!(pruned_checker.prune, "pruning must be the default");
+        let mut pruned_solver = Solver::default();
+        let pruned = pruned_checker.check(&ctx, &a, &b, &mut pruned_solver);
+
+        match (unpruned, pruned) {
+            (Ok(vu), Ok(vp)) => assert_eq!(
+                vu, vp,
+                "case {case}: pruning changed the verdict of {a} ⊆ {b}"
+            ),
+            (Err(_), Err(_)) => continue,
+            (u, p) => panic!("case {case}: one path errored: unpruned={u:?} pruned={p:?}"),
+        }
+        assert_eq!(
+            unpruned_checker.stats.fa_states, pruned_checker.stats.fa_states,
+            "case {case}: pruning changed the reachable state set of {a} ⊆ {b}"
+        );
+        assert!(
+            pruned_checker.stats.fa_transitions <= unpruned_checker.stats.fa_transitions,
+            "case {case}: pruning produced more transitions"
+        );
+        assert_eq!(
+            unpruned_checker.stats.alphabet_pruned, 0,
+            "the unpruned path must not drop symbols"
+        );
+        pruned_something |= pruned_checker.stats.alphabet_pruned > 0;
+    }
+    assert!(
+        pruned_something,
+        "no case exercised the pruner (unreferenced operators must collapse)"
+    );
+}
+
+#[test]
+fn unreferenced_operators_collapse_to_one_symbol_per_group() {
+    // One referenced operator, three irrelevant ones: each group's alphabet must shed
+    // the duplicate all-false columns of `probe`/`noop`/`spare`.
+    let ev = Sfa::event(
+        "tick",
+        vec!["x".into()],
+        "v",
+        Formula::eq(Term::var("x"), Term::var("el")),
+    );
+    let a = Sfa::globally(Sfa::not(ev.clone()));
+    let b = Sfa::globally(Sfa::implies(
+        ev.clone(),
+        Sfa::next(Sfa::not(Sfa::eventually(ev))),
+    ));
+    let ctx = VarCtx::new(vec![("el".into(), Sort::Int)], vec![]);
+    let ops = vec![
+        OpSig::new("tick", vec![("x".into(), Sort::Int)], Sort::Unit),
+        OpSig::new("probe", vec![], Sort::Bool),
+        OpSig::new("noop", vec![], Sort::Unit),
+        OpSig::new("spare", vec![], Sort::Unit),
+    ];
+    let mut checker = InclusionChecker::new(ops);
+    let mut solver = Solver::default();
+    assert!(checker.check(&ctx, &a, &b, &mut solver).unwrap());
+    // tick splits on x = el (2 minterms), the three irrelevant operators add one symbol
+    // each; the three irrelevant symbols and tick's non-matching one all behave
+    // identically, so at least 3 of the 5 columns must be pruned.
+    assert!(
+        checker.stats.alphabet_pruned >= 3,
+        "expected ≥3 pruned symbols, got {}",
+        checker.stats.alphabet_pruned
+    );
+}

@@ -34,24 +34,42 @@ pub fn linkedlist_delta() -> Delta {
     let node = RType::base(sorts::node());
     let int = RType::base(Sort::Int);
 
-    // newnode : x:int → [□⟨⊤⟩] {ν : Node.t | ¬P_alloc(ν)} [□⟨⊤⟩; ⟨newnode x = ν⟩ ∧ LAST]
-    // Freshness of the returned node is part of the library guarantee; it is expressed by
-    // the precondition/postcondition pair of the appended event rather than the value
-    // qualifier (values cannot mention traces).
+    // newnode : x:int → ∀m. [□⟨⊤⟩] {ν : Node.t | ν = m}
+    //                        [(□⟨⊤⟩ ∧ □¬⟨setnext src dst | dst = m⟩); ⟨newnode x = ν | ν = m⟩ ∧ LAST]
+    // Freshness of the returned node is part of the library guarantee: the allocator
+    // never hands out an address that is already linked into a list, so the history up to
+    // this call contains no `setnext` *targeting* the returned cell. The value qualifier
+    // cannot mention traces, so the guarantee is carried by a ghost `m` pinned to the
+    // result (`ν = m`) whose absence from past setnext targets is asserted by the
+    // postcondition's history automaton. Without this, target-uniqueness invariants such
+    // as Queue/LinkedList's FIFO policy (`at_most_once(setnext | dst = n)`) are
+    // unprovable: `hasnext` only observes the source side, so nothing rules out the
+    // fresh cell having been enqueued behind some predecessor before it was allocated.
     let new_event = ev(
         "newnode",
         &["x"],
-        Formula::eq(Term::var("x"), Term::var("e")),
+        Formula::and(vec![
+            Formula::eq(Term::var("x"), Term::var("e")),
+            Formula::eq(Term::var(NU), Term::var("m")),
+        ]),
     );
+    let never_targeted = Sfa::and(vec![
+        Sfa::universe(),
+        Sfa::globally(Sfa::not(ev(
+            "setnext",
+            &["src", "dst"],
+            Formula::eq(Term::var("dst"), Term::var("m")),
+        ))),
+    ]);
     d.declare_eff(
         "newnode",
         EffOpSig {
-            ghosts: vec![],
+            ghosts: vec![("m".into(), sorts::node())],
             params: vec![("e".into(), int)],
             cases: vec![HoareCase {
                 pre: Sfa::universe(),
-                ty: RType::base(sorts::node()),
-                post: appends(&Sfa::universe(), new_event),
+                ty: RType::singleton(sorts::node(), Term::var("m")),
+                post: appends(&never_targeted, new_event),
             }],
         },
     );

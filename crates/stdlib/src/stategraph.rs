@@ -3,6 +3,7 @@
 //! Operators: `connect : Node.t → Char.t → Node.t → unit`,
 //! `disconnect : Node.t → Char.t → Node.t → unit`,
 //! `has_edge : Node.t → Char.t → Node.t → bool`,
+//! `has_succ : Node.t → bool`,
 //! `add_vertex : Node.t → unit`, `is_vertex : Node.t → bool`.
 
 use crate::preds::graph_axioms;
@@ -37,6 +38,18 @@ pub fn p_edge(s: Term, c: Term, t: Term) -> Sfa {
         connect,
         Sfa::next(Sfa::globally(Sfa::not(disconnect))),
     ]))
+}
+
+/// `P_out(s)`: some edge has ever been connected out of `s`. Disconnects do not erase
+/// it: out-degree policies such as the Queue FIFO invariant count `connect` events over
+/// the whole history (`at_most_once`), not live edges, so the observer that guards them
+/// must look at the same history (mirroring `hasnext` of the LinkedList library).
+pub fn p_out(s: Term) -> Sfa {
+    Sfa::eventually(ev(
+        "connect",
+        &["src", "ch", "dst"],
+        Formula::eq(Term::var("src"), s),
+    ))
 }
 
 /// `P_vertex(n)`: the vertex `n` has been added.
@@ -110,6 +123,38 @@ pub fn graph_delta() -> Delta {
                     pre: absent.clone(),
                     ty: RType::bool_singleton(false),
                     post: appends(&absent, has_event(false)),
+                },
+            ],
+        },
+    );
+
+    let has_succ_event = |r: bool| {
+        ev(
+            "has_succ",
+            &["src"],
+            Formula::and(vec![
+                Formula::eq(Term::var("src"), Term::var("s")),
+                Formula::eq(Term::var(NU), Term::bool(r)),
+            ]),
+        )
+    };
+    let out_linked = p_out(Term::var("s"));
+    let out_unlinked = Sfa::not(out_linked.clone());
+    d.declare_eff(
+        "has_succ",
+        EffOpSig {
+            ghosts: vec![],
+            params: vec![("s".into(), node.clone())],
+            cases: vec![
+                HoareCase {
+                    pre: out_linked.clone(),
+                    ty: RType::bool_singleton(true),
+                    post: appends(&out_linked, has_succ_event(true)),
+                },
+                HoareCase {
+                    pre: out_unlinked.clone(),
+                    ty: RType::bool_singleton(false),
+                    post: appends(&out_unlinked, has_succ_event(false)),
                 },
             ],
         },
@@ -198,6 +243,16 @@ pub fn graph_model() -> LibraryModel {
             "has_edge expects 3 arguments".into(),
         )),
     });
+    m.define("has_succ", |trace, args| match args {
+        [s] => {
+            // Ever-connected semantics, matching `P_out` in the delta (and `hasnext` of
+            // the LinkedList model): disconnects do not reset it.
+            Ok(Constant::Bool(
+                trace.any(|e| e.op == "connect" && e.args.first() == Some(s)),
+            ))
+        }
+        _ => Err(InterpError::TypeError("has_succ expects 1 argument".into())),
+    });
     m.define("add_vertex", |_trace, args| match args {
         [_] => Ok(Constant::Unit),
         _ => Err(InterpError::TypeError(
@@ -248,7 +303,36 @@ mod tests {
     #[test]
     fn delta_shape() {
         let d = graph_delta();
-        assert_eq!(d.eff_ops.len(), 5);
+        assert_eq!(d.eff_ops.len(), 6);
         assert_eq!(d.eff_ops["has_edge"].cases.len(), 2);
+        assert_eq!(d.eff_ops["has_succ"].cases.len(), 2);
+    }
+
+    #[test]
+    fn has_succ_ignores_disconnect() {
+        let m = graph_model();
+        let a = || Constant::atom("n1");
+        let b = || Constant::atom("n2");
+        let c = || Constant::atom("x");
+        let mut t = Trace::new();
+        assert_eq!(
+            m.apply(&t, "has_succ", &[a()]).unwrap(),
+            Constant::Bool(false)
+        );
+        t.push(Event::new("connect", vec![a(), c(), b()], Constant::Unit));
+        t.push(Event::new(
+            "disconnect",
+            vec![a(), c(), b()],
+            Constant::Unit,
+        ));
+        // The out-degree policy counts connect events over the whole history.
+        assert_eq!(
+            m.apply(&t, "has_succ", &[a()]).unwrap(),
+            Constant::Bool(true)
+        );
+        assert_eq!(
+            m.apply(&t, "has_succ", &[b()]).unwrap(),
+            Constant::Bool(false)
+        );
     }
 }

@@ -80,7 +80,8 @@ pub struct Benchmark {
     /// Whether a cold check of the configuration is expensive enough that the benchmark
     /// harness and snapshot tests exclude it by default (only `FileSystem/KVStore`
     /// remains flagged: its *naive* enumeration baseline is infeasible in this
-    /// environment, though the incremental strategy verifies it in a few minutes).
+    /// environment, though the incremental pruned pipeline verifies it in ~1.6 min
+    /// release).
     pub slow: bool,
 }
 

@@ -400,6 +400,11 @@ fn queue_graph() -> Benchmark {
                 &inv,
             ),
             // Only link tail → fresh when the two cells differ and tail has no successor.
+            // The guard must cover *every* out-edge of tail: `at_most_once(out_edge)`
+            // quantifies over all connects with `src = n`, so guarding on the single edge
+            // `has_edge(tail, lbl, fresh)` was unsound (the checker rightly rejected it —
+            // tail could already point elsewhere). `has_succ` observes the any-successor
+            // history through the graph model.
             let_pure(
                 "same",
                 "==",
@@ -409,8 +414,8 @@ fn queue_graph() -> Benchmark {
                     ret(Value::bool(false)),
                     let_eff(
                         "linked",
-                        "has_edge",
-                        vec![Value::var("tail"), Value::var("lbl"), Value::var("fresh")],
+                        "has_succ",
+                        vec![Value::var("tail")],
                         ite(
                             Value::var("linked"),
                             ret(Value::bool(false)),

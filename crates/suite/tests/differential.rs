@@ -1,7 +1,9 @@
 //! Suite-level differential harness: the naive and incremental enumeration strategies
 //! must produce identical verdicts (and identical failure messages) on real benchmark
-//! configurations, with the incremental strategy never doing more solver work. This
-//! complements the randomised harness in `hat-sfa/tests/minterm_differential.rs` with
+//! configurations, with the incremental strategy never doing more solver work — and the
+//! pruned DFA-construction path must be verdict- and state-count-identical to the
+//! unpruned one. This complements the randomised harnesses in
+//! `hat-sfa/tests/minterm_differential.rs` and `hat-sfa/tests/dfa_differential.rs` with
 //! the actual verification workload.
 
 use hat_sfa::EnumerationMode;
@@ -66,4 +68,53 @@ fn naive_and_incremental_checkers_agree_on_fast_configs() {
             "{adt}/{lib}: the incremental run did no solver work at all"
         );
     }
+}
+
+#[test]
+fn pruned_and_unpruned_checkers_agree_on_fast_configs() {
+    let mut pruned_something = false;
+    for (adt, lib) in FAST_CONFIGS {
+        let bench = hat_suite::find(adt, lib).expect("configuration exists");
+        let mut unpruned_checker = bench.checker();
+        unpruned_checker.inclusion.prune = false;
+        let mut pruned_checker = bench.checker();
+        assert!(
+            pruned_checker.inclusion.prune,
+            "pruning must be the default"
+        );
+
+        for m in &bench.methods {
+            let unpruned = unpruned_checker
+                .check_method(&m.sig, &m.body)
+                .expect("unpruned check runs");
+            let pruned = pruned_checker
+                .check_method(&m.sig, &m.body)
+                .expect("pruned check runs");
+            assert_eq!(
+                unpruned.verified, pruned.verified,
+                "{adt}/{lib}::{} verdict diverged between pruning modes",
+                m.sig.name
+            );
+            assert_eq!(
+                unpruned.failures, pruned.failures,
+                "{adt}/{lib}::{} failure messages diverged",
+                m.sig.name
+            );
+            assert_eq!(
+                unpruned.stats.dfa_states, pruned.stats.dfa_states,
+                "{adt}/{lib}::{} pruning changed the reachable DFA state set",
+                m.sig.name
+            );
+            assert!(
+                pruned.stats.dfa_transitions <= unpruned.stats.dfa_transitions,
+                "{adt}/{lib}::{} pruning produced more transitions",
+                m.sig.name
+            );
+            pruned_something |= pruned.stats.alphabet_pruned > 0;
+        }
+    }
+    assert!(
+        pruned_something,
+        "no fast config exercised the alphabet pruner"
+    );
 }
