@@ -110,6 +110,22 @@ fn main() {
                 largest.pruned_states
             );
         }
+        if let Some(largest) = comparison
+            .inclusion_reduction
+            .iter()
+            .max_by_key(|r| r.materialised_transitions)
+        {
+            eprintln!(
+                "largest inclusion workload {}/{}: transitions {} (materialised) -> {} (on-the-fly), {:.1}x fewer ({} product states vs {} DFA states)",
+                largest.adt,
+                largest.library,
+                largest.materialised_transitions,
+                largest.onthefly_transitions,
+                largest.reduction(),
+                largest.product_states,
+                largest.materialised_states
+            );
+        }
         let path = "BENCH_engine.json";
         match write_engine_json(path, &comparison) {
             Ok(()) => eprintln!("wrote {path}"),

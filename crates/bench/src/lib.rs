@@ -3,11 +3,13 @@
 //! The benchmark harness that regenerates the evaluation artefacts of the paper:
 //! Table 1 (per-configuration summary), Table 2 (invariant catalogue) and Tables 3/4
 //! (per-method details), plus Criterion micro-benchmarks for the solver and the
-//! symbolic-automaton engine. See `EXPERIMENTS.md` for the paper-vs-measured record.
+//! symbolic-automaton engine. The `table1` binary additionally runs the engine
+//! comparison ([`engine_comparison`]) and writes `BENCH_engine.json`
+//! (schema `hat-engine-bench v4`).
 
 use hat_core::MethodReport;
 use hat_engine::{CacheStatsSnapshot, Engine, EngineConfig, RunSummary};
-use hat_sfa::EnumerationMode;
+use hat_sfa::{EnumerationMode, InclusionMode};
 use hat_suite::Benchmark;
 use std::io::Write;
 
@@ -77,6 +79,8 @@ pub struct EngineRun {
     pub enumeration: &'static str,
     /// Whether per-group alphabet pruning ran before DFA construction.
     pub prune: bool,
+    /// How language inclusion was decided (`"onthefly"` or `"materialise"`).
+    pub inclusion: &'static str,
     /// Wall-clock seconds for the whole suite.
     pub wall_seconds: f64,
     /// Run-wide cache counters (per-run deltas).
@@ -116,6 +120,10 @@ pub struct EngineBenchRow {
     pub alphabet_pruned: usize,
     /// DFA transitions answered from the run-wide transition memo.
     pub transition_memo_hits: usize,
+    /// Product states discovered by on-the-fly inclusion walks (0 in materialised runs).
+    pub product_states: usize,
+    /// Per-group product walks answered from the DFA-shape memo.
+    pub shape_memo_hits: usize,
 }
 
 impl EngineBenchRow {
@@ -132,6 +140,7 @@ fn engine_run(
     warm: bool,
     enumeration: EnumerationMode,
     prune: bool,
+    inclusion: InclusionMode,
     summary: &RunSummary,
 ) -> EngineRun {
     EngineRun {
@@ -143,6 +152,10 @@ fn engine_run(
             EnumerationMode::Incremental => "incremental",
         },
         prune,
+        inclusion: match inclusion {
+            InclusionMode::OnTheFly => "onthefly",
+            InclusionMode::Materialise => "materialise",
+        },
         wall_seconds: summary.wall.as_secs_f64(),
         cache: summary.cache,
         benchmarks: summary
@@ -163,6 +176,8 @@ fn engine_run(
                 dfa_transitions: b.dfa_transitions(),
                 alphabet_pruned: b.alphabet_pruned(),
                 transition_memo_hits: b.transition_memo_hits(),
+                product_states: b.product_states(),
+                shape_memo_hits: b.shape_memo_hits(),
             })
             .collect(),
     }
@@ -243,9 +258,45 @@ impl PruneReductionRow {
     }
 }
 
+/// The inclusion-decision cost of one configuration under both pipelines: the evidence
+/// for the "on-the-fly product walk avoids materialising both DFAs" claim.
+#[derive(Debug, Clone)]
+pub struct InclusionReductionRow {
+    /// ADT name.
+    pub adt: String,
+    /// Library name.
+    pub library: String,
+    /// Residual states built by the cold materialised run (both complete DFAs).
+    pub materialised_states: usize,
+    /// Residual states derived by the cold on-the-fly run (frontier-reached only).
+    pub onthefly_states: usize,
+    /// Transitions derived by the cold materialised run.
+    pub materialised_transitions: usize,
+    /// Transitions derived by the cold on-the-fly run.
+    pub onthefly_transitions: usize,
+    /// Distinct product states discovered by the on-the-fly walks.
+    pub product_states: usize,
+    /// Summed per-method check seconds of the materialised run.
+    pub materialised_seconds: f64,
+    /// Summed per-method check seconds of the on-the-fly run.
+    pub onthefly_seconds: f64,
+}
+
+impl InclusionReductionRow {
+    /// materialised / on-the-fly transition ratio (∞-safe: 0 when on-the-fly is 0).
+    pub fn reduction(&self) -> f64 {
+        if self.onthefly_transitions == 0 {
+            0.0
+        } else {
+            self.materialised_transitions as f64 / self.onthefly_transitions as f64
+        }
+    }
+}
+
 /// The result of [`engine_comparison`]: the measured runs, the naive-vs-incremental
-/// cold-enumeration comparison, the pruned-vs-unpruned DFA-construction comparison, and
-/// the names of any configurations that were excluded (never silently).
+/// cold-enumeration comparison, the pruned-vs-unpruned DFA-construction comparison, the
+/// on-the-fly-vs-materialised inclusion comparison, and the names of any configurations
+/// that were excluded (never silently).
 #[derive(Debug, Clone)]
 pub struct EngineComparison {
     /// The measured runs.
@@ -254,6 +305,8 @@ pub struct EngineComparison {
     pub enum_reduction: Vec<EnumReductionRow>,
     /// Per-benchmark cold DFA-construction cost, unpruned vs pruned.
     pub prune_reduction: Vec<PruneReductionRow>,
+    /// Per-benchmark cold inclusion-decision cost, materialised vs on-the-fly.
+    pub inclusion_reduction: Vec<InclusionReductionRow>,
     /// `"ADT/Library"` names of configurations excluded from the comparison.
     pub skipped: Vec<String>,
 }
@@ -271,10 +324,9 @@ pub fn engine_comparison(benches: &[Benchmark], include_slow: bool) -> EngineCom
     let enum_reduction = runs
         .iter()
         .find(|r| r.enumeration == "naive" && !r.warm)
-        .zip(
-            runs.iter()
-                .find(|r| r.enumeration == "incremental" && r.prune && !r.warm),
-        )
+        .zip(runs.iter().find(|r| {
+            r.enumeration == "incremental" && r.prune && !r.warm && r.inclusion == "onthefly"
+        }))
         .map(|(naive, incremental)| {
             naive
                 .benchmarks
@@ -294,10 +346,9 @@ pub fn engine_comparison(benches: &[Benchmark], include_slow: bool) -> EngineCom
     let prune_reduction = runs
         .iter()
         .find(|r| r.enumeration == "incremental" && !r.prune && !r.warm)
-        .zip(
-            runs.iter()
-                .find(|r| r.enumeration == "incremental" && r.prune && !r.warm),
-        )
+        .zip(runs.iter().find(|r| {
+            r.enumeration == "incremental" && r.prune && !r.warm && r.inclusion == "onthefly"
+        }))
         .map(|(unpruned, pruned)| {
             unpruned
                 .benchmarks
@@ -315,10 +366,35 @@ pub fn engine_comparison(benches: &[Benchmark], include_slow: bool) -> EngineCom
                 .collect()
         })
         .unwrap_or_default();
+    let inclusion_reduction = runs
+        .iter()
+        .find(|r| r.inclusion == "materialise" && !r.warm)
+        .zip(runs.iter().find(|r| {
+            r.enumeration == "incremental" && r.prune && !r.warm && r.inclusion == "onthefly"
+        }))
+        .map(|(mat, otf)| {
+            mat.benchmarks
+                .iter()
+                .zip(&otf.benchmarks)
+                .map(|(m, o)| InclusionReductionRow {
+                    adt: m.adt.clone(),
+                    library: m.library.clone(),
+                    materialised_states: m.dfa_states,
+                    onthefly_states: o.dfa_states,
+                    materialised_transitions: m.dfa_transitions,
+                    onthefly_transitions: o.dfa_transitions,
+                    product_states: o.product_states,
+                    materialised_seconds: m.check_seconds,
+                    onthefly_seconds: o.check_seconds,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     EngineComparison {
         runs,
         enum_reduction,
         prune_reduction,
+        inclusion_reduction,
         skipped: skipped
             .into_iter()
             .map(|b| format!("{}/{}", b.adt, b.library))
@@ -344,7 +420,23 @@ fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
         false,
         EnumerationMode::Naive,
         true,
+        InclusionMode::OnTheFly,
         &naive.check_benchmarks(benches),
+    ));
+    let materialised = Engine::new(EngineConfig {
+        jobs: 1,
+        inclusion: InclusionMode::Materialise,
+        ..EngineConfig::default()
+    })
+    .expect("in-memory engine");
+    runs.push(engine_run(
+        "jobs=1 cold materialised",
+        1,
+        false,
+        EnumerationMode::Incremental,
+        true,
+        InclusionMode::Materialise,
+        &materialised.check_benchmarks(benches),
     ));
     let unpruned = Engine::new(EngineConfig {
         jobs: 1,
@@ -358,6 +450,7 @@ fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
         false,
         EnumerationMode::Incremental,
         false,
+        InclusionMode::OnTheFly,
         &unpruned.check_benchmarks(benches),
     ));
     let sequential = Engine::new(EngineConfig {
@@ -371,6 +464,7 @@ fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
         false,
         EnumerationMode::Incremental,
         true,
+        InclusionMode::OnTheFly,
         &sequential.check_benchmarks(benches),
     ));
     runs.push(engine_run(
@@ -379,6 +473,7 @@ fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
         true,
         EnumerationMode::Incremental,
         true,
+        InclusionMode::OnTheFly,
         &sequential.check_benchmarks(benches),
     ));
     let parallel = Engine::new(EngineConfig {
@@ -392,6 +487,7 @@ fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
         false,
         EnumerationMode::Incremental,
         true,
+        InclusionMode::OnTheFly,
         &parallel.check_benchmarks(benches),
     ));
     runs.push(engine_run(
@@ -400,6 +496,7 @@ fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
         true,
         EnumerationMode::Incremental,
         true,
+        InclusionMode::OnTheFly,
         &parallel.check_benchmarks(benches),
     ));
     runs
@@ -424,7 +521,7 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
     let runs = &comparison.runs;
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(out, "{{")?;
-    writeln!(out, "  \"schema\": \"hat-engine-bench v3\",")?;
+    writeln!(out, "  \"schema\": \"hat-engine-bench v4\",")?;
     writeln!(
         out,
         "  \"skipped\": [{}],",
@@ -485,6 +582,33 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
         )?;
     }
     writeln!(out, "  ],")?;
+    writeln!(out, "  \"inclusion_reduction\": [")?;
+    for (i, row) in comparison.inclusion_reduction.iter().enumerate() {
+        write!(
+            out,
+            "    {{\"adt\": \"{}\", \"library\": \"{}\", \"materialised_states\": {}, \"onthefly_states\": {}, \"materialised_transitions\": {}, \"onthefly_transitions\": {}, \"reduction\": {:.3}, \"product_states\": {}, \"materialised_seconds\": {:.6}, \"onthefly_seconds\": {:.6}}}",
+            json_escape(&row.adt),
+            json_escape(&row.library),
+            row.materialised_states,
+            row.onthefly_states,
+            row.materialised_transitions,
+            row.onthefly_transitions,
+            row.reduction(),
+            row.product_states,
+            row.materialised_seconds,
+            row.onthefly_seconds
+        )?;
+        writeln!(
+            out,
+            "{}",
+            if i + 1 < comparison.inclusion_reduction.len() {
+                ","
+            } else {
+                ""
+            }
+        )?;
+    }
+    writeln!(out, "  ],")?;
     writeln!(out, "  \"runs\": [")?;
     for (i, run) in runs.iter().enumerate() {
         writeln!(out, "    {{")?;
@@ -493,6 +617,7 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
         writeln!(out, "      \"warm_cache\": {},", run.warm)?;
         writeln!(out, "      \"enumeration\": \"{}\",", run.enumeration)?;
         writeln!(out, "      \"prune\": {},", run.prune)?;
+        writeln!(out, "      \"inclusion\": \"{}\",", run.inclusion)?;
         writeln!(out, "      \"wall_seconds\": {:.6},", run.wall_seconds)?;
         writeln!(out, "      \"cache_hits\": {},", run.cache.hits)?;
         writeln!(out, "      \"cache_misses\": {},", run.cache.misses)?;
@@ -515,7 +640,7 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
         for (j, b) in run.benchmarks.iter().enumerate() {
             write!(
                 out,
-                "        {{\"adt\": \"{}\", \"library\": \"{}\", \"check_seconds\": {:.6}, \"sat_queries\": {}, \"enum_queries\": {}, \"pruned_subtrees\": {}, \"minterm_memo_hits\": {}, \"inclusion_memo_hits\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"dfa_states\": {}, \"dfa_transitions\": {}, \"alphabet_pruned\": {}, \"transition_memo_hits\": {}}}",
+                "        {{\"adt\": \"{}\", \"library\": \"{}\", \"check_seconds\": {:.6}, \"sat_queries\": {}, \"enum_queries\": {}, \"pruned_subtrees\": {}, \"minterm_memo_hits\": {}, \"inclusion_memo_hits\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"dfa_states\": {}, \"dfa_transitions\": {}, \"alphabet_pruned\": {}, \"transition_memo_hits\": {}, \"product_states\": {}, \"shape_memo_hits\": {}}}",
                 json_escape(&b.adt),
                 json_escape(&b.library),
                 b.check_seconds,
@@ -529,7 +654,9 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
                 b.dfa_states,
                 b.dfa_transitions,
                 b.alphabet_pruned,
-                b.transition_memo_hits
+                b.transition_memo_hits,
+                b.product_states,
+                b.shape_memo_hits
             )?;
             writeln!(
                 out,

@@ -13,10 +13,14 @@
 //!   --prune MODE   per-group alphabet pruning before DFA construction: `on` (default)
 //!                  or `off` (verdict- and state-count-identical; off is the
 //!                  measurement baseline)
+//!   --inclusion M  how language inclusion is decided: `onthefly` (default — walk the
+//!                  product A × complement(B) lazily, exit at the first counterexample)
+//!                  or `materialise` (build both complete DFAs first; verdict-identical,
+//!                  kept as the measurement baseline)
 //! ```
 
 use hat_engine::{BenchmarkRun, Engine, EngineConfig, RunSummary};
-use hat_sfa::EnumerationMode;
+use hat_sfa::{EnumerationMode, InclusionMode};
 use hat_suite::{all_benchmarks, find, Benchmark};
 use std::path::PathBuf;
 
@@ -25,6 +29,7 @@ struct Options {
     cache_path: Option<PathBuf>,
     enumeration: EnumerationMode,
     prune: bool,
+    inclusion: InclusionMode,
     positional: Vec<String>,
 }
 
@@ -34,6 +39,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cache_path: None,
         enumeration: EnumerationMode::default(),
         prune: true,
+        inclusion: InclusionMode::default(),
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -67,6 +73,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     "on" => true,
                     "off" => false,
                     other => return Err(format!("invalid --prune mode `{other}` (on|off)")),
+                };
+            }
+            "--inclusion" => {
+                let value = it.next().ok_or("--inclusion needs a mode")?;
+                opts.inclusion = match value.as_str() {
+                    "onthefly" => InclusionMode::OnTheFly,
+                    "materialise" => InclusionMode::Materialise,
+                    other => {
+                        return Err(format!(
+                            "invalid --inclusion mode `{other}` (onthefly|materialise)"
+                        ))
+                    }
                 };
             }
             other if other.starts_with('-') => {
@@ -111,16 +129,20 @@ fn print_cache_line(summary: &RunSummary, lifetime: hat_engine::CacheStatsSnapsh
     let c = &summary.cache;
     let pruned: usize = summary.benchmarks.iter().map(|b| b.alphabet_pruned()).sum();
     let dfa_states: usize = summary.benchmarks.iter().map(|b| b.dfa_states()).sum();
+    let product_states: usize = summary.benchmarks.iter().map(|b| b.product_states()).sum();
+    let shape_hits: usize = summary.benchmarks.iter().map(|b| b.shape_memo_hits()).sum();
     println!(
-        "cache: {} hits / {} misses ({:.1}% hit rate), {} minterm-set hits, {} transition-memo hits, {} loaded from disk, {} stale; dfa: {} states, {} alphabet symbols pruned; wall {:.2}s",
+        "cache: {} hits / {} misses ({:.1}% hit rate), {} minterm-set hits, {} transition-memo hits, {} shape-memo hits, {} loaded from disk, {} stale; dfa: {} states, {} product states, {} alphabet symbols pruned; wall {:.2}s",
         c.hits,
         c.misses,
         100.0 * c.hit_rate(),
         c.minterm_hits,
         c.transition_hits,
+        shape_hits,
         lifetime.disk_loaded,
         lifetime.stale,
         dfa_states,
+        product_states,
         pruned,
         summary.wall.as_secs_f64()
     );
@@ -132,6 +154,7 @@ fn run(benches: Vec<Benchmark>, opts: &Options) -> bool {
         cache_path: opts.cache_path.clone(),
         enumeration: opts.enumeration,
         prune: opts.prune,
+        inclusion: opts.inclusion,
     }) {
         Ok(engine) => engine,
         Err(e) => {
@@ -163,11 +186,11 @@ fn main() {
         }
         Some("check") => {
             let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
-                eprintln!("{e}\nusage: marple check <adt> <library> [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off]");
+                eprintln!("{e}\nusage: marple check <adt> <library> [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise]");
                 std::process::exit(2);
             });
             let (Some(adt), Some(lib)) = (opts.positional.first(), opts.positional.get(1)) else {
-                eprintln!("usage: marple check <adt> <library> [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off]");
+                eprintln!("usage: marple check <adt> <library> [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise]");
                 std::process::exit(2);
             };
             match find(adt, lib) {
@@ -183,7 +206,7 @@ fn main() {
         }
         Some("check-all") => {
             let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
-                eprintln!("{e}\nusage: marple check-all [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off]");
+                eprintln!("{e}\nusage: marple check-all [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise]");
                 std::process::exit(2);
             });
             let ok = run(all_benchmarks(), &opts);

@@ -78,6 +78,11 @@ pub struct CheckStats {
     pub alphabet_pruned: usize,
     /// Number of DFA transitions answered from the run-wide transition memo.
     pub transition_memo_hits: usize,
+    /// Number of distinct product states discovered by on-the-fly inclusion walks
+    /// (0 when inclusion ran in materialising mode).
+    pub product_states: usize,
+    /// Number of per-group product walks answered from the DFA-shape memo.
+    pub shape_memo_hits: usize,
 }
 
 /// The outcome of checking one method.
@@ -237,6 +242,8 @@ impl Checker {
             alphabet_pruned: incl_after.alphabet_pruned - incl_before.alphabet_pruned,
             transition_memo_hits: incl_after.transition_memo_hits
                 - incl_before.transition_memo_hits,
+            product_states: incl_after.product_states - incl_before.product_states,
+            shape_memo_hits: incl_after.shape_memo_hits - incl_before.shape_memo_hits,
         };
         Ok(MethodReport {
             name: sig.name.clone(),

@@ -1,11 +1,15 @@
 //! The shared verdict cache: sharded concurrent maps from canonical keys to verdicts,
 //! optionally fronting an append-only disk log so repeated runs start warm.
 //!
-//! Four kinds of entries share the cache:
+//! Five kinds of entries share the cache:
 //!
 //! * **Solver verdicts** (`S` records): one satisfiability bit per canonical query key.
 //! * **Inclusion verdicts** (`I` records): one bit per canonical automata-inclusion key —
 //!   a hit skips minterm construction and DFA building entirely.
+//! * **DFA-shape verdicts** (`D` records): one bit per canonical per-group product walk,
+//!   keyed by [`crate::canon::shape_key`] (automaton pair + pruned alphabet + state
+//!   bound, no axiom fingerprint) — a hit skips the product walk across contexts and
+//!   benchmarks.
 //! * **Minterm sets** (`M` records): whole memoised alphabet transformations keyed by
 //!   [`crate::canon::alphabet_key`], persisted through the line-safe atom serialisation
 //!   of [`crate::atomio`] — a warm run skips minterm enumeration entirely.
@@ -13,22 +17,25 @@
 //!   derivatives keyed by [`crate::canon::transition_key`]. Successor formulas are cheap
 //!   to rebuild from warm solver verdicts, so they are not persisted.
 //!
-//! # Disk log format (v3)
+//! # Disk log format (v4)
 //!
-//! The log is a plain text file. The first line is the header `hat-engine-cache v3`;
-//! every further line is either `<kind><verdict>\t<key>` where `<kind>` is `S` (solver)
-//! or `I` (inclusion) and `<verdict>` is `0` or `1`, or `M\t<key>\t<payload>` where
-//! `<payload>` is an [`crate::atomio`] minterm-set record. Keys and payloads never
-//! contain tabs or newlines. Appends are line-atomic under a mutex, so a log written by
-//! one run can be replayed by the next.
+//! The log is a plain text file; the full record grammar, the migration rules and the
+//! torn-payload semantics are specified in `docs/CACHE_FORMAT.md` at the repository
+//! root. In short: the first
+//! line is the header `hat-engine-cache v4`; every further line is either
+//! `<kind><verdict>\t<key>` where `<kind>` is `S` (solver), `I` (inclusion) or `D`
+//! (DFA shape) and `<verdict>` is `0` or `1`, or `M\t<key>\t<payload>` where `<payload>`
+//! is an [`crate::atomio`] minterm-set record. Keys and payloads never contain tabs or
+//! newlines. Appends are line-atomic under a mutex, so a log written by one run can be
+//! replayed by the next.
 //!
-//! Logs with the previous `v1` header (`<verdict>\t<key>` solver records only) or `v2`
-//! header (`S`/`I` records only) are **migrated**: their entries are loaded and the file
-//! is atomically rewritten in the v3 format. A log with any other header — e.g. written
-//! by a future format version — is ignored wholesale and counted as stale rather than
-//! half-trusted (the cache runs in-memory and never writes to the foreign file).
-//! Malformed lines (a torn final write, an unparseable minterm payload) are skipped and
-//! counted as stale.
+//! Logs with the previous `v1` header (`<verdict>\t<key>` solver records only), `v2`
+//! header (`S`/`I` records only) or `v3` header (`S`/`I`/`M` records) are **migrated**:
+//! their entries are loaded and the file is atomically rewritten in the v4 format. A log
+//! with any other header — e.g. written by a future format version — is ignored
+//! wholesale and counted as stale rather than half-trusted (the cache runs in-memory and
+//! never writes to the foreign file). Malformed lines (a torn final write, an
+//! unparseable minterm payload) are skipped and counted as stale.
 
 use crate::atomio::{parse_minterm_set, ser_minterm_set};
 use hat_sfa::{MintermSet, Sfa};
@@ -41,6 +48,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
+const HEADER_V4: &str = "hat-engine-cache v4";
 const HEADER_V3: &str = "hat-engine-cache v3";
 const HEADER_V2: &str = "hat-engine-cache v2";
 const HEADER_V1: &str = "hat-engine-cache v1";
@@ -51,6 +59,7 @@ const SHARDS: usize = 64;
 enum Kind {
     Solver,
     Inclusion,
+    Shape,
 }
 
 impl Kind {
@@ -58,10 +67,11 @@ impl Kind {
         match self {
             Kind::Solver => 'S',
             Kind::Inclusion => 'I',
+            Kind::Shape => 'D',
         }
     }
 
-    const ALL: [Kind; 2] = [Kind::Solver, Kind::Inclusion];
+    const ALL: [Kind; 3] = [Kind::Solver, Kind::Inclusion, Kind::Shape];
 }
 
 /// A point-in-time snapshot of the cache counters.
@@ -113,7 +123,7 @@ struct CacheCounters {
 pub struct QueryCache {
     /// One shard set per entry kind (indexed by `Kind as usize`), so lookups hash the
     /// caller's key directly instead of allocating a tagged copy per access.
-    shards: [Vec<RwLock<HashMap<String, bool>>>; 2],
+    shards: [Vec<RwLock<HashMap<String, bool>>>; 3],
     minterms: RwLock<HashMap<String, MintermSet>>,
     transitions: RwLock<HashMap<String, Sfa>>,
     log: Option<Mutex<BufWriter<File>>>,
@@ -141,7 +151,7 @@ impl QueryCache {
     fn empty() -> Self {
         let shard_set = || (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect();
         QueryCache {
-            shards: [shard_set(), shard_set()],
+            shards: [shard_set(), shard_set(), shard_set()],
             minterms: RwLock::new(HashMap::new()),
             transitions: RwLock::new(HashMap::new()),
             log: None,
@@ -151,33 +161,47 @@ impl QueryCache {
     }
 
     /// A purely in-memory cache (no persistence).
+    ///
+    /// ```
+    /// use hat_engine::QueryCache;
+    ///
+    /// let cache = QueryCache::in_memory();
+    /// assert_eq!(cache.lookup("sat|k"), None);
+    /// cache.insert("sat|k".into(), true);
+    /// assert_eq!(cache.lookup("sat|k"), Some(true));
+    /// let stats = cache.stats();
+    /// assert_eq!((stats.hits, stats.misses), (1, 1));
+    /// ```
     pub fn in_memory() -> Self {
         Self::empty()
     }
 
     /// A cache backed by an append-only log at `path`. Existing entries are replayed into
-    /// memory (warm start) and new verdicts are appended. A `v1` or `v2` log is migrated
-    /// to the current format in place (atomically, via a temporary file). A file whose
-    /// header belongs to any other format version is left untouched: the cache runs
+    /// memory (warm start) and new verdicts are appended. A `v1`, `v2` or `v3` log is
+    /// migrated to the current format in place (atomically, via a temporary file). A file
+    /// whose header belongs to any other format version is left untouched: the cache runs
     /// in-memory only and counts the file as stale (destroying data a newer binary wrote
     /// would be worse than running cold).
     pub fn with_disk_log(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let mut cache = Self::empty();
         let path = path.as_ref();
         cache.path = Some(path.to_path_buf());
-        // How to open the log after reading: start a fresh v3 file, append to the
-        // existing v3 file, or rewrite a migrated v1/v2 file.
+        // How to open the log after reading: start a fresh v4 file, append to the
+        // existing v4 file, or rewrite a migrated v1/v2/v3 file.
         let mut fresh = true;
         let mut migrate = false;
         if path.exists() {
             let reader = BufReader::new(File::open(path)?);
             let mut lines = reader.lines();
             match lines.next() {
-                Some(Ok(header)) if header == HEADER_V3 || header == HEADER_V2 => {
-                    // v2 records are a subset of v3 records (no `M` lines), so one loop
-                    // replays both; a v2 file is rewritten under the current header.
+                Some(Ok(header))
+                    if header == HEADER_V4 || header == HEADER_V3 || header == HEADER_V2 =>
+                {
+                    // v2 records are a subset of v3 records (no `M` lines) and v3
+                    // records a subset of v4 records (no `D` lines), so one loop replays
+                    // all three; a v2/v3 file is rewritten under the current header.
                     fresh = false;
-                    migrate = header == HEADER_V2;
+                    migrate = header != HEADER_V4;
                     for line in lines {
                         let Ok(line) = line else {
                             cache.counters.stale.fetch_add(1, Ordering::Relaxed);
@@ -188,6 +212,8 @@ impl QueryCache {
                             Some(("S1", key)) => cache.load_entry(Kind::Solver, key, true),
                             Some(("I0", key)) => cache.load_entry(Kind::Inclusion, key, false),
                             Some(("I1", key)) => cache.load_entry(Kind::Inclusion, key, true),
+                            Some(("D0", key)) => cache.load_entry(Kind::Shape, key, false),
+                            Some(("D1", key)) => cache.load_entry(Kind::Shape, key, true),
                             Some(("M", rest)) => match rest.split_once('\t') {
                                 Some((key, payload)) => match parse_minterm_set(payload) {
                                     Some(set) => {
@@ -269,20 +295,20 @@ impl QueryCache {
             BufWriter::new(existing)
         };
         if fresh {
-            writeln!(file, "{HEADER_V3}")?;
+            writeln!(file, "{HEADER_V4}")?;
         }
         cache.log = Some(Mutex::new(file));
         Ok(cache)
     }
 
     /// Atomically rewrites the log at `path` with the current in-memory entries in the
-    /// v3 format (used to migrate a v1 or v2 log).
+    /// v4 format (used to migrate a v1, v2 or v3 log).
     fn rewrite_log(&self, path: &Path) -> std::io::Result<()> {
         let mut tmp = path.to_path_buf();
         tmp.set_extension("migrating");
         {
             let mut out = BufWriter::new(File::create(&tmp)?);
-            writeln!(out, "{HEADER_V3}")?;
+            writeln!(out, "{HEADER_V4}")?;
             for kind in Kind::ALL {
                 for shard in &self.shards[kind as usize] {
                     for (key, verdict) in shard.read().expect("cache shard poisoned").iter() {
@@ -362,6 +388,17 @@ impl QueryCache {
     /// Records an automata-inclusion verdict.
     pub fn insert_inclusion(&self, key: String, verdict: bool) {
         self.insert_kind(Kind::Inclusion, key, verdict);
+    }
+
+    /// Looks a DFA-shape verdict key up, counting a hit or a miss.
+    pub fn lookup_shape(&self, key: &str) -> Option<bool> {
+        self.lookup_kind(Kind::Shape, key)
+    }
+
+    /// Records a per-group DFA-shape verdict (see [`crate::canon::shape_key`]),
+    /// appending it to the disk log when one is attached.
+    pub fn insert_shape(&self, key: String, verdict: bool) {
+        self.insert_kind(Kind::Shape, key, verdict);
     }
 
     /// Looks a memoised minterm set up by its canonical alphabet key.
@@ -546,7 +583,7 @@ mod tests {
         let path = temp_path("torn");
         std::fs::write(
             &path,
-            format!("{HEADER_V3}\nS1\tgood\nmalformed-without-tab"),
+            format!("{HEADER_V4}\nS1\tgood\nmalformed-without-tab"),
         )
         .unwrap();
         {
@@ -580,7 +617,7 @@ mod tests {
         drop(cache);
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(
-            contents.starts_with(HEADER_V3),
+            contents.starts_with(HEADER_V4),
             "the file must be rewritten with the current header, got: {contents:?}"
         );
         let warm = QueryCache::with_disk_log(&path).unwrap();
@@ -592,7 +629,7 @@ mod tests {
     }
 
     #[test]
-    fn v2_logs_are_migrated_to_v3() {
+    fn v2_logs_are_migrated_to_v4() {
         let path = temp_path("migrate-v2");
         std::fs::write(&path, format!("{HEADER_V2}\nS1\tsat|k1\nI0\tincl|k2\n")).unwrap();
         let cache = QueryCache::with_disk_log(&path).unwrap();
@@ -603,8 +640,8 @@ mod tests {
         drop(cache);
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(
-            contents.starts_with(HEADER_V3),
-            "v2 logs must be rewritten under the v3 header, got: {contents:?}"
+            contents.starts_with(HEADER_V4),
+            "v2 logs must be rewritten under the v4 header, got: {contents:?}"
         );
         let warm = QueryCache::with_disk_log(&path).unwrap();
         assert_eq!(warm.lookup("sat|k1"), Some(true));
@@ -615,14 +652,63 @@ mod tests {
     }
 
     #[test]
-    fn solver_and_inclusion_namespaces_never_collide() {
+    fn v3_logs_are_migrated_to_v4() {
+        let path = temp_path("migrate-v3");
+        std::fs::write(
+            &path,
+            format!("{HEADER_V3}\nS1\tsat|k1\nI0\tincl|k2\nM\tmt|k3\tU0;M0;P0;Q0;\n"),
+        )
+        .unwrap();
+        let cache = QueryCache::with_disk_log(&path).unwrap();
+        assert_eq!(cache.lookup("sat|k1"), Some(true));
+        assert_eq!(cache.lookup_inclusion("incl|k2"), Some(false));
+        assert!(cache.lookup_minterms("mt|k3").is_some());
+        // Shape verdicts now persist alongside the migrated records.
+        cache.insert_shape("shape|k4".into(), true);
+        drop(cache);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            contents.starts_with(HEADER_V4),
+            "v3 logs must be rewritten under the v4 header, got: {contents:?}"
+        );
+        let warm = QueryCache::with_disk_log(&path).unwrap();
+        assert_eq!(warm.lookup("sat|k1"), Some(true));
+        assert_eq!(warm.lookup_inclusion("incl|k2"), Some(false));
+        assert!(warm.lookup_minterms("mt|k3").is_some());
+        assert_eq!(warm.lookup_shape("shape|k4"), Some(true));
+        assert_eq!(warm.stats().stale, 0, "a migrated log replays cleanly");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shape_verdicts_roundtrip_through_the_disk_log() {
+        let path = temp_path("shape-roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = QueryCache::with_disk_log(&path).unwrap();
+            assert_eq!(cache.lookup_shape("shape|a"), None);
+            cache.insert_shape("shape|a".into(), true);
+            cache.insert_shape("shape|b".into(), false);
+        }
+        let warm = QueryCache::with_disk_log(&path).unwrap();
+        assert_eq!(warm.stats().disk_loaded, 2);
+        assert_eq!(warm.lookup_shape("shape|a"), Some(true));
+        assert_eq!(warm.lookup_shape("shape|b"), Some(false));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn solver_inclusion_and_shape_namespaces_never_collide() {
         let cache = QueryCache::in_memory();
         cache.insert("shared-key".into(), true);
         assert_eq!(cache.lookup_inclusion("shared-key"), None);
+        assert_eq!(cache.lookup_shape("shared-key"), None);
         cache.insert_inclusion("shared-key".into(), false);
+        cache.insert_shape("shared-key".into(), true);
         assert_eq!(cache.lookup("shared-key"), Some(true));
         assert_eq!(cache.lookup_inclusion("shared-key"), Some(false));
-        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup_shape("shared-key"), Some(true));
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]
@@ -681,7 +767,7 @@ mod tests {
         let path = temp_path("torn-minterm");
         std::fs::write(
             &path,
-            format!("{HEADER_V3}\nS1\tgood\nM\tmt|x\tU0;M1;O3#put"),
+            format!("{HEADER_V4}\nS1\tgood\nM\tmt|x\tU0;M1;O3#put"),
         )
         .unwrap();
         let cache = QueryCache::with_disk_log(&path).unwrap();

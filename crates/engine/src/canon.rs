@@ -111,6 +111,25 @@ impl Renamer<'_> {
 
 /// Canonicalises a satisfiability query. Variables declared in `vars` but not occurring in
 /// `f` are dropped (they cannot affect satisfiability: every sort is inhabited).
+///
+/// ```
+/// use hat_engine::canonicalize;
+/// use hat_logic::{Formula, Sort, Term};
+///
+/// let env = |names: &[&str]| -> Vec<(String, Sort)> {
+///     names.iter().map(|n| (n.to_string(), Sort::Int)).collect()
+/// };
+/// // α-equivalent queries share a key — including y < x, which first-occurrence
+/// // numbering renames to the same canonical form ($k0 < $k1)...
+/// let xy = canonicalize(&env(&["x", "y"]), &Formula::lt(Term::var("x"), Term::var("y")));
+/// let ab = canonicalize(&env(&["a", "b"]), &Formula::lt(Term::var("a"), Term::var("b")));
+/// let yx = canonicalize(&env(&["x", "y"]), &Formula::lt(Term::var("y"), Term::var("x")));
+/// assert_eq!(xy.key, ab.key);
+/// assert_eq!(xy.key, yx.key);
+/// // ...while structurally different queries never collide.
+/// let le = canonicalize(&env(&["x", "y"]), &Formula::le(Term::var("x"), Term::var("y")));
+/// assert_ne!(xy.key, le.key);
+/// ```
 pub fn canonicalize(vars: &[(Ident, Sort)], f: &Formula) -> CanonicalQuery {
     let mut renamer = Renamer {
         env: vars.iter().map(|(x, s)| (x.as_str(), s)).collect(),
@@ -449,6 +468,46 @@ fn ser_sfa(renamer: &mut Renamer, sfa: &Sfa, bound: &mut Vec<(Ident, Ident)>, ou
             out.push(')');
         }
     }
+}
+
+/// Canonicalises one per-group product walk — its *DFA shape* — into a stable key: both
+/// automata in [`Sfa::alpha_normal`] form and every minterm of the (pruned) group
+/// alphabet (operator plus signed literal assignment), α-renamed with one shared
+/// renamer, plus the DFA state bound.
+///
+/// The walk's verdict is a pure function of this key: every transition it takes is
+/// resolved by evaluating a qualifier of `a`/`b` (or of one of their derivatives, whose
+/// qualifiers are subterms) under a minterm's complete literal assignment — both parts
+/// of the key — so neither the typing context, the background axioms nor the concrete
+/// benchmark enter the computation. The key therefore carries no axiom fingerprint:
+/// α-equal shapes share one memoised verdict *across benchmarks*, like the transition
+/// memo one level below. (The inclusion checker additionally refuses to store a verdict
+/// if an out-of-pool atom ever forced a context-dependent SMT fallback.)
+pub fn shape_key(a: &Sfa, b: &Sfa, alphabet: &[Minterm], max_states: usize) -> String {
+    let mut renamer = Renamer {
+        env: BTreeMap::new(),
+        free: BTreeMap::new(),
+        out_vars: Vec::new(),
+        binders: 0,
+    };
+    let mut bound = Vec::new();
+    let mut key = String::with_capacity(512);
+    key.push_str("shape|");
+    key.push_str(&max_states.to_string());
+    key.push('|');
+    ser_sfa(&mut renamer, &a.alpha_normal(), &mut bound, &mut key);
+    key.push('|');
+    ser_sfa(&mut renamer, &b.alpha_normal(), &mut bound, &mut key);
+    key.push('|');
+    for m in alphabet {
+        key.push('m');
+        ser_name(&m.op, &mut key);
+        for (atom, value) in &m.assignment {
+            ser_atom(&renamer.atom(atom, &bound), &mut key);
+            key.push(if *value { '1' } else { '0' });
+        }
+    }
+    key
 }
 
 /// A stable fingerprint of an axiom set, for inclusion in cache keys.
@@ -951,6 +1010,52 @@ mod tests {
             forward,
             inclusion_check_key(&ctx_p, &ops, 64, &Sfa::globally(ev("p")), &b_p)
         );
+    }
+
+    #[test]
+    fn shape_keys_share_alpha_equivalent_walks_and_distinguish_alphabets() {
+        let ev = |ctx_var: &str, binder: &str| {
+            Sfa::event(
+                "put",
+                vec![binder.into()],
+                "v",
+                Formula::eq(Term::var(binder), Term::var(ctx_var)),
+            )
+        };
+        let alphabet_for = |var: &str| {
+            vec![
+                Minterm {
+                    op: "put".into(),
+                    assignment: vec![(Atom::Eq(Term::var("#arg0"), Term::var(var)), true)],
+                },
+                Minterm {
+                    op: "put".into(),
+                    assignment: vec![(Atom::Eq(Term::var("#arg0"), Term::var(var)), false)],
+                },
+            ]
+        };
+        let a_p = Sfa::globally(Sfa::not(ev("p", "key")));
+        let b_p = Sfa::eventually(ev("p", "key"));
+        let forward = shape_key(&a_p, &b_p, &alphabet_for("p"), 64);
+        // Direction matters.
+        assert_ne!(forward, shape_key(&b_p, &a_p, &alphabet_for("p"), 64));
+        // Renamed context variables and event binders share a key.
+        let a_q = Sfa::globally(Sfa::not(ev("q", "k2")));
+        let b_q = Sfa::eventually(ev("q", "k2"));
+        assert_eq!(forward, shape_key(&a_q, &b_q, &alphabet_for("q"), 64));
+        // A different alphabet (one symbol dropped) is a different shape.
+        assert_ne!(
+            forward,
+            shape_key(&a_p, &b_p, &alphabet_for("p")[..1], 64),
+            "the pruned alphabet is part of the shape"
+        );
+        // Flipped symbol polarity is a different shape.
+        let mut flipped = alphabet_for("p");
+        flipped[0].assignment[0].1 = false;
+        flipped[1].assignment[0].1 = true;
+        assert_ne!(forward, shape_key(&a_p, &b_p, &flipped, 64));
+        // A different state bound is a different key.
+        assert_ne!(forward, shape_key(&a_p, &b_p, &alphabet_for("p"), 65));
     }
 
     #[test]

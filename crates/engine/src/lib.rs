@@ -21,12 +21,23 @@
 //! verdict is a pure function of its key — which is why `--jobs N` produces verdicts
 //! identical to a sequential run no matter how the cache interleaves.
 //!
+//! ## Memo hierarchy
+//!
+//! Beyond the per-query cache, whole units of work are memoised at four higher levels,
+//! all keyed α-canonically (see [`canon`] and `docs/ARCHITECTURE.md` for the hierarchy
+//! diagram): minterm sets (whole alphabet transformations), DFA transitions
+//! (`state × answers → successor`), per-group *DFA shapes* (one product walk over an
+//! (automaton pair, pruned alphabet) — shared across benchmarks, no axiom fingerprint)
+//! and whole inclusion checks. A hit at an outer level skips every inner level.
+//!
 //! ## Disk log
 //!
 //! With [`EngineConfig::cache_path`] set, verdicts append to a plain-text log
-//! (`hat-engine-cache v1` header, then one `<verdict>\t<key>` line each; see [`cache`]).
-//! The next run replays the log into memory and starts warm; logs from other format
-//! versions are ignored wholesale and counted as stale.
+//! (`hat-engine-cache v4` header; the record grammar, migration rules and torn-payload
+//! semantics are specified in `docs/CACHE_FORMAT.md` and summarised in [`cache`]). The
+//! next run replays the log into memory and starts warm; `v1`–`v3` logs are migrated
+//! atomically, and logs from any other format version are ignored wholesale and counted
+//! as stale.
 //!
 //! ## Scheduler
 //!

@@ -10,10 +10,10 @@
 
 use crate::cache::QueryCache;
 use crate::canon::{
-    alphabet_key, axioms_fingerprint, canonicalize, inclusion_check_key, transition_key,
+    alphabet_key, axioms_fingerprint, canonicalize, inclusion_check_key, shape_key, transition_key,
 };
 use hat_logic::{Atom, AxiomSet, Formula, Ident, ScopedSession, Solver, Sort};
-use hat_sfa::{LiteralPool, MintermSet, OpSig, Sfa, SolverOracle, SymbolicEvent, VarCtx};
+use hat_sfa::{LiteralPool, Minterm, MintermSet, OpSig, Sfa, SolverOracle, SymbolicEvent, VarCtx};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -202,6 +202,29 @@ impl SolverOracle for CachingOracle {
         true
     }
 
+    fn shape_key(
+        &mut self,
+        a: &Sfa,
+        b: &Sfa,
+        alphabet: &[Minterm],
+        max_states: usize,
+    ) -> Option<String> {
+        // No axiom prefix: like a transition, a per-group product walk is a pure
+        // syntactic function of the automaton pair and its minterm alphabet (every
+        // transition is resolved propositionally from data in the key), so α-equal
+        // shapes share one verdict across benchmarks with different axiom sets. The
+        // checker refuses to store if a context-dependent SMT fallback ever fired.
+        Some(shape_key(a, b, alphabet, max_states))
+    }
+
+    fn shape_lookup(&mut self, key: &str) -> Option<bool> {
+        self.cache.lookup_shape(key)
+    }
+
+    fn shape_store(&mut self, key: &str, verdict: bool) {
+        self.cache.insert_shape(key.to_string(), verdict);
+    }
+
     fn transition_lookup(
         &mut self,
         state: &Sfa,
@@ -325,6 +348,60 @@ mod tests {
         assert!(SolverOracle::is_sat(&mut oracle, &[], &[]));
         assert!(!SolverOracle::is_sat(&mut oracle, &[], &[Formula::False]));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shape_memo_shares_product_walks_across_axiom_sets() {
+        use hat_sfa::{InclusionChecker, OpSig, Sfa, VarCtx};
+        let cache = Arc::new(QueryCache::in_memory());
+        let ops = vec![OpSig::new(
+            "insert",
+            vec![("x".into(), Sort::Int)],
+            Sort::Unit,
+        )];
+        let ins = Sfa::event(
+            "insert",
+            vec!["x".into()],
+            "v",
+            Formula::eq(Term::var("x"), Term::var("el")),
+        );
+        let never = Sfa::globally(Sfa::not(ins.clone()));
+        let at_most_once = Sfa::globally(Sfa::implies(
+            ins.clone(),
+            Sfa::next(Sfa::not(Sfa::eventually(ins))),
+        ));
+        let ctx = VarCtx::new(vec![("el".into(), Sort::Int)], vec![]);
+
+        let mut first = CachingOracle::new(AxiomSet::new(), cache.clone());
+        let mut checker = InclusionChecker::new(ops.clone());
+        assert!(checker
+            .check(&ctx, &never, &at_most_once, &mut first)
+            .unwrap());
+        assert_eq!(checker.stats.shape_memo_hits, 0, "the first walk is cold");
+        assert!(checker.stats.fa_inclusions > 0);
+
+        // Under a *different* axiom set the axiom-prefixed inclusion memo cannot answer,
+        // but a per-group product walk is a pure function of its shape — the `D` entries
+        // are shared and every walk is skipped.
+        let mut other_axioms = AxiomSet::new();
+        other_axioms.declare_pred("unrelated", vec![Sort::Int]);
+        let mut second = CachingOracle::new(other_axioms, cache);
+        let mut fresh_checker = InclusionChecker::new(ops);
+        assert!(fresh_checker
+            .check(&ctx, &never, &at_most_once, &mut second)
+            .unwrap());
+        assert_eq!(
+            fresh_checker.stats.inclusion_memo_hits, 0,
+            "different axiom sets must not share whole-check verdicts"
+        );
+        assert_eq!(
+            fresh_checker.stats.shape_memo_hits, checker.stats.fa_inclusions,
+            "every per-group walk must be answered from the shape memo"
+        );
+        assert_eq!(
+            fresh_checker.stats.fa_inclusions, 0,
+            "no walk may run when its shape is memoised"
+        );
     }
 
     #[test]

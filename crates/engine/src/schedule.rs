@@ -11,7 +11,7 @@
 use crate::cache::{CacheStatsSnapshot, QueryCache};
 use crate::oracle::CachingOracle;
 use hat_core::{Checker, MethodReport};
-use hat_sfa::EnumerationMode;
+use hat_sfa::{EnumerationMode, InclusionMode};
 use hat_suite::Benchmark;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -32,6 +32,10 @@ pub struct EngineConfig {
     /// default; the unpruned path is kept for differential testing and measurement —
     /// both paths are verdict- and state-count-identical).
     pub prune: bool,
+    /// How each per-group inclusion problem is decided (on-the-fly product walk by
+    /// default; the materialising DFA-pair path is kept for differential testing and
+    /// measurement — both paths are verdict-identical).
+    pub inclusion: InclusionMode,
 }
 
 impl Default for EngineConfig {
@@ -41,6 +45,7 @@ impl Default for EngineConfig {
             cache_path: None,
             enumeration: EnumerationMode::default(),
             prune: true,
+            inclusion: InclusionMode::default(),
         }
     }
 }
@@ -129,6 +134,16 @@ impl BenchmarkRun {
             .sum()
     }
 
+    /// Total product states discovered by on-the-fly inclusion walks.
+    pub fn product_states(&self) -> usize {
+        self.reports.iter().map(|r| r.stats.product_states).sum()
+    }
+
+    /// Total per-group product walks answered from the DFA-shape memo.
+    pub fn shape_memo_hits(&self) -> usize {
+        self.reports.iter().map(|r| r.stats.shape_memo_hits).sum()
+    }
+
     /// Total solver work: standalone SMT queries plus incremental enumeration checks.
     /// This is the number to compare across enumeration modes (naive enumeration issues
     /// standalone queries; incremental enumeration issues scoped checks).
@@ -206,6 +221,7 @@ impl Engine {
                     let mut checker = Checker::with_oracle(bench.delta.clone(), Box::new(oracle));
                     checker.inclusion.enumeration = self.config.enumeration;
                     checker.inclusion.prune = self.config.prune;
+                    checker.inclusion.mode = self.config.inclusion;
                     let report = checker
                         .check_method(&method.sig, &method.body)
                         .unwrap_or_else(|e| {
@@ -349,6 +365,43 @@ mod tests {
         assert!(
             pruned_engine.cache().stats().transition_hits > 0,
             "structurally equal sub-automata must share memoised transitions"
+        );
+    }
+
+    #[test]
+    fn onthefly_inclusion_matches_the_materialised_path_and_shares_shapes() {
+        let benches = fast_benches();
+        let materialised = Engine::new(EngineConfig {
+            inclusion: hat_sfa::InclusionMode::Materialise,
+            ..EngineConfig::default()
+        })
+        .expect("in-memory engine")
+        .check_benchmarks(&benches);
+        let otf_engine = Engine::new(EngineConfig::default()).expect("in-memory engine");
+        let onthefly = otf_engine.check_benchmarks(&benches);
+        assert_eq!(verdicts(&materialised), verdicts(&onthefly));
+        for (m, o) in materialised.benchmarks.iter().zip(&onthefly.benchmarks) {
+            assert!(
+                o.dfa_transitions() <= m.dfa_transitions(),
+                "{}/{}: the walk derived more transitions than the complete builds",
+                m.adt,
+                m.library
+            );
+            assert_eq!(
+                m.product_states(),
+                0,
+                "materialised runs must not report product states"
+            );
+        }
+        let total_product: usize = onthefly.benchmarks.iter().map(|b| b.product_states()).sum();
+        assert!(total_product > 0, "no benchmark exercised the product walk");
+        // A second pass over the same benchmarks is answered from the memo hierarchy
+        // (inclusion-verdict hits shadow shape hits for α-equal whole checks).
+        let warm = otf_engine.check_benchmarks(&benches);
+        assert_eq!(verdicts(&onthefly), verdicts(&warm));
+        assert!(
+            otf_engine.cache().stats().hits > 0,
+            "the warm pass must hit the shared cache"
         );
     }
 

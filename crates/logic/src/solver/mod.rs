@@ -13,6 +13,32 @@
 //! 4. each propositional model is checked against the theory (congruence closure over
 //!    uninterpreted functions + integer difference bounds); theory conflicts become
 //!    blocking clauses.
+//!
+//! Verdicts are a pure function of the query: the fresh-name counter restarts per query,
+//! so a canonically renamed query reproduces the same computation — the invariant the
+//! `hat-engine` cache relies on. For incremental workloads (minterm enumeration),
+//! [`Solver::scoped`] opens a [`ScopedSession`] that preprocesses the context and a
+//! literal pool once and answers each assumption-stack check with one DPLL+theory pass.
+//!
+//! ```
+//! use hat_logic::{Formula, Solver, Sort, Term};
+//!
+//! let mut solver = Solver::default();
+//! let vars = vec![("x".to_string(), Sort::Int), ("y".to_string(), Sort::Int)];
+//! // x < y ∧ y < x is unsatisfiable...
+//! let cycle = Formula::and(vec![
+//!     Formula::lt(Term::var("x"), Term::var("y")),
+//!     Formula::lt(Term::var("y"), Term::var("x")),
+//! ]);
+//! assert!(!solver.is_satisfiable(&vars, &cycle));
+//! // ...and transitivity is entailed.
+//! let hyps = [
+//!     Formula::lt(Term::var("x"), Term::var("y")),
+//!     Formula::lt(Term::var("y"), Term::int(7)),
+//! ];
+//! assert!(solver.entails(&vars, &hyps, &Formula::lt(Term::var("x"), Term::int(7))));
+//! assert_eq!(solver.stats.queries, 2);
+//! ```
 
 mod cnf;
 mod sat;

@@ -405,6 +405,21 @@ impl Sfa {
     /// The DFA construction normalises every state, so memoised successors (stored
     /// binder-canonically) and freshly computed derivatives can never disagree on state
     /// identity.
+    ///
+    /// ```
+    /// use hat_logic::{Formula, Term};
+    /// use hat_sfa::Sfa;
+    ///
+    /// let spelled = |arg: &str, res: &str| {
+    ///     Sfa::event("put", vec![arg.into()], res,
+    ///         Formula::eq(Term::var(arg), Term::var("p")))
+    /// };
+    /// assert_ne!(spelled("key", "v"), spelled("k2", "w"));
+    /// assert_eq!(
+    ///     spelled("key", "v").alpha_normal(),
+    ///     spelled("k2", "w").alpha_normal(),
+    /// );
+    /// ```
     pub fn alpha_normal(&self) -> Sfa {
         match self {
             Sfa::Zero | Sfa::Epsilon | Sfa::Guard(_) => self.clone(),

@@ -1,11 +1,24 @@
 //! Deterministic finite automata over a minterm alphabet, built with Brzozowski-style
 //! derivatives of symbolic-automaton formulas (the "alphabet transformation" of paper
 //! Algorithm 2 followed by classical automaton construction).
+//!
+//! Two consumers drive this module:
+//!
+//! * [`Dfa::build`] materialises the *complete* DFA of one automaton — every state
+//!   reachable from the start formula, with a full transition row per state. This is the
+//!   paper-faithful pipeline (build both DFAs, then BFS their product).
+//! * [`product_included`] decides `L(A) ⊆ L(B)` *on the fly*: it walks the product
+//!   `A × complement(B)` pair by pair, deriving transition rows only for residual states
+//!   the product frontier actually reaches, and stops at the first accepting product
+//!   state (a counterexample). Neither DFA is ever materialised.
+//!
+//! Both share one derivative-resolution step ([`resolved_derivative`]) so the run-wide
+//! transition memo (see `hat-engine`) serves them interchangeably.
 
 use crate::ast::{Sfa, SymbolicEvent};
 use crate::minterm::Minterm;
 use hat_logic::Formula;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// Decides whether a minterm (an equivalence class of concrete events) is covered by a
@@ -116,6 +129,170 @@ pub fn derivative(a: &Sfa, m: &Minterm, oracle: &mut dyn TransitionOracle) -> Sf
     }
 }
 
+/// Resolves the successor of `state` under `m`: answered from the oracle's transition
+/// memo when possible, derived (and stored) otherwise. The result is always in
+/// [`Sfa::alpha_normal`] form — memoised successors come back with the caller's
+/// free-variable names but were sorted under the storer's, and fresh derivatives are
+/// normalised before being stored — so callers can use it directly for state identity.
+pub fn resolved_derivative(state: &Sfa, m: &Minterm, oracle: &mut dyn TransitionOracle) -> Sfa {
+    match oracle.derivative_lookup(state, m) {
+        Some(d) => d.alpha_normal(),
+        None => {
+            let d = derivative(state, m, oracle).alpha_normal();
+            oracle.derivative_store(state, m, &d);
+            d
+        }
+    }
+}
+
+/// One side of the lazy product walk: the residual states discovered so far (always in
+/// α-normal form) and their transition rows, filled only when the product frontier first
+/// visits a state.
+struct LazySide {
+    states: Vec<Sfa>,
+    index: BTreeMap<Sfa, usize>,
+    rows: Vec<Option<Vec<usize>>>,
+}
+
+impl LazySide {
+    fn new(start: Sfa) -> LazySide {
+        let mut index = BTreeMap::new();
+        index.insert(start.clone(), 0);
+        LazySide {
+            states: vec![start],
+            index,
+            rows: vec![None],
+        }
+    }
+
+    /// Ensures the transition row of state `s` is derived; read it back through
+    /// [`LazySide::row`]. Split from the read so callers can hold two sides' rows by
+    /// shared reference at once (the derivation needs `&mut self`).
+    fn ensure_row(
+        &mut self,
+        s: usize,
+        alphabet: &[Minterm],
+        oracle: &mut dyn TransitionOracle,
+        max_states: usize,
+    ) -> Result<(), DfaBuildError> {
+        if self.rows[s].is_some() {
+            return Ok(());
+        }
+        let formula = self.states[s].clone();
+        let mut row = Vec::with_capacity(alphabet.len());
+        for m in alphabet {
+            let d = resolved_derivative(&formula, m, oracle);
+            let target = match self.index.get(&d) {
+                Some(&t) => t,
+                None => {
+                    let t = self.states.len();
+                    if t >= max_states {
+                        return Err(DfaBuildError::TooManyStates(max_states));
+                    }
+                    self.states.push(d.clone());
+                    self.index.insert(d, t);
+                    self.rows.push(None);
+                    t
+                }
+            };
+            row.push(target);
+        }
+        self.rows[s] = Some(row);
+        Ok(())
+    }
+
+    /// The transition row of state `s`; [`LazySide::ensure_row`] must have run first.
+    fn row(&self, s: usize) -> &[usize] {
+        self.rows[s].as_deref().expect("row derived by ensure_row")
+    }
+
+    /// Number of states discovered.
+    fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of transitions actually derived (filled rows × alphabet size).
+    fn num_transitions(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.as_ref().map(Vec::len).unwrap_or(0))
+            .sum()
+    }
+}
+
+/// The outcome of one on-the-fly product walk (see [`product_included`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductRun {
+    /// Whether `L(A) ⊆ L(B)` over the given alphabet (no accepting product state).
+    pub included: bool,
+    /// Distinct product states discovered before the walk finished or exited early.
+    pub product_states: usize,
+    /// Residual states of `A` discovered by the frontier.
+    pub left_states: usize,
+    /// Residual states of `B` discovered by the frontier.
+    pub right_states: usize,
+    /// Transitions derived on `A`'s side (filled rows × alphabet symbols).
+    pub left_transitions: usize,
+    /// Transitions derived on `B`'s side.
+    pub right_transitions: usize,
+}
+
+/// Decides `L(a) ⊆ L(b)` over the minterm alphabet by on-the-fly emptiness of the
+/// product `a × complement(b)`, without materialising either DFA.
+///
+/// In the Brzozowski representation determinisation is implicit (a formula's derivative
+/// is again a single formula) and complementation is nullability negation, so the
+/// "subset construction driven by the product frontier" degenerates to a breadth-first
+/// walk over pairs of residual formulas: a pair `(ra, rb)` is *accepting* — a
+/// counterexample trace leads to it — iff `ra` accepts the empty suffix and `rb` does
+/// not. Transition rows are derived only for residual states the frontier actually
+/// reaches, and the walk returns at the first accepting pair, so failing checks touch a
+/// fraction of the state space the materialised pipeline would build.
+///
+/// The walk explores exactly the reachable pairs the materialised product
+/// ([`Dfa::included_in`] over two [`Dfa::build`] results) explores, in the same
+/// breadth-first order, so whenever both pipelines complete they return the same
+/// verdict (the differential harnesses in `tests/` and the suite enforce this). The one
+/// asymmetry is the state bound: an early counterexample can let the walk refute an
+/// instance whose complete builds would exceed `max_states` — see
+/// [`crate::inclusion::InclusionMode`].
+pub fn product_included(
+    a: &Sfa,
+    b: &Sfa,
+    alphabet: &[Minterm],
+    oracle: &mut dyn TransitionOracle,
+    max_states: usize,
+) -> Result<ProductRun, DfaBuildError> {
+    let mut left = LazySide::new(a.alpha_normal());
+    let mut right = LazySide::new(b.alpha_normal());
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    seen.insert((0, 0));
+    queue.push_back((0, 0));
+    let mut included = true;
+    while let Some((sa, sb)) = queue.pop_front() {
+        if nullable(&left.states[sa]) && !nullable(&right.states[sb]) {
+            included = false;
+            break;
+        }
+        left.ensure_row(sa, alphabet, oracle, max_states)?;
+        right.ensure_row(sb, alphabet, oracle, max_states)?;
+        for (&na, &nb) in left.row(sa).iter().zip(right.row(sb)) {
+            if seen.insert((na, nb)) {
+                queue.push_back((na, nb));
+            }
+        }
+    }
+    Ok(ProductRun {
+        included,
+        product_states: seen.len(),
+        left_states: left.num_states(),
+        right_states: right.num_states(),
+        left_transitions: left.num_transitions(),
+        right_transitions: right.num_transitions(),
+    })
+}
+
 impl Dfa {
     /// Builds the complete DFA of `a` over the alphabet `alphabet`.
     pub fn build(
@@ -143,17 +320,7 @@ impl Dfa {
             let formula = states[s].clone();
             let mut row = Vec::with_capacity(alphabet.len());
             for m in alphabet {
-                // Memoised successors come back with the caller's free-variable names
-                // but were sorted under the storer's, so they are re-normalised; fresh
-                // derivatives are normalised before being stored and indexed.
-                let d = match oracle.derivative_lookup(&formula, m) {
-                    Some(d) => d.alpha_normal(),
-                    None => {
-                        let d = derivative(&formula, m, oracle).alpha_normal();
-                        oracle.derivative_store(&formula, m, &d);
-                        d
-                    }
-                };
+                let d = resolved_derivative(&formula, m, oracle);
                 let target = match index.get(&d) {
                     Some(&t) => t,
                     None => {
@@ -385,6 +552,69 @@ mod tests {
         assert!(dfa.accepts_word(&[0]));
         assert!(dfa.accepts_word(&[1, 0]));
         assert!(!dfa.accepts_word(&[0, 1]));
+    }
+
+    #[test]
+    fn product_walk_agrees_with_materialised_inclusion() {
+        let mut o = SyntacticOracle;
+        let at_most_one = Sfa::globally(Sfa::implies(
+            ins_el(),
+            Sfa::next(Sfa::not(Sfa::eventually(ins_el()))),
+        ));
+        let no_insert_el = Sfa::globally(Sfa::not(ins_el()));
+        let universe = Sfa::universe();
+        let cases = [
+            (&no_insert_el, &at_most_one),
+            (&at_most_one, &no_insert_el),
+            (&at_most_one, &universe),
+            (&universe, &at_most_one),
+        ];
+        for (a, b) in cases {
+            let da = Dfa::build(a, &alphabet(), &mut o, 1000).unwrap();
+            let db = Dfa::build(b, &alphabet(), &mut o, 1000).unwrap();
+            let run = product_included(a, b, &alphabet(), &mut o, 1000).unwrap();
+            assert_eq!(
+                run.included,
+                da.included_in(&db).is_ok(),
+                "product walk diverged on {a} ⊆ {b}"
+            );
+            // The lazy sides can only discover states the complete builds contain.
+            assert!(run.left_states <= da.num_states());
+            assert!(run.right_states <= db.num_states());
+        }
+    }
+
+    #[test]
+    fn failing_product_walk_exits_before_materialising_the_state_space() {
+        let mut o = SyntacticOracle;
+        let at_most_one = Sfa::globally(Sfa::implies(
+            ins_el(),
+            Sfa::next(Sfa::not(Sfa::eventually(ins_el()))),
+        ));
+        let no_insert_el = Sfa::globally(Sfa::not(ins_el()));
+        // at_most_one ⊄ no_insert_el: the first insert of el is already a counterexample.
+        let run = product_included(&at_most_one, &no_insert_el, &alphabet(), &mut o, 1000).unwrap();
+        assert!(!run.included);
+        let da = Dfa::build(&at_most_one, &alphabet(), &mut o, 1000).unwrap();
+        let db = Dfa::build(&no_insert_el, &alphabet(), &mut o, 1000).unwrap();
+        assert!(
+            run.left_transitions + run.right_transitions
+                < da.num_transitions() + db.num_transitions(),
+            "early exit must derive fewer transitions than the two complete builds"
+        );
+    }
+
+    #[test]
+    fn product_walk_respects_the_state_bound() {
+        let mut o = SyntacticOracle;
+        let inv = Sfa::globally(Sfa::implies(
+            ins_el(),
+            Sfa::next(Sfa::not(Sfa::eventually(ins_el()))),
+        ));
+        // A passing check must explore the whole product, so `inv`'s side outgrows a
+        // one-state bound. (A failing check can exit before ever hitting the bound.)
+        let err = product_included(&inv, &Sfa::universe(), &alphabet(), &mut o, 1).unwrap_err();
+        assert!(matches!(err, DfaBuildError::TooManyStates(1)));
     }
 
     #[test]

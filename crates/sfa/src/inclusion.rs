@@ -6,13 +6,51 @@
 //! 1. collect the literals of `Γ`, `A` and `B` and build the satisfiable minterms
 //!    (SMT queries — the `#SAT` column of the evaluation);
 //! 2. for every valuation of the *context* literals (the outer loop over `φ_Γ`),
-//!    translate both automata to classical DFAs over the minterm alphabet
+//!    translate both automata to classical automata over the minterm alphabet
 //!    (alphabet transformation, Algorithm 2) and
-//! 3. check DFA language inclusion by product construction
-//!    (the `#FA⊆` column of the evaluation).
+//! 3. decide language inclusion over that alphabet (the `#FA⊆` column of the
+//!    evaluation), in one of two ways selected by [`InclusionMode`]:
+//!
+//! * **On the fly** (the default): emptiness of the product `A × complement(det(B))`,
+//!   walked pair by pair without materialising either DFA
+//!   ([`crate::dfa::product_included`]). Transition rows are derived only for residual
+//!   states the product frontier reaches, and the walk returns at the first accepting
+//!   product state — a counterexample word — so failing checks touch a fraction of the
+//!   state space.
+//! * **Materialised** (the paper-faithful baseline, kept behind a flag for differential
+//!   testing and measurement): build both complete DFAs with [`Dfa::build`], then BFS
+//!   their product with [`Dfa::included_in`].
+//!
+//! On top of either pipeline, oracles can *memoise per-group product walks by shape*
+//! ([`SolverOracle::shape_key`]): the α-renamed (automaton pair, pruned alphabet) fully
+//! determines the walk's verdict — transitions are resolved propositionally from minterm
+//! assignments that are part of the key — so α-equal shapes skip the walk entirely, even
+//! across different typing contexts and benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use hat_logic::{Formula, Solver, Sort, Term};
+//! use hat_sfa::{InclusionChecker, OpSig, Sfa, VarCtx};
+//!
+//! // ⟨insert x = v | x = el⟩ under a context binding el.
+//! let ins_el = Sfa::event("insert", vec!["x".into()], "v",
+//!     Formula::eq(Term::var("x"), Term::var("el")));
+//! let never = Sfa::globally(Sfa::not(ins_el.clone()));
+//! let at_most_once = Sfa::globally(Sfa::implies(
+//!     ins_el.clone(),
+//!     Sfa::next(Sfa::not(Sfa::eventually(ins_el))),
+//! ));
+//! let ops = vec![OpSig::new("insert", vec![("x".into(), Sort::Int)], Sort::Unit)];
+//! let ctx = VarCtx::new(vec![("el".into(), Sort::Int)], vec![]);
+//! let mut checker = InclusionChecker::new(ops);
+//! let mut solver = Solver::default();
+//! assert!(checker.check(&ctx, &never, &at_most_once, &mut solver).unwrap());
+//! assert!(!checker.check(&ctx, &at_most_once, &never, &mut solver).unwrap());
+//! ```
 
 use crate::ast::{OpSig, Sfa, SymbolicEvent};
-use crate::dfa::{Dfa, DfaBuildError, TransitionOracle};
+use crate::dfa::{product_included, Dfa, DfaBuildError, TransitionOracle};
 use crate::minterm::{
     arg_name, build_minterms_with, res_name, EnumerationMode, LiteralPool, Minterm, MintermSet,
 };
@@ -160,6 +198,39 @@ pub trait SolverOracle {
     ) {
         let _ = (state, event_answers, guard_answers, succ);
     }
+
+    /// A memo key identifying one per-group product walk up to α-equivalence: the
+    /// automaton pair together with its (pruned) minterm alphabet — the *shape* of the
+    /// walk — and the state bound. Every transition of the walk is resolved
+    /// propositionally from a minterm assignment and a qualifier that are both part of
+    /// this data, so the group verdict is a pure function of the key: α-equal shapes
+    /// share one verdict across contexts and benchmarks, and a hit skips the product
+    /// walk (or DFA pair build) entirely. `None` (the default) disables shape
+    /// memoisation.
+    fn shape_key(
+        &mut self,
+        a: &Sfa,
+        b: &Sfa,
+        alphabet: &[Minterm],
+        max_states: usize,
+    ) -> Option<String> {
+        let _ = (a, b, alphabet, max_states);
+        None
+    }
+
+    /// Looks a memoised per-group verdict up by the key from
+    /// [`SolverOracle::shape_key`].
+    fn shape_lookup(&mut self, key: &str) -> Option<bool> {
+        let _ = key;
+        None
+    }
+
+    /// Memoises a per-group verdict under the given key. Callers only store when the
+    /// walk resolved every transition propositionally (no context-dependent SMT
+    /// fallback fired), which keeps the verdict a pure function of the key.
+    fn shape_store(&mut self, key: &str, verdict: bool) {
+        let _ = (key, verdict);
+    }
 }
 
 impl SolverOracle for hat_logic::Solver {
@@ -218,6 +289,13 @@ pub struct InclusionStats {
     /// Number of DFA transitions answered from the run-wide transition memo instead of
     /// being derived.
     pub transition_memo_hits: usize,
+    /// Number of distinct product states discovered by on-the-fly walks (0 when every
+    /// group ran materialised). A failing walk stops at the first accepting pair, so
+    /// this is the number to compare against `fa_states` for early-exit savings.
+    pub product_states: usize,
+    /// Number of per-group product walks answered from the shape memo instead of being
+    /// walked.
+    pub shape_memo_hits: usize,
     /// Total wall-clock time spent inside inclusion checking (includes solver time).
     pub time: Duration,
 }
@@ -245,6 +323,8 @@ impl InclusionStats {
         self.inclusion_memo_hits += other.inclusion_memo_hits;
         self.alphabet_pruned += other.alphabet_pruned;
         self.transition_memo_hits += other.transition_memo_hits;
+        self.product_states += other.product_states;
+        self.shape_memo_hits += other.shape_memo_hits;
         self.time += other.time;
     }
 }
@@ -266,6 +346,11 @@ struct MatchOracle<'a> {
     pending_signature: Option<Signature>,
     /// Number of successors answered from the oracle's transition memo.
     memo_hits: usize,
+    /// Number of answers that fell back to a context-dependent SMT entailment because
+    /// `eval_under` found an atom outside the minterm's assignment. While this stays at
+    /// zero a group's verdict is a pure function of its (automata, alphabet) shape, so
+    /// it may be stored in the shape memo.
+    fallback_queries: usize,
 }
 
 impl<'a> MatchOracle<'a> {
@@ -278,6 +363,7 @@ impl<'a> MatchOracle<'a> {
             guard_cache: BTreeMap::new(),
             pending_signature: None,
             memo_hits: 0,
+            fallback_queries: 0,
         }
     }
 
@@ -360,6 +446,9 @@ impl TransitionOracle for MatchOracle<'_> {
         if let Some(v) = eval_under(&renamed, &m.assignment) {
             return v;
         }
+        // Context-dependent answer: the verdict is no longer a pure function of the
+        // (automata, alphabet) shape, so the surrounding group must not be shape-stored.
+        self.fallback_queries += 1;
         let key = (e.op.clone(), renamed, m.clone());
         if let Some(&v) = self.event_cache.get(&key) {
             return v;
@@ -378,6 +467,7 @@ impl TransitionOracle for MatchOracle<'_> {
         if let Some(v) = eval_under(phi, &m.assignment) {
             return v;
         }
+        self.fallback_queries += 1;
         let key = (phi.clone(), m.clone());
         if let Some(&v) = self.guard_cache.get(&key) {
             return v;
@@ -421,6 +511,27 @@ impl TransitionOracle for MatchOracle<'_> {
     }
 }
 
+/// How each per-group language-inclusion problem over the minterm alphabet is decided.
+///
+/// Whenever both pipelines complete they return the same verdict (they explore the same
+/// reachable product pairs). The one asymmetry is the DFA state bound: an early
+/// counterexample can let the on-the-fly walk decide an instance whose materialised
+/// pipeline would abort with [`DfaBuildError::TooManyStates`] — the verdict is still
+/// correct (the counterexample word exists regardless of the bound). The converse cannot
+/// happen: the walk only discovers residual states the complete builds also contain, so
+/// if the walk exceeds the bound, materialisation would too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InclusionMode {
+    /// On-the-fly emptiness of `A × complement(det(B))`: derive transition rows only for
+    /// residual states the product frontier reaches, exit at the first accepting product
+    /// state. Never materialises either DFA.
+    #[default]
+    OnTheFly,
+    /// Build both complete DFAs, then BFS their product (the paper-faithful baseline,
+    /// kept for differential testing and measurement).
+    Materialise,
+}
+
 /// The symbolic-automaton inclusion checker.
 ///
 /// It is parameterised by the alphabet of effectful operators in scope (the library API)
@@ -439,6 +550,10 @@ pub struct InclusionChecker {
     /// the one-minterm families of operators referenced by neither automaton — and is
     /// verdict- and state-count-preserving.
     pub prune: bool,
+    /// How each per-group inclusion problem is decided (on-the-fly product walk by
+    /// default; the materialising path is kept for differential testing and
+    /// measurement).
+    pub mode: InclusionMode,
     /// Accumulated statistics.
     pub stats: InclusionStats,
 }
@@ -451,6 +566,7 @@ impl InclusionChecker {
             max_states: 8192,
             enumeration: EnumerationMode::default(),
             prune: true,
+            mode: InclusionMode::default(),
             stats: InclusionStats::default(),
         }
     }
@@ -509,13 +625,51 @@ impl InclusionChecker {
                 alphabet = prune_alphabet(a, b, alphabet, &mut matcher);
                 self.stats.alphabet_pruned += before - alphabet.len();
             }
-            let da = Dfa::build(a, &alphabet, &mut matcher, self.max_states)?;
-            let db = Dfa::build(b, &alphabet, &mut matcher, self.max_states)?;
-            self.stats.dfas_built += 2;
-            self.stats.fa_states += da.num_states() + db.num_states();
-            self.stats.fa_transitions += da.num_transitions() + db.num_transitions();
+            // Shape memoisation: the α-renamed (A, B, pruned alphabet) determines the
+            // group verdict, so α-equal shapes skip the walk — across contexts, methods
+            // and benchmarks.
+            let shape = matcher.oracle.shape_key(a, b, &alphabet, self.max_states);
+            if let Some(hit) = shape
+                .as_deref()
+                .and_then(|key| matcher.oracle.shape_lookup(key))
+            {
+                self.stats.shape_memo_hits += 1;
+                if !hit {
+                    verdict = false;
+                    break;
+                }
+                continue;
+            }
+            let fallbacks_before = matcher.fallback_queries;
+            let included = match self.mode {
+                InclusionMode::OnTheFly => {
+                    let run = product_included(a, b, &alphabet, &mut matcher, self.max_states)?;
+                    self.stats.dfas_built += 2;
+                    self.stats.fa_states += run.left_states + run.right_states;
+                    self.stats.fa_transitions += run.left_transitions + run.right_transitions;
+                    self.stats.product_states += run.product_states;
+                    run.included
+                }
+                InclusionMode::Materialise => {
+                    let da = Dfa::build(a, &alphabet, &mut matcher, self.max_states)?;
+                    let db = Dfa::build(b, &alphabet, &mut matcher, self.max_states)?;
+                    self.stats.dfas_built += 2;
+                    self.stats.fa_states += da.num_states() + db.num_states();
+                    self.stats.fa_transitions += da.num_transitions() + db.num_transitions();
+                    da.included_in(&db).is_ok()
+                }
+            };
             self.stats.fa_inclusions += 1;
-            if da.included_in(&db).is_err() {
+            if let Some(key) = shape {
+                // Only a fully propositional walk is a pure function of its shape; an
+                // SMT fallback would have consulted the typing context behind the key's
+                // back (unreachable for alphabets built from the automata's own literal
+                // pool, but guarded rather than assumed).
+                if matcher.fallback_queries == fallbacks_before {
+                    matcher.oracle.shape_store(&key, included);
+                }
+            }
+            if !included {
                 verdict = false;
                 break;
             }

@@ -11,10 +11,13 @@
 //! * the [`Sfa`] formula AST with the paper's derived operators (`♦`, `□`, `LAST`, ...),
 //! * the denotational acceptance judgement `α, i ⊨ A` ([`accept`]),
 //! * minterm construction over the symbolic alphabet ([`minterm`]),
-//! * derivative-based DFA construction over a minterm alphabet ([`dfa`]),
+//! * derivative-based DFA construction over a minterm alphabet ([`dfa`]), both
+//!   materialised ([`Dfa::build`]) and as an on-the-fly product walk
+//!   ([`dfa::product_included`]),
 //! * the language-inclusion check used by HAT subtyping ([`inclusion`]), which mirrors
 //!   Algorithm 1 of the paper (including its use of SMT queries to keep only satisfiable
-//!   minterms).
+//!   minterms), deciding each per-group problem on the fly by default
+//!   ([`InclusionMode`]).
 
 pub mod accept;
 pub mod ast;
@@ -25,7 +28,7 @@ pub mod minterm;
 
 pub use accept::{accepts, TraceModel};
 pub use ast::{OpSig, Sfa, SymbolicEvent};
-pub use dfa::{Dfa, DfaBuildError};
+pub use dfa::{product_included, Dfa, DfaBuildError, ProductRun};
 pub use event::{Event, Trace};
-pub use inclusion::{InclusionChecker, InclusionStats, SolverOracle, VarCtx};
+pub use inclusion::{InclusionChecker, InclusionMode, InclusionStats, SolverOracle, VarCtx};
 pub use minterm::{EnumerationMode, LiteralPool, Minterm, MintermSet};

@@ -2,104 +2,24 @@
 //! (and the state α-normalisation that backs the transition memo) must be observationally
 //! identical to the unpruned path — the same inclusion verdicts and the same DFA state
 //! counts, with never more transitions. Configurations are generated with the same
-//! deterministic xorshift stream the other differential harnesses use.
+//! deterministic xorshift stream the other differential harnesses use
+//! (`tests/common/mod.rs`).
 
-use hat_logic::{Atom, Formula, Solver, Sort, Term};
+use hat_logic::{Formula, Solver, Sort, Term};
 use hat_sfa::{InclusionChecker, OpSig, Sfa, VarCtx};
 
-struct XorShift(u64);
+mod common;
 
-impl XorShift {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
+use common::{random_case, XorShift};
 
-    fn below(&mut self, bound: u64) -> u64 {
-        self.next() % bound
-    }
-
-    fn flip(&mut self) -> bool {
-        self.below(2) == 0
-    }
-}
-
-const CTX_VARS: [&str; 3] = ["el", "lo", "hi"];
-
-fn random_ctx_term(rng: &mut XorShift) -> Term {
-    if rng.below(3) == 0 {
-        Term::int(rng.below(3) as i64)
-    } else {
-        Term::var(CTX_VARS[rng.below(CTX_VARS.len() as u64) as usize])
-    }
-}
-
-fn random_atom(rng: &mut XorShift, event_local: bool) -> Atom {
-    let l = if event_local {
-        Term::var("x")
-    } else {
-        random_ctx_term(rng)
-    };
-    let r = random_ctx_term(rng);
-    match rng.below(3) {
-        0 => Atom::Eq(l, r),
-        1 => Atom::Lt(l, r),
-        _ => Atom::Le(l, r),
-    }
-}
-
-fn random_event(rng: &mut XorShift) -> Sfa {
-    let mut conjuncts = Vec::new();
-    for _ in 0..=rng.below(2) {
-        let f = Formula::Atom(random_atom(rng, true));
-        conjuncts.push(if rng.flip() { f } else { Formula::not(f) });
-    }
-    Sfa::event("tick", vec!["x".into()], "v", Formula::and(conjuncts))
-}
-
-fn random_sfa(rng: &mut XorShift, depth: u64) -> Sfa {
-    if depth == 0 {
-        return if rng.flip() {
-            random_event(rng)
-        } else {
-            Sfa::guard(Formula::Atom(random_atom(rng, false)))
-        };
-    }
-    match rng.below(6) {
-        0 => Sfa::not(random_sfa(rng, depth - 1)),
-        1 => Sfa::globally(random_sfa(rng, depth - 1)),
-        2 => Sfa::eventually(random_sfa(rng, depth - 1)),
-        3 => Sfa::and(vec![random_sfa(rng, depth - 1), random_sfa(rng, depth - 1)]),
-        4 => Sfa::or(vec![random_sfa(rng, depth - 1), random_sfa(rng, depth - 1)]),
-        _ => Sfa::concat(random_sfa(rng, depth - 1), random_sfa(rng, depth - 1)),
-    }
-}
-
-fn random_case(rng: &mut XorShift) -> (VarCtx, Vec<OpSig>, Sfa, Sfa) {
-    let vars: Vec<(String, Sort)> = CTX_VARS
-        .iter()
-        .map(|v| (v.to_string(), Sort::Int))
-        .collect();
-    let mut facts = Vec::new();
-    for _ in 0..rng.below(3) {
-        let atom = Formula::Atom(random_atom(rng, false));
-        facts.push(if rng.flip() { atom } else { Formula::not(atom) });
-    }
-    let ctx = VarCtx::new(vars, facts);
+fn ops() -> Vec<OpSig> {
     // The `probe` and `noop` operators are referenced by no automaton: their per-group
     // minterm families are exactly what pruning is expected to collapse.
-    let ops = vec![
+    vec![
         OpSig::new("tick", vec![("x".into(), Sort::Int)], Sort::Unit),
         OpSig::new("probe", vec![], Sort::Bool),
         OpSig::new("noop", vec![], Sort::Unit),
-    ];
-    let a = random_sfa(rng, 2);
-    let b = random_sfa(rng, 2);
-    (ctx, ops, a, b)
+    ]
 }
 
 #[test]
@@ -107,7 +27,7 @@ fn pruned_construction_is_verdict_and_state_count_identical() {
     let mut rng = XorShift(0xc0ffee123456789f);
     let mut pruned_something = false;
     for case in 0..24 {
-        let (ctx, ops, a, b) = random_case(&mut rng);
+        let (ctx, ops, a, b) = random_case(&mut rng, &ops());
 
         let mut unpruned_checker = InclusionChecker::new(ops.clone());
         unpruned_checker.prune = false;

@@ -7,110 +7,19 @@
 //! operator signatures and automata — with the same xorshift generator the suite's
 //! end-to-end tests use, and checks all three properties on every case.
 
-use hat_logic::{Atom, Formula, Solver, Sort, Term};
+use hat_logic::{Formula, Solver, Sort, Term};
 use hat_sfa::minterm::{build_minterms_with, EnumerationMode, MintermSet};
 use hat_sfa::{InclusionChecker, OpSig, Sfa, SolverOracle, VarCtx};
 
-/// The deterministic xorshift generator from `suite/tests/end_to_end.rs`.
-struct XorShift(u64);
+mod common;
 
-impl XorShift {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
+use common::{random_case, XorShift};
 
-    fn below(&mut self, bound: u64) -> u64 {
-        self.next() % bound
-    }
-
-    fn flip(&mut self) -> bool {
-        self.below(2) == 0
-    }
-}
-
-const CTX_VARS: [&str; 3] = ["el", "lo", "hi"];
-
-fn random_ctx_term(rng: &mut XorShift) -> Term {
-    if rng.below(3) == 0 {
-        Term::int(rng.below(3) as i64)
-    } else {
-        Term::var(CTX_VARS[rng.below(CTX_VARS.len() as u64) as usize])
-    }
-}
-
-/// A random atom over the event argument `x` and/or the context variables.
-fn random_atom(rng: &mut XorShift, event_local: bool) -> Atom {
-    let l = if event_local {
-        Term::var("x")
-    } else {
-        random_ctx_term(rng)
-    };
-    let r = random_ctx_term(rng);
-    match rng.below(3) {
-        0 => Atom::Eq(l, r),
-        1 => Atom::Lt(l, r),
-        _ => Atom::Le(l, r),
-    }
-}
-
-fn random_fact(rng: &mut XorShift) -> Formula {
-    let atom = Formula::Atom(random_atom(rng, false));
-    if rng.flip() {
-        atom
-    } else {
-        Formula::not(atom)
-    }
-}
-
-fn random_event(rng: &mut XorShift) -> Sfa {
-    let mut conjuncts = Vec::new();
-    for _ in 0..=rng.below(2) {
-        let f = Formula::Atom(random_atom(rng, true));
-        conjuncts.push(if rng.flip() { f } else { Formula::not(f) });
-    }
-    Sfa::event("tick", vec!["x".into()], "v", Formula::and(conjuncts))
-}
-
-fn random_sfa(rng: &mut XorShift, depth: u64) -> Sfa {
-    if depth == 0 {
-        return if rng.flip() {
-            random_event(rng)
-        } else {
-            Sfa::guard(Formula::Atom(random_atom(rng, false)))
-        };
-    }
-    match rng.below(6) {
-        0 => Sfa::not(random_sfa(rng, depth - 1)),
-        1 => Sfa::globally(random_sfa(rng, depth - 1)),
-        2 => Sfa::eventually(random_sfa(rng, depth - 1)),
-        3 => Sfa::and(vec![random_sfa(rng, depth - 1), random_sfa(rng, depth - 1)]),
-        4 => Sfa::or(vec![random_sfa(rng, depth - 1), random_sfa(rng, depth - 1)]),
-        _ => Sfa::concat(random_sfa(rng, depth - 1), random_sfa(rng, depth - 1)),
-    }
-}
-
-fn random_case(rng: &mut XorShift) -> (VarCtx, Vec<OpSig>, Sfa, Sfa) {
-    let vars: Vec<(String, Sort)> = CTX_VARS
-        .iter()
-        .map(|v| (v.to_string(), Sort::Int))
-        .collect();
-    let mut facts = Vec::new();
-    for _ in 0..rng.below(3) {
-        facts.push(random_fact(rng));
-    }
-    let ctx = VarCtx::new(vars, facts);
-    let ops = vec![
+fn ops() -> Vec<OpSig> {
+    vec![
         OpSig::new("tick", vec![("x".into(), Sort::Int)], Sort::Unit),
         OpSig::new("probe", vec![], Sort::Bool),
-    ];
-    let a = random_sfa(rng, 2);
-    let b = random_sfa(rng, 2);
-    (ctx, ops, a, b)
+    ]
 }
 
 /// Naive work = standalone queries; incremental work = standalone queries (fallbacks,
@@ -123,7 +32,7 @@ fn total_work(solver: &Solver, set: &MintermSet) -> usize {
 fn minterm_sets_are_bit_identical_across_modes() {
     let mut rng = XorShift(0x2545f4914f6cdd1d);
     for case in 0..32 {
-        let (ctx, ops, a, b) = random_case(&mut rng);
+        let (ctx, ops, a, b) = random_case(&mut rng, &ops());
         let mut naive_solver = Solver::default();
         let naive = build_minterms_with(
             &ctx,
@@ -163,7 +72,7 @@ fn minterm_sets_are_bit_identical_across_modes() {
 fn inclusion_verdicts_are_identical_across_modes() {
     let mut rng = XorShift(0x9e3779b97f4a7c15);
     for case in 0..16 {
-        let (ctx, ops, a, b) = random_case(&mut rng);
+        let (ctx, ops, a, b) = random_case(&mut rng, &ops());
         let mut naive_checker = InclusionChecker::new(ops.clone());
         naive_checker.enumeration = EnumerationMode::Naive;
         let mut naive_solver = Solver::default();
@@ -280,7 +189,7 @@ fn oracle_without_scoped_sessions_falls_back_to_naive() {
     }
 
     let mut rng = XorShift(0xdeadbeefcafef00d);
-    let (ctx, ops, a, b) = random_case(&mut rng);
+    let (ctx, ops, a, b) = random_case(&mut rng, &ops());
     let mut plain = Solver::default();
     let naive = build_minterms_with(&ctx, &ops, &[&a, &b], &mut plain, EnumerationMode::Naive);
     let mut fallback = NoScope(Solver::default());

@@ -1,12 +1,14 @@
 //! Suite-level differential harness: the naive and incremental enumeration strategies
 //! must produce identical verdicts (and identical failure messages) on real benchmark
-//! configurations, with the incremental strategy never doing more solver work — and the
+//! configurations, with the incremental strategy never doing more solver work — the
 //! pruned DFA-construction path must be verdict- and state-count-identical to the
-//! unpruned one. This complements the randomised harnesses in
-//! `hat-sfa/tests/minterm_differential.rs` and `hat-sfa/tests/dfa_differential.rs` with
-//! the actual verification workload.
+//! unpruned one — and the on-the-fly product-walk inclusion pipeline must be
+//! verdict-identical to the materialising baseline while never doing more construction
+//! work. This complements the randomised harnesses in
+//! `hat-sfa/tests/minterm_differential.rs`, `hat-sfa/tests/dfa_differential.rs` and
+//! `hat-sfa/tests/inclusion_differential.rs` with the actual verification workload.
 
-use hat_sfa::EnumerationMode;
+use hat_sfa::{EnumerationMode, InclusionMode};
 
 /// Small configurations keep the naive baseline affordable in debug builds; between them
 /// they cover ghost variables, intersection types, uniform-literal groups and both
@@ -116,5 +118,59 @@ fn pruned_and_unpruned_checkers_agree_on_fast_configs() {
     assert!(
         pruned_something,
         "no fast config exercised the alphabet pruner"
+    );
+}
+
+#[test]
+fn onthefly_and_materialised_checkers_agree_on_fast_configs() {
+    let mut exited_early_somewhere = false;
+    for (adt, lib) in FAST_CONFIGS {
+        let bench = hat_suite::find(adt, lib).expect("configuration exists");
+        let mut materialised_checker = bench.checker();
+        materialised_checker.inclusion.mode = InclusionMode::Materialise;
+        let mut otf_checker = bench.checker();
+        assert_eq!(
+            otf_checker.inclusion.mode,
+            InclusionMode::OnTheFly,
+            "the on-the-fly walk must be the default"
+        );
+
+        for m in &bench.methods {
+            let materialised = materialised_checker
+                .check_method(&m.sig, &m.body)
+                .expect("materialised check runs");
+            let onthefly = otf_checker
+                .check_method(&m.sig, &m.body)
+                .expect("on-the-fly check runs");
+            assert_eq!(
+                materialised.verified, onthefly.verified,
+                "{adt}/{lib}::{} verdict diverged between inclusion modes",
+                m.sig.name
+            );
+            assert_eq!(
+                materialised.failures, onthefly.failures,
+                "{adt}/{lib}::{} failure messages diverged",
+                m.sig.name
+            );
+            assert_eq!(
+                materialised.verified, m.expect_verified,
+                "{adt}/{lib}::{} regressed against the expected verdict",
+                m.sig.name
+            );
+            // The lazy walk derives rows only for frontier-reached residual states.
+            assert!(
+                onthefly.stats.dfa_transitions <= materialised.stats.dfa_transitions,
+                "{adt}/{lib}::{} the walk derived more transitions than the complete builds",
+                m.sig.name
+            );
+            // A rejected method contains at least one failing inclusion whose walk
+            // stopped at a counterexample pair before exhausting the product.
+            exited_early_somewhere |= !onthefly.verified
+                && onthefly.stats.dfa_transitions < materialised.stats.dfa_transitions;
+        }
+    }
+    assert!(
+        exited_early_somewhere,
+        "no buggy method exercised the early exit"
     );
 }
