@@ -126,6 +126,24 @@ fn main() {
                 largest.materialised_states
             );
         }
+        let shared_only: usize = comparison
+            .lock_reduction
+            .iter()
+            .map(|r| r.shared_only_locks)
+            .sum();
+        let read_through: usize = comparison
+            .lock_reduction
+            .iter()
+            .map(|r| r.read_through_locks)
+            .sum();
+        if read_through > 0 {
+            eprintln!(
+                "shared-tier lock traffic at jobs=6: {} (shared-only) -> {} (read-through local tiers), {:.1}x fewer",
+                shared_only,
+                read_through,
+                shared_only as f64 / read_through as f64
+            );
+        }
         let path = "BENCH_engine.json";
         match write_engine_json(path, &comparison) {
             Ok(()) => eprintln!("wrote {path}"),

@@ -5,7 +5,7 @@
 //! (per-method details), plus Criterion micro-benchmarks for the solver and the
 //! symbolic-automaton engine. The `table1` binary additionally runs the engine
 //! comparison ([`engine_comparison`]) and writes `BENCH_engine.json`
-//! (schema `hat-engine-bench v4`).
+//! (schema `hat-engine-bench v5`).
 
 use hat_core::MethodReport;
 use hat_engine::{CacheStatsSnapshot, Engine, EngineConfig, RunSummary};
@@ -81,6 +81,8 @@ pub struct EngineRun {
     pub prune: bool,
     /// How language inclusion was decided (`"onthefly"` or `"materialise"`).
     pub inclusion: &'static str,
+    /// Whether per-worker local read-through tiers fronted the shared store.
+    pub local_tiers: bool,
     /// Wall-clock seconds for the whole suite.
     pub wall_seconds: f64,
     /// Run-wide cache counters (per-run deltas).
@@ -124,6 +126,8 @@ pub struct EngineBenchRow {
     pub product_states: usize,
     /// Per-group product walks answered from the DFA-shape memo.
     pub shape_memo_hits: usize,
+    /// Shared-tier shard-lock acquisitions by this benchmark's methods.
+    pub shared_tier_locks: usize,
 }
 
 impl EngineBenchRow {
@@ -134,28 +138,21 @@ impl EngineBenchRow {
     }
 }
 
-fn engine_run(
-    label: &str,
-    jobs: usize,
-    warm: bool,
-    enumeration: EnumerationMode,
-    prune: bool,
-    inclusion: InclusionMode,
-    summary: &RunSummary,
-) -> EngineRun {
+fn engine_run(label: &str, config: &EngineConfig, warm: bool, summary: &RunSummary) -> EngineRun {
     EngineRun {
         label: label.to_string(),
-        jobs,
+        jobs: config.jobs,
         warm,
-        enumeration: match enumeration {
+        enumeration: match config.enumeration {
             EnumerationMode::Naive => "naive",
             EnumerationMode::Incremental => "incremental",
         },
-        prune,
-        inclusion: match inclusion {
+        prune: config.prune,
+        inclusion: match config.inclusion {
             InclusionMode::OnTheFly => "onthefly",
             InclusionMode::Materialise => "materialise",
         },
+        local_tiers: config.local_tiers,
         wall_seconds: summary.wall.as_secs_f64(),
         cache: summary.cache,
         benchmarks: summary
@@ -178,6 +175,7 @@ fn engine_run(
                 transition_memo_hits: b.transition_memo_hits(),
                 product_states: b.product_states(),
                 shape_memo_hits: b.shape_memo_hits(),
+                shared_tier_locks: b.shared_tier_locks(),
             })
             .collect(),
     }
@@ -293,10 +291,39 @@ impl InclusionReductionRow {
     }
 }
 
+/// The shared-tier lock traffic of one configuration at `jobs=6` with and without
+/// per-worker local read-through tiers: the evidence for the "local tiers cut shard lock
+/// traffic" claim. Both runs are cold and verdict-identical (asserted by the engine's
+/// tier tests); only the tier composition differs.
+#[derive(Debug, Clone)]
+pub struct LockReductionRow {
+    /// ADT name.
+    pub adt: String,
+    /// Library name.
+    pub library: String,
+    /// Shared-tier lock acquisitions of the shared-only run.
+    pub shared_only_locks: usize,
+    /// Shared-tier lock acquisitions of the read-through run.
+    pub read_through_locks: usize,
+    /// Memo hits of the read-through run (they keep accruing while locks drop).
+    pub read_through_hits: usize,
+}
+
+impl LockReductionRow {
+    /// shared-only / read-through lock ratio (∞-safe: 0 when read-through is 0).
+    pub fn reduction(&self) -> f64 {
+        if self.read_through_locks == 0 {
+            0.0
+        } else {
+            self.shared_only_locks as f64 / self.read_through_locks as f64
+        }
+    }
+}
+
 /// The result of [`engine_comparison`]: the measured runs, the naive-vs-incremental
 /// cold-enumeration comparison, the pruned-vs-unpruned DFA-construction comparison, the
-/// on-the-fly-vs-materialised inclusion comparison, and the names of any configurations
-/// that were excluded (never silently).
+/// on-the-fly-vs-materialised inclusion comparison, the shared-only-vs-read-through lock
+/// comparison, and the names of any configurations that were excluded (never silently).
 #[derive(Debug, Clone)]
 pub struct EngineComparison {
     /// The measured runs.
@@ -307,6 +334,8 @@ pub struct EngineComparison {
     pub prune_reduction: Vec<PruneReductionRow>,
     /// Per-benchmark cold inclusion-decision cost, materialised vs on-the-fly.
     pub inclusion_reduction: Vec<InclusionReductionRow>,
+    /// Per-benchmark shared-tier lock traffic at jobs=6, shared-only vs read-through.
+    pub lock_reduction: Vec<LockReductionRow>,
     /// `"ADT/Library"` names of configurations excluded from the comparison.
     pub skipped: Vec<String>,
 }
@@ -390,11 +419,34 @@ pub fn engine_comparison(benches: &[Benchmark], include_slow: bool) -> EngineCom
                 .collect()
         })
         .unwrap_or_default();
+    let lock_reduction = runs
+        .iter()
+        .find(|r| r.jobs == LOCK_COMPARISON_JOBS && !r.local_tiers && !r.warm)
+        .zip(
+            runs.iter()
+                .find(|r| r.jobs == LOCK_COMPARISON_JOBS && r.local_tiers && !r.warm),
+        )
+        .map(|(shared_only, read_through)| {
+            shared_only
+                .benchmarks
+                .iter()
+                .zip(&read_through.benchmarks)
+                .map(|(s, t)| LockReductionRow {
+                    adt: s.adt.clone(),
+                    library: s.library.clone(),
+                    shared_only_locks: s.shared_tier_locks,
+                    read_through_locks: t.shared_tier_locks,
+                    read_through_hits: t.cache_hits,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     EngineComparison {
         runs,
         enum_reduction,
         prune_reduction,
         inclusion_reduction,
+        lock_reduction,
         skipped: skipped
             .into_iter()
             .map(|b| format!("{}/{}", b.adt, b.library))
@@ -402,102 +454,91 @@ pub fn engine_comparison(benches: &[Benchmark], include_slow: bool) -> EngineCom
     }
 }
 
+/// Worker count of the lock-traffic comparison runs. Fixed (not derived from the host's
+/// parallelism) so the shared-only vs read-through lock numbers are comparable across
+/// machines; lock *counts* depend on the interleaving less than on the number of
+/// workers racing for promotion.
+const LOCK_COMPARISON_JOBS: usize = 6;
+
 fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
     let parallel_jobs = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .clamp(2, 8);
     let mut runs = Vec::new();
-    let naive = Engine::new(EngineConfig {
-        jobs: 1,
-        enumeration: EnumerationMode::Naive,
-        ..EngineConfig::default()
-    })
-    .expect("in-memory engine");
-    runs.push(engine_run(
+    let cold = |label: &str, config: EngineConfig| -> EngineRun {
+        let engine = Engine::new(config.clone()).expect("in-memory engine");
+        let summary = engine.check_benchmarks(benches);
+        engine_run(label, &config, false, &summary)
+    };
+    runs.push(cold(
         "jobs=1 cold naive-enum",
-        1,
-        false,
-        EnumerationMode::Naive,
-        true,
-        InclusionMode::OnTheFly,
-        &naive.check_benchmarks(benches),
+        EngineConfig {
+            enumeration: EnumerationMode::Naive,
+            ..EngineConfig::default()
+        },
     ));
-    let materialised = Engine::new(EngineConfig {
-        jobs: 1,
-        inclusion: InclusionMode::Materialise,
-        ..EngineConfig::default()
-    })
-    .expect("in-memory engine");
-    runs.push(engine_run(
+    runs.push(cold(
         "jobs=1 cold materialised",
-        1,
-        false,
-        EnumerationMode::Incremental,
-        true,
-        InclusionMode::Materialise,
-        &materialised.check_benchmarks(benches),
+        EngineConfig {
+            inclusion: InclusionMode::Materialise,
+            ..EngineConfig::default()
+        },
     ));
-    let unpruned = Engine::new(EngineConfig {
-        jobs: 1,
-        prune: false,
-        ..EngineConfig::default()
-    })
-    .expect("in-memory engine");
-    runs.push(engine_run(
+    runs.push(cold(
         "jobs=1 cold unpruned",
-        1,
-        false,
-        EnumerationMode::Incremental,
-        false,
-        InclusionMode::OnTheFly,
-        &unpruned.check_benchmarks(benches),
+        EngineConfig {
+            prune: false,
+            ..EngineConfig::default()
+        },
     ));
-    let sequential = Engine::new(EngineConfig {
-        jobs: 1,
-        ..EngineConfig::default()
-    })
-    .expect("in-memory engine");
+    let sequential_config = EngineConfig::default();
+    let sequential = Engine::new(sequential_config.clone()).expect("in-memory engine");
     runs.push(engine_run(
         "jobs=1 cold",
-        1,
+        &sequential_config,
         false,
-        EnumerationMode::Incremental,
-        true,
-        InclusionMode::OnTheFly,
         &sequential.check_benchmarks(benches),
     ));
     runs.push(engine_run(
         "jobs=1 warm",
-        1,
+        &sequential_config,
         true,
-        EnumerationMode::Incremental,
-        true,
-        InclusionMode::OnTheFly,
         &sequential.check_benchmarks(benches),
     ));
-    let parallel = Engine::new(EngineConfig {
+    let parallel_config = EngineConfig {
         jobs: parallel_jobs,
         ..EngineConfig::default()
-    })
-    .expect("in-memory engine");
+    };
+    let parallel = Engine::new(parallel_config.clone()).expect("in-memory engine");
     runs.push(engine_run(
         &format!("jobs={parallel_jobs} cold"),
-        parallel_jobs,
+        &parallel_config,
         false,
-        EnumerationMode::Incremental,
-        true,
-        InclusionMode::OnTheFly,
         &parallel.check_benchmarks(benches),
     ));
     runs.push(engine_run(
         &format!("jobs={parallel_jobs} warm"),
-        parallel_jobs,
+        &parallel_config,
         true,
-        EnumerationMode::Incremental,
-        true,
-        InclusionMode::OnTheFly,
         &parallel.check_benchmarks(benches),
+    ));
+    // The lock-traffic pair: identical cold workloads at a fixed worker count, differing
+    // only in whether workers front the shared store with local read-through tiers.
+    runs.push(cold(
+        &format!("jobs={LOCK_COMPARISON_JOBS} cold shared-only"),
+        EngineConfig {
+            jobs: LOCK_COMPARISON_JOBS,
+            local_tiers: false,
+            ..EngineConfig::default()
+        },
+    ));
+    runs.push(cold(
+        &format!("jobs={LOCK_COMPARISON_JOBS} cold read-through"),
+        EngineConfig {
+            jobs: LOCK_COMPARISON_JOBS,
+            ..EngineConfig::default()
+        },
     ));
     runs
 }
@@ -521,7 +562,7 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
     let runs = &comparison.runs;
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(out, "{{")?;
-    writeln!(out, "  \"schema\": \"hat-engine-bench v4\",")?;
+    writeln!(out, "  \"schema\": \"hat-engine-bench v5\",")?;
     writeln!(
         out,
         "  \"skipped\": [{}],",
@@ -609,6 +650,29 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
         )?;
     }
     writeln!(out, "  ],")?;
+    writeln!(out, "  \"lock_reduction\": [")?;
+    for (i, row) in comparison.lock_reduction.iter().enumerate() {
+        write!(
+            out,
+            "    {{\"adt\": \"{}\", \"library\": \"{}\", \"shared_only_locks\": {}, \"read_through_locks\": {}, \"reduction\": {:.3}, \"read_through_hits\": {}}}",
+            json_escape(&row.adt),
+            json_escape(&row.library),
+            row.shared_only_locks,
+            row.read_through_locks,
+            row.reduction(),
+            row.read_through_hits
+        )?;
+        writeln!(
+            out,
+            "{}",
+            if i + 1 < comparison.lock_reduction.len() {
+                ","
+            } else {
+                ""
+            }
+        )?;
+    }
+    writeln!(out, "  ],")?;
     writeln!(out, "  \"runs\": [")?;
     for (i, run) in runs.iter().enumerate() {
         writeln!(out, "    {{")?;
@@ -618,6 +682,7 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
         writeln!(out, "      \"enumeration\": \"{}\",", run.enumeration)?;
         writeln!(out, "      \"prune\": {},", run.prune)?;
         writeln!(out, "      \"inclusion\": \"{}\",", run.inclusion)?;
+        writeln!(out, "      \"local_tiers\": {},", run.local_tiers)?;
         writeln!(out, "      \"wall_seconds\": {:.6},", run.wall_seconds)?;
         writeln!(out, "      \"cache_hits\": {},", run.cache.hits)?;
         writeln!(out, "      \"cache_misses\": {},", run.cache.misses)?;
@@ -636,11 +701,16 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
             "      \"transition_memo_hits\": {},",
             run.cache.transition_hits
         )?;
+        writeln!(
+            out,
+            "      \"lock_acquisitions\": {},",
+            run.cache.lock_acquisitions
+        )?;
         writeln!(out, "      \"benchmarks\": [")?;
         for (j, b) in run.benchmarks.iter().enumerate() {
             write!(
                 out,
-                "        {{\"adt\": \"{}\", \"library\": \"{}\", \"check_seconds\": {:.6}, \"sat_queries\": {}, \"enum_queries\": {}, \"pruned_subtrees\": {}, \"minterm_memo_hits\": {}, \"inclusion_memo_hits\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"dfa_states\": {}, \"dfa_transitions\": {}, \"alphabet_pruned\": {}, \"transition_memo_hits\": {}, \"product_states\": {}, \"shape_memo_hits\": {}}}",
+                "        {{\"adt\": \"{}\", \"library\": \"{}\", \"check_seconds\": {:.6}, \"sat_queries\": {}, \"enum_queries\": {}, \"pruned_subtrees\": {}, \"minterm_memo_hits\": {}, \"inclusion_memo_hits\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"dfa_states\": {}, \"dfa_transitions\": {}, \"alphabet_pruned\": {}, \"transition_memo_hits\": {}, \"product_states\": {}, \"shape_memo_hits\": {}, \"shared_tier_locks\": {}}}",
                 json_escape(&b.adt),
                 json_escape(&b.library),
                 b.check_seconds,
@@ -656,7 +726,8 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
                 b.alphabet_pruned,
                 b.transition_memo_hits,
                 b.product_states,
-                b.shape_memo_hits
+                b.shape_memo_hits,
+                b.shared_tier_locks
             )?;
             writeln!(
                 out,

@@ -4,22 +4,27 @@
 //! marple list                             # list the benchmark configurations
 //! marple check <adt> <lib> [options]      # verify one configuration and print a report
 //! marple check-all [options]              # verify every configuration
+//! marple cache stats <path>               # per-record-kind counts + live/dead ratio
+//! marple cache compact <path>             # rewrite the log without dead records
 //!
 //! options:
-//!   --jobs N       verify on N worker threads (default 1; verdicts are identical)
-//!   --cache PATH   persist the solver-query cache at PATH so repeated runs start warm
-//!   --enum MODE    minterm enumeration: `incremental` (default) or `naive`
-//!                  (verdicts are identical; naive is the paper-faithful baseline)
-//!   --prune MODE   per-group alphabet pruning before DFA construction: `on` (default)
-//!                  or `off` (verdict- and state-count-identical; off is the
-//!                  measurement baseline)
-//!   --inclusion M  how language inclusion is decided: `onthefly` (default — walk the
-//!                  product A × complement(B) lazily, exit at the first counterexample)
-//!                  or `materialise` (build both complete DFAs first; verdict-identical,
-//!                  kept as the measurement baseline)
+//!   --jobs N        verify on N worker threads (default 1; verdicts are identical)
+//!   --cache PATH    persist the solver-query cache at PATH so repeated runs start warm
+//!   --enum MODE     minterm enumeration: `incremental` (default) or `naive`
+//!                   (verdicts are identical; naive is the paper-faithful baseline)
+//!   --prune MODE    per-group alphabet pruning before DFA construction: `on` (default)
+//!                   or `off` (verdict- and state-count-identical; off is the
+//!                   measurement baseline)
+//!   --inclusion M   how language inclusion is decided: `onthefly` (default — walk the
+//!                   product A × complement(B) lazily, exit at the first counterexample)
+//!                   or `materialise` (build both complete DFAs first; verdict-identical,
+//!                   kept as the measurement baseline)
+//!   --local-tier M  per-worker lock-free read-through tiers in front of the shared
+//!                   memo store: `on` (default) or `off` (verdict-identical; off is the
+//!                   lock-traffic measurement baseline)
 //! ```
 
-use hat_engine::{BenchmarkRun, Engine, EngineConfig, RunSummary};
+use hat_engine::{BenchmarkRun, Engine, EngineConfig, MemoStore, RecordKind, RunSummary};
 use hat_sfa::{EnumerationMode, InclusionMode};
 use hat_suite::{all_benchmarks, find, Benchmark};
 use std::path::PathBuf;
@@ -30,6 +35,7 @@ struct Options {
     enumeration: EnumerationMode,
     prune: bool,
     inclusion: InclusionMode,
+    local_tiers: bool,
     positional: Vec<String>,
 }
 
@@ -40,6 +46,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         enumeration: EnumerationMode::default(),
         prune: true,
         inclusion: InclusionMode::default(),
+        local_tiers: true,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -87,6 +94,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     }
                 };
             }
+            "--local-tier" => {
+                let value = it.next().ok_or("--local-tier needs a mode")?;
+                opts.local_tiers = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("invalid --local-tier mode `{other}` (on|off)")),
+                };
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -132,13 +147,14 @@ fn print_cache_line(summary: &RunSummary, lifetime: hat_engine::CacheStatsSnapsh
     let product_states: usize = summary.benchmarks.iter().map(|b| b.product_states()).sum();
     let shape_hits: usize = summary.benchmarks.iter().map(|b| b.shape_memo_hits()).sum();
     println!(
-        "cache: {} hits / {} misses ({:.1}% hit rate), {} minterm-set hits, {} transition-memo hits, {} shape-memo hits, {} loaded from disk, {} stale; dfa: {} states, {} product states, {} alphabet symbols pruned; wall {:.2}s",
+        "cache: {} hits / {} misses ({:.1}% hit rate), {} minterm-set hits, {} transition-memo hits, {} shape-memo hits, {} shared-tier locks, {} loaded from disk, {} stale; dfa: {} states, {} product states, {} alphabet symbols pruned; wall {:.2}s",
         c.hits,
         c.misses,
         100.0 * c.hit_rate(),
         c.minterm_hits,
         c.transition_hits,
         shape_hits,
+        c.lock_acquisitions,
         lifetime.disk_loaded,
         lifetime.stale,
         dfa_states,
@@ -155,6 +171,7 @@ fn run(benches: Vec<Benchmark>, opts: &Options) -> bool {
         enumeration: opts.enumeration,
         prune: opts.prune,
         inclusion: opts.inclusion,
+        local_tiers: opts.local_tiers,
     }) {
         Ok(engine) => engine,
         Err(e) => {
@@ -169,6 +186,66 @@ fn run(benches: Vec<Benchmark>, opts: &Options) -> bool {
     }
     print_cache_line(&summary, engine.cache().stats());
     ok
+}
+
+/// `marple cache stats <path>` — read-only scan: per-record-kind counts, live/dead
+/// ratio, header version.
+fn cache_stats(path: &str) -> Result<(), String> {
+    let stats = MemoStore::inspect(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    match (&stats.header, stats.version) {
+        (None, _) => {
+            println!("{path}: empty file (a fresh log will start at v5)");
+            return Ok(());
+        }
+        (Some(h), None) => {
+            println!("{path}: foreign header `{h}` — not a hat-engine cache this binary can read");
+            return Ok(());
+        }
+        (Some(h), Some(v)) => println!("{path}: header `{h}` (v{v}), {} bytes", stats.bytes),
+    }
+    for (kind, count) in [
+        (RecordKind::Solver, stats.solver),
+        (RecordKind::Inclusion, stats.inclusion),
+        (RecordKind::Shape, stats.shape),
+        (RecordKind::Minterms, stats.minterms),
+    ] {
+        println!("  {:<24} {:>8}", format!("{}:", kind.label()), count);
+    }
+    println!(
+        "  live: {} / dead: {} ({} duplicate, {} malformed) — {:.1}% dead",
+        stats.live(),
+        stats.dead(),
+        stats.duplicates,
+        stats.malformed,
+        100.0 * stats.dead_ratio()
+    );
+    if stats.dead() > 0 {
+        println!("  run `marple cache compact {path}` to drop the dead records");
+    }
+    Ok(())
+}
+
+/// `marple cache compact <path>` — rewrite the log as a deduplicated snapshot.
+fn cache_compact(path: &str) -> Result<(), String> {
+    // with_disk_log would happily create a fresh log at a mistyped path; compacting
+    // only makes sense for a file that exists.
+    if !std::path::Path::new(path).is_file() {
+        return Err(format!("cannot compact `{path}`: no such file"));
+    }
+    let store = MemoStore::with_disk_log(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    if store.degraded() {
+        return Err(format!(
+            "`{path}` is locked by another process; retry when its run finishes"
+        ));
+    }
+    let report = store
+        .compact()
+        .map_err(|e| format!("compaction failed: {e}"))?;
+    println!(
+        "{path}: {} records / {} bytes -> {} records / {} bytes",
+        report.records_before, report.bytes_before, report.records_after, report.bytes_after
+    );
+    Ok(())
 }
 
 fn main() {
@@ -186,11 +263,11 @@ fn main() {
         }
         Some("check") => {
             let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
-                eprintln!("{e}\nusage: marple check <adt> <library> [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise]");
+                eprintln!("{e}\nusage: marple check <adt> <library> [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
                 std::process::exit(2);
             });
             let (Some(adt), Some(lib)) = (opts.positional.first(), opts.positional.get(1)) else {
-                eprintln!("usage: marple check <adt> <library> [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise]");
+                eprintln!("usage: marple check <adt> <library> [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
                 std::process::exit(2);
             };
             match find(adt, lib) {
@@ -206,14 +283,26 @@ fn main() {
         }
         Some("check-all") => {
             let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
-                eprintln!("{e}\nusage: marple check-all [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise]");
+                eprintln!("{e}\nusage: marple check-all [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
                 std::process::exit(2);
             });
             let ok = run(all_benchmarks(), &opts);
             std::process::exit(if ok { 0 } else { 1 });
         }
+        Some("cache") => {
+            let usage = "usage: marple cache stats <path> | marple cache compact <path>";
+            let result = match (args.get(1).map(String::as_str), args.get(2)) {
+                (Some("stats"), Some(path)) => cache_stats(path),
+                (Some("compact"), Some(path)) => cache_compact(path),
+                _ => Err(usage.to_string()),
+            };
+            if let Err(e) = result {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
         Some(other) => {
-            eprintln!("unknown command `{other}`; commands: list, check, check-all");
+            eprintln!("unknown command `{other}`; commands: list, check, check-all, cache");
             std::process::exit(2);
         }
     }

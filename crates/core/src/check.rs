@@ -83,6 +83,10 @@ pub struct CheckStats {
     pub product_states: usize,
     /// Number of per-group product walks answered from the DFA-shape memo.
     pub shape_memo_hits: usize,
+    /// Number of shared-tier shard-lock acquisitions the oracle performed for this
+    /// method (0 without a tiered oracle). Per-worker local read-through tiers absorb
+    /// repeat lookups lock-free, so this drops under `--jobs N` while hit counts stay.
+    pub shared_tier_locks: usize,
 }
 
 /// The outcome of checking one method.
@@ -190,6 +194,7 @@ impl Checker {
         let time_before = self.oracle.query_time();
         let hits_before = self.oracle.cache_hits();
         let misses_before = self.oracle.cache_misses();
+        let locks_before = self.oracle.shared_tier_locks();
         let incl_before = self.inclusion.stats.clone();
 
         let mut ctx = TypeCtx::new();
@@ -212,6 +217,9 @@ impl Checker {
             &mut assumed,
         )?;
 
+        // Publish write-behind memo batches before harvesting counters, so the flush's
+        // shared-tier locks are attributed to this method rather than lost in drop.
+        self.oracle.flush_memos();
         let incl_after = self.inclusion.stats.clone();
         let total_time = start.elapsed();
         let sat_time = self.oracle.query_time().saturating_sub(time_before);
@@ -244,6 +252,7 @@ impl Checker {
                 - incl_before.transition_memo_hits,
             product_states: incl_after.product_states - incl_before.product_states,
             shape_memo_hits: incl_after.shape_memo_hits - incl_before.shape_memo_hits,
+            shared_tier_locks: self.oracle.shared_tier_locks() - locks_before,
         };
         Ok(MethodReport {
             name: sig.name.clone(),

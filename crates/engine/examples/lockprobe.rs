@@ -1,0 +1,30 @@
+//! Diagnostic: per-record-kind shared-tier lock traffic on the non-slow suite at
+//! `jobs=6`, with and without per-worker read-through tiers.
+//!
+//! ```console
+//! $ cargo run --release -p hat-engine --example lockprobe
+//! local_tiers=false: [(Solver, 329), ..., (Transition, 14094)]
+//! local_tiers=true:  [(Solver, 134), ..., (Transition, 679)]
+//! ```
+//!
+//! The full-suite evidence for the lock-reduction claim lives in
+//! `BENCH_engine.json` (`lock_reduction` table, written by the `table1` binary);
+//! this probe is the quick way to see *which kind's* traffic a tier-policy change
+//! moves.
+
+fn main() {
+    let benches: Vec<_> = hat_suite::all_benchmarks()
+        .into_iter()
+        .filter(|b| !b.slow)
+        .collect();
+    for local in [false, true] {
+        let engine = hat_engine::Engine::new(hat_engine::EngineConfig {
+            jobs: 6,
+            local_tiers: local,
+            ..Default::default()
+        })
+        .expect("in-memory engine");
+        engine.check_benchmarks(&benches);
+        println!("local_tiers={local}: {:?}", engine.cache().lock_breakdown());
+    }
+}

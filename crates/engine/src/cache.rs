@@ -1,7 +1,9 @@
-//! The shared verdict cache: sharded concurrent maps from canonical keys to verdicts,
-//! optionally fronting an append-only disk log so repeated runs start warm.
+//! The shared tiered memo store: one [`SharedTier`] per record kind, optionally fronting
+//! an append-only disk log so repeated runs start warm, and optionally fronted by
+//! per-worker [`crate::tier::LocalTier`]s (composed in [`crate::oracle::CachingOracle`])
+//! so hot lookups touch no lock at all.
 //!
-//! Five kinds of entries share the cache:
+//! Five record kinds share the store (see [`RecordKind`]):
 //!
 //! * **Solver verdicts** (`S` records): one satisfiability bit per canonical query key.
 //! * **Inclusion verdicts** (`I` records): one bit per canonical automata-inclusion key —
@@ -17,69 +19,112 @@
 //!   derivatives keyed by [`crate::canon::transition_key`]. Successor formulas are cheap
 //!   to rebuild from warm solver verdicts, so they are not persisted.
 //!
-//! # Disk log format (v4)
+//! # Disk log format (v5)
 //!
-//! The log is a plain text file; the full record grammar, the migration rules and the
-//! torn-payload semantics are specified in `docs/CACHE_FORMAT.md` at the repository
-//! root. In short: the first
-//! line is the header `hat-engine-cache v4`; every further line is either
-//! `<kind><verdict>\t<key>` where `<kind>` is `S` (solver), `I` (inclusion) or `D`
-//! (DFA shape) and `<verdict>` is `0` or `1`, or `M\t<key>\t<payload>` where `<payload>`
-//! is an [`crate::atomio`] minterm-set record. Keys and payloads never contain tabs or
-//! newlines. Appends are line-atomic under a mutex, so a log written by one run can be
-//! replayed by the next.
+//! The log is a plain text file; the full record grammar, the locking and compaction
+//! rules, the migration rules and the torn-payload semantics are specified in
+//! `docs/CACHE_FORMAT.md` at the repository root. In short: the first line is the header
+//! `hat-engine-cache v5`; every further line is either `<kind><verdict>\t<key>` where
+//! `<kind>` is `S` (solver), `I` (inclusion) or `D` (DFA shape) and `<verdict>` is `0`
+//! or `1`, or `M\t<key>\t<payload>` where `<payload>` is an [`crate::atomio`]
+//! minterm-set record. Keys and payloads never contain tabs or newlines. Appends are
+//! line-atomic under a mutex, so a log written by one run can be replayed by the next.
 //!
-//! Logs with the previous `v1` header (`<verdict>\t<key>` solver records only), `v2`
-//! header (`S`/`I` records only) or `v3` header (`S`/`I`/`M` records) are **migrated**:
-//! their entries are loaded and the file is atomically rewritten in the v4 format. A log
-//! with any other header — e.g. written by a future format version — is ignored
-//! wholesale and counted as stale rather than half-trusted (the cache runs in-memory and
-//! never writes to the foreign file). Malformed lines (a torn final write, an
-//! unparseable minterm payload) are skipped and counted as stale.
+//! Three v5-era properties distinguish it from v4:
+//!
+//! * **Single-writer locking.** Opening a log takes a sidecar lock (`<path>.lock`,
+//!   holder PID inside). A second process finds the lock held and **degrades to
+//!   in-memory** with a warning instead of interleaving appends — two writers could tear
+//!   each other's lines. A lock whose holder is dead is reclaimed.
+//! * **Compaction.** [`MemoStore::compact`] (CLI: `marple cache compact`) rewrites the
+//!   log as a deduplicated snapshot of the live in-memory entries — duplicate keys,
+//!   malformed lines and torn tails are dropped — via a temporary file and an atomic
+//!   rename. Loading a log whose dead-record share passes a threshold compacts it
+//!   automatically.
+//! * Because a v5 log may be rewritten underneath a concurrent reader, pre-v5 binaries
+//!   (which know neither the lock protocol nor compaction) must not append to one; they
+//!   see a foreign header and safely run in-memory.
+//!
+//! Logs with a `v1` header (`<verdict>\t<key>` solver records only), `v2` header
+//! (`S`/`I` records only), `v3` header (`S`/`I`/`M` records) or `v4` header
+//! (`S`/`I`/`D`/`M` records) are **migrated**: their entries are loaded and the file is
+//! atomically rewritten in the v5 format. A log with any other header — e.g. written by
+//! a future format version — is ignored wholesale and counted as stale rather than
+//! half-trusted (the store runs in-memory and never writes to the foreign file).
+//! Malformed lines (a torn final write, an unparseable minterm payload) are skipped and
+//! counted as stale.
 
 use crate::atomio::{parse_minterm_set, ser_minterm_set};
+use crate::tier::SharedTier;
 use hat_sfa::{MintermSet, Sfa};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
-use std::hash::{Hash, Hasher};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::Mutex;
 
+const HEADER_V5: &str = "hat-engine-cache v5";
 const HEADER_V4: &str = "hat-engine-cache v4";
 const HEADER_V3: &str = "hat-engine-cache v3";
 const HEADER_V2: &str = "hat-engine-cache v2";
 const HEADER_V1: &str = "hat-engine-cache v1";
-const SHARDS: usize = 64;
 
-/// The namespace of a boolean cache entry, doubling as its disk-record kind tag.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Kind {
+/// Automatic compaction fires when at least this many dead records are found at load…
+const AUTO_COMPACT_MIN_DEAD: usize = 16;
+/// …and they make up at least `1/AUTO_COMPACT_RATIO` of the log's records.
+const AUTO_COMPACT_RATIO: usize = 4;
+
+/// The record kinds of the store, doubling as the disk-record tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RecordKind {
+    /// Solver verdicts (`S`).
     Solver,
+    /// Inclusion verdicts (`I`).
     Inclusion,
+    /// DFA-shape verdicts (`D`).
     Shape,
+    /// Minterm sets (`M`).
+    Minterms,
+    /// DFA transitions (never persisted).
+    Transition,
 }
 
-impl Kind {
-    fn tag(self) -> char {
+impl RecordKind {
+    /// The disk tag of this kind, or `None` for kinds that are never persisted.
+    pub fn tag(self) -> Option<char> {
         match self {
-            Kind::Solver => 'S',
-            Kind::Inclusion => 'I',
-            Kind::Shape => 'D',
+            RecordKind::Solver => Some('S'),
+            RecordKind::Inclusion => Some('I'),
+            RecordKind::Shape => Some('D'),
+            RecordKind::Minterms => Some('M'),
+            RecordKind::Transition => None,
         }
     }
 
-    const ALL: [Kind; 3] = [Kind::Solver, Kind::Inclusion, Kind::Shape];
+    /// A human-readable label (used by `marple cache stats`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RecordKind::Solver => "solver verdicts (S)",
+            RecordKind::Inclusion => "inclusion verdicts (I)",
+            RecordKind::Shape => "DFA-shape verdicts (D)",
+            RecordKind::Minterms => "minterm sets (M)",
+            RecordKind::Transition => "DFA transitions (in-memory)",
+        }
+    }
+
+    /// The boolean-verdict kinds, in disk order.
+    pub const BOOL_KINDS: [RecordKind; 3] =
+        [RecordKind::Solver, RecordKind::Inclusion, RecordKind::Shape];
 }
 
-/// A point-in-time snapshot of the cache counters.
+/// A point-in-time snapshot of the store counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStatsSnapshot {
-    /// Queries answered from the in-memory map (including entries loaded from disk).
+    /// Queries answered from a memo tier (local or shared, including entries loaded from
+    /// disk).
     pub hits: usize,
-    /// Queries that missed and had to be solved.
+    /// Queries that missed every tier and had to be solved.
     pub misses: usize,
     /// Entries replayed from the disk log at startup.
     pub disk_loaded: usize,
@@ -93,6 +138,9 @@ pub struct CacheStatsSnapshot {
     pub transition_hits: usize,
     /// DFA transitions that had to be derived.
     pub transition_misses: usize,
+    /// Shared-tier shard-lock acquisitions, across every record kind. Per-worker local
+    /// tiers exist to keep this flat while hit counts grow.
+    pub lock_acquisitions: usize,
 }
 
 impl CacheStatsSnapshot {
@@ -119,53 +167,278 @@ struct CacheCounters {
     transition_misses: AtomicUsize,
 }
 
-/// The concurrent verdict cache shared by every worker of a verification run.
-pub struct QueryCache {
-    /// One shard set per entry kind (indexed by `Kind as usize`), so lookups hash the
-    /// caller's key directly instead of allocating a tagged copy per access.
-    shards: [Vec<RwLock<HashMap<String, bool>>>; 3],
-    minterms: RwLock<HashMap<String, MintermSet>>,
-    transitions: RwLock<HashMap<String, Sfa>>,
+/// The sidecar lock guarding a disk log against concurrent writers. Created with
+/// `create_new` (atomic on every serious filesystem), holding the owner's PID; removed
+/// on drop. A lock whose holder no longer exists (per `/proc`) is reclaimed.
+#[derive(Debug)]
+struct CacheLock {
+    path: PathBuf,
+}
+
+fn lock_path_for(log_path: &Path) -> PathBuf {
+    let mut name = log_path.file_name().unwrap_or_default().to_os_string();
+    name.push(".lock");
+    log_path.with_file_name(name)
+}
+
+fn lock_holder_is_alive(lock_path: &Path) -> bool {
+    let Ok(contents) = std::fs::read_to_string(lock_path) else {
+        // Unreadable (racing creation, permissions): assume the holder is alive.
+        return true;
+    };
+    let Ok(pid) = contents.trim().parse::<u32>() else {
+        return true;
+    };
+    if !Path::new("/proc").is_dir() {
+        // No way to probe liveness on this platform: assume alive (degrading to
+        // in-memory is always safe; deleting a live writer's lock is not).
+        return true;
+    }
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+impl CacheLock {
+    /// Tries to take the single-writer lock for `log_path`. `Ok(None)` means another
+    /// live process holds it — the caller must degrade to in-memory operation. Real I/O
+    /// failures (unwritable or missing directory) are propagated so the caller can
+    /// report the actual problem instead of mis-diagnosing it as contention.
+    fn acquire(log_path: &Path) -> std::io::Result<Option<CacheLock>> {
+        let path = lock_path_for(log_path);
+        // Two attempts: the second retries after reclaiming a stale lock.
+        for _ in 0..2 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    let _ = write!(file, "{}", std::process::id());
+                    return Ok(Some(CacheLock { path }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if lock_holder_is_alive(&path) {
+                        return Ok(None);
+                    }
+                    // The holder died without cleaning up. Reclaim atomically: rename
+                    // the stale file to a per-process name, so of two racing
+                    // reclaimers exactly one wins the rename — remove-then-create
+                    // would let the loser delete the winner's freshly taken lock and
+                    // reintroduce the double-writer hazard. Whoever loses any race
+                    // here simply finds a *live* lock on the retry and degrades.
+                    let mut claim = path.clone().into_os_string();
+                    claim.push(format!(".reclaim.{}", std::process::id()));
+                    let claim = PathBuf::from(claim);
+                    if std::fs::rename(&path, &claim).is_ok() {
+                        let _ = std::fs::remove_file(&claim);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Drop for CacheLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// One parsed disk-log line (shared by replay and [`MemoStore::inspect`]).
+enum ParsedLine<'a> {
+    Bit(RecordKind, bool, &'a str),
+    Set(&'a str, &'a str),
+    Bad,
+}
+
+/// Parses a typed (v2+) record line. v1 lines use [`parse_v1_line`] instead.
+fn parse_typed_line(line: &str) -> ParsedLine<'_> {
+    match line.split_once('\t') {
+        Some(("S0", key)) => ParsedLine::Bit(RecordKind::Solver, false, key),
+        Some(("S1", key)) => ParsedLine::Bit(RecordKind::Solver, true, key),
+        Some(("I0", key)) => ParsedLine::Bit(RecordKind::Inclusion, false, key),
+        Some(("I1", key)) => ParsedLine::Bit(RecordKind::Inclusion, true, key),
+        Some(("D0", key)) => ParsedLine::Bit(RecordKind::Shape, false, key),
+        Some(("D1", key)) => ParsedLine::Bit(RecordKind::Shape, true, key),
+        Some(("M", rest)) => match rest.split_once('\t') {
+            Some((key, payload)) => ParsedLine::Set(key, payload),
+            None => ParsedLine::Bad,
+        },
+        _ => ParsedLine::Bad,
+    }
+}
+
+fn parse_v1_line(line: &str) -> ParsedLine<'_> {
+    match line.split_once('\t') {
+        Some(("0", key)) => ParsedLine::Bit(RecordKind::Solver, false, key),
+        Some(("1", key)) => ParsedLine::Bit(RecordKind::Solver, true, key),
+        _ => ParsedLine::Bad,
+    }
+}
+
+fn version_of(header: &str) -> Option<u32> {
+    match header {
+        HEADER_V1 => Some(1),
+        HEADER_V2 => Some(2),
+        HEADER_V3 => Some(3),
+        HEADER_V4 => Some(4),
+        HEADER_V5 => Some(5),
+        _ => None,
+    }
+}
+
+/// The result of one [`MemoStore::compact`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Log size in bytes before the pass.
+    pub bytes_before: u64,
+    /// Log size in bytes after the pass.
+    pub bytes_after: u64,
+    /// Record lines (excluding the header) before the pass.
+    pub records_before: usize,
+    /// Record lines after the pass — exactly the live entries.
+    pub records_after: usize,
+}
+
+/// What a read-only scan of a cache file found (CLI: `marple cache stats`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheFileStats {
+    /// The header line, when the file is non-empty.
+    pub header: Option<String>,
+    /// The format version, when the header is a known `hat-engine-cache` header.
+    pub version: Option<u32>,
+    /// Live (first-occurrence, well-formed) solver-verdict records.
+    pub solver: usize,
+    /// Live inclusion-verdict records.
+    pub inclusion: usize,
+    /// Live DFA-shape records.
+    pub shape: usize,
+    /// Live minterm-set records.
+    pub minterms: usize,
+    /// Records whose key already occurred earlier (superseded — compaction drops them).
+    pub duplicates: usize,
+    /// Lines that parse under no record grammar (torn writes — compaction drops them).
+    pub malformed: usize,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+impl CacheFileStats {
+    /// Total live records.
+    pub fn live(&self) -> usize {
+        self.solver + self.inclusion + self.shape + self.minterms
+    }
+
+    /// Total dead records (duplicates plus malformed lines).
+    pub fn dead(&self) -> usize {
+        self.duplicates + self.malformed
+    }
+
+    /// Dead share of all records, in `[0, 1]`.
+    pub fn dead_ratio(&self) -> f64 {
+        let total = self.live() + self.dead();
+        if total == 0 {
+            0.0
+        } else {
+            self.dead() as f64 / total as f64
+        }
+    }
+}
+
+/// Shard count of the transition tier. Coarse on purpose: with the worker-side
+/// [`crate::tier::ShardMirror`] policy the shared transition tier sees only occasional
+/// whole-shard syncs and batched flushes, and a flush costs one lock per *distinct*
+/// shard it touches — so fewer shards means better batch amortisation, while the
+/// per-key-hit contention argument for fine sharding no longer applies.
+const TRANSITION_SHARDS: usize = 4;
+
+/// The shared tiers of every record kind, instantiated once per kind.
+#[derive(Debug)]
+struct KindTiers {
+    solver: SharedTier<bool>,
+    inclusion: SharedTier<bool>,
+    shape: SharedTier<bool>,
+    minterms: SharedTier<MintermSet>,
+    transitions: SharedTier<Sfa>,
+}
+
+impl Default for KindTiers {
+    fn default() -> Self {
+        KindTiers {
+            solver: SharedTier::default(),
+            inclusion: SharedTier::default(),
+            shape: SharedTier::default(),
+            minterms: SharedTier::default(),
+            transitions: SharedTier::with_shards(TRANSITION_SHARDS),
+        }
+    }
+}
+
+impl KindTiers {
+    fn bools(&self, kind: RecordKind) -> &SharedTier<bool> {
+        match kind {
+            RecordKind::Solver => &self.solver,
+            RecordKind::Inclusion => &self.inclusion,
+            RecordKind::Shape => &self.shape,
+            RecordKind::Minterms | RecordKind::Transition => {
+                unreachable!("{kind:?} is not a boolean record kind")
+            }
+        }
+    }
+}
+
+/// The concurrent tiered memo store shared by every worker of a verification run: the
+/// shared-tier and disk-tier levels of the hierarchy (workers add their own local tier
+/// in front; see [`crate::tier`]).
+pub struct MemoStore {
+    tiers: KindTiers,
     log: Option<Mutex<BufWriter<File>>>,
+    /// Held for the lifetime of a disk-backed store; releasing it (drop) lets the next
+    /// opener write.
+    #[allow(dead_code)]
+    lock: Option<CacheLock>,
     path: Option<PathBuf>,
+    /// Set when another live process held the log's lock at open time: the store loaded
+    /// what it could and runs in-memory, never writing to the contested file.
+    degraded: bool,
     counters: CacheCounters,
 }
 
-impl std::fmt::Debug for QueryCache {
+/// The pre-v5 name of [`MemoStore`], kept for readability of older discussions.
+pub type QueryCache = MemoStore;
+
+impl std::fmt::Debug for MemoStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("QueryCache")
+        f.debug_struct("MemoStore")
             .field("entries", &self.len())
             .field("path", &self.path)
+            .field("degraded", &self.degraded)
             .field("stats", &self.stats())
             .finish()
     }
 }
 
-impl Default for QueryCache {
+impl Default for MemoStore {
     fn default() -> Self {
         Self::in_memory()
     }
 }
 
-impl QueryCache {
+impl MemoStore {
     fn empty() -> Self {
-        let shard_set = || (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect();
-        QueryCache {
-            shards: [shard_set(), shard_set(), shard_set()],
-            minterms: RwLock::new(HashMap::new()),
-            transitions: RwLock::new(HashMap::new()),
+        MemoStore {
+            tiers: KindTiers::default(),
             log: None,
+            lock: None,
             path: None,
+            degraded: false,
             counters: CacheCounters::default(),
         }
     }
 
-    /// A purely in-memory cache (no persistence).
+    /// A purely in-memory store (no persistence).
     ///
     /// ```
-    /// use hat_engine::QueryCache;
+    /// use hat_engine::MemoStore;
     ///
-    /// let cache = QueryCache::in_memory();
+    /// let cache = MemoStore::in_memory();
     /// assert_eq!(cache.lookup("sat|k"), None);
     /// cache.insert("sat|k".into(), true);
     /// assert_eq!(cache.lookup("sat|k"), Some(true));
@@ -176,98 +449,108 @@ impl QueryCache {
         Self::empty()
     }
 
-    /// A cache backed by an append-only log at `path`. Existing entries are replayed into
-    /// memory (warm start) and new verdicts are appended. A `v1`, `v2` or `v3` log is
-    /// migrated to the current format in place (atomically, via a temporary file). A file
-    /// whose header belongs to any other format version is left untouched: the cache runs
-    /// in-memory only and counts the file as stale (destroying data a newer binary wrote
-    /// would be worse than running cold).
+    /// A store backed by an append-only log at `path`. Existing entries are replayed
+    /// into memory (warm start) and new verdicts are appended. A `v1`–`v4` log is
+    /// migrated to the current format in place (atomically, via a temporary file); a v5
+    /// log whose dead-record share passes the auto-compaction threshold is compacted the
+    /// same way. A file whose header belongs to any other format version is left
+    /// untouched: the store runs in-memory only and counts the file as stale (destroying
+    /// data a newer binary wrote would be worse than running cold).
+    ///
+    /// Opening takes the sidecar lock `<path>.lock`. If another live process holds it,
+    /// this store **degrades to in-memory** (entries are still replayed for a warm
+    /// start, but nothing is migrated, compacted or appended) and
+    /// [`MemoStore::degraded`] reports `true`.
     pub fn with_disk_log(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let mut cache = Self::empty();
         let path = path.as_ref();
         cache.path = Some(path.to_path_buf());
-        // How to open the log after reading: start a fresh v4 file, append to the
-        // existing v4 file, or rewrite a migrated v1/v2/v3 file.
+        let lock = CacheLock::acquire(path)?;
+        if lock.is_none() {
+            cache.degraded = true;
+            eprintln!(
+                "warning: cache `{}` is locked by another process; this run keeps its \
+                 verdicts in memory only",
+                path.display()
+            );
+        }
+        // How to open the log after reading: start a fresh v5 file, append to the
+        // existing v5 file, or rewrite a migrated (or compaction-worthy) file.
         let mut fresh = true;
-        let mut migrate = false;
+        let mut rewrite = false;
+        let mut duplicates = 0usize;
+        let mut stale_lines = 0usize;
         if path.exists() {
             let reader = BufReader::new(File::open(path)?);
             let mut lines = reader.lines();
             match lines.next() {
-                Some(Ok(header))
-                    if header == HEADER_V4 || header == HEADER_V3 || header == HEADER_V2 =>
-                {
-                    // v2 records are a subset of v3 records (no `M` lines) and v3
-                    // records a subset of v4 records (no `D` lines), so one loop replays
-                    // all three; a v2/v3 file is rewritten under the current header.
+                Some(Ok(header)) if version_of(&header).is_some() => {
                     fresh = false;
-                    migrate = header != HEADER_V4;
+                    // v1 records are untyped; v2–v5 share one grammar (each version adds
+                    // a record kind), so one loop replays them all. Any pre-v5 file is
+                    // rewritten under the current header.
+                    let v1 = header == HEADER_V1;
+                    rewrite = header != HEADER_V5;
                     for line in lines {
                         let Ok(line) = line else {
-                            cache.counters.stale.fetch_add(1, Ordering::Relaxed);
+                            stale_lines += 1;
                             continue;
                         };
-                        match line.split_once('\t') {
-                            Some(("S0", key)) => cache.load_entry(Kind::Solver, key, false),
-                            Some(("S1", key)) => cache.load_entry(Kind::Solver, key, true),
-                            Some(("I0", key)) => cache.load_entry(Kind::Inclusion, key, false),
-                            Some(("I1", key)) => cache.load_entry(Kind::Inclusion, key, true),
-                            Some(("D0", key)) => cache.load_entry(Kind::Shape, key, false),
-                            Some(("D1", key)) => cache.load_entry(Kind::Shape, key, true),
-                            Some(("M", rest)) => match rest.split_once('\t') {
-                                Some((key, payload)) => match parse_minterm_set(payload) {
-                                    Some(set) => {
-                                        cache
-                                            .minterms
-                                            .get_mut()
-                                            .expect("minterm memo poisoned")
-                                            .insert(key.to_string(), set);
-                                        cache.counters.disk_loaded.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    None => {
-                                        cache.counters.stale.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                },
-                                None => {
-                                    cache.counters.stale.fetch_add(1, Ordering::Relaxed);
+                        let parsed = if v1 {
+                            parse_v1_line(&line)
+                        } else {
+                            parse_typed_line(&line)
+                        };
+                        match parsed {
+                            ParsedLine::Bit(kind, verdict, key) => {
+                                if cache.load_bit(kind, key, verdict) {
+                                    cache.counters.disk_loaded.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    duplicates += 1;
                                 }
+                            }
+                            ParsedLine::Set(key, payload) => match parse_minterm_set(payload) {
+                                Some(set) => {
+                                    if cache.tiers.minterms.put_quiet(key.to_string(), set) {
+                                        cache.counters.disk_loaded.fetch_add(1, Ordering::Relaxed);
+                                    } else {
+                                        duplicates += 1;
+                                    }
+                                }
+                                None => stale_lines += 1,
                             },
-                            _ => {
-                                cache.counters.stale.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                    }
-                }
-                Some(Ok(header)) if header == HEADER_V1 => {
-                    // The previous schema: untyped `<verdict>\t<key>` solver records.
-                    // Load them, then rewrite the whole file in the current format.
-                    fresh = false;
-                    migrate = true;
-                    for line in lines {
-                        let Ok(line) = line else {
-                            cache.counters.stale.fetch_add(1, Ordering::Relaxed);
-                            continue;
-                        };
-                        match line.split_once('\t') {
-                            Some(("0", key)) => cache.load_entry(Kind::Solver, key, false),
-                            Some(("1", key)) => cache.load_entry(Kind::Solver, key, true),
-                            _ => {
-                                cache.counters.stale.fetch_add(1, Ordering::Relaxed);
-                            }
+                            ParsedLine::Bad => stale_lines += 1,
                         }
                     }
                 }
                 Some(_) => {
                     // Unknown header: a different format version (or not a cache file at
-                    // all). Do not write to it.
+                    // all). Do not write to it — and release the writer lock, since this
+                    // store will never use it.
                     cache.counters.stale.fetch_add(1, Ordering::Relaxed);
                     return Ok(cache);
                 }
                 None => {}
             }
         }
-        if migrate {
-            cache.rewrite_log(path)?;
+        cache
+            .counters
+            .stale
+            .fetch_add(stale_lines, Ordering::Relaxed);
+        if cache.degraded {
+            // Another process owns the file: warm entries are loaded, but no migration,
+            // no compaction, no appends.
+            return Ok(cache);
+        }
+        // Dead records (duplicate keys from merged logs, torn lines) past the threshold
+        // trigger the compaction pass a migration performs anyway.
+        let dead = duplicates + stale_lines;
+        let total = cache.persisted_len() + dead;
+        if dead >= AUTO_COMPACT_MIN_DEAD && dead * AUTO_COMPACT_RATIO >= total {
+            rewrite = true;
+        }
+        if rewrite {
+            cache.write_snapshot(path)?;
         }
         let mut file = if fresh {
             // Only reached for a missing or empty file.
@@ -295,57 +578,185 @@ impl QueryCache {
             BufWriter::new(existing)
         };
         if fresh {
-            writeln!(file, "{HEADER_V4}")?;
+            writeln!(file, "{HEADER_V5}")?;
         }
         cache.log = Some(Mutex::new(file));
+        cache.lock = lock;
         Ok(cache)
     }
 
-    /// Atomically rewrites the log at `path` with the current in-memory entries in the
-    /// v4 format (used to migrate a v1, v2 or v3 log).
-    fn rewrite_log(&self, path: &Path) -> std::io::Result<()> {
-        let mut tmp = path.to_path_buf();
-        tmp.set_extension("migrating");
-        {
-            let mut out = BufWriter::new(File::create(&tmp)?);
-            writeln!(out, "{HEADER_V4}")?;
-            for kind in Kind::ALL {
-                for shard in &self.shards[kind as usize] {
-                    for (key, verdict) in shard.read().expect("cache shard poisoned").iter() {
-                        writeln!(out, "{}{}\t{key}", kind.tag(), u8::from(*verdict))?;
+    /// Whether lock contention forced this store to run in-memory despite a configured
+    /// disk log.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Scans the cache file at `path` read-only — no lock taken, no migration, nothing
+    /// written — and reports per-kind live counts, dead records and the header version.
+    pub fn inspect(path: impl AsRef<Path>) -> std::io::Result<CacheFileStats> {
+        let path = path.as_ref();
+        let mut stats = CacheFileStats {
+            bytes: std::fs::metadata(path)?.len(),
+            ..CacheFileStats::default()
+        };
+        let reader = BufReader::new(File::open(path)?);
+        let mut lines = reader.lines();
+        let Some(Ok(header)) = lines.next() else {
+            return Ok(stats);
+        };
+        stats.version = version_of(&header);
+        stats.header = Some(header.clone());
+        let Some(version) = stats.version else {
+            return Ok(stats); // Foreign: nothing beyond the header is ours to judge.
+        };
+        let mut seen: [HashSet<String>; 4] = Default::default();
+        for line in lines {
+            let Ok(line) = line else {
+                stats.malformed += 1;
+                continue;
+            };
+            let parsed = if version == 1 {
+                parse_v1_line(&line)
+            } else {
+                parse_typed_line(&line)
+            };
+            match parsed {
+                ParsedLine::Bit(kind, _, key) => {
+                    let (slot, counter) = match kind {
+                        RecordKind::Solver => (0, &mut stats.solver),
+                        RecordKind::Inclusion => (1, &mut stats.inclusion),
+                        RecordKind::Shape => (2, &mut stats.shape),
+                        _ => unreachable!(),
+                    };
+                    if seen[slot].insert(key.to_string()) {
+                        *counter += 1;
+                    } else {
+                        stats.duplicates += 1;
                     }
                 }
+                ParsedLine::Set(key, payload) => {
+                    if parse_minterm_set(payload).is_none() {
+                        stats.malformed += 1;
+                    } else if seen[3].insert(key.to_string()) {
+                        stats.minterms += 1;
+                    } else {
+                        stats.duplicates += 1;
+                    }
+                }
+                ParsedLine::Bad => stats.malformed += 1,
             }
-            for (key, set) in self.minterms.read().expect("minterm memo poisoned").iter() {
-                writeln!(out, "M\t{key}\t{}", ser_minterm_set(set))?;
+        }
+        Ok(stats)
+    }
+
+    /// Compacts the disk log: rewrites it as a snapshot of exactly the live in-memory
+    /// entries (duplicates, superseded records and torn lines are gone) via a temporary
+    /// file and an atomic rename, then re-attaches the appender to the new file. Errors
+    /// for an in-memory store and for one that degraded at open (the contested file
+    /// belongs to the lock holder).
+    pub fn compact(&self) -> std::io::Result<CompactionReport> {
+        let (Some(path), Some(log)) = (&self.path, &self.log) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                if self.degraded {
+                    "cache degraded to in-memory (log locked by another process)"
+                } else {
+                    "cache has no disk log to compact"
+                },
+            ));
+        };
+        let mut writer = log.lock().expect("cache log poisoned");
+        writer.flush()?;
+        let bytes_before = std::fs::metadata(path)?.len();
+        let records_before = BufReader::new(File::open(path)?)
+            .lines()
+            .count()
+            .saturating_sub(1);
+        self.write_snapshot(path)?;
+        // The old handle points at the unlinked inode; appends must go to the new file.
+        *writer = BufWriter::new(OpenOptions::new().append(true).open(path)?);
+        Ok(CompactionReport {
+            bytes_before,
+            bytes_after: std::fs::metadata(path)?.len(),
+            records_before,
+            records_after: self.persisted_len(),
+        })
+    }
+
+    /// Atomically rewrites the log at `path` with the current in-memory entries in the
+    /// v5 format (migration of an old log, or a compaction pass).
+    fn write_snapshot(&self, path: &Path) -> std::io::Result<()> {
+        let mut tmp = path.to_path_buf();
+        tmp.set_extension("compacting");
+        {
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            writeln!(out, "{HEADER_V5}")?;
+            for kind in RecordKind::BOOL_KINDS {
+                let tag = kind.tag().expect("bool kinds are persisted");
+                for (key, verdict) in self.tiers.bools(kind).snapshot() {
+                    writeln!(out, "{tag}{}\t{key}", u8::from(verdict))?;
+                }
+            }
+            for (key, set) in self.tiers.minterms.snapshot() {
+                writeln!(out, "M\t{key}\t{}", ser_minterm_set(&set))?;
             }
             out.flush()?;
+            // Sync data before the rename: on filesystems with delayed allocation a
+            // power loss could otherwise persist the rename but drop the new file's
+            // blocks, leaving a truncated log instead of old-or-new.
+            out.get_ref().sync_all()?;
         }
         std::fs::rename(&tmp, path)
     }
 
-    fn load_entry(&mut self, kind: Kind, key: &str, verdict: bool) {
-        let shard = Self::shard_of(key);
-        self.shards[kind as usize][shard]
-            .write()
-            .expect("cache shard poisoned")
-            .insert(key.to_string(), verdict);
-        self.counters.disk_loaded.fetch_add(1, Ordering::Relaxed);
+    /// Loads one boolean record from disk without counting tier locks; `true` when
+    /// fresh.
+    fn load_bit(&self, kind: RecordKind, key: &str, verdict: bool) -> bool {
+        self.tiers.bools(kind).put_quiet(key.to_string(), verdict)
     }
 
-    fn shard_of(key: &str) -> usize {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() as usize) % SHARDS
+    /// Number of entries that would survive to disk (every persisted kind, deduplicated
+    /// by definition of a map).
+    fn persisted_len(&self) -> usize {
+        use crate::tier::MemoTier;
+        RecordKind::BOOL_KINDS
+            .iter()
+            .map(|&k| MemoTier::<String, bool>::len(self.tiers.bools(k)))
+            .sum::<usize>()
+            + MemoTier::<String, MintermSet>::len(&self.tiers.minterms)
     }
 
-    fn lookup_kind(&self, kind: Kind, key: &str) -> Option<bool> {
-        let shard = Self::shard_of(key);
-        let found = self.shards[kind as usize][shard]
-            .read()
-            .expect("cache shard poisoned")
-            .get(key)
-            .copied();
+    /// Records a local-tier hit for `kind` in the store-wide hit counters, so snapshots
+    /// keep meaning "answered from a memo" no matter which tier answered.
+    pub fn note_local_hit(&self, kind: RecordKind) {
+        self.note_local(kind, true);
+    }
+
+    /// Records a local-tier lookup outcome for `kind` in the store-wide counters (used
+    /// by tier policies that answer without consulting the shared tier per key, like
+    /// the transition shard mirror).
+    pub fn note_local(&self, kind: RecordKind, hit: bool) {
+        let counter = match (kind, hit) {
+            (RecordKind::Minterms, true) => &self.counters.minterm_hits,
+            (RecordKind::Minterms, false) => &self.counters.minterm_misses,
+            (RecordKind::Transition, true) => &self.counters.transition_hits,
+            (RecordKind::Transition, false) => &self.counters.transition_misses,
+            (_, true) => &self.counters.hits,
+            (_, false) => &self.counters.misses,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The shared transition tier, for the worker-side
+    /// [`ShardMirror`](crate::tier::ShardMirror) policy.
+    pub fn transition_tier(&self) -> &SharedTier<Sfa> {
+        &self.tiers.transitions
+    }
+
+    /// Looks a boolean verdict up in the shared tier of `kind`, counting a hit or a
+    /// miss (one shard-lock acquisition).
+    pub fn lookup_bool(&self, kind: RecordKind, key: &str) -> Option<bool> {
+        let found = self.tiers.bools(kind).get_str(key);
         match found {
             Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
             None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
@@ -353,62 +764,52 @@ impl QueryCache {
         found
     }
 
-    fn insert_kind(&self, kind: Kind, key: String, verdict: bool) {
-        let shard = Self::shard_of(&key);
-        let fresh = self.shards[kind as usize][shard]
-            .write()
-            .expect("cache shard poisoned")
-            .insert(key.clone(), verdict)
-            .is_none();
+    /// Records a boolean verdict in the shared tier of `kind`, appending it to the disk
+    /// log when it is fresh and a log is attached. Racing inserts of the same key are
+    /// harmless: canonical keys determine their verdict.
+    pub fn insert_bool(&self, kind: RecordKind, key: String, verdict: bool) {
+        let fresh = self.tiers.bools(kind).put_owned(key.clone(), verdict);
         if fresh {
-            if let Some(log) = &self.log {
+            if let (Some(log), Some(tag)) = (&self.log, kind.tag()) {
                 let mut log = log.lock().expect("cache log poisoned");
-                let _ = writeln!(log, "{}{}\t{}", kind.tag(), u8::from(verdict), key);
+                let _ = writeln!(log, "{tag}{}\t{key}", u8::from(verdict));
             }
         }
     }
 
     /// Looks a solver-verdict key up, counting a hit or a miss.
     pub fn lookup(&self, key: &str) -> Option<bool> {
-        self.lookup_kind(Kind::Solver, key)
+        self.lookup_bool(RecordKind::Solver, key)
     }
 
     /// Records a solver verdict, appending it to the disk log when one is attached.
-    /// Racing inserts of the same key are harmless: canonical keys determine their
-    /// verdict.
     pub fn insert(&self, key: String, verdict: bool) {
-        self.insert_kind(Kind::Solver, key, verdict);
+        self.insert_bool(RecordKind::Solver, key, verdict);
     }
 
     /// Looks an inclusion-verdict key up, counting a hit or a miss.
     pub fn lookup_inclusion(&self, key: &str) -> Option<bool> {
-        self.lookup_kind(Kind::Inclusion, key)
+        self.lookup_bool(RecordKind::Inclusion, key)
     }
 
     /// Records an automata-inclusion verdict.
     pub fn insert_inclusion(&self, key: String, verdict: bool) {
-        self.insert_kind(Kind::Inclusion, key, verdict);
+        self.insert_bool(RecordKind::Inclusion, key, verdict);
     }
 
     /// Looks a DFA-shape verdict key up, counting a hit or a miss.
     pub fn lookup_shape(&self, key: &str) -> Option<bool> {
-        self.lookup_kind(Kind::Shape, key)
+        self.lookup_bool(RecordKind::Shape, key)
     }
 
-    /// Records a per-group DFA-shape verdict (see [`crate::canon::shape_key`]),
-    /// appending it to the disk log when one is attached.
+    /// Records a per-group DFA-shape verdict (see [`crate::canon::shape_key`]).
     pub fn insert_shape(&self, key: String, verdict: bool) {
-        self.insert_kind(Kind::Shape, key, verdict);
+        self.insert_bool(RecordKind::Shape, key, verdict);
     }
 
     /// Looks a memoised minterm set up by its canonical alphabet key.
     pub fn lookup_minterms(&self, key: &str) -> Option<MintermSet> {
-        let found = self
-            .minterms
-            .read()
-            .expect("minterm memo poisoned")
-            .get(key)
-            .cloned();
+        let found = self.tiers.minterms.get_str(key);
         match found {
             Some(_) => self.counters.minterm_hits.fetch_add(1, Ordering::Relaxed),
             None => self.counters.minterm_misses.fetch_add(1, Ordering::Relaxed),
@@ -420,12 +821,7 @@ impl QueryCache {
     /// attached (racing stores of the same key are harmless because enumeration is a
     /// pure function of the canonical key).
     pub fn insert_minterms(&self, key: String, set: MintermSet) {
-        let fresh = self
-            .minterms
-            .write()
-            .expect("minterm memo poisoned")
-            .insert(key.clone(), set.clone())
-            .is_none();
+        let fresh = self.tiers.minterms.put_owned(key.clone(), set.clone());
         if fresh {
             if let Some(log) = &self.log {
                 let mut log = log.lock().expect("cache log poisoned");
@@ -436,12 +832,7 @@ impl QueryCache {
 
     /// Looks a memoised DFA transition up by its canonical transition key.
     pub fn lookup_transition(&self, key: &str) -> Option<Sfa> {
-        let found = self
-            .transitions
-            .read()
-            .expect("transition memo poisoned")
-            .get(key)
-            .cloned();
+        let found = self.tiers.transitions.get_str(key);
         match found {
             Some(_) => self
                 .counters
@@ -459,10 +850,7 @@ impl QueryCache {
     /// warm solver verdicts; racing stores of the same key are harmless because the
     /// successor is a pure function of the canonical key).
     pub fn insert_transition(&self, key: String, succ: Sfa) {
-        self.transitions
-            .write()
-            .expect("transition memo poisoned")
-            .insert(key, succ);
+        self.tiers.transitions.put_owned(key, succ);
     }
 
     /// Flushes the disk log (called at the end of a run; also happens on drop).
@@ -472,21 +860,42 @@ impl QueryCache {
         }
     }
 
-    /// Number of cached verdicts (both kinds).
+    /// Number of cached boolean verdicts (all three kinds).
     pub fn len(&self) -> usize {
-        self.shards
+        use crate::tier::MemoTier;
+        RecordKind::BOOL_KINDS
             .iter()
-            .flatten()
-            .map(|s| s.read().expect("cache shard poisoned").len())
+            .map(|&k| MemoTier::<String, bool>::len(self.tiers.bools(k)))
             .sum()
     }
 
-    /// Whether the cache holds no verdicts.
+    /// Whether the store holds no verdicts.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// A snapshot of the hit/miss/disk counters.
+    /// Per-kind shared-tier lock acquisitions (diagnostic: shows which record kind's
+    /// traffic the local tiers are or are not absorbing).
+    pub fn lock_breakdown(&self) -> [(RecordKind, usize); 5] {
+        [
+            (RecordKind::Solver, self.tiers.solver.lock_acquisitions()),
+            (
+                RecordKind::Inclusion,
+                self.tiers.inclusion.lock_acquisitions(),
+            ),
+            (RecordKind::Shape, self.tiers.shape.lock_acquisitions()),
+            (
+                RecordKind::Minterms,
+                self.tiers.minterms.lock_acquisitions(),
+            ),
+            (
+                RecordKind::Transition,
+                self.tiers.transitions.lock_acquisitions(),
+            ),
+        ]
+    }
+
+    /// A snapshot of the hit/miss/disk/lock counters.
     pub fn stats(&self) -> CacheStatsSnapshot {
         CacheStatsSnapshot {
             hits: self.counters.hits.load(Ordering::Relaxed),
@@ -497,11 +906,16 @@ impl QueryCache {
             minterm_misses: self.counters.minterm_misses.load(Ordering::Relaxed),
             transition_hits: self.counters.transition_hits.load(Ordering::Relaxed),
             transition_misses: self.counters.transition_misses.load(Ordering::Relaxed),
+            lock_acquisitions: self.tiers.solver.lock_acquisitions()
+                + self.tiers.inclusion.lock_acquisitions()
+                + self.tiers.shape.lock_acquisitions()
+                + self.tiers.minterms.lock_acquisitions()
+                + self.tiers.transitions.lock_acquisitions(),
         }
     }
 }
 
-impl Drop for QueryCache {
+impl Drop for MemoStore {
     fn drop(&mut self) {
         self.flush();
     }
@@ -517,48 +931,58 @@ mod tests {
         p
     }
 
+    /// Removes a test log and its sidecar lock.
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(lock_path_for(path));
+    }
+
     #[test]
     fn lookup_miss_then_hit() {
-        let cache = QueryCache::in_memory();
+        let cache = MemoStore::in_memory();
         assert_eq!(cache.lookup("k"), None);
         cache.insert("k".into(), true);
         assert_eq!(cache.lookup("k"), Some(true));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(
+            stats.lock_acquisitions, 3,
+            "two lookups and one insert are one shard lock each"
+        );
     }
 
     #[test]
     fn disk_log_roundtrip() {
         let path = temp_path("roundtrip");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         {
-            let cache = QueryCache::with_disk_log(&path).unwrap();
+            let cache = MemoStore::with_disk_log(&path).unwrap();
             cache.insert("alpha".into(), true);
             cache.insert("beta".into(), false);
             cache.flush();
         }
-        let warm = QueryCache::with_disk_log(&path).unwrap();
+        let warm = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(warm.len(), 2);
         assert_eq!(warm.stats().disk_loaded, 2);
         assert_eq!(warm.lookup("alpha"), Some(true));
         assert_eq!(warm.lookup("beta"), Some(false));
         assert_eq!(warm.stats().stale, 0);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
     fn duplicate_inserts_are_logged_once() {
         let path = temp_path("dedup");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         {
-            let cache = QueryCache::with_disk_log(&path).unwrap();
+            let cache = MemoStore::with_disk_log(&path).unwrap();
             cache.insert("k".into(), true);
             cache.insert("k".into(), true);
         }
-        let warm = QueryCache::with_disk_log(&path).unwrap();
+        let warm = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(warm.stats().disk_loaded, 1);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -566,7 +990,7 @@ mod tests {
         let path = temp_path("stale");
         let foreign = "hat-engine-cache v999\nS1\tk\n";
         std::fs::write(&path, foreign).unwrap();
-        let cache = QueryCache::with_disk_log(&path).unwrap();
+        let cache = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.stats().stale, 1);
         // The cache degrades to in-memory: inserts work but are not persisted, and the
@@ -575,7 +999,7 @@ mod tests {
         cache.flush();
         drop(cache);
         assert_eq!(std::fs::read_to_string(&path).unwrap(), foreign);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -583,20 +1007,20 @@ mod tests {
         let path = temp_path("torn");
         std::fs::write(
             &path,
-            format!("{HEADER_V4}\nS1\tgood\nmalformed-without-tab"),
+            format!("{HEADER_V5}\nS1\tgood\nmalformed-without-tab"),
         )
         .unwrap();
         {
-            let cache = QueryCache::with_disk_log(&path).unwrap();
+            let cache = MemoStore::with_disk_log(&path).unwrap();
             assert_eq!(cache.lookup("good"), Some(true));
             assert_eq!(cache.stats().stale, 1);
             // Appending after the torn line must not merge records into one line.
             cache.insert("fresh".into(), true);
         }
-        let warm = QueryCache::with_disk_log(&path).unwrap();
+        let warm = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(warm.lookup("good"), Some(true));
         assert_eq!(warm.lookup("fresh"), Some(true));
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -607,7 +1031,7 @@ mod tests {
             "hat-engine-cache v1\n1\tsat|k1\n0\tsat|k2\nmalformed",
         )
         .unwrap();
-        let cache = QueryCache::with_disk_log(&path).unwrap();
+        let cache = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(cache.lookup("sat|k1"), Some(true));
         assert_eq!(cache.lookup("sat|k2"), Some(false));
         assert_eq!(cache.stats().disk_loaded, 2);
@@ -617,22 +1041,22 @@ mod tests {
         drop(cache);
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(
-            contents.starts_with(HEADER_V4),
+            contents.starts_with(HEADER_V5),
             "the file must be rewritten with the current header, got: {contents:?}"
         );
-        let warm = QueryCache::with_disk_log(&path).unwrap();
+        let warm = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(warm.lookup("sat|k1"), Some(true));
         assert_eq!(warm.lookup("sat|k2"), Some(false));
         assert_eq!(warm.lookup_inclusion("incl|k3"), Some(true));
         assert_eq!(warm.stats().stale, 0, "a migrated log replays cleanly");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
-    fn v2_logs_are_migrated_to_v4() {
+    fn v2_logs_are_migrated_to_v5() {
         let path = temp_path("migrate-v2");
         std::fs::write(&path, format!("{HEADER_V2}\nS1\tsat|k1\nI0\tincl|k2\n")).unwrap();
-        let cache = QueryCache::with_disk_log(&path).unwrap();
+        let cache = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(cache.lookup("sat|k1"), Some(true));
         assert_eq!(cache.lookup_inclusion("incl|k2"), Some(false));
         // Minterm sets now persist alongside the migrated records.
@@ -640,26 +1064,26 @@ mod tests {
         drop(cache);
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(
-            contents.starts_with(HEADER_V4),
-            "v2 logs must be rewritten under the v4 header, got: {contents:?}"
+            contents.starts_with(HEADER_V5),
+            "v2 logs must be rewritten under the v5 header, got: {contents:?}"
         );
-        let warm = QueryCache::with_disk_log(&path).unwrap();
+        let warm = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(warm.lookup("sat|k1"), Some(true));
         assert_eq!(warm.lookup_inclusion("incl|k2"), Some(false));
         assert!(warm.lookup_minterms("mt|k3").is_some());
         assert_eq!(warm.stats().stale, 0, "a migrated log replays cleanly");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
-    fn v3_logs_are_migrated_to_v4() {
+    fn v3_logs_are_migrated_to_v5() {
         let path = temp_path("migrate-v3");
         std::fs::write(
             &path,
             format!("{HEADER_V3}\nS1\tsat|k1\nI0\tincl|k2\nM\tmt|k3\tU0;M0;P0;Q0;\n"),
         )
         .unwrap();
-        let cache = QueryCache::with_disk_log(&path).unwrap();
+        let cache = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(cache.lookup("sat|k1"), Some(true));
         assert_eq!(cache.lookup_inclusion("incl|k2"), Some(false));
         assert!(cache.lookup_minterms("mt|k3").is_some());
@@ -668,38 +1092,63 @@ mod tests {
         drop(cache);
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(
-            contents.starts_with(HEADER_V4),
-            "v3 logs must be rewritten under the v4 header, got: {contents:?}"
+            contents.starts_with(HEADER_V5),
+            "v3 logs must be rewritten under the v5 header, got: {contents:?}"
         );
-        let warm = QueryCache::with_disk_log(&path).unwrap();
+        let warm = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(warm.lookup("sat|k1"), Some(true));
         assert_eq!(warm.lookup_inclusion("incl|k2"), Some(false));
         assert!(warm.lookup_minterms("mt|k3").is_some());
         assert_eq!(warm.lookup_shape("shape|k4"), Some(true));
         assert_eq!(warm.stats().stale, 0, "a migrated log replays cleanly");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v4_logs_are_migrated_to_v5() {
+        let path = temp_path("migrate-v4");
+        std::fs::write(
+            &path,
+            format!("{HEADER_V4}\nS1\tsat|k1\nI0\tincl|k2\nD1\tshape|k3\nM\tmt|k4\tU0;M0;P0;Q0;\n"),
+        )
+        .unwrap();
+        let cache = MemoStore::with_disk_log(&path).unwrap();
+        assert_eq!(cache.lookup("sat|k1"), Some(true));
+        assert_eq!(cache.lookup_inclusion("incl|k2"), Some(false));
+        assert_eq!(cache.lookup_shape("shape|k3"), Some(true));
+        assert!(cache.lookup_minterms("mt|k4").is_some());
+        drop(cache);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            contents.starts_with(HEADER_V5),
+            "v4 logs must be rewritten under the v5 header, got: {contents:?}"
+        );
+        let warm = MemoStore::with_disk_log(&path).unwrap();
+        assert_eq!(warm.stats().disk_loaded, 4);
+        assert_eq!(warm.stats().stale, 0, "a migrated log replays cleanly");
+        cleanup(&path);
     }
 
     #[test]
     fn shape_verdicts_roundtrip_through_the_disk_log() {
         let path = temp_path("shape-roundtrip");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         {
-            let cache = QueryCache::with_disk_log(&path).unwrap();
+            let cache = MemoStore::with_disk_log(&path).unwrap();
             assert_eq!(cache.lookup_shape("shape|a"), None);
             cache.insert_shape("shape|a".into(), true);
             cache.insert_shape("shape|b".into(), false);
         }
-        let warm = QueryCache::with_disk_log(&path).unwrap();
+        let warm = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(warm.stats().disk_loaded, 2);
         assert_eq!(warm.lookup_shape("shape|a"), Some(true));
         assert_eq!(warm.lookup_shape("shape|b"), Some(false));
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
     fn solver_inclusion_and_shape_namespaces_never_collide() {
-        let cache = QueryCache::in_memory();
+        let cache = MemoStore::in_memory();
         cache.insert("shared-key".into(), true);
         assert_eq!(cache.lookup_inclusion("shared-key"), None);
         assert_eq!(cache.lookup_shape("shared-key"), None);
@@ -714,17 +1163,17 @@ mod tests {
     #[test]
     fn inclusion_verdicts_roundtrip_through_the_disk_log() {
         let path = temp_path("incl-roundtrip");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         {
-            let cache = QueryCache::with_disk_log(&path).unwrap();
+            let cache = MemoStore::with_disk_log(&path).unwrap();
             cache.insert_inclusion("incl|a".into(), true);
             cache.insert("sat|b".into(), false);
         }
-        let warm = QueryCache::with_disk_log(&path).unwrap();
+        let warm = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(warm.stats().disk_loaded, 2);
         assert_eq!(warm.lookup_inclusion("incl|a"), Some(true));
         assert_eq!(warm.lookup("sat|b"), Some(false));
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -732,7 +1181,7 @@ mod tests {
         use hat_logic::{Atom, Term};
         use hat_sfa::Minterm;
         let path = temp_path("minterm-roundtrip");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         let set = MintermSet {
             minterms: vec![Minterm {
                 op: "put".into(),
@@ -744,14 +1193,14 @@ mod tests {
             from_memo: false,
         };
         {
-            let cache = QueryCache::with_disk_log(&path).unwrap();
+            let cache = MemoStore::with_disk_log(&path).unwrap();
             assert!(cache.lookup_minterms("mt|x").is_none());
             cache.insert_minterms("mt|x".into(), set.clone());
             assert!(cache.lookup_minterms("mt|x").is_some());
             let stats = cache.stats();
             assert_eq!((stats.minterm_hits, stats.minterm_misses), (1, 1));
         }
-        let warm = QueryCache::with_disk_log(&path).unwrap();
+        let warm = MemoStore::with_disk_log(&path).unwrap();
         let replayed = warm
             .lookup_minterms("mt|x")
             .expect("minterm sets are persisted as M records");
@@ -759,7 +1208,7 @@ mod tests {
         assert_eq!(replayed.uniform_literals, set.uniform_literals);
         assert_eq!(warm.stats().stale, 0);
         assert_eq!(warm.stats().disk_loaded, 1);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -767,37 +1216,204 @@ mod tests {
         let path = temp_path("torn-minterm");
         std::fs::write(
             &path,
-            format!("{HEADER_V4}\nS1\tgood\nM\tmt|x\tU0;M1;O3#put"),
+            format!("{HEADER_V5}\nS1\tgood\nM\tmt|x\tU0;M1;O3#put"),
         )
         .unwrap();
-        let cache = QueryCache::with_disk_log(&path).unwrap();
+        let cache = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(cache.lookup("good"), Some(true));
         assert!(
             cache.lookup_minterms("mt|x").is_none(),
             "a torn payload must not produce a wrong alphabet"
         );
         assert_eq!(cache.stats().stale, 1);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
     fn transition_memo_is_in_memory_only() {
         let path = temp_path("transition-memo");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         {
-            let cache = QueryCache::with_disk_log(&path).unwrap();
+            let cache = MemoStore::with_disk_log(&path).unwrap();
             assert!(cache.lookup_transition("tr|x").is_none());
             cache.insert_transition("tr|x".into(), Sfa::Zero);
             assert_eq!(cache.lookup_transition("tr|x"), Some(Sfa::Zero));
             let stats = cache.stats();
             assert_eq!((stats.transition_hits, stats.transition_misses), (1, 1));
         }
-        let warm = QueryCache::with_disk_log(&path).unwrap();
+        let warm = MemoStore::with_disk_log(&path).unwrap();
         assert!(
             warm.lookup_transition("tr|x").is_none(),
             "transitions are not persisted"
         );
         assert_eq!(warm.stats().stale, 0, "the memo must not pollute the log");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn second_opener_degrades_to_in_memory_while_the_lock_is_held() {
+        let path = temp_path("lock-contention");
+        cleanup(&path);
+        let first = MemoStore::with_disk_log(&path).unwrap();
+        first.insert("sat|k1".into(), true);
+        first.flush();
+        assert!(!first.degraded());
+        // A second store on the same path (another process in real life) must not
+        // append — interleaved writers can tear each other's lines.
+        let second = MemoStore::with_disk_log(&path).unwrap();
+        assert!(second.degraded(), "the lock is held by `first`");
+        assert_eq!(
+            second.lookup("sat|k1"),
+            Some(true),
+            "a degraded opener still warm-starts from the log"
+        );
+        second.insert("sat|k2".into(), false);
+        second.flush();
+        assert!(
+            second.compact().is_err(),
+            "a degraded store must not rewrite the contested file"
+        );
+        drop(second);
+        drop(first);
+        let reopened = MemoStore::with_disk_log(&path).unwrap();
+        assert!(!reopened.degraded(), "the lock is released on drop");
+        assert_eq!(reopened.lookup("sat|k1"), Some(true));
+        assert_eq!(
+            reopened.lookup("sat|k2"),
+            None,
+            "the degraded store's inserts were memory-only"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn stale_lock_of_a_dead_process_is_reclaimed() {
+        let path = temp_path("lock-stale");
+        cleanup(&path);
+        // No live process has this PID (PID_MAX on Linux is well below u32::MAX).
+        std::fs::write(lock_path_for(&path), "4294967294").unwrap();
+        let cache = MemoStore::with_disk_log(&path).unwrap();
+        if Path::new("/proc").is_dir() {
+            assert!(!cache.degraded(), "a dead holder's lock must be reclaimed");
+            cache.insert("sat|k".into(), true);
+            drop(cache);
+            let warm = MemoStore::with_disk_log(&path).unwrap();
+            assert_eq!(warm.lookup("sat|k"), Some(true));
+        } else {
+            // Without /proc, liveness cannot be probed: degrading is the safe answer.
+            assert!(cache.degraded());
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn compact_drops_duplicates_and_keeps_every_live_record() {
+        let path = temp_path("compact");
+        cleanup(&path);
+        // A merged pair of logs: every record appears twice, plus one torn line.
+        let mut contents = format!("{HEADER_V5}\n");
+        for _ in 0..2 {
+            contents.push_str("S1\tsat|k1\nS0\tsat|k2\nI1\tincl|k3\nD0\tshape|k4\n");
+            contents.push_str("M\tmt|k5\tU0;M0;P0;Q0;\n");
+        }
+        contents.push_str("torn");
+        std::fs::write(&path, &contents).unwrap();
+        let cache = MemoStore::with_disk_log(&path).unwrap();
+        let report = cache.compact().unwrap();
+        assert_eq!(report.records_after, 5);
+        assert!(report.bytes_after < report.bytes_before);
+        // Appends after compaction land in the new file.
+        cache.insert("sat|k6".into(), true);
+        drop(cache);
+        let stats = MemoStore::inspect(&path).unwrap();
+        assert_eq!(stats.version, Some(5));
+        assert_eq!((stats.duplicates, stats.malformed), (0, 0));
+        assert_eq!(stats.live(), 6);
+        let warm = MemoStore::with_disk_log(&path).unwrap();
+        assert_eq!(warm.lookup("sat|k1"), Some(true));
+        assert_eq!(warm.lookup("sat|k2"), Some(false));
+        assert_eq!(warm.lookup_inclusion("incl|k3"), Some(true));
+        assert_eq!(warm.lookup_shape("shape|k4"), Some(false));
+        assert!(warm.lookup_minterms("mt|k5").is_some());
+        assert_eq!(warm.lookup("sat|k6"), Some(true));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn dead_records_past_the_threshold_compact_automatically() {
+        let path = temp_path("auto-compact");
+        cleanup(&path);
+        // 2 live records and AUTO_COMPACT_MIN_DEAD duplicates: over the 1-in-4 ratio.
+        let mut contents = format!("{HEADER_V5}\nS1\tsat|live1\nS0\tsat|live2\n");
+        for _ in 0..AUTO_COMPACT_MIN_DEAD {
+            contents.push_str("S1\tsat|live1\n");
+        }
+        std::fs::write(&path, &contents).unwrap();
+        drop(MemoStore::with_disk_log(&path).unwrap());
+        let stats = MemoStore::inspect(&path).unwrap();
+        assert_eq!(
+            stats.duplicates, 0,
+            "loading must have rewritten the log without the dead records"
+        );
+        assert_eq!(stats.live(), 2);
+        let warm = MemoStore::with_disk_log(&path).unwrap();
+        assert_eq!(warm.lookup("sat|live1"), Some(true));
+        assert_eq!(warm.lookup("sat|live2"), Some(false));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn a_few_dead_records_do_not_trigger_auto_compaction() {
+        let path = temp_path("no-auto-compact");
+        cleanup(&path);
+        let contents = format!("{HEADER_V5}\nS1\tsat|k1\nS1\tsat|k1\n");
+        std::fs::write(&path, &contents).unwrap();
+        drop(MemoStore::with_disk_log(&path).unwrap());
+        assert_eq!(
+            MemoStore::inspect(&path).unwrap().duplicates,
+            1,
+            "below the threshold the log is left as-is"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn inspect_reports_per_kind_counts_and_dead_records() {
+        let path = temp_path("inspect");
+        cleanup(&path);
+        std::fs::write(
+            &path,
+            format!(
+                "{HEADER_V5}\nS1\tsat|k1\nS0\tsat|k2\nS1\tsat|k1\nI1\tincl|k3\nD0\tshape|k4\n\
+                 M\tmt|k5\tU0;M0;P0;Q0;\nM\tmt|k6\tU0;M1;O3#put\ntorn-line"
+            ),
+        )
+        .unwrap();
+        let stats = MemoStore::inspect(&path).unwrap();
+        assert_eq!(stats.version, Some(5));
+        assert_eq!(stats.solver, 2);
+        assert_eq!(stats.inclusion, 1);
+        assert_eq!(stats.shape, 1);
+        assert_eq!(stats.minterms, 1);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(stats.malformed, 2, "torn payload + torn line");
+        assert_eq!(stats.live(), 5);
+        assert_eq!(stats.dead(), 3);
+        assert!(stats.dead_ratio() > 0.3 && stats.dead_ratio() < 0.4);
+        // Inspection is read-only: same result twice, no lock left behind.
+        assert_eq!(MemoStore::inspect(&path).unwrap(), stats);
+        assert!(!lock_path_for(&path).exists());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn inspect_on_a_foreign_file_reads_only_the_header() {
+        let path = temp_path("inspect-foreign");
+        std::fs::write(&path, "hat-engine-cache v999\nS1\tk\n").unwrap();
+        let stats = MemoStore::inspect(&path).unwrap();
+        assert_eq!(stats.version, None);
+        assert_eq!(stats.header.as_deref(), Some("hat-engine-cache v999"));
+        assert_eq!(stats.live(), 0);
+        cleanup(&path);
     }
 }

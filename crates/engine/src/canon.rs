@@ -15,7 +15,7 @@
 //! constants) is length-prefixed in the key, so no crafted name can alias another key.
 
 use hat_logic::{Atom, AxiomSet, Constant, Formula, FuncSym, Ident, Sort, Term};
-use hat_sfa::{LiteralPool, Minterm, MintermSet, OpSig, Sfa, VarCtx};
+use hat_sfa::{LiteralPool, MemoQuery, Minterm, MintermSet, OpSig, Sfa, VarCtx};
 use std::collections::BTreeMap;
 
 /// A query in canonical form: the renamed sort environment, the renamed formula, and the
@@ -508,6 +508,68 @@ pub fn shape_key(a: &Sfa, b: &Sfa, alphabet: &[Minterm], max_states: usize) -> S
         }
     }
     key
+}
+
+/// The canonical key of one [`MemoQuery`], together with the renaming needed to
+/// transport a stored value back into the query's own variable names (for the kinds
+/// whose values contain variables).
+///
+/// This is the single entry point tying the unified memo interface of
+/// [`hat_sfa::SolverOracle`] to the per-kind key constructors of this module; the
+/// axiom-fingerprint discipline (prefix [`Minterms`](CanonicalMemoKey::Minterms) and
+/// [`Inclusion`](CanonicalMemoKey::Inclusion) keys, never
+/// [`Shape`](CanonicalMemoKey::Shape) or [`Transition`](CanonicalMemoKey::Transition)
+/// ones) is applied by the caller, which knows its axiom set.
+#[derive(Debug, Clone)]
+pub enum CanonicalMemoKey {
+    /// An [`alphabet_key`] (axiom-dependent: prefix before sharing).
+    Minterms(AlphabetKey),
+    /// An [`inclusion_check_key`] (axiom-dependent: prefix before sharing).
+    Inclusion(String),
+    /// A [`shape_key`] (axiom-independent by construction).
+    Shape(String),
+    /// A [`transition_key`] (axiom-independent by construction).
+    Transition(TransitionKey),
+}
+
+impl CanonicalMemoKey {
+    /// Whether verdicts under this key depend on the background axiom set (and the key
+    /// must therefore be prefixed with an axiom fingerprint before use in a store shared
+    /// across benchmarks).
+    pub fn axiom_dependent(&self) -> bool {
+        matches!(
+            self,
+            CanonicalMemoKey::Minterms(_) | CanonicalMemoKey::Inclusion(_)
+        )
+    }
+}
+
+/// Canonicalises one memo query: dispatches each [`MemoQuery`] variant to its key
+/// constructor.
+pub fn memo_key(query: &MemoQuery) -> CanonicalMemoKey {
+    match query {
+        MemoQuery::Minterms { ctx, ops, pool } => {
+            CanonicalMemoKey::Minterms(alphabet_key(ctx, ops, pool))
+        }
+        MemoQuery::Inclusion {
+            ctx,
+            ops,
+            max_states,
+            a,
+            b,
+        } => CanonicalMemoKey::Inclusion(inclusion_check_key(ctx, ops, *max_states, a, b)),
+        MemoQuery::Shape {
+            a,
+            b,
+            alphabet,
+            max_states,
+        } => CanonicalMemoKey::Shape(shape_key(a, b, alphabet, *max_states)),
+        MemoQuery::Transition {
+            state,
+            events,
+            guards,
+        } => CanonicalMemoKey::Transition(transition_key(state, events, guards)),
+    }
 }
 
 /// A stable fingerprint of an axiom set, for inclusion in cache keys.

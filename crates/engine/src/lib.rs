@@ -5,7 +5,7 @@
 //! persisted to disk so repeated runs start warm. This is the subsystem behind
 //! `marple check-all --jobs N --cache <path>`.
 //!
-//! ## Query cache
+//! ## Tiered memo store
 //!
 //! Every SMT query the checker issues — subtyping entailments and context-consistency
 //! checks from `hat-core`, minterm-satisfiability and transition queries from
@@ -21,11 +21,17 @@
 //! verdict is a pure function of its key — which is why `--jobs N` produces verdicts
 //! identical to a sequential run no matter how the cache interleaves.
 //!
+//! Each key is served by a three-level tier stack ([`tier`]), instantiated once per
+//! record kind in the [`MemoStore`]: a worker-local lock-free map (read-through, hits
+//! promoted on the way back — this is what keeps shard-lock traffic flat under
+//! `--jobs N`), the shared sharded map, and the disk log.
+//!
 //! ## Memo hierarchy
 //!
-//! Beyond the per-query cache, whole units of work are memoised at four higher levels,
-//! all keyed α-canonically (see [`canon`] and `docs/ARCHITECTURE.md` for the hierarchy
-//! diagram): minterm sets (whole alphabet transformations), DFA transitions
+//! Beyond the per-query cache, whole units of work are memoised at four higher levels
+//! through the single typed [`hat_sfa::MemoQuery`] interface, all keyed α-canonically
+//! (see [`canon::memo_key`] and `docs/ARCHITECTURE.md` for the hierarchy diagram):
+//! minterm sets (whole alphabet transformations), DFA transitions
 //! (`state × answers → successor`), per-group *DFA shapes* (one product walk over an
 //! (automaton pair, pruned alphabet) — shared across benchmarks, no axiom fingerprint)
 //! and whole inclusion checks. A hit at an outer level skips every inner level.
@@ -33,18 +39,20 @@
 //! ## Disk log
 //!
 //! With [`EngineConfig::cache_path`] set, verdicts append to a plain-text log
-//! (`hat-engine-cache v4` header; the record grammar, migration rules and torn-payload
-//! semantics are specified in `docs/CACHE_FORMAT.md` and summarised in [`cache`]). The
-//! next run replays the log into memory and starts warm; `v1`–`v3` logs are migrated
-//! atomically, and logs from any other format version are ignored wholesale and counted
-//! as stale.
+//! (`hat-engine-cache v5` header; the record grammar, the single-writer locking and
+//! compaction rules, migration rules and torn-payload semantics are specified in
+//! `docs/CACHE_FORMAT.md` and summarised in [`cache`]). The next run replays the log
+//! into memory and starts warm; `v1`–`v4` logs are migrated atomically, logs from any
+//! other format version are ignored wholesale and counted as stale, and a log crowded
+//! with dead records is compacted — automatically past a threshold, or explicitly via
+//! [`MemoStore::compact`] / `marple cache compact`.
 //!
 //! ## Scheduler
 //!
 //! [`Engine::check_benchmarks`] flattens the benchmark suite into (benchmark, method)
 //! jobs, drains them from an atomic work-queue with `jobs` worker threads (each with its
-//! own solver, all with the shared cache), and reassembles reports into input order — so
-//! output is deterministic regardless of which worker finishes first.
+//! own solver and local tier, all with the shared store), and reassembles reports into
+//! input order — so output is deterministic regardless of which worker finishes first.
 //!
 //! ```
 //! use hat_engine::{Engine, EngineConfig};
@@ -60,8 +68,12 @@ pub mod cache;
 pub mod canon;
 pub mod oracle;
 pub mod schedule;
+pub mod tier;
 
-pub use cache::{CacheStatsSnapshot, QueryCache};
-pub use canon::{canonicalize, CanonicalQuery};
+pub use cache::{
+    CacheFileStats, CacheStatsSnapshot, CompactionReport, MemoStore, QueryCache, RecordKind,
+};
+pub use canon::{canonicalize, memo_key, CanonicalMemoKey, CanonicalQuery};
 pub use oracle::CachingOracle;
 pub use schedule::{BenchmarkRun, Engine, EngineConfig, RunSummary};
+pub use tier::{LocalTier, MemoTier, SharedTier};

@@ -1,49 +1,68 @@
 //! A caching [`SolverOracle`]: the bridge between the checker layers and the shared
-//! [`QueryCache`].
+//! [`MemoStore`], composing the memo tiers into one read-through stack.
 //!
 //! Every oracle query — context-consistency checks and subtyping entailments from
 //! `hat-core`, minterm-satisfiability and transition queries from `hat-sfa` — is reduced
-//! to one satisfiability problem, canonicalised ([`crate::canon`]), and looked up in the
-//! cache. On a miss the *canonical* form is handed to the worker's own [`Solver`], so the
-//! verdict depends only on the cache key; this is what makes cached parallel runs produce
-//! exactly the verdicts of a sequential run.
+//! to one satisfiability problem, canonicalised ([`crate::canon`]), and looked up
+//! tier by tier: the worker's lock-free [`LocalTier`] first (when one is attached), then
+//! the shared sharded tier of the [`MemoStore`], promoting shared hits into the local
+//! tier on the way back so the next lookup of the same key touches no lock. The whole
+//! memo hierarchy above the solver cache — minterm sets, inclusion verdicts, DFA shapes,
+//! transitions — flows through the same composition via the single typed
+//! [`SolverOracle::memo_lookup`]/[`SolverOracle::memo_store`] interface, keyed by
+//! [`crate::canon::memo_key`].
+//!
+//! On a miss the *canonical* form is handed to the worker's own [`Solver`], so the
+//! verdict depends only on the cache key; this is what makes cached parallel runs
+//! produce exactly the verdicts of a sequential run — and what makes read-through
+//! caching trivially coherent: a value can never be stale, only absent.
 
-use crate::cache::QueryCache;
-use crate::canon::{
-    alphabet_key, axioms_fingerprint, canonicalize, inclusion_check_key, shape_key, transition_key,
-};
+use crate::cache::{MemoStore, RecordKind};
+use crate::canon::{axioms_fingerprint, canonicalize, memo_key, CanonicalMemoKey};
+use crate::tier::{LocalMap, LocalTier};
 use hat_logic::{Atom, AxiomSet, Formula, Ident, ScopedSession, Solver, Sort};
-use hat_sfa::{LiteralPool, Minterm, MintermSet, OpSig, Sfa, SolverOracle, SymbolicEvent, VarCtx};
+use hat_sfa::{MemoAnswer, MemoKind, MemoQuery, MintermSet, Sfa, SolverOracle};
+use std::borrow::Cow;
+use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// A solver wrapped with the shared query cache. Each worker owns one (the underlying
-/// solver is not thread-safe); the cache is shared through an [`Arc`].
+/// A solver wrapped with the tiered memo store. Each worker owns one per job (the
+/// underlying solver is not thread-safe); the shared store is shared through an [`Arc`],
+/// and the worker's local tier — shared by every oracle the worker creates — through an
+/// [`Rc`].
 pub struct CachingOracle {
     solver: Solver,
-    cache: Arc<QueryCache>,
-    /// Fingerprint of the solver's axiom set, prefixed onto every cache key: a verdict
-    /// depends on the axioms instantiated into the query, and the cache is shared across
-    /// oracles with *different* axiom sets (one per benchmark).
+    store: Arc<MemoStore>,
+    /// The worker's lock-free read-through tier; `None` runs shared-only (the
+    /// measurement baseline for `--local-tier off`).
+    local: Option<Rc<LocalTier>>,
+    /// Fingerprint of the solver's axiom set, prefixed onto every axiom-dependent cache
+    /// key: a verdict depends on the axioms instantiated into the query, and the store
+    /// is shared across oracles with *different* axiom sets (one per benchmark).
     key_prefix: String,
-    /// The alphabet key computed by the last `minterm_lookup` miss. `build_minterms_with`
-    /// always pairs a miss with a `minterm_store` for the same transformation, so the
-    /// store reuses this instead of re-canonicalising the whole alphabet.
-    pending_alphabet: Option<(String, crate::canon::AlphabetKey)>,
-    /// The transition key computed by the last `transition_lookup` miss. The DFA
-    /// construction always pairs a miss with a `transition_store` for the same
-    /// transition, so the store reuses this instead of re-canonicalising.
+    /// The canonicalisation computed by the last memo-lookup miss of each kind. Every
+    /// store is paired with a preceding miss for the same query, so the store reuses
+    /// these instead of re-canonicalising; the `unwrap_or_else` fallbacks only fire if
+    /// that pairing is ever broken by an unexpected call sequence.
+    pending_minterms: Option<(String, crate::canon::AlphabetKey)>,
+    pending_inclusion: Option<String>,
+    pending_shape: Option<String>,
     pending_transition: Option<(String, crate::canon::TransitionKey)>,
     queries: usize,
     hits: usize,
     misses: usize,
+    /// Shared-tier shard-lock acquisitions performed by this oracle (each shared get or
+    /// put is exactly one). Local-tier hits bypass the shared tier entirely, so this is
+    /// the number the read-through tier drives down.
+    shared_locks: usize,
 }
 
 impl CachingOracle {
-    /// Creates an oracle over the given background axioms and shared cache.
-    pub fn new(axioms: AxiomSet, cache: Arc<QueryCache>) -> Self {
+    /// Creates an oracle over the given background axioms and shared store.
+    pub fn new(axioms: AxiomSet, store: Arc<MemoStore>) -> Self {
         let key_prefix = Self::key_prefix_for(&axioms);
-        Self::with_key_prefix(axioms, cache, key_prefix)
+        Self::with_key_prefix(axioms, store, key_prefix)
     }
 
     /// The cache-key prefix [`CachingOracle::new`] would derive for an axiom set. Callers
@@ -56,25 +75,129 @@ impl CachingOracle {
     /// Creates an oracle with a precomputed key prefix. The prefix must be
     /// [`CachingOracle::key_prefix_for`] of the same axiom set, or cache entries would be
     /// shared across incompatible axiom sets.
-    pub fn with_key_prefix(axioms: AxiomSet, cache: Arc<QueryCache>, key_prefix: String) -> Self {
+    pub fn with_key_prefix(axioms: AxiomSet, store: Arc<MemoStore>, key_prefix: String) -> Self {
         CachingOracle {
             solver: Solver::with_axioms(axioms),
-            cache,
+            store,
+            local: None,
             key_prefix,
-            pending_alphabet: None,
+            pending_minterms: None,
+            pending_inclusion: None,
+            pending_shape: None,
             pending_transition: None,
             queries: 0,
             hits: 0,
             misses: 0,
+            shared_locks: 0,
         }
     }
 
-    /// The shared cache this oracle reads and writes.
-    pub fn cache(&self) -> &Arc<QueryCache> {
-        &self.cache
+    /// Attaches a worker-local read-through tier: lookups probe it lock-free before the
+    /// shared tier, and shared hits are promoted into it. Values are pure functions of
+    /// their keys, so promotion cannot introduce staleness — the jobs=6 coherence test
+    /// in `tests/tiers.rs` asserts verdict identity against shared-only and sequential
+    /// runs.
+    pub fn with_local_tier(mut self, local: Rc<LocalTier>) -> Self {
+        self.local = Some(local);
+        self
     }
 
-    /// Answers a satisfiability query through the cache, solving the canonical form on a
+    /// The shared store this oracle reads and writes.
+    pub fn cache(&self) -> &Arc<MemoStore> {
+        &self.store
+    }
+
+    /// Read-through lookup of one boolean kind: local tier (lock-free), then shared
+    /// tier (one shard lock), promoting shared hits into the local tier.
+    fn tier_lookup_bool(&mut self, kind: RecordKind, key: &str) -> Option<bool> {
+        if let Some(local) = &self.local {
+            if let Some(v) = Self::local_bools(local, kind).get_str(key) {
+                self.store.note_local_hit(kind);
+                return Some(v);
+            }
+        }
+        self.shared_locks += 1;
+        let found = self.store.lookup_bool(kind, key);
+        if let (Some(v), Some(local)) = (found, &self.local) {
+            Self::local_bools(local, kind).put_owned(key.to_string(), v);
+        }
+        found
+    }
+
+    /// Write-through store of one boolean kind: local tier first (the worker will ask
+    /// again), then the shared tier (which appends to the disk tier when fresh).
+    fn tier_store_bool(&mut self, kind: RecordKind, key: String, verdict: bool) {
+        if let Some(local) = &self.local {
+            Self::local_bools(local, kind).put_owned(key.clone(), verdict);
+        }
+        self.shared_locks += 1;
+        self.store.insert_bool(kind, key, verdict);
+    }
+
+    fn local_bools(local: &LocalTier, kind: RecordKind) -> &LocalMap<bool> {
+        match kind {
+            RecordKind::Solver => &local.solver,
+            RecordKind::Inclusion => &local.inclusion,
+            RecordKind::Shape => &local.shape,
+            RecordKind::Minterms | RecordKind::Transition => {
+                unreachable!("{kind:?} is not a boolean record kind")
+            }
+        }
+    }
+
+    fn tier_lookup_minterms(&mut self, key: &str) -> Option<MintermSet> {
+        if let Some(local) = &self.local {
+            if let Some(set) = local.minterms.get_str(key) {
+                self.store.note_local_hit(RecordKind::Minterms);
+                return Some(set);
+            }
+        }
+        self.shared_locks += 1;
+        let found = self.store.lookup_minterms(key);
+        if let (Some(set), Some(local)) = (&found, &self.local) {
+            local.minterms.put_owned(key.to_string(), set.clone());
+        }
+        found
+    }
+
+    fn tier_store_minterms(&mut self, key: String, set: MintermSet) {
+        if let Some(local) = &self.local {
+            local.minterms.put_owned(key.clone(), set.clone());
+        }
+        self.shared_locks += 1;
+        self.store.insert_minterms(key, set);
+    }
+
+    /// Transitions use the [`ShardMirror`](crate::tier::ShardMirror) policy instead of
+    /// per-key read-through: they are the hottest kind, cheap to re-derive, and never
+    /// persisted, so whole-shard syncs plus write-behind insert batches replace almost
+    /// every per-key shared-tier round-trip.
+    fn tier_lookup_transition(&mut self, key: &str) -> Option<Sfa> {
+        if let Some(local) = &self.local {
+            let (found, locks) = local
+                .transitions
+                .get_or_sync(self.store.transition_tier(), key);
+            self.shared_locks += locks;
+            self.store
+                .note_local(RecordKind::Transition, found.is_some());
+            return found;
+        }
+        self.shared_locks += 1;
+        self.store.lookup_transition(key)
+    }
+
+    fn tier_store_transition(&mut self, key: String, succ: Sfa) {
+        if let Some(local) = &self.local {
+            self.shared_locks += local
+                .transitions
+                .put(self.store.transition_tier(), key, succ);
+            return;
+        }
+        self.shared_locks += 1;
+        self.store.insert_transition(key, succ);
+    }
+
+    /// Answers a satisfiability query through the tiers, solving the canonical form on a
     /// miss.
     fn cached_sat(&mut self, vars: &[(Ident, Sort)], f: &Formula) -> bool {
         self.queries += 1;
@@ -86,7 +209,7 @@ impl CachingOracle {
         }
         let canonical = canonicalize(vars, f);
         let key = format!("{}{}", self.key_prefix, canonical.key);
-        if let Some(verdict) = self.cache.lookup(&key) {
+        if let Some(verdict) = self.tier_lookup_bool(RecordKind::Solver, &key) {
             self.hits += 1;
             return verdict;
         }
@@ -94,8 +217,18 @@ impl CachingOracle {
         let verdict = self
             .solver
             .is_satisfiable(&canonical.vars, &canonical.formula);
-        self.cache.insert(key, verdict);
+        self.tier_store_bool(RecordKind::Solver, key, verdict);
         verdict
+    }
+}
+
+impl Drop for CachingOracle {
+    fn drop(&mut self) {
+        // Safety net: the checker flushes via `flush_memos` before harvesting stats,
+        // so this is a no-op (0 locks) unless an oracle is dropped mid-check.
+        if let Some(local) = &self.local {
+            local.transitions.flush(self.store.transition_tier());
+        }
     }
 }
 
@@ -134,6 +267,20 @@ impl SolverOracle for CachingOracle {
         self.misses
     }
 
+    fn shared_tier_locks(&self) -> usize {
+        self.shared_locks
+    }
+
+    fn flush_memos(&mut self) {
+        // Publish the write-behind transition batch at the job boundary, so workers
+        // picking up the next method see everything this method derived — and count
+        // the flush's locks against this oracle, keeping the per-method
+        // `shared_tier_locks` sums reconcilable with the store-level counter.
+        if let Some(local) = &self.local {
+            self.shared_locks += local.transitions.flush(self.store.transition_tier());
+        }
+    }
+
     fn scoped_session<'a>(
         &'a mut self,
         vars: &[(Ident, Sort)],
@@ -145,123 +292,103 @@ impl SolverOracle for CachingOracle {
         Some(self.solver.scoped(vars, base, literals))
     }
 
-    fn minterm_lookup(
-        &mut self,
-        ctx: &VarCtx,
-        ops: &[OpSig],
-        pool: &LiteralPool,
-    ) -> Option<MintermSet> {
-        let alphabet = alphabet_key(ctx, ops, pool);
-        let key = format!("{}{}", self.key_prefix, alphabet.key);
-        let found = self
-            .cache
-            .lookup_minterms(&key)
-            .map(|stored| alphabet.from_canonical(&stored));
-        self.pending_alphabet = if found.is_none() {
-            Some((key, alphabet))
-        } else {
-            None
-        };
-        found
-    }
-
-    fn minterm_store(&mut self, ctx: &VarCtx, ops: &[OpSig], pool: &LiteralPool, set: &MintermSet) {
-        // The paired lookup (a miss) left its key behind; recompute only if the pairing
-        // was broken by an unexpected call sequence.
-        let (key, alphabet) = self.pending_alphabet.take().unwrap_or_else(|| {
-            let alphabet = alphabet_key(ctx, ops, pool);
-            (format!("{}{}", self.key_prefix, alphabet.key), alphabet)
-        });
-        self.cache.insert_minterms(key, alphabet.to_canonical(set));
-    }
-
-    fn inclusion_key(
-        &mut self,
-        ctx: &VarCtx,
-        ops: &[OpSig],
-        max_states: usize,
-        a: &Sfa,
-        b: &Sfa,
-    ) -> Option<String> {
-        Some(format!(
-            "{}{}",
-            self.key_prefix,
-            inclusion_check_key(ctx, ops, max_states, a, b)
-        ))
-    }
-
-    fn inclusion_lookup(&mut self, key: &str) -> Option<bool> {
-        self.cache.lookup_inclusion(key)
-    }
-
-    fn inclusion_store(&mut self, key: &str, verdict: bool) {
-        self.cache.insert_inclusion(key.to_string(), verdict);
-    }
-
-    fn memoises_transitions(&self) -> bool {
+    fn memoises(&self, _kind: MemoKind) -> bool {
+        // Every kind has a tier stack; the store decides per kind what reaches disk.
         true
     }
 
-    fn shape_key(
-        &mut self,
-        a: &Sfa,
-        b: &Sfa,
-        alphabet: &[Minterm],
-        max_states: usize,
-    ) -> Option<String> {
-        // No axiom prefix: like a transition, a per-group product walk is a pure
-        // syntactic function of the automaton pair and its minterm alphabet (every
-        // transition is resolved propositionally from data in the key), so α-equal
-        // shapes share one verdict across benchmarks with different axiom sets. The
-        // checker refuses to store if a context-dependent SMT fallback ever fired.
-        Some(shape_key(a, b, alphabet, max_states))
+    fn memo_lookup(&mut self, query: &MemoQuery) -> Option<MemoAnswer<'static>> {
+        match memo_key(query) {
+            CanonicalMemoKey::Minterms(alphabet) => {
+                let key = format!("{}{}", self.key_prefix, alphabet.key);
+                let found = self
+                    .tier_lookup_minterms(&key)
+                    .map(|stored| alphabet.from_canonical(&stored));
+                self.pending_minterms = if found.is_none() {
+                    Some((key, alphabet))
+                } else {
+                    None
+                };
+                found.map(|set| MemoAnswer::Minterms(Cow::Owned(set)))
+            }
+            CanonicalMemoKey::Inclusion(key) => {
+                let key = format!("{}{key}", self.key_prefix);
+                let found = self.tier_lookup_bool(RecordKind::Inclusion, &key);
+                self.pending_inclusion = found.is_none().then_some(key);
+                found.map(MemoAnswer::Verdict)
+            }
+            CanonicalMemoKey::Shape(key) => {
+                // No axiom prefix: like a transition, a per-group product walk is a pure
+                // syntactic function of the automaton pair and its minterm alphabet
+                // (every transition is resolved propositionally from data in the key),
+                // so α-equal shapes share one verdict across benchmarks with different
+                // axiom sets. The checker refuses to store if a context-dependent SMT
+                // fallback ever fired.
+                let found = self.tier_lookup_bool(RecordKind::Shape, &key);
+                self.pending_shape = found.is_none().then_some(key);
+                found.map(MemoAnswer::Verdict)
+            }
+            CanonicalMemoKey::Transition(tk) => {
+                // No axiom prefix: the successor is a pure syntactic function of the
+                // state and the signed answers (which the key contains).
+                let found = self
+                    .tier_lookup_transition(&tk.key)
+                    .map(|stored| tk.from_canonical(&stored));
+                self.pending_transition = if found.is_none() {
+                    let key = tk.key.clone();
+                    Some((key, tk))
+                } else {
+                    None
+                };
+                found.map(|succ| MemoAnswer::Transition(Cow::Owned(succ)))
+            }
+        }
     }
 
-    fn shape_lookup(&mut self, key: &str) -> Option<bool> {
-        self.cache.lookup_shape(key)
-    }
-
-    fn shape_store(&mut self, key: &str, verdict: bool) {
-        self.cache.insert_shape(key.to_string(), verdict);
-    }
-
-    fn transition_lookup(
-        &mut self,
-        state: &Sfa,
-        event_answers: &[(&SymbolicEvent, bool)],
-        guard_answers: &[(&Formula, bool)],
-    ) -> Option<Sfa> {
-        // No axiom prefix: the successor is a pure syntactic function of the state and
-        // the signed answers (which the key contains), so structurally equal transitions
-        // are shared across benchmarks with different axiom sets.
-        let tk = transition_key(state, event_answers, guard_answers);
-        let found = self
-            .cache
-            .lookup_transition(&tk.key)
-            .map(|stored| tk.from_canonical(&stored));
-        self.pending_transition = if found.is_none() {
-            let key = tk.key.clone();
-            Some((key, tk))
-        } else {
-            None
-        };
-        found
-    }
-
-    fn transition_store(
-        &mut self,
-        state: &Sfa,
-        event_answers: &[(&SymbolicEvent, bool)],
-        guard_answers: &[(&Formula, bool)],
-        succ: &Sfa,
-    ) {
-        // The paired lookup (a miss) left its key behind; recompute only if the pairing
-        // was broken by an unexpected call sequence.
-        let (key, tk) = self.pending_transition.take().unwrap_or_else(|| {
-            let tk = transition_key(state, event_answers, guard_answers);
-            (tk.key.clone(), tk)
-        });
-        self.cache.insert_transition(key, tk.to_canonical(succ));
+    fn memo_store(&mut self, query: &MemoQuery, answer: &MemoAnswer) {
+        // Each arm reuses the canonicalisation left behind by the paired lookup miss,
+        // recomputing only if the pairing was broken by an unexpected call sequence.
+        match (query.kind(), answer) {
+            (MemoKind::Minterms, MemoAnswer::Minterms(set)) => {
+                let (key, alphabet) = self.pending_minterms.take().unwrap_or_else(|| {
+                    let CanonicalMemoKey::Minterms(alphabet) = memo_key(query) else {
+                        unreachable!("kind() matches the query shape")
+                    };
+                    (format!("{}{}", self.key_prefix, alphabet.key), alphabet)
+                });
+                self.tier_store_minterms(key, alphabet.to_canonical(set));
+            }
+            (MemoKind::Inclusion, MemoAnswer::Verdict(verdict)) => {
+                let key = self.pending_inclusion.take().unwrap_or_else(|| {
+                    let CanonicalMemoKey::Inclusion(key) = memo_key(query) else {
+                        unreachable!("kind() matches the query shape")
+                    };
+                    format!("{}{key}", self.key_prefix)
+                });
+                self.tier_store_bool(RecordKind::Inclusion, key, *verdict);
+            }
+            (MemoKind::Shape, MemoAnswer::Verdict(verdict)) => {
+                let key = self.pending_shape.take().unwrap_or_else(|| {
+                    let CanonicalMemoKey::Shape(key) = memo_key(query) else {
+                        unreachable!("kind() matches the query shape")
+                    };
+                    key
+                });
+                self.tier_store_bool(RecordKind::Shape, key, *verdict);
+            }
+            (MemoKind::Transition, MemoAnswer::Transition(succ)) => {
+                let (key, tk) = self.pending_transition.take().unwrap_or_else(|| {
+                    let CanonicalMemoKey::Transition(tk) = memo_key(query) else {
+                        unreachable!("kind() matches the query shape")
+                    };
+                    (tk.key.clone(), tk)
+                });
+                self.tier_store_transition(key, tk.to_canonical(succ));
+            }
+            // A mismatched (kind, answer) pair is a caller bug; storing nothing is the
+            // safe response (the memo is an accelerator, not a source of truth).
+            _ => {}
+        }
     }
 }
 
@@ -276,7 +403,7 @@ mod tests {
 
     #[test]
     fn verdicts_match_the_plain_solver() {
-        let cache = Arc::new(QueryCache::in_memory());
+        let cache = Arc::new(MemoStore::in_memory());
         let mut cached = CachingOracle::new(AxiomSet::new(), cache);
         let mut plain = Solver::default();
         let vars = env(&["x", "y", "z"]);
@@ -312,7 +439,7 @@ mod tests {
 
     #[test]
     fn repeated_queries_hit_without_touching_the_solver() {
-        let cache = Arc::new(QueryCache::in_memory());
+        let cache = Arc::new(MemoStore::in_memory());
         let mut oracle = CachingOracle::new(AxiomSet::new(), cache);
         let vars = env(&["x"]);
         let facts = vec![Formula::lt(Term::int(0), Term::var("x"))];
@@ -330,8 +457,49 @@ mod tests {
     }
 
     #[test]
+    fn local_tier_absorbs_repeat_lookups_without_shared_locks() {
+        let cache = Arc::new(MemoStore::in_memory());
+        let local = Rc::new(LocalTier::default());
+        let mut oracle =
+            CachingOracle::new(AxiomSet::new(), cache.clone()).with_local_tier(local.clone());
+        let vars = env(&["x"]);
+        let facts = vec![Formula::lt(Term::int(0), Term::var("x"))];
+        assert!(SolverOracle::is_sat(&mut oracle, &vars, &facts));
+        let locks_after_miss = oracle.shared_tier_locks();
+        assert_eq!(locks_after_miss, 2, "one shared lookup + one shared insert");
+        for _ in 0..10 {
+            assert!(SolverOracle::is_sat(&mut oracle, &vars, &facts));
+        }
+        assert_eq!(
+            oracle.shared_tier_locks(),
+            locks_after_miss,
+            "repeat lookups must be answered by the local tier, lock-free"
+        );
+        assert_eq!(oracle.cache_hits(), 10);
+        assert_eq!(
+            cache.stats().hits,
+            10,
+            "local hits still count as memo hits in the store snapshot"
+        );
+
+        // A second oracle of the same worker shares the local tier: the promotion
+        // made by the first oracle serves it without a shared lookup for the hit
+        // (the shared tier was touched only while the entry was still missing).
+        let mut second = CachingOracle::new(AxiomSet::new(), cache.clone()).with_local_tier(local);
+        assert!(SolverOracle::is_sat(&mut second, &vars, &facts));
+        assert_eq!(second.shared_tier_locks(), 0);
+
+        // A shared-only oracle pays one shared lock per lookup.
+        let mut shared_only = CachingOracle::new(AxiomSet::new(), cache);
+        for _ in 0..5 {
+            assert!(SolverOracle::is_sat(&mut shared_only, &vars, &facts));
+        }
+        assert_eq!(shared_only.shared_tier_locks(), 5);
+    }
+
+    #[test]
     fn alpha_equivalent_queries_share_entries() {
-        let cache = Arc::new(QueryCache::in_memory());
+        let cache = Arc::new(MemoStore::in_memory());
         let mut oracle = CachingOracle::new(AxiomSet::new(), cache.clone());
         let f1 = vec![Formula::lt(Term::var("a"), Term::var("b"))];
         let f2 = vec![Formula::lt(Term::var("p"), Term::var("q"))];
@@ -343,17 +511,18 @@ mod tests {
 
     #[test]
     fn constant_formulas_bypass_the_cache() {
-        let cache = Arc::new(QueryCache::in_memory());
+        let cache = Arc::new(MemoStore::in_memory());
         let mut oracle = CachingOracle::new(AxiomSet::new(), cache.clone());
         assert!(SolverOracle::is_sat(&mut oracle, &[], &[]));
         assert!(!SolverOracle::is_sat(&mut oracle, &[], &[Formula::False]));
         assert!(cache.is_empty());
+        assert_eq!(oracle.shared_tier_locks(), 0);
     }
 
     #[test]
     fn shape_memo_shares_product_walks_across_axiom_sets() {
         use hat_sfa::{InclusionChecker, OpSig, Sfa, VarCtx};
-        let cache = Arc::new(QueryCache::in_memory());
+        let cache = Arc::new(MemoStore::in_memory());
         let ops = vec![OpSig::new(
             "insert",
             vec![("x".into(), Sort::Int)],
@@ -426,7 +595,7 @@ mod tests {
                 Formula::not(Formula::pred("isDel", vec![Term::var("b")])),
             ),
         ));
-        let cache = Arc::new(QueryCache::in_memory());
+        let cache = Arc::new(MemoStore::in_memory());
         // Under no axioms the conjunction is satisfiable...
         let mut lax_oracle = CachingOracle::new(AxiomSet::new(), cache.clone());
         assert!(SolverOracle::is_sat(&mut lax_oracle, &vars, &query));

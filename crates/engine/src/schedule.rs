@@ -1,19 +1,22 @@
 //! The parallel verification scheduler.
 //!
 //! A verification run is a work-queue of (benchmark, method) jobs drained by `jobs` worker
-//! threads. Each worker owns its solver (wrapped in a [`CachingOracle`]) but shares the
-//! run-wide [`QueryCache`], so work one method discharges is available to every other
-//! method — across workers and, with a disk log, across runs. Reports are written into
+//! threads. Each worker owns its solver (wrapped in a [`CachingOracle`]) and a lock-free
+//! [`LocalTier`], and shares the run-wide [`MemoStore`], so work one method discharges is
+//! available to every other method — across workers and, with a disk log, across runs.
+//! Reports are written into
 //! pre-allocated slots keyed by (benchmark, method) index, so aggregation is deterministic
 //! regardless of completion order; verdicts themselves are order-independent because every
 //! cached verdict is a pure function of its canonical key.
 
-use crate::cache::{CacheStatsSnapshot, QueryCache};
+use crate::cache::{CacheStatsSnapshot, MemoStore};
 use crate::oracle::CachingOracle;
+use crate::tier::LocalTier;
 use hat_core::{Checker, MethodReport};
 use hat_sfa::{EnumerationMode, InclusionMode};
 use hat_suite::Benchmark;
 use std::path::PathBuf;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -36,6 +39,11 @@ pub struct EngineConfig {
     /// default; the materialising DFA-pair path is kept for differential testing and
     /// measurement — both paths are verdict-identical).
     pub inclusion: InclusionMode,
+    /// Whether each worker fronts the shared store with a lock-free local read-through
+    /// tier (on by default; the shared-only path is kept as the lock-traffic measurement
+    /// baseline — verdicts are identical because every memo value is a pure function of
+    /// its key).
+    pub local_tiers: bool,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +54,7 @@ impl Default for EngineConfig {
             enumeration: EnumerationMode::default(),
             prune: true,
             inclusion: InclusionMode::default(),
+            local_tiers: true,
         }
     }
 }
@@ -144,6 +153,13 @@ impl BenchmarkRun {
         self.reports.iter().map(|r| r.stats.shape_memo_hits).sum()
     }
 
+    /// Total shared-tier shard-lock acquisitions by this benchmark's methods. With
+    /// local read-through tiers enabled, repeat lookups are absorbed lock-free and this
+    /// number drops while hit counts stay.
+    pub fn shared_tier_locks(&self) -> usize {
+        self.reports.iter().map(|r| r.stats.shared_tier_locks).sum()
+    }
+
     /// Total solver work: standalone SMT queries plus incremental enumeration checks.
     /// This is the number to compare across enumeration modes (naive enumeration issues
     /// standalone queries; incremental enumeration issues scoped checks).
@@ -163,25 +179,25 @@ pub struct RunSummary {
     pub cache: CacheStatsSnapshot,
 }
 
-/// The parallel verification engine: a worker pool plus the shared query cache.
+/// The parallel verification engine: a worker pool plus the shared memo store.
 #[derive(Debug)]
 pub struct Engine {
     config: EngineConfig,
-    cache: Arc<QueryCache>,
+    cache: Arc<MemoStore>,
 }
 
 impl Engine {
     /// Creates an engine, loading the persistent cache when one is configured.
     pub fn new(config: EngineConfig) -> std::io::Result<Self> {
         let cache = match &config.cache_path {
-            Some(path) => Arc::new(QueryCache::with_disk_log(path)?),
-            None => Arc::new(QueryCache::in_memory()),
+            Some(path) => Arc::new(MemoStore::with_disk_log(path)?),
+            None => Arc::new(MemoStore::in_memory()),
         };
         Ok(Engine { config, cache })
     }
 
-    /// The shared query cache (e.g. for reporting lifetime statistics).
-    pub fn cache(&self) -> &Arc<QueryCache> {
+    /// The shared memo store (e.g. for reporting lifetime statistics).
+    pub fn cache(&self) -> &Arc<MemoStore> {
         &self.cache
     }
 
@@ -208,29 +224,42 @@ impl Engine {
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(b, m)) = jobs.get(i) else { break };
-                    let bench = &benches[b];
-                    let method = &bench.methods[m];
-                    let oracle = CachingOracle::with_key_prefix(
-                        bench.delta.axioms.clone(),
-                        Arc::clone(&self.cache),
-                        key_prefixes[b].clone(),
-                    );
-                    let mut checker = Checker::with_oracle(bench.delta.clone(), Box::new(oracle));
-                    checker.inclusion.enumeration = self.config.enumeration;
-                    checker.inclusion.prune = self.config.prune;
-                    checker.inclusion.mode = self.config.inclusion;
-                    let report = checker
-                        .check_method(&method.sig, &method.body)
-                        .unwrap_or_else(|e| {
-                            panic!(
-                                "checking {}::{} failed to run: {e}",
-                                bench.adt, method.sig.name
-                            )
-                        });
-                    *slots[i].lock().expect("report slot poisoned") = Some(report);
+                scope.spawn(|| {
+                    // One lock-free local tier per worker, shared by every oracle the
+                    // worker creates: promotions made while checking one method serve
+                    // every later method of the same worker without a shard lock.
+                    let local = self
+                        .config
+                        .local_tiers
+                        .then(|| Rc::new(LocalTier::default()));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(b, m)) = jobs.get(i) else { break };
+                        let bench = &benches[b];
+                        let method = &bench.methods[m];
+                        let mut oracle = CachingOracle::with_key_prefix(
+                            bench.delta.axioms.clone(),
+                            Arc::clone(&self.cache),
+                            key_prefixes[b].clone(),
+                        );
+                        if let Some(local) = &local {
+                            oracle = oracle.with_local_tier(Rc::clone(local));
+                        }
+                        let mut checker =
+                            Checker::with_oracle(bench.delta.clone(), Box::new(oracle));
+                        checker.inclusion.enumeration = self.config.enumeration;
+                        checker.inclusion.prune = self.config.prune;
+                        checker.inclusion.mode = self.config.inclusion;
+                        let report = checker
+                            .check_method(&method.sig, &method.body)
+                            .unwrap_or_else(|e| {
+                                panic!(
+                                    "checking {}::{} failed to run: {e}",
+                                    bench.adt, method.sig.name
+                                )
+                            });
+                        *slots[i].lock().expect("report slot poisoned") = Some(report);
+                    }
                 });
             }
         });
@@ -270,6 +299,7 @@ impl Engine {
                 minterm_misses: after.minterm_misses - stats_before.minterm_misses,
                 transition_hits: after.transition_hits - stats_before.transition_hits,
                 transition_misses: after.transition_misses - stats_before.transition_misses,
+                lock_acquisitions: after.lock_acquisitions - stats_before.lock_acquisitions,
             },
         }
     }

@@ -22,7 +22,7 @@
 //!   their product with [`Dfa::included_in`].
 //!
 //! On top of either pipeline, oracles can *memoise per-group product walks by shape*
-//! ([`SolverOracle::shape_key`]): the α-renamed (automaton pair, pruned alphabet) fully
+//! ([`MemoQuery::Shape`]): the α-renamed (automaton pair, pruned alphabet) fully
 //! determines the walk's verdict — transitions are resolved propositionally from minterm
 //! assignments that are part of the key — so α-equal shapes skip the walk entirely, even
 //! across different typing contexts and benchmarks.
@@ -55,6 +55,7 @@ use crate::minterm::{
     arg_name, build_minterms_with, res_name, EnumerationMode, LiteralPool, Minterm, MintermSet,
 };
 use hat_logic::{Atom, Formula, Ident, ScopedSession, Sort};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -85,8 +86,130 @@ impl VarCtx {
     }
 }
 
+/// The record kinds of the memo hierarchy — every whole unit of work an oracle may
+/// memoise above the raw solver-verdict cache (which is internal to oracle
+/// implementations). Each kind corresponds to one [`MemoQuery`] variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemoKind {
+    /// A whole alphabet transformation (one enumerated [`MintermSet`]).
+    Minterms,
+    /// A whole automata-inclusion check `Γ ⊢ A ⊆ B`.
+    Inclusion,
+    /// One per-group product walk over an (automaton pair, pruned alphabet) shape.
+    Shape,
+    /// One Brzozowski derivative `state × answers → successor`.
+    Transition,
+}
+
+/// One memoisable unit of work, carrying everything an oracle needs to canonicalise its
+/// key. The same value is passed to the paired [`SolverOracle::memo_store`], so oracles
+/// can cache the canonicalisation of the preceding lookup miss instead of redoing it.
+#[derive(Debug, Clone, Copy)]
+pub enum MemoQuery<'a> {
+    /// The alphabet transformation of `ctx`/`ops`/`pool` (answer:
+    /// [`MemoAnswer::Minterms`]). Axiom-dependent: minterm satisfiability consults the
+    /// background axioms.
+    Minterms {
+        /// The typing context the literals were collected under.
+        ctx: &'a VarCtx,
+        /// The operator alphabet.
+        ops: &'a [OpSig],
+        /// The collected literal pool.
+        pool: &'a LiteralPool,
+    },
+    /// A whole inclusion check `Γ ⊢ A ⊆ B` (answer: [`MemoAnswer::Verdict`]).
+    /// Axiom-dependent, like every solver verdict feeding it.
+    Inclusion {
+        /// The typing context `Γ`.
+        ctx: &'a VarCtx,
+        /// The operator alphabet.
+        ops: &'a [OpSig],
+        /// The DFA state bound the check ran under.
+        max_states: usize,
+        /// The included automaton.
+        a: &'a Sfa,
+        /// The including automaton.
+        b: &'a Sfa,
+    },
+    /// One per-group product walk (answer: [`MemoAnswer::Verdict`]). Every transition of
+    /// the walk is resolved propositionally from a minterm assignment and a qualifier
+    /// that are both part of this data, so the verdict is a pure function of the
+    /// α-renamed query: equal shapes share one verdict across contexts and benchmarks
+    /// with different axiom sets. Callers only store when no context-dependent SMT
+    /// fallback fired during the walk.
+    Shape {
+        /// The included automaton.
+        a: &'a Sfa,
+        /// The including automaton.
+        b: &'a Sfa,
+        /// The (pruned) group alphabet the walk ran over.
+        alphabet: &'a [Minterm],
+        /// The DFA state bound the walk ran under.
+        max_states: usize,
+    },
+    /// One DFA transition (answer: [`MemoAnswer::Transition`]). A Brzozowski successor
+    /// is a pure syntactic function of the state formula and the signed answers for the
+    /// symbolic events and guards occurring in it — axioms, context facts and the
+    /// concrete minterm only enter through those answers — so the query carries exactly
+    /// that data and the memo is shared across benchmarks with different axiom sets.
+    /// Oracles must return the successor renamed back into the caller's variable names.
+    Transition {
+        /// The residual state being derived.
+        state: &'a Sfa,
+        /// The signed answer for every symbolic event occurring in `state`.
+        events: &'a [(&'a SymbolicEvent, bool)],
+        /// The signed answer for every guard occurring in `state`.
+        guards: &'a [(&'a Formula, bool)],
+    },
+}
+
+impl MemoQuery<'_> {
+    /// The record kind this query belongs to.
+    pub fn kind(&self) -> MemoKind {
+        match self {
+            MemoQuery::Minterms { .. } => MemoKind::Minterms,
+            MemoQuery::Inclusion { .. } => MemoKind::Inclusion,
+            MemoQuery::Shape { .. } => MemoKind::Shape,
+            MemoQuery::Transition { .. } => MemoKind::Transition,
+        }
+    }
+}
+
+/// The memoised answer for a [`MemoQuery`], in the shape its kind expects.
+///
+/// Values are [`Cow`]s so the hot store path pays no clone: callers pass freshly
+/// computed results by reference (`Cow::Borrowed`), while lookups hand back owned
+/// values (`Cow::Owned`, renamed into the query's variable names by the oracle).
+#[derive(Debug, Clone)]
+pub enum MemoAnswer<'a> {
+    /// A boolean verdict ([`MemoKind::Inclusion`] and [`MemoKind::Shape`]).
+    Verdict(bool),
+    /// A whole minterm set ([`MemoKind::Minterms`]).
+    Minterms(Cow<'a, MintermSet>),
+    /// A successor automaton ([`MemoKind::Transition`]).
+    Transition(Cow<'a, Sfa>),
+}
+
+impl MemoAnswer<'_> {
+    /// The verdict bit, when this answer is one.
+    pub fn verdict(&self) -> Option<bool> {
+        match self {
+            MemoAnswer::Verdict(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
 /// The SMT interface needed by minterm construction and transition resolution.
-/// Implemented by [`hat_logic::Solver`]; wrappers can intercept calls to collect statistics.
+/// Implemented by [`hat_logic::Solver`]; wrappers can intercept calls to collect
+/// statistics.
+///
+/// Beyond raw satisfiability, an oracle may memoise whole units of work through the
+/// single typed memo interface ([`SolverOracle::memo_lookup`] /
+/// [`SolverOracle::memo_store`], with [`SolverOracle::memoises`] as the capability
+/// probe): one [`MemoQuery`] variant per record kind, uniformly for minterm sets,
+/// inclusion verdicts, per-group shapes and DFA transitions. The defaults memoise
+/// nothing.
 pub trait SolverOracle {
     /// Is the conjunction of `facts` satisfiable, with `vars` as free constants?
     fn is_sat(&mut self, vars: &[(Ident, Sort)], facts: &[Formula]) -> bool;
@@ -104,6 +227,12 @@ pub trait SolverOracle {
     fn cache_misses(&self) -> usize {
         self.query_count()
     }
+    /// Number of shared-tier lock acquisitions this oracle performed (0 for an oracle
+    /// without a shared tiered store). Per-worker local read-through tiers exist to
+    /// drive this number down; `CheckStats` reports it per method.
+    fn shared_tier_locks(&self) -> usize {
+        0
+    }
 
     /// Opens an incremental scoped-assumption session over the underlying solver, used
     /// by incremental minterm enumeration. `None` (the default) makes enumeration fall
@@ -118,119 +247,35 @@ pub trait SolverOracle {
         None
     }
 
-    /// Looks up a memoised minterm set for a structurally equal alphabet transformation —
-    /// same context, operators and literal pool up to α-renaming (and, for caching
-    /// oracles, the same background axioms). The oracle is responsible for renaming the
-    /// stored set back into this query's variable names. `None` (the default) disables
-    /// minterm-set memoisation.
-    fn minterm_lookup(
-        &mut self,
-        ctx: &VarCtx,
-        ops: &[OpSig],
-        pool: &LiteralPool,
-    ) -> Option<MintermSet> {
-        let _ = (ctx, ops, pool);
-        None
-    }
-
-    /// Memoises an enumerated minterm set for later [`SolverOracle::minterm_lookup`]s.
-    fn minterm_store(&mut self, ctx: &VarCtx, ops: &[OpSig], pool: &LiteralPool, set: &MintermSet) {
-        let _ = (ctx, ops, pool, set);
-    }
-
-    /// A memo key identifying a whole automata-inclusion check up to α-equivalence.
-    /// `None` (the default) disables inclusion-verdict memoisation.
-    fn inclusion_key(
-        &mut self,
-        ctx: &VarCtx,
-        ops: &[OpSig],
-        max_states: usize,
-        a: &Sfa,
-        b: &Sfa,
-    ) -> Option<String> {
-        let _ = (ctx, ops, max_states, a, b);
-        None
-    }
-
-    /// Looks a memoised inclusion verdict up by the key from
-    /// [`SolverOracle::inclusion_key`].
-    fn inclusion_lookup(&mut self, key: &str) -> Option<bool> {
-        let _ = key;
-        None
-    }
-
-    /// Memoises an inclusion verdict under the given key.
-    fn inclusion_store(&mut self, key: &str, verdict: bool) {
-        let _ = (key, verdict);
-    }
-
-    /// Whether [`SolverOracle::transition_lookup`] can ever answer: lets the DFA
-    /// construction skip assembling answer signatures entirely for oracles without a
-    /// transition memo.
-    fn memoises_transitions(&self) -> bool {
+    /// Whether this oracle can ever answer a [`SolverOracle::memo_lookup`] for the given
+    /// record kind. Lets callers skip assembling a query — notably the signed answer
+    /// signature of a [`MemoQuery::Transition`] — when the oracle memoises nothing.
+    fn memoises(&self, kind: MemoKind) -> bool {
+        let _ = kind;
         false
     }
 
-    /// Looks up a memoised DFA transition. A Brzozowski successor is a pure syntactic
-    /// function of the state formula and the signed answers for the symbolic events and
-    /// guards occurring in it (axioms, context facts and the concrete minterm only enter
-    /// through those answers), so the memo key is exactly that data, α-renamed.
-    /// Implementations must return the successor renamed back into the caller's variable
-    /// names. `None` (the default) disables transition memoisation.
-    fn transition_lookup(
-        &mut self,
-        state: &Sfa,
-        event_answers: &[(&SymbolicEvent, bool)],
-        guard_answers: &[(&Formula, bool)],
-    ) -> Option<Sfa> {
-        let _ = (state, event_answers, guard_answers);
+    /// Looks a memoised unit of work up. Oracles are responsible for canonicalising the
+    /// query into their key space (α-renaming, axiom fingerprints where the answer
+    /// depends on axioms) and for renaming a stored value back into the query's variable
+    /// names. `None` (the default) means "not memoised" — either a miss or an
+    /// unsupported kind.
+    fn memo_lookup(&mut self, query: &MemoQuery) -> Option<MemoAnswer<'static>> {
+        let _ = query;
         None
     }
 
-    /// Memoises a computed DFA transition for later
-    /// [`SolverOracle::transition_lookup`]s.
-    fn transition_store(
-        &mut self,
-        state: &Sfa,
-        event_answers: &[(&SymbolicEvent, bool)],
-        guard_answers: &[(&Formula, bool)],
-        succ: &Sfa,
-    ) {
-        let _ = (state, event_answers, guard_answers, succ);
+    /// Memoises a computed unit of work for later [`SolverOracle::memo_lookup`]s of a
+    /// structurally equal query. Callers pair every store with a preceding lookup miss
+    /// for the same query, so oracles may reuse the canonicalisation computed there.
+    fn memo_store(&mut self, query: &MemoQuery, answer: &MemoAnswer) {
+        let _ = (query, answer);
     }
 
-    /// A memo key identifying one per-group product walk up to α-equivalence: the
-    /// automaton pair together with its (pruned) minterm alphabet — the *shape* of the
-    /// walk — and the state bound. Every transition of the walk is resolved
-    /// propositionally from a minterm assignment and a qualifier that are both part of
-    /// this data, so the group verdict is a pure function of the key: α-equal shapes
-    /// share one verdict across contexts and benchmarks, and a hit skips the product
-    /// walk (or DFA pair build) entirely. `None` (the default) disables shape
-    /// memoisation.
-    fn shape_key(
-        &mut self,
-        a: &Sfa,
-        b: &Sfa,
-        alphabet: &[Minterm],
-        max_states: usize,
-    ) -> Option<String> {
-        let _ = (a, b, alphabet, max_states);
-        None
-    }
-
-    /// Looks a memoised per-group verdict up by the key from
-    /// [`SolverOracle::shape_key`].
-    fn shape_lookup(&mut self, key: &str) -> Option<bool> {
-        let _ = key;
-        None
-    }
-
-    /// Memoises a per-group verdict under the given key. Callers only store when the
-    /// walk resolved every transition propositionally (no context-dependent SMT
-    /// fallback fired), which keeps the verdict a pure function of the key.
-    fn shape_store(&mut self, key: &str, verdict: bool) {
-        let _ = (key, verdict);
-    }
+    /// Publishes any batched memo writes (oracles with write-behind tiers). The checker
+    /// calls this at the end of each method check, *before* harvesting the oracle's
+    /// counters, so the publication cost is attributed to the method that incurred it.
+    fn flush_memos(&mut self) {}
 }
 
 impl SolverOracle for hat_logic::Solver {
@@ -481,13 +526,21 @@ impl TransitionOracle for MatchOracle<'_> {
     }
 
     fn derivative_lookup(&mut self, state: &Sfa, m: &Minterm) -> Option<Sfa> {
-        if !self.oracle.memoises_transitions() {
+        if !self.oracle.memoises(MemoKind::Transition) {
             return None;
         }
         let sig = self.answer_signature(state, m);
-        let found = self
-            .oracle
-            .transition_lookup(state, &sig.event_refs(), &sig.guard_refs());
+        let events = sig.event_refs();
+        let guards = sig.guard_refs();
+        let query = MemoQuery::Transition {
+            state,
+            events: &events,
+            guards: &guards,
+        };
+        let found = match self.oracle.memo_lookup(&query) {
+            Some(MemoAnswer::Transition(succ)) => Some(succ.into_owned()),
+            _ => None,
+        };
         if found.is_some() {
             self.memo_hits += 1;
         }
@@ -496,7 +549,7 @@ impl TransitionOracle for MatchOracle<'_> {
     }
 
     fn derivative_store(&mut self, state: &Sfa, m: &Minterm, succ: &Sfa) {
-        if !self.oracle.memoises_transitions() {
+        if !self.oracle.memoises(MemoKind::Transition) {
             return;
         }
         // The paired lookup (a miss) left its signature behind; recompute (from the
@@ -506,8 +559,15 @@ impl TransitionOracle for MatchOracle<'_> {
             .pending_signature
             .take()
             .unwrap_or_else(|| self.answer_signature(state, m));
+        let events = sig.event_refs();
+        let guards = sig.guard_refs();
+        let query = MemoQuery::Transition {
+            state,
+            events: &events,
+            guards: &guards,
+        };
         self.oracle
-            .transition_store(state, &sig.event_refs(), &sig.guard_refs(), succ);
+            .memo_store(&query, &MemoAnswer::Transition(Cow::Borrowed(succ)));
     }
 }
 
@@ -598,9 +658,16 @@ impl InclusionChecker {
         }
         // Structurally equal inclusion checks (same context, operators and automata up to
         // α-renaming) skip minterm construction and DFA building entirely.
-        let memo_key = oracle.inclusion_key(ctx, &self.ops, self.max_states, a, b);
-        if let Some(key) = &memo_key {
-            if let Some(verdict) = oracle.inclusion_lookup(key) {
+        let memoises_inclusion = oracle.memoises(MemoKind::Inclusion);
+        if memoises_inclusion {
+            let query = MemoQuery::Inclusion {
+                ctx,
+                ops: &self.ops,
+                max_states: self.max_states,
+                a,
+                b,
+            };
+            if let Some(verdict) = oracle.memo_lookup(&query).and_then(|ans| ans.verdict()) {
                 self.stats.inclusion_memo_hits += 1;
                 return Ok(verdict);
             }
@@ -628,17 +695,26 @@ impl InclusionChecker {
             // Shape memoisation: the α-renamed (A, B, pruned alphabet) determines the
             // group verdict, so α-equal shapes skip the walk — across contexts, methods
             // and benchmarks.
-            let shape = matcher.oracle.shape_key(a, b, &alphabet, self.max_states);
-            if let Some(hit) = shape
-                .as_deref()
-                .and_then(|key| matcher.oracle.shape_lookup(key))
-            {
-                self.stats.shape_memo_hits += 1;
-                if !hit {
-                    verdict = false;
-                    break;
+            let memoises_shape = matcher.oracle.memoises(MemoKind::Shape);
+            let shape_query = MemoQuery::Shape {
+                a,
+                b,
+                alphabet: &alphabet,
+                max_states: self.max_states,
+            };
+            if memoises_shape {
+                if let Some(hit) = matcher
+                    .oracle
+                    .memo_lookup(&shape_query)
+                    .and_then(|ans| ans.verdict())
+                {
+                    self.stats.shape_memo_hits += 1;
+                    if !hit {
+                        verdict = false;
+                        break;
+                    }
+                    continue;
                 }
-                continue;
             }
             let fallbacks_before = matcher.fallback_queries;
             let included = match self.mode {
@@ -660,13 +736,15 @@ impl InclusionChecker {
                 }
             };
             self.stats.fa_inclusions += 1;
-            if let Some(key) = shape {
+            if memoises_shape {
                 // Only a fully propositional walk is a pure function of its shape; an
                 // SMT fallback would have consulted the typing context behind the key's
                 // back (unreachable for alphabets built from the automata's own literal
                 // pool, but guarded rather than assumed).
                 if matcher.fallback_queries == fallbacks_before {
-                    matcher.oracle.shape_store(&key, included);
+                    matcher
+                        .oracle
+                        .memo_store(&shape_query, &MemoAnswer::Verdict(included));
                 }
             }
             if !included {
@@ -675,8 +753,17 @@ impl InclusionChecker {
             }
         }
         self.stats.transition_memo_hits += matcher.memo_hits;
-        if let Some(key) = memo_key {
-            matcher.oracle.inclusion_store(&key, verdict);
+        if memoises_inclusion {
+            let query = MemoQuery::Inclusion {
+                ctx,
+                ops: &self.ops,
+                max_states: self.max_states,
+                a,
+                b,
+            };
+            matcher
+                .oracle
+                .memo_store(&query, &MemoAnswer::Verdict(verdict));
         }
         Ok(verdict)
     }

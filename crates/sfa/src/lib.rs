@@ -30,5 +30,8 @@ pub use accept::{accepts, TraceModel};
 pub use ast::{OpSig, Sfa, SymbolicEvent};
 pub use dfa::{product_included, Dfa, DfaBuildError, ProductRun};
 pub use event::{Event, Trace};
-pub use inclusion::{InclusionChecker, InclusionMode, InclusionStats, SolverOracle, VarCtx};
+pub use inclusion::{
+    InclusionChecker, InclusionMode, InclusionStats, MemoAnswer, MemoKind, MemoQuery, SolverOracle,
+    VarCtx,
+};
 pub use minterm::{EnumerationMode, LiteralPool, Minterm, MintermSet};

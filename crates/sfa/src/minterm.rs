@@ -325,10 +325,10 @@ pub fn build_minterms(
 /// appear in traces). Unsatisfiable boolean combinations are pruned eagerly; the strategy
 /// for establishing satisfiability is chosen by `mode` (see the module docs).
 ///
-/// Oracles that support minterm-set memoisation (see [`SolverOracle::minterm_lookup`])
-/// can answer the whole construction from a memo when a structurally equal alphabet
-/// transformation — same context, same operators, same literal pool up to α-renaming —
-/// has already been enumerated.
+/// Oracles that support minterm-set memoisation (see
+/// [`crate::inclusion::MemoQuery::Minterms`]) can answer the whole construction from a
+/// memo when a structurally equal alphabet transformation — same context, same
+/// operators, same literal pool up to α-renaming — has already been enumerated.
 pub fn build_minterms_with(
     ctx: &VarCtx,
     ops: &[OpSig],
@@ -336,14 +336,24 @@ pub fn build_minterms_with(
     oracle: &mut dyn SolverOracle,
     mode: EnumerationMode,
 ) -> MintermSet {
+    use crate::inclusion::{MemoAnswer, MemoKind, MemoQuery};
     let pool = LiteralPool::collect(ctx, automata);
-    if let Some(mut cached) = oracle.minterm_lookup(ctx, ops, &pool) {
-        // A memo hit costs no enumeration work; the counters describe this call, not
-        // the call that originally built the set.
-        cached.enum_queries = 0;
-        cached.pruned = 0;
-        cached.from_memo = true;
-        return cached;
+    let memoised = oracle.memoises(MemoKind::Minterms);
+    if memoised {
+        let query = MemoQuery::Minterms {
+            ctx,
+            ops,
+            pool: &pool,
+        };
+        if let Some(MemoAnswer::Minterms(cached)) = oracle.memo_lookup(&query) {
+            // A memo hit costs no enumeration work; the counters describe this call, not
+            // the call that originally built the set.
+            let mut cached = cached.into_owned();
+            cached.enum_queries = 0;
+            cached.pruned = 0;
+            cached.from_memo = true;
+            return cached;
+        }
     }
     let mut set = MintermSet {
         uniform_literals: pool.uniform.clone(),
@@ -387,7 +397,17 @@ pub fn build_minterms_with(
             );
         }
     }
-    oracle.minterm_store(ctx, ops, &pool, &set);
+    if memoised {
+        let query = MemoQuery::Minterms {
+            ctx,
+            ops,
+            pool: &pool,
+        };
+        oracle.memo_store(
+            &query,
+            &MemoAnswer::Minterms(std::borrow::Cow::Borrowed(&set)),
+        );
+    }
     set
 }
 
