@@ -1,8 +1,9 @@
 //! Regenerates Table 1 of the paper: one row per (ADT, library) configuration with the
 //! method count, ghost count, invariant size, total verification time and the work
 //! counters of the most demanding method. Afterwards it exercises the `hat-engine`
-//! subsystem — 1 vs N jobs, cold vs warm cache — and writes the measurements to
-//! `BENCH_engine.json`.
+//! subsystem — 1 vs N jobs, cold vs warm cache — replays the suite against an
+//! in-process `marpled` daemon (cold client, then a warm second client), and writes
+//! the measurements to `BENCH_engine.json`.
 //!
 //! Usage: `cargo run --release -p hat-bench --bin table1 [adt-filter|--full]`
 //!
@@ -11,7 +12,7 @@
 //! include them. The excluded names are recorded in the JSON, never dropped silently.
 //! With an ADT filter only the table is printed and the engine comparison is skipped.
 
-use hat_bench::{engine_comparison, method_columns, table1_row, write_engine_json};
+use hat_bench::{daemon_replay, engine_comparison, method_columns, table1_row, write_engine_json};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -144,8 +145,22 @@ fn main() {
                 shared_only as f64 / read_through as f64
             );
         }
+        eprintln!("replaying the suite against an in-process marpled (cold, then warm client)...");
+        let replay = daemon_replay(&hat_suite::all_benchmarks(), 2);
+        eprintln!(
+            "daemon replay: cold {} requests at {:.2} req/s (p50 {:.3}s, p95 {:.3}s); warm {:.2} req/s (p50 {:.3}s, p95 {:.3}s), {} misses, {} disk loads",
+            replay.cold.requests,
+            replay.cold.requests_per_second(),
+            replay.cold.p50_latency_seconds,
+            replay.cold.p95_latency_seconds,
+            replay.warm.requests_per_second(),
+            replay.warm.p50_latency_seconds,
+            replay.warm.p95_latency_seconds,
+            replay.warm.cache_misses,
+            replay.warm.disk_loaded
+        );
         let path = "BENCH_engine.json";
-        match write_engine_json(path, &comparison) {
+        match write_engine_json(path, &comparison, Some(&replay)) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }

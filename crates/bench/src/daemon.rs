@@ -1,0 +1,138 @@
+//! The daemon trace replay: measures `marpled` as a service — requests per second and
+//! per-request latency percentiles over the wire, not just engine-side wall time.
+//!
+//! The trace is the non-slow benchmark suite replayed as one `check` request per
+//! configuration, twice: a **cold** client against a daemon whose store starts empty,
+//! then a **warm** second client on a fresh connection. The warm phase is the daemon's
+//! whole value proposition, so the replay records the evidence: every query answered
+//! from the shared store (`cache_misses == 0`) without replaying the disk log again
+//! (`disk_loaded == 0` — the log was read once, at daemon startup, not per client).
+
+use hat_daemon::{Addr, Daemon, DaemonConfig, RemoteClient, Request};
+use hat_engine::EngineConfig;
+use hat_suite::Benchmark;
+use std::time::Instant;
+
+/// One replayed client session.
+#[derive(Debug, Clone)]
+pub struct ReplayPhase {
+    /// Requests issued (one `check` per configuration).
+    pub requests: usize,
+    /// Verification jobs those requests ran server-side.
+    pub jobs: usize,
+    /// Wall-clock time of the whole session, connect to last `done`.
+    pub wall_seconds: f64,
+    /// Median request latency (send → `done`), seconds.
+    pub p50_latency_seconds: f64,
+    /// 95th-percentile request latency, seconds.
+    pub p95_latency_seconds: f64,
+    /// Solver-cache hits across the session's requests.
+    pub cache_hits: usize,
+    /// Solver-cache misses (queries that reached a solver).
+    pub cache_misses: usize,
+    /// Disk-log entries loaded *during* the session (0: the daemon loads the log once
+    /// at startup, never per client).
+    pub disk_loaded: usize,
+}
+
+impl ReplayPhase {
+    /// Requests completed per second of session wall time.
+    pub fn requests_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.requests as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The cold-then-warm daemon replay measurement.
+#[derive(Debug, Clone)]
+pub struct DaemonReplay {
+    /// Worker threads of the daemon's pool.
+    pub workers: usize,
+    /// First client: empty store, every verdict solved.
+    pub cold: ReplayPhase,
+    /// Second client, fresh connection: served from the shared warm store.
+    pub warm: ReplayPhase,
+}
+
+/// Nearest-rank percentile of an unsorted latency sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn replay_session(addr: &Addr, trace: &[(String, String)]) -> ReplayPhase {
+    let mut client = RemoteClient::connect(addr).expect("the replay client connects");
+    let mut latencies = Vec::with_capacity(trace.len());
+    let mut jobs = 0;
+    let mut hits = 0;
+    let mut misses = 0;
+    let mut disk_loaded = 0;
+    let start = Instant::now();
+    for (adt, library) in trace {
+        let sent = Instant::now();
+        let run = client
+            .verify(
+                Request::Check {
+                    adt: adt.clone(),
+                    library: library.clone(),
+                },
+                |_, _, _| {},
+            )
+            .unwrap_or_else(|e| panic!("replaying {adt}/{library} failed: {e}"));
+        latencies.push(sent.elapsed().as_secs_f64());
+        jobs += run.jobs;
+        hits += run.summary.cache.hits;
+        misses += run.summary.cache.misses;
+        disk_loaded += run.summary.cache.disk_loaded;
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    ReplayPhase {
+        requests: trace.len(),
+        jobs,
+        wall_seconds,
+        p50_latency_seconds: percentile(&latencies, 50.0),
+        p95_latency_seconds: percentile(&latencies, 95.0),
+        cache_hits: hits,
+        cache_misses: misses,
+        disk_loaded,
+    }
+}
+
+/// Spawns an in-process daemon (disk-backed store on a temp path, temp socket) and
+/// replays the trace as two client sessions, cold then warm.
+pub fn daemon_replay(benches: &[Benchmark], workers: usize) -> DaemonReplay {
+    let tag = std::process::id();
+    let cache_path = std::env::temp_dir().join(format!("hat-bench-replay-{tag}.cache"));
+    let _ = std::fs::remove_file(&cache_path);
+    let daemon = Daemon::spawn(DaemonConfig {
+        addr: Addr::Unix(std::env::temp_dir().join(format!("hat-bench-replay-{tag}.sock"))),
+        engine: EngineConfig {
+            jobs: workers,
+            cache_path: Some(cache_path.clone()),
+            ..EngineConfig::default()
+        },
+        quiet: true,
+    })
+    .expect("the replay daemon starts");
+    let trace: Vec<(String, String)> = benches
+        .iter()
+        .filter(|b| !b.slow)
+        .map(|b| (b.adt.to_string(), b.library.to_string()))
+        .collect();
+    let cold = replay_session(daemon.addr(), &trace);
+    let warm = replay_session(daemon.addr(), &trace);
+    daemon.stop();
+    let _ = std::fs::remove_file(&cache_path);
+    DaemonReplay {
+        workers,
+        cold,
+        warm,
+    }
+}

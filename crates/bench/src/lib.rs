@@ -4,14 +4,18 @@
 //! Table 1 (per-configuration summary), Table 2 (invariant catalogue) and Tables 3/4
 //! (per-method details), plus Criterion micro-benchmarks for the solver and the
 //! symbolic-automaton engine. The `table1` binary additionally runs the engine
-//! comparison ([`engine_comparison`]) and writes `BENCH_engine.json`
-//! (schema `hat-engine-bench v5`).
+//! comparison ([`engine_comparison`]) and the daemon trace replay ([`daemon_replay`])
+//! and writes `BENCH_engine.json` (schema `hat-engine-bench v6`).
 
 use hat_core::MethodReport;
 use hat_engine::{CacheStatsSnapshot, Engine, EngineConfig, RunSummary};
 use hat_sfa::{EnumerationMode, InclusionMode};
 use hat_suite::Benchmark;
 use std::io::Write;
+
+mod daemon;
+
+pub use daemon::{daemon_replay, DaemonReplay, ReplayPhase};
 
 /// The aggregated row of Table 1 for one configuration.
 #[derive(Debug, Clone)]
@@ -556,13 +560,17 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-/// Serialises [`engine_comparison`] measurements as JSON (hand-rolled: the build
-/// environment has no serde).
-pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::Result<()> {
+/// Serialises [`engine_comparison`] and [`daemon_replay`] measurements as JSON
+/// (hand-rolled: the build environment has no serde).
+pub fn write_engine_json(
+    path: &str,
+    comparison: &EngineComparison,
+    replay: Option<&DaemonReplay>,
+) -> std::io::Result<()> {
     let runs = &comparison.runs;
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(out, "{{")?;
-    writeln!(out, "  \"schema\": \"hat-engine-bench v5\",")?;
+    writeln!(out, "  \"schema\": \"hat-engine-bench v6\",")?;
     writeln!(
         out,
         "  \"skipped\": [{}],",
@@ -673,6 +681,36 @@ pub fn write_engine_json(path: &str, comparison: &EngineComparison) -> std::io::
         )?;
     }
     writeln!(out, "  ],")?;
+    if let Some(replay) = replay {
+        writeln!(out, "  \"daemon_replay\": {{")?;
+        writeln!(out, "    \"workers\": {},", replay.workers)?;
+        for (name, phase, trailing) in [("cold", &replay.cold, ","), ("warm", &replay.warm, "")] {
+            writeln!(out, "    \"{name}\": {{")?;
+            writeln!(out, "      \"requests\": {},", phase.requests)?;
+            writeln!(out, "      \"jobs\": {},", phase.jobs)?;
+            writeln!(out, "      \"wall_seconds\": {:.6},", phase.wall_seconds)?;
+            writeln!(
+                out,
+                "      \"requests_per_second\": {:.3},",
+                phase.requests_per_second()
+            )?;
+            writeln!(
+                out,
+                "      \"p50_latency_seconds\": {:.6},",
+                phase.p50_latency_seconds
+            )?;
+            writeln!(
+                out,
+                "      \"p95_latency_seconds\": {:.6},",
+                phase.p95_latency_seconds
+            )?;
+            writeln!(out, "      \"cache_hits\": {},", phase.cache_hits)?;
+            writeln!(out, "      \"cache_misses\": {},", phase.cache_misses)?;
+            writeln!(out, "      \"disk_loaded\": {}", phase.disk_loaded)?;
+            writeln!(out, "    }}{trailing}")?;
+        }
+        writeln!(out, "  }},")?;
+    }
     writeln!(out, "  \"runs\": [")?;
     for (i, run) in runs.iter().enumerate() {
         writeln!(out, "    {{")?;

@@ -6,10 +6,16 @@
 //! marple check-all [options]              # verify every configuration
 //! marple cache stats <path>               # per-record-kind counts + live/dead ratio
 //! marple cache compact <path>             # rewrite the log without dead records
+//! marple daemon start [options]           # run a marpled daemon in the foreground
+//! marple daemon status [--remote ADDR]    # uptime, counters and per-client stats
+//! marple daemon stop [--remote ADDR]      # graceful shutdown (drain, compact, unlock)
 //!
 //! options:
 //!   --jobs N        verify on N worker threads (default 1; verdicts are identical)
 //!   --cache PATH    persist the solver-query cache at PATH so repeated runs start warm
+//!   --remote [ADDR] send the run to a marpled daemon instead of verifying locally
+//!                   (default address: unix:<tmpdir>/marpled.sock); the report is
+//!                   rendered exactly as a local run's
 //!   --enum MODE     minterm enumeration: `incremental` (default) or `naive`
 //!                   (verdicts are identical; naive is the paper-faithful baseline)
 //!   --prune MODE    per-group alphabet pruning before DFA construction: `on` (default)
@@ -24,6 +30,7 @@
 //!                   lock-traffic measurement baseline)
 //! ```
 
+use hat_daemon::{Addr, Daemon, DaemonConfig, RemoteClient, Request};
 use hat_engine::{BenchmarkRun, Engine, EngineConfig, MemoStore, RecordKind, RunSummary};
 use hat_sfa::{EnumerationMode, InclusionMode};
 use hat_suite::{all_benchmarks, find, Benchmark};
@@ -36,6 +43,7 @@ struct Options {
     prune: bool,
     inclusion: InclusionMode,
     local_tiers: bool,
+    remote: Option<Addr>,
     positional: Vec<String>,
 }
 
@@ -47,11 +55,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         prune: true,
         inclusion: InclusionMode::default(),
         local_tiers: true,
+        remote: None,
         positional: Vec::new(),
     };
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--remote" => {
+                // The address is optional: `--remote` alone means the default socket.
+                // A following token is taken as the address only if it parses as one
+                // (contains `/` or `:`), so positionals like ADT names stay untouched.
+                opts.remote = match it.peek() {
+                    Some(next) if Addr::parse(next).is_ok() => {
+                        Some(Addr::parse(it.next().expect("peeked")).expect("just parsed"))
+                    }
+                    _ => Some(Addr::default_socket()),
+                };
+            }
             "--jobs" | "-j" => {
                 let value = it.next().ok_or("--jobs needs a value")?;
                 opts.jobs = value
@@ -164,7 +184,33 @@ fn print_cache_line(summary: &RunSummary, lifetime: hat_engine::CacheStatsSnapsh
     );
 }
 
-fn run(benches: Vec<Benchmark>, opts: &Options) -> bool {
+/// Runs a verification request on a marpled daemon and renders the report through the
+/// same `print_run`/`print_cache_line` paths as a local run — the output format is
+/// identical, only the work happens in the daemon's warm, shared engine.
+fn run_remote(benches: &[Benchmark], request: Request, addr: &Addr) -> Result<bool, String> {
+    let mut client = RemoteClient::connect(addr)?;
+    let outcome = client.verify(request, |_, _, _| {})?;
+    // The lifetime counters a local run reads off its own store (disk-loaded/stale)
+    // come from the daemon's status instead.
+    let lifetime = client.cache_stats()?.cache;
+    let mut ok = true;
+    for (bench, run) in benches.iter().zip(&outcome.summary.benchmarks) {
+        ok &= print_run(bench, run);
+    }
+    print_cache_line(&outcome.summary, lifetime);
+    Ok(ok)
+}
+
+fn run(benches: Vec<Benchmark>, opts: &Options, request: Request) -> bool {
+    if let Some(addr) = &opts.remote {
+        match run_remote(&benches, request, addr) {
+            Ok(ok) => return ok,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let engine = match Engine::new(EngineConfig {
         jobs: opts.jobs,
         cache_path: opts.cache_path.clone(),
@@ -248,6 +294,98 @@ fn cache_compact(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `marple daemon start` — run a marpled daemon in the foreground (background it with
+/// `&` or a service manager; `marpled` is the same server as a standalone binary).
+fn daemon_start(opts: &Options) -> Result<(), String> {
+    let config = DaemonConfig {
+        addr: opts.remote.clone().unwrap_or_else(Addr::default_socket),
+        engine: EngineConfig {
+            jobs: opts.jobs,
+            cache_path: opts.cache_path.clone(),
+            enumeration: opts.enumeration,
+            prune: opts.prune,
+            inclusion: opts.inclusion,
+            local_tiers: opts.local_tiers,
+        },
+        quiet: false,
+    };
+    let handle = Daemon::spawn(config).map_err(|e| format!("cannot start the daemon: {e}"))?;
+    handle.join();
+    Ok(())
+}
+
+/// `marple daemon status` — one status line plus per-client statistics.
+fn daemon_status(addr: &Addr) -> Result<(), String> {
+    let mut client = RemoteClient::connect(addr)?;
+    let status = client.cache_stats()?;
+    println!(
+        "{} — pid {}, up {:.0}s, {} worker{}",
+        status.addr,
+        status.pid,
+        status.uptime_secs,
+        status.workers,
+        if status.workers == 1 { "" } else { "s" }
+    );
+    match (&status.cache_path, status.degraded) {
+        (Some(path), false) => println!(
+            "store: {} entries, log `{path}` (lock held)",
+            status.entries
+        ),
+        (Some(path), true) => {
+            println!("store: {} entries, log `{path}` (DEGRADED)", status.entries)
+        }
+        (None, _) => println!("store: {} entries, in memory only", status.entries),
+    }
+    println!(
+        "served: {} requests, {} verification jobs; lifetime cache: {} hits / {} misses, {} loaded from disk, {} stale",
+        status.requests_served,
+        status.jobs_completed,
+        status.cache.hits,
+        status.cache.misses,
+        status.cache.disk_loaded,
+        status.cache.stale
+    );
+    for c in &status.clients {
+        println!(
+            "  client {} [{}] up {:.0}s: {} requests, {} reports, {} hits / {} misses contributed",
+            c.client,
+            if c.active { "active" } else { "closed" },
+            c.connected_secs,
+            c.requests,
+            c.reports,
+            c.hits,
+            c.misses
+        );
+    }
+    Ok(())
+}
+
+/// `marple daemon stop` — graceful shutdown, then wait for the daemon to finish
+/// draining (its socket disappearing is the last step of its teardown).
+fn daemon_stop(addr: &Addr) -> Result<(), String> {
+    let mut client = RemoteClient::connect(addr)?;
+    client.shutdown()?;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(600);
+    loop {
+        let stopped = match addr {
+            Addr::Unix(path) => !path.exists(),
+            // TCP leaves no file behind; gone means nothing accepts any more.
+            Addr::Tcp(_) => RemoteClient::connect(addr).is_err(),
+        };
+        if stopped {
+            println!("daemon at {addr} stopped");
+            return Ok(());
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(format!(
+                "the daemon at {addr} acknowledged the shutdown but is still draining; \
+                 check it with `marple daemon status`"
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -263,16 +401,20 @@ fn main() {
         }
         Some("check") => {
             let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
-                eprintln!("{e}\nusage: marple check <adt> <library> [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
+                eprintln!("{e}\nusage: marple check <adt> <library> [--remote [ADDR]] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
                 std::process::exit(2);
             });
             let (Some(adt), Some(lib)) = (opts.positional.first(), opts.positional.get(1)) else {
-                eprintln!("usage: marple check <adt> <library> [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
+                eprintln!("usage: marple check <adt> <library> [--remote [ADDR]] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
                 std::process::exit(2);
             };
             match find(adt, lib) {
                 Some(b) => {
-                    let ok = run(vec![b], &opts);
+                    let request = Request::Check {
+                        adt: b.adt.to_string(),
+                        library: b.library.to_string(),
+                    };
+                    let ok = run(vec![b], &opts, request);
                     std::process::exit(if ok { 0 } else { 1 });
                 }
                 None => {
@@ -283,10 +425,10 @@ fn main() {
         }
         Some("check-all") => {
             let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
-                eprintln!("{e}\nusage: marple check-all [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
+                eprintln!("{e}\nusage: marple check-all [--remote [ADDR]] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
                 std::process::exit(2);
             });
-            let ok = run(all_benchmarks(), &opts);
+            let ok = run(all_benchmarks(), &opts, Request::CheckAll);
             std::process::exit(if ok { 0 } else { 1 });
         }
         Some("cache") => {
@@ -301,8 +443,26 @@ fn main() {
                 std::process::exit(2);
             }
         }
+        Some("daemon") => {
+            let usage = "usage: marple daemon start [--remote ADDR] [--cache PATH] [--jobs N] | marple daemon status [--remote ADDR] | marple daemon stop [--remote ADDR]";
+            let opts = parse_options(&args[2..]).unwrap_or_else(|e| {
+                eprintln!("{e}\n{usage}");
+                std::process::exit(2);
+            });
+            let addr = opts.remote.clone().unwrap_or_else(Addr::default_socket);
+            let result = match args.get(1).map(String::as_str) {
+                Some("start") => daemon_start(&opts),
+                Some("status") => daemon_status(&addr),
+                Some("stop") => daemon_stop(&addr),
+                _ => Err(usage.to_string()),
+            };
+            if let Err(e) = result {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
         Some(other) => {
-            eprintln!("unknown command `{other}`; commands: list, check, check-all, cache");
+            eprintln!("unknown command `{other}`; commands: list, check, check-all, cache, daemon");
             std::process::exit(2);
         }
     }

@@ -38,7 +38,7 @@ pub struct MethodSig {
 }
 
 /// Work counters for one method check — the per-method columns of Tables 1/3/4.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CheckStats {
     /// Number of SMT queries (`#SAT`).
     pub sat_queries: usize,
@@ -90,7 +90,7 @@ pub struct CheckStats {
 }
 
 /// The outcome of checking one method.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodReport {
     /// Method name.
     pub name: String,

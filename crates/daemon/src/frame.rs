@@ -1,0 +1,190 @@
+//! Length-prefixed line-JSON framing.
+//!
+//! Every message on a `marpled` connection — in either direction — is one frame:
+//!
+//! ```text
+//! <decimal byte length of payload>\n
+//! <payload (one JSON value, no interior newlines required)>\n
+//! ```
+//!
+//! The explicit length makes torn writes detectable (a short read is an error, never a
+//! silently truncated message), keeps the reader allocation-bounded (a frame announcing
+//! more than the per-direction cap is rejected before any payload is read), and lets
+//! payloads contain anything — the trailing `\n` is a frame delimiter for humans
+//! inspecting a socket with `nc`, not part of the payload.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a client→server frame. Requests are tiny (an op name and two
+/// identifiers); anything bigger is garbage or abuse.
+pub const MAX_REQUEST_FRAME: usize = 64 * 1024;
+
+/// Upper bound on a server→client frame. A full `check-all` Done summary with every
+/// counter stays far below this; the headroom is for failure lists.
+pub const MAX_RESPONSE_FRAME: usize = 8 * 1024 * 1024;
+
+/// The length line may not be padded beyond the digits needed for the largest cap.
+const MAX_LENGTH_DIGITS: usize = 8;
+
+/// Writes one frame. The caller flushes (or not) — the server's writer thread batches
+/// the flush per frame, the client flushes after each request.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    write!(w, "{}\n{}\n", payload.len(), payload)
+}
+
+/// Reads one frame, enforcing `max` on the announced payload length.
+///
+/// Returns `Ok(None)` on clean EOF *at a frame boundary* (the peer closed between
+/// messages). Every other shortfall — EOF inside a frame, a non-numeric or oversized
+/// length line, a missing trailing newline, non-UTF-8 payload — is an error; callers
+/// treat it as a poisoned connection and drop it without touching shared state.
+pub fn read_frame(r: &mut impl Read, max: usize) -> io::Result<Option<String>> {
+    // Read the length line byte-by-byte: it is at most MAX_LENGTH_DIGITS + 1 bytes, so
+    // the byte-wise loop costs nothing, and it lets us use plain `Read` streams without
+    // buffering state that would complicate `shutdown`-based wakeups.
+    let mut digits = Vec::with_capacity(MAX_LENGTH_DIGITS);
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return if digits.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed inside a frame length",
+                    ))
+                };
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+        match byte[0] {
+            b'\n' => break,
+            b'0'..=b'9' if digits.len() < MAX_LENGTH_DIGITS => digits.push(byte[0]),
+            b'0'..=b'9' => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "frame length line too long",
+                ))
+            }
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "malformed frame length line",
+                ))
+            }
+        }
+    }
+    if digits.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "empty frame length line",
+        ));
+    }
+    let len: usize = std::str::from_utf8(&digits)
+        .expect("digits are ASCII")
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "unparsable frame length"))?;
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max}-byte cap"),
+        ));
+    }
+    // Payload plus the trailing delimiter newline.
+    let mut buf = vec![0u8; len + 1];
+    r.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside a frame payload (torn frame)",
+            )
+        } else {
+            e
+        }
+    })?;
+    if buf.pop() != Some(b'\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame payload not terminated by a newline",
+        ));
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(payload: &str) -> String {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, payload).expect("write");
+        read_frame(&mut Cursor::new(wire), MAX_REQUEST_FRAME)
+            .expect("read")
+            .expect("one frame")
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        assert_eq!(roundtrip(""), "");
+        assert_eq!(roundtrip("{\"op\":\"ping\"}"), "{\"op\":\"ping\"}");
+        assert_eq!(roundtrip("π — 😀"), "π — 😀");
+        // Payloads may contain newlines; the length prefix disambiguates.
+        assert_eq!(roundtrip("a\nb"), "a\nb");
+    }
+
+    #[test]
+    fn several_frames_stream_back_to_back() {
+        let mut wire = Vec::new();
+        for p in ["one", "two", "three"] {
+            write_frame(&mut wire, p).expect("write");
+        }
+        let mut cur = Cursor::new(wire);
+        for p in ["one", "two", "three"] {
+            assert_eq!(read_frame(&mut cur, 64).unwrap().as_deref(), Some(p));
+        }
+        assert!(read_frame(&mut cur, 64).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn torn_frames_are_errors_not_truncations() {
+        // EOF inside the payload.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "hello world").expect("write");
+        wire.truncate(wire.len() - 4);
+        assert!(read_frame(&mut Cursor::new(wire), 64).is_err());
+        // EOF inside the length line.
+        assert!(read_frame(&mut Cursor::new(b"12".to_vec()), 64).is_err());
+    }
+
+    #[test]
+    fn garbage_and_oversized_frames_are_rejected() {
+        for wire in [
+            &b"notanumber\nxx\n"[..],
+            &b"\npayload\n"[..],
+            &b"999999999\n"[..], // longer than MAX_LENGTH_DIGITS
+            &b"-1\nx\n"[..],
+        ] {
+            assert!(
+                read_frame(&mut Cursor::new(wire.to_vec()), MAX_REQUEST_FRAME).is_err(),
+                "{wire:?} must be rejected"
+            );
+        }
+        // Announced length over the cap: rejected before reading the payload.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &"x".repeat(100)).expect("write");
+        assert!(read_frame(&mut Cursor::new(wire), 64).is_err());
+    }
+
+    #[test]
+    fn missing_delimiter_is_an_error() {
+        // Correct length but the byte after the payload is not '\n'.
+        let wire = b"3\nabcX".to_vec();
+        assert!(read_frame(&mut Cursor::new(wire), 64).is_err());
+    }
+}

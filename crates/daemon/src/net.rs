@@ -1,0 +1,250 @@
+//! Transport: service addresses and a unified stream/listener over Unix-domain
+//! sockets (the default — filesystem permissions gate access) with a TCP loopback
+//! fallback for environments without Unix sockets or for port-forwarded access.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+
+/// A service address, as written on the command line and in `<cache>.addr` sidecars.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP `host:port` endpoint (loopback intended).
+    Tcp(String),
+}
+
+impl Addr {
+    /// Parses an address:
+    ///
+    /// - `unix:PATH` / `tcp:HOST:PORT` — explicit scheme;
+    /// - anything containing `/` — a socket path;
+    /// - anything containing `:` — a TCP endpoint;
+    /// - bare names are rejected (ambiguous).
+    pub fn parse(s: &str) -> Result<Addr, String> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("empty socket path after `unix:`".to_string());
+            }
+            return Ok(Addr::Unix(PathBuf::from(path)));
+        }
+        if let Some(endpoint) = s.strip_prefix("tcp:") {
+            if endpoint.rsplit_once(':').is_none() {
+                return Err(format!("`{endpoint}` is not a HOST:PORT endpoint"));
+            }
+            return Ok(Addr::Tcp(endpoint.to_string()));
+        }
+        if s.contains('/') {
+            Ok(Addr::Unix(PathBuf::from(s)))
+        } else if s.contains(':') {
+            Ok(Addr::Tcp(s.to_string()))
+        } else {
+            Err(format!(
+                "ambiguous address `{s}`: use `unix:PATH` or `tcp:HOST:PORT`"
+            ))
+        }
+    }
+
+    /// The default address: `marpled.sock` in the system temp directory — the same for
+    /// server and client, so `marple daemon start` + `marple check-all --remote` work
+    /// with no flags at all.
+    pub fn default_socket() -> Addr {
+        Addr::Unix(std::env::temp_dir().join("marpled.sock"))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Unix(path) => write!(f, "unix:{}", path.display()),
+            Addr::Tcp(endpoint) => write!(f, "tcp:{endpoint}"),
+        }
+    }
+}
+
+/// One connection, either flavour.
+#[derive(Debug)]
+pub enum Stream {
+    /// Over a Unix-domain socket.
+    Unix(UnixStream),
+    /// Over TCP.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Connects to `addr`.
+    pub fn connect(addr: &Addr) -> io::Result<Stream> {
+        match addr {
+            Addr::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            Addr::Tcp(endpoint) => TcpStream::connect(endpoint.as_str()).map(Stream::Tcp),
+        }
+    }
+
+    /// A second handle onto the same connection (reader/writer split).
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    /// Shuts down one or both halves (used by the server to interrupt blocked reads at
+    /// shutdown, and by tests to tear frames).
+    pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.shutdown(how),
+            Stream::Tcp(s) => s.shutdown(how),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listener, either flavour.
+#[derive(Debug)]
+pub enum Listener {
+    /// On a Unix-domain socket.
+    Unix(UnixListener, PathBuf),
+    /// On TCP.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds `addr`. A stale socket file from a dead daemon is reclaimed: if nothing
+    /// answers a connect on it, it is unlinked and the bind retried.
+    pub fn bind(addr: &Addr) -> io::Result<Listener> {
+        match addr {
+            Addr::Unix(path) => {
+                match UnixListener::bind(path) {
+                    Ok(l) => Ok(Listener::Unix(l, path.clone())),
+                    Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                        if UnixStream::connect(path).is_ok() {
+                            return Err(io::Error::new(
+                                io::ErrorKind::AddrInUse,
+                                format!("a daemon is already listening on {}", path.display()),
+                            ));
+                        }
+                        // Dead socket file: nothing accepts on it, so reclaim.
+                        std::fs::remove_file(path)?;
+                        UnixListener::bind(path).map(|l| Listener::Unix(l, path.clone()))
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Addr::Tcp(endpoint) => TcpListener::bind(endpoint.as_str()).map(Listener::Tcp),
+        }
+    }
+
+    /// Accepts one connection.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+
+    /// The address the listener is actually bound to. For TCP this resolves port 0 to
+    /// the assigned port, which is what in-process test daemons use.
+    pub fn local_addr(&self) -> io::Result<Addr> {
+        match self {
+            Listener::Unix(_, path) => Ok(Addr::Unix(path.clone())),
+            Listener::Tcp(l) => l.local_addr().map(|a| Addr::Tcp(a.to_string())),
+        }
+    }
+
+    /// The socket path to unlink at shutdown, when there is one.
+    pub fn socket_path(&self) -> Option<&Path> {
+        match self {
+            Listener::Unix(_, path) => Some(path),
+            Listener::Tcp(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_parse_and_display() {
+        assert_eq!(
+            Addr::parse("unix:/tmp/m.sock").unwrap(),
+            Addr::Unix(PathBuf::from("/tmp/m.sock"))
+        );
+        assert_eq!(
+            Addr::parse("tcp:127.0.0.1:7777").unwrap(),
+            Addr::Tcp("127.0.0.1:7777".into())
+        );
+        assert_eq!(
+            Addr::parse("/var/run/marpled.sock").unwrap(),
+            Addr::Unix(PathBuf::from("/var/run/marpled.sock"))
+        );
+        assert_eq!(
+            Addr::parse("localhost:7777").unwrap(),
+            Addr::Tcp("localhost:7777".into())
+        );
+        assert!(Addr::parse("marpled").is_err(), "bare names are ambiguous");
+        assert!(Addr::parse("unix:").is_err());
+        assert!(Addr::parse("tcp:7777").is_err(), "port without host");
+        // Display round-trips through parse.
+        for a in [
+            Addr::Unix(PathBuf::from("/tmp/x.sock")),
+            Addr::Tcp("127.0.0.1:1".into()),
+        ] {
+            assert_eq!(Addr::parse(&a.to_string()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn stale_socket_files_are_reclaimed() {
+        let path =
+            std::env::temp_dir().join(format!("hat-daemon-stale-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let addr = Addr::Unix(path.clone());
+        // First bind, then drop the listener *without* unlinking — a crashed daemon.
+        let listener = Listener::bind(&addr).expect("first bind");
+        drop(listener);
+        assert!(path.exists(), "the socket file is left behind");
+        let listener = Listener::bind(&addr).expect("rebind over the stale file");
+        drop(listener);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn live_sockets_are_not_stolen() {
+        let path =
+            std::env::temp_dir().join(format!("hat-daemon-live-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let addr = Addr::Unix(path.clone());
+        let _listener = Listener::bind(&addr).expect("first bind");
+        let err = Listener::bind(&addr).expect_err("second bind must fail");
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,519 @@
+//! The `marpled` server: a long-lived process owning one [`Engine`] (worker pool +
+//! tiered memo store), serving verification requests over [`crate::frame`] frames.
+//!
+//! ## Lifecycle
+//!
+//! [`Daemon::spawn`] builds the engine first — replaying the v5 disk log warms the
+//! store **before** the listener accepts anything, so the first client already sees a
+//! warm cache — then binds the listener, writes the `<cache>.addr` sidecar (which is
+//! how lock-contended batch runs learn the daemon's address), and starts the accept
+//! loop on a background thread. If the cache lock is held by another process the
+//! daemon refuses to start rather than running degraded: a daemon whose verdicts
+//! evaporate on exit would defeat its purpose.
+//!
+//! ## Concurrency
+//!
+//! One handler thread per connection reads request frames; one writer thread per
+//! connection owns the write half behind an mpsc channel, so report frames from
+//! several in-flight requests (each running on its own runner thread) interleave
+//! without tearing — the client demultiplexes by request id. All threads are scoped:
+//! the accept loop's scope joins every handler, runner and writer before teardown
+//! proceeds, which is what makes shutdown drain in-flight jobs instead of aborting
+//! them.
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` request answers `bye`, raises the stop flag and wakes the accept loop
+//! with a dummy self-connection. The accept loop then half-closes (`shutdown(Read)`)
+//! every live connection — handlers stop taking *new* requests but writers keep
+//! streaming until in-flight runs finish — joins everything, compacts the log if it is
+//! crowded with dead records, drops the engine (pool drains, store flushes, the
+//! sidecar lock releases), and finally unlinks the `.addr` sidecar and the socket
+//! file. The socket file disappearing last is what `marple daemon stop` polls for.
+
+use crate::frame::{read_frame, write_frame, MAX_REQUEST_FRAME};
+use crate::net::{Addr, Listener, Stream};
+use crate::proto::{
+    ClientStats, DaemonStatus, Envelope, Hello, Request, Response, ResponseEnvelope,
+};
+use hat_engine::{addr_path_for, Engine, EngineConfig};
+use hat_suite::Benchmark;
+use std::io::{self, BufWriter, Write};
+use std::net::Shutdown;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::Scope;
+use std::time::Instant;
+
+/// Configuration of a daemon instance.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Where to listen.
+    pub addr: Addr,
+    /// The engine the daemon owns (worker count, cache path, verification knobs).
+    pub engine: EngineConfig,
+    /// Suppress the per-event stderr log (tests and benchmarks).
+    pub quiet: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: Addr::default_socket(),
+            engine: EngineConfig::default(),
+            quiet: false,
+        }
+    }
+}
+
+/// Per-connection bookkeeping for the `cache-stats` report.
+#[derive(Debug)]
+struct ClientRecord {
+    connected: Instant,
+    /// Connection lifetime, once the handler exits.
+    closed_after: Option<f64>,
+    requests: u64,
+    reports: u64,
+    hits: usize,
+    misses: usize,
+}
+
+/// State shared by the accept loop and every per-connection thread.
+struct Shared {
+    addr: Addr,
+    started: Instant,
+    stopping: AtomicBool,
+    requests_served: AtomicU64,
+    jobs_completed: AtomicU64,
+    clients: Mutex<Vec<ClientRecord>>,
+    /// Read-half clones of every accepted connection, half-closed at shutdown to
+    /// interrupt handlers blocked in `read_frame`.
+    conns: Mutex<Vec<Stream>>,
+    quiet: bool,
+}
+
+impl Shared {
+    fn log(&self, message: std::fmt::Arguments<'_>) {
+        if !self.quiet {
+            eprintln!("marpled: {message}");
+        }
+    }
+
+    /// Registers a connection; returns its 1-based client number.
+    fn register_client(&self) -> usize {
+        let mut clients = self.clients.lock().expect("client registry");
+        clients.push(ClientRecord {
+            connected: Instant::now(),
+            closed_after: None,
+            requests: 0,
+            reports: 0,
+            hits: 0,
+            misses: 0,
+        });
+        clients.len()
+    }
+
+    fn with_client(&self, client: usize, f: impl FnOnce(&mut ClientRecord)) {
+        let mut clients = self.clients.lock().expect("client registry");
+        f(&mut clients[client - 1]);
+    }
+
+    /// Raises the stop flag and wakes the accept loop with a dummy self-connection.
+    fn initiate_shutdown(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.log(format_args!("shutdown requested, draining"));
+        let _ = Stream::connect(&self.addr);
+    }
+
+    fn status(&self, engine: &Engine) -> DaemonStatus {
+        let clients = self.clients.lock().expect("client registry");
+        DaemonStatus {
+            addr: self.addr.to_string(),
+            pid: std::process::id(),
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            workers: engine.config().jobs,
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            cache: engine.cache().stats(),
+            entries: engine.cache().len(),
+            degraded: engine.cache().degraded(),
+            cache_path: engine
+                .config()
+                .cache_path
+                .as_ref()
+                .map(|p| p.display().to_string()),
+            clients: clients
+                .iter()
+                .enumerate()
+                .map(|(i, c)| ClientStats {
+                    client: (i + 1) as u64,
+                    connected_secs: c
+                        .closed_after
+                        .unwrap_or_else(|| c.connected.elapsed().as_secs_f64()),
+                    requests: c.requests,
+                    reports: c.reports,
+                    hits: c.hits,
+                    misses: c.misses,
+                    active: c.closed_after.is_none(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A running daemon instance (in-process). The `marpled` binary wraps this; tests and
+/// the benchmark harness spawn it directly on a temp socket.
+pub struct Daemon;
+
+/// Handle onto a spawned daemon: its bound address plus the serve thread.
+pub struct DaemonHandle {
+    addr: Addr,
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for DaemonHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl Daemon {
+    /// Builds the engine (warming the store from disk), binds the listener and starts
+    /// serving on a background thread. Returns once the daemon accepts connections.
+    pub fn spawn(config: DaemonConfig) -> io::Result<DaemonHandle> {
+        let engine = Engine::new(config.engine.clone())?;
+        if engine.cache().degraded() {
+            let path = config
+                .engine
+                .cache_path
+                .as_ref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default();
+            return Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                format!(
+                    "the cache lock on `{path}` is held by another process; \
+                     marpled refuses to run degraded — stop the other writer first"
+                ),
+            ));
+        }
+        let listener = Listener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        // Advertise the service next to the cache log, so lock-contended `marple
+        // check` runs can suggest the exact `--remote` address.
+        let addr_file = config.engine.cache_path.as_ref().map(|p| addr_path_for(p));
+        if let Some(path) = &addr_file {
+            std::fs::write(path, format!("{addr}\n"))?;
+        }
+        let shared = Arc::new(Shared {
+            addr: addr.clone(),
+            started: Instant::now(),
+            stopping: AtomicBool::new(false),
+            requests_served: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            clients: Mutex::new(Vec::new()),
+            conns: Mutex::new(Vec::new()),
+            quiet: config.quiet,
+        });
+        shared.log(format_args!(
+            "listening on {addr} ({} worker{}, {} cache entries warm)",
+            engine.config().jobs,
+            if engine.config().jobs == 1 { "" } else { "s" },
+            engine.cache().len(),
+        ));
+        let serve_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("marpled-accept".to_string())
+            .spawn(move || {
+                serve(&serve_shared, &engine, &listener);
+                // Every handler, runner and writer has joined: flush the log through a
+                // compaction check, release the lock by dropping the engine, then
+                // remove the advertisement files — socket last, it is what
+                // `marple daemon stop` polls.
+                match engine.cache().compact_if_needed() {
+                    Ok(Some(report)) => serve_shared.log(format_args!(
+                        "compacted the cache log: {} → {} records",
+                        report.records_before, report.records_after
+                    )),
+                    Ok(None) => {}
+                    Err(e) => serve_shared.log(format_args!("cache compaction failed: {e}")),
+                }
+                drop(engine);
+                if let Some(path) = &addr_file {
+                    let _ = std::fs::remove_file(path);
+                }
+                if let Some(path) = listener.socket_path() {
+                    let _ = std::fs::remove_file(path);
+                }
+                serve_shared.log(format_args!("stopped"));
+            })
+            .expect("spawning the daemon accept thread failed");
+        Ok(DaemonHandle {
+            addr,
+            shared,
+            thread: Some(thread),
+        })
+    }
+}
+
+impl DaemonHandle {
+    /// The address the daemon is actually bound to (TCP port 0 resolved).
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Whether the serve thread has exited.
+    pub fn is_stopped(&self) -> bool {
+        self.thread
+            .as_ref()
+            .map(|t| t.is_finished())
+            .unwrap_or(true)
+    }
+
+    /// Initiates a graceful shutdown and waits for the daemon to finish draining.
+    pub fn stop(mut self) {
+        self.shared.initiate_shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+
+    /// Waits for the daemon to stop on its own (e.g. by a client's `shutdown`).
+    pub fn join(mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.shared.initiate_shutdown();
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The benchmark batch a verification request resolves to.
+fn resolve_batch(request: &Request) -> Result<Vec<Benchmark>, String> {
+    match request {
+        Request::Check { adt, library } => hat_suite::find(adt, library)
+            .map(|b| vec![b])
+            .ok_or_else(|| format!("unknown configuration `{adt}/{library}`")),
+        // The full suite, in the same order `marple check-all` runs it — remote and
+        // local check-all must cover the identical set for identical reports.
+        Request::CheckAll | Request::Warmup => Ok(hat_suite::all_benchmarks()),
+        _ => unreachable!("not a verification request"),
+    }
+}
+
+/// The accept loop plus every per-connection thread, all inside one scope: when this
+/// function returns, every connection is fully drained.
+fn serve(shared: &Shared, engine: &Engine, listener: &Listener) {
+    std::thread::scope(|scope| {
+        while !shared.stopping.load(Ordering::SeqCst) {
+            let stream = match listener.accept() {
+                Ok(stream) => stream,
+                Err(e) => {
+                    if shared.stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    shared.log(format_args!("accept failed: {e}"));
+                    continue;
+                }
+            };
+            if shared.stopping.load(Ordering::SeqCst) {
+                // The shutdown wake-up connection (or a client racing it): drop.
+                break;
+            }
+            let client = shared.register_client();
+            if let Ok(clone) = stream.try_clone() {
+                shared
+                    .conns
+                    .lock()
+                    .expect("connection registry")
+                    .push(clone);
+            }
+            shared.log(format_args!("client {client} connected"));
+            scope.spawn(move || handle_connection(scope, shared, engine, stream, client));
+        }
+        // Half-close every connection: blocked `read_frame`s return, handlers stop
+        // taking new requests, but write halves stay open so in-flight runs finish
+        // streaming. The scope then joins everything.
+        for conn in shared.conns.lock().expect("connection registry").iter() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+    });
+}
+
+/// Sends one response frame through the connection's writer channel.
+fn send(tx: &Sender<String>, id: u64, response: Response) {
+    let envelope = ResponseEnvelope { id, response };
+    // A dropped writer means the client went away; runs complete anyway (their memo
+    // entries are the daemon's whole point) and the sends become no-ops.
+    let _ = tx.send(envelope.to_json().to_string());
+}
+
+fn handle_connection<'scope>(
+    scope: &'scope Scope<'scope, '_>,
+    shared: &'scope Shared,
+    engine: &'scope Engine,
+    mut reader: Stream,
+    client: usize,
+) {
+    let Ok(write_half) = reader.try_clone() else {
+        return;
+    };
+    // One writer thread per connection: report frames from several concurrent runner
+    // threads (pipelined requests) funnel through this channel, so frames never tear.
+    let (tx, rx) = channel::<String>();
+    scope.spawn(move || {
+        let mut w = BufWriter::new(write_half);
+        while let Ok(payload) = rx.recv() {
+            if write_frame(&mut w, &payload).is_err() || w.flush().is_err() {
+                break;
+            }
+        }
+        // Closing the write half tells a still-reading client the stream is over.
+        let _ = w.get_ref().shutdown(Shutdown::Write);
+    });
+    // The server speaks first: handshake before any request.
+    let _ = tx.send(Hello::current().to_json().to_string());
+    loop {
+        let payload = match read_frame(&mut reader, MAX_REQUEST_FRAME) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break,
+            Err(e) => {
+                // Torn, oversized or garbled frame: the connection is poisoned, the
+                // store is not. Drop the connection; nothing was mutated.
+                shared.log(format_args!("client {client}: bad frame ({e}), closing"));
+                break;
+            }
+        };
+        let envelope = match Envelope::parse(&payload) {
+            Ok(envelope) => envelope,
+            Err(message) => {
+                shared.log(format_args!("client {client}: {message}, closing"));
+                send(&tx, 0, Response::Error { message });
+                break;
+            }
+        };
+        shared.requests_served.fetch_add(1, Ordering::Relaxed);
+        shared.with_client(client, |c| c.requests += 1);
+        let id = envelope.id;
+        match envelope.request {
+            Request::Ping => send(
+                &tx,
+                id,
+                Response::Pong {
+                    uptime_secs: shared.started.elapsed().as_secs_f64(),
+                },
+            ),
+            Request::CacheStats => send(&tx, id, Response::Stats(Box::new(shared.status(engine)))),
+            Request::CacheCompact => match engine.cache().compact_if_needed() {
+                Ok(report) => send(&tx, id, Response::Compacted(report)),
+                Err(e) => send(
+                    &tx,
+                    id,
+                    Response::Error {
+                        message: format!("compaction failed: {e}"),
+                    },
+                ),
+            },
+            Request::Shutdown => {
+                send(&tx, id, Response::Bye);
+                shared.initiate_shutdown();
+                break;
+            }
+            request @ (Request::Check { .. } | Request::CheckAll | Request::Warmup) => {
+                match resolve_batch(&request) {
+                    Err(message) => send(&tx, id, Response::Error { message }),
+                    Ok(benches) => {
+                        // Each verification request runs on its own thread so the
+                        // handler keeps reading: a client may pipeline a cache-stats
+                        // probe (or a second batch) while this one streams.
+                        let stream_reports = !matches!(request, Request::Warmup);
+                        let tx = tx.clone();
+                        scope.spawn(move || {
+                            run_batch(shared, engine, &benches, id, &tx, client, stream_reports)
+                        });
+                    }
+                }
+            }
+        }
+    }
+    shared.with_client(client, |c| {
+        c.closed_after = Some(c.connected.elapsed().as_secs_f64());
+    });
+    shared.log(format_args!("client {client} disconnected"));
+}
+
+/// Runs one verification batch on the engine's pool, streaming per-job reports (in
+/// completion order) and the terminating `done` frame to the connection's writer.
+fn run_batch(
+    shared: &Shared,
+    engine: &Engine,
+    benches: &[Benchmark],
+    id: u64,
+    tx: &Sender<String>,
+    client: usize,
+    stream_reports: bool,
+) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut handle = engine.submit(benches);
+        let jobs = handle.job_count();
+        while let Some(job) = handle.next_report() {
+            shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            if stream_reports {
+                let bench = &benches[job.bench];
+                shared.with_client(client, |c| c.reports += 1);
+                send(
+                    tx,
+                    id,
+                    Response::Report {
+                        bench: job.bench,
+                        method: job.method,
+                        adt: bench.adt.to_string(),
+                        library: bench.library.to_string(),
+                        policy: bench.policy.to_string(),
+                        expect_verified: bench.methods[job.method].expect_verified,
+                        report: Box::new(job.report),
+                    },
+                );
+            }
+        }
+        let summary = handle.finish();
+        shared.with_client(client, |c| {
+            c.hits += summary.cache.hits;
+            c.misses += summary.cache.misses;
+        });
+        send(
+            tx,
+            id,
+            Response::Done {
+                wall: summary.wall,
+                cache: summary.cache,
+                jobs,
+            },
+        );
+    }));
+    if let Err(panic) = outcome {
+        let message = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "verification failed".to_string());
+        shared.log(format_args!(
+            "client {client} request {id} failed: {message}"
+        ));
+        send(tx, id, Response::Error { message });
+    }
+}

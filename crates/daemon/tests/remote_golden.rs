@@ -1,0 +1,362 @@
+//! End-to-end daemon tests: an in-process `marpled` on a temp socket, driven through
+//! the real wire protocol.
+//!
+//! - the whole non-slow golden suite, verified remotely, must match
+//!   `crates/engine/tests/golden_verdicts.txt` bit for bit — including a second
+//!   client connecting mid-suite, whose interleaved requests must demultiplex
+//!   correctly;
+//! - torn, oversized and garbage frames must close the offending connection without
+//!   poisoning the store (a well-behaved client afterwards still verifies fine);
+//! - a graceful shutdown must drain in-flight jobs before the daemon stops.
+
+use hat_daemon::frame::{read_frame, write_frame, MAX_RESPONSE_FRAME};
+use hat_daemon::{
+    Addr, Daemon, DaemonConfig, Hello, Listener, RemoteClient, Request, Response, Stream,
+    CACHE_VERSION,
+};
+use hat_engine::EngineConfig;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn temp_socket(tag: &str) -> Addr {
+    Addr::Unix(std::env::temp_dir().join(format!("hat-daemon-{tag}-{}.sock", std::process::id())))
+}
+
+fn spawn_daemon(tag: &str, jobs: usize) -> hat_daemon::DaemonHandle {
+    Daemon::spawn(DaemonConfig {
+        addr: temp_socket(tag),
+        engine: EngineConfig {
+            jobs,
+            ..EngineConfig::default()
+        },
+        quiet: true,
+    })
+    .expect("the daemon starts")
+}
+
+/// Parses the golden snapshot into `ADT/Library::method -> (expected, verdict)`.
+fn golden_verdicts() -> BTreeMap<String, (bool, bool)> {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../engine/tests/golden_verdicts.txt");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut verdicts = BTreeMap::new();
+    for line in text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let mut parts = line.split_whitespace();
+        let key = parts.next().expect("key column").to_string();
+        let expected = parts
+            .next()
+            .and_then(|p| p.strip_prefix("expected="))
+            .expect("expected column")
+            == "true";
+        let verdict = parts
+            .next()
+            .and_then(|p| p.strip_prefix("verdict="))
+            .expect("verdict column")
+            == "true";
+        verdicts.insert(key, (expected, verdict));
+    }
+    verdicts
+}
+
+#[test]
+fn remote_golden_suite_matches_the_snapshot_with_a_concurrent_client() {
+    let daemon = spawn_daemon("golden", 2);
+    let addr = daemon.addr().clone();
+    let mut client = RemoteClient::connect(&addr).expect("client connects");
+    assert_eq!(client.hello().cache_version, CACHE_VERSION);
+
+    let golden = golden_verdicts();
+    let configs: Vec<(String, String)> = hat_suite::all_benchmarks()
+        .iter()
+        .filter(|b| !b.slow)
+        .map(|b| (b.adt.to_string(), b.library.to_string()))
+        .collect();
+    assert!(configs.len() > 10, "the suite lost configurations");
+
+    // Half-way through the suite, a second client connects and runs its own check —
+    // its verdicts must be correct and its frames must not bleed into ours.
+    let halfway = configs.len() / 2;
+    let mut remote: BTreeMap<String, (bool, bool)> = BTreeMap::new();
+    let mut second: Option<std::thread::JoinHandle<()>> = None;
+    for (i, (adt, library)) in configs.iter().enumerate() {
+        if i == halfway {
+            let addr = addr.clone();
+            second = Some(std::thread::spawn(move || {
+                let mut client = RemoteClient::connect(&addr).expect("second client connects");
+                let uptime = client.ping().expect("ping answers");
+                assert!(uptime >= 0.0);
+                let run = client
+                    .verify(
+                        Request::Check {
+                            adt: "Stack".into(),
+                            library: "LinkedList".into(),
+                        },
+                        |_, _, _| {},
+                    )
+                    .expect("the concurrent check runs");
+                assert_eq!(run.summary.benchmarks.len(), 1);
+                let run = &run.summary.benchmarks[0];
+                assert_eq!(
+                    (run.adt.as_str(), run.library.as_str()),
+                    ("Stack", "LinkedList")
+                );
+                assert!(
+                    run.reports.iter().any(|r| r.verified),
+                    "the concurrent client got crosstalk verdicts"
+                );
+            }));
+        }
+        let outcome = client
+            .verify(
+                Request::Check {
+                    adt: adt.clone(),
+                    library: library.clone(),
+                },
+                |_, _, _| {},
+            )
+            .unwrap_or_else(|e| panic!("remote check of {adt}/{library} failed: {e}"));
+        let bench = hat_suite::find(adt, library).expect("configuration exists");
+        assert_eq!(outcome.summary.benchmarks.len(), 1);
+        let run = &outcome.summary.benchmarks[0];
+        assert_eq!(outcome.jobs, bench.methods.len());
+        assert_eq!(run.reports.len(), bench.methods.len(), "{adt}/{library}");
+        for (method, report) in bench.methods.iter().zip(&run.reports) {
+            // Reports are reassembled in method order, like a local summary.
+            assert_eq!(report.name, method.sig.name, "{adt}/{library}");
+            remote.insert(
+                format!("{adt}/{library}::{}", method.sig.name),
+                (method.expect_verified, report.verified),
+            );
+        }
+    }
+    second
+        .expect("the suite passed the halfway point")
+        .join()
+        .expect("second client");
+
+    assert_eq!(
+        remote, golden,
+        "remote verdicts diverge from the golden snapshot"
+    );
+
+    // Per-client accounting saw both connections.
+    let status = client.cache_stats().expect("stats answer");
+    assert!(status.clients.len() >= 2, "both clients are on record");
+    assert!(status.jobs_completed >= golden.len() as u64);
+    daemon.stop();
+}
+
+#[test]
+fn malformed_frames_close_the_connection_without_poisoning_the_store() {
+    let daemon = spawn_daemon("poison", 1);
+    let addr = daemon.addr().clone();
+
+    // Baseline: one good run, so the store has entries worth poisoning.
+    let mut client = RemoteClient::connect(&addr).expect("client connects");
+    let before = client
+        .verify(
+            Request::Check {
+                adt: "Stack".into(),
+                library: "LinkedList".into(),
+            },
+            |_, _, _| {},
+        )
+        .expect("baseline run");
+    let entries_before = client.cache_stats().expect("stats").entries;
+    assert!(entries_before > 0);
+
+    let read_hello = |stream: &mut Stream| {
+        let frame = read_frame(stream, MAX_RESPONSE_FRAME)
+            .expect("handshake frame")
+            .expect("server speaks first");
+        Hello::parse(&frame).expect("a real handshake");
+    };
+    // Garbage bytes instead of a frame.
+    let mut garbage = Stream::connect(&addr).expect("connects");
+    read_hello(&mut garbage);
+    garbage.write_all(b"!!! not a frame !!!\n").expect("writes");
+    garbage.flush().expect("flushes");
+    assert!(
+        read_frame(&mut garbage, MAX_RESPONSE_FRAME)
+            .expect("clean close")
+            .is_none(),
+        "the server must close on garbage, not answer it"
+    );
+    // An oversized frame: the announced length exceeds the request cap.
+    let mut oversized = Stream::connect(&addr).expect("connects");
+    read_hello(&mut oversized);
+    oversized.write_all(b"99999999\n").expect("writes");
+    oversized.flush().expect("flushes");
+    assert!(read_frame(&mut oversized, MAX_RESPONSE_FRAME)
+        .expect("clean close")
+        .is_none());
+    // A torn frame: a length line promising more payload than ever arrives.
+    let mut torn = Stream::connect(&addr).expect("connects");
+    read_hello(&mut torn);
+    torn.write_all(b"500\n{\"op\":").expect("writes");
+    torn.flush().expect("flushes");
+    torn.shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    assert!(read_frame(&mut torn, MAX_RESPONSE_FRAME)
+        .expect("clean close")
+        .is_none());
+    // A well-framed payload that is not a valid request.
+    let mut confused = Stream::connect(&addr).expect("connects");
+    read_hello(&mut confused);
+    write_frame(&mut confused, "{\"op\":\"launch-missiles\"}").expect("writes");
+    confused.flush().expect("flushes");
+    // The server answers a final error frame (id 0), then closes.
+    let last = read_frame(&mut confused, MAX_RESPONSE_FRAME).expect("error frame");
+    assert!(last.is_some_and(|f| f.contains("error")));
+    assert!(read_frame(&mut confused, MAX_RESPONSE_FRAME)
+        .expect("clean close")
+        .is_none());
+
+    // The store is untouched and the daemon still serves: the same check now runs
+    // fully warm with identical verdicts.
+    let mut client = RemoteClient::connect(&addr).expect("a fresh client connects");
+    let after = client
+        .verify(
+            Request::Check {
+                adt: "Stack".into(),
+                library: "LinkedList".into(),
+            },
+            |_, _, _| {},
+        )
+        .expect("the daemon survived the abuse");
+    let verdicts = |run: &hat_daemon::RemoteRun| -> Vec<bool> {
+        run.summary.benchmarks[0]
+            .reports
+            .iter()
+            .map(|r| r.verified)
+            .collect()
+    };
+    assert_eq!(verdicts(&before), verdicts(&after));
+    assert_eq!(after.summary.cache.misses, 0, "the warm store was poisoned");
+    assert!(client.cache_stats().expect("stats").entries >= entries_before);
+    daemon.stop();
+}
+
+#[test]
+fn pipelined_requests_demultiplex_by_id() {
+    let daemon = spawn_daemon("pipeline", 2);
+    let mut client = RemoteClient::connect(daemon.addr()).expect("client connects");
+    // Three requests in flight on one connection before reading anything.
+    let check_a = client
+        .send(Request::Check {
+            adt: "Stack".into(),
+            library: "LinkedList".into(),
+        })
+        .expect("send");
+    let check_b = client
+        .send(Request::Check {
+            adt: "ConnectedGraph".into(),
+            library: "Set".into(),
+        })
+        .expect("send");
+    let ping = client.send(Request::Ping).expect("send");
+    // Read them out of order: the ping answer first (it overtakes the running
+    // batches), then batch B, then batch A — recv_for buffers whatever interleaves.
+    match client.recv_for(ping).expect("pong arrives mid-stream") {
+        Response::Pong { .. } => {}
+        other => panic!("expected a pong, got {other:?}"),
+    }
+    let mut drain = |id: u64, adt: &str| {
+        let mut reports = 0;
+        loop {
+            match client.recv_for(id).expect("response") {
+                Response::Report { adt: got, .. } => {
+                    assert_eq!(got, adt, "report routed to the wrong request");
+                    reports += 1;
+                }
+                Response::Done { jobs, .. } => {
+                    assert_eq!(jobs, reports, "jobs and streamed reports disagree");
+                    break;
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        reports
+    };
+    assert!(drain(check_b, "ConnectedGraph") > 0);
+    assert!(drain(check_a, "Stack") > 0);
+    daemon.stop();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_jobs() {
+    let daemon = spawn_daemon("drain", 1);
+    let addr = daemon.addr().clone();
+    let mut client = RemoteClient::connect(&addr).expect("client connects");
+    // Start a batch, then shut the daemon down from a second connection while the
+    // batch is (at most just) underway.
+    let id = client
+        .send(Request::Check {
+            adt: "ConnectedGraph".into(),
+            library: "Set".into(),
+        })
+        .expect("send");
+    let mut stopper = RemoteClient::connect(&addr).expect("stopper connects");
+    stopper.shutdown().expect("bye");
+    // The in-flight batch still completes: every report plus the done frame.
+    let mut reports = 0;
+    loop {
+        match client.recv_for(id).expect("the drained run still streams") {
+            Response::Report { .. } => reports += 1,
+            Response::Done { jobs, .. } => {
+                assert_eq!(jobs, reports);
+                break;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    let expected = hat_suite::find("ConnectedGraph", "Set").expect("configuration exists");
+    assert_eq!(reports, expected.methods.len());
+    // The daemon finishes draining and removes its socket.
+    let Addr::Unix(path) = &addr else {
+        panic!("test daemon listens on a unix socket")
+    };
+    for _ in 0..200 {
+        if daemon.is_stopped() && !path.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(daemon.is_stopped(), "the daemon never finished draining");
+    assert!(!path.exists(), "the socket file was left behind");
+    daemon.join();
+}
+
+#[test]
+fn version_skew_is_rejected_with_a_clear_message() {
+    // A fake service announcing a stale cache generation: the client must refuse
+    // before sending anything.
+    let addr = temp_socket("skew");
+    let listener = Listener::bind(&addr).expect("binds");
+    let server = std::thread::spawn(move || {
+        let mut conn = listener.accept().expect("accepts");
+        let stale = format!(
+            "{{\"server\":\"marpled v1\",\"protocol\":1,\"cache_version\":{},\"pid\":1}}",
+            CACHE_VERSION - 1
+        );
+        write_frame(&mut conn, &stale).expect("writes");
+        conn.flush().expect("flushes");
+        // Hold the connection until the client hangs up.
+        let _ = read_frame(&mut conn, 1024);
+    });
+    let err = RemoteClient::connect(&addr).expect_err("the client must refuse");
+    assert!(
+        err.contains("cache format mismatch"),
+        "unclear rejection: {err}"
+    );
+    assert!(err.contains(&format!("v{CACHE_VERSION}")), "{err}");
+    server.join().expect("fake server");
+    if let Addr::Unix(path) = &addr {
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -181,6 +181,35 @@ fn lock_path_for(log_path: &Path) -> PathBuf {
     log_path.with_file_name(name)
 }
 
+/// The advertised-address sidecar of a cache log: a long-lived `marpled` daemon that
+/// owns `<path>` writes its listen address to `<path>.addr` so batch invocations that
+/// find the lock held can tell the user exactly how to reach the warm store.
+pub fn addr_path_for(log_path: &Path) -> PathBuf {
+    let mut name = log_path.file_name().unwrap_or_default().to_os_string();
+    name.push(".addr");
+    log_path.with_file_name(name)
+}
+
+/// Who holds a cache log's single-writer lock (see [`MemoStore::lock_holder`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockHolder {
+    /// PID written into the sidecar lock file.
+    pub pid: u32,
+    /// The holder's process name (`/proc/<pid>/comm`), when it can be read.
+    pub name: Option<String>,
+    /// The holder's advertised service address (`<path>.addr`), when one exists —
+    /// written by a `marpled` daemon so lock-contended batch runs can suggest
+    /// `--remote`.
+    pub service_addr: Option<String>,
+}
+
+impl LockHolder {
+    /// Whether the holder looks like a `marpled` verification daemon.
+    pub fn is_daemon(&self) -> bool {
+        self.name.as_deref() == Some("marpled") || self.service_addr.is_some()
+    }
+}
+
 fn lock_holder_is_alive(lock_path: &Path) -> bool {
     let Ok(contents) = std::fs::read_to_string(lock_path) else {
         // Unreadable (racing creation, permissions): assume the holder is alive.
@@ -468,11 +497,38 @@ impl MemoStore {
         let lock = CacheLock::acquire(path)?;
         if lock.is_none() {
             cache.degraded = true;
-            eprintln!(
-                "warning: cache `{}` is locked by another process; this run keeps its \
-                 verdicts in memory only",
-                path.display()
-            );
+            match Self::lock_holder(path) {
+                Some(holder) if holder.is_daemon() => {
+                    let reach = match &holder.service_addr {
+                        Some(addr) => format!("rerun with `--remote {addr}` to use its warm store"),
+                        None => {
+                            "rerun with `--remote <its address>` to use its warm store".to_string()
+                        }
+                    };
+                    eprintln!(
+                        "warning: cache `{}` is owned by a running marpled daemon (pid {}); \
+                         {reach} — this run keeps its verdicts in memory only",
+                        path.display(),
+                        holder.pid
+                    );
+                }
+                Some(holder) => eprintln!(
+                    "warning: cache `{}` is locked by another process (pid {}{}); this run \
+                     keeps its verdicts in memory only",
+                    path.display(),
+                    holder.pid,
+                    holder
+                        .name
+                        .as_deref()
+                        .map(|n| format!(", `{n}`"))
+                        .unwrap_or_default()
+                ),
+                None => eprintln!(
+                    "warning: cache `{}` is locked by another process; this run keeps its \
+                     verdicts in memory only",
+                    path.display()
+                ),
+            }
         }
         // How to open the log after reading: start a fresh v5 file, append to the
         // existing v5 file, or rewrite a migrated (or compaction-worthy) file.
@@ -589,6 +645,52 @@ impl MemoStore {
     /// disk log.
     pub fn degraded(&self) -> bool {
         self.degraded
+    }
+
+    /// Who currently holds the single-writer lock of the log at `path`, if anyone:
+    /// the PID from the sidecar lock file, the process name from `/proc` when
+    /// available, and the advertised service address from `<path>.addr` when a
+    /// `marpled` daemon wrote one. `None` when no lock file exists or it is
+    /// unreadable.
+    pub fn lock_holder(path: impl AsRef<Path>) -> Option<LockHolder> {
+        let path = path.as_ref();
+        let contents = std::fs::read_to_string(lock_path_for(path)).ok()?;
+        let pid = contents.trim().parse::<u32>().ok()?;
+        let name = std::fs::read_to_string(format!("/proc/{pid}/comm"))
+            .ok()
+            .map(|s| s.trim().to_string());
+        let service_addr = std::fs::read_to_string(addr_path_for(path))
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty());
+        Some(LockHolder {
+            pid,
+            name,
+            service_addr,
+        })
+    }
+
+    /// Compacts the disk log only when its dead-record share passes the same threshold
+    /// automatic load-time compaction uses (at least `AUTO_COMPACT_MIN_DEAD` dead
+    /// records making up ≥ 1/`AUTO_COMPACT_RATIO` of the log). Returns `Ok(None)`
+    /// when the log is healthy (or the store is in-memory / degraded — nothing to
+    /// compact then). A long-lived daemon calls this on graceful shutdown so the log it
+    /// leaves behind is tidy without paying a rewrite on every exit.
+    pub fn compact_if_needed(&self) -> std::io::Result<Option<CompactionReport>> {
+        let Some(path) = &self.path else {
+            return Ok(None);
+        };
+        if self.degraded || self.log.is_none() {
+            return Ok(None);
+        }
+        self.flush();
+        let stats = Self::inspect(path)?;
+        let dead = stats.dead();
+        if dead >= AUTO_COMPACT_MIN_DEAD && dead * AUTO_COMPACT_RATIO >= stats.live() + dead {
+            self.compact().map(Some)
+        } else {
+            Ok(None)
+        }
     }
 
     /// Scans the cache file at `path` read-only — no lock taken, no migration, nothing

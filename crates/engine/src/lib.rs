@@ -71,9 +71,10 @@ pub mod schedule;
 pub mod tier;
 
 pub use cache::{
-    CacheFileStats, CacheStatsSnapshot, CompactionReport, MemoStore, QueryCache, RecordKind,
+    addr_path_for, CacheFileStats, CacheStatsSnapshot, CompactionReport, LockHolder, MemoStore,
+    QueryCache, RecordKind,
 };
 pub use canon::{canonicalize, memo_key, CanonicalMemoKey, CanonicalQuery};
 pub use oracle::CachingOracle;
-pub use schedule::{BenchmarkRun, Engine, EngineConfig, RunSummary};
+pub use schedule::{BenchmarkRun, Engine, EngineConfig, JobReport, RunHandle, RunSummary};
 pub use tier::{LocalTier, MemoTier, SharedTier};

@@ -1,13 +1,21 @@
 //! The parallel verification scheduler.
 //!
-//! A verification run is a work-queue of (benchmark, method) jobs drained by `jobs` worker
-//! threads. Each worker owns its solver (wrapped in a [`CachingOracle`]) and a lock-free
-//! [`LocalTier`], and shares the run-wide [`MemoStore`], so work one method discharges is
-//! available to every other method — across workers and, with a disk log, across runs.
-//! Reports are written into
-//! pre-allocated slots keyed by (benchmark, method) index, so aggregation is deterministic
-//! regardless of completion order; verdicts themselves are order-independent because every
-//! cached verdict is a pure function of its canonical key.
+//! A verification run is a batch of (benchmark, method) jobs submitted to a **persistent
+//! worker pool** (`JobPool`): `jobs` threads spawned once when the [`Engine`] is
+//! created and kept alive until it drops, draining an mpsc job queue. Each worker owns
+//! its solver (wrapped in a [`CachingOracle`]) and a lock-free [`LocalTier`] that
+//! survives across jobs *and across submissions*, and shares the engine-wide
+//! [`MemoStore`] — so work one method discharges is available to every other method of
+//! every later request. This is what makes the engine reusable as a long-lived service
+//! (`marpled` submits one batch per client request to the same pool); a batch CLI run is
+//! simply one submission followed by [`RunHandle::finish`].
+//!
+//! [`Engine::submit`] returns a [`RunHandle`] that yields reports **incrementally** as
+//! workers complete them ([`RunHandle::next_report`]) and finally assembles them into
+//! pre-allocated slots keyed by (benchmark, method) index, so aggregation is
+//! deterministic regardless of completion order; verdicts themselves are
+//! order-independent because every cached verdict is a pure function of its canonical
+//! key.
 
 use crate::cache::{CacheStatsSnapshot, MemoStore};
 use crate::oracle::CachingOracle;
@@ -17,7 +25,7 @@ use hat_sfa::{EnumerationMode, InclusionMode};
 use hat_suite::Benchmark;
 use std::path::PathBuf;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -179,21 +187,288 @@ pub struct RunSummary {
     pub cache: CacheStatsSnapshot,
 }
 
-/// The parallel verification engine: a worker pool plus the shared memo store.
+/// One (benchmark, method) verification job queued to the pool.
+struct PoolJob {
+    bench: Arc<Benchmark>,
+    method: usize,
+    /// Pre-computed axiom-set fingerprint prefix, shared by every method of a benchmark.
+    key_prefix: Arc<String>,
+    /// Knobs of the submitting run (enumeration/prune/inclusion are per-submission so a
+    /// long-lived pool can serve differently-configured requests).
+    enumeration: EnumerationMode,
+    prune: bool,
+    inclusion: InclusionMode,
+    /// Slot index in the submitting run, echoed back with the report.
+    token: usize,
+    reply: Sender<JobOutcome>,
+}
+
+/// What a worker sends back for one job. `Err` carries the panic/run-failure message —
+/// the worker itself survives and keeps draining the queue.
+struct JobOutcome {
+    token: usize,
+    report: Result<MethodReport, String>,
+}
+
+/// A persistent verification worker pool: `jobs` threads spawned once, drained from an
+/// mpsc queue, alive until the owning [`Engine`] drops. Dropping the pool closes the
+/// queue and joins the workers — in-flight jobs finish first, which is what gives the
+/// daemon its graceful-drain shutdown for free.
+struct JobPool {
+    queue: Option<Sender<PoolJob>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for JobPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl JobPool {
+    fn spawn(workers: usize, cache: Arc<MemoStore>, local_tiers: bool) -> Self {
+        let (tx, rx) = channel::<PoolJob>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let cache = Arc::clone(&cache);
+                std::thread::Builder::new()
+                    .name(format!("hat-worker-{i}"))
+                    .spawn(move || Self::worker_loop(&rx, &cache, local_tiers))
+                    .expect("spawning a verification worker failed")
+            })
+            .collect();
+        JobPool {
+            queue: Some(tx),
+            workers,
+        }
+    }
+
+    fn worker_loop(rx: &Mutex<Receiver<PoolJob>>, cache: &Arc<MemoStore>, local_tiers: bool) {
+        // One lock-free local tier per worker, shared by every oracle the worker
+        // creates: promotions made while checking one method serve every later method
+        // of the same worker — including methods of *later submissions* — without a
+        // shard lock.
+        let local = local_tiers.then(|| Rc::new(LocalTier::default()));
+        loop {
+            // Take the job with the receiver lock released again before checking, so a
+            // long verification never blocks the other workers' queue access.
+            let job = match rx.lock() {
+                Ok(queue) => queue.recv(),
+                Err(_) => break,
+            };
+            let Ok(job) = job else { break };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Self::run_job(&job, cache, local.as_ref())
+            }));
+            let report = match outcome {
+                Ok(Ok(report)) => Ok(report),
+                Ok(Err(message)) => Err(message),
+                Err(panic) => {
+                    let message = panic
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "worker panicked".to_string());
+                    Err(message)
+                }
+            };
+            // A dropped RunHandle is fine: the outcome is simply discarded.
+            let _ = job.reply.send(JobOutcome {
+                token: job.token,
+                report,
+            });
+        }
+    }
+
+    fn run_job(
+        job: &PoolJob,
+        cache: &Arc<MemoStore>,
+        local: Option<&Rc<LocalTier>>,
+    ) -> Result<MethodReport, String> {
+        let bench = &job.bench;
+        let method = &bench.methods[job.method];
+        let mut oracle = CachingOracle::with_key_prefix(
+            bench.delta.axioms.clone(),
+            Arc::clone(cache),
+            job.key_prefix.as_ref().clone(),
+        );
+        if let Some(local) = local {
+            oracle = oracle.with_local_tier(Rc::clone(local));
+        }
+        let mut checker = Checker::with_oracle(bench.delta.clone(), Box::new(oracle));
+        checker.inclusion.enumeration = job.enumeration;
+        checker.inclusion.prune = job.prune;
+        checker.inclusion.mode = job.inclusion;
+        checker
+            .check_method(&method.sig, &method.body)
+            .map_err(|e| {
+                format!(
+                    "checking {}::{} failed to run: {e}",
+                    bench.adt, method.sig.name
+                )
+            })
+    }
+}
+
+impl Drop for JobPool {
+    fn drop(&mut self) {
+        // Closing the queue lets every worker's `recv` return `Err` once the backlog is
+        // drained; joining then waits for in-flight jobs to finish.
+        self.queue.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One report as it streams out of the pool: which (benchmark, method) slot of the
+/// submitted batch it belongs to, plus the report itself.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Index of the benchmark within the submitted slice.
+    pub bench: usize,
+    /// Index of the method within that benchmark.
+    pub method: usize,
+    /// The completed report.
+    pub report: MethodReport,
+}
+
+/// An in-flight submission: jobs are running (or queued) on the engine's worker pool,
+/// and reports can be consumed incrementally with [`RunHandle::next_report`] — this is
+/// how the verification daemon streams per-job verdicts to its clients while the batch
+/// is still running. [`RunHandle::finish`] drains the remainder and assembles the
+/// deterministic [`RunSummary`].
+#[derive(Debug)]
+pub struct RunHandle<'e> {
+    engine: &'e Engine,
+    /// (bench index, method index) per job token.
+    jobs: Vec<(usize, usize)>,
+    /// Completed reports, keyed by job token.
+    slots: Vec<Option<MethodReport>>,
+    received: usize,
+    rx: Receiver<JobOutcome>,
+    benches: Vec<(String, String, usize)>,
+    stats_before: CacheStatsSnapshot,
+    start: Instant,
+}
+
+impl RunHandle<'_> {
+    /// Number of jobs in this submission.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Blocks until the next report completes and returns it; `None` once every job of
+    /// this submission has been yielded. Panics if a job failed to run (ill-formed
+    /// input) or a worker died — the same contract the one-shot scheduler had.
+    pub fn next_report(&mut self) -> Option<JobReport> {
+        if self.received == self.jobs.len() {
+            return None;
+        }
+        let outcome = self
+            .rx
+            .recv()
+            .expect("a verification worker died with jobs outstanding");
+        let (bench, method) = self.jobs[outcome.token];
+        let report = match outcome.report {
+            Ok(report) => report,
+            Err(message) => panic!("{message}"),
+        };
+        self.slots[outcome.token] = Some(report.clone());
+        self.received += 1;
+        Some(JobReport {
+            bench,
+            method,
+            report,
+        })
+    }
+
+    /// Drains any remaining reports and assembles the deterministic summary: reports in
+    /// (benchmark, method) input order, wall clock since submission, and the cache-
+    /// counter deltas of this run.
+    pub fn finish(mut self) -> RunSummary {
+        while self.next_report().is_some() {}
+        let mut results: Vec<BenchmarkRun> = self
+            .benches
+            .iter()
+            .map(|(adt, library, methods)| BenchmarkRun {
+                adt: adt.clone(),
+                library: library.clone(),
+                reports: Vec::with_capacity(*methods),
+                check_time: Duration::ZERO,
+            })
+            .collect();
+        for (&(b, _), slot) in self.jobs.iter().zip(&mut self.slots) {
+            let report = slot.take().expect("every job ran");
+            results[b].check_time += report.stats.total_time;
+            results[b].reports.push(report);
+        }
+        self.engine.cache.flush();
+        let after = self.engine.cache.stats();
+        let stats_before = self.stats_before;
+        RunSummary {
+            benchmarks: results,
+            wall: self.start.elapsed(),
+            cache: CacheStatsSnapshot {
+                // Saturating: with several concurrent submissions against one engine
+                // (the daemon), another run's compaction-free counters only grow, but
+                // per-run deltas must never underflow.
+                hits: after.hits.saturating_sub(stats_before.hits),
+                misses: after.misses.saturating_sub(stats_before.misses),
+                // Disk replay happens at engine construction, so these deltas are 0 for
+                // every run; lifetime values live in `Engine::cache().stats()`.
+                disk_loaded: after.disk_loaded.saturating_sub(stats_before.disk_loaded),
+                stale: after.stale.saturating_sub(stats_before.stale),
+                minterm_hits: after.minterm_hits.saturating_sub(stats_before.minterm_hits),
+                minterm_misses: after
+                    .minterm_misses
+                    .saturating_sub(stats_before.minterm_misses),
+                transition_hits: after
+                    .transition_hits
+                    .saturating_sub(stats_before.transition_hits),
+                transition_misses: after
+                    .transition_misses
+                    .saturating_sub(stats_before.transition_misses),
+                lock_acquisitions: after
+                    .lock_acquisitions
+                    .saturating_sub(stats_before.lock_acquisitions),
+            },
+        }
+    }
+}
+
+/// The parallel verification engine: a persistent worker pool plus the shared memo
+/// store. Creating an engine spawns the pool; the engine stays ready to accept any
+/// number of [`Engine::submit`] / [`Engine::check_benchmarks`] calls — concurrently,
+/// from multiple threads — until it drops. This is the object a `marpled` daemon keeps
+/// alive across client requests.
 #[derive(Debug)]
 pub struct Engine {
     config: EngineConfig,
+    // Declared before `cache` so workers join (and stop writing) before the store
+    // flushes its log on drop.
+    pool: JobPool,
     cache: Arc<MemoStore>,
 }
 
 impl Engine {
-    /// Creates an engine, loading the persistent cache when one is configured.
+    /// Creates an engine, loading the persistent cache when one is configured and
+    /// spawning the worker pool.
     pub fn new(config: EngineConfig) -> std::io::Result<Self> {
         let cache = match &config.cache_path {
             Some(path) => Arc::new(MemoStore::with_disk_log(path)?),
             None => Arc::new(MemoStore::in_memory()),
         };
-        Ok(Engine { config, cache })
+        let pool = JobPool::spawn(config.jobs, Arc::clone(&cache), config.local_tiers);
+        Ok(Engine {
+            config,
+            pool,
+            cache,
+        })
     }
 
     /// The shared memo store (e.g. for reporting lifetime statistics).
@@ -201,107 +476,76 @@ impl Engine {
         &self.cache
     }
 
-    /// Verifies every method of every benchmark, fanning the (benchmark, method) jobs out
-    /// over the configured number of workers.
-    pub fn check_benchmarks(&self, benches: &[Benchmark]) -> RunSummary {
+    /// The configuration the engine was created with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Submits every (benchmark, method) job of `benches` to the worker pool and
+    /// returns a [`RunHandle`] that streams reports as they complete. Multiple
+    /// submissions may be in flight at once — jobs from different submissions interleave
+    /// on the same workers and share the same memo store, and each handle only ever
+    /// sees its own reports.
+    pub fn submit(&self, benches: &[Benchmark]) -> RunHandle<'_> {
         let start = Instant::now();
         let stats_before = self.cache.stats();
+        // One fingerprint per benchmark, not per method job: canonicalising the axiom
+        // set is not free and every method of a benchmark shares it.
+        let shared: Vec<(Arc<Benchmark>, Arc<String>)> = benches
+            .iter()
+            .map(|b| {
+                (
+                    Arc::new(b.clone()),
+                    Arc::new(CachingOracle::key_prefix_for(&b.delta.axioms)),
+                )
+            })
+            .collect();
         let jobs: Vec<(usize, usize)> = benches
             .iter()
             .enumerate()
             .flat_map(|(b, bench)| (0..bench.methods.len()).map(move |m| (b, m)))
             .collect();
-        // One fingerprint per benchmark, not per method job: canonicalising the axiom set
-        // is not free and every method of a benchmark shares it.
-        let key_prefixes: Vec<String> = benches
-            .iter()
-            .map(|b| CachingOracle::key_prefix_for(&b.delta.axioms))
-            .collect();
-        let slots: Vec<Mutex<Option<MethodReport>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let workers = self.config.jobs.max(1).min(jobs.len().max(1));
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    // One lock-free local tier per worker, shared by every oracle the
-                    // worker creates: promotions made while checking one method serve
-                    // every later method of the same worker without a shard lock.
-                    let local = self
-                        .config
-                        .local_tiers
-                        .then(|| Rc::new(LocalTier::default()));
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(b, m)) = jobs.get(i) else { break };
-                        let bench = &benches[b];
-                        let method = &bench.methods[m];
-                        let mut oracle = CachingOracle::with_key_prefix(
-                            bench.delta.axioms.clone(),
-                            Arc::clone(&self.cache),
-                            key_prefixes[b].clone(),
-                        );
-                        if let Some(local) = &local {
-                            oracle = oracle.with_local_tier(Rc::clone(local));
-                        }
-                        let mut checker =
-                            Checker::with_oracle(bench.delta.clone(), Box::new(oracle));
-                        checker.inclusion.enumeration = self.config.enumeration;
-                        checker.inclusion.prune = self.config.prune;
-                        checker.inclusion.mode = self.config.inclusion;
-                        let report = checker
-                            .check_method(&method.sig, &method.body)
-                            .unwrap_or_else(|e| {
-                                panic!(
-                                    "checking {}::{} failed to run: {e}",
-                                    bench.adt, method.sig.name
-                                )
-                            });
-                        *slots[i].lock().expect("report slot poisoned") = Some(report);
-                    }
-                });
-            }
-        });
-
-        let mut results: Vec<BenchmarkRun> = benches
-            .iter()
-            .map(|b| BenchmarkRun {
-                adt: b.adt.to_string(),
-                library: b.library.to_string(),
-                reports: Vec::with_capacity(b.methods.len()),
-                check_time: Duration::ZERO,
-            })
-            .collect();
-        for (&(b, _), slot) in jobs.iter().zip(&slots) {
-            let report = slot
-                .lock()
-                .expect("report slot poisoned")
-                .take()
-                .expect("every job ran");
-            results[b].check_time += report.stats.total_time;
-            results[b].reports.push(report);
+        let (reply, rx) = channel();
+        let queue = self
+            .pool
+            .queue
+            .as_ref()
+            .expect("the pool queue lives as long as the engine");
+        for (token, &(b, m)) in jobs.iter().enumerate() {
+            let (bench, key_prefix) = &shared[b];
+            queue
+                .send(PoolJob {
+                    bench: Arc::clone(bench),
+                    method: m,
+                    key_prefix: Arc::clone(key_prefix),
+                    enumeration: self.config.enumeration,
+                    prune: self.config.prune,
+                    inclusion: self.config.inclusion,
+                    token,
+                    reply: reply.clone(),
+                })
+                .expect("the worker pool outlives every submission");
         }
-
-        self.cache.flush();
-        let after = self.cache.stats();
-        RunSummary {
-            benchmarks: results,
-            wall: start.elapsed(),
-            cache: CacheStatsSnapshot {
-                hits: after.hits - stats_before.hits,
-                misses: after.misses - stats_before.misses,
-                // Disk replay happens at engine construction, so these deltas are 0 for
-                // every run; lifetime values live in `Engine::cache().stats()`.
-                disk_loaded: after.disk_loaded - stats_before.disk_loaded,
-                stale: after.stale - stats_before.stale,
-                minterm_hits: after.minterm_hits - stats_before.minterm_hits,
-                minterm_misses: after.minterm_misses - stats_before.minterm_misses,
-                transition_hits: after.transition_hits - stats_before.transition_hits,
-                transition_misses: after.transition_misses - stats_before.transition_misses,
-                lock_acquisitions: after.lock_acquisitions - stats_before.lock_acquisitions,
-            },
+        let slots = jobs.iter().map(|_| None).collect();
+        RunHandle {
+            engine: self,
+            slots,
+            received: 0,
+            rx,
+            benches: benches
+                .iter()
+                .map(|b| (b.adt.to_string(), b.library.to_string(), b.methods.len()))
+                .collect(),
+            jobs,
+            stats_before,
+            start,
         }
+    }
+
+    /// Verifies every method of every benchmark, fanning the (benchmark, method) jobs
+    /// out over the worker pool, and blocks until the whole batch is done.
+    pub fn check_benchmarks(&self, benches: &[Benchmark]) -> RunSummary {
+        self.submit(benches).finish()
     }
 }
 
@@ -432,6 +676,67 @@ mod tests {
         assert!(
             otf_engine.cache().stats().hits > 0,
             "the warm pass must hit the shared cache"
+        );
+    }
+
+    #[test]
+    fn submissions_stream_reports_and_reuse_the_pool() {
+        let benches = fast_benches();
+        let engine = Engine::new(EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        })
+        .expect("in-memory engine");
+        // First submission: consume the stream by hand and count every report.
+        let mut handle = engine.submit(&benches);
+        let expected_jobs: usize = benches.iter().map(|b| b.methods.len()).sum();
+        assert_eq!(handle.job_count(), expected_jobs);
+        let mut seen = vec![0usize; benches.len()];
+        while let Some(job) = handle.next_report() {
+            assert!(job.method < benches[job.bench].methods.len());
+            seen[job.bench] += 1;
+        }
+        for (bench, &count) in benches.iter().zip(&seen) {
+            assert_eq!(
+                count,
+                bench.methods.len(),
+                "{}/{}",
+                bench.adt,
+                bench.library
+            );
+        }
+        let first = handle.finish();
+        // Second submission against the *same* engine: the persistent pool (and its
+        // per-worker local tiers) serve it warm, with identical verdicts.
+        let second = engine.check_benchmarks(&benches);
+        assert_eq!(verdicts(&first), verdicts(&second));
+        assert!(second.cache.hits > 0, "the pool must stay warm across runs");
+    }
+
+    #[test]
+    fn concurrent_submissions_do_not_crosstalk() {
+        let benches = fast_benches();
+        let engine = Engine::new(EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        })
+        .expect("in-memory engine");
+        let baseline = Engine::new(EngineConfig::default())
+            .expect("in-memory engine")
+            .check_benchmarks(&benches);
+        // Two batches in flight at once on one pool — the daemon's concurrent-client
+        // shape. Each handle must see exactly its own reports.
+        let (first, second) = std::thread::scope(|scope| {
+            let a = scope.spawn(|| engine.check_benchmarks(&benches[..1]));
+            let b = scope.spawn(|| engine.check_benchmarks(&benches[1..]));
+            (a.join().expect("first run"), b.join().expect("second run"))
+        });
+        assert_eq!(verdicts(&first), verdicts(&baseline)[..1].to_vec());
+        assert_eq!(verdicts(&second), verdicts(&baseline)[1..].to_vec());
+        assert_eq!(
+            first.benchmarks[0].reports.len(),
+            benches[0].methods.len(),
+            "a handle must receive every report of its own submission"
         );
     }
 
