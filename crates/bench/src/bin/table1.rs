@@ -12,7 +12,10 @@
 //! include them. The excluded names are recorded in the JSON, never dropped silently.
 //! With an ADT filter only the table is printed and the engine comparison is skipped.
 
-use hat_bench::{daemon_replay, engine_comparison, method_columns, table1_row, write_engine_json};
+use hat_bench::{
+    daemon_replay, engine_comparison, method_columns, mixed_traffic_replay, table1_row,
+    write_engine_json,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -159,8 +162,22 @@ fn main() {
             replay.warm.cache_misses,
             replay.warm.disk_loaded
         );
+        eprintln!(
+            "measuring mixed-traffic fairness (probe checks vs background check-all clients)..."
+        );
+        let mixed = mixed_traffic_replay(&hat_suite::all_benchmarks(), 2, 3, 20);
+        eprintln!(
+            "mixed traffic: probe p95 {:.3}s uncontended -> {:.3}s under {} check-all clients ({:.1}x, {} batches); {} dedup hits, queue wait p95 {:.1}ms",
+            mixed.uncontended_p95_seconds,
+            mixed.contended_p95_seconds,
+            mixed.background_clients,
+            mixed.contention_ratio_p95(),
+            mixed.background_batches,
+            mixed.dedup_hits,
+            mixed.queue_wait_p95_ms
+        );
         let path = "BENCH_engine.json";
-        match write_engine_json(path, &comparison, Some(&replay)) {
+        match write_engine_json(path, &comparison, Some(&replay), Some(&mixed)) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }

@@ -4,8 +4,9 @@
 //! Table 1 (per-configuration summary), Table 2 (invariant catalogue) and Tables 3/4
 //! (per-method details), plus Criterion micro-benchmarks for the solver and the
 //! symbolic-automaton engine. The `table1` binary additionally runs the engine
-//! comparison ([`engine_comparison`]) and the daemon trace replay ([`daemon_replay`])
-//! and writes `BENCH_engine.json` (schema `hat-engine-bench v6`).
+//! comparison ([`engine_comparison`]), the daemon trace replay ([`daemon_replay`]) and
+//! the mixed-traffic fairness replay ([`mixed_traffic_replay`]) and writes
+//! `BENCH_engine.json` (schema `hat-engine-bench v7`).
 
 use hat_core::MethodReport;
 use hat_engine::{CacheStatsSnapshot, Engine, EngineConfig, RunSummary};
@@ -15,7 +16,9 @@ use std::io::Write;
 
 mod daemon;
 
-pub use daemon::{daemon_replay, DaemonReplay, ReplayPhase};
+pub use daemon::{
+    daemon_replay, mixed_traffic_replay, DaemonReplay, MixedTrafficReplay, ReplayPhase,
+};
 
 /// The aggregated row of Table 1 for one configuration.
 #[derive(Debug, Clone)]
@@ -560,17 +563,18 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-/// Serialises [`engine_comparison`] and [`daemon_replay`] measurements as JSON
-/// (hand-rolled: the build environment has no serde).
+/// Serialises [`engine_comparison`], [`daemon_replay`] and [`mixed_traffic_replay`]
+/// measurements as JSON (hand-rolled: the build environment has no serde).
 pub fn write_engine_json(
     path: &str,
     comparison: &EngineComparison,
     replay: Option<&DaemonReplay>,
+    mixed: Option<&MixedTrafficReplay>,
 ) -> std::io::Result<()> {
     let runs = &comparison.runs;
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(out, "{{")?;
-    writeln!(out, "  \"schema\": \"hat-engine-bench v6\",")?;
+    writeln!(out, "  \"schema\": \"hat-engine-bench v7\",")?;
     writeln!(
         out,
         "  \"skipped\": [{}],",
@@ -709,6 +713,53 @@ pub fn write_engine_json(
             writeln!(out, "      \"disk_loaded\": {}", phase.disk_loaded)?;
             writeln!(out, "    }}{trailing}")?;
         }
+        writeln!(out, "  }},")?;
+    }
+    if let Some(mixed) = mixed {
+        writeln!(out, "  \"mixed_traffic\": {{")?;
+        writeln!(out, "    \"workers\": {},", mixed.workers)?;
+        writeln!(
+            out,
+            "    \"background_clients\": {},",
+            mixed.background_clients
+        )?;
+        writeln!(
+            out,
+            "    \"background_batches\": {},",
+            mixed.background_batches
+        )?;
+        writeln!(out, "    \"probes\": {},", mixed.probes)?;
+        writeln!(
+            out,
+            "    \"uncontended_p50_seconds\": {:.6},",
+            mixed.uncontended_p50_seconds
+        )?;
+        writeln!(
+            out,
+            "    \"uncontended_p95_seconds\": {:.6},",
+            mixed.uncontended_p95_seconds
+        )?;
+        writeln!(
+            out,
+            "    \"contended_p50_seconds\": {:.6},",
+            mixed.contended_p50_seconds
+        )?;
+        writeln!(
+            out,
+            "    \"contended_p95_seconds\": {:.6},",
+            mixed.contended_p95_seconds
+        )?;
+        writeln!(
+            out,
+            "    \"contention_ratio_p95\": {:.3},",
+            mixed.contention_ratio_p95()
+        )?;
+        writeln!(out, "    \"dedup_hits\": {},", mixed.dedup_hits)?;
+        writeln!(
+            out,
+            "    \"queue_wait_p95_ms\": {:.3}",
+            mixed.queue_wait_p95_ms
+        )?;
         writeln!(out, "  }},")?;
     }
     writeln!(out, "  \"runs\": [")?;

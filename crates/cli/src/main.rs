@@ -8,7 +8,8 @@
 //! marple cache compact <path>             # rewrite the log without dead records
 //! marple daemon start [options]           # run a marpled daemon in the foreground
 //! marple daemon status [--remote ADDR]    # uptime, counters and per-client stats
-//! marple daemon stop [--remote ADDR]      # graceful shutdown (drain, compact, unlock)
+//! marple daemon stop [--now] [--remote ADDR]  # graceful shutdown (drain, compact,
+//!                                         # unlock); --now drops queued jobs first
 //!
 //! options:
 //!   --jobs N        verify on N worker threads (default 1; verdicts are identical)
@@ -16,6 +17,12 @@
 //!   --remote [ADDR] send the run to a marpled daemon instead of verifying locally
 //!                   (default address: unix:<tmpdir>/marpled.sock); the report is
 //!                   rendered exactly as a local run's
+//!   --deadline-ms N give a remote run N milliseconds: when they elapse the daemon
+//!                   drops its queued jobs and the partial report is marked cancelled
+//!   --max-connections N  (daemon start) open-connection cap; over-cap clients get a
+//!                   `busy` error instead of service (0 = unlimited, default 64)
+//!   --max-client-jobs N  (daemon start) per-connection in-flight job budget; requests
+//!                   over it answer `busy` (0 = unlimited, default 1024)
 //!   --enum MODE     minterm enumeration: `incremental` (default) or `naive`
 //!                   (verdicts are identical; naive is the paper-faithful baseline)
 //!   --prune MODE    per-group alphabet pruning before DFA construction: `on` (default)
@@ -44,10 +51,15 @@ struct Options {
     inclusion: InclusionMode,
     local_tiers: bool,
     remote: Option<Addr>,
+    deadline_ms: Option<u64>,
+    max_connections: usize,
+    max_client_jobs: usize,
+    now: bool,
     positional: Vec<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
+    let defaults = DaemonConfig::default();
     let mut opts = Options {
         jobs: 1,
         cache_path: None,
@@ -56,6 +68,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         inclusion: InclusionMode::default(),
         local_tiers: true,
         remote: None,
+        deadline_ms: None,
+        max_connections: defaults.max_connections,
+        max_client_jobs: defaults.max_client_jobs,
+        now: false,
         positional: Vec::new(),
     };
     let mut it = args.iter().peekable();
@@ -114,6 +130,29 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     }
                 };
             }
+            "--deadline-ms" => {
+                let value = it.next().ok_or("--deadline-ms needs a value")?;
+                opts.deadline_ms = Some(
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("invalid --deadline-ms value `{value}`"))?,
+                );
+            }
+            "--max-connections" => {
+                let value = it.next().ok_or("--max-connections needs a value")?;
+                opts.max_connections = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --max-connections value `{value}`"))?;
+            }
+            "--max-client-jobs" => {
+                let value = it.next().ok_or("--max-client-jobs needs a value")?;
+                opts.max_client_jobs = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --max-client-jobs value `{value}`"))?;
+            }
+            "--now" => opts.now = true,
             "--local-tier" => {
                 let value = it.next().ok_or("--local-tier needs a mode")?;
                 opts.local_tiers = match value.as_str() {
@@ -134,7 +173,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 fn print_run(bench: &Benchmark, run: &BenchmarkRun) -> bool {
     println!("== {} / {} — {}", bench.adt, bench.library, bench.policy);
     let mut ok = true;
-    for (m, r) in bench.methods.iter().zip(&run.reports) {
+    for m in &bench.methods {
+        // Match reports by method name, not position: a cancelled remote run delivers
+        // a partial report set, and a positional zip would mislabel what remains.
+        let Some(r) = run.reports.iter().find(|r| r.name == m.sig.name) else {
+            ok = false;
+            println!(
+                "   {:<22} {:<32}",
+                m.sig.name, "cancelled (dropped before running)"
+            );
+            continue;
+        };
         let status = match (r.verified, m.expect_verified) {
             (true, true) => "verified",
             (false, false) => "rejected (as expected)",
@@ -187,15 +236,48 @@ fn print_cache_line(summary: &RunSummary, lifetime: hat_engine::CacheStatsSnapsh
 /// Runs a verification request on a marpled daemon and renders the report through the
 /// same `print_run`/`print_cache_line` paths as a local run — the output format is
 /// identical, only the work happens in the daemon's warm, shared engine.
-fn run_remote(benches: &[Benchmark], request: Request, addr: &Addr) -> Result<bool, String> {
+fn run_remote(
+    benches: &[Benchmark],
+    request: Request,
+    addr: &Addr,
+    deadline_ms: Option<u64>,
+) -> Result<bool, String> {
     let mut client = RemoteClient::connect(addr)?;
-    let outcome = client.verify(request, |_, _, _| {})?;
+    let outcome = client.verify_with_deadline(request, deadline_ms, |_, _, _| {})?;
     // The lifetime counters a local run reads off its own store (disk-loaded/stale)
     // come from the daemon's status instead.
     let lifetime = client.cache_stats()?.cache;
     let mut ok = true;
-    for (bench, run) in benches.iter().zip(&outcome.summary.benchmarks) {
-        ok &= print_run(bench, run);
+    for bench in benches {
+        // Match by configuration, not position: a cancelled run may be missing whole
+        // benchmarks, not just trailing methods.
+        match outcome
+            .summary
+            .benchmarks
+            .iter()
+            .find(|r| r.adt == bench.adt && r.library == bench.library)
+        {
+            Some(run) => ok &= print_run(bench, run),
+            None => {
+                ok = false;
+                println!(
+                    "== {} / {} — cancelled before any method ran",
+                    bench.adt, bench.library
+                );
+            }
+        }
+    }
+    if outcome.summary.was_cancelled() {
+        ok = false;
+        println!(
+            "run cancelled: {} queued job{} dropped (deadline or explicit cancel)",
+            outcome.summary.cancelled,
+            if outcome.summary.cancelled == 1 {
+                ""
+            } else {
+                "s"
+            }
+        );
     }
     print_cache_line(&outcome.summary, lifetime);
     Ok(ok)
@@ -203,7 +285,7 @@ fn run_remote(benches: &[Benchmark], request: Request, addr: &Addr) -> Result<bo
 
 fn run(benches: Vec<Benchmark>, opts: &Options, request: Request) -> bool {
     if let Some(addr) = &opts.remote {
-        match run_remote(&benches, request, addr) {
+        match run_remote(&benches, request, addr, opts.deadline_ms) {
             Ok(ok) => return ok,
             Err(e) => {
                 eprintln!("{e}");
@@ -307,6 +389,8 @@ fn daemon_start(opts: &Options) -> Result<(), String> {
             inclusion: opts.inclusion,
             local_tiers: opts.local_tiers,
         },
+        max_connections: opts.max_connections,
+        max_client_jobs: opts.max_client_jobs,
         quiet: false,
     };
     let handle = Daemon::spawn(config).map_err(|e| format!("cannot start the daemon: {e}"))?;
@@ -345,7 +429,40 @@ fn daemon_status(addr: &Addr) -> Result<(), String> {
         status.cache.disk_loaded,
         status.cache.stale
     );
+    println!(
+        "scheduler: {} job{} in flight, {} dedup hit{}, {} run{} / {} job{} cancelled, queue wait p50 {:.1}ms / p95 {:.1}ms",
+        status.in_flight_jobs,
+        if status.in_flight_jobs == 1 { "" } else { "s" },
+        status.dedup_hits,
+        if status.dedup_hits == 1 { "" } else { "s" },
+        status.runs_cancelled,
+        if status.runs_cancelled == 1 { "" } else { "s" },
+        status.jobs_cancelled,
+        if status.jobs_cancelled == 1 { "" } else { "s" },
+        status.queue_wait_p50_ms,
+        status.queue_wait_p95_ms
+    );
+    println!(
+        "connections: {} active / {} closed, cap {}, {} busy rejection{}",
+        status.active_connections,
+        status.closed_connections,
+        if status.max_connections == 0 {
+            "unlimited".to_string()
+        } else {
+            status.max_connections.to_string()
+        },
+        status.busy_rejections,
+        if status.busy_rejections == 1 { "" } else { "s" }
+    );
     for c in &status.clients {
+        if c.client == 0 {
+            // The aggregate row of closed clients beyond the retention window.
+            println!(
+                "  older closed clients (aggregated): {} requests, {} reports, {} hits / {} misses contributed",
+                c.requests, c.reports, c.hits, c.misses
+            );
+            continue;
+        }
         println!(
             "  client {} [{}] up {:.0}s: {} requests, {} reports, {} hits / {} misses contributed",
             c.client,
@@ -360,12 +477,35 @@ fn daemon_status(addr: &Addr) -> Result<(), String> {
     Ok(())
 }
 
-/// `marple daemon stop` — graceful shutdown, then wait for the daemon to finish
-/// draining (its socket disappearing is the last step of its teardown).
-fn daemon_stop(addr: &Addr) -> Result<(), String> {
+/// `marple daemon stop [--now]` — graceful shutdown, then wait for the daemon to
+/// finish draining (its socket disappearing is the last step of its teardown). The
+/// wait is not silent: a status probe *before* the shutdown reports how much work is
+/// in flight (afterwards the daemon accepts no new connections, so it cannot be asked
+/// any more), and a progress line is printed while the drain runs. `--now` asks the
+/// daemon to drop its queued jobs so only running ones drain.
+fn daemon_stop(addr: &Addr, now: bool) -> Result<(), String> {
     let mut client = RemoteClient::connect(addr)?;
-    client.shutdown()?;
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(600);
+    let status = client.cache_stats()?;
+    // `active_connections` includes this very probe.
+    let others = status.active_connections.saturating_sub(1);
+    if status.in_flight_jobs > 0 || others > 0 {
+        println!(
+            "daemon at {addr}: {} job{} in flight, {} other client{} connected — stopping{}",
+            status.in_flight_jobs,
+            if status.in_flight_jobs == 1 { "" } else { "s" },
+            others,
+            if others == 1 { "" } else { "s" },
+            if now {
+                " now (queued jobs will be dropped)"
+            } else {
+                " after the drain (use --now to drop queued jobs)"
+            }
+        );
+    }
+    client.shutdown(now)?;
+    let started = std::time::Instant::now();
+    let deadline = started + std::time::Duration::from_secs(600);
+    let mut next_progress = started + std::time::Duration::from_secs(5);
     loop {
         let stopped = match addr {
             Addr::Unix(path) => !path.exists(),
@@ -376,11 +516,20 @@ fn daemon_stop(addr: &Addr) -> Result<(), String> {
             println!("daemon at {addr} stopped");
             return Ok(());
         }
-        if std::time::Instant::now() > deadline {
+        let t = std::time::Instant::now();
+        if t > deadline {
             return Err(format!(
                 "the daemon at {addr} acknowledged the shutdown but is still draining; \
                  check it with `marple daemon status`"
             ));
+        }
+        if t >= next_progress {
+            println!(
+                "still draining after {:.0}s (running jobs must finish{})",
+                started.elapsed().as_secs_f64(),
+                if now { "" } else { "; --now skips queued ones" }
+            );
+            next_progress += std::time::Duration::from_secs(5);
         }
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
@@ -401,11 +550,11 @@ fn main() {
         }
         Some("check") => {
             let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
-                eprintln!("{e}\nusage: marple check <adt> <library> [--remote [ADDR]] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
+                eprintln!("{e}\nusage: marple check <adt> <library> [--remote [ADDR]] [--deadline-ms N] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
                 std::process::exit(2);
             });
             let (Some(adt), Some(lib)) = (opts.positional.first(), opts.positional.get(1)) else {
-                eprintln!("usage: marple check <adt> <library> [--remote [ADDR]] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
+                eprintln!("usage: marple check <adt> <library> [--remote [ADDR]] [--deadline-ms N] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
                 std::process::exit(2);
             };
             match find(adt, lib) {
@@ -425,7 +574,7 @@ fn main() {
         }
         Some("check-all") => {
             let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
-                eprintln!("{e}\nusage: marple check-all [--remote [ADDR]] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
+                eprintln!("{e}\nusage: marple check-all [--remote [ADDR]] [--deadline-ms N] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
                 std::process::exit(2);
             });
             let ok = run(all_benchmarks(), &opts, Request::CheckAll);
@@ -444,7 +593,7 @@ fn main() {
             }
         }
         Some("daemon") => {
-            let usage = "usage: marple daemon start [--remote ADDR] [--cache PATH] [--jobs N] | marple daemon status [--remote ADDR] | marple daemon stop [--remote ADDR]";
+            let usage = "usage: marple daemon start [--remote ADDR] [--cache PATH] [--jobs N] [--max-connections N] [--max-client-jobs N] | marple daemon status [--remote ADDR] | marple daemon stop [--now] [--remote ADDR]";
             let opts = parse_options(&args[2..]).unwrap_or_else(|e| {
                 eprintln!("{e}\n{usage}");
                 std::process::exit(2);
@@ -453,7 +602,7 @@ fn main() {
             let result = match args.get(1).map(String::as_str) {
                 Some("start") => daemon_start(&opts),
                 Some("status") => daemon_status(&addr),
-                Some("stop") => daemon_stop(&addr),
+                Some("stop") => daemon_stop(&addr, opts.now),
                 _ => Err(usage.to_string()),
             };
             if let Err(e) = result {

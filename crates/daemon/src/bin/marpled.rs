@@ -10,6 +10,10 @@
 //!                   memory before the first connection is accepted, and the daemon
 //!                   holds the single-writer lock for its whole lifetime
 //!   --jobs N        verification worker threads (default 1)
+//!   --max-connections N  open-connection cap; over-cap clients get a structured
+//!                   `busy` error instead of service (0 = unlimited, default 64)
+//!   --max-client-jobs N  per-connection in-flight job budget; requests over it
+//!                   answer `busy` without queueing (0 = unlimited, default 1024)
 //!   --quiet         suppress the per-event stderr log
 //! ```
 //!
@@ -21,8 +25,7 @@
 use hat_daemon::{Addr, Daemon, DaemonConfig};
 use std::path::PathBuf;
 
-const USAGE: &str =
-    "usage: marpled [--addr unix:PATH|tcp:HOST:PORT] [--cache PATH] [--jobs N] [--quiet]";
+const USAGE: &str = "usage: marpled [--addr unix:PATH|tcp:HOST:PORT] [--cache PATH] [--jobs N] [--max-connections N] [--max-client-jobs N] [--quiet]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +48,22 @@ fn main() {
                     .ok()
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| fail(&format!("invalid --jobs value `{value}`")));
+            }
+            "--max-connections" => {
+                let value = it
+                    .next()
+                    .unwrap_or_else(|| fail("--max-connections needs a value"));
+                config.max_connections = value.parse::<usize>().unwrap_or_else(|_| {
+                    fail(&format!("invalid --max-connections value `{value}`"))
+                });
+            }
+            "--max-client-jobs" => {
+                let value = it
+                    .next()
+                    .unwrap_or_else(|| fail("--max-client-jobs needs a value"));
+                config.max_client_jobs = value.parse::<usize>().unwrap_or_else(|_| {
+                    fail(&format!("invalid --max-client-jobs value `{value}`"))
+                });
             }
             "--quiet" => config.quiet = true,
             "--help" | "-h" => {

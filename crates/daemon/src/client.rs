@@ -70,9 +70,25 @@ impl RemoteClient {
 
     /// Sends one request; returns its id for demultiplexing.
     pub fn send(&mut self, request: Request) -> Result<u64, String> {
+        self.send_with_deadline(request, None)
+    }
+
+    /// Sends one request carrying an optional deadline (milliseconds from now, as the
+    /// server receives it); returns its id for demultiplexing.
+    pub fn send_with_deadline(
+        &mut self,
+        request: Request,
+        deadline_ms: Option<u64>,
+    ) -> Result<u64, String> {
         let id = self.next_id;
         self.next_id += 1;
-        let payload = Envelope { id, request }.to_json().to_string();
+        let payload = Envelope {
+            id,
+            request,
+            deadline_ms,
+        }
+        .to_json()
+        .to_string();
         write_frame(&mut self.writer, &payload)
             .and_then(|()| self.writer.flush())
             .map_err(|e| format!("sending the request failed: {e}"))?;
@@ -108,6 +124,15 @@ impl RemoteClient {
             if envelope.id == id {
                 return Ok(envelope.response);
             }
+            if envelope.id == 0 {
+                // Connection-level frames (id 0) answer no request: the admission cap's
+                // `busy` or a fatal protocol error. Either way this connection is done.
+                return match envelope.response {
+                    Response::Busy { message } => Err(format!("the daemon is busy: {message}")),
+                    Response::Error { message } => Err(message),
+                    other => Err(unexpected("busy/error", &other)),
+                };
+            }
             self.pending.push_back(envelope);
         }
     }
@@ -127,9 +152,21 @@ impl RemoteClient {
     pub fn verify(
         &mut self,
         request: Request,
+        progress: impl FnMut(&str, &str, &MethodReport),
+    ) -> Result<RemoteRun, String> {
+        self.verify_with_deadline(request, None, progress)
+    }
+
+    /// Like [`RemoteClient::verify`], with an optional server-side deadline: once
+    /// `deadline_ms` elapses the server drops the run's queued jobs and answers a
+    /// partial `done` whose summary has `cancelled > 0`.
+    pub fn verify_with_deadline(
+        &mut self,
+        request: Request,
+        deadline_ms: Option<u64>,
         mut progress: impl FnMut(&str, &str, &MethodReport),
     ) -> Result<RemoteRun, String> {
-        let id = self.send(request)?;
+        let id = self.send_with_deadline(request, deadline_ms)?;
         // Reports stream in completion order, tagged with (bench, method) slots; the
         // summary is assembled in input order exactly like `RunHandle::finish`.
         let mut slots: Vec<(usize, usize, String, String, MethodReport)> = Vec::new();
@@ -146,7 +183,15 @@ impl RemoteClient {
                     progress(&adt, &report.name, &report);
                     slots.push((bench, method, adt, library, *report));
                 }
-                Response::Done { wall, cache, jobs } => {
+                Response::Done {
+                    wall,
+                    cache,
+                    jobs,
+                    cancelled,
+                    dedup_hits,
+                    queue_wait_p50,
+                    queue_wait_p95,
+                } => {
                     slots.sort_by_key(|&(b, m, ..)| (b, m));
                     let mut benchmarks: Vec<BenchmarkRun> = Vec::new();
                     let mut last_bench = usize::MAX;
@@ -169,11 +214,16 @@ impl RemoteClient {
                             benchmarks,
                             wall,
                             cache,
+                            cancelled,
+                            dedup_hits,
+                            queue_wait_p50,
+                            queue_wait_p95,
                         },
                         jobs,
                     });
                 }
                 Response::Error { message } => return Err(message),
+                Response::Busy { message } => return Err(format!("the daemon is busy: {message}")),
                 other => return Err(unexpected("report/done", &other)),
             }
         }
@@ -199,9 +249,22 @@ impl RemoteClient {
         }
     }
 
-    /// Requests a graceful shutdown and waits for the acknowledgement.
-    pub fn shutdown(&mut self) -> Result<(), String> {
-        let id = self.send(Request::Shutdown)?;
+    /// Cancels the in-flight verification request `target` (an id returned by
+    /// [`RemoteClient::send`]): its queued jobs are dropped, running ones finish, and
+    /// its stream still terminates with a partial `done`.
+    pub fn cancel(&mut self, target: u64) -> Result<(), String> {
+        let id = self.send(Request::Cancel { target })?;
+        match self.recv_for(id)? {
+            Response::Cancelled { .. } => Ok(()),
+            Response::Error { message } => Err(message),
+            other => Err(unexpected("cancelled", &other)),
+        }
+    }
+
+    /// Requests a graceful shutdown (`now` additionally drops every queued job so only
+    /// running work drains) and waits for the acknowledgement.
+    pub fn shutdown(&mut self, now: bool) -> Result<(), String> {
+        let id = self.send(Request::Shutdown { now })?;
         match self.recv_for(id)? {
             Response::Bye => Ok(()),
             Response::Error { message } => Err(message),
@@ -217,6 +280,8 @@ fn unexpected(wanted: &str, got: &Response) -> String {
         Response::Done { .. } => "done",
         Response::Stats(_) => "stats",
         Response::Compacted(_) => "compacted",
+        Response::Cancelled { .. } => "cancelled",
+        Response::Busy { .. } => "busy",
         Response::Error { .. } => "error",
         Response::Bye => "bye",
     };

@@ -36,7 +36,7 @@ pub mod server;
 pub use client::{RemoteClient, RemoteRun};
 pub use net::{Addr, Listener, Stream};
 pub use proto::{
-    ClientStats, DaemonStatus, Hello, Request, Response, CACHE_VERSION, PROTOCOL_VERSION,
+    ClientStats, DaemonStatus, Envelope, Hello, Request, Response, CACHE_VERSION, PROTOCOL_VERSION,
     SERVER_NAME,
 };
 pub use server::{Daemon, DaemonConfig, DaemonHandle};

@@ -1,10 +1,10 @@
-//! The `marpled v1` wire protocol: typed requests/responses over [`crate::frame`]
+//! The `marpled v2` wire protocol: typed requests/responses over [`crate::frame`]
 //! frames, plus the connect-time handshake.
 //!
 //! ## Handshake
 //!
 //! On connect the server speaks first, announcing one [`Hello`] frame:
-//! `{"server":"marpled v1","protocol":1,"cache_version":5,"pid":…}`. The client checks
+//! `{"server":"marpled v2","protocol":2,"cache_version":5,"pid":…}`. The client checks
 //! all three identity fields before sending anything; a mismatch (an old daemon, a
 //! different cache format generation, or a non-marpled service on the address) is
 //! rejected client-side with a message naming both sides, so version skew fails in one
@@ -20,6 +20,13 @@
 //! (benchmark, method) job, in completion order) terminated by exactly one `done`
 //! frame; every other request answers with exactly one frame.
 //!
+//! A verification envelope may carry a `deadline_ms` budget: once it elapses the
+//! server cancels the run's queued jobs and the `done` frame reports the drop in its
+//! `cancelled` counter. A `cancel` request does the same on demand for a named
+//! in-flight request id. When the daemon is at its connection or per-client job
+//! limits it answers with a `busy` frame instead of queueing unboundedly; over-cap
+//! connections receive `busy` with id 0 right after the handshake and are closed.
+//!
 //! All numbers that count things are JSON integers; all durations travel as seconds in
 //! a JSON float, written with Rust's shortest-round-trip formatting so the client
 //! reconstructs bit-identical values and renders reports through the very same code
@@ -30,11 +37,12 @@ use hat_core::{CheckStats, MethodReport};
 use hat_engine::{CacheStatsSnapshot, CompactionReport};
 use std::time::Duration;
 
-/// The server's self-identification. Bump the `v1` suffix on breaking protocol changes.
-pub const SERVER_NAME: &str = "marpled v1";
+/// The server's self-identification. Bump the version suffix on breaking protocol
+/// changes (v2: cancellation, deadlines, busy admission control, fairness counters).
+pub const SERVER_NAME: &str = "marpled v2";
 
 /// Frame-level protocol generation.
-pub const PROTOCOL_VERSION: u64 = 1;
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// The disk-cache format generation the daemon serves (`hat-engine-cache v5`). Part of
 /// the handshake so a client built against a different store generation refuses early.
@@ -141,9 +149,20 @@ pub enum Request {
     CacheStats,
     /// Compact the disk log if crowded with dead records; answered with `compacted`.
     CacheCompact,
+    /// Drop the queued jobs of an in-flight verification request on this connection
+    /// (its `target` is the request id); jobs already on a worker finish. Answered
+    /// with `cancelled`; the target's stream still terminates with its own `done`.
+    Cancel {
+        /// Request id of the verification stream to cancel.
+        target: u64,
+    },
     /// Graceful shutdown: drain in-flight jobs, flush/compact, release the lock.
-    /// Answered with `bye` before the daemon exits.
-    Shutdown,
+    /// Answered with `bye` before the daemon exits. With `now`, queued jobs of every
+    /// in-flight request are cancelled first and only running jobs are drained.
+    Shutdown {
+        /// Cancel queued work instead of draining it.
+        now: bool,
+    },
 }
 
 impl Request {
@@ -156,7 +175,8 @@ impl Request {
             Request::Warmup => "warmup",
             Request::CacheStats => "cache-stats",
             Request::CacheCompact => "cache-compact",
-            Request::Shutdown => "shutdown",
+            Request::Cancel { .. } => "cancel",
+            Request::Shutdown { .. } => "shutdown",
         }
     }
 }
@@ -168,18 +188,43 @@ pub struct Envelope {
     pub id: u64,
     /// The operation.
     pub request: Request,
+    /// Optional budget for verification requests: once it elapses, the server cancels
+    /// the run's queued jobs and finishes with a partial `done`. Ignored for
+    /// non-verification operations.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Envelope {
+    /// Wraps a request with no deadline.
+    pub fn new(id: u64, request: Request) -> Envelope {
+        Envelope {
+            id,
+            request,
+            deadline_ms: None,
+        }
+    }
+
     /// Serialises the request payload.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("id", Json::Int(self.id as i64)),
             ("op", Json::Str(self.request.op().to_string())),
         ];
-        if let Request::Check { adt, library } = &self.request {
-            fields.push(("adt", Json::Str(adt.clone())));
-            fields.push(("library", Json::Str(library.clone())));
+        match &self.request {
+            Request::Check { adt, library } => {
+                fields.push(("adt", Json::Str(adt.clone())));
+                fields.push(("library", Json::Str(library.clone())));
+            }
+            Request::Cancel { target } => {
+                fields.push(("target", Json::Int(*target as i64)));
+            }
+            Request::Shutdown { now } => {
+                fields.push(("now", Json::Bool(*now)));
+            }
+            _ => {}
+        }
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms", Json::Int(ms as i64)));
         }
         obj(fields)
     }
@@ -205,10 +250,21 @@ impl Envelope {
             "warmup" => Request::Warmup,
             "cache-stats" => Request::CacheStats,
             "cache-compact" => Request::CacheCompact,
-            "shutdown" => Request::Shutdown,
+            "cancel" => Request::Cancel {
+                target: v
+                    .u64_field("target")
+                    .ok_or("`cancel` lacks a `target` field")?,
+            },
+            "shutdown" => Request::Shutdown {
+                now: v.bool_field("now").unwrap_or(false),
+            },
             other => return Err(format!("unknown operation `{other}`")),
         };
-        Ok(Envelope { id, request })
+        Ok(Envelope {
+            id,
+            request,
+            deadline_ms: v.u64_field("deadline_ms"),
+        })
     }
 }
 
@@ -246,6 +302,29 @@ pub struct DaemonStatus {
     pub requests_served: u64,
     /// Total (benchmark, method) verification jobs completed.
     pub jobs_completed: u64,
+    /// Verification jobs currently submitted and not yet completed or cancelled.
+    pub in_flight_jobs: u64,
+    /// Lifetime count of jobs answered by subscribing to an identical in-flight job
+    /// of a concurrent request instead of executing again.
+    pub dedup_hits: u64,
+    /// Verification requests that were cancelled (client `cancel`, deadline expiry,
+    /// or `shutdown --now`).
+    pub runs_cancelled: u64,
+    /// Queued jobs dropped by those cancellations.
+    pub jobs_cancelled: u64,
+    /// Connections turned away (or requests refused) by the admission limits.
+    pub busy_rejections: u64,
+    /// Median queue wait of recently completed jobs, in milliseconds.
+    pub queue_wait_p50_ms: f64,
+    /// 95th-percentile queue wait of recently completed jobs, in milliseconds.
+    pub queue_wait_p95_ms: f64,
+    /// The `--max-connections` cap (0 = unlimited).
+    pub max_connections: usize,
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// Total connections closed over the daemon's lifetime. Only a bounded window of
+    /// their per-client records is retained in `clients`; the rest are aggregated.
+    pub closed_connections: u64,
     /// Lifetime store counters (hits/misses/disk-loaded/… since startup).
     pub cache: CacheStatsSnapshot,
     /// Entries currently resident in the shared store.
@@ -254,7 +333,8 @@ pub struct DaemonStatus {
     pub degraded: bool,
     /// The disk log path, when the store is persistent.
     pub cache_path: Option<String>,
-    /// Per-client statistics, newest connection last.
+    /// Per-client statistics: every open connection plus a bounded window of recently
+    /// closed ones, newest connection last.
     pub clients: Vec<ClientStats>,
 }
 
@@ -289,14 +369,37 @@ pub enum Response {
         wall: Duration,
         /// Cache-counter deltas of this batch.
         cache: CacheStatsSnapshot,
-        /// Number of jobs the batch ran.
+        /// Number of jobs the batch submitted (completed + cancelled).
         jobs: usize,
+        /// Jobs dropped by cancellation (client `cancel`, deadline expiry, or
+        /// `shutdown --now`); nonzero marks the stream as partial.
+        cancelled: usize,
+        /// Jobs answered by subscribing to an identical concurrent job.
+        dedup_hits: usize,
+        /// Median queue wait of this batch's completed jobs.
+        queue_wait_p50: Duration,
+        /// 95th-percentile queue wait of this batch's completed jobs.
+        queue_wait_p95: Duration,
     },
     /// Answer to `cache-stats`.
     Stats(Box<DaemonStatus>),
     /// Answer to `cache-compact`; `None` when the log was not crowded enough (or the
     /// store is in-memory).
     Compacted(Option<CompactionReport>),
+    /// Acknowledges a `cancel` request: the target's queued jobs were dropped (its
+    /// stream still ends with its own partial `done`).
+    Cancelled {
+        /// The request id that was cancelled.
+        target: u64,
+    },
+    /// The daemon refused the work because an admission limit was hit (`--max-
+    /// connections` or the per-client queued-job cap). Sent with id 0 right after the
+    /// handshake when the connection itself is over cap, in which case the connection
+    /// closes after this frame.
+    Busy {
+        /// Which limit was hit, user-facing.
+        message: String,
+    },
     /// The request failed; the connection stays usable.
     Error {
         /// What went wrong.
@@ -468,10 +571,22 @@ impl ResponseEnvelope {
                 fields.push(("apps", Json::Int(report.apps as i64)));
                 fields.push(("stats", stats_to_json(&report.stats)));
             }
-            Response::Done { wall, cache, jobs } => {
+            Response::Done {
+                wall,
+                cache,
+                jobs,
+                cancelled,
+                dedup_hits,
+                queue_wait_p50,
+                queue_wait_p95,
+            } => {
                 fields.push(("type", Json::Str("done".into())));
                 fields.push(("wall", secs(*wall)));
                 fields.push(("jobs", Json::Int(*jobs as i64)));
+                fields.push(("cancelled", Json::Int(*cancelled as i64)));
+                fields.push(("dedup_hits", Json::Int(*dedup_hits as i64)));
+                fields.push(("queue_wait_p50", secs(*queue_wait_p50)));
+                fields.push(("queue_wait_p95", secs(*queue_wait_p95)));
                 fields.push(("cache", snapshot_to_json(cache)));
             }
             Response::Stats(status) => {
@@ -482,6 +597,22 @@ impl ResponseEnvelope {
                 fields.push(("workers", Json::Int(status.workers as i64)));
                 fields.push(("requests_served", Json::Int(status.requests_served as i64)));
                 fields.push(("jobs_completed", Json::Int(status.jobs_completed as i64)));
+                fields.push(("in_flight_jobs", Json::Int(status.in_flight_jobs as i64)));
+                fields.push(("dedup_hits", Json::Int(status.dedup_hits as i64)));
+                fields.push(("runs_cancelled", Json::Int(status.runs_cancelled as i64)));
+                fields.push(("jobs_cancelled", Json::Int(status.jobs_cancelled as i64)));
+                fields.push(("busy_rejections", Json::Int(status.busy_rejections as i64)));
+                fields.push(("queue_wait_p50_ms", Json::Float(status.queue_wait_p50_ms)));
+                fields.push(("queue_wait_p95_ms", Json::Float(status.queue_wait_p95_ms)));
+                fields.push(("max_connections", Json::Int(status.max_connections as i64)));
+                fields.push((
+                    "active_connections",
+                    Json::Int(status.active_connections as i64),
+                ));
+                fields.push((
+                    "closed_connections",
+                    Json::Int(status.closed_connections as i64),
+                ));
                 fields.push(("cache", snapshot_to_json(&status.cache)));
                 fields.push(("entries", Json::Int(status.entries as i64)));
                 fields.push(("degraded", Json::Bool(status.degraded)));
@@ -524,6 +655,14 @@ impl ResponseEnvelope {
                     }
                     None => fields.push(("skipped", Json::Bool(true))),
                 }
+            }
+            Response::Cancelled { target } => {
+                fields.push(("type", Json::Str("cancelled".into())));
+                fields.push(("target", Json::Int(*target as i64)));
+            }
+            Response::Busy { message } => {
+                fields.push(("type", Json::Str("busy".into())));
+                fields.push(("message", Json::Str(message.clone())));
             }
             Response::Error { message } => {
                 fields.push(("type", Json::Str("error".into())));
@@ -587,6 +726,10 @@ impl ResponseEnvelope {
             "done" => Response::Done {
                 wall: duration_field(&v, "wall")?,
                 jobs: usize_field(&v, "jobs")?,
+                cancelled: usize_field(&v, "cancelled")?,
+                dedup_hits: usize_field(&v, "dedup_hits")?,
+                queue_wait_p50: duration_field(&v, "queue_wait_p50")?,
+                queue_wait_p95: duration_field(&v, "queue_wait_p95")?,
                 cache: snapshot_from_json(v.get("cache").ok_or("done lacks `cache`")?)?,
             },
             "stats" => Response::Stats(Box::new(DaemonStatus {
@@ -602,6 +745,34 @@ impl ResponseEnvelope {
                 jobs_completed: v
                     .u64_field("jobs_completed")
                     .ok_or("stats lacks `jobs_completed`")?,
+                in_flight_jobs: v
+                    .u64_field("in_flight_jobs")
+                    .ok_or("stats lacks `in_flight_jobs`")?,
+                dedup_hits: v
+                    .u64_field("dedup_hits")
+                    .ok_or("stats lacks `dedup_hits`")?,
+                runs_cancelled: v
+                    .u64_field("runs_cancelled")
+                    .ok_or("stats lacks `runs_cancelled`")?,
+                jobs_cancelled: v
+                    .u64_field("jobs_cancelled")
+                    .ok_or("stats lacks `jobs_cancelled`")?,
+                busy_rejections: v
+                    .u64_field("busy_rejections")
+                    .ok_or("stats lacks `busy_rejections`")?,
+                queue_wait_p50_ms: v
+                    .f64_field("queue_wait_p50_ms")
+                    .ok_or("stats lacks `queue_wait_p50_ms`")?,
+                queue_wait_p95_ms: v
+                    .f64_field("queue_wait_p95_ms")
+                    .ok_or("stats lacks `queue_wait_p95_ms`")?,
+                max_connections: usize_field(&v, "max_connections")?,
+                active_connections: v
+                    .u64_field("active_connections")
+                    .ok_or("stats lacks `active_connections`")?,
+                closed_connections: v
+                    .u64_field("closed_connections")
+                    .ok_or("stats lacks `closed_connections`")?,
                 cache: snapshot_from_json(v.get("cache").ok_or("stats lacks `cache`")?)?,
                 entries: usize_field(&v, "entries")?,
                 degraded: v.bool_field("degraded").ok_or("stats lacks `degraded`")?,
@@ -648,6 +819,15 @@ impl ResponseEnvelope {
                     records_after: usize_field(&v, "records_after")?,
                 })
             }),
+            "cancelled" => Response::Cancelled {
+                target: v.u64_field("target").ok_or("cancelled lacks `target`")?,
+            },
+            "busy" => Response::Busy {
+                message: v
+                    .str_field("message")
+                    .ok_or("busy lacks `message`")?
+                    .to_string(),
+            },
             "error" => Response::Error {
                 message: v
                     .str_field("message")
@@ -677,12 +857,29 @@ mod tests {
             Request::Warmup,
             Request::CacheStats,
             Request::CacheCompact,
-            Request::Shutdown,
+            Request::Cancel { target: 4 },
+            Request::Shutdown { now: false },
+            Request::Shutdown { now: true },
         ] {
-            let env = Envelope { id: 7, request };
+            let env = Envelope::new(7, request);
             let text = env.to_json().to_string();
             assert_eq!(Envelope::parse(&text).expect("parses"), env, "{text}");
         }
+    }
+
+    #[test]
+    fn deadlines_ride_the_envelope() {
+        let env = Envelope {
+            id: 2,
+            request: Request::CheckAll,
+            deadline_ms: Some(1500),
+        };
+        let text = env.to_json().to_string();
+        assert_eq!(Envelope::parse(&text).expect("parses"), env, "{text}");
+        // Absent deadline stays absent, not zero.
+        let bare = Envelope::new(3, Request::CheckAll);
+        let back = Envelope::parse(&bare.to_json().to_string()).expect("parses");
+        assert_eq!(back.deadline_ms, None);
     }
 
     fn sample_stats() -> CheckStats {
@@ -755,6 +952,10 @@ mod tests {
                 wall: Duration::from_secs_f64(2.75),
                 cache: snapshot,
                 jobs: 42,
+                cancelled: 3,
+                dedup_hits: 2,
+                queue_wait_p50: Duration::from_millis(12),
+                queue_wait_p95: Duration::from_millis(250),
             },
             Response::Stats(Box::new(DaemonStatus {
                 addr: "unix:/tmp/marpled.sock".into(),
@@ -763,6 +964,16 @@ mod tests {
                 workers: 2,
                 requests_served: 5,
                 jobs_completed: 84,
+                in_flight_jobs: 6,
+                dedup_hits: 11,
+                runs_cancelled: 2,
+                jobs_cancelled: 17,
+                busy_rejections: 4,
+                queue_wait_p50_ms: 1.5,
+                queue_wait_p95_ms: 42.25,
+                max_connections: 64,
+                active_connections: 3,
+                closed_connections: 1000,
                 cache: snapshot,
                 entries: 1234,
                 degraded: false,
@@ -784,6 +995,10 @@ mod tests {
                 records_after: 25,
             })),
             Response::Compacted(None),
+            Response::Cancelled { target: 12 },
+            Response::Busy {
+                message: "the daemon is at its connection limit (64)".into(),
+            },
             Response::Error {
                 message: "unknown configuration `Foo/Bar`".into(),
             },

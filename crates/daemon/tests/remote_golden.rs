@@ -7,32 +7,67 @@
 //!   correctly;
 //! - torn, oversized and garbage frames must close the offending connection without
 //!   poisoning the store (a well-behaved client afterwards still verifies fine);
-//! - a graceful shutdown must drain in-flight jobs before the daemon stops.
+//! - a graceful shutdown must drain in-flight jobs before the daemon stops;
+//! - the fairness/admission layer: a `check` submitted mid-`check-all` is not starved,
+//!   cancels and deadlines deliver partial runs whose delivered verdicts still match
+//!   the snapshot, identical in-flight jobs are deduped across clients, over-cap
+//!   connections get a structured `busy`, a reader that stops consuming its stream is
+//!   disconnected, and N connect/disconnect cycles leave O(1) retained state.
 
 use hat_daemon::frame::{read_frame, write_frame, MAX_RESPONSE_FRAME};
 use hat_daemon::{
-    Addr, Daemon, DaemonConfig, Hello, Listener, RemoteClient, Request, Response, Stream,
+    Addr, Daemon, DaemonConfig, Envelope, Hello, Listener, RemoteClient, Request, Response, Stream,
     CACHE_VERSION,
 };
 use hat_engine::EngineConfig;
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 fn temp_socket(tag: &str) -> Addr {
     Addr::Unix(std::env::temp_dir().join(format!("hat-daemon-{tag}-{}.sock", std::process::id())))
 }
 
-fn spawn_daemon(tag: &str, jobs: usize) -> hat_daemon::DaemonHandle {
-    Daemon::spawn(DaemonConfig {
+fn spawn_daemon_with(
+    tag: &str,
+    jobs: usize,
+    tweak: impl FnOnce(&mut DaemonConfig),
+) -> hat_daemon::DaemonHandle {
+    let mut config = DaemonConfig {
         addr: temp_socket(tag),
         engine: EngineConfig {
             jobs,
             ..EngineConfig::default()
         },
         quiet: true,
-    })
-    .expect("the daemon starts")
+        ..DaemonConfig::default()
+    };
+    tweak(&mut config);
+    Daemon::spawn(config).expect("the daemon starts")
+}
+
+fn spawn_daemon(tag: &str, jobs: usize) -> hat_daemon::DaemonHandle {
+    spawn_daemon_with(tag, jobs, |_| {})
+}
+
+/// Asserts one streamed report against the golden snapshot. `slow` configurations
+/// are absent from the snapshot by design and are skipped; any other unknown key
+/// is a failure.
+fn assert_golden(
+    golden: &BTreeMap<String, (bool, bool)>,
+    adt: &str,
+    library: &str,
+    r: &hat_core::MethodReport,
+) {
+    let key = format!("{adt}/{library}::{}", r.name);
+    let Some((_, verdict)) = golden.get(&key) else {
+        let bench = hat_suite::find(adt, library)
+            .unwrap_or_else(|| panic!("{key} names no configuration at all"));
+        assert!(bench.slow, "{key} is not in the golden snapshot");
+        return;
+    };
+    assert_eq!(r.verified, *verdict, "{key} diverges from the snapshot");
 }
 
 /// Parses the golden snapshot into `ADT/Library::method -> (expected, verdict)`.
@@ -181,12 +216,16 @@ fn malformed_frames_close_the_connection_without_poisoning_the_store() {
     read_hello(&mut garbage);
     garbage.write_all(b"!!! not a frame !!!\n").expect("writes");
     garbage.flush().expect("flushes");
-    assert!(
-        read_frame(&mut garbage, MAX_RESPONSE_FRAME)
-            .expect("clean close")
-            .is_none(),
-        "the server must close on garbage, not answer it"
-    );
+    // The server aborts at the first bad byte, so the rest of the garbage line is
+    // still unread when it closes — which surfaces at this end as either a clean
+    // EOF or a connection reset, depending on scheduling. Both are "closed,
+    // unanswered"; a response frame is the failure.
+    match read_frame(&mut garbage, MAX_RESPONSE_FRAME) {
+        Ok(None) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+        Ok(Some(frame)) => panic!("the server must close on garbage, not answer `{frame}`"),
+        Err(e) => panic!("expected a closed connection, got: {e}"),
+    }
     // An oversized frame: the announced length exceeds the request cap.
     let mut oversized = Stream::connect(&addr).expect("connects");
     read_hello(&mut oversized);
@@ -302,7 +341,7 @@ fn graceful_shutdown_drains_in_flight_jobs() {
         })
         .expect("send");
     let mut stopper = RemoteClient::connect(&addr).expect("stopper connects");
-    stopper.shutdown().expect("bye");
+    stopper.shutdown(false).expect("bye");
     // The in-flight batch still completes: every report plus the done frame.
     let mut reports = 0;
     loop {
@@ -341,7 +380,7 @@ fn version_skew_is_rejected_with_a_clear_message() {
     let server = std::thread::spawn(move || {
         let mut conn = listener.accept().expect("accepts");
         let stale = format!(
-            "{{\"server\":\"marpled v1\",\"protocol\":1,\"cache_version\":{},\"pid\":1}}",
+            "{{\"server\":\"marpled v2\",\"protocol\":2,\"cache_version\":{},\"pid\":1}}",
             CACHE_VERSION - 1
         );
         write_frame(&mut conn, &stale).expect("writes");
@@ -359,4 +398,422 @@ fn version_skew_is_rejected_with_a_clear_message() {
     if let Addr::Unix(path) = &addr {
         let _ = std::fs::remove_file(path);
     }
+}
+
+#[test]
+fn a_check_submitted_mid_check_all_is_not_starved() {
+    let daemon = spawn_daemon("fairness", 1);
+    let golden = golden_verdicts();
+    let mut client = RemoteClient::connect(daemon.addr()).expect("client connects");
+    // One pipelined connection: the whole suite first, then a latency-sensitive check.
+    let batch = client.send(Request::CheckAll).expect("send check-all");
+    let probe = client
+        .send(Request::Check {
+            adt: "Stack".into(),
+            library: "LinkedList".into(),
+        })
+        .expect("send probe");
+    // Drain frames in ARRIVAL order and count how many batch reports pass before the
+    // probe's `done`: the per-submission round-robin bounds that near the probe's own
+    // job count, while a FIFO queue would put the entire batch first.
+    let mut batch_before_probe = 0usize;
+    let mut batch_reports = 0usize;
+    let mut probe_reports = 0usize;
+    let (mut batch_done, mut probe_done) = (false, false);
+    while !batch_done || !probe_done {
+        let envelope = client.recv().expect("the streams keep flowing");
+        match envelope.response {
+            Response::Report {
+                adt,
+                library,
+                report,
+                ..
+            } => {
+                assert_golden(&golden, &adt, &library, &report);
+                if envelope.id == batch {
+                    batch_reports += 1;
+                    if !probe_done {
+                        batch_before_probe += 1;
+                    }
+                } else {
+                    assert_eq!(envelope.id, probe);
+                    probe_reports += 1;
+                }
+            }
+            Response::Done {
+                jobs, cancelled, ..
+            } => {
+                if envelope.id == batch {
+                    assert!(cancelled > 0, "the cancel landed after the whole batch ran");
+                    assert_eq!(batch_reports + cancelled, jobs);
+                    batch_done = true;
+                } else {
+                    assert_eq!(cancelled, 0, "the probe was never cancelled");
+                    probe_done = true;
+                    // The probe is through — the rest of the cold batch is pure
+                    // contention with no further assertion value, so drop it.
+                    client
+                        .cancel(batch)
+                        .expect("the batch cancel is acknowledged");
+                }
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    let probe_jobs = hat_suite::find("Stack", "LinkedList")
+        .expect("configuration exists")
+        .methods
+        .len();
+    assert_eq!(probe_reports, probe_jobs);
+    let total_jobs: usize = hat_suite::all_benchmarks()
+        .iter()
+        .map(|b| b.methods.len())
+        .sum();
+    // The bound only means something if the batch dwarfs it.
+    let bound = 2 * probe_jobs + 4;
+    assert!(total_jobs > 2 * bound, "the suite shrank below usefulness");
+    assert!(
+        batch_before_probe <= bound,
+        "the probe waited behind {batch_before_probe} of {total_jobs} batch reports — starved"
+    );
+    daemon.stop();
+}
+
+#[test]
+fn cancel_mid_stream_delivers_a_partial_done_with_matching_verdicts() {
+    let daemon = spawn_daemon("cancel", 1);
+    let golden = golden_verdicts();
+    let mut client = RemoteClient::connect(daemon.addr()).expect("client connects");
+    let id = client.send(Request::CheckAll).expect("send");
+    let mut received = 0usize;
+    while received < 3 {
+        match client.recv_for(id).expect("the stream flows") {
+            Response::Report {
+                adt,
+                library,
+                report,
+                ..
+            } => {
+                assert_golden(&golden, &adt, &library, &report);
+                received += 1;
+            }
+            Response::Done { .. } => panic!("the whole batch finished before the cancel"),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    client.cancel(id).expect("the cancel is acknowledged");
+    loop {
+        match client.recv_for(id).expect("the stream still terminates") {
+            Response::Report {
+                adt,
+                library,
+                report,
+                ..
+            } => {
+                // In-flight jobs finish and still stream — with snapshot verdicts.
+                assert_golden(&golden, &adt, &library, &report);
+                received += 1;
+            }
+            Response::Done {
+                jobs, cancelled, ..
+            } => {
+                assert!(cancelled > 0, "nothing was left to cancel");
+                assert_eq!(
+                    received + cancelled,
+                    jobs,
+                    "every job must be delivered or counted cancelled"
+                );
+                break;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    // Cancelling a finished run is a clean error, and the connection still serves.
+    // (The run retires a few instructions after its `done` frame, so poll briefly.)
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let err = loop {
+        match client.cancel(id) {
+            Err(e) => break e,
+            Ok(()) => assert!(Instant::now() < deadline, "the finished run never retired"),
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(err.contains("no in-flight"), "{err}");
+    client.ping().expect("the connection survives a cancel");
+    daemon.stop();
+}
+
+#[test]
+fn an_expired_deadline_cancels_the_rest_of_the_batch() {
+    let daemon = spawn_daemon("deadline", 1);
+    let golden = golden_verdicts();
+    let mut client = RemoteClient::connect(daemon.addr()).expect("client connects");
+    let run = client
+        .verify_with_deadline(Request::CheckAll, Some(1), |_, _, _| {})
+        .expect("a deadline-cancelled run still answers with a partial done");
+    assert!(
+        run.summary.was_cancelled(),
+        "a 1ms deadline on a cold full suite must expire"
+    );
+    let received: usize = run.summary.benchmarks.iter().map(|b| b.reports.len()).sum();
+    assert!(
+        received < run.jobs,
+        "everything completed despite the deadline"
+    );
+    assert_eq!(received + run.summary.cancelled, run.jobs);
+    for bench in &run.summary.benchmarks {
+        for report in &bench.reports {
+            assert_golden(&golden, &bench.adt, &bench.library, report);
+        }
+    }
+    daemon.stop();
+}
+
+#[test]
+fn identical_in_flight_jobs_are_deduped_across_clients() {
+    let daemon = spawn_daemon("dedup", 1);
+    let golden = golden_verdicts();
+    let addr = daemon.addr().clone();
+    // Client A floods the single worker with the whole suite...
+    let mut a = RemoteClient::connect(&addr).expect("client A connects");
+    let batch = a.send(Request::CheckAll).expect("send");
+    // ...and once A's jobs are demonstrably in flight, client B asks for a
+    // configuration that batch already queued: B must ride A's jobs as a subscriber.
+    let mut b = RemoteClient::connect(&addr).expect("client B connects");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while b.cache_stats().expect("stats").in_flight_jobs == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "A's batch never reached the engine"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let run = b
+        .verify(
+            Request::Check {
+                adt: "ConnectedGraph".into(),
+                library: "Set".into(),
+            },
+            |_, _, _| {},
+        )
+        .expect("B's check completes");
+    for bench in &run.summary.benchmarks {
+        for report in &bench.reports {
+            assert_golden(&golden, &bench.adt, &bench.library, report);
+        }
+    }
+    assert!(
+        run.summary.dedup_hits > 0,
+        "B's jobs were not deduped against A's queued batch"
+    );
+    // A's stream stayed intact through the dedup — cancel the rest of the cold
+    // batch (it has served its purpose) and check the partial `done` arithmetic.
+    a.cancel(batch).expect("A can cancel the rest of its batch");
+    let mut reports = 0usize;
+    loop {
+        match a.recv_for(batch).expect("A's stream flows") {
+            Response::Report {
+                adt,
+                library,
+                report,
+                ..
+            } => {
+                assert_golden(&golden, &adt, &library, &report);
+                reports += 1;
+            }
+            Response::Done {
+                jobs, cancelled, ..
+            } => {
+                assert!(cancelled > 0, "the cancel landed after the whole batch ran");
+                assert_eq!(
+                    reports + cancelled,
+                    jobs,
+                    "dedup must not miscount A's jobs"
+                );
+                break;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(b.cache_stats().expect("stats").dedup_hits > 0);
+    daemon.stop();
+}
+
+#[test]
+fn over_cap_connections_are_rejected_with_busy() {
+    let daemon = spawn_daemon_with("cap", 1, |c| c.max_connections = 1);
+    let addr = daemon.addr().clone();
+    let mut first = RemoteClient::connect(&addr).expect("first client connects");
+    first.ping().expect("the first client is served");
+    // The second connection still gets a handshake, then a connection-level `busy`.
+    let mut second = RemoteClient::connect(&addr).expect("the handshake still happens");
+    let envelope = second.recv().expect("the busy frame arrives");
+    assert_eq!(
+        envelope.id, 0,
+        "a connection-level rejection answers no request"
+    );
+    match envelope.response {
+        Response::Busy { message } => {
+            assert!(message.contains("connection limit"), "{message}")
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+    drop(second);
+    // The slot frees once the first client hangs up.
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut replacement = loop {
+        if let Ok(mut c) = RemoteClient::connect(&addr) {
+            if c.ping().is_ok() {
+                break c;
+            }
+        }
+        assert!(Instant::now() < deadline, "the connection slot never freed");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        replacement.cache_stats().expect("stats").busy_rejections >= 1,
+        "the rejection was not counted"
+    );
+    daemon.stop();
+}
+
+#[test]
+fn requests_over_the_per_client_job_budget_answer_busy() {
+    let daemon = spawn_daemon_with("budget", 1, |c| c.max_client_jobs = 1);
+    let mut client = RemoteClient::connect(daemon.addr()).expect("client connects");
+    let err = client
+        .verify(
+            Request::Check {
+                adt: "Stack".into(),
+                library: "LinkedList".into(),
+            },
+            |_, _, _| {},
+        )
+        .expect_err("a multi-method check cannot fit a 1-job budget");
+    assert!(err.contains("per-client limit"), "{err}");
+    // `busy` is an answer, not a disconnect.
+    client
+        .ping()
+        .expect("the connection survives the rejection");
+    daemon.stop();
+}
+
+#[test]
+fn a_client_that_stops_reading_is_disconnected() {
+    let daemon = spawn_daemon_with("stall", 2, |c| c.max_client_jobs = 0);
+    let addr = daemon.addr().clone();
+    // Warm one configuration so the flood below answers from the memo store at
+    // full speed — the writer, not the workers, must be the bottleneck.
+    RemoteClient::connect(&addr)
+        .expect("warmup client connects")
+        .verify(
+            Request::Check {
+                adt: "Stack".into(),
+                library: "LinkedList".into(),
+            },
+            |_, _, _| {},
+        )
+        .expect("warmup check");
+    // A raw connection pipelines the same warm check hundreds of times and never
+    // reads a byte: the report frames far exceed the socket buffer plus the
+    // bounded writer channel, so the writer stalls.
+    let mut stalled = Stream::connect(&addr).expect("the stalled client connects");
+    let hello = read_frame(&mut stalled, MAX_RESPONSE_FRAME)
+        .expect("handshake frame")
+        .expect("server speaks first");
+    Hello::parse(&hello).expect("a real handshake");
+    for id in 1..=300u64 {
+        let payload = Envelope::new(
+            id,
+            Request::Check {
+                adt: "Stack".into(),
+                library: "LinkedList".into(),
+            },
+        )
+        .to_json()
+        .to_string();
+        write_frame(&mut stalled, &payload).expect("writes");
+    }
+    stalled.flush().expect("flushes");
+    // The daemon must sever the stalled connection instead of buffering forever.
+    let mut probe = RemoteClient::connect(&addr).expect("probe connects");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = probe.cache_stats().expect("stats");
+        if status.active_connections == 1 {
+            break; // only the probe remains
+        }
+        assert!(
+            Instant::now() < deadline,
+            "the stalled reader was never disconnected"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    // The daemon still serves, warm and verdict-correct.
+    let golden = golden_verdicts();
+    let run = probe
+        .verify(
+            Request::Check {
+                adt: "Stack".into(),
+                library: "LinkedList".into(),
+            },
+            |_, _, _| {},
+        )
+        .expect("the daemon survived the stalled reader");
+    for bench in &run.summary.benchmarks {
+        for report in &bench.reports {
+            assert_golden(&golden, &bench.adt, &bench.library, report);
+        }
+    }
+    daemon.stop();
+}
+
+#[test]
+fn connect_disconnect_cycles_leave_bounded_retained_state() {
+    let daemon = spawn_daemon("retention", 1);
+    let addr = daemon.addr().clone();
+    const CYCLES: usize = 40;
+    for _ in 0..CYCLES {
+        let mut c = RemoteClient::connect(&addr).expect("cycle client connects");
+        c.ping().expect("cycle client pings");
+    }
+    let mut probe = RemoteClient::connect(&addr).expect("probe connects");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        let status = probe.cache_stats().expect("stats");
+        if status.closed_connections >= CYCLES as u64 && status.active_connections == 1 {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "closed handlers were never reaped"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    // O(1) retained state: a bounded window of closed records plus one aggregate row,
+    // not one record per connection ever accepted.
+    assert!(
+        status.clients.len() <= 18,
+        "retained client records are not bounded: {} records after {CYCLES} cycles",
+        status.clients.len()
+    );
+    // The aggregate row keeps the lifetime totals truthful.
+    let aggregate = status
+        .clients
+        .iter()
+        .find(|c| c.client == 0)
+        .expect("an aggregate row exists once the window overflows");
+    let accounted: u64 = aggregate.requests
+        + status
+            .clients
+            .iter()
+            .filter(|c| c.client != 0)
+            .map(|c| c.requests)
+            .sum::<u64>();
+    assert_eq!(
+        accounted, status.requests_served,
+        "requests leaked out of the per-client accounting"
+    );
+    daemon.stop();
 }

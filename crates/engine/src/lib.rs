@@ -76,5 +76,7 @@ pub use cache::{
 };
 pub use canon::{canonicalize, memo_key, CanonicalMemoKey, CanonicalQuery};
 pub use oracle::CachingOracle;
-pub use schedule::{BenchmarkRun, Engine, EngineConfig, JobReport, RunHandle, RunSummary};
+pub use schedule::{
+    BenchmarkRun, Engine, EngineConfig, JobReport, PollReport, RunHandle, RunSummary,
+};
 pub use tier::{LocalTier, MemoTier, SharedTier};
