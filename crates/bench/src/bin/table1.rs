@@ -13,8 +13,8 @@
 //! With an ADT filter only the table is printed and the engine comparison is skipped.
 
 use hat_bench::{
-    daemon_replay, engine_comparison, method_columns, mixed_traffic_replay, table1_row,
-    write_engine_json,
+    daemon_replay, engine_comparison, lsm_measurement, method_columns, mixed_traffic_replay,
+    table1_row, write_engine_json,
 };
 
 fn main() {
@@ -176,8 +176,22 @@ fn main() {
             mixed.dedup_hits,
             mixed.queue_wait_p95_ms
         );
+        eprintln!("measuring the LSM cache backend (rotation, compaction, warm load)...");
+        let lsm = lsm_measurement(&hat_suite::all_benchmarks(), 2);
+        eprintln!(
+            "lsm: {} flushes -> {} level-0 segments, {} compactions merged {} segments, write amplification {:.2}x; warm load {:.1}ms at {} records, {:.1}ms at {} records",
+            lsm.flushes,
+            lsm.segments_written,
+            lsm.compactions,
+            lsm.segments_merged,
+            lsm.write_amplification,
+            lsm.warm_load_ms_1x,
+            lsm.records_1x,
+            lsm.warm_load_ms_10x,
+            lsm.records_10x
+        );
         let path = "BENCH_engine.json";
-        match write_engine_json(path, &comparison, Some(&replay), Some(&mixed)) {
+        match write_engine_json(path, &comparison, Some(&replay), Some(&mixed), Some(&lsm)) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }

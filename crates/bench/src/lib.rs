@@ -5,8 +5,9 @@
 //! (per-method details), plus Criterion micro-benchmarks for the solver and the
 //! symbolic-automaton engine. The `table1` binary additionally runs the engine
 //! comparison ([`engine_comparison`]), the daemon trace replay ([`daemon_replay`]) and
-//! the mixed-traffic fairness replay ([`mixed_traffic_replay`]) and writes
-//! `BENCH_engine.json` (schema `hat-engine-bench v7`).
+//! the mixed-traffic fairness replay ([`mixed_traffic_replay`]), measures the LSM
+//! cache backend ([`lsm_measurement`]) and writes `BENCH_engine.json` (schema
+//! `hat-engine-bench v8`).
 
 use hat_core::MethodReport;
 use hat_engine::{CacheStatsSnapshot, Engine, EngineConfig, RunSummary};
@@ -550,6 +551,92 @@ fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
     runs
 }
 
+/// The `lsm` section of `BENCH_engine.json` v8: background-flush and compaction
+/// counters from a suite-volume cold run over a deliberately small memtable, plus the
+/// warm-load latency of the resulting segment stack at its natural record volume and
+/// at ten times that volume (synthetic padding records).
+#[derive(Debug, Clone)]
+pub struct LsmMeasurement {
+    /// Frozen memtables flushed to segment files by the background thread.
+    pub flushes: usize,
+    /// Level-0 segment files written by those flushes.
+    pub segments_written: usize,
+    /// Input segments consumed by background merges.
+    pub segments_merged: usize,
+    /// Background merge passes.
+    pub compactions: usize,
+    /// Bytes written to segment files (flush + compaction) per byte of flushed data.
+    pub write_amplification: f64,
+    /// Records replayed by the 1x warm load.
+    pub records_1x: usize,
+    /// Wall-clock of a warm `MemoStore` open at the suite's natural record volume.
+    pub warm_load_ms_1x: f64,
+    /// Records replayed by the 10x warm load.
+    pub records_10x: usize,
+    /// Wall-clock of a warm open after padding the store to ten times the volume.
+    pub warm_load_ms_10x: f64,
+}
+
+/// Measures the LSM backend: a cold disk-backed run over the non-slow suite with a
+/// small memtable (so rotation and background compaction genuinely happen at suite
+/// volume), then timed warm loads at 1x and 10x record volume.
+pub fn lsm_measurement(benches: &[Benchmark], jobs: usize) -> LsmMeasurement {
+    let benches: Vec<Benchmark> = benches.iter().filter(|b| !b.slow).cloned().collect();
+    let mut path = std::env::temp_dir();
+    path.push(format!("hat-bench-lsm-{}", std::process::id()));
+    let cleanup = |p: &std::path::Path| {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(p.with_extension("compacting"));
+        let mut lock = p.to_path_buf().into_os_string();
+        lock.push(".lock");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(lock));
+        let _ = std::fs::remove_dir_all(hat_engine::lsm::segment_dir_for(p));
+    };
+    cleanup(&path);
+    let engine = Engine::new(EngineConfig {
+        jobs,
+        cache_path: Some(path.clone()),
+        memtable_bytes: Some(64 * 1024),
+        ..EngineConfig::default()
+    })
+    .expect("disk-backed engine");
+    engine.check_benchmarks(&benches);
+    engine.cache().flush();
+    let stats = engine
+        .cache()
+        .lsm_stats()
+        .expect("a disk-backed store has an LSM backend");
+    drop(engine);
+
+    let start = std::time::Instant::now();
+    let store = hat_engine::MemoStore::with_disk_log(&path).expect("1x warm open");
+    let warm_load_ms_1x = start.elapsed().as_secs_f64() * 1e3;
+    let records_1x = store.stats().disk_loaded;
+    // Pad to ten times the natural volume; the synthetic verdicts replay exactly like
+    // real ones, so the 10x timing isolates pure segment-replay scaling.
+    for i in 0..records_1x.saturating_mul(9) {
+        store.insert(format!("sat|bench-pad{i}"), i % 2 == 0);
+    }
+    drop(store);
+    let start = std::time::Instant::now();
+    let store = hat_engine::MemoStore::with_disk_log(&path).expect("10x warm open");
+    let warm_load_ms_10x = start.elapsed().as_secs_f64() * 1e3;
+    let records_10x = store.stats().disk_loaded;
+    drop(store);
+    cleanup(&path);
+    LsmMeasurement {
+        flushes: stats.flushes,
+        segments_written: stats.segments_written,
+        segments_merged: stats.segments_merged,
+        compactions: stats.compactions,
+        write_amplification: stats.write_amplification(),
+        records_1x,
+        warm_load_ms_1x,
+        records_10x,
+        warm_load_ms_10x,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -563,18 +650,20 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-/// Serialises [`engine_comparison`], [`daemon_replay`] and [`mixed_traffic_replay`]
-/// measurements as JSON (hand-rolled: the build environment has no serde).
+/// Serialises [`engine_comparison`], [`daemon_replay`], [`mixed_traffic_replay`] and
+/// [`lsm_measurement`] measurements as JSON (hand-rolled: the build environment has no
+/// serde).
 pub fn write_engine_json(
     path: &str,
     comparison: &EngineComparison,
     replay: Option<&DaemonReplay>,
     mixed: Option<&MixedTrafficReplay>,
+    lsm: Option<&LsmMeasurement>,
 ) -> std::io::Result<()> {
     let runs = &comparison.runs;
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(out, "{{")?;
-    writeln!(out, "  \"schema\": \"hat-engine-bench v7\",")?;
+    writeln!(out, "  \"schema\": \"hat-engine-bench v8\",")?;
     writeln!(
         out,
         "  \"skipped\": [{}],",
@@ -760,6 +849,23 @@ pub fn write_engine_json(
             "    \"queue_wait_p95_ms\": {:.3}",
             mixed.queue_wait_p95_ms
         )?;
+        writeln!(out, "  }},")?;
+    }
+    if let Some(lsm) = lsm {
+        writeln!(out, "  \"lsm\": {{")?;
+        writeln!(out, "    \"flushes\": {},", lsm.flushes)?;
+        writeln!(out, "    \"segments_written\": {},", lsm.segments_written)?;
+        writeln!(out, "    \"segments_merged\": {},", lsm.segments_merged)?;
+        writeln!(out, "    \"compactions\": {},", lsm.compactions)?;
+        writeln!(
+            out,
+            "    \"write_amplification\": {:.3},",
+            lsm.write_amplification
+        )?;
+        writeln!(out, "    \"records_1x\": {},", lsm.records_1x)?;
+        writeln!(out, "    \"warm_load_ms_1x\": {:.3},", lsm.warm_load_ms_1x)?;
+        writeln!(out, "    \"records_10x\": {},", lsm.records_10x)?;
+        writeln!(out, "    \"warm_load_ms_10x\": {:.3}", lsm.warm_load_ms_10x)?;
         writeln!(out, "  }},")?;
     }
     writeln!(out, "  \"runs\": [")?;

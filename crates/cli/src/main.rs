@@ -300,6 +300,7 @@ fn run(benches: Vec<Benchmark>, opts: &Options, request: Request) -> bool {
         prune: opts.prune,
         inclusion: opts.inclusion,
         local_tiers: opts.local_tiers,
+        memtable_bytes: None,
     }) {
         Ok(engine) => engine,
         Err(e) => {
@@ -316,13 +317,15 @@ fn run(benches: Vec<Benchmark>, opts: &Options, request: Request) -> bool {
     ok
 }
 
-/// `marple cache stats <path>` — read-only scan: per-record-kind counts, live/dead
-/// ratio, header version.
+/// `marple cache stats <path>` — read-only scan of manifest + segments: per-kind
+/// counts, segment and torn-segment counts, live/dead ratio, header version. Never
+/// takes the writer lock, so it prints honest numbers even while a daemon holds the
+/// store.
 fn cache_stats(path: &str) -> Result<(), String> {
     let stats = MemoStore::inspect(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     match (&stats.header, stats.version) {
         (None, _) => {
-            println!("{path}: empty file (a fresh log will start at v5)");
+            println!("{path}: empty file (a fresh store will start at v6)");
             return Ok(());
         }
         (Some(h), None) => {
@@ -336,8 +339,17 @@ fn cache_stats(path: &str) -> Result<(), String> {
         (RecordKind::Inclusion, stats.inclusion),
         (RecordKind::Shape, stats.shape),
         (RecordKind::Minterms, stats.minterms),
+        (RecordKind::Transition, stats.transitions),
     ] {
         println!("  {:<24} {:>8}", format!("{}:", kind.label()), count);
+    }
+    if stats.version == Some(6) {
+        let torn = if stats.torn_segments > 0 {
+            format!(" ({} torn, degraded to cold)", stats.torn_segments)
+        } else {
+            String::new()
+        };
+        println!("  {:<24} {:>8}{torn}", "segment files:", stats.segments);
     }
     println!(
         "  live: {} / dead: {} ({} duplicate, {} malformed) — {:.1}% dead",
@@ -353,7 +365,8 @@ fn cache_stats(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// `marple cache compact <path>` — rewrite the log as a deduplicated snapshot.
+/// `marple cache compact <path>` — nudge the background compactor: drain the memtable
+/// and merge every segment family with more than one segment, dropping dead records.
 fn cache_compact(path: &str) -> Result<(), String> {
     // with_disk_log would happily create a fresh log at a mistyped path; compacting
     // only makes sense for a file that exists.
@@ -388,6 +401,7 @@ fn daemon_start(opts: &Options) -> Result<(), String> {
             prune: opts.prune,
             inclusion: opts.inclusion,
             local_tiers: opts.local_tiers,
+            memtable_bytes: None,
         },
         max_connections: opts.max_connections,
         max_client_jobs: opts.max_client_jobs,

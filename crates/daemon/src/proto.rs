@@ -44,9 +44,9 @@ pub const SERVER_NAME: &str = "marpled v2";
 /// Frame-level protocol generation.
 pub const PROTOCOL_VERSION: u64 = 2;
 
-/// The disk-cache format generation the daemon serves (`hat-engine-cache v5`). Part of
+/// The disk-cache format generation the daemon serves (`hat-engine-cache v6`). Part of
 /// the handshake so a client built against a different store generation refuses early.
-pub const CACHE_VERSION: u64 = 5;
+pub const CACHE_VERSION: u64 = 6;
 
 /// The connect-time server announcement.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -512,6 +512,10 @@ pub fn snapshot_to_json(s: &CacheStatsSnapshot) -> Json {
         ("transition_hits", Json::Int(s.transition_hits as i64)),
         ("transition_misses", Json::Int(s.transition_misses as i64)),
         ("lock_acquisitions", Json::Int(s.lock_acquisitions as i64)),
+        (
+            "disk_lock_acquisitions",
+            Json::Int(s.disk_lock_acquisitions as i64),
+        ),
     ])
 }
 
@@ -527,6 +531,8 @@ pub fn snapshot_from_json(v: &Json) -> Result<CacheStatsSnapshot, String> {
         transition_hits: usize_field(v, "transition_hits")?,
         transition_misses: usize_field(v, "transition_misses")?,
         lock_acquisitions: usize_field(v, "lock_acquisitions")?,
+        // Absent in replies from pre-v6 daemons: tolerate rather than refuse.
+        disk_lock_acquisitions: usize_field(v, "disk_lock_acquisitions").unwrap_or(0),
     })
 }
 
@@ -945,6 +951,7 @@ mod tests {
             transition_hits: 30,
             transition_misses: 5,
             lock_acquisitions: 60,
+            disk_lock_acquisitions: 9,
         };
         let cases = vec![
             Response::Pong { uptime_secs: 12.5 },

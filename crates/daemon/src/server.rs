@@ -3,9 +3,9 @@
 //!
 //! ## Lifecycle
 //!
-//! [`Daemon::spawn`] builds the engine first — replaying the v5 disk log warms the
-//! store **before** the listener accepts anything, so the first client already sees a
-//! warm cache — then binds the listener, writes the `<cache>.addr` sidecar (which is
+//! [`Daemon::spawn`] builds the engine first — replaying the v6 manifest and its
+//! segment files warms the store **before** the listener accepts anything, so the
+//! first client already sees a warm cache — then binds the listener, writes the `<cache>.addr` sidecar (which is
 //! how lock-contended batch runs learn the daemon's address), and starts the accept
 //! loop on a background thread. If the cache lock is held by another process the
 //! daemon refuses to start rather than running degraded: a daemon whose verdicts
@@ -38,10 +38,12 @@
 //! with a dummy self-connection (`shutdown --now` first drops every queued job, so
 //! only running jobs drain). The accept loop then half-closes (`shutdown(Read)`)
 //! every live connection — handlers stop taking *new* requests but writers keep
-//! streaming until in-flight runs finish — joins everything, compacts the log if it is
-//! crowded with dead records, drops the engine (pool drains, store flushes, the
-//! sidecar lock releases), and finally unlinks the `.addr` sidecar and the socket
-//! file. The socket file disappearing last is what `marple daemon stop` polls.
+//! streaming until in-flight runs finish — joins everything, then quiesces the LSM
+//! store: the memtable is drained to segments, the background compactor merges the
+//! segment families if they are crowded with dead records, and only then does the
+//! engine drop (pool joins, the LSM thread joins, the sidecar lock releases) before
+//! the `.addr` sidecar and the socket file are unlinked. The socket file
+//! disappearing last is what `marple daemon stop` polls.
 
 use crate::frame::{read_frame, write_frame, MAX_REQUEST_FRAME};
 use crate::net::{Addr, Listener, Stream};
@@ -394,13 +396,14 @@ impl Daemon {
             .name("marpled-accept".to_string())
             .spawn(move || {
                 serve(&serve_shared, &engine, &listener);
-                // Every handler, runner and writer has joined: flush the log through a
-                // compaction check, release the lock by dropping the engine, then
+                // Every handler, runner and writer has joined: drain the memtable to
+                // segments, nudge the compactor if the families are crowded, release
+                // the lock by dropping the engine (which joins the LSM thread), then
                 // remove the advertisement files — socket last, it is what
                 // `marple daemon stop` polls.
                 match engine.cache().compact_if_needed() {
                     Ok(Some(report)) => serve_shared.log(format_args!(
-                        "compacted the cache log: {} → {} records",
+                        "compacted the cache segments: {} → {} records",
                         report.records_before, report.records_after
                     )),
                     Ok(None) => {}

@@ -1,7 +1,7 @@
-//! The shared tiered memo store: one [`SharedTier`] per record kind, optionally fronting
-//! an append-only disk log so repeated runs start warm, and optionally fronted by
-//! per-worker [`crate::tier::LocalTier`]s (composed in [`crate::oracle::CachingOracle`])
-//! so hot lookups touch no lock at all.
+//! The shared tiered memo store: one [`SharedTier`] per record kind, optionally backed
+//! by the LSM-structured disk store of [`crate::lsm`] so repeated runs start warm, and
+//! optionally fronted by per-worker [`crate::tier::LocalTier`]s (composed in
+//! [`crate::oracle::CachingOracle`]) so hot lookups touch no lock at all.
 //!
 //! Five record kinds share the store (see [`RecordKind`]):
 //!
@@ -15,54 +15,49 @@
 //! * **Minterm sets** (`M` records): whole memoised alphabet transformations keyed by
 //!   [`crate::canon::alphabet_key`], persisted through the line-safe atom serialisation
 //!   of [`crate::atomio`] — a warm run skips minterm enumeration entirely.
-//! * **DFA transitions** (in-memory only): memoised `state × answers → successor`
-//!   derivatives keyed by [`crate::canon::transition_key`]. Successor formulas are cheap
-//!   to rebuild from warm solver verdicts, so they are not persisted.
+//! * **DFA transitions** (`T` records): memoised `state × answers → successor`
+//!   derivatives keyed by [`crate::canon::transition_key`], persisted since v6 through
+//!   [`crate::atomio::ser_sfa`] — a warm run re-derives nothing.
 //!
-//! # Disk log format (v5)
+//! # Disk format (v6)
 //!
-//! The log is a plain text file; the full record grammar, the locking and compaction
-//! rules, the migration rules and the torn-payload semantics are specified in
-//! `docs/CACHE_FORMAT.md` at the repository root. In short: the first line is the header
-//! `hat-engine-cache v5`; every further line is either `<kind><verdict>\t<key>` where
-//! `<kind>` is `S` (solver), `I` (inclusion) or `D` (DFA shape) and `<verdict>` is `0`
-//! or `1`, or `M\t<key>\t<payload>` where `<payload>` is an [`crate::atomio`]
-//! minterm-set record. Keys and payloads never contain tabs or newlines. Appends are
-//! line-atomic under a mutex, so a log written by one run can be replayed by the next.
+//! Since v6 the persistent tier is a small LSM store (see [`crate::lsm`] for the
+//! mechanics and `docs/CACHE_FORMAT.md` for the full grammar): the cache path itself is
+//! a *manifest* (`hat-engine-cache v6` header plus one line per live segment), and the
+//! records live in sorted, fingerprint-partitioned, per-kind *segment files* under
+//! `<path>.d/`. Fresh records are appended to an in-memory memtable and reach disk when
+//! the memtable rotates (size threshold, end-of-run flush, or drop) — a dedicated
+//! background thread writes segments, commits the manifest atomically, and merges
+//! segment families without taking a single tier lock. Record lines inside segments use
+//! the same grammar as the v2–v5 log body (`<kind><verdict>\t<key>` for `S`/`I`/`D`,
+//! `M\t<key>\t<payload>`) plus `T\t<key>\t<payload>` transition records.
 //!
-//! Three v5-era properties distinguish it from v4:
+//! Properties carried over from v5, unchanged:
 //!
-//! * **Single-writer locking.** Opening a log takes a sidecar lock (`<path>.lock`,
-//!   holder PID inside). A second process finds the lock held and **degrades to
-//!   in-memory** with a warning instead of interleaving appends — two writers could tear
-//!   each other's lines. A lock whose holder is dead is reclaimed.
-//! * **Compaction.** [`MemoStore::compact`] (CLI: `marple cache compact`) rewrites the
-//!   log as a deduplicated snapshot of the live in-memory entries — duplicate keys,
-//!   malformed lines and torn tails are dropped — via a temporary file and an atomic
-//!   rename. Loading a log whose dead-record share passes a threshold compacts it
-//!   automatically.
-//! * Because a v5 log may be rewritten underneath a concurrent reader, pre-v5 binaries
-//!   (which know neither the lock protocol nor compaction) must not append to one; they
-//!   see a foreign header and safely run in-memory.
-//!
-//! Logs with a `v1` header (`<verdict>\t<key>` solver records only), `v2` header
-//! (`S`/`I` records only), `v3` header (`S`/`I`/`M` records) or `v4` header
-//! (`S`/`I`/`D`/`M` records) are **migrated**: their entries are loaded and the file is
-//! atomically rewritten in the v5 format. A log with any other header — e.g. written by
-//! a future format version — is ignored wholesale and counted as stale rather than
-//! half-trusted (the store runs in-memory and never writes to the foreign file).
-//! Malformed lines (a torn final write, an unparseable minterm payload) are skipped and
-//! counted as stale.
+//! * **Single-writer locking.** Opening takes a sidecar lock (`<path>.lock`, holder PID
+//!   inside). A second process finds the lock held and **degrades to in-memory** with a
+//!   warning (entries are still replayed read-only for a warm start). A lock whose
+//!   holder is dead is reclaimed. [`MemoStore::inspect`] never takes the lock at all —
+//!   `marple cache stats` prints honest numbers even while a daemon owns the store.
+//! * **Compaction.** [`MemoStore::compact`] (CLI: `marple cache compact`) is now a
+//!   *nudge*: it drains the memtable and asks the background thread to merge every
+//!   multi-segment family, newest record winning, duplicates and torn lines dropped.
+//!   Opening a store whose dead-record share passes a threshold nudges automatically.
+//! * **Migration.** Logs with a `v1`–`v5` header are replayed and atomically rewritten
+//!   as level-0 segments plus a manifest on first locked open. A file with any other
+//!   header is ignored wholesale and counted as stale rather than half-trusted (the
+//!   store runs in-memory and never writes to the foreign file). Malformed lines and
+//!   torn segments are skipped and counted as stale, never corrupting verdicts.
 
-use crate::atomio::{parse_minterm_set, ser_minterm_set};
-use crate::tier::SharedTier;
+use crate::atomio::{parse_minterm_set, parse_sfa, ser_minterm_set, ser_sfa};
+use crate::lsm::{self, Lsm, LsmConfig, LsmStatsSnapshot, ManifestState};
+use crate::tier::{DiskTier, SharedTier};
 use hat_sfa::{MintermSet, Sfa};
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 const HEADER_V5: &str = "hat-engine-cache v5";
 const HEADER_V4: &str = "hat-engine-cache v4";
@@ -70,9 +65,9 @@ const HEADER_V3: &str = "hat-engine-cache v3";
 const HEADER_V2: &str = "hat-engine-cache v2";
 const HEADER_V1: &str = "hat-engine-cache v1";
 
-/// Automatic compaction fires when at least this many dead records are found at load…
+/// An open-time compaction nudge fires when at least this many dead records are found…
 const AUTO_COMPACT_MIN_DEAD: usize = 16;
-/// …and they make up at least `1/AUTO_COMPACT_RATIO` of the log's records.
+/// …and they make up at least `1/AUTO_COMPACT_RATIO` of the replayed records.
 const AUTO_COMPACT_RATIO: usize = 4;
 
 /// The record kinds of the store, doubling as the disk-record tags.
@@ -86,19 +81,20 @@ pub enum RecordKind {
     Shape,
     /// Minterm sets (`M`).
     Minterms,
-    /// DFA transitions (never persisted).
+    /// DFA transitions (`T`, persisted since v6).
     Transition,
 }
 
 impl RecordKind {
-    /// The disk tag of this kind, or `None` for kinds that are never persisted.
-    pub fn tag(self) -> Option<char> {
+    /// The disk tag of this kind: the first byte of its record lines and of its segment
+    /// file names.
+    pub fn tag(self) -> char {
         match self {
-            RecordKind::Solver => Some('S'),
-            RecordKind::Inclusion => Some('I'),
-            RecordKind::Shape => Some('D'),
-            RecordKind::Minterms => Some('M'),
-            RecordKind::Transition => None,
+            RecordKind::Solver => 'S',
+            RecordKind::Inclusion => 'I',
+            RecordKind::Shape => 'D',
+            RecordKind::Minterms => 'M',
+            RecordKind::Transition => 'T',
         }
     }
 
@@ -109,7 +105,7 @@ impl RecordKind {
             RecordKind::Inclusion => "inclusion verdicts (I)",
             RecordKind::Shape => "DFA-shape verdicts (D)",
             RecordKind::Minterms => "minterm sets (M)",
-            RecordKind::Transition => "DFA transitions (in-memory)",
+            RecordKind::Transition => "DFA transitions (T)",
         }
     }
 
@@ -121,14 +117,14 @@ impl RecordKind {
 /// A point-in-time snapshot of the store counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStatsSnapshot {
-    /// Queries answered from a memo tier (local or shared, including entries loaded from
-    /// disk).
+    /// Queries answered from a memo tier (local, shared or disk).
     pub hits: usize,
     /// Queries that missed every tier and had to be solved.
     pub misses: usize,
-    /// Entries replayed from the disk log at startup.
+    /// Entries replayed from segments (or a legacy log) at startup.
     pub disk_loaded: usize,
-    /// Disk-log lines (or whole files) ignored as unreadable or from another version.
+    /// Disk lines, segments (by record count) or whole files ignored as unreadable or
+    /// from another version.
     pub stale: usize,
     /// Alphabet transformations answered from the minterm-set memo.
     pub minterm_hits: usize,
@@ -141,6 +137,10 @@ pub struct CacheStatsSnapshot {
     /// Shared-tier shard-lock acquisitions, across every record kind. Per-worker local
     /// tiers exist to keep this flat while hit counts grow.
     pub lock_acquisitions: usize,
+    /// Disk-tier lock acquisitions (read-through fallbacks and promotions). The
+    /// background LSM thread never contributes here — asserted in
+    /// `engine/tests/tiers.rs`.
+    pub disk_lock_acquisitions: usize,
 }
 
 impl CacheStatsSnapshot {
@@ -167,7 +167,7 @@ struct CacheCounters {
     transition_misses: AtomicUsize,
 }
 
-/// The sidecar lock guarding a disk log against concurrent writers. Created with
+/// The sidecar lock guarding a disk store against concurrent writers. Created with
 /// `create_new` (atomic on every serious filesystem), holding the owner's PID; removed
 /// on drop. A lock whose holder no longer exists (per `/proc`) is reclaimed.
 #[derive(Debug)]
@@ -181,16 +181,16 @@ fn lock_path_for(log_path: &Path) -> PathBuf {
     log_path.with_file_name(name)
 }
 
-/// The advertised-address sidecar of a cache log: a long-lived `marpled` daemon that
-/// owns `<path>` writes its listen address to `<path>.addr` so batch invocations that
-/// find the lock held can tell the user exactly how to reach the warm store.
+/// The advertised-address sidecar of a cache: a long-lived `marpled` daemon that owns
+/// `<path>` writes its listen address to `<path>.addr` so batch invocations that find
+/// the lock held can tell the user exactly how to reach the warm store.
 pub fn addr_path_for(log_path: &Path) -> PathBuf {
     let mut name = log_path.file_name().unwrap_or_default().to_os_string();
     name.push(".addr");
     log_path.with_file_name(name)
 }
 
-/// Who holds a cache log's single-writer lock (see [`MemoStore::lock_holder`]).
+/// Who holds a cache's single-writer lock (see [`MemoStore::lock_holder`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LockHolder {
     /// PID written into the sidecar lock file.
@@ -270,14 +270,17 @@ impl Drop for CacheLock {
     }
 }
 
-/// One parsed disk-log line (shared by replay and [`MemoStore::inspect`]).
+/// One parsed record line (shared by segment replay, legacy replay and
+/// [`MemoStore::inspect`]).
 enum ParsedLine<'a> {
     Bit(RecordKind, bool, &'a str),
     Set(&'a str, &'a str),
+    Trans(&'a str, &'a str),
     Bad,
 }
 
-/// Parses a typed (v2+) record line. v1 lines use [`parse_v1_line`] instead.
+/// Parses a typed (v2+) record line — the grammar segment bodies share with the legacy
+/// v2–v5 log body. v1 lines use [`parse_v1_line`] instead.
 fn parse_typed_line(line: &str) -> ParsedLine<'_> {
     match line.split_once('\t') {
         Some(("S0", key)) => ParsedLine::Bit(RecordKind::Solver, false, key),
@@ -288,6 +291,10 @@ fn parse_typed_line(line: &str) -> ParsedLine<'_> {
         Some(("D1", key)) => ParsedLine::Bit(RecordKind::Shape, true, key),
         Some(("M", rest)) => match rest.split_once('\t') {
             Some((key, payload)) => ParsedLine::Set(key, payload),
+            None => ParsedLine::Bad,
+        },
+        Some(("T", rest)) => match rest.split_once('\t') {
+            Some((key, payload)) => ParsedLine::Trans(key, payload),
             None => ParsedLine::Bad,
         },
         _ => ParsedLine::Bad,
@@ -316,17 +323,19 @@ fn version_of(header: &str) -> Option<u32> {
 /// The result of one [`MemoStore::compact`] pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompactionReport {
-    /// Log size in bytes before the pass.
+    /// Segment bytes before the pass.
     pub bytes_before: u64,
-    /// Log size in bytes after the pass.
+    /// Segment bytes after the pass.
     pub bytes_after: u64,
-    /// Record lines (excluding the header) before the pass.
+    /// Record lines across live segments before the pass.
     pub records_before: usize,
     /// Record lines after the pass — exactly the live entries.
     pub records_after: usize,
 }
 
-/// What a read-only scan of a cache file found (CLI: `marple cache stats`).
+/// What a read-only scan of a cache (manifest + segments, or a legacy log) found
+/// (CLI: `marple cache stats`). Never takes the writer lock, so it works — and prints
+/// honest numbers — while a daemon owns the store.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheFileStats {
     /// The header line, when the file is non-empty.
@@ -341,18 +350,27 @@ pub struct CacheFileStats {
     pub shape: usize,
     /// Live minterm-set records.
     pub minterms: usize,
-    /// Records whose key already occurred earlier (superseded — compaction drops them).
+    /// Live transition records (v6 only).
+    pub transitions: usize,
+    /// Records whose key already occurred in a newer segment or earlier line
+    /// (superseded — compaction drops them).
     pub duplicates: usize,
-    /// Lines that parse under no record grammar (torn writes — compaction drops them).
+    /// Lines that parse under no record grammar, plus the claimed records of torn
+    /// segments (compaction drops them).
     pub malformed: usize,
-    /// File size in bytes.
+    /// Live segment files named by the manifest (v6 only).
+    pub segments: usize,
+    /// Segments named by the manifest but missing, header-mismatched or truncated —
+    /// every record in them degrades to cold (v6 only).
+    pub torn_segments: usize,
+    /// Manifest plus readable segment bytes (v6), or file size (legacy).
     pub bytes: u64,
 }
 
 impl CacheFileStats {
     /// Total live records.
     pub fn live(&self) -> usize {
-        self.solver + self.inclusion + self.shape + self.minterms
+        self.solver + self.inclusion + self.shape + self.minterms + self.transitions
     }
 
     /// Total dead records (duplicates plus malformed lines).
@@ -413,19 +431,68 @@ impl KindTiers {
     }
 }
 
+/// The disk tiers of the persisted-by-key kinds: the in-memory image of the segment
+/// stack, replayed once at open (see [`DiskTier`]). Transitions have no disk tier on
+/// purpose — their segments replay straight into the shared transition tier, because
+/// the worker-side shard mirrors sync only from the shared tier and would never see a
+/// disk-tier copy.
+#[derive(Debug, Default)]
+struct DiskTiers {
+    solver: DiskTier<bool>,
+    inclusion: DiskTier<bool>,
+    shape: DiskTier<bool>,
+    minterms: DiskTier<MintermSet>,
+}
+
+impl DiskTiers {
+    fn bools(&self, kind: RecordKind) -> &DiskTier<bool> {
+        match kind {
+            RecordKind::Solver => &self.solver,
+            RecordKind::Inclusion => &self.inclusion,
+            RecordKind::Shape => &self.shape,
+            RecordKind::Minterms | RecordKind::Transition => {
+                unreachable!("{kind:?} is not a boolean record kind")
+            }
+        }
+    }
+
+    fn lock_acquisitions(&self) -> usize {
+        self.solver.lock_acquisitions()
+            + self.inclusion.lock_acquisitions()
+            + self.shape.lock_acquisitions()
+            + self.minterms.lock_acquisitions()
+    }
+}
+
+/// What the cache path held when the store opened (drives migration).
+enum OnDisk {
+    /// Missing or empty file: start a fresh v6 store.
+    Fresh,
+    /// A v1–v5 log was replayed: rewrite it as segments + manifest.
+    Legacy,
+    /// A v6 manifest was read and its segments replayed.
+    V6(ManifestState),
+}
+
 /// The concurrent tiered memo store shared by every worker of a verification run: the
 /// shared-tier and disk-tier levels of the hierarchy (workers add their own local tier
-/// in front; see [`crate::tier`]).
+/// in front; see [`crate::tier`]), plus the LSM write path that makes fresh records
+/// durable (see [`crate::lsm`]).
 pub struct MemoStore {
     tiers: KindTiers,
-    log: Option<Mutex<BufWriter<File>>>,
+    disk: DiskTiers,
+    /// Declared before `lock`: struct fields drop in declaration order, so the LSM
+    /// backend drains its memtable and joins its background thread while the
+    /// single-writer lock is still held.
+    lsm: Option<Lsm>,
     /// Held for the lifetime of a disk-backed store; releasing it (drop) lets the next
     /// opener write.
     #[allow(dead_code)]
     lock: Option<CacheLock>,
     path: Option<PathBuf>,
-    /// Set when another live process held the log's lock at open time: the store loaded
-    /// what it could and runs in-memory, never writing to the contested file.
+    /// Set when another live process held the store's lock at open time: the store
+    /// loaded what it could read-only and runs in-memory, never writing to the
+    /// contested files.
     degraded: bool,
     counters: CacheCounters,
 }
@@ -454,7 +521,8 @@ impl MemoStore {
     fn empty() -> Self {
         MemoStore {
             tiers: KindTiers::default(),
-            log: None,
+            disk: DiskTiers::default(),
+            lsm: None,
             lock: None,
             path: None,
             degraded: false,
@@ -478,19 +546,29 @@ impl MemoStore {
         Self::empty()
     }
 
-    /// A store backed by an append-only log at `path`. Existing entries are replayed
-    /// into memory (warm start) and new verdicts are appended. A `v1`–`v4` log is
-    /// migrated to the current format in place (atomically, via a temporary file); a v5
-    /// log whose dead-record share passes the auto-compaction threshold is compacted the
-    /// same way. A file whose header belongs to any other format version is left
-    /// untouched: the store runs in-memory only and counts the file as stale (destroying
-    /// data a newer binary wrote would be worse than running cold).
+    /// A store backed by the LSM disk store at `path`, with the default
+    /// [`LsmConfig::from_env`] tuning. See [`MemoStore::with_disk_log_config`].
+    pub fn with_disk_log(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::with_disk_log_config(path, LsmConfig::from_env())
+    }
+
+    /// A store backed by the LSM disk store at `path` (`path` is the manifest;
+    /// segments live under `<path>.d/`). Existing segments are replayed into the disk
+    /// tiers (warm start) and fresh verdicts flow through the memtable to new segments.
+    /// A `v1`–`v5` log is migrated to the v6 layout atomically on open; a store whose
+    /// replay found enough dead records gets an immediate compaction nudge. A file
+    /// whose header belongs to any other format version is left untouched: the store
+    /// runs in-memory only and counts the file as stale (destroying data a newer binary
+    /// wrote would be worse than running cold).
     ///
     /// Opening takes the sidecar lock `<path>.lock`. If another live process holds it,
-    /// this store **degrades to in-memory** (entries are still replayed for a warm
-    /// start, but nothing is migrated, compacted or appended) and
-    /// [`MemoStore::degraded`] reports `true`.
-    pub fn with_disk_log(path: impl AsRef<Path>) -> std::io::Result<Self> {
+    /// this store **degrades to in-memory** (entries are still replayed read-only for a
+    /// warm start, but nothing is migrated, flushed, compacted or garbage-collected)
+    /// and [`MemoStore::degraded`] reports `true`.
+    pub fn with_disk_log_config(
+        path: impl AsRef<Path>,
+        config: LsmConfig,
+    ) -> std::io::Result<Self> {
         let mut cache = Self::empty();
         let path = path.as_ref();
         cache.path = Some(path.to_path_buf());
@@ -530,63 +608,62 @@ impl MemoStore {
                 ),
             }
         }
-        // How to open the log after reading: start a fresh v5 file, append to the
-        // existing v5 file, or rewrite a migrated (or compaction-worthy) file.
-        let mut fresh = true;
-        let mut rewrite = false;
         let mut duplicates = 0usize;
         let mut stale_lines = 0usize;
+        let mut on_disk = OnDisk::Fresh;
         if path.exists() {
-            let reader = BufReader::new(File::open(path)?);
-            let mut lines = reader.lines();
-            match lines.next() {
-                Some(Ok(header)) if version_of(&header).is_some() => {
-                    fresh = false;
-                    // v1 records are untyped; v2–v5 share one grammar (each version adds
-                    // a record kind), so one loop replays them all. Any pre-v5 file is
-                    // rewritten under the current header.
-                    let v1 = header == HEADER_V1;
-                    rewrite = header != HEADER_V5;
-                    for line in lines {
-                        let Ok(line) = line else {
-                            stale_lines += 1;
-                            continue;
-                        };
-                        let parsed = if v1 {
-                            parse_v1_line(&line)
-                        } else {
-                            parse_typed_line(&line)
-                        };
-                        match parsed {
-                            ParsedLine::Bit(kind, verdict, key) => {
-                                if cache.load_bit(kind, key, verdict) {
-                                    cache.counters.disk_loaded.fetch_add(1, Ordering::Relaxed);
-                                } else {
-                                    duplicates += 1;
-                                }
-                            }
-                            ParsedLine::Set(key, payload) => match parse_minterm_set(payload) {
-                                Some(set) => {
-                                    if cache.tiers.minterms.put_quiet(key.to_string(), set) {
-                                        cache.counters.disk_loaded.fetch_add(1, Ordering::Relaxed);
-                                    } else {
-                                        duplicates += 1;
-                                    }
-                                }
-                                None => stale_lines += 1,
-                            },
-                            ParsedLine::Bad => stale_lines += 1,
-                        }
+            if let Some((state, malformed)) = lsm::read_manifest(path)? {
+                stale_lines += malformed;
+                let dir = lsm::segment_dir_for(path);
+                // Newest segment first, so the first occurrence of a key — the one
+                // `put_quiet` keeps — is the newest record.
+                let mut segments = state.segments.clone();
+                segments.sort_by_key(|s| std::cmp::Reverse(s.seq));
+                for meta in &segments {
+                    let scan = lsm::read_segment(&dir, meta);
+                    if scan.torn {
+                        // The whole segment degrades to cold: losing cache entries is
+                        // recoverable, trusting a half-written segment is not.
+                        stale_lines += meta.records;
+                        continue;
+                    }
+                    for line in &scan.lines {
+                        cache.load_line(parse_typed_line(line), &mut duplicates, &mut stale_lines);
                     }
                 }
-                Some(_) => {
-                    // Unknown header: a different format version (or not a cache file at
-                    // all). Do not write to it — and release the writer lock, since this
-                    // store will never use it.
-                    cache.counters.stale.fetch_add(1, Ordering::Relaxed);
-                    return Ok(cache);
+                on_disk = OnDisk::V6(state);
+            } else {
+                // Not a v6 manifest: a legacy log, a foreign version, or an empty file.
+                let reader = BufReader::new(File::open(path)?);
+                let mut lines = reader.lines();
+                match lines.next() {
+                    Some(Ok(header)) if version_of(&header).is_some() => {
+                        // v1 records are untyped; v2–v5 share one grammar (each version
+                        // adds a record kind), so one loop replays them all.
+                        let v1 = header == HEADER_V1;
+                        for line in lines {
+                            let Ok(line) = line else {
+                                stale_lines += 1;
+                                continue;
+                            };
+                            let parsed = if v1 {
+                                parse_v1_line(&line)
+                            } else {
+                                parse_typed_line(&line)
+                            };
+                            cache.load_line(parsed, &mut duplicates, &mut stale_lines);
+                        }
+                        on_disk = OnDisk::Legacy;
+                    }
+                    Some(_) => {
+                        // Unknown header: a different format version (or not a cache
+                        // file at all). Do not write to it — and release the writer
+                        // lock, since this store will never use it.
+                        cache.counters.stale.fetch_add(1, Ordering::Relaxed);
+                        return Ok(cache);
+                    }
+                    None => {}
                 }
-                None => {}
             }
         }
         cache
@@ -594,60 +671,124 @@ impl MemoStore {
             .stale
             .fetch_add(stale_lines, Ordering::Relaxed);
         if cache.degraded {
-            // Another process owns the file: warm entries are loaded, but no migration,
-            // no compaction, no appends.
+            // Another process owns the store: warm entries are loaded, but no
+            // migration, no writes, no compaction, no orphan GC.
             return Ok(cache);
         }
-        // Dead records (duplicate keys from merged logs, torn lines) past the threshold
-        // trigger the compaction pass a migration performs anyway.
-        let dead = duplicates + stale_lines;
-        let total = cache.persisted_len() + dead;
-        if dead >= AUTO_COMPACT_MIN_DEAD && dead * AUTO_COMPACT_RATIO >= total {
-            rewrite = true;
-        }
-        if rewrite {
-            cache.write_snapshot(path)?;
-        }
-        let mut file = if fresh {
-            // Only reached for a missing or empty file.
-            let file = OpenOptions::new()
-                .write(true)
-                .create(true)
-                .truncate(true)
-                .open(path)?;
-            BufWriter::new(file)
-        } else {
-            let mut existing = OpenOptions::new().read(true).append(true).open(path)?;
-            // A run killed mid-write can leave the final line without its newline;
-            // appending directly after it would merge two records into one unparseable
-            // line. Terminate the torn line first.
-            use std::io::{Read, Seek, SeekFrom};
-            let len = existing.seek(SeekFrom::End(0))?;
-            if len > 0 {
-                existing.seek(SeekFrom::End(-1))?;
-                let mut last = [0u8; 1];
-                existing.read_exact(&mut last)?;
-                if last != [b'\n'] {
-                    existing.write_all(b"\n")?;
-                }
+        let state = match on_disk {
+            OnDisk::V6(state) => state,
+            OnDisk::Legacy => cache.migrate_to_v6(path)?,
+            OnDisk::Fresh => {
+                // Commit the empty manifest up front so the path always carries the v6
+                // header — a pre-v6 binary opening it later sees a foreign version and
+                // safely runs in-memory instead of appending to a manifest.
+                let state = ManifestState::default();
+                lsm::write_manifest(path, &state)?;
+                state
             }
-            BufWriter::new(existing)
         };
-        if fresh {
-            writeln!(file, "{HEADER_V5}")?;
+        let lsm = Lsm::start(path, state, config)?;
+        // Dead records (cross-segment duplicates from merged runs, torn segments,
+        // malformed lines) past the threshold get the compaction nudge a CLI
+        // `cache compact` would give.
+        let dead = duplicates + stale_lines;
+        let live = cache.counters.disk_loaded.load(Ordering::Relaxed);
+        if dead >= AUTO_COMPACT_MIN_DEAD && dead * AUTO_COMPACT_RATIO >= live + dead {
+            let _ = lsm.compact();
         }
-        cache.log = Some(Mutex::new(file));
+        cache.lsm = Some(lsm);
         cache.lock = lock;
         Ok(cache)
     }
 
+    /// Replays one parsed record line into the replay target of its kind: boolean and
+    /// minterm records into the disk tiers, transition records into the *shared*
+    /// transition tier (the worker-side shard mirrors sync only from the shared tier).
+    fn load_line(&self, parsed: ParsedLine<'_>, duplicates: &mut usize, stale: &mut usize) {
+        match parsed {
+            ParsedLine::Bit(kind, verdict, key) => {
+                if self.disk.bools(kind).put_quiet(key.to_string(), verdict) {
+                    self.counters.disk_loaded.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    *duplicates += 1;
+                }
+            }
+            ParsedLine::Set(key, payload) => match parse_minterm_set(payload) {
+                Some(set) => {
+                    if self.disk.minterms.put_quiet(key.to_string(), set) {
+                        self.counters.disk_loaded.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        *duplicates += 1;
+                    }
+                }
+                None => *stale += 1,
+            },
+            ParsedLine::Trans(key, payload) => match parse_sfa(payload) {
+                Some(succ) => {
+                    if self.tiers.transitions.put_quiet(key.to_string(), succ) {
+                        self.counters.disk_loaded.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        *duplicates += 1;
+                    }
+                }
+                None => *stale += 1,
+            },
+            ParsedLine::Bad => *stale += 1,
+        }
+    }
+
+    /// Rewrites a replayed v1–v5 log as the v6 layout: every live entry becomes a
+    /// sorted, partitioned level-0 segment under `<path>.d/`, and the manifest
+    /// atomically replaces the legacy log only after every segment is durable — an
+    /// interrupted migration leaves the legacy log intact (plus invisible orphan
+    /// segments the next locked open garbage-collects).
+    fn migrate_to_v6(&self, path: &Path) -> std::io::Result<ManifestState> {
+        use std::collections::BTreeMap;
+        let dir = lsm::segment_dir_for(path);
+        std::fs::create_dir_all(&dir)?;
+        let mut families: BTreeMap<(RecordKind, u8), Vec<(String, String)>> = BTreeMap::new();
+        for kind in RecordKind::BOOL_KINDS {
+            for (key, verdict) in self.disk.bools(kind).snapshot() {
+                let line = format!("{}{}\t{key}", kind.tag(), u8::from(verdict));
+                families
+                    .entry((kind, lsm::partition_of(&key)))
+                    .or_default()
+                    .push((key, line));
+            }
+        }
+        for (key, set) in self.disk.minterms.snapshot() {
+            let line = format!("M\t{key}\t{}", ser_minterm_set(&set));
+            families
+                .entry((RecordKind::Minterms, lsm::partition_of(&key)))
+                .or_default()
+                .push((key, line));
+        }
+        for (key, succ) in self.tiers.transitions.snapshot() {
+            let line = format!("T\t{key}\t{}", ser_sfa(&succ));
+            families
+                .entry((RecordKind::Transition, lsm::partition_of(&key)))
+                .or_default()
+                .push((key, line));
+        }
+        let mut state = ManifestState::default();
+        for ((kind, partition), mut lines) in families {
+            lines.sort_by(|a, b| a.0.cmp(&b.0));
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            let meta = lsm::write_segment(&dir, kind, partition, 0, seq, &lines)?;
+            state.segments.push(meta);
+        }
+        lsm::write_manifest(path, &state)?;
+        Ok(state)
+    }
+
     /// Whether lock contention forced this store to run in-memory despite a configured
-    /// disk log.
+    /// disk store.
     pub fn degraded(&self) -> bool {
         self.degraded
     }
 
-    /// Who currently holds the single-writer lock of the log at `path`, if anyone:
+    /// Who currently holds the single-writer lock of the store at `path`, if anyone:
     /// the PID from the sidecar lock file, the process name from `/proc` when
     /// available, and the advertised service address from `<path>.addr` when a
     /// `marpled` daemon wrote one. `None` when no lock file exists or it is
@@ -670,37 +811,61 @@ impl MemoStore {
         })
     }
 
-    /// Compacts the disk log only when its dead-record share passes the same threshold
-    /// automatic load-time compaction uses (at least `AUTO_COMPACT_MIN_DEAD` dead
-    /// records making up ≥ 1/`AUTO_COMPACT_RATIO` of the log). Returns `Ok(None)`
-    /// when the log is healthy (or the store is in-memory / degraded — nothing to
-    /// compact then). A long-lived daemon calls this on graceful shutdown so the log it
-    /// leaves behind is tidy without paying a rewrite on every exit.
+    /// Drains the memtable, then compacts only when some segment family has reached
+    /// the merge fan-in — i.e. when a compaction would actually do work. Returns
+    /// `Ok(None)` when the store is healthy (or in-memory / degraded — nothing to
+    /// compact then). A long-lived daemon calls this on graceful shutdown so the
+    /// segment stack it leaves behind is tidy without paying a merge on every exit.
     pub fn compact_if_needed(&self) -> std::io::Result<Option<CompactionReport>> {
-        let Some(path) = &self.path else {
+        let Some(lsm) = &self.lsm else {
             return Ok(None);
         };
-        if self.degraded || self.log.is_none() {
-            return Ok(None);
-        }
-        self.flush();
-        let stats = Self::inspect(path)?;
-        let dead = stats.dead();
-        if dead >= AUTO_COMPACT_MIN_DEAD && dead * AUTO_COMPACT_RATIO >= stats.live() + dead {
+        lsm.drain();
+        if lsm.wants_compaction() {
             self.compact().map(Some)
         } else {
             Ok(None)
         }
     }
 
-    /// Scans the cache file at `path` read-only — no lock taken, no migration, nothing
-    /// written — and reports per-kind live counts, dead records and the header version.
+    /// Scans the cache at `path` read-only — no lock taken, no migration, nothing
+    /// written — and reports per-kind live counts, dead records, segment counts and
+    /// the header version. Works while another process (e.g. a live daemon) owns the
+    /// store: the manifest and segments are immutable once written, so the worst a
+    /// concurrent commit can do is make the scan see the previous manifest, which was
+    /// equally honest.
     pub fn inspect(path: impl AsRef<Path>) -> std::io::Result<CacheFileStats> {
         let path = path.as_ref();
         let mut stats = CacheFileStats {
             bytes: std::fs::metadata(path)?.len(),
             ..CacheFileStats::default()
         };
+        if let Some((state, malformed)) = lsm::read_manifest(path)? {
+            stats.version = Some(6);
+            stats.header = Some(lsm::MANIFEST_HEADER_V6.to_string());
+            stats.malformed += malformed;
+            stats.segments = state.segments.len();
+            let dir = lsm::segment_dir_for(path);
+            let mut segments = state.segments.clone();
+            segments.sort_by_key(|s| std::cmp::Reverse(s.seq));
+            let mut seen: [HashSet<String>; 5] = Default::default();
+            for meta in &segments {
+                let scan = lsm::read_segment(&dir, meta);
+                if scan.torn {
+                    stats.torn_segments += 1;
+                    stats.malformed += meta.records;
+                    continue;
+                }
+                stats.bytes += std::fs::metadata(dir.join(meta.file_name()))
+                    .map(|m| m.len())
+                    .unwrap_or(meta.bytes);
+                for line in &scan.lines {
+                    Self::tally_line(parse_typed_line(line), &mut seen, &mut stats);
+                }
+            }
+            return Ok(stats);
+        }
+        // Legacy (v1–v5) or foreign: a flat scan of the single file.
         let reader = BufReader::new(File::open(path)?);
         let mut lines = reader.lines();
         let Some(Ok(header)) = lines.next() else {
@@ -711,7 +876,7 @@ impl MemoStore {
         let Some(version) = stats.version else {
             return Ok(stats); // Foreign: nothing beyond the header is ours to judge.
         };
-        let mut seen: [HashSet<String>; 4] = Default::default();
+        let mut seen: [HashSet<String>; 5] = Default::default();
         for line in lines {
             let Ok(line) = line else {
                 stats.malformed += 1;
@@ -722,42 +887,63 @@ impl MemoStore {
             } else {
                 parse_typed_line(&line)
             };
-            match parsed {
-                ParsedLine::Bit(kind, _, key) => {
-                    let (slot, counter) = match kind {
-                        RecordKind::Solver => (0, &mut stats.solver),
-                        RecordKind::Inclusion => (1, &mut stats.inclusion),
-                        RecordKind::Shape => (2, &mut stats.shape),
-                        _ => unreachable!(),
-                    };
-                    if seen[slot].insert(key.to_string()) {
-                        *counter += 1;
-                    } else {
-                        stats.duplicates += 1;
-                    }
-                }
-                ParsedLine::Set(key, payload) => {
-                    if parse_minterm_set(payload).is_none() {
-                        stats.malformed += 1;
-                    } else if seen[3].insert(key.to_string()) {
-                        stats.minterms += 1;
-                    } else {
-                        stats.duplicates += 1;
-                    }
-                }
-                ParsedLine::Bad => stats.malformed += 1,
-            }
+            Self::tally_line(parsed, &mut seen, &mut stats);
         }
         Ok(stats)
     }
 
-    /// Compacts the disk log: rewrites it as a snapshot of exactly the live in-memory
-    /// entries (duplicates, superseded records and torn lines are gone) via a temporary
-    /// file and an atomic rename, then re-attaches the appender to the new file. Errors
-    /// for an in-memory store and for one that degraded at open (the contested file
-    /// belongs to the lock holder).
+    /// Tallies one parsed line into an inspection report, deduplicating against the
+    /// lines already seen (newest-first for segments, file order for legacy logs).
+    fn tally_line(
+        parsed: ParsedLine<'_>,
+        seen: &mut [HashSet<String>; 5],
+        stats: &mut CacheFileStats,
+    ) {
+        match parsed {
+            ParsedLine::Bit(kind, _, key) => {
+                let (slot, counter) = match kind {
+                    RecordKind::Solver => (0, &mut stats.solver),
+                    RecordKind::Inclusion => (1, &mut stats.inclusion),
+                    RecordKind::Shape => (2, &mut stats.shape),
+                    _ => unreachable!(),
+                };
+                if seen[slot].insert(key.to_string()) {
+                    *counter += 1;
+                } else {
+                    stats.duplicates += 1;
+                }
+            }
+            ParsedLine::Set(key, payload) => {
+                if parse_minterm_set(payload).is_none() {
+                    stats.malformed += 1;
+                } else if seen[3].insert(key.to_string()) {
+                    stats.minterms += 1;
+                } else {
+                    stats.duplicates += 1;
+                }
+            }
+            ParsedLine::Trans(key, payload) => {
+                if parse_sfa(payload).is_none() {
+                    stats.malformed += 1;
+                } else if seen[4].insert(key.to_string()) {
+                    stats.transitions += 1;
+                } else {
+                    stats.duplicates += 1;
+                }
+            }
+            ParsedLine::Bad => stats.malformed += 1,
+        }
+    }
+
+    /// Compacts the segment stack: drains the memtable, then asks the background
+    /// thread to merge every multi-segment family down to one segment — newest record
+    /// wins; duplicates, torn segments and malformed lines are gone. Blocks for the
+    /// outcome but never blocks concurrent readers or workers (the merge itself runs
+    /// on the background thread and takes no tier locks). Errors for an in-memory
+    /// store and for one that degraded at open (the contested store belongs to the
+    /// lock holder).
     pub fn compact(&self) -> std::io::Result<CompactionReport> {
-        let (Some(path), Some(log)) = (&self.path, &self.log) else {
+        let Some(lsm) = &self.lsm else {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 if self.degraded {
@@ -767,65 +953,30 @@ impl MemoStore {
                 },
             ));
         };
-        let mut writer = log.lock().expect("cache log poisoned");
-        writer.flush()?;
-        let bytes_before = std::fs::metadata(path)?.len();
-        let records_before = BufReader::new(File::open(path)?)
-            .lines()
-            .count()
-            .saturating_sub(1);
-        self.write_snapshot(path)?;
-        // The old handle points at the unlinked inode; appends must go to the new file.
-        *writer = BufWriter::new(OpenOptions::new().append(true).open(path)?);
+        let outcome = lsm.compact();
         Ok(CompactionReport {
-            bytes_before,
-            bytes_after: std::fs::metadata(path)?.len(),
-            records_before,
-            records_after: self.persisted_len(),
+            bytes_before: outcome.bytes_before,
+            bytes_after: outcome.bytes_after,
+            records_before: outcome.records_before,
+            records_after: outcome.records_after,
         })
     }
 
-    /// Atomically rewrites the log at `path` with the current in-memory entries in the
-    /// v5 format (migration of an old log, or a compaction pass).
-    fn write_snapshot(&self, path: &Path) -> std::io::Result<()> {
-        let mut tmp = path.to_path_buf();
-        tmp.set_extension("compacting");
-        {
-            let mut out = BufWriter::new(File::create(&tmp)?);
-            writeln!(out, "{HEADER_V5}")?;
-            for kind in RecordKind::BOOL_KINDS {
-                let tag = kind.tag().expect("bool kinds are persisted");
-                for (key, verdict) in self.tiers.bools(kind).snapshot() {
-                    writeln!(out, "{tag}{}\t{key}", u8::from(verdict))?;
-                }
-            }
-            for (key, set) in self.tiers.minterms.snapshot() {
-                writeln!(out, "M\t{key}\t{}", ser_minterm_set(&set))?;
-            }
-            out.flush()?;
-            // Sync data before the rename: on filesystems with delayed allocation a
-            // power loss could otherwise persist the rename but drop the new file's
-            // blocks, leaving a truncated log instead of old-or-new.
-            out.get_ref().sync_all()?;
-        }
-        std::fs::rename(&tmp, path)
+    /// A snapshot of the LSM backend counters (rotations, flushes, merges, write
+    /// amplification), when this store writes to disk.
+    pub fn lsm_stats(&self) -> Option<LsmStatsSnapshot> {
+        self.lsm.as_ref().map(|l| l.stats_snapshot())
     }
 
-    /// Loads one boolean record from disk without counting tier locks; `true` when
-    /// fresh.
-    fn load_bit(&self, kind: RecordKind, key: &str, verdict: bool) -> bool {
-        self.tiers.bools(kind).put_quiet(key.to_string(), verdict)
+    /// A clone of the live manifest state (segment set), when this store writes to
+    /// disk.
+    pub fn manifest(&self) -> Option<ManifestState> {
+        self.lsm.as_ref().map(|l| l.state_snapshot())
     }
 
-    /// Number of entries that would survive to disk (every persisted kind, deduplicated
-    /// by definition of a map).
-    fn persisted_len(&self) -> usize {
-        use crate::tier::MemoTier;
-        RecordKind::BOOL_KINDS
-            .iter()
-            .map(|&k| MemoTier::<String, bool>::len(self.tiers.bools(k)))
-            .sum::<usize>()
-            + MemoTier::<String, MintermSet>::len(&self.tiers.minterms)
+    /// Records buffered in the memtable, not yet rotated to the background thread.
+    pub fn memtable_records(&self) -> usize {
+        self.lsm.as_ref().map(|l| l.memtable_records()).unwrap_or(0)
     }
 
     /// Records a local-tier hit for `kind` in the store-wide hit counters, so snapshots
@@ -855,26 +1006,40 @@ impl MemoStore {
         &self.tiers.transitions
     }
 
-    /// Looks a boolean verdict up in the shared tier of `kind`, counting a hit or a
-    /// miss (one shard-lock acquisition).
+    /// Looks a boolean verdict up: shared tier first, then read-through to the disk
+    /// tier, promoting (moving) a disk hit into the shared tier so each warm record
+    /// pays its disk-tier lock at most once. Counts a hit or a miss either way.
     pub fn lookup_bool(&self, kind: RecordKind, key: &str) -> Option<bool> {
-        let found = self.tiers.bools(kind).get_str(key);
-        match found {
-            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+        if let Some(found) = self.tiers.bools(kind).get_str(key) {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(found);
+        }
+        if let Some(found) = self.disk.bools(kind).get_str(key) {
+            // Promotion is replay-like bookkeeping, not new contention: uncounted in
+            // the shared tier. Racing promotions both write the same value.
+            self.tiers.bools(kind).put_quiet(key.to_string(), found);
+            self.disk.bools(kind).evict(key);
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(found);
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
-    /// Records a boolean verdict in the shared tier of `kind`, appending it to the disk
-    /// log when it is fresh and a log is attached. Racing inserts of the same key are
-    /// harmless: canonical keys determine their verdict.
+    /// Records a boolean verdict in the shared tier of `kind`, logging it to the LSM
+    /// memtable when it is fresh and this store writes to disk. Racing inserts of the
+    /// same key are harmless: canonical keys determine their verdict. (An insert whose
+    /// key was never looked up can duplicate a record that sits un-promoted in the disk
+    /// tier — compaction drops such duplicates.)
     pub fn insert_bool(&self, kind: RecordKind, key: String, verdict: bool) {
         let fresh = self.tiers.bools(kind).put_owned(key.clone(), verdict);
         if fresh {
-            if let (Some(log), Some(tag)) = (&self.log, kind.tag()) {
-                let mut log = log.lock().expect("cache log poisoned");
-                let _ = writeln!(log, "{tag}{}\t{key}", u8::from(verdict));
+            if let Some(lsm) = &self.lsm {
+                lsm.log(
+                    kind,
+                    &key,
+                    format!("{}{}\t{key}", kind.tag(), u8::from(verdict)),
+                );
             }
         }
     }
@@ -884,7 +1049,8 @@ impl MemoStore {
         self.lookup_bool(RecordKind::Solver, key)
     }
 
-    /// Records a solver verdict, appending it to the disk log when one is attached.
+    /// Records a solver verdict, logging it to the memtable when a disk store is
+    /// attached.
     pub fn insert(&self, key: String, verdict: bool) {
         self.insert_bool(RecordKind::Solver, key, verdict);
     }
@@ -909,30 +1075,44 @@ impl MemoStore {
         self.insert_bool(RecordKind::Shape, key, verdict);
     }
 
-    /// Looks a memoised minterm set up by its canonical alphabet key.
+    /// Looks a memoised minterm set up by its canonical alphabet key: shared tier
+    /// first, then read-through to the disk tier with promotion.
     pub fn lookup_minterms(&self, key: &str) -> Option<MintermSet> {
-        let found = self.tiers.minterms.get_str(key);
-        match found {
-            Some(_) => self.counters.minterm_hits.fetch_add(1, Ordering::Relaxed),
-            None => self.counters.minterm_misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+        if let Some(found) = self.tiers.minterms.get_str(key) {
+            self.counters.minterm_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(found);
+        }
+        if let Some(found) = self.disk.minterms.get_str(key) {
+            self.tiers
+                .minterms
+                .put_quiet(key.to_string(), found.clone());
+            self.disk.minterms.evict(key);
+            self.counters.minterm_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(found);
+        }
+        self.counters.minterm_misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
-    /// Memoises an enumerated minterm set, appending it to the disk log when one is
-    /// attached (racing stores of the same key are harmless because enumeration is a
-    /// pure function of the canonical key).
+    /// Memoises an enumerated minterm set, logging it to the memtable when it is fresh
+    /// and a disk store is attached (racing stores of the same key are harmless
+    /// because enumeration is a pure function of the canonical key).
     pub fn insert_minterms(&self, key: String, set: MintermSet) {
-        let fresh = self.tiers.minterms.put_owned(key.clone(), set.clone());
+        let line = self
+            .lsm
+            .as_ref()
+            .map(|_| format!("M\t{key}\t{}", ser_minterm_set(&set)));
+        let fresh = self.tiers.minterms.put_owned(key.clone(), set);
         if fresh {
-            if let Some(log) = &self.log {
-                let mut log = log.lock().expect("cache log poisoned");
-                let _ = writeln!(log, "M\t{key}\t{}", ser_minterm_set(&set));
+            if let (Some(lsm), Some(line)) = (&self.lsm, line) {
+                lsm.log(RecordKind::Minterms, &key, line);
             }
         }
     }
 
-    /// Looks a memoised DFA transition up by its canonical transition key.
+    /// Looks a memoised DFA transition up by its canonical transition key. Transitions
+    /// replay into the shared tier at open (see `DiskTiers`), so no disk-tier
+    /// fallback is needed here.
     pub fn lookup_transition(&self, key: &str) -> Option<Sfa> {
         let found = self.tiers.transitions.get_str(key);
         match found {
@@ -948,26 +1128,55 @@ impl MemoStore {
         found
     }
 
-    /// Memoises a DFA transition (in-memory only: successors are cheap to rebuild from
-    /// warm solver verdicts; racing stores of the same key are harmless because the
-    /// successor is a pure function of the canonical key).
+    /// Memoises a DFA transition, logging it to the memtable when it is fresh and a
+    /// disk store is attached (since v6; racing stores of the same key are harmless
+    /// because the successor is a pure function of the canonical key).
     pub fn insert_transition(&self, key: String, succ: Sfa) {
-        self.tiers.transitions.put_owned(key, succ);
-    }
-
-    /// Flushes the disk log (called at the end of a run; also happens on drop).
-    pub fn flush(&self) {
-        if let Some(log) = &self.log {
-            let _ = log.lock().expect("cache log poisoned").flush();
+        let line = self
+            .lsm
+            .as_ref()
+            .map(|_| format!("T\t{key}\t{}", ser_sfa(&succ)));
+        let fresh = self.tiers.transitions.put_owned(key.clone(), succ);
+        if fresh {
+            if let (Some(lsm), Some(line)) = (&self.lsm, line) {
+                lsm.log(RecordKind::Transition, &key, line);
+            }
         }
     }
 
-    /// Number of cached boolean verdicts (all three kinds).
+    /// Logs a transition produced on the worker-side mirror path, which stores through
+    /// the local replica and write-behind batches without touching the shared tier per
+    /// key — so the store cannot tell fresh from repeat here and logs unconditionally.
+    /// Cross-worker duplicates are dropped by memtable dedup and compaction.
+    pub fn log_transition(&self, key: &str, succ: &Sfa) {
+        if let Some(lsm) = &self.lsm {
+            lsm.log(
+                RecordKind::Transition,
+                key,
+                format!("T\t{key}\t{}", ser_sfa(succ)),
+            );
+        }
+    }
+
+    /// Drains the memtable to durable segments (called at the end of a run; also
+    /// happens on drop). Cheap when the memtable is empty.
+    pub fn flush(&self) {
+        if let Some(lsm) = &self.lsm {
+            lsm.drain();
+        }
+    }
+
+    /// Number of cached boolean verdicts (all three kinds, shared and un-promoted disk
+    /// entries together — promotion moves records between the two, keeping the total
+    /// stable).
     pub fn len(&self) -> usize {
         use crate::tier::MemoTier;
         RecordKind::BOOL_KINDS
             .iter()
-            .map(|&k| MemoTier::<String, bool>::len(self.tiers.bools(k)))
+            .map(|&k| {
+                MemoTier::<String, bool>::len(self.tiers.bools(k))
+                    + MemoTier::<String, bool>::len(self.disk.bools(k))
+            })
             .sum()
     }
 
@@ -1013,6 +1222,7 @@ impl MemoStore {
                 + self.tiers.shape.lock_acquisitions()
                 + self.tiers.minterms.lock_acquisitions()
                 + self.tiers.transitions.lock_acquisitions(),
+            disk_lock_acquisitions: self.disk.lock_acquisitions(),
         }
     }
 }
@@ -1033,10 +1243,12 @@ mod tests {
         p
     }
 
-    /// Removes a test log and its sidecar lock.
+    /// Removes a test store: manifest, sidecar lock, rename scratch and segment dir.
     fn cleanup(path: &Path) {
         let _ = std::fs::remove_file(path);
         let _ = std::fs::remove_file(lock_path_for(path));
+        let _ = std::fs::remove_file(path.with_extension("compacting"));
+        let _ = std::fs::remove_dir_all(lsm::segment_dir_for(path));
     }
 
     #[test]
@@ -1051,6 +1263,10 @@ mod tests {
         assert_eq!(
             stats.lock_acquisitions, 3,
             "two lookups and one insert are one shard lock each"
+        );
+        assert_eq!(
+            stats.disk_lock_acquisitions, 1,
+            "only the miss fell through to the (empty) disk tier"
         );
     }
 
@@ -1070,6 +1286,11 @@ mod tests {
         assert_eq!(warm.lookup("alpha"), Some(true));
         assert_eq!(warm.lookup("beta"), Some(false));
         assert_eq!(warm.stats().stale, 0);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            contents.starts_with(lsm::MANIFEST_HEADER_V6),
+            "the cache path is the v6 manifest, got: {contents:?}"
+        );
         cleanup(&path);
     }
 
@@ -1084,12 +1305,16 @@ mod tests {
         }
         let warm = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(warm.stats().disk_loaded, 1);
+        drop(warm);
+        let stats = MemoStore::inspect(&path).unwrap();
+        assert_eq!((stats.solver, stats.duplicates), (1, 0));
         cleanup(&path);
     }
 
     #[test]
     fn unknown_header_is_ignored_and_left_untouched() {
         let path = temp_path("stale");
+        cleanup(&path);
         let foreign = "hat-engine-cache v999\nS1\tk\n";
         std::fs::write(&path, foreign).unwrap();
         let cache = MemoStore::with_disk_log(&path).unwrap();
@@ -1101,12 +1326,17 @@ mod tests {
         cache.flush();
         drop(cache);
         assert_eq!(std::fs::read_to_string(&path).unwrap(), foreign);
+        assert!(
+            !lsm::segment_dir_for(&path).exists(),
+            "no segment directory may appear next to a foreign file"
+        );
         cleanup(&path);
     }
 
     #[test]
-    fn torn_final_line_is_skipped_and_terminated_before_appending() {
+    fn torn_v5_line_is_dropped_by_migration() {
         let path = temp_path("torn");
+        cleanup(&path);
         std::fs::write(
             &path,
             format!("{HEADER_V5}\nS1\tgood\nmalformed-without-tab"),
@@ -1116,18 +1346,23 @@ mod tests {
             let cache = MemoStore::with_disk_log(&path).unwrap();
             assert_eq!(cache.lookup("good"), Some(true));
             assert_eq!(cache.stats().stale, 1);
-            // Appending after the torn line must not merge records into one line.
             cache.insert("fresh".into(), true);
         }
         let warm = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(warm.lookup("good"), Some(true));
         assert_eq!(warm.lookup("fresh"), Some(true));
+        assert_eq!(
+            warm.stats().stale,
+            0,
+            "the torn line did not survive migration"
+        );
         cleanup(&path);
     }
 
     #[test]
     fn v1_logs_are_migrated_not_misread() {
         let path = temp_path("migrate-v1");
+        cleanup(&path);
         std::fs::write(
             &path,
             "hat-engine-cache v1\n1\tsat|k1\n0\tsat|k2\nmalformed",
@@ -1138,48 +1373,49 @@ mod tests {
         assert_eq!(cache.lookup("sat|k2"), Some(false));
         assert_eq!(cache.stats().disk_loaded, 2);
         assert_eq!(cache.stats().stale, 1, "the torn v1 line is skipped");
-        // New entries of both kinds append to the migrated file.
+        // New entries of other kinds flow into the migrated store.
         cache.insert_inclusion("incl|k3".into(), true);
         drop(cache);
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(
-            contents.starts_with(HEADER_V5),
-            "the file must be rewritten with the current header, got: {contents:?}"
+            contents.starts_with(lsm::MANIFEST_HEADER_V6),
+            "the file must be rewritten as the v6 manifest, got: {contents:?}"
         );
         let warm = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(warm.lookup("sat|k1"), Some(true));
         assert_eq!(warm.lookup("sat|k2"), Some(false));
         assert_eq!(warm.lookup_inclusion("incl|k3"), Some(true));
-        assert_eq!(warm.stats().stale, 0, "a migrated log replays cleanly");
+        assert_eq!(warm.stats().stale, 0, "a migrated store replays cleanly");
         cleanup(&path);
     }
 
     #[test]
-    fn v2_logs_are_migrated_to_v5() {
+    fn v2_logs_are_migrated_to_v6() {
         let path = temp_path("migrate-v2");
+        cleanup(&path);
         std::fs::write(&path, format!("{HEADER_V2}\nS1\tsat|k1\nI0\tincl|k2\n")).unwrap();
         let cache = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(cache.lookup("sat|k1"), Some(true));
         assert_eq!(cache.lookup_inclusion("incl|k2"), Some(false));
-        // Minterm sets now persist alongside the migrated records.
         cache.insert_minterms("mt|k3".into(), MintermSet::default());
         drop(cache);
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(
-            contents.starts_with(HEADER_V5),
-            "v2 logs must be rewritten under the v5 header, got: {contents:?}"
+            contents.starts_with(lsm::MANIFEST_HEADER_V6),
+            "v2 logs must be rewritten as the v6 manifest, got: {contents:?}"
         );
         let warm = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(warm.lookup("sat|k1"), Some(true));
         assert_eq!(warm.lookup_inclusion("incl|k2"), Some(false));
         assert!(warm.lookup_minterms("mt|k3").is_some());
-        assert_eq!(warm.stats().stale, 0, "a migrated log replays cleanly");
+        assert_eq!(warm.stats().stale, 0, "a migrated store replays cleanly");
         cleanup(&path);
     }
 
     #[test]
-    fn v3_logs_are_migrated_to_v5() {
+    fn v3_logs_are_migrated_to_v6() {
         let path = temp_path("migrate-v3");
+        cleanup(&path);
         std::fs::write(
             &path,
             format!("{HEADER_V3}\nS1\tsat|k1\nI0\tincl|k2\nM\tmt|k3\tU0;M0;P0;Q0;\n"),
@@ -1189,26 +1425,26 @@ mod tests {
         assert_eq!(cache.lookup("sat|k1"), Some(true));
         assert_eq!(cache.lookup_inclusion("incl|k2"), Some(false));
         assert!(cache.lookup_minterms("mt|k3").is_some());
-        // Shape verdicts now persist alongside the migrated records.
         cache.insert_shape("shape|k4".into(), true);
         drop(cache);
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(
-            contents.starts_with(HEADER_V5),
-            "v3 logs must be rewritten under the v5 header, got: {contents:?}"
+            contents.starts_with(lsm::MANIFEST_HEADER_V6),
+            "v3 logs must be rewritten as the v6 manifest, got: {contents:?}"
         );
         let warm = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(warm.lookup("sat|k1"), Some(true));
         assert_eq!(warm.lookup_inclusion("incl|k2"), Some(false));
         assert!(warm.lookup_minterms("mt|k3").is_some());
         assert_eq!(warm.lookup_shape("shape|k4"), Some(true));
-        assert_eq!(warm.stats().stale, 0, "a migrated log replays cleanly");
+        assert_eq!(warm.stats().stale, 0, "a migrated store replays cleanly");
         cleanup(&path);
     }
 
     #[test]
-    fn v4_logs_are_migrated_to_v5() {
+    fn v4_logs_are_migrated_to_v6() {
         let path = temp_path("migrate-v4");
+        cleanup(&path);
         std::fs::write(
             &path,
             format!("{HEADER_V4}\nS1\tsat|k1\nI0\tincl|k2\nD1\tshape|k3\nM\tmt|k4\tU0;M0;P0;Q0;\n"),
@@ -1222,12 +1458,46 @@ mod tests {
         drop(cache);
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(
-            contents.starts_with(HEADER_V5),
-            "v4 logs must be rewritten under the v5 header, got: {contents:?}"
+            contents.starts_with(lsm::MANIFEST_HEADER_V6),
+            "v4 logs must be rewritten as the v6 manifest, got: {contents:?}"
         );
         let warm = MemoStore::with_disk_log(&path).unwrap();
         assert_eq!(warm.stats().disk_loaded, 4);
-        assert_eq!(warm.stats().stale, 0, "a migrated log replays cleanly");
+        assert_eq!(warm.stats().stale, 0, "a migrated store replays cleanly");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v5_logs_are_migrated_to_v6() {
+        let path = temp_path("migrate-v5");
+        cleanup(&path);
+        std::fs::write(
+            &path,
+            format!("{HEADER_V5}\nS1\tsat|k1\nI0\tincl|k2\nD1\tshape|k3\nM\tmt|k4\tU0;M0;P0;Q0;\n"),
+        )
+        .unwrap();
+        {
+            let cache = MemoStore::with_disk_log(&path).unwrap();
+            assert_eq!(cache.stats().disk_loaded, 4);
+            let contents = std::fs::read_to_string(&path).unwrap();
+            assert!(
+                contents.starts_with(lsm::MANIFEST_HEADER_V6),
+                "migration happens at open, got: {contents:?}"
+            );
+        }
+        let stats = MemoStore::inspect(&path).unwrap();
+        assert_eq!(stats.version, Some(6));
+        assert_eq!(
+            (stats.solver, stats.inclusion, stats.shape, stats.minterms),
+            (1, 1, 1, 1)
+        );
+        assert!(stats.segments >= 1);
+        let warm = MemoStore::with_disk_log(&path).unwrap();
+        assert_eq!(warm.lookup("sat|k1"), Some(true));
+        assert_eq!(warm.lookup_inclusion("incl|k2"), Some(false));
+        assert_eq!(warm.lookup_shape("shape|k3"), Some(true));
+        assert!(warm.lookup_minterms("mt|k4").is_some());
+        assert_eq!(warm.stats().stale, 0);
         cleanup(&path);
     }
 
@@ -1316,6 +1586,7 @@ mod tests {
     #[test]
     fn torn_minterm_payload_degrades_to_a_cold_entry() {
         let path = temp_path("torn-minterm");
+        cleanup(&path);
         std::fs::write(
             &path,
             format!("{HEADER_V5}\nS1\tgood\nM\tmt|x\tU0;M1;O3#put"),
@@ -1332,7 +1603,7 @@ mod tests {
     }
 
     #[test]
-    fn transition_memo_is_in_memory_only() {
+    fn transition_memo_roundtrips_through_segments() {
         let path = temp_path("transition-memo");
         cleanup(&path);
         {
@@ -1344,11 +1615,36 @@ mod tests {
             assert_eq!((stats.transition_hits, stats.transition_misses), (1, 1));
         }
         let warm = MemoStore::with_disk_log(&path).unwrap();
-        assert!(
-            warm.lookup_transition("tr|x").is_none(),
-            "transitions are not persisted"
+        assert_eq!(
+            warm.lookup_transition("tr|x"),
+            Some(Sfa::Zero),
+            "transitions are persisted as T segments since v6"
         );
-        assert_eq!(warm.stats().stale, 0, "the memo must not pollute the log");
+        assert_eq!(warm.stats().disk_loaded, 1);
+        assert_eq!(warm.stats().stale, 0);
+        drop(warm);
+        let stats = MemoStore::inspect(&path).unwrap();
+        assert_eq!(stats.transitions, 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn mirror_path_transitions_are_logged_and_replayed() {
+        let path = temp_path("transition-mirror-log");
+        cleanup(&path);
+        {
+            let cache = MemoStore::with_disk_log(&path).unwrap();
+            // The mirror path logs without a shared-tier store; twice is harmless.
+            cache.log_transition("tr|m", &Sfa::Epsilon);
+            cache.log_transition("tr|m", &Sfa::Epsilon);
+        }
+        let warm = MemoStore::with_disk_log(&path).unwrap();
+        assert_eq!(warm.lookup_transition("tr|m"), Some(Sfa::Epsilon));
+        assert_eq!(
+            warm.stats().disk_loaded,
+            1,
+            "memtable dedup dropped the repeat"
+        );
         cleanup(&path);
     }
 
@@ -1361,19 +1657,19 @@ mod tests {
         first.flush();
         assert!(!first.degraded());
         // A second store on the same path (another process in real life) must not
-        // append — interleaved writers can tear each other's lines.
+        // write — two writers would race the manifest and the memtable.
         let second = MemoStore::with_disk_log(&path).unwrap();
         assert!(second.degraded(), "the lock is held by `first`");
         assert_eq!(
             second.lookup("sat|k1"),
             Some(true),
-            "a degraded opener still warm-starts from the log"
+            "a degraded opener still warm-starts from the segments"
         );
         second.insert("sat|k2".into(), false);
         second.flush();
         assert!(
             second.compact().is_err(),
-            "a degraded store must not rewrite the contested file"
+            "a degraded store must not rewrite the contested store"
         );
         drop(second);
         drop(first);
@@ -1409,35 +1705,44 @@ mod tests {
     }
 
     #[test]
-    fn compact_drops_duplicates_and_keeps_every_live_record() {
+    fn compact_drops_cross_segment_duplicates_and_keeps_every_live_record() {
         let path = temp_path("compact");
         cleanup(&path);
-        // A merged pair of logs: every record appears twice, plus one torn line.
-        let mut contents = format!("{HEADER_V5}\n");
-        for _ in 0..2 {
-            contents.push_str("S1\tsat|k1\nS0\tsat|k2\nI1\tincl|k3\nD0\tshape|k4\n");
-            contents.push_str("M\tmt|k5\tU0;M0;P0;Q0;\n");
+        {
+            let cache = MemoStore::with_disk_log(&path).unwrap();
+            for i in 0..10 {
+                cache.insert(format!("sat|k{i}"), true);
+            }
         }
-        contents.push_str("torn");
-        std::fs::write(&path, &contents).unwrap();
-        let cache = MemoStore::with_disk_log(&path).unwrap();
-        let report = cache.compact().unwrap();
-        assert_eq!(report.records_after, 5);
-        assert!(report.bytes_after < report.bytes_before);
-        // Appends after compaction land in the new file.
-        cache.insert("sat|k6".into(), true);
-        drop(cache);
+        {
+            // Second session: re-insert the same keys *without looking them up* — the
+            // warm copies sit un-promoted in the disk tier, so the shared-tier inserts
+            // are fresh and logged again, duplicating each record across segments.
+            let cache = MemoStore::with_disk_log(&path).unwrap();
+            for i in 0..10 {
+                cache.insert(format!("sat|k{i}"), true);
+            }
+        }
         let stats = MemoStore::inspect(&path).unwrap();
-        assert_eq!(stats.version, Some(5));
+        assert_eq!(stats.version, Some(6));
+        assert_eq!((stats.solver, stats.duplicates), (10, 10));
+        {
+            let cache = MemoStore::with_disk_log(&path).unwrap();
+            let report = cache.compact().unwrap();
+            assert_eq!(report.records_after, 10);
+            assert!(report.records_before > report.records_after);
+            assert!(report.bytes_after < report.bytes_before);
+            // Inserts after the compaction pass land in fresh segments.
+            cache.insert("sat|fresh".into(), true);
+        }
+        let stats = MemoStore::inspect(&path).unwrap();
         assert_eq!((stats.duplicates, stats.malformed), (0, 0));
-        assert_eq!(stats.live(), 6);
+        assert_eq!(stats.live(), 11);
         let warm = MemoStore::with_disk_log(&path).unwrap();
-        assert_eq!(warm.lookup("sat|k1"), Some(true));
-        assert_eq!(warm.lookup("sat|k2"), Some(false));
-        assert_eq!(warm.lookup_inclusion("incl|k3"), Some(true));
-        assert_eq!(warm.lookup_shape("shape|k4"), Some(false));
-        assert!(warm.lookup_minterms("mt|k5").is_some());
-        assert_eq!(warm.lookup("sat|k6"), Some(true));
+        for i in 0..10 {
+            assert_eq!(warm.lookup(&format!("sat|k{i}")), Some(true));
+        }
+        assert_eq!(warm.lookup("sat|fresh"), Some(true));
         cleanup(&path);
     }
 
@@ -1445,22 +1750,23 @@ mod tests {
     fn dead_records_past_the_threshold_compact_automatically() {
         let path = temp_path("auto-compact");
         cleanup(&path);
-        // 2 live records and AUTO_COMPACT_MIN_DEAD duplicates: over the 1-in-4 ratio.
-        let mut contents = format!("{HEADER_V5}\nS1\tsat|live1\nS0\tsat|live2\n");
-        for _ in 0..AUTO_COMPACT_MIN_DEAD {
-            contents.push_str("S1\tsat|live1\n");
+        for _ in 0..2 {
+            let cache = MemoStore::with_disk_log(&path).unwrap();
+            for i in 0..AUTO_COMPACT_MIN_DEAD {
+                cache.insert(format!("sat|d{i}"), true);
+            }
         }
-        std::fs::write(&path, &contents).unwrap();
+        // The third open replays 16 live + 16 duplicate records: over the 1-in-4
+        // ratio, so it nudges the compactor before returning.
         drop(MemoStore::with_disk_log(&path).unwrap());
         let stats = MemoStore::inspect(&path).unwrap();
         assert_eq!(
             stats.duplicates, 0,
-            "loading must have rewritten the log without the dead records"
+            "opening must have merged the duplicate records away"
         );
-        assert_eq!(stats.live(), 2);
+        assert_eq!(stats.live(), AUTO_COMPACT_MIN_DEAD);
         let warm = MemoStore::with_disk_log(&path).unwrap();
-        assert_eq!(warm.lookup("sat|live1"), Some(true));
-        assert_eq!(warm.lookup("sat|live2"), Some(false));
+        assert_eq!(warm.lookup("sat|d0"), Some(true));
         cleanup(&path);
     }
 
@@ -1468,14 +1774,102 @@ mod tests {
     fn a_few_dead_records_do_not_trigger_auto_compaction() {
         let path = temp_path("no-auto-compact");
         cleanup(&path);
-        let contents = format!("{HEADER_V5}\nS1\tsat|k1\nS1\tsat|k1\n");
-        std::fs::write(&path, &contents).unwrap();
+        for _ in 0..2 {
+            let cache = MemoStore::with_disk_log(&path).unwrap();
+            cache.insert("sat|k1".into(), true);
+        }
         drop(MemoStore::with_disk_log(&path).unwrap());
         assert_eq!(
             MemoStore::inspect(&path).unwrap().duplicates,
             1,
-            "below the threshold the log is left as-is"
+            "below the threshold the segments are left as-is"
         );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn warm_lookups_promote_out_of_the_disk_tier() {
+        let path = temp_path("promote");
+        cleanup(&path);
+        {
+            let cache = MemoStore::with_disk_log(&path).unwrap();
+            for i in 0..3 {
+                cache.insert(format!("sat|p{i}"), true);
+            }
+        }
+        let warm = MemoStore::with_disk_log(&path).unwrap();
+        assert_eq!(warm.len(), 3);
+        assert_eq!(
+            warm.stats().disk_lock_acquisitions,
+            0,
+            "replay is uncounted"
+        );
+        assert_eq!(warm.lookup("sat|p0"), Some(true));
+        let after = warm.stats();
+        assert_eq!(
+            after.disk_lock_acquisitions, 2,
+            "one read-through get plus one promotion evict"
+        );
+        assert_eq!(
+            warm.len(),
+            3,
+            "promotion moves records, never duplicates them"
+        );
+        // The promoted key is now served by the shared tier: disk locks stay flat.
+        assert_eq!(warm.lookup("sat|p0"), Some(true));
+        assert_eq!(warm.stats().disk_lock_acquisitions, 2);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn inspect_reads_a_live_v6_store_without_its_lock() {
+        let path = temp_path("inspect-live");
+        cleanup(&path);
+        let cache = MemoStore::with_disk_log(&path).unwrap();
+        cache.insert("sat|a".into(), true);
+        cache.insert_transition("tr|b".into(), Sfa::Zero);
+        cache.flush();
+        // The store is alive and holds the writer lock; inspection must neither
+        // block, nor degrade anything, nor touch the lock.
+        assert!(lock_path_for(&path).exists());
+        let stats = MemoStore::inspect(&path).unwrap();
+        assert_eq!(stats.version, Some(6));
+        assert_eq!((stats.solver, stats.transitions), (1, 1));
+        assert!(stats.segments >= 1);
+        assert_eq!(stats.torn_segments, 0);
+        assert!(stats.bytes > 0);
+        assert!(!cache.degraded());
+        assert!(lock_path_for(&path).exists(), "inspect left the lock alone");
+        drop(cache);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_segment_degrades_to_cold_not_corrupt() {
+        let path = temp_path("torn-segment");
+        cleanup(&path);
+        {
+            let cache = MemoStore::with_disk_log(&path).unwrap();
+            cache.insert("sat|solo".into(), true);
+        }
+        // Simulate a crash that mangled the segment after the manifest named it.
+        let (state, _) = lsm::read_manifest(&path).unwrap().expect("v6 manifest");
+        assert_eq!(state.segments.len(), 1);
+        let seg_file = lsm::segment_dir_for(&path).join(state.segments[0].file_name());
+        std::fs::write(&seg_file, "garbage").unwrap();
+        {
+            let warm = MemoStore::with_disk_log(&path).unwrap();
+            assert_eq!(
+                warm.lookup("sat|solo"),
+                None,
+                "a torn segment is cold, never half-trusted"
+            );
+            assert_eq!(warm.stats().stale, 1, "the torn segment's record is stale");
+            assert!(!warm.degraded());
+            warm.insert("sat|recovered".into(), true);
+        }
+        let warm = MemoStore::with_disk_log(&path).unwrap();
+        assert_eq!(warm.lookup("sat|recovered"), Some(true));
         cleanup(&path);
     }
 
@@ -1511,6 +1905,7 @@ mod tests {
     #[test]
     fn inspect_on_a_foreign_file_reads_only_the_header() {
         let path = temp_path("inspect-foreign");
+        cleanup(&path);
         std::fs::write(&path, "hat-engine-cache v999\nS1\tk\n").unwrap();
         let stats = MemoStore::inspect(&path).unwrap();
         assert_eq!(stats.version, None);

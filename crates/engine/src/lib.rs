@@ -36,15 +36,21 @@
 //! (automaton pair, pruned alphabet) — shared across benchmarks, no axiom fingerprint)
 //! and whole inclusion checks. A hit at an outer level skips every inner level.
 //!
-//! ## Disk log
+//! ## Disk store (LSM)
 //!
-//! With [`EngineConfig::cache_path`] set, verdicts append to a plain-text log
-//! (`hat-engine-cache v5` header; the record grammar, the single-writer locking and
-//! compaction rules, migration rules and torn-payload semantics are specified in
-//! `docs/CACHE_FORMAT.md` and summarised in [`cache`]). The next run replays the log
-//! into memory and starts warm; `v1`–`v4` logs are migrated atomically, logs from any
-//! other format version are ignored wholesale and counted as stale, and a log crowded
-//! with dead records is compacted — automatically past a threshold, or explicitly via
+//! With [`EngineConfig::cache_path`] set, verdicts flow through an LSM-structured
+//! store (`hat-engine-cache v6`): writes land in an in-memory memtable that rotates
+//! at a size threshold into frozen tables, which a dedicated background thread
+//! flushes as sorted, fingerprint-partitioned, per-kind segment files under
+//! `<path>.d/` — the cache path itself holds only the manifest naming the live
+//! segments. The same thread merges segment families levelled-up and drops dead
+//! records, so compaction never blocks a reader or a scheduler worker. The record
+//! grammar, single-writer locking, crash-consistency and migration rules are
+//! specified in `docs/CACHE_FORMAT.md` and summarised in [`cache`] and [`lsm`]. The
+//! next run replays manifest + segments into memory and starts warm; `v1`–`v5` logs
+//! are migrated atomically on first open, files from any other format version are
+//! ignored wholesale and counted as stale, and a store crowded with dead records is
+//! compacted — automatically past a threshold at open, or explicitly via
 //! [`MemoStore::compact`] / `marple cache compact`.
 //!
 //! ## Scheduler
@@ -66,6 +72,7 @@
 pub mod atomio;
 pub mod cache;
 pub mod canon;
+pub mod lsm;
 pub mod oracle;
 pub mod schedule;
 pub mod tier;
@@ -75,8 +82,9 @@ pub use cache::{
     QueryCache, RecordKind,
 };
 pub use canon::{canonicalize, memo_key, CanonicalMemoKey, CanonicalQuery};
+pub use lsm::{LsmConfig, LsmStatsSnapshot, ManifestState, SegmentMeta};
 pub use oracle::CachingOracle;
 pub use schedule::{
     BenchmarkRun, Engine, EngineConfig, JobReport, PollReport, RunHandle, RunSummary,
 };
-pub use tier::{LocalTier, MemoTier, SharedTier};
+pub use tier::{DiskTier, LocalTier, MemoTier, SharedTier};

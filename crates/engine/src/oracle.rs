@@ -169,9 +169,11 @@ impl CachingOracle {
     }
 
     /// Transitions use the [`ShardMirror`](crate::tier::ShardMirror) policy instead of
-    /// per-key read-through: they are the hottest kind, cheap to re-derive, and never
-    /// persisted, so whole-shard syncs plus write-behind insert batches replace almost
-    /// every per-key shared-tier round-trip.
+    /// per-key read-through: they are the hottest kind, so whole-shard syncs plus
+    /// write-behind insert batches replace almost every per-key shared-tier round-trip.
+    /// Since cache v6 they are persisted too — the store path logs inside
+    /// `insert_transition`, and the mirror path (which bypasses the store) logs through
+    /// [`MemoStore::log_transition`] below.
     fn tier_lookup_transition(&mut self, key: &str) -> Option<Sfa> {
         if let Some(local) = &self.local {
             let (found, locks) = local
@@ -188,6 +190,9 @@ impl CachingOracle {
 
     fn tier_store_transition(&mut self, key: String, succ: Sfa) {
         if let Some(local) = &self.local {
+            // The mirror cannot tell a fresh derivation from a repeat, so this logs
+            // unconditionally; the memtable and compaction drop the duplicates.
+            self.store.log_transition(&key, &succ);
             self.shared_locks += local
                 .transitions
                 .put(self.store.transition_tier(), key, succ);

@@ -78,6 +78,11 @@ pub struct EngineConfig {
     /// baseline — verdicts are identical because every memo value is a pure function of
     /// its key).
     pub local_tiers: bool,
+    /// Memtable rotation threshold in bytes for the persistent LSM store; `None` takes
+    /// the built-in default (or the `HAT_MEMTABLE_BYTES` override from the
+    /// environment). Benchmarks set this low to force rotations at small record
+    /// volumes.
+    pub memtable_bytes: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -89,6 +94,7 @@ impl Default for EngineConfig {
             prune: true,
             inclusion: InclusionMode::default(),
             local_tiers: true,
+            memtable_bytes: None,
         }
     }
 }
@@ -802,6 +808,9 @@ impl RunHandle<'_> {
                 lock_acquisitions: after
                     .lock_acquisitions
                     .saturating_sub(stats_before.lock_acquisitions),
+                disk_lock_acquisitions: after
+                    .disk_lock_acquisitions
+                    .saturating_sub(stats_before.disk_lock_acquisitions),
             },
             cancelled: self.cancelled,
             dedup_hits: self.dedup_hits,
@@ -840,7 +849,13 @@ impl Engine {
     /// spawning the worker pool.
     pub fn new(config: EngineConfig) -> std::io::Result<Self> {
         let cache = match &config.cache_path {
-            Some(path) => Arc::new(MemoStore::with_disk_log(path)?),
+            Some(path) => {
+                let mut lsm = crate::lsm::LsmConfig::from_env();
+                if let Some(bytes) = config.memtable_bytes {
+                    lsm.memtable_bytes = bytes.max(1);
+                }
+                Arc::new(MemoStore::with_disk_log_config(path, lsm)?)
+            }
             None => Arc::new(MemoStore::in_memory()),
         };
         let pool = JobPool::spawn(config.jobs, Arc::clone(&cache), config.local_tiers);

@@ -10,8 +10,13 @@
 //! 2. a **shared tier** ([`SharedTier`]): a sharded `RwLock` map shared by every worker
 //!    of the run, counting its lock acquisitions so the local tier's effect is
 //!    measurable;
-//! 3. a **disk tier**: the append-only log owned by [`crate::cache::MemoStore`], written
-//!    through on fresh shared-tier inserts and replayed on the next run.
+//! 3. a **disk tier** ([`DiskTier`]): the in-memory image of the persistent LSM segment
+//!    stack owned by [`crate::cache::MemoStore`] (see [`crate::lsm`]). Segments are
+//!    replayed into it at open; a shared-tier miss falls through to it and a hit is
+//!    *promoted* — moved — up into the shared tier, so each warm record pays its
+//!    disk-tier lock at most once. Fresh shared-tier inserts are written through to the
+//!    LSM memtable, which flushes and compacts on a background thread that takes no
+//!    tier locks at all.
 //!
 //! The read-through composition (probe local → fall through to shared → promote the hit
 //! into local) lives in [`crate::oracle::CachingOracle`]; this module provides the tiers
@@ -269,6 +274,103 @@ impl<V: Clone> MemoTier<String, V> for SharedTier<V> {
     }
 }
 
+/// The disk tier of one record kind: the in-memory image of what the LSM segment stack
+/// holds for that kind, replayed once at open. It sits *below* the shared tier: a
+/// shared-tier miss falls through to `get_str` here, and a hit is promoted into the
+/// shared tier and evicted from this tier (the segments on disk still hold the record;
+/// this map only exists so warm lookups need not re-read segment files). Like the
+/// shared tier it counts its lock acquisitions, so `engine/tests/tiers.rs` can assert
+/// that background compaction — which touches only segment files and the manifest —
+/// never acquires one.
+///
+/// A single `RwLock` (not shards) is deliberate: after the open-time replay the tier is
+/// read-mostly and every hot key migrates out of it after its first warm lookup.
+#[derive(Debug)]
+pub struct DiskTier<V> {
+    map: RwLock<HashMap<String, V>>,
+    locks: AtomicUsize,
+}
+
+impl<V> Default for DiskTier<V> {
+    fn default() -> Self {
+        DiskTier {
+            map: RwLock::new(HashMap::new()),
+            locks: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<V> DiskTier<V> {
+    /// Total lock acquisitions since construction (reads and writes alike).
+    pub fn lock_acquisitions(&self) -> usize {
+        self.locks.load(Ordering::Relaxed)
+    }
+}
+
+impl<V: Clone> DiskTier<V> {
+    /// Looks a key up (one counted read-lock acquisition).
+    pub fn get_str(&self, key: &str) -> Option<V> {
+        self.locks.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .read()
+            .expect("disk tier poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Stores a replayed record without counting the lock — open-time replay is
+    /// sequential and should not pollute the contention statistics. `true` when fresh
+    /// (replay feeds segments newest-first, so the first occurrence wins).
+    pub fn put_quiet(&self, key: String, value: V) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.map.write().expect("disk tier poisoned").entry(key) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(slot) => {
+                slot.insert(value);
+                true
+            }
+        }
+    }
+
+    /// Drops a record that was just promoted into the shared tier (one counted
+    /// write-lock acquisition). Racing promotions are harmless: the second eviction is
+    /// a no-op and both workers promoted the same pure-function-of-key value.
+    pub fn evict(&self, key: &str) {
+        self.locks.fetch_add(1, Ordering::Relaxed);
+        self.map.write().expect("disk tier poisoned").remove(key);
+    }
+
+    /// A point-in-time copy of every entry (migration snapshots; uncounted like
+    /// [`SharedTier::snapshot`]).
+    pub(crate) fn snapshot(&self) -> Vec<(String, V)> {
+        self.map
+            .read()
+            .expect("disk tier poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+impl<V: Clone> MemoTier<String, V> for DiskTier<V> {
+    fn get(&self, key: &String) -> Option<V> {
+        self.get_str(key)
+    }
+
+    fn put(&self, key: String, value: V) -> bool {
+        self.locks.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .write()
+            .expect("disk tier poisoned")
+            .insert(key, value)
+            .is_none()
+    }
+
+    fn len(&self) -> usize {
+        self.map.read().expect("disk tier poisoned").len()
+    }
+}
+
 /// Write-behind inserts flush to the shared tier in batches of this size (grouped by
 /// shard: one write lock per distinct shard per flush).
 pub const MIRROR_BATCH: usize = 256;
@@ -463,6 +565,20 @@ mod tests {
         }
         exercise(&LocalMap::default());
         exercise(&SharedTier::default());
+    }
+
+    #[test]
+    fn disk_tier_counts_locks_and_evicts_promotions() {
+        let tier: DiskTier<bool> = DiskTier::default();
+        assert!(tier.put_quiet("warm".into(), true));
+        assert!(!tier.put_quiet("warm".into(), false), "first replay wins");
+        assert_eq!(tier.lock_acquisitions(), 0, "replay is uncounted");
+        assert_eq!(tier.get_str("warm"), Some(true));
+        assert_eq!(tier.lock_acquisitions(), 1);
+        tier.evict("warm");
+        assert_eq!(tier.get_str("warm"), None);
+        assert_eq!(tier.lock_acquisitions(), 3);
+        assert_eq!(MemoTier::<String, bool>::len(&tier), 0);
     }
 
     #[test]

@@ -22,6 +22,8 @@ fn cleanup(path: &Path) {
     let mut lock = path.to_path_buf().into_os_string();
     lock.push(".lock");
     let _ = std::fs::remove_file(PathBuf::from(lock));
+    let _ = std::fs::remove_file(path.with_extension("compacting"));
+    let _ = std::fs::remove_dir_all(hat_engine::lsm::segment_dir_for(path));
 }
 
 fn verdicts(summary: &RunSummary) -> Vec<Vec<bool>> {
@@ -62,22 +64,23 @@ fn warm_run_after_compact_reports_zero_solver_queries_and_identical_verdicts() {
         );
 
         // Compact between the cold and warm runs (a fresh store, as `marple cache
-        // compact` would use), and remember the file shrank or stayed equal — it can
-        // never grow: compaction writes a subset of the records.
-        let before = std::fs::metadata(&path).expect("log exists").len();
+        // compact` would use), and remember the store shrank or stayed equal — it can
+        // never grow: compaction writes a subset of the records. `bytes` sums the
+        // manifest and every live segment file.
+        let before = MemoStore::inspect(&path).expect("inspect").bytes;
         {
             let store = MemoStore::with_disk_log(&path).expect("reopen for compaction");
             let report = store.compact().expect("compaction runs");
             assert!(
                 report.bytes_after <= before,
-                "{name}: compaction must never grow the log ({} -> {})",
+                "{name}: compaction must never grow the store ({} -> {})",
                 before,
                 report.bytes_after
             );
             assert_eq!(
                 report.records_after,
                 MemoStore::inspect(&path).expect("inspect").live(),
-                "{name}: the compacted log holds exactly the live records"
+                "{name}: the compacted segments hold exactly the live records"
             );
         }
         assert_eq!(
