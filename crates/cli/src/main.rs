@@ -3,7 +3,19 @@
 //! ```text
 //! marple list                             # list the benchmark configurations
 //! marple check <adt> <lib> [options]      # verify one configuration and print a report
+//!                                         # (<adt> `gen` + <lib> `s<seed>-i<index>…`
+//!                                         # regenerates a fuzz configuration by name)
 //! marple check-all [options]              # verify every configuration
+//! marple fuzz [--seed S] [--count N]      # generate N verdict-known configurations
+//!        [--exhaustive] [options]         # and verify every verdict end-to-end:
+//!                                         # plain checker, an engine knob combination
+//!                                         # (rotating through all 32; --exhaustive
+//!                                         # runs all 32 per configuration), warm
+//!                                         # memo-tier resubmission, LSM store when
+//!                                         # --cache is given, and the daemon wire
+//!                                         # when --remote is given. On the first
+//!                                         # disagreement the configuration is shrunk
+//!                                         # to a minimal named reproducer.
 //! marple cache stats <path>               # per-record-kind counts + live/dead ratio
 //! marple cache compact <path>             # rewrite the log without dead records
 //! marple daemon start [options]           # run a marpled daemon in the foreground
@@ -55,6 +67,9 @@ struct Options {
     max_connections: usize,
     max_client_jobs: usize,
     now: bool,
+    seed: u64,
+    count: u64,
+    exhaustive: bool,
     positional: Vec<String>,
 }
 
@@ -72,6 +87,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_connections: defaults.max_connections,
         max_client_jobs: defaults.max_client_jobs,
         now: false,
+        seed: 1,
+        count: 100,
+        exhaustive: false,
         positional: Vec::new(),
     };
     let mut it = args.iter().peekable();
@@ -153,6 +171,21 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| format!("invalid --max-client-jobs value `{value}`"))?;
             }
             "--now" => opts.now = true,
+            "--seed" => {
+                let value = it.next().ok_or("--seed needs a value")?;
+                opts.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid --seed value `{value}`"))?;
+            }
+            "--count" => {
+                let value = it.next().ok_or("--count needs a value")?;
+                opts.count = value
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("invalid --count value `{value}`"))?;
+            }
+            "--exhaustive" => opts.exhaustive = true,
             "--local-tier" => {
                 let value = it.next().ok_or("--local-tier needs a mode")?;
                 opts.local_tiers = match value.as_str() {
@@ -549,6 +582,149 @@ fn daemon_stop(addr: &Addr, now: bool) -> Result<(), String> {
     }
 }
 
+/// `marple fuzz` — run generated verdict-known configurations through the stack and
+/// assert every observed verdict against the constructed one. Returns `true` when the
+/// run is clean.
+fn fuzz(opts: &Options) -> bool {
+    let mut cfg = hat_gen::fuzz::FuzzConfig::new(opts.seed, opts.count);
+    cfg.cache_path = opts.cache_path.clone();
+    cfg.exhaustive_knobs = opts.exhaustive;
+    println!(
+        "fuzzing {} configuration{} from seed {} ({} knob combination{} per configuration{}{})",
+        opts.count,
+        if opts.count == 1 { "" } else { "s" },
+        opts.seed,
+        if opts.exhaustive { 32 } else { 1 },
+        if opts.exhaustive { "s" } else { "" },
+        if opts.exhaustive {
+            ""
+        } else {
+            ", rotating through all 32"
+        },
+        if opts.cache_path.is_some() {
+            "; LSM store attached"
+        } else {
+            ""
+        },
+    );
+    let outcome = hat_gen::fuzz::fuzz(&cfg, &mut |line| println!("{line}"));
+    let local_ok = match &outcome.failure {
+        None => {
+            println!(
+                "clean: {} configurations, {} verdicts asserted, 0 disagreements",
+                outcome.checked, outcome.verdicts
+            );
+            true
+        }
+        Some(f) => {
+            println!("DISAGREEMENT in gen/{}:", f.spec.library_name());
+            for d in &f.disagreements {
+                println!("  {d}");
+            }
+            println!(
+                "shrunk reproducer: gen/{} ({} method{})",
+                f.shrunk.library_name(),
+                f.shrunk.live_methods().len(),
+                if f.shrunk.live_methods().len() == 1 {
+                    ""
+                } else {
+                    "s"
+                }
+            );
+            println!(
+                "  replay with: marple check gen {}",
+                f.shrunk.library_name()
+            );
+            for d in &f.shrunk_disagreements {
+                println!("  {d}");
+            }
+            false
+        }
+    };
+    if !local_ok {
+        return false;
+    }
+    match &opts.remote {
+        None => true,
+        Some(addr) => match fuzz_remote(opts, addr) {
+            Ok(ok) => ok,
+            Err(e) => {
+                eprintln!("{e}");
+                false
+            }
+        },
+    }
+}
+
+/// The daemon-wire stage of `marple fuzz --remote`: re-check each generated
+/// configuration *by name* over the socket (the daemon regenerates it server-side)
+/// and hold the wire reports to the same constructed verdicts.
+fn fuzz_remote(opts: &Options, addr: &Addr) -> Result<bool, String> {
+    let mut client = RemoteClient::connect(addr)?;
+    let mut verdicts = 0u64;
+    for index in 0..opts.count {
+        let spec = hat_gen::spec(opts.seed, index);
+        let bench = spec.build();
+        let request = Request::Check {
+            adt: bench.adt.clone(),
+            library: bench.library.clone(),
+        };
+        let outcome = client.verify_with_deadline(request, opts.deadline_ms, |_, _, _| {})?;
+        let Some(run) = outcome
+            .summary
+            .benchmarks
+            .iter()
+            .find(|r| r.adt == bench.adt && r.library == bench.library)
+        else {
+            println!(
+                "DISAGREEMENT in gen/{}: the daemon returned no report for it",
+                bench.library
+            );
+            return Ok(false);
+        };
+        let disagreements = hat_gen::fuzz::disagreements_in("remote", &bench, &run.reports);
+        verdicts += bench.methods.len() as u64;
+        if !disagreements.is_empty() {
+            println!("DISAGREEMENT in gen/{} over the wire:", bench.library);
+            for d in &disagreements {
+                println!("  {d}");
+            }
+            let shrunk = hat_gen::shrink::shrink(&spec, |cand| {
+                let b = cand.build();
+                let req = Request::Check {
+                    adt: b.adt.clone(),
+                    library: b.library.clone(),
+                };
+                client
+                    .verify_with_deadline(req, opts.deadline_ms, |_, _, _| {})
+                    .ok()
+                    .and_then(|o| {
+                        o.summary
+                            .benchmarks
+                            .iter()
+                            .find(|r| r.library == b.library)
+                            .map(|r| {
+                                !hat_gen::fuzz::disagreements_in("remote", &b, &r.reports)
+                                    .is_empty()
+                            })
+                    })
+                    .unwrap_or(false)
+            });
+            println!(
+                "shrunk reproducer: gen/{} — replay with: marple check gen {} --remote",
+                shrunk.library_name(),
+                shrunk.library_name()
+            );
+            return Ok(false);
+        }
+    }
+    println!(
+        "remote stage clean: {} configurations, {} wire verdicts asserted",
+        opts.count, verdicts
+    );
+    Ok(true)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -571,7 +747,9 @@ fn main() {
                 eprintln!("usage: marple check <adt> <library> [--remote [ADDR]] [--deadline-ms N] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
                 std::process::exit(2);
             };
-            match find(adt, lib) {
+            // Suite configurations by name; `gen/s<seed>-i<index>…` regenerates a
+            // fuzz configuration (including shrunk reproducers) from the name alone.
+            match find(adt, lib).or_else(|| hat_gen::find(adt, lib)) {
                 Some(b) => {
                     let request = Request::Check {
                         adt: b.adt.to_string(),
@@ -593,6 +771,13 @@ fn main() {
             });
             let ok = run(all_benchmarks(), &opts, Request::CheckAll);
             std::process::exit(if ok { 0 } else { 1 });
+        }
+        Some("fuzz") => {
+            let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
+                eprintln!("{e}\nusage: marple fuzz [--seed S] [--count N] [--exhaustive] [--cache PATH] [--remote [ADDR]] [--deadline-ms N]");
+                std::process::exit(2);
+            });
+            std::process::exit(if fuzz(&opts) { 0 } else { 1 });
         }
         Some("cache") => {
             let usage = "usage: marple cache stats <path> | marple cache compact <path>";
@@ -625,7 +810,9 @@ fn main() {
             }
         }
         Some(other) => {
-            eprintln!("unknown command `{other}`; commands: list, check, check-all, cache, daemon");
+            eprintln!(
+                "unknown command `{other}`; commands: list, check, check-all, fuzz, cache, daemon"
+            );
             std::process::exit(2);
         }
     }

@@ -197,6 +197,54 @@ impl Checker {
         let locks_before = self.oracle.shared_tier_locks();
         let incl_before = self.inclusion.stats.clone();
 
+        // ν-shadowing regression (found by `marple fuzz`, reproducer `gen/s1-i17-n0`):
+        // a *program* variable named like the reserved refinement binder ν is silently
+        // captured by every RType qualifier that mentions ν — e.g. the pure result
+        // type of `let v = … in` becomes self-referential — flipping the verdict of a
+        // provably correct method. Program binders are freely α-renamable, so move any
+        // such variable into the internal `%` namespace before checking.
+        let renamed: Option<(MethodSig, Expr)> = if sig.params.iter().any(|(p, _)| p == NU)
+            || sig.ghosts.iter().any(|(g, _)| g == NU)
+            || body.mentions_var(NU)
+        {
+            let fresh = self.fresh_name(NU);
+            let away = |x: &str| {
+                if x == NU {
+                    fresh.clone()
+                } else {
+                    x.to_string()
+                }
+            };
+            Some((
+                MethodSig {
+                    name: sig.name.clone(),
+                    ghosts: sig
+                        .ghosts
+                        .iter()
+                        .map(|(g, s)| (away(g), s.clone()))
+                        .collect(),
+                    params: sig
+                        .params
+                        .iter()
+                        .map(|(p, t)| (away(p), t.clone()))
+                        .collect(),
+                    // Event-local occurrences of ν (result binders) are shadowed and
+                    // left alone by `Sfa::subst`; only genuinely free ones — which can
+                    // only have referred to the renamed program variable — move.
+                    pre: sig.pre.subst(NU, &Term::var(fresh.clone())),
+                    ret: sig.ret.clone(),
+                    post: sig.post.subst(NU, &Term::var(fresh.clone())),
+                },
+                body.rename_var(NU, &fresh),
+            ))
+        } else {
+            None
+        };
+        let (sig, body) = match &renamed {
+            Some((s, b)) => (s, b),
+            None => (sig, body),
+        };
+
         let mut ctx = TypeCtx::new();
         for (g, sort) in &sig.ghosts {
             ctx = ctx.push(g.clone(), RType::base(sort.clone()));
@@ -843,6 +891,54 @@ mod tests {
         assert!(report.stats.fa_inclusions > 0);
         assert!(report.stats.avg_fa_size > 0.0);
         assert_eq!(report.stats.assumed_preconditions, 0);
+    }
+
+    #[test]
+    fn a_program_variable_named_nu_is_renamed_not_captured() {
+        // Regression: found by `marple fuzz` (reproducer `gen/s1-i17-n0`). A method
+        // parameter (or let binder) named like the reserved refinement binder ν used
+        // to be captured by RType qualifiers — the pure guard's result type became
+        // self-referential and a provably correct method was rejected. The checker
+        // now α-renames such program variables up front.
+        let mut checker = Checker::new(set_delta());
+        let sig = MethodSig {
+            name: "insert_pair".into(),
+            ghosts: vec![("el".into(), Sort::Int)],
+            params: vec![
+                ("q".into(), RType::base(Sort::Int)),
+                (NU.into(), RType::base(Sort::Int)), // the reserved name, as a param
+            ],
+            pre: uniqueness_invariant(),
+            ret: RType::base(Sort::Unit),
+            post: uniqueness_invariant(),
+        };
+        // let b = mem v in if b then () else insert v — the guarded-insert template,
+        // writing the ν-named parameter.
+        let body = let_eff(
+            "b",
+            "mem",
+            vec![Value::var(NU)],
+            ite(
+                Value::var("b"),
+                ret(Value::unit()),
+                let_eff("u", "insert", vec![Value::var(NU)], ret(Value::unit())),
+            ),
+        );
+        let report = checker.check_method(&sig, &body).unwrap();
+        assert!(report.verified, "failures: {:?}", report.failures);
+
+        // And a let binder named ν in an otherwise pure method.
+        let sig2 = MethodSig {
+            name: "probe".into(),
+            ghosts: vec![("el".into(), Sort::Int)],
+            params: vec![("q".into(), RType::base(Sort::Int))],
+            pre: uniqueness_invariant(),
+            ret: RType::base(Sort::Bool),
+            post: uniqueness_invariant(),
+        };
+        let body2 = let_eff(NU, "mem", vec![Value::var("q")], ret(Value::var(NU)));
+        let report2 = checker.check_method(&sig2, &body2).unwrap();
+        assert!(report2.verified, "failures: {:?}", report2.failures);
     }
 
     #[test]

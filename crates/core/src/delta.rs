@@ -33,6 +33,13 @@ pub struct EffOpSig {
 
 impl EffOpSig {
     /// Substitutes actual argument terms for the declared parameters in every case.
+    ///
+    /// The substitution is *simultaneous*: it goes through internal `%`-namespace
+    /// placeholders (which cannot occur in user identifiers) so that an argument
+    /// sharing a name with a later declared parameter is never rewritten again by that
+    /// parameter's substitution. A naive sequential loop gets this wrong — e.g.
+    /// instantiating params `(x0, x1)` with args `(x1, z)` must yield `x1` where the
+    /// case mentioned `x0`, not `z`.
     pub fn instantiate(&self, args: &[Term]) -> Vec<HoareCase> {
         self.cases
             .iter()
@@ -40,15 +47,36 @@ impl EffOpSig {
                 let mut pre = c.pre.clone();
                 let mut ty = c.ty.clone();
                 let mut post = c.post.clone();
-                for ((p, _), a) in self.params.iter().zip(args) {
-                    pre = pre.subst(p, a);
-                    ty = ty.subst(p, a);
-                    post = post.subst(p, a);
+                for (i, p) in self
+                    .params
+                    .iter()
+                    .zip(args)
+                    .map(|((p, _), _)| p)
+                    .enumerate()
+                {
+                    let ph = Term::var(placeholder(i));
+                    pre = pre.subst(p, &ph);
+                    ty = ty.subst(p, &ph);
+                    post = post.subst(p, &ph);
+                }
+                for (i, a) in args.iter().take(self.params.len()).enumerate() {
+                    let ph = placeholder(i);
+                    pre = pre.subst(&ph, a);
+                    ty = ty.subst(&ph, a);
+                    post = post.subst(&ph, a);
                 }
                 HoareCase { pre, ty, post }
             })
             .collect()
     }
+}
+
+/// The internal placeholder name for parameter position `i` during instantiation.
+/// `%` keeps it outside the user-identifier namespace, and no other internal name
+/// generator (checker freshening uses `<prefix>%<n>`) produces a name starting with
+/// `%`.
+fn placeholder(i: usize) -> String {
+    format!("%inst{i}")
 }
 
 /// The refinement signature of a pure operator: `ȳ : t̄ → t`.
@@ -61,11 +89,21 @@ pub struct PureOpSig {
 }
 
 impl PureOpSig {
-    /// The result type with actual argument terms substituted for the parameters.
+    /// The result type with actual argument terms substituted for the parameters
+    /// (simultaneously — see [`EffOpSig::instantiate`]).
     pub fn instantiate(&self, args: &[Term]) -> RType {
         let mut ret = self.ret.clone();
-        for ((p, _), a) in self.params.iter().zip(args) {
-            ret = ret.subst(p, a);
+        for (i, p) in self
+            .params
+            .iter()
+            .zip(args)
+            .map(|((p, _), _)| p)
+            .enumerate()
+        {
+            ret = ret.subst(p, &Term::var(placeholder(i)));
+        }
+        for (i, a) in args.iter().take(self.params.len()).enumerate() {
+            ret = ret.subst(&placeholder(i), a);
         }
         ret
     }
@@ -226,6 +264,23 @@ mod tests {
         assert!(fv.contains("bytes"));
         assert!(!fv.contains("k"));
         assert!(!fv.contains("a"));
+    }
+
+    #[test]
+    fn instantiation_is_simultaneous() {
+        // Regression: found by `marple fuzz` (reproducer `gen/s99-i5-m1-n0`). When an
+        // *argument* shares a name with a *later* declared parameter — here calling
+        // `put k a` with arguments `(a, z)` — sequential substitution first rewrites
+        // the case's `k` to `a` and then wrongly rewrites that `a` again to `z`,
+        // flipping the verdict of a provably correct method. Simultaneous substitution
+        // must leave the argument `a` alone.
+        let sig = kv_put_sig();
+        let cases = sig.instantiate(&[Term::var("a"), Term::var("z")]);
+        let q = cases[0].post.to_string();
+        assert!(
+            q.contains("key == a") && q.contains("val == z"),
+            "clobbered instantiation: {q}"
+        );
     }
 
     #[test]

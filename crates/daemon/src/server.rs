@@ -469,7 +469,12 @@ impl Drop for DaemonHandle {
 /// The benchmark batch a verification request resolves to.
 fn resolve_batch(request: &Request) -> Result<Vec<Benchmark>, String> {
     match request {
+        // Suite configurations are looked up by name; `gen/s<seed>-i<index>…` names
+        // are *regenerated* server-side from the name alone (the name is the recipe),
+        // which is how the fuzz harness drives generated configurations over the wire
+        // without any protocol change.
         Request::Check { adt, library } => hat_suite::find(adt, library)
+            .or_else(|| hat_gen::find(adt, library))
             .map(|b| vec![b])
             .ok_or_else(|| format!("unknown configuration `{adt}/{library}`")),
         // The full suite, in the same order `marple check-all` runs it — remote and

@@ -10,27 +10,14 @@
 //! checked exactly; the golden suite then covers end-to-end verdict fidelity of a
 //! reloaded store.
 //!
-//! Deterministic xorshift seeding, like the atomio fuzz loops.
+//! Deterministic xorshift seeding (the shared `hat-testkit` stream), like the atomio
+//! fuzz loops.
 
 use hat_engine::lsm;
 use hat_engine::MemoStore;
 use hat_sfa::Sfa;
+use hat_testkit::XorShift;
 use std::path::{Path, PathBuf};
-
-struct XorShift(u64);
-impl XorShift {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
 
 fn temp_path(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();

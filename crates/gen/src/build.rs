@@ -1,0 +1,518 @@
+//! Building a [`GenSpec`] into a `hat_suite::Benchmark` with known-by-construction
+//! verdicts.
+//!
+//! The built library specification, invariant, and method bodies instantiate the
+//! verified templates of the hand-written suite (guarded insert, no-self-loop guard,
+//! MinSet link, DFA disconnect-before-reconnect) with the spec's drawn names, sorts,
+//! arities and noise operators. A method with no mutation is expected to verify; a
+//! mutated method is expected to fail. `docs/FUZZING.md` carries the violating-trace
+//! argument for every mutation.
+
+use crate::spec::{Family, GenSpec, MethodShape, MethodSpec, Mutation};
+use hat_core::delta::events::appends;
+use hat_core::{Delta, EffOpSig, HoareCase, MethodSig, RType, NU};
+use hat_lang::builder::{ite, let_eff, let_pure, ret};
+use hat_lang::interp::LibraryModel;
+use hat_lang::{Expr, Value};
+use hat_logic::axioms::Axiom;
+use hat_logic::{Constant, Formula, Sort, Term};
+use hat_sfa::Sfa;
+use hat_suite::stacks::at_most_once;
+use hat_suite::{Benchmark, Method};
+
+/// `⟨op a0 … a{n-1} = ν | φ⟩` with the generator's canonical event-argument names.
+fn gev(op: &str, arity: usize, phi: Formula) -> Sfa {
+    let args: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
+    Sfa::event(op, args, NU, phi)
+}
+
+/// `a0 = t` over the canonical event arguments.
+fn arg0_eq(t: Term) -> Formula {
+    Formula::eq(Term::var("a0"), t)
+}
+
+/// `⋀ᵢ aᵢ = xᵢ` — the full-precision append formula binding every event argument to
+/// the operator's parameter.
+fn all_args_eq(arity: usize) -> Formula {
+    Formula::and(
+        (0..arity)
+            .map(|i| Formula::eq(Term::var(format!("a{i}")), Term::var(format!("x{i}"))))
+            .collect(),
+    )
+}
+
+impl GenSpec {
+    /// The library specification Δ drawn by this spec.
+    pub fn delta(&self) -> Delta {
+        let mut d = Delta::new();
+        let key = RType::base(self.key_sort.clone());
+        let op_params = |arity: usize| -> Vec<(String, RType)> {
+            (0..arity).map(|i| (format!("x{i}"), key.clone())).collect()
+        };
+        let append_sig = |name: &str, arity: usize| EffOpSig {
+            ghosts: vec![],
+            params: op_params(arity),
+            cases: vec![HoareCase {
+                pre: Sfa::universe(),
+                ty: RType::base(Sort::Unit),
+                post: appends(&Sfa::universe(), gev(name, arity, all_args_eq(arity))),
+            }],
+        };
+
+        d.declare_eff(
+            self.main_op.clone(),
+            append_sig(&self.main_op, self.main_arity),
+        );
+        match self.family {
+            Family::Uniqueness => {
+                // The membership probe: an intersection type keyed on whether the main
+                // operator has already recorded this key (the Set `mem` template).
+                let present = Sfa::eventually(gev(
+                    &self.main_op,
+                    self.main_arity,
+                    arg0_eq(Term::var("x0")),
+                ));
+                let absent = Sfa::not(present.clone());
+                let probe_ev = |r: bool| {
+                    gev(
+                        &self.aux_op,
+                        1,
+                        Formula::and(vec![
+                            Formula::eq(Term::var("a0"), Term::var("x0")),
+                            Formula::eq(Term::var(NU), Term::bool(r)),
+                        ]),
+                    )
+                };
+                d.declare_eff(
+                    self.aux_op.clone(),
+                    EffOpSig {
+                        ghosts: vec![],
+                        params: vec![("x0".into(), key.clone())],
+                        cases: vec![
+                            HoareCase {
+                                pre: present.clone(),
+                                ty: RType::bool_singleton(true),
+                                post: appends(&present, probe_ev(true)),
+                            },
+                            HoareCase {
+                                pre: absent.clone(),
+                                ty: RType::bool_singleton(false),
+                                post: appends(&absent, probe_ev(false)),
+                            },
+                        ],
+                    },
+                );
+            }
+            Family::ForbiddenPair => {}
+            Family::Link => {
+                d.declare_eff(self.aux_op.clone(), append_sig(&self.aux_op, 1));
+            }
+            Family::Alternation => {
+                d.declare_eff(self.aux_op.clone(), append_sig(&self.aux_op, 2));
+            }
+        }
+        for (name, arity) in &self.noise_ops {
+            d.declare_eff(name.clone(), append_sig(name, *arity));
+        }
+        if self.with_axioms {
+            // A semantically inert (tautological) method predicate: it cannot change
+            // any verdict, but it does change the axiom fingerprint, so engine cache
+            // keys must keep these configurations apart from their axiom-free twins.
+            let marked = Formula::pred("marked", vec![Term::var("x")]);
+            d.axioms.declare_pred("marked", vec![self.key_sort.clone()]);
+            d.axioms.add_axiom(Axiom::new(
+                "marked-total",
+                vec![("x".into(), self.key_sort.clone())],
+                Formula::or(vec![marked.clone(), Formula::not(marked)]),
+            ));
+        }
+        d
+    }
+
+    /// The representation invariant over the ghost variable.
+    pub fn invariant(&self) -> Sfa {
+        let g = Term::var(self.ghost.clone());
+        match self.family {
+            Family::Uniqueness => at_most_once(gev(&self.main_op, self.main_arity, arg0_eq(g))),
+            Family::ForbiddenPair => Sfa::globally(Sfa::not(gev(
+                &self.main_op,
+                self.main_arity,
+                Formula::and(vec![
+                    Formula::eq(Term::var("a0"), g.clone()),
+                    Formula::eq(Term::var("a1"), g),
+                ]),
+            ))),
+            Family::Link => Sfa::implies(
+                Sfa::eventually(gev(&self.main_op, 1, arg0_eq(g.clone()))),
+                Sfa::eventually(gev(&self.aux_op, 1, arg0_eq(g))),
+            ),
+            Family::Alternation => {
+                let conn_g = || gev(&self.main_op, 2, arg0_eq(g.clone()));
+                let disc_g = gev(&self.aux_op, 2, arg0_eq(g.clone()));
+                Sfa::globally(Sfa::not(Sfa::and(vec![
+                    conn_g(),
+                    Sfa::next(Sfa::until(Sfa::not(disc_g), conn_g())),
+                ])))
+            }
+        }
+    }
+
+    /// The invariant used by one method's signature: the spec invariant, except under
+    /// the `WidenQualifier` mutation, which widens the event qualifier to `⊤`.
+    fn method_invariant(&self, m: &MethodSpec) -> Sfa {
+        if m.mutation == Some(Mutation::WidenQualifier) {
+            at_most_once(gev(&self.main_op, self.main_arity, Formula::True))
+        } else {
+            self.invariant()
+        }
+    }
+
+    /// Executable semantics for the interpreter-based harnesses: append-only events,
+    /// with the probe replaying the membership observation off the trace.
+    pub fn model(&self) -> LibraryModel {
+        let mut m = LibraryModel::new();
+        let unit_ops: Vec<String> = std::iter::once(self.main_op.clone())
+            .chain(self.noise_ops.iter().map(|(n, _)| n.clone()))
+            .chain(
+                (!matches!(self.family, Family::Uniqueness | Family::ForbiddenPair))
+                    .then(|| self.aux_op.clone()),
+            )
+            .collect();
+        for op in unit_ops {
+            m.define(op, |_trace, _args| Ok(Constant::Unit));
+        }
+        if matches!(self.family, Family::Uniqueness) {
+            let main = self.main_op.clone();
+            m.define(self.aux_op.clone(), move |trace, args| {
+                Ok(Constant::Bool(
+                    trace.any(|e| e.op == main && e.args.first() == args.first()),
+                ))
+            });
+        }
+        m
+    }
+
+    /// Builds the benchmark configuration, honouring the spec's edits.
+    pub fn build(&self) -> Benchmark {
+        let ghosts = vec![(self.ghost.clone(), self.key_sort.clone())];
+        let inv = self.invariant();
+        let methods: Vec<Method> = self
+            .live_methods()
+            .into_iter()
+            .map(|i| self.build_method(&self.methods[i], &ghosts))
+            .collect();
+        Benchmark {
+            adt: self.adt().to_string(),
+            library: self.library_name(),
+            invariant_description: format!("Generated {} invariant", self.family.tag()),
+            policy: format!(
+                "seed {} index {}: {} methods over {}",
+                self.seed,
+                self.index,
+                methods.len(),
+                self.main_op
+            ),
+            ghosts,
+            invariant: inv,
+            delta: self.delta(),
+            model: self.model(),
+            methods,
+            slow: false,
+        }
+    }
+
+    fn build_method(&self, m: &MethodSpec, ghosts: &[(String, Sort)]) -> Method {
+        let key = RType::base(self.key_sort.clone());
+        let mut params: Vec<(String, RType)> = m
+            .key_params
+            .iter()
+            .map(|p| (p.clone(), key.clone()))
+            .collect();
+        if let Some(extra) = &m.extra_param {
+            params.push((extra.clone(), key.clone()));
+        }
+        let ret_ty = if m.shape == MethodShape::Probe {
+            RType::base(Sort::Bool)
+        } else {
+            RType::base(Sort::Unit)
+        };
+        let inv = self.method_invariant(m);
+        let sig = MethodSig {
+            name: m.name.clone(),
+            ghosts: ghosts.to_vec(),
+            params,
+            pre: inv.clone(),
+            ret: ret_ty,
+            post: inv,
+        };
+        let mut body = self.core_body(m);
+        if !self.edits.strip_noise {
+            // Noise calls are a prefix so stripping them never changes which guard
+            // observes which trace.
+            for (j, &ni) in m.noise_calls.iter().enumerate().rev() {
+                let (name, arity) = &self.noise_ops[ni];
+                let args: Vec<Value> = (0..*arity)
+                    .map(|k| Value::var(m.key_params[k % m.key_params.len()].clone()))
+                    .collect();
+                body = let_eff(format!("w{j}"), name.clone(), args, body);
+            }
+        }
+        Method {
+            sig,
+            body,
+            expect_verified: m.expect_verified(),
+        }
+    }
+
+    /// The body template for a shape/mutation pair (without the noise prefix).
+    fn core_body(&self, m: &MethodSpec) -> Expr {
+        use MethodShape::*;
+        let k = |i: usize| Value::var(m.key_params[i].clone());
+        // Arguments of a main-operator call writing key `ki`.
+        let main_args = |ki: usize| -> Vec<Value> {
+            let mut v = vec![k(ki)];
+            if let Some(extra) = &m.extra_param {
+                v.push(Value::var(extra.clone()));
+            }
+            v
+        };
+        let guarded_add = |probe_key: usize, add_key: usize, binder: &str, ub: &str| {
+            let_eff(
+                binder,
+                self.aux_op.clone(),
+                vec![k(probe_key)],
+                ite(
+                    Value::var(binder),
+                    ret(Value::unit()),
+                    let_eff(
+                        ub,
+                        self.main_op.clone(),
+                        main_args(add_key),
+                        ret(Value::unit()),
+                    ),
+                ),
+            )
+        };
+        match (self.family, m.shape, m.mutation) {
+            (_, Ret, _) => ret(Value::unit()),
+
+            // ---- Uniqueness -------------------------------------------------------
+            (Family::Uniqueness, Probe, _) => let_eff(
+                m.guard_binder.clone(),
+                self.aux_op.clone(),
+                vec![k(0)],
+                ret(Value::var(m.guard_binder.clone())),
+            ),
+            (Family::Uniqueness, shape, mutation) => {
+                self.uniqueness_body(m, shape, mutation, &k, &main_args, &guarded_add)
+            }
+
+            // ---- ForbiddenPair ----------------------------------------------------
+            (Family::ForbiddenPair, PairGuardedAdd, mutation) => {
+                let pair_args = |a: usize, b: usize| -> Vec<Value> {
+                    let mut v = vec![k(a), k(b)];
+                    if let Some(extra) = &m.extra_param {
+                        v.push(Value::var(extra.clone()));
+                    }
+                    v
+                };
+                let call = |a: usize, b: usize| {
+                    let_eff(
+                        "u0",
+                        self.main_op.clone(),
+                        pair_args(a, b),
+                        ret(Value::unit()),
+                    )
+                };
+                match mutation {
+                    Some(Mutation::DropGuard) => call(0, 1),
+                    Some(Mutation::AliasArg) => call(0, 0),
+                    Some(Mutation::NegateGuard) => let_pure(
+                        m.guard_binder.clone(),
+                        "==",
+                        vec![k(0), k(1)],
+                        ite(
+                            Value::var(m.guard_binder.clone()),
+                            call(0, 1),
+                            ret(Value::unit()),
+                        ),
+                    ),
+                    _ => let_pure(
+                        m.guard_binder.clone(),
+                        "==",
+                        vec![k(0), k(1)],
+                        ite(
+                            Value::var(m.guard_binder.clone()),
+                            ret(Value::unit()),
+                            call(0, 1),
+                        ),
+                    ),
+                }
+            }
+
+            // ---- Link -------------------------------------------------------------
+            (Family::Link, shape, mutation) => {
+                let link =
+                    |ki: usize, rest: Expr| let_eff("u0", self.aux_op.clone(), vec![k(ki)], rest);
+                let use_ =
+                    |ki: usize, rest: Expr| let_eff("u1", self.main_op.clone(), vec![k(ki)], rest);
+                match (shape, mutation) {
+                    (_, Some(Mutation::SkipLink)) => use_(0, ret(Value::unit())),
+                    (_, Some(Mutation::WrongKeyLink)) => link(0, use_(1, ret(Value::unit()))),
+                    (LinkOnly, _) => link(0, ret(Value::unit())),
+                    (LinkThenUse, _) => link(0, use_(0, ret(Value::unit()))),
+                    (UseThenLink, _) => use_(0, link(0, ret(Value::unit()))),
+                    _ => unreachable!("shape {shape:?} is not a Link shape"),
+                }
+            }
+
+            // ---- Alternation ------------------------------------------------------
+            (Family::Alternation, shape, mutation) => {
+                let disc = |a: usize, b: usize, rest: Expr| {
+                    let_eff("u0", self.aux_op.clone(), vec![k(a), k(b)], rest)
+                };
+                let conn = |ub: &str, a: usize, b: usize, rest: Expr| {
+                    let_eff(ub, self.main_op.clone(), vec![k(a), k(b)], rest)
+                };
+                match (shape, mutation) {
+                    (ClearOnly, _) => disc(0, 1, ret(Value::unit())),
+                    (SwapThenAdd, None) => disc(0, 1, conn("u1", 0, 2, ret(Value::unit()))),
+                    (SwapThenAdd, Some(Mutation::PermutePair)) => {
+                        conn("u1", 0, 2, disc(0, 1, ret(Value::unit())))
+                    }
+                    (SwapThenAdd, Some(Mutation::DoubleConnect)) => {
+                        conn("u1", 0, 2, conn("u2", 0, 1, ret(Value::unit())))
+                    }
+                    (SwapThenAdd, Some(Mutation::DropGuard)) => {
+                        conn("u1", 0, 2, ret(Value::unit()))
+                    }
+                    _ => unreachable!(
+                        "shape {shape:?}/{mutation:?} is not an Alternation combination"
+                    ),
+                }
+            }
+
+            (family, shape, mutation) => {
+                unreachable!("unhandled combination {family:?}/{shape:?}/{mutation:?}")
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn uniqueness_body(
+        &self,
+        m: &MethodSpec,
+        shape: MethodShape,
+        mutation: Option<Mutation>,
+        k: &dyn Fn(usize) -> Value,
+        main_args: &dyn Fn(usize) -> Vec<Value>,
+        guarded_add: &dyn Fn(usize, usize, &str, &str) -> Expr,
+    ) -> Expr {
+        use MethodShape::*;
+        let bare_add = || let_eff("u0", self.main_op.clone(), main_args(0), ret(Value::unit()));
+        match (shape, mutation) {
+            (GuardedAdd, None) | (GuardedAdd, Some(Mutation::WidenQualifier)) => {
+                guarded_add(0, 0, &m.guard_binder, "u0")
+            }
+            (GuardedAdd, Some(Mutation::DropGuard)) => bare_add(),
+            (GuardedAdd, Some(Mutation::NegateGuard)) => let_eff(
+                m.guard_binder.clone(),
+                self.aux_op.clone(),
+                vec![k(0)],
+                ite(
+                    Value::var(m.guard_binder.clone()),
+                    let_eff("u0", self.main_op.clone(), main_args(0), ret(Value::unit())),
+                    ret(Value::unit()),
+                ),
+            ),
+            (GuardedAdd, Some(Mutation::WrongKey)) => guarded_add(0, 1, &m.guard_binder, "u0"),
+            (GuardedAdd, Some(Mutation::DoubleAdd)) => let_eff(
+                m.guard_binder.clone(),
+                self.aux_op.clone(),
+                vec![k(0)],
+                ite(
+                    Value::var(m.guard_binder.clone()),
+                    ret(Value::unit()),
+                    let_eff(
+                        "u0",
+                        self.main_op.clone(),
+                        main_args(0),
+                        let_eff("u1", self.main_op.clone(), main_args(0), ret(Value::unit())),
+                    ),
+                ),
+            ),
+            (PureGuardedAdd, muta) => {
+                let add_branch =
+                    let_eff("u0", self.main_op.clone(), main_args(0), ret(Value::unit()));
+                match muta {
+                    Some(Mutation::DropGuard) => bare_add(),
+                    Some(Mutation::NegateGuard) => let_pure(
+                        m.guard_binder.clone(),
+                        "==",
+                        vec![k(0), Value::var(self.ghost.clone())],
+                        ite(
+                            Value::var(m.guard_binder.clone()),
+                            add_branch,
+                            ret(Value::unit()),
+                        ),
+                    ),
+                    // None and WidenQualifier share the straight guarded body.
+                    _ => let_pure(
+                        m.guard_binder.clone(),
+                        "==",
+                        vec![k(0), Value::var(self.ghost.clone())],
+                        ite(
+                            Value::var(m.guard_binder.clone()),
+                            ret(Value::unit()),
+                            add_branch,
+                        ),
+                    ),
+                }
+            }
+            (DoubleGuardedAdd, muta) => {
+                let second = guarded_add(1, 1, "b1", "u1");
+                match muta {
+                    Some(Mutation::DropGuard) => {
+                        let_eff("u0", self.main_op.clone(), main_args(0), second)
+                    }
+                    // None and WidenQualifier share the straight double-guarded body.
+                    _ => let_eff(
+                        m.guard_binder.clone(),
+                        self.aux_op.clone(),
+                        vec![k(0)],
+                        ite(
+                            Value::var(m.guard_binder.clone()),
+                            second.clone(),
+                            let_eff("u0", self.main_op.clone(), main_args(0), second),
+                        ),
+                    ),
+                }
+            }
+            (shape, muta) => unreachable!("unhandled Uniqueness combination {shape:?}/{muta:?}"),
+        }
+    }
+}
+
+/// Checks that every method body of a built configuration is basically well-typed with
+/// respect to its library specification (the `⊢s` pre-check the paper's checker
+/// assumes). The generator promises this holds for every spec; the fuzz driver
+/// asserts it for every configuration it runs.
+pub fn well_sorted(b: &Benchmark) -> Result<(), String> {
+    let basic = b.delta.basic_ctx();
+    for m in &b.methods {
+        let mut ctx = basic.clone();
+        for (g, s) in &m.sig.ghosts {
+            ctx.bind(g.clone(), hat_lang::BasicType::Base(s.clone()));
+        }
+        for (p, t) in &m.sig.params {
+            ctx.bind(p.clone(), t.erase());
+        }
+        ctx.check_expr(&m.body).map_err(|e| {
+            format!(
+                "{}/{}::{} is not basically typed: {e}",
+                b.adt, b.library, m.sig.name
+            )
+        })?;
+    }
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Greedy recipe-level shrinking.
+//!
+//! The shrinker never edits syntax trees: it edits the [`GenSpec`] *recipe* (drop a
+//! method, strip the noise calls) and rebuilds, so every candidate is still a
+//! well-sorted configuration with known verdicts, and the final reproducer still has
+//! a regenerable name (`s<seed>-i<index>-m…-n0`). Greedy method-dropping converges to
+//! the set of methods that actually disagree — for a single bad method, a one-method
+//! reproducer — which is what bounds CI reproducers to a handful of methods.
+
+use crate::spec::GenSpec;
+
+/// Greedily minimises `spec` while `still_failing` keeps returning `true` (the
+/// predicate receives a candidate recipe and must rebuild/re-run whatever stage
+/// disagreed). Returns the smallest failing recipe found.
+///
+/// The caller guarantees `still_failing(spec)` holds on entry; the shrinker only ever
+/// commits edits that keep it holding, so the result is always a failing reproducer.
+pub fn shrink<F>(spec: &GenSpec, mut still_failing: F) -> GenSpec
+where
+    F: FnMut(&GenSpec) -> bool,
+{
+    let mut cur = spec.clone();
+    loop {
+        let mut progressed = false;
+
+        // Drop one method at a time (re-scanning after every success, so the loop is
+        // quadratic in the worst case — trivially fine for ≤4 methods).
+        let live = cur.live_methods();
+        if live.len() > 1 {
+            for &victim in &live {
+                let mut cand = cur.clone();
+                cand.edits.keep = Some(live.iter().copied().filter(|&j| j != victim).collect());
+                if still_failing(&cand) {
+                    cur = cand;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+
+        // Strip the noise-operator calls once method-dropping is exhausted.
+        if !progressed && !cur.edits.strip_noise {
+            let mut cand = cur.clone();
+            cand.edits.strip_noise = true;
+            if still_failing(&cand) {
+                cur = cand;
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_single_guilty_method() {
+        // Pick a corpus spec with several methods; declare method 2 "guilty".
+        let spec = (0..256)
+            .map(|i| crate::spec(17, i))
+            .find(|s| s.methods.len() >= 3)
+            .expect("stream contains a 3-method spec");
+        let guilty = spec.methods[2].name.clone();
+        let mut evals = 0;
+        let min = shrink(&spec, |cand| {
+            evals += 1;
+            cand.live_methods()
+                .iter()
+                .any(|&i| cand.methods[i].name == guilty)
+        });
+        assert_eq!(min.live_methods().len(), 1);
+        assert_eq!(min.methods[min.live_methods()[0]].name, guilty);
+        assert!(min.edits.strip_noise);
+        assert!(evals < 40, "greedy shrink stays small: {evals} evals");
+        // The shrunk recipe still builds and still carries a regenerable name.
+        let b = min.build();
+        assert_eq!(b.methods.len(), 1);
+        assert!(crate::find("gen", &min.library_name()).is_some());
+    }
+
+    #[test]
+    fn refuses_to_lose_the_failure() {
+        let spec = crate::spec(17, 0);
+        // A predicate that only fails on the *unshrunk* spec: nothing can be dropped.
+        let original = spec.library_name();
+        let min = shrink(&spec, |cand| cand.library_name() == original);
+        assert_eq!(min.library_name(), original);
+    }
+}

@@ -1,0 +1,595 @@
+//! The generation IR: a [`GenSpec`] is the *recipe* for one verification configuration.
+//!
+//! A spec is pure data drawn deterministically from a `(seed, index)` pair, and
+//! [`GenSpec::build`](crate::GenSpec::build) turns it into a `hat_suite::Benchmark`
+//! whose per-method verdicts are known by construction. Keeping the recipe separate
+//! from the built configuration is what makes the rest of the tooling cheap:
+//!
+//! * **naming** — the recipe round-trips through the configuration's library name
+//!   (`s<seed>-i<index>[-m<kept methods>][-n0]`), so a daemon can regenerate the exact
+//!   configuration server-side from the name alone, and
+//! * **shrinking** — the shrinker edits the recipe (drop a method, strip the noise
+//!   calls) rather than the built syntax tree, so every shrink candidate is still a
+//!   well-sorted configuration with known verdicts.
+//!
+//! The draw order of [`draw`] is part of the reproducibility contract: it only ever
+//! consumes randomness from the single shared `hat_testkit::XorShift` stream, so one
+//! printed seed replays the whole configuration.
+
+use hat_logic::Sort;
+use hat_testkit::XorShift;
+use std::fmt;
+
+/// The invariant families the generator draws from. Each family mirrors an invariant
+/// shape that the hand-written suite already verifies, so an OK verdict is not just
+/// semantically true but demonstrably within the checker's competence (the fuzzer's
+/// job is to confirm that stays true across the whole knob matrix, not to probe
+/// checker completeness on alien shapes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// `at_most_once(⟨add ā | a0 = g⟩)` with a membership probe — the Set/DFA-KVStore
+    /// uniqueness shape.
+    Uniqueness,
+    /// `□¬⟨pair ā | a0 = g ∧ a1 = g⟩` with a pure equality guard — the
+    /// ConnectedGraph/Graph no-self-loop shape.
+    ForbiddenPair,
+    /// `♦⟨use ā | a0 = g⟩ ⇒ ♦⟨link ā | a0 = g⟩` — the MinSet cached-element shape.
+    Link,
+    /// `□¬(⟨conn | a0 = g⟩ ∧ ◯(¬⟨disc | a0 = g⟩ U ⟨conn | a0 = g⟩))` — the DFA/Graph
+    /// determinism (disconnect-before-reconnect) shape.
+    Alternation,
+}
+
+impl Family {
+    /// Short lower-case tag used in descriptions and snapshots.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Family::Uniqueness => "uniqueness",
+            Family::ForbiddenPair => "forbidden-pair",
+            Family::Link => "link",
+            Family::Alternation => "alternation",
+        }
+    }
+}
+
+/// The OK body shapes, i.e. method implementations that provably preserve the family's
+/// invariant. Each shape is a template instantiated with the spec's drawn names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodShape {
+    /// `return ()` — touches nothing.
+    Ret,
+    /// Uniqueness: `let b = probe k in return b` — a pure observation.
+    Probe,
+    /// Uniqueness: probe-guarded add (the paper's §2 guarded insert).
+    GuardedAdd,
+    /// Uniqueness: add guarded by a pure `k = g` comparison with the ghost — adding an
+    /// element provably different from the tracked one cannot duplicate it.
+    PureGuardedAdd,
+    /// Uniqueness: two sequential probe-guarded adds on two different parameters.
+    DoubleGuardedAdd,
+    /// ForbiddenPair: pair op guarded by a pure `s = t` comparison.
+    PairGuardedAdd,
+    /// Link: `link k; use k` — records the element before using it.
+    LinkThenUse,
+    /// Link: `link k` alone — registering without using is always safe.
+    LinkOnly,
+    /// Link: `use k; link k` — the implication constrains only the final trace, so
+    /// establishing the link after the use still satisfies it.
+    UseThenLink,
+    /// Alternation: `disc (s, old); conn (s, t)` — the verified replace-transition
+    /// pattern.
+    SwapThenAdd,
+    /// Alternation: `disc (s, t)` alone — removing never violates determinism.
+    ClearOnly,
+}
+
+impl MethodShape {
+    /// Short tag used in descriptions and snapshots.
+    pub fn tag(self) -> &'static str {
+        match self {
+            MethodShape::Ret => "ret",
+            MethodShape::Probe => "probe",
+            MethodShape::GuardedAdd => "guarded-add",
+            MethodShape::PureGuardedAdd => "pure-guarded-add",
+            MethodShape::DoubleGuardedAdd => "double-guarded-add",
+            MethodShape::PairGuardedAdd => "pair-guarded-add",
+            MethodShape::LinkThenUse => "link-then-use",
+            MethodShape::LinkOnly => "link-only",
+            MethodShape::UseThenLink => "use-then-link",
+            MethodShape::SwapThenAdd => "swap-then-add",
+            MethodShape::ClearOnly => "clear-only",
+        }
+    }
+}
+
+/// The verdict-flipping mutation catalogue. Every mutation is applicable only to
+/// shapes where it *provably* breaks the invariant (see `docs/FUZZING.md` for the
+/// violating-trace argument of each entry), so a mutated method's expected verdict is
+/// FAIL by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Remove the guard: the unguarded add/conn may duplicate the tracked element
+    /// (uniqueness), alias the forbidden pair, or reconnect without a disconnect.
+    DropGuard,
+    /// Swap the guard's branches: act exactly when the guard says not to.
+    NegateGuard,
+    /// Guard one parameter but add another: the guard proves nothing about the key
+    /// actually written.
+    WrongKey,
+    /// Perform the add twice inside the guard: the second add duplicates the element
+    /// the first one just made present.
+    DoubleAdd,
+    /// Widen the invariant's event qualifier from `a0 = g` to `⊤` in this method's
+    /// signature: "never add the tracked element twice" becomes "never add anything
+    /// twice", which a guarded add of a *fresh* element still violates.
+    WidenQualifier,
+    /// Pass the same variable for both pair positions — the forbidden pair itself.
+    AliasArg,
+    /// Skip the link event and go straight to the use: the implication's right side
+    /// never becomes true.
+    SkipLink,
+    /// Link one key but use another.
+    WrongKeyLink,
+    /// Permute the disconnect/connect pair: connecting before disconnecting leaves a
+    /// window with two live connections.
+    PermutePair,
+    /// Connect twice with no disconnect in between — the classic determinism bug.
+    DoubleConnect,
+}
+
+impl Mutation {
+    /// Short tag used in descriptions and snapshots.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Mutation::DropGuard => "drop-guard",
+            Mutation::NegateGuard => "negate-guard",
+            Mutation::WrongKey => "wrong-key",
+            Mutation::DoubleAdd => "double-add",
+            Mutation::WidenQualifier => "widen-qualifier",
+            Mutation::AliasArg => "alias-arg",
+            Mutation::SkipLink => "skip-link",
+            Mutation::WrongKeyLink => "wrong-key-link",
+            Mutation::PermutePair => "permute-pair",
+            Mutation::DoubleConnect => "double-connect",
+        }
+    }
+
+    /// The mutations that provably flip the verdict of a given shape.
+    pub fn applicable(family: Family, shape: MethodShape) -> &'static [Mutation] {
+        use Family::*;
+        use MethodShape::*;
+        use Mutation::*;
+        match (family, shape) {
+            (Uniqueness, GuardedAdd) => {
+                &[DropGuard, NegateGuard, WrongKey, DoubleAdd, WidenQualifier]
+            }
+            (Uniqueness, PureGuardedAdd) => &[DropGuard, NegateGuard, WidenQualifier],
+            (Uniqueness, DoubleGuardedAdd) => &[DropGuard, WidenQualifier],
+            (ForbiddenPair, PairGuardedAdd) => &[DropGuard, NegateGuard, AliasArg],
+            (Link, LinkThenUse) => &[SkipLink, WrongKeyLink],
+            (Link, UseThenLink) => &[SkipLink],
+            (Alternation, SwapThenAdd) => &[PermutePair, DoubleConnect, DropGuard],
+            _ => &[],
+        }
+    }
+}
+
+/// One generated method: a shape, an optional verdict-flipping mutation, and the drawn
+/// names it is instantiated with.
+#[derive(Debug, Clone)]
+pub struct MethodSpec {
+    /// The OK template.
+    pub shape: MethodShape,
+    /// `Some` turns the method into a FAIL entry.
+    pub mutation: Option<Mutation>,
+    /// Method name (unique within the configuration).
+    pub name: String,
+    /// Key-sorted parameter names, in positional order.
+    pub key_params: Vec<String>,
+    /// Extra value/label parameter when the main operator's arity asks for one.
+    pub extra_param: Option<String>,
+    /// Guard binder name (probe result or pure comparison result).
+    pub guard_binder: String,
+    /// Indices into the spec's noise operators called as a prefix of the body.
+    pub noise_calls: Vec<usize>,
+}
+
+impl MethodSpec {
+    /// The constructed verdict: OK unless a mutation was applied.
+    pub fn expect_verified(&self) -> bool {
+        self.mutation.is_none()
+    }
+
+    /// `shape` or `shape+mutation` tag, as rendered in snapshots.
+    pub fn tag(&self) -> String {
+        match self.mutation {
+            None => self.shape.tag().to_string(),
+            Some(m) => format!("{}+{}", self.shape.tag(), m.tag()),
+        }
+    }
+}
+
+/// Shrinker edits applied on top of the drawn spec. Encoded in the configuration name
+/// so even a shrunk reproducer can be regenerated from its name alone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Edits {
+    /// Keep only these method indices (into the drawn method list). `None` keeps all.
+    pub keep: Option<Vec<usize>>,
+    /// Strip all noise-operator calls from every method body.
+    pub strip_noise: bool,
+}
+
+/// The full recipe for one generated configuration.
+#[derive(Debug, Clone)]
+pub struct GenSpec {
+    /// Stream seed this spec was drawn from.
+    pub seed: u64,
+    /// Index within the seed's stream.
+    pub index: u64,
+    /// Invariant family.
+    pub family: Family,
+    /// The sort of keys/elements (ints or an uninterpreted named sort).
+    pub key_sort: Sort,
+    /// Whether a (semantically inert) method-predicate axiom set is attached,
+    /// exercising the engine's axiom-fingerprint cache keying.
+    pub with_axioms: bool,
+    /// The invariant-tracked operator (add / pair / use / connect).
+    pub main_op: String,
+    /// Arity of the main operator (key + optional value/label positions).
+    pub main_arity: usize,
+    /// The auxiliary operator (probe / link / disconnect); unused by ForbiddenPair.
+    pub aux_op: String,
+    /// Extra operators unrelated to the invariant: `(name, arity)`.
+    pub noise_ops: Vec<(String, usize)>,
+    /// Ghost variable name of the invariant.
+    pub ghost: String,
+    /// The drawn methods.
+    pub methods: Vec<MethodSpec>,
+    /// Shrinker edits (identity for a freshly drawn spec).
+    pub edits: Edits,
+}
+
+impl GenSpec {
+    /// The configuration's ADT name (all generated configurations share it).
+    pub fn adt(&self) -> &'static str {
+        "gen"
+    }
+
+    /// The configuration's library name — the `(seed, index, edits)` recipe:
+    /// `s<seed>-i<index>[-m<kept method indices>][-n0]`.
+    pub fn library_name(&self) -> String {
+        let mut name = format!("s{}-i{}", self.seed, self.index);
+        if let Some(keep) = &self.edits.keep {
+            name.push_str("-m");
+            for i in keep {
+                name.push_str(&i.to_string());
+            }
+        }
+        if self.edits.strip_noise {
+            name.push_str("-n0");
+        }
+        name
+    }
+
+    /// Method indices that survive the current edits.
+    pub fn live_methods(&self) -> Vec<usize> {
+        match &self.edits.keep {
+            Some(keep) => keep.clone(),
+            None => (0..self.methods.len()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for GenSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gen/{} family={} sort={} axioms={} main={}/{} aux={}",
+            self.library_name(),
+            self.family.tag(),
+            self.key_sort,
+            self.with_axioms,
+            self.main_op,
+            self.main_arity,
+            if self.aux_op.is_empty() {
+                "-"
+            } else {
+                &self.aux_op
+            },
+        )?;
+        if !self.noise_ops.is_empty() {
+            write!(f, " noise=[")?;
+            for (i, (n, a)) in self.noise_ops.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{n}/{a}")?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, " methods=[")?;
+        for (i, &m) in self.live_methods().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            let m = &self.methods[m];
+            write!(f, "{}{{{}}}", m.name, m.tag())?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Parses a library name produced by [`GenSpec::library_name`] back into its
+/// `(seed, index, edits)` recipe.
+pub fn parse_library_name(lib: &str) -> Option<(u64, u64, Edits)> {
+    let mut parts = lib.split('-');
+    let seed = parts.next()?.strip_prefix('s')?.parse().ok()?;
+    let index = parts.next()?.strip_prefix('i')?.parse().ok()?;
+    let mut edits = Edits::default();
+    for p in parts {
+        if let Some(digits) = p.strip_prefix('m') {
+            if digits.is_empty() || !digits.chars().all(|c| c.is_ascii_digit()) {
+                return None;
+            }
+            edits.keep = Some(
+                digits
+                    .chars()
+                    .map(|c| c.to_digit(10).unwrap() as usize)
+                    .collect(),
+            );
+        } else if p == "n0" {
+            edits.strip_noise = true;
+        } else {
+            return None;
+        }
+    }
+    Some((seed, index, edits))
+}
+
+// Name pools. The pools are mutually disjoint so drawn names can never collide across
+// roles (operator vs parameter vs ghost vs binder); within a role, draws are made
+// without replacement.
+const MAIN_OPS: &[&str] = &[
+    "insert", "put", "push", "connect", "record", "store", "write", "append",
+];
+const PROBE_OPS: &[&str] = &["mem", "exists", "has", "contains", "seen", "lookup"];
+const LINK_OPS: &[&str] = &["register", "reserve", "declare", "intern"];
+const CLEAR_OPS: &[&str] = &["remove", "disconnect", "evict", "release"];
+const NOISE_OPS: &[&str] = &["log", "touch", "ping", "audit", "mark"];
+const METHOD_VERBS: &[&str] = &[
+    "apply", "update", "admit", "commit", "ingest", "sync", "refresh", "settle",
+];
+const PARAM_NAMES: &[&str] = &["x", "k", "key", "item", "v", "p", "q", "elem"];
+const GHOST_NAMES: &[&str] = &["el", "g", "n", "tgt"];
+const BINDER_NAMES: &[&str] = &["b", "present", "was", "ok", "r"];
+
+/// Draws `k` distinct names from a pool, optionally suffixing each with a drawn digit
+/// (the suffix exercises cache-key α-discipline: configurations differing only in
+/// operator names must never share a memo entry by accident).
+fn draw_names(rng: &mut XorShift, pool: &[&str], k: usize) -> Vec<String> {
+    let mut picked: Vec<usize> = Vec::new();
+    let mut out = Vec::new();
+    for _ in 0..k.min(pool.len()) {
+        let mut i = rng.below(pool.len() as u64) as usize;
+        while picked.contains(&i) {
+            i = (i + 1) % pool.len();
+        }
+        picked.push(i);
+        let mut name = pool[i].to_string();
+        if rng.flip() {
+            name.push_str(&rng.below(10).to_string());
+        }
+        out.push(name);
+    }
+    out
+}
+
+/// Derives the per-index stream seed. `(seed, index)` pairs get well-separated
+/// xorshift states via a golden-ratio mix (the same constant the pinned differential
+/// seeds use).
+fn mix(seed: u64, index: u64) -> u64 {
+    seed ^ (index.wrapping_add(1)).wrapping_mul(0x9e3779b97f4a7c15)
+}
+
+/// Draws the spec for `(seed, index)`. Deterministic: the same pair always yields the
+/// same spec, and the draw order below is a compatibility contract with committed
+/// corpus snapshots.
+pub fn draw(seed: u64, index: u64) -> GenSpec {
+    let mut rng = XorShift::seeded(mix(seed, index));
+
+    let family = *rng.pick(&[
+        Family::Uniqueness,
+        Family::ForbiddenPair,
+        Family::Link,
+        Family::Alternation,
+    ]);
+    let key_sort = match rng.below(4) {
+        0 => Sort::Int,
+        1 => Sort::named("Elem.t"),
+        2 => Sort::named("Node.t"),
+        _ => Sort::named("Key.t"),
+    };
+    let with_axioms = rng.flip();
+
+    let main_arity = match family {
+        // key (+ optional stored value)
+        Family::Uniqueness => 1 + rng.below(2) as usize,
+        // (src, dst) (+ optional label)
+        Family::ForbiddenPair => 2 + rng.below(2) as usize,
+        Family::Link => 1,
+        Family::Alternation => 2,
+    };
+
+    let main_op = draw_names(&mut rng, MAIN_OPS, 1).remove(0);
+    let aux_op = match family {
+        Family::Uniqueness => draw_names(&mut rng, PROBE_OPS, 1).remove(0),
+        Family::ForbiddenPair => String::new(),
+        Family::Link => draw_names(&mut rng, LINK_OPS, 1).remove(0),
+        Family::Alternation => draw_names(&mut rng, CLEAR_OPS, 1).remove(0),
+    };
+    let noise_count = rng.below(3) as usize;
+    let noise_ops: Vec<(String, usize)> = draw_names(&mut rng, NOISE_OPS, noise_count)
+        .into_iter()
+        .map(|n| (n, 1 + rng.below(2) as usize))
+        .collect();
+    let ghost = draw_names(&mut rng, GHOST_NAMES, 1).remove(0);
+
+    let n_methods = 1 + rng.below(4) as usize;
+    let mut methods = Vec::new();
+    for mi in 0..n_methods {
+        let shapes: &[MethodShape] = match family {
+            Family::Uniqueness => &[
+                MethodShape::Ret,
+                MethodShape::Probe,
+                MethodShape::GuardedAdd,
+                MethodShape::GuardedAdd, // weighted: the interesting shape
+                MethodShape::PureGuardedAdd,
+                MethodShape::DoubleGuardedAdd,
+            ],
+            Family::ForbiddenPair => &[
+                MethodShape::Ret,
+                MethodShape::PairGuardedAdd,
+                MethodShape::PairGuardedAdd,
+            ],
+            Family::Link => &[
+                MethodShape::Ret,
+                MethodShape::LinkOnly,
+                MethodShape::LinkThenUse,
+                MethodShape::LinkThenUse,
+                MethodShape::UseThenLink,
+            ],
+            Family::Alternation => &[
+                MethodShape::Ret,
+                MethodShape::ClearOnly,
+                MethodShape::SwapThenAdd,
+                MethodShape::SwapThenAdd,
+            ],
+        };
+        let shape = *rng.pick(shapes);
+        let applicable = Mutation::applicable(family, shape);
+        let mutation = if !applicable.is_empty() && rng.below(5) < 2 {
+            Some(*rng.pick(applicable))
+        } else {
+            None
+        };
+
+        let n_keys = key_param_count(family, shape, mutation);
+        let key_params = draw_names(&mut rng, PARAM_NAMES, n_keys);
+        let extra_param = match family {
+            Family::Uniqueness if main_arity == 2 => Some("val_arg".to_string()),
+            Family::ForbiddenPair if main_arity == 3 => Some("lbl_arg".to_string()),
+            _ => None,
+        };
+        let guard_binder = draw_names(&mut rng, BINDER_NAMES, 1).remove(0);
+        let noise_calls: Vec<usize> = (0..noise_ops.len()).filter(|_| rng.flip()).collect();
+        let verb = *rng.pick(METHOD_VERBS);
+        methods.push(MethodSpec {
+            shape,
+            mutation,
+            name: format!("{verb}_m{mi}"),
+            key_params,
+            extra_param,
+            guard_binder,
+            noise_calls,
+        });
+    }
+
+    GenSpec {
+        seed,
+        index,
+        family,
+        key_sort,
+        with_axioms,
+        main_op,
+        main_arity,
+        aux_op,
+        noise_ops,
+        ghost,
+        methods,
+        edits: Edits::default(),
+    }
+}
+
+/// How many key-sorted parameters a method needs for its shape and mutation.
+fn key_param_count(family: Family, shape: MethodShape, mutation: Option<Mutation>) -> usize {
+    use MethodShape::*;
+    let base = match (family, shape) {
+        (Family::ForbiddenPair, _) => 2,
+        (Family::Alternation, SwapThenAdd) => 3,
+        (Family::Alternation, _) => 2,
+        (_, DoubleGuardedAdd) => 2,
+        _ => 1,
+    };
+    let extra = matches!(
+        mutation,
+        Some(Mutation::WrongKey) | Some(Mutation::WrongKeyLink)
+    );
+    base + usize::from(extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drawing_is_deterministic() {
+        for i in 0..32 {
+            let a = draw(7, i);
+            let b = draw(7, i);
+            assert_eq!(a.to_string(), b.to_string());
+        }
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut s = draw(11, 3);
+        assert_eq!(
+            parse_library_name(&s.library_name()),
+            Some((11, 3, Edits::default()))
+        );
+        s.edits.keep = Some(vec![0, 2]);
+        s.edits.strip_noise = true;
+        let (seed, index, edits) = parse_library_name(&s.library_name()).unwrap();
+        assert_eq!((seed, index), (11, 3));
+        assert_eq!(edits.keep, Some(vec![0, 2]));
+        assert!(edits.strip_noise);
+        assert!(parse_library_name("s1-i2-zz").is_none());
+        assert!(parse_library_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn mutations_only_apply_where_catalogued() {
+        for seed in 1..6u64 {
+            for i in 0..64 {
+                let s = draw(seed, i);
+                for m in &s.methods {
+                    if let Some(mu) = m.mutation {
+                        assert!(
+                            Mutation::applicable(s.family, m.shape).contains(&mu),
+                            "{mu:?} drawn for inapplicable {:?}/{:?}",
+                            s.family,
+                            m.shape
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn the_stream_covers_every_family_and_mutation() {
+        let mut families = std::collections::BTreeSet::new();
+        let mut mutations = std::collections::BTreeSet::new();
+        for i in 0..512 {
+            let s = draw(1, i);
+            families.insert(s.family.tag());
+            for m in &s.methods {
+                if let Some(mu) = m.mutation {
+                    mutations.insert(mu.tag());
+                }
+            }
+        }
+        assert_eq!(families.len(), 4, "families seen: {families:?}");
+        assert!(mutations.len() >= 9, "mutations seen: {mutations:?}");
+    }
+}

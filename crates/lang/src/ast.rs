@@ -123,6 +123,62 @@ impl Value {
     pub fn atom(s: impl Into<String>) -> Self {
         Value::Const(Constant::Atom(s.into()))
     }
+
+    /// Whether the identifier occurs anywhere in the value — as a binder or as a
+    /// variable use.
+    pub fn mentions_var(&self, x: &str) -> bool {
+        match self {
+            Value::Const(_) => false,
+            Value::Var(y) => y == x,
+            Value::Ctor(_, args) => args.iter().any(|a| a.mentions_var(x)),
+            Value::Lambda { param, body, .. } => param == x || body.mentions_var(x),
+            Value::Fix {
+                fname, param, body, ..
+            } => fname == x || param == x || body.mentions_var(x),
+        }
+    }
+
+    /// Uniformly renames every occurrence of the identifier `from` — binding and use
+    /// alike — to `to`. See [`Expr::rename_var`] for the freshness requirement on `to`.
+    pub fn rename_var(&self, from: &str, to: &str) -> Value {
+        let rx = |x: &Ident| {
+            if x == from {
+                to.to_string()
+            } else {
+                x.clone()
+            }
+        };
+        match self {
+            Value::Const(c) => Value::Const(c.clone()),
+            Value::Var(x) => Value::Var(rx(x)),
+            Value::Ctor(d, args) => Value::Ctor(
+                d.clone(),
+                args.iter().map(|a| a.rename_var(from, to)).collect(),
+            ),
+            Value::Lambda {
+                param,
+                param_ty,
+                body,
+            } => Value::Lambda {
+                param: rx(param),
+                param_ty: param_ty.clone(),
+                body: Box::new(body.rename_var(from, to)),
+            },
+            Value::Fix {
+                fname,
+                fty,
+                param,
+                param_ty,
+                body,
+            } => Value::Fix {
+                fname: rx(fname),
+                fty: fty.clone(),
+                param: rx(param),
+                param_ty: param_ty.clone(),
+                body: Box::new(body.rename_var(from, to)),
+            },
+        }
+    }
 }
 
 impl fmt::Display for Value {
@@ -258,6 +314,87 @@ impl Expr {
             | Expr::LetApp { body, .. } => 1 + body.app_count(),
             Expr::Let { rhs, body, .. } => rhs.app_count() + body.app_count(),
             Expr::Match { arms, .. } => arms.iter().map(|a| a.body.app_count()).sum(),
+        }
+    }
+
+    /// Whether the identifier occurs anywhere in the expression — as a binder or as a
+    /// variable use.
+    pub fn mentions_var(&self, x: &str) -> bool {
+        let value_mentions = |v: &Value| v.mentions_var(x);
+        match self {
+            Expr::Value(v) => value_mentions(v),
+            Expr::LetEffOp {
+                x: b, args, body, ..
+            }
+            | Expr::LetPureOp {
+                x: b, args, body, ..
+            } => b == x || args.iter().any(value_mentions) || body.mentions_var(x),
+            Expr::LetApp {
+                x: b,
+                func,
+                arg,
+                body,
+            } => b == x || value_mentions(func) || value_mentions(arg) || body.mentions_var(x),
+            Expr::Let { x: b, rhs, body } => b == x || rhs.mentions_var(x) || body.mentions_var(x),
+            Expr::Match { scrutinee, arms } => {
+                value_mentions(scrutinee)
+                    || arms
+                        .iter()
+                        .any(|a| a.binders.iter().any(|b| b == x) || a.body.mentions_var(x))
+            }
+        }
+    }
+
+    /// Uniformly renames every occurrence of the identifier `from` — binding and use
+    /// alike — to `to`. Sound as an α-renaming only when `to` occurs nowhere in the
+    /// expression; the caller supplies a fresh name. Used by the checker to move
+    /// program variables out of reserved namespaces (e.g. a parameter that shadows
+    /// the refinement binder ν) without changing the program's meaning.
+    pub fn rename_var(&self, from: &str, to: &str) -> Expr {
+        let rv = |v: &Value| v.rename_var(from, to);
+        let rx = |x: &Ident| {
+            if x == from {
+                to.to_string()
+            } else {
+                x.clone()
+            }
+        };
+        match self {
+            Expr::Value(v) => Expr::Value(rv(v)),
+            Expr::LetEffOp { x, op, args, body } => Expr::LetEffOp {
+                x: rx(x),
+                op: op.clone(),
+                args: args.iter().map(&rv).collect(),
+                body: Box::new(body.rename_var(from, to)),
+            },
+            Expr::LetPureOp { x, op, args, body } => Expr::LetPureOp {
+                x: rx(x),
+                op: op.clone(),
+                args: args.iter().map(&rv).collect(),
+                body: Box::new(body.rename_var(from, to)),
+            },
+            Expr::LetApp { x, func, arg, body } => Expr::LetApp {
+                x: rx(x),
+                func: rv(func),
+                arg: rv(arg),
+                body: Box::new(body.rename_var(from, to)),
+            },
+            Expr::Let { x, rhs, body } => Expr::Let {
+                x: rx(x),
+                rhs: Box::new(rhs.rename_var(from, to)),
+                body: Box::new(body.rename_var(from, to)),
+            },
+            Expr::Match { scrutinee, arms } => Expr::Match {
+                scrutinee: rv(scrutinee),
+                arms: arms
+                    .iter()
+                    .map(|a| MatchArm {
+                        ctor: a.ctor.clone(),
+                        binders: a.binders.iter().map(&rx).collect(),
+                        body: a.body.rename_var(from, to),
+                    })
+                    .collect(),
+            },
         }
     }
 

@@ -11,27 +11,9 @@
 use hat_logic::{Atom, Formula, Sort, Term};
 use hat_sfa::{OpSig, Sfa, VarCtx};
 
-/// The deterministic xorshift generator shared with `suite/tests/end_to_end.rs`.
-pub struct XorShift(pub u64);
-
-impl XorShift {
-    pub fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
-
-    pub fn below(&mut self, bound: u64) -> u64 {
-        self.next() % bound
-    }
-
-    pub fn flip(&mut self) -> bool {
-        self.below(2) == 0
-    }
-}
+/// The deterministic xorshift generator shared across the workspace's randomised
+/// harnesses (re-exported from `hat-testkit`, which pins the stream's draw order).
+pub use hat_testkit::XorShift;
 
 pub const CTX_VARS: [&str; 3] = ["el", "lo", "hi"];
 

@@ -202,10 +202,10 @@ fn filesystem_kvstore() -> Benchmark {
         ),
     ];
     Benchmark {
-        adt: "FileSystem",
-        library: "KVStore",
-        invariant_description: "Unix-like path policy",
-        policy: "Any non-root path stored as a key must have its parent stored as a non-deleted directory",
+        adt: "FileSystem".into(),
+        library: "KVStore".into(),
+        invariant_description: "Unix-like path policy".into(),
+        policy: "Any non-root path stored as a key must have its parent stored as a non-deleted directory".into(),
         ghosts,
         invariant: inv,
         delta: kvstore_delta(),
@@ -324,10 +324,10 @@ fn filesystem_tree() -> Benchmark {
         ),
     ];
     Benchmark {
-        adt: "FileSystem",
-        library: "Tree",
-        invariant_description: "Unix-like path policy",
-        policy: "A parent node stores a path that is a prefix of its children's paths",
+        adt: "FileSystem".into(),
+        library: "Tree".into(),
+        invariant_description: "Unix-like path policy".into(),
+        policy: "A parent node stores a path that is a prefix of its children's paths".into(),
         ghosts,
         invariant: inv,
         delta,

@@ -150,10 +150,10 @@ fn dfa_graph() -> Benchmark {
         ),
     ];
     Benchmark {
-        adt: "DFA",
-        library: "Graph",
-        invariant_description: "Determinism of transitions",
-        policy: "Two states can have at most one edge for a character",
+        adt: "DFA".into(),
+        library: "Graph".into(),
+        invariant_description: "Determinism of transitions".into(),
+        policy: "Two states can have at most one edge for a character".into(),
         ghosts,
         invariant: inv,
         delta: graph_delta(),
@@ -244,10 +244,10 @@ fn dfa_kvstore() -> Benchmark {
         ),
     ];
     Benchmark {
-        adt: "DFA",
-        library: "KVStore",
-        invariant_description: "Determinism of transitions",
-        policy: "Each (state, character) key holds at most one stored transition",
+        adt: "DFA".into(),
+        library: "KVStore".into(),
+        invariant_description: "Determinism of transitions".into(),
+        policy: "Each (state, character) key holds at most one stored transition".into(),
         ghosts,
         invariant: inv,
         delta: kvstore_delta(),
@@ -328,10 +328,10 @@ fn connectedgraph_set() -> Benchmark {
         ),
     ];
     Benchmark {
-        adt: "ConnectedGraph",
-        library: "Set",
-        invariant_description: "Connectivity",
-        policy: "The set stores unique (source, target) pairs",
+        adt: "ConnectedGraph".into(),
+        library: "Set".into(),
+        invariant_description: "Connectivity".into(),
+        policy: "The set stores unique (source, target) pairs".into(),
         ghosts,
         invariant: inv,
         delta: set_delta(),
@@ -446,10 +446,10 @@ fn connectedgraph_graph() -> Benchmark {
         ),
     ];
     Benchmark {
-        adt: "ConnectedGraph",
-        library: "Graph",
-        invariant_description: "Connectivity",
-        policy: "All edges connect two distinct nodes (no self loops)",
+        adt: "ConnectedGraph".into(),
+        library: "Graph".into(),
+        invariant_description: "Connectivity".into(),
+        policy: "All edges connect two distinct nodes (no self loops)".into(),
         ghosts,
         invariant: inv,
         delta: graph_delta(),

@@ -59,14 +59,14 @@ impl Method {
 /// One (ADT, backing library) configuration of Table 1.
 #[derive(Debug, Clone)]
 pub struct Benchmark {
-    /// ADT name (e.g. `Stack`).
-    pub adt: &'static str,
-    /// Backing library name (e.g. `LinkedList`).
-    pub library: &'static str,
+    /// ADT name (e.g. `Stack`; `gen` for configurations produced by `hat-gen`).
+    pub adt: String,
+    /// Backing library name (e.g. `LinkedList`; a `(seed, index)` recipe for `hat-gen`).
+    pub library: String,
     /// The Table 2 description of the representation invariant.
-    pub invariant_description: &'static str,
+    pub invariant_description: String,
     /// The Table 2 description of the policy on library interactions.
-    pub policy: &'static str,
+    pub policy: String,
     /// Ghost variables of the representation invariant.
     pub ghosts: Vec<(Ident, Sort)>,
     /// The representation invariant automaton.
@@ -165,7 +165,8 @@ mod tests {
     fn the_suite_has_all_nineteen_configurations() {
         let benches = all_benchmarks();
         assert_eq!(benches.len(), 19, "Table 1 lists 19 (ADT, library) rows");
-        let adts: std::collections::BTreeSet<&str> = benches.iter().map(|b| b.adt).collect();
+        let adts: std::collections::BTreeSet<&str> =
+            benches.iter().map(|b| b.adt.as_str()).collect();
         assert_eq!(adts.len(), 9, "Table 1 covers 9 distinct ADTs");
     }
 

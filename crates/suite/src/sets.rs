@@ -202,10 +202,10 @@ fn set_tree() -> Benchmark {
         ),
     ];
     Benchmark {
-        adt: "Set",
-        library: "Tree",
-        invariant_description: "Unique elements",
-        policy: "The underlying tree is a search tree: no element is attached twice",
+        adt: "Set".into(),
+        library: "Tree".into(),
+        invariant_description: "Unique elements".into(),
+        policy: "The underlying tree is a search tree: no element is attached twice".into(),
         ghosts,
         invariant: inv,
         delta: tree_delta(),
@@ -292,10 +292,10 @@ fn set_kvstore() -> Benchmark {
     ];
     // The element ghost ranges over element keys here.
     let mut b = Benchmark {
-        adt: "Set",
-        library: "KVStore",
-        invariant_description: "Unique elements",
-        policy: "Every element key is stored at most once (distinct value per key)",
+        adt: "Set".into(),
+        library: "KVStore".into(),
+        invariant_description: "Unique elements".into(),
+        policy: "Every element key is stored at most once (distinct value per key)".into(),
         ghosts: vec![("el".to_string(), sorts::path())],
         invariant: inv,
         delta: kvstore_delta(),
@@ -388,10 +388,10 @@ fn heap_tree() -> Benchmark {
         ),
     ];
     Benchmark {
-        adt: "Heap",
-        library: "Tree",
-        invariant_description: "Min-heap property",
-        policy: "The value of a parent node is at most the value of each of its children",
+        adt: "Heap".into(),
+        library: "Tree".into(),
+        invariant_description: "Min-heap property".into(),
+        policy: "The value of a parent node is at most the value of each of its children".into(),
         ghosts,
         invariant: inv,
         delta: tree_delta(),
@@ -546,10 +546,10 @@ fn minset(library: &'static str) -> Benchmark {
         }
     }
     Benchmark {
-        adt: "MinSet",
-        library,
-        invariant_description: "Uniqueness and minimality of the cached minimum",
-        policy,
+        adt: "MinSet".into(),
+        library: library.into(),
+        invariant_description: "Uniqueness and minimality of the cached minimum".into(),
+        policy: policy.into(),
         ghosts,
         invariant: inv,
         delta,
@@ -712,14 +712,15 @@ fn lazyset(library: &'static str) -> Benchmark {
         m.sig.ghosts = ghosts_final.clone();
     }
     Benchmark {
-        adt: "LazySet",
-        library,
-        invariant_description: "Uniqueness of elements",
+        adt: "LazySet".into(),
+        library: library.into(),
+        invariant_description: "Uniqueness of elements".into(),
         policy: match library {
             "Tree" => "The underlying tree never receives the same element twice",
             "Set" => "An element is never inserted twice",
             _ => "Every key is associated with a distinct value",
-        },
+        }
+        .into(),
         ghosts: ghosts_final,
         invariant: inv,
         delta,
@@ -732,10 +733,10 @@ fn lazyset(library: &'static str) -> Benchmark {
 /// The configurations defined in this module.
 pub fn benchmarks() -> Vec<Benchmark> {
     let mut set_over_set = Benchmark {
-        adt: "Set",
-        library: "Set",
-        invariant_description: "Unique elements",
-        policy: "An element is never inserted twice",
+        adt: "Set".into(),
+        library: "Set".into(),
+        invariant_description: "Unique elements".into(),
+        policy: "An element is never inserted twice".into(),
         ghosts: el_ghost(),
         invariant: set_uniqueness(),
         delta: set_delta(),

@@ -124,10 +124,10 @@ fn stack_linkedlist() -> Benchmark {
         ),
     ];
     Benchmark {
-        adt: "Stack",
-        library: "LinkedList",
-        invariant_description: "LIFO-property",
-        policy: "The addresses that store elements are unique (no cell is re-linked)",
+        adt: "Stack".into(),
+        library: "LinkedList".into(),
+        invariant_description: "LIFO-property".into(),
+        policy: "The addresses that store elements are unique (no cell is re-linked)".into(),
         ghosts,
         invariant: inv,
         delta: linkedlist_delta(),
@@ -239,10 +239,10 @@ fn stack_kvstore() -> Benchmark {
         ),
     ];
     Benchmark {
-        adt: "Stack",
-        library: "KVStore",
-        invariant_description: "LIFO-property",
-        policy: "Not a circular linked list (each cell key is written at most once)",
+        adt: "Stack".into(),
+        library: "KVStore".into(),
+        invariant_description: "LIFO-property".into(),
+        policy: "Not a circular linked list (each cell key is written at most once)".into(),
         ghosts,
         invariant: inv,
         delta: kvstore_delta(),
@@ -350,10 +350,10 @@ fn queue_linkedlist() -> Benchmark {
         ),
     ];
     Benchmark {
-        adt: "Queue",
-        library: "LinkedList",
-        invariant_description: "FIFO-property",
-        policy: "Not a circular linked list (each cell is enqueued behind at most once)",
+        adt: "Queue".into(),
+        library: "LinkedList".into(),
+        invariant_description: "FIFO-property".into(),
+        policy: "Not a circular linked list (each cell is enqueued behind at most once)".into(),
         ghosts,
         invariant: inv,
         delta: linkedlist_delta(),
@@ -482,10 +482,10 @@ fn queue_graph() -> Benchmark {
         ),
     ];
     Benchmark {
-        adt: "Queue",
-        library: "Graph",
-        invariant_description: "FIFO-property",
-        policy: "No self-loops; out-degree of every node is at most 1",
+        adt: "Queue".into(),
+        library: "Graph".into(),
+        invariant_description: "FIFO-property".into(),
+        policy: "No self-loops; out-degree of every node is at most 1".into(),
         ghosts,
         invariant: inv,
         delta: graph_delta(),
@@ -501,9 +501,9 @@ fn queue_graph() -> Benchmark {
 /// most once), mirroring the Stack configuration with a heap-flavoured API.
 fn heap_linkedlist() -> Benchmark {
     let mut b = stack_linkedlist();
-    b.adt = "Heap";
-    b.invariant_description = "Min-heap property";
-    b.policy = "Not a circular linked list; the elements are kept sorted";
+    b.adt = "Heap".into();
+    b.invariant_description = "Min-heap property".into();
+    b.policy = "Not a circular linked list; the elements are kept sorted".into();
     // Rename the API to the heap vocabulary.
     for (m, name) in b
         .methods

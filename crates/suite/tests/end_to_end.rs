@@ -7,26 +7,11 @@ use hat_lang::interp::{Env, Interpreter, RtValue};
 use hat_logic::{Constant, Interpretation};
 use hat_sfa::{accepts, Trace, TraceModel};
 
-/// A tiny deterministic xorshift generator so the randomised-replay tests below run
-/// without a property-testing dependency (the build environment is offline). The
-/// sequences are fixed across runs, which also makes failures reproducible.
-struct XorShift(u64);
-
-impl XorShift {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
-
-    /// A value in `0..bound`.
-    fn below(&mut self, bound: u64) -> u64 {
-        self.next() % bound
-    }
-}
+/// The shared deterministic xorshift generator (`hat-testkit`), so the randomised-replay
+/// tests below run without a property-testing dependency (the build environment is
+/// offline). The sequences are fixed across runs, which also makes failures
+/// reproducible from a single printed seed.
+use hat_testkit::XorShift;
 
 #[test]
 fn fast_configurations_match_expected_verdicts() {
