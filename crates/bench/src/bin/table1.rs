@@ -14,7 +14,7 @@
 
 use hat_bench::{
     daemon_replay, engine_comparison, lsm_measurement, method_columns, mixed_traffic_replay,
-    table1_row, write_engine_json,
+    table1_row, write_engine_json, ENGINE_BENCH_SCHEMA,
 };
 
 fn main() {
@@ -117,17 +117,34 @@ fn main() {
         if let Some(largest) = comparison
             .inclusion_reduction
             .iter()
-            .max_by_key(|r| r.materialised_transitions)
+            .max_by_key(|r| r.materialise_transitions)
         {
             eprintln!(
-                "largest inclusion workload {}/{}: transitions {} (materialised) -> {} (on-the-fly), {:.1}x fewer ({} product states vs {} DFA states)",
+                "largest inclusion workload {}/{}: transitions {} (materialise) -> {} (on-the-fly, simulation subsumption), {:.1}x fewer ({} product pairs vs {} DFA states)",
                 largest.adt,
                 largest.library,
-                largest.materialised_transitions,
-                largest.onthefly_transitions,
+                largest.materialise_transitions,
+                largest.onthefly_simulation_transitions,
                 largest.reduction(),
                 largest.product_states,
-                largest.materialised_states
+                largest.materialise_states
+            );
+        }
+        if let Some(largest) = comparison
+            .subsumption_reduction
+            .iter()
+            .max_by_key(|r| r.off_cold_pairs)
+        {
+            eprintln!(
+                "largest product walk {}/{}: cold pairs {} (off) -> {} (syntactic) -> {} (simulation), {:.1}x fewer; {} pairs subsumed cold, {} simulation-memo hits warm",
+                largest.adt,
+                largest.library,
+                largest.off_cold_pairs,
+                largest.syntactic_cold_pairs,
+                largest.simulation_cold_pairs,
+                largest.cold_pair_reduction(),
+                largest.subsumed_pairs,
+                largest.simulation_memo_hits
             );
         }
         let shared_only: usize = comparison
@@ -191,7 +208,14 @@ fn main() {
             lsm.records_10x
         );
         let path = "BENCH_engine.json";
-        match write_engine_json(path, &comparison, Some(&replay), Some(&mixed), Some(&lsm)) {
+        match write_engine_json(
+            path,
+            ENGINE_BENCH_SCHEMA,
+            &comparison,
+            Some(&replay),
+            Some(&mixed),
+            Some(&lsm),
+        ) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }

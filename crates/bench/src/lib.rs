@@ -7,11 +7,11 @@
 //! comparison ([`engine_comparison`]), the daemon trace replay ([`daemon_replay`]) and
 //! the mixed-traffic fairness replay ([`mixed_traffic_replay`]), measures the LSM
 //! cache backend ([`lsm_measurement`]) and writes `BENCH_engine.json` (schema
-//! `hat-engine-bench v8`).
+//! [`ENGINE_BENCH_SCHEMA`]).
 
 use hat_core::MethodReport;
 use hat_engine::{CacheStatsSnapshot, Engine, EngineConfig, RunSummary};
-use hat_sfa::{EnumerationMode, InclusionMode};
+use hat_sfa::{EnumerationMode, InclusionMode, SubsumptionMode};
 use hat_suite::Benchmark;
 use std::io::Write;
 
@@ -89,6 +89,9 @@ pub struct EngineRun {
     pub prune: bool,
     /// How language inclusion was decided (`"onthefly"` or `"materialise"`).
     pub inclusion: &'static str,
+    /// Antichain subsumption tier of the on-the-fly walks (`"off"`, `"syntactic"` or
+    /// `"simulation"`).
+    pub subsume: &'static str,
     /// Whether per-worker local read-through tiers fronted the shared store.
     pub local_tiers: bool,
     /// Wall-clock seconds for the whole suite.
@@ -136,6 +139,12 @@ pub struct EngineBenchRow {
     pub shape_memo_hits: usize,
     /// Shared-tier shard-lock acquisitions by this benchmark's methods.
     pub shared_tier_locks: usize,
+    /// Antichain probes issued by the subsumption layer (0 when `--subsume off`).
+    pub subsumption_checks: usize,
+    /// Product pairs dropped by antichain subsumption before being enqueued.
+    pub subsumed_pairs: usize,
+    /// Simulation-order queries answered from the memoised preorder (warm-run signal).
+    pub simulation_memo_hits: usize,
 }
 
 impl EngineBenchRow {
@@ -160,6 +169,7 @@ fn engine_run(label: &str, config: &EngineConfig, warm: bool, summary: &RunSumma
             InclusionMode::OnTheFly => "onthefly",
             InclusionMode::Materialise => "materialise",
         },
+        subsume: config.subsume.as_str(),
         local_tiers: config.local_tiers,
         wall_seconds: summary.wall.as_secs_f64(),
         cache: summary.cache,
@@ -184,6 +194,9 @@ fn engine_run(label: &str, config: &EngineConfig, warm: bool, summary: &RunSumma
                 product_states: b.product_states(),
                 shape_memo_hits: b.shape_memo_hits(),
                 shared_tier_locks: b.shared_tier_locks(),
+                subsumption_checks: b.subsumption_checks(),
+                subsumed_pairs: b.subsumed_pairs(),
+                simulation_memo_hits: b.simulation_memo_hits(),
             })
             .collect(),
     }
@@ -265,36 +278,95 @@ impl PruneReductionRow {
 }
 
 /// The inclusion-decision cost of one configuration under both pipelines: the evidence
-/// for the "on-the-fly product walk avoids materialising both DFAs" claim.
+/// for the "on-the-fly product walk avoids materialising both DFAs" claim. Every column
+/// names the mode that produced it (`materialise` as spelled by `--inclusion`, and
+/// `onthefly_simulation` because the measured on-the-fly run is the default
+/// configuration, whose antichain subsumption tier is simulation) — now that the walk's
+/// size depends on both axes, an unqualified "baseline" column would be ambiguous.
 #[derive(Debug, Clone)]
 pub struct InclusionReductionRow {
     /// ADT name.
     pub adt: String,
     /// Library name.
     pub library: String,
-    /// Residual states built by the cold materialised run (both complete DFAs).
-    pub materialised_states: usize,
-    /// Residual states derived by the cold on-the-fly run (frontier-reached only).
-    pub onthefly_states: usize,
-    /// Transitions derived by the cold materialised run.
-    pub materialised_transitions: usize,
-    /// Transitions derived by the cold on-the-fly run.
-    pub onthefly_transitions: usize,
-    /// Distinct product states discovered by the on-the-fly walks.
+    /// Residual states built by the cold `--inclusion materialise` run (both complete
+    /// DFAs).
+    pub materialise_states: usize,
+    /// Residual states derived by the cold on-the-fly simulation-subsumption run
+    /// (frontier-reached only).
+    pub onthefly_simulation_states: usize,
+    /// Transitions derived by the cold materialise run.
+    pub materialise_transitions: usize,
+    /// Transitions derived by the cold on-the-fly simulation-subsumption run.
+    pub onthefly_simulation_transitions: usize,
+    /// Distinct product pairs enqueued by the on-the-fly simulation-subsumption walks.
     pub product_states: usize,
-    /// Summed per-method check seconds of the materialised run.
-    pub materialised_seconds: f64,
-    /// Summed per-method check seconds of the on-the-fly run.
-    pub onthefly_seconds: f64,
+    /// Summed per-method check seconds of the materialise run.
+    pub materialise_seconds: f64,
+    /// Summed per-method check seconds of the on-the-fly simulation-subsumption run.
+    pub onthefly_simulation_seconds: f64,
 }
 
 impl InclusionReductionRow {
-    /// materialised / on-the-fly transition ratio (∞-safe: 0 when on-the-fly is 0).
+    /// materialise / on-the-fly transition ratio (∞-safe: 0 when on-the-fly is 0).
     pub fn reduction(&self) -> f64 {
-        if self.onthefly_transitions == 0 {
+        if self.onthefly_simulation_transitions == 0 {
             0.0
         } else {
-            self.materialised_transitions as f64 / self.onthefly_transitions as f64
+            self.materialise_transitions as f64 / self.onthefly_simulation_transitions as f64
+        }
+    }
+}
+
+/// The on-the-fly product-walk cost of one configuration under the three antichain
+/// subsumption tiers, cold and warm: the evidence for the "subsumption prunes the
+/// frontier without changing any verdict, and the memoised simulation order pays for
+/// itself on warm runs" claim. Pairs are *enqueued* product pairs (the antichain's
+/// growth), so `off ≥ syntactic ≥ simulation` per benchmark is asserted by the
+/// differential harnesses, not merely observed here.
+#[derive(Debug, Clone)]
+pub struct SubsumptionReductionRow {
+    /// ADT name.
+    pub adt: String,
+    /// Library name.
+    pub library: String,
+    /// Product pairs enqueued by the cold `--subsume off` run.
+    pub off_cold_pairs: usize,
+    /// Product pairs enqueued by the cold `--subsume syntactic` run.
+    pub syntactic_cold_pairs: usize,
+    /// Product pairs enqueued by the cold `--subsume simulation` run.
+    pub simulation_cold_pairs: usize,
+    /// Summed per-method check seconds of the cold `--subsume off` run.
+    pub off_cold_seconds: f64,
+    /// Summed per-method check seconds of the cold `--subsume syntactic` run.
+    pub syntactic_cold_seconds: f64,
+    /// Summed per-method check seconds of the cold `--subsume simulation` run.
+    pub simulation_cold_seconds: f64,
+    /// Product pairs enqueued by the warm `--subsume off` rerun.
+    pub off_warm_pairs: usize,
+    /// Product pairs enqueued by the warm `--subsume syntactic` rerun.
+    pub syntactic_warm_pairs: usize,
+    /// Product pairs enqueued by the warm `--subsume simulation` rerun.
+    pub simulation_warm_pairs: usize,
+    /// Summed per-method check seconds of the warm `--subsume off` rerun.
+    pub off_warm_seconds: f64,
+    /// Summed per-method check seconds of the warm `--subsume syntactic` rerun.
+    pub syntactic_warm_seconds: f64,
+    /// Summed per-method check seconds of the warm `--subsume simulation` rerun.
+    pub simulation_warm_seconds: f64,
+    /// Pairs dropped by the antichain in the cold simulation run.
+    pub subsumed_pairs: usize,
+    /// Simulation-order queries answered from the memo in the warm simulation rerun.
+    pub simulation_memo_hits: usize,
+}
+
+impl SubsumptionReductionRow {
+    /// off / simulation cold enqueued-pair ratio (∞-safe: 0 when simulation is 0).
+    pub fn cold_pair_reduction(&self) -> f64 {
+        if self.simulation_cold_pairs == 0 {
+            0.0
+        } else {
+            self.off_cold_pairs as f64 / self.simulation_cold_pairs as f64
         }
     }
 }
@@ -330,8 +402,9 @@ impl LockReductionRow {
 
 /// The result of [`engine_comparison`]: the measured runs, the naive-vs-incremental
 /// cold-enumeration comparison, the pruned-vs-unpruned DFA-construction comparison, the
-/// on-the-fly-vs-materialised inclusion comparison, the shared-only-vs-read-through lock
-/// comparison, and the names of any configurations that were excluded (never silently).
+/// materialise-vs-on-the-fly inclusion comparison, the off-vs-syntactic-vs-simulation
+/// subsumption comparison, the shared-only-vs-read-through lock comparison, and the
+/// names of any configurations that were excluded (never silently).
 #[derive(Debug, Clone)]
 pub struct EngineComparison {
     /// The measured runs.
@@ -340,8 +413,10 @@ pub struct EngineComparison {
     pub enum_reduction: Vec<EnumReductionRow>,
     /// Per-benchmark cold DFA-construction cost, unpruned vs pruned.
     pub prune_reduction: Vec<PruneReductionRow>,
-    /// Per-benchmark cold inclusion-decision cost, materialised vs on-the-fly.
+    /// Per-benchmark cold inclusion-decision cost, materialise vs on-the-fly.
     pub inclusion_reduction: Vec<InclusionReductionRow>,
+    /// Per-benchmark product-walk cost under the three subsumption tiers, cold and warm.
+    pub subsumption_reduction: Vec<SubsumptionReductionRow>,
     /// Per-benchmark shared-tier lock traffic at jobs=6, shared-only vs read-through.
     pub lock_reduction: Vec<LockReductionRow>,
     /// `"ADT/Library"` names of configurations excluded from the comparison.
@@ -416,13 +491,54 @@ pub fn engine_comparison(benches: &[Benchmark], include_slow: bool) -> EngineCom
                 .map(|(m, o)| InclusionReductionRow {
                     adt: m.adt.clone(),
                     library: m.library.clone(),
-                    materialised_states: m.dfa_states,
-                    onthefly_states: o.dfa_states,
-                    materialised_transitions: m.dfa_transitions,
-                    onthefly_transitions: o.dfa_transitions,
+                    materialise_states: m.dfa_states,
+                    onthefly_simulation_states: o.dfa_states,
+                    materialise_transitions: m.dfa_transitions,
+                    onthefly_simulation_transitions: o.dfa_transitions,
                     product_states: o.product_states,
-                    materialised_seconds: m.check_seconds,
-                    onthefly_seconds: o.check_seconds,
+                    materialise_seconds: m.check_seconds,
+                    onthefly_simulation_seconds: o.check_seconds,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    // The six jobs=1 on-the-fly runs, one per subsumption tier, cold and warm. The
+    // selector pins every other axis to the default so the tiers are the only variable.
+    let sub_run = |mode: &str, warm: bool| {
+        runs.iter().find(|r| {
+            r.subsume == mode
+                && r.warm == warm
+                && r.jobs == 1
+                && r.enumeration == "incremental"
+                && r.prune
+                && r.inclusion == "onthefly"
+        })
+    };
+    let subsumption_reduction = sub_run("off", false)
+        .zip(sub_run("off", true))
+        .zip(sub_run("syntactic", false).zip(sub_run("syntactic", true)))
+        .zip(sub_run("simulation", false).zip(sub_run("simulation", true)))
+        .map(|(((oc, ow), (yc, yw)), (mc, mw))| {
+            oc.benchmarks
+                .iter()
+                .enumerate()
+                .map(|(i, o)| SubsumptionReductionRow {
+                    adt: o.adt.clone(),
+                    library: o.library.clone(),
+                    off_cold_pairs: o.product_states,
+                    syntactic_cold_pairs: yc.benchmarks[i].product_states,
+                    simulation_cold_pairs: mc.benchmarks[i].product_states,
+                    off_cold_seconds: o.check_seconds,
+                    syntactic_cold_seconds: yc.benchmarks[i].check_seconds,
+                    simulation_cold_seconds: mc.benchmarks[i].check_seconds,
+                    off_warm_pairs: ow.benchmarks[i].product_states,
+                    syntactic_warm_pairs: yw.benchmarks[i].product_states,
+                    simulation_warm_pairs: mw.benchmarks[i].product_states,
+                    off_warm_seconds: ow.benchmarks[i].check_seconds,
+                    syntactic_warm_seconds: yw.benchmarks[i].check_seconds,
+                    simulation_warm_seconds: mw.benchmarks[i].check_seconds,
+                    subsumed_pairs: mc.benchmarks[i].subsumed_pairs,
+                    simulation_memo_hits: mw.benchmarks[i].simulation_memo_hits,
                 })
                 .collect()
         })
@@ -454,6 +570,7 @@ pub fn engine_comparison(benches: &[Benchmark], include_slow: bool) -> EngineCom
         enum_reduction,
         prune_reduction,
         inclusion_reduction,
+        subsumption_reduction,
         lock_reduction,
         skipped: skipped
             .into_iter()
@@ -514,6 +631,31 @@ fn comparison_runs(benches: &[Benchmark]) -> Vec<EngineRun> {
         true,
         &sequential.check_benchmarks(benches),
     ));
+    // The subsumption-tier pairs: the default jobs=1 cold/warm runs above already
+    // measure `--subsume simulation` (the default), so only the off and syntactic
+    // tiers need their own cold engine plus a warm rerun.
+    for (name, mode) in [
+        ("off", SubsumptionMode::Off),
+        ("syntactic", SubsumptionMode::Syntactic),
+    ] {
+        let config = EngineConfig {
+            subsume: mode,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(config.clone()).expect("in-memory engine");
+        runs.push(engine_run(
+            &format!("jobs=1 cold subsume-{name}"),
+            &config,
+            false,
+            &engine.check_benchmarks(benches),
+        ));
+        runs.push(engine_run(
+            &format!("jobs=1 warm subsume-{name}"),
+            &config,
+            true,
+            &engine.check_benchmarks(benches),
+        ));
+    }
     let parallel_config = EngineConfig {
         jobs: parallel_jobs,
         ..EngineConfig::default()
@@ -650,20 +792,37 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
+/// The one schema version this writer knows how to lay out. Callers name the schema
+/// they want and the writer refuses anything else — bumping the layout without bumping
+/// the version string (or vice versa) becomes a hard error at the call site instead of
+/// a silently mislabelled artefact.
+pub const ENGINE_BENCH_SCHEMA: &str = "hat-engine-bench v9";
+
 /// Serialises [`engine_comparison`], [`daemon_replay`], [`mixed_traffic_replay`] and
 /// [`lsm_measurement`] measurements as JSON (hand-rolled: the build environment has no
-/// serde).
+/// serde). `schema` must be exactly [`ENGINE_BENCH_SCHEMA`]; any other string is
+/// refused with [`std::io::ErrorKind::InvalidInput`] before the file is touched.
 pub fn write_engine_json(
     path: &str,
+    schema: &str,
     comparison: &EngineComparison,
     replay: Option<&DaemonReplay>,
     mixed: Option<&MixedTrafficReplay>,
     lsm: Option<&LsmMeasurement>,
 ) -> std::io::Result<()> {
+    if schema != ENGINE_BENCH_SCHEMA {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "unrecognised engine-bench schema `{schema}`: this writer emits only \
+                 `{ENGINE_BENCH_SCHEMA}`"
+            ),
+        ));
+    }
     let runs = &comparison.runs;
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(out, "{{")?;
-    writeln!(out, "  \"schema\": \"hat-engine-bench v8\",")?;
+    writeln!(out, "  \"schema\": \"{}\",", json_escape(schema))?;
     writeln!(
         out,
         "  \"skipped\": [{}],",
@@ -728,22 +887,56 @@ pub fn write_engine_json(
     for (i, row) in comparison.inclusion_reduction.iter().enumerate() {
         write!(
             out,
-            "    {{\"adt\": \"{}\", \"library\": \"{}\", \"materialised_states\": {}, \"onthefly_states\": {}, \"materialised_transitions\": {}, \"onthefly_transitions\": {}, \"reduction\": {:.3}, \"product_states\": {}, \"materialised_seconds\": {:.6}, \"onthefly_seconds\": {:.6}}}",
+            "    {{\"adt\": \"{}\", \"library\": \"{}\", \"materialise_states\": {}, \"onthefly_simulation_states\": {}, \"materialise_transitions\": {}, \"onthefly_simulation_transitions\": {}, \"reduction\": {:.3}, \"product_states\": {}, \"materialise_seconds\": {:.6}, \"onthefly_simulation_seconds\": {:.6}}}",
             json_escape(&row.adt),
             json_escape(&row.library),
-            row.materialised_states,
-            row.onthefly_states,
-            row.materialised_transitions,
-            row.onthefly_transitions,
+            row.materialise_states,
+            row.onthefly_simulation_states,
+            row.materialise_transitions,
+            row.onthefly_simulation_transitions,
             row.reduction(),
             row.product_states,
-            row.materialised_seconds,
-            row.onthefly_seconds
+            row.materialise_seconds,
+            row.onthefly_simulation_seconds
         )?;
         writeln!(
             out,
             "{}",
             if i + 1 < comparison.inclusion_reduction.len() {
+                ","
+            } else {
+                ""
+            }
+        )?;
+    }
+    writeln!(out, "  ],")?;
+    writeln!(out, "  \"subsumption_reduction\": [")?;
+    for (i, row) in comparison.subsumption_reduction.iter().enumerate() {
+        write!(
+            out,
+            "    {{\"adt\": \"{}\", \"library\": \"{}\", \"off_cold_pairs\": {}, \"syntactic_cold_pairs\": {}, \"simulation_cold_pairs\": {}, \"cold_pair_reduction\": {:.3}, \"off_cold_seconds\": {:.6}, \"syntactic_cold_seconds\": {:.6}, \"simulation_cold_seconds\": {:.6}, \"off_warm_pairs\": {}, \"syntactic_warm_pairs\": {}, \"simulation_warm_pairs\": {}, \"off_warm_seconds\": {:.6}, \"syntactic_warm_seconds\": {:.6}, \"simulation_warm_seconds\": {:.6}, \"subsumed_pairs\": {}, \"simulation_memo_hits\": {}}}",
+            json_escape(&row.adt),
+            json_escape(&row.library),
+            row.off_cold_pairs,
+            row.syntactic_cold_pairs,
+            row.simulation_cold_pairs,
+            row.cold_pair_reduction(),
+            row.off_cold_seconds,
+            row.syntactic_cold_seconds,
+            row.simulation_cold_seconds,
+            row.off_warm_pairs,
+            row.syntactic_warm_pairs,
+            row.simulation_warm_pairs,
+            row.off_warm_seconds,
+            row.syntactic_warm_seconds,
+            row.simulation_warm_seconds,
+            row.subsumed_pairs,
+            row.simulation_memo_hits
+        )?;
+        writeln!(
+            out,
+            "{}",
+            if i + 1 < comparison.subsumption_reduction.len() {
                 ","
             } else {
                 ""
@@ -877,6 +1070,7 @@ pub fn write_engine_json(
         writeln!(out, "      \"enumeration\": \"{}\",", run.enumeration)?;
         writeln!(out, "      \"prune\": {},", run.prune)?;
         writeln!(out, "      \"inclusion\": \"{}\",", run.inclusion)?;
+        writeln!(out, "      \"subsume\": \"{}\",", run.subsume)?;
         writeln!(out, "      \"local_tiers\": {},", run.local_tiers)?;
         writeln!(out, "      \"wall_seconds\": {:.6},", run.wall_seconds)?;
         writeln!(out, "      \"cache_hits\": {},", run.cache.hits)?;
@@ -905,7 +1099,7 @@ pub fn write_engine_json(
         for (j, b) in run.benchmarks.iter().enumerate() {
             write!(
                 out,
-                "        {{\"adt\": \"{}\", \"library\": \"{}\", \"check_seconds\": {:.6}, \"sat_queries\": {}, \"enum_queries\": {}, \"pruned_subtrees\": {}, \"minterm_memo_hits\": {}, \"inclusion_memo_hits\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"dfa_states\": {}, \"dfa_transitions\": {}, \"alphabet_pruned\": {}, \"transition_memo_hits\": {}, \"product_states\": {}, \"shape_memo_hits\": {}, \"shared_tier_locks\": {}}}",
+                "        {{\"adt\": \"{}\", \"library\": \"{}\", \"check_seconds\": {:.6}, \"sat_queries\": {}, \"enum_queries\": {}, \"pruned_subtrees\": {}, \"minterm_memo_hits\": {}, \"inclusion_memo_hits\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"dfa_states\": {}, \"dfa_transitions\": {}, \"alphabet_pruned\": {}, \"transition_memo_hits\": {}, \"product_states\": {}, \"shape_memo_hits\": {}, \"shared_tier_locks\": {}, \"subsumption_checks\": {}, \"subsumed_pairs\": {}, \"simulation_memo_hits\": {}}}",
                 json_escape(&b.adt),
                 json_escape(&b.library),
                 b.check_seconds,
@@ -922,7 +1116,10 @@ pub fn write_engine_json(
                 b.transition_memo_hits,
                 b.product_states,
                 b.shape_memo_hits,
-                b.shared_tier_locks
+                b.shared_tier_locks,
+                b.subsumption_checks,
+                b.subsumed_pairs,
+                b.simulation_memo_hits
             )?;
             writeln!(
                 out,
@@ -956,4 +1153,43 @@ pub fn method_columns(r: &MethodReport) -> String {
         r.stats.fa_time.as_secs_f64(),
         if r.verified { "ok" } else { "REJECTED" }
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_engine_json_refuses_unknown_schemas() {
+        let comparison = EngineComparison {
+            runs: Vec::new(),
+            enum_reduction: Vec::new(),
+            prune_reduction: Vec::new(),
+            inclusion_reduction: Vec::new(),
+            subsumption_reduction: Vec::new(),
+            lock_reduction: Vec::new(),
+            skipped: Vec::new(),
+        };
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "hat-bench-schema-refusal-{}.json",
+            std::process::id()
+        ));
+        let path = path.to_str().expect("utf-8 temp path");
+        // The pre-v9 string must be refused before the file is touched: the writer's
+        // layout no longer matches it.
+        let err = write_engine_json(path, "hat-engine-bench v8", &comparison, None, None, None)
+            .expect_err("an outdated schema string must be refused");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(
+            !std::path::Path::new(path).exists(),
+            "a refused write must not leave a file behind"
+        );
+        write_engine_json(path, ENGINE_BENCH_SCHEMA, &comparison, None, None, None)
+            .expect("the writer's own schema constant is accepted");
+        let written = std::fs::read_to_string(path).expect("the accepted write lands");
+        std::fs::remove_file(path).ok();
+        assert!(written.contains("\"schema\": \"hat-engine-bench v9\""));
+        assert!(written.contains("\"subsumption_reduction\""));
+    }
 }

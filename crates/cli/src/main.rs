@@ -9,8 +9,8 @@
 //! marple fuzz [--seed S] [--count N]      # generate N verdict-known configurations
 //!        [--exhaustive] [options]         # and verify every verdict end-to-end:
 //!                                         # plain checker, an engine knob combination
-//!                                         # (rotating through all 32; --exhaustive
-//!                                         # runs all 32 per configuration), warm
+//!                                         # (rotating through all 96; --exhaustive
+//!                                         # runs all 96 per configuration), warm
 //!                                         # memo-tier resubmission, LSM store when
 //!                                         # --cache is given, and the daemon wire
 //!                                         # when --remote is given. On the first
@@ -44,6 +44,12 @@
 //!                   product A × complement(B) lazily, exit at the first counterexample)
 //!                   or `materialise` (build both complete DFAs first; verdict-identical,
 //!                   kept as the measurement baseline)
+//!   --subsume M     antichain subsumption pruning of the on-the-fly product frontier:
+//!                   `simulation` (default — syntactic rules plus a memoised simulation
+//!                   preorder over already-derived transition rows, persisted as `U`
+//!                   records), `syntactic` (structural rules only, zero extra memo
+//!                   traffic) or `off` (the measurement baseline). All three are
+//!                   verdict-identical; ignored by `--inclusion materialise`
 //!   --local-tier M  per-worker lock-free read-through tiers in front of the shared
 //!                   memo store: `on` (default) or `off` (verdict-identical; off is the
 //!                   lock-traffic measurement baseline)
@@ -51,7 +57,7 @@
 
 use hat_daemon::{Addr, Daemon, DaemonConfig, RemoteClient, Request};
 use hat_engine::{BenchmarkRun, Engine, EngineConfig, MemoStore, RecordKind, RunSummary};
-use hat_sfa::{EnumerationMode, InclusionMode};
+use hat_sfa::{EnumerationMode, InclusionMode, SubsumptionMode};
 use hat_suite::{all_benchmarks, find, Benchmark};
 use std::path::PathBuf;
 
@@ -61,6 +67,7 @@ struct Options {
     enumeration: EnumerationMode,
     prune: bool,
     inclusion: InclusionMode,
+    subsume: SubsumptionMode,
     local_tiers: bool,
     remote: Option<Addr>,
     deadline_ms: Option<u64>,
@@ -81,6 +88,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         enumeration: EnumerationMode::default(),
         prune: true,
         inclusion: InclusionMode::default(),
+        subsume: SubsumptionMode::default(),
         local_tiers: true,
         remote: None,
         deadline_ms: None,
@@ -147,6 +155,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         ))
                     }
                 };
+            }
+            "--subsume" => {
+                let value = it.next().ok_or("--subsume needs a mode")?;
+                opts.subsume = SubsumptionMode::parse(value).ok_or_else(|| {
+                    format!("invalid --subsume mode `{value}` (off|syntactic|simulation)")
+                })?;
             }
             "--deadline-ms" => {
                 let value = it.next().ok_or("--deadline-ms needs a value")?;
@@ -248,19 +262,33 @@ fn print_cache_line(summary: &RunSummary, lifetime: hat_engine::CacheStatsSnapsh
     let dfa_states: usize = summary.benchmarks.iter().map(|b| b.dfa_states()).sum();
     let product_states: usize = summary.benchmarks.iter().map(|b| b.product_states()).sum();
     let shape_hits: usize = summary.benchmarks.iter().map(|b| b.shape_memo_hits()).sum();
+    let subsumed: usize = summary.benchmarks.iter().map(|b| b.subsumed_pairs()).sum();
+    let subsume_checks: usize = summary
+        .benchmarks
+        .iter()
+        .map(|b| b.subsumption_checks())
+        .sum();
+    let simulation_hits: usize = summary
+        .benchmarks
+        .iter()
+        .map(|b| b.simulation_memo_hits())
+        .sum();
     println!(
-        "cache: {} hits / {} misses ({:.1}% hit rate), {} minterm-set hits, {} transition-memo hits, {} shape-memo hits, {} shared-tier locks, {} loaded from disk, {} stale; dfa: {} states, {} product states, {} alphabet symbols pruned; wall {:.2}s",
+        "cache: {} hits / {} misses ({:.1}% hit rate), {} minterm-set hits, {} transition-memo hits, {} shape-memo hits, {} simulation-memo hits, {} shared-tier locks, {} loaded from disk, {} stale; dfa: {} states, {} product states, {} pairs subsumed ({} probes), {} alphabet symbols pruned; wall {:.2}s",
         c.hits,
         c.misses,
         100.0 * c.hit_rate(),
         c.minterm_hits,
         c.transition_hits,
         shape_hits,
+        simulation_hits,
         c.lock_acquisitions,
         lifetime.disk_loaded,
         lifetime.stale,
         dfa_states,
         product_states,
+        subsumed,
+        subsume_checks,
         pruned,
         summary.wall.as_secs_f64()
     );
@@ -332,6 +360,7 @@ fn run(benches: Vec<Benchmark>, opts: &Options, request: Request) -> bool {
         enumeration: opts.enumeration,
         prune: opts.prune,
         inclusion: opts.inclusion,
+        subsume: opts.subsume,
         local_tiers: opts.local_tiers,
         memtable_bytes: None,
     }) {
@@ -373,6 +402,7 @@ fn cache_stats(path: &str) -> Result<(), String> {
         (RecordKind::Shape, stats.shape),
         (RecordKind::Minterms, stats.minterms),
         (RecordKind::Transition, stats.transitions),
+        (RecordKind::Subsumption, stats.subsumption),
     ] {
         println!("  {:<24} {:>8}", format!("{}:", kind.label()), count);
     }
@@ -433,6 +463,7 @@ fn daemon_start(opts: &Options) -> Result<(), String> {
             enumeration: opts.enumeration,
             prune: opts.prune,
             inclusion: opts.inclusion,
+            subsume: opts.subsume,
             local_tiers: opts.local_tiers,
             memtable_bytes: None,
         },
@@ -594,12 +625,12 @@ fn fuzz(opts: &Options) -> bool {
         opts.count,
         if opts.count == 1 { "" } else { "s" },
         opts.seed,
-        if opts.exhaustive { 32 } else { 1 },
+        if opts.exhaustive { 96 } else { 1 },
         if opts.exhaustive { "s" } else { "" },
         if opts.exhaustive {
             ""
         } else {
-            ", rotating through all 32"
+            ", rotating through all 96"
         },
         if opts.cache_path.is_some() {
             "; LSM store attached"
@@ -740,11 +771,11 @@ fn main() {
         }
         Some("check") => {
             let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
-                eprintln!("{e}\nusage: marple check <adt> <library> [--remote [ADDR]] [--deadline-ms N] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
+                eprintln!("{e}\nusage: marple check <adt> <library> [--remote [ADDR]] [--deadline-ms N] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--subsume off|syntactic|simulation] [--local-tier on|off]");
                 std::process::exit(2);
             });
             let (Some(adt), Some(lib)) = (opts.positional.first(), opts.positional.get(1)) else {
-                eprintln!("usage: marple check <adt> <library> [--remote [ADDR]] [--deadline-ms N] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
+                eprintln!("usage: marple check <adt> <library> [--remote [ADDR]] [--deadline-ms N] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--subsume off|syntactic|simulation] [--local-tier on|off]");
                 std::process::exit(2);
             };
             // Suite configurations by name; `gen/s<seed>-i<index>…` regenerates a
@@ -766,7 +797,7 @@ fn main() {
         }
         Some("check-all") => {
             let opts = parse_options(&args[1..]).unwrap_or_else(|e| {
-                eprintln!("{e}\nusage: marple check-all [--remote [ADDR]] [--deadline-ms N] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--local-tier on|off]");
+                eprintln!("{e}\nusage: marple check-all [--remote [ADDR]] [--deadline-ms N] [--jobs N] [--cache PATH] [--enum naive|incremental] [--prune on|off] [--inclusion onthefly|materialise] [--subsume off|syntactic|simulation] [--local-tier on|off]");
                 std::process::exit(2);
             });
             let ok = run(all_benchmarks(), &opts, Request::CheckAll);

@@ -83,6 +83,14 @@ pub struct CheckStats {
     pub product_states: usize,
     /// Number of per-group product walks answered from the DFA-shape memo.
     pub shape_memo_hits: usize,
+    /// Number of antichain subsumption probes issued by on-the-fly product walks
+    /// (0 with `--subsume off` or in materialising mode).
+    pub subsumption_checks: usize,
+    /// Number of product pairs dropped by antichain subsumption before exploration.
+    pub subsumed_pairs: usize,
+    /// Number of simulation-preorder probes answered from the persistent subsumption
+    /// memo.
+    pub simulation_memo_hits: usize,
     /// Number of shared-tier shard-lock acquisitions the oracle performed for this
     /// method (0 without a tiered oracle). Per-worker local read-through tiers absorb
     /// repeat lookups lock-free, so this drops under `--jobs N` while hit counts stay.
@@ -300,6 +308,10 @@ impl Checker {
                 - incl_before.transition_memo_hits,
             product_states: incl_after.product_states - incl_before.product_states,
             shape_memo_hits: incl_after.shape_memo_hits - incl_before.shape_memo_hits,
+            subsumption_checks: incl_after.subsumption_checks - incl_before.subsumption_checks,
+            subsumed_pairs: incl_after.subsumed_pairs - incl_before.subsumed_pairs,
+            simulation_memo_hits: incl_after.simulation_memo_hits
+                - incl_before.simulation_memo_hits,
             shared_tier_locks: self.oracle.shared_tier_locks() - locks_before,
         };
         Ok(MethodReport {

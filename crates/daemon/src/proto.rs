@@ -468,6 +468,12 @@ pub fn stats_to_json(s: &CheckStats) -> Json {
         ),
         ("product_states", Json::Int(s.product_states as i64)),
         ("shape_memo_hits", Json::Int(s.shape_memo_hits as i64)),
+        ("subsumption_checks", Json::Int(s.subsumption_checks as i64)),
+        ("subsumed_pairs", Json::Int(s.subsumed_pairs as i64)),
+        (
+            "simulation_memo_hits",
+            Json::Int(s.simulation_memo_hits as i64),
+        ),
         ("shared_tier_locks", Json::Int(s.shared_tier_locks as i64)),
     ])
 }
@@ -496,6 +502,11 @@ pub fn stats_from_json(v: &Json) -> Result<CheckStats, String> {
         transition_memo_hits: usize_field(v, "transition_memo_hits")?,
         product_states: usize_field(v, "product_states")?,
         shape_memo_hits: usize_field(v, "shape_memo_hits")?,
+        // Absent when the daemon predates subsumption pruning: zero, not an error,
+        // so a newer client still reads an older daemon's reports.
+        subsumption_checks: v.usize_field("subsumption_checks").unwrap_or(0),
+        subsumed_pairs: v.usize_field("subsumed_pairs").unwrap_or(0),
+        simulation_memo_hits: v.usize_field("simulation_memo_hits").unwrap_or(0),
         shared_tier_locks: usize_field(v, "shared_tier_locks")?,
     })
 }
@@ -511,6 +522,8 @@ pub fn snapshot_to_json(s: &CacheStatsSnapshot) -> Json {
         ("minterm_misses", Json::Int(s.minterm_misses as i64)),
         ("transition_hits", Json::Int(s.transition_hits as i64)),
         ("transition_misses", Json::Int(s.transition_misses as i64)),
+        ("subsumption_hits", Json::Int(s.subsumption_hits as i64)),
+        ("subsumption_misses", Json::Int(s.subsumption_misses as i64)),
         ("lock_acquisitions", Json::Int(s.lock_acquisitions as i64)),
         (
             "disk_lock_acquisitions",
@@ -530,6 +543,9 @@ pub fn snapshot_from_json(v: &Json) -> Result<CacheStatsSnapshot, String> {
         minterm_misses: usize_field(v, "minterm_misses")?,
         transition_hits: usize_field(v, "transition_hits")?,
         transition_misses: usize_field(v, "transition_misses")?,
+        // Absent in replies from daemons predating the dedicated `U` counters: zero.
+        subsumption_hits: v.usize_field("subsumption_hits").unwrap_or(0),
+        subsumption_misses: v.usize_field("subsumption_misses").unwrap_or(0),
         lock_acquisitions: usize_field(v, "lock_acquisitions")?,
         // Absent in replies from pre-v6 daemons: tolerate rather than refuse.
         disk_lock_acquisitions: usize_field(v, "disk_lock_acquisitions").unwrap_or(0),
@@ -910,6 +926,9 @@ mod tests {
             product_states: 19,
             shape_memo_hits: 3,
             shared_tier_locks: 8,
+            subsumed_pairs: 6,
+            subsumption_checks: 14,
+            simulation_memo_hits: 2,
         }
     }
 
@@ -950,6 +969,8 @@ mod tests {
             minterm_misses: 3,
             transition_hits: 30,
             transition_misses: 5,
+            subsumption_hits: 4,
+            subsumption_misses: 2,
             lock_acquisitions: 60,
             disk_lock_acquisitions: 9,
         };

@@ -3,7 +3,7 @@
 //! optionally fronted by per-worker [`crate::tier::LocalTier`]s (composed in
 //! [`crate::oracle::CachingOracle`]) so hot lookups touch no lock at all.
 //!
-//! Five record kinds share the store (see [`RecordKind`]):
+//! Six record kinds share the store (see [`RecordKind`]):
 //!
 //! * **Solver verdicts** (`S` records): one satisfiability bit per canonical query key.
 //! * **Inclusion verdicts** (`I` records): one bit per canonical automata-inclusion key —
@@ -18,6 +18,10 @@
 //! * **DFA transitions** (`T` records): memoised `state × answers → successor`
 //!   derivatives keyed by [`crate::canon::transition_key`], persisted since v6 through
 //!   [`crate::atomio::ser_sfa`] — a warm run re-derives nothing.
+//! * **Subsumption verdicts** (`U` records): one simulation-preorder bit per canonical
+//!   residual pair, keyed by [`crate::canon::subsumption_key`] (no axiom fingerprint,
+//!   no state bound — a semantic fact about the pair) — a hit lets the antichain walk
+//!   prune a product pair whose transition rows were never even derived this run.
 //!
 //! # Disk format (v6)
 //!
@@ -83,6 +87,9 @@ pub enum RecordKind {
     Minterms,
     /// DFA transitions (`T`, persisted since v6).
     Transition,
+    /// Simulation-subsumption verdicts (`U`). A pre-U binary reading a store that
+    /// holds them skips the unknown segments and degrades to cold — never wrong.
+    Subsumption,
 }
 
 impl RecordKind {
@@ -95,6 +102,7 @@ impl RecordKind {
             RecordKind::Shape => 'D',
             RecordKind::Minterms => 'M',
             RecordKind::Transition => 'T',
+            RecordKind::Subsumption => 'U',
         }
     }
 
@@ -106,12 +114,17 @@ impl RecordKind {
             RecordKind::Shape => "DFA-shape verdicts (D)",
             RecordKind::Minterms => "minterm sets (M)",
             RecordKind::Transition => "DFA transitions (T)",
+            RecordKind::Subsumption => "subsumption verdicts (U)",
         }
     }
 
     /// The boolean-verdict kinds, in disk order.
-    pub const BOOL_KINDS: [RecordKind; 3] =
-        [RecordKind::Solver, RecordKind::Inclusion, RecordKind::Shape];
+    pub const BOOL_KINDS: [RecordKind; 4] = [
+        RecordKind::Solver,
+        RecordKind::Inclusion,
+        RecordKind::Shape,
+        RecordKind::Subsumption,
+    ];
 }
 
 /// A point-in-time snapshot of the store counters.
@@ -134,6 +147,12 @@ pub struct CacheStatsSnapshot {
     pub transition_hits: usize,
     /// DFA transitions that had to be derived.
     pub transition_misses: usize,
+    /// Simulation-subsumption orders answered from the `U` memo.
+    pub subsumption_hits: usize,
+    /// Simulation-subsumption probes that missed the `U` memo (the walk falls back to
+    /// its local fixpoint — no solver query is implied, which is why these are counted
+    /// apart from [`misses`](CacheStatsSnapshot::misses)).
+    pub subsumption_misses: usize,
     /// Shared-tier shard-lock acquisitions, across every record kind. Per-worker local
     /// tiers exist to keep this flat while hit counts grow.
     pub lock_acquisitions: usize,
@@ -165,6 +184,8 @@ struct CacheCounters {
     minterm_misses: AtomicUsize,
     transition_hits: AtomicUsize,
     transition_misses: AtomicUsize,
+    subsumption_hits: AtomicUsize,
+    subsumption_misses: AtomicUsize,
 }
 
 /// The sidecar lock guarding a disk store against concurrent writers. Created with
@@ -289,6 +310,8 @@ fn parse_typed_line(line: &str) -> ParsedLine<'_> {
         Some(("I1", key)) => ParsedLine::Bit(RecordKind::Inclusion, true, key),
         Some(("D0", key)) => ParsedLine::Bit(RecordKind::Shape, false, key),
         Some(("D1", key)) => ParsedLine::Bit(RecordKind::Shape, true, key),
+        Some(("U0", key)) => ParsedLine::Bit(RecordKind::Subsumption, false, key),
+        Some(("U1", key)) => ParsedLine::Bit(RecordKind::Subsumption, true, key),
         Some(("M", rest)) => match rest.split_once('\t') {
             Some((key, payload)) => ParsedLine::Set(key, payload),
             None => ParsedLine::Bad,
@@ -352,6 +375,8 @@ pub struct CacheFileStats {
     pub minterms: usize,
     /// Live transition records (v6 only).
     pub transitions: usize,
+    /// Live subsumption-verdict records.
+    pub subsumption: usize,
     /// Records whose key already occurred in a newer segment or earlier line
     /// (superseded — compaction drops them).
     pub duplicates: usize,
@@ -370,7 +395,12 @@ pub struct CacheFileStats {
 impl CacheFileStats {
     /// Total live records.
     pub fn live(&self) -> usize {
-        self.solver + self.inclusion + self.shape + self.minterms + self.transitions
+        self.solver
+            + self.inclusion
+            + self.shape
+            + self.minterms
+            + self.transitions
+            + self.subsumption
     }
 
     /// Total dead records (duplicates plus malformed lines).
@@ -402,6 +432,7 @@ struct KindTiers {
     solver: SharedTier<bool>,
     inclusion: SharedTier<bool>,
     shape: SharedTier<bool>,
+    subsumption: SharedTier<bool>,
     minterms: SharedTier<MintermSet>,
     transitions: SharedTier<Sfa>,
 }
@@ -412,6 +443,7 @@ impl Default for KindTiers {
             solver: SharedTier::default(),
             inclusion: SharedTier::default(),
             shape: SharedTier::default(),
+            subsumption: SharedTier::default(),
             minterms: SharedTier::default(),
             transitions: SharedTier::with_shards(TRANSITION_SHARDS),
         }
@@ -424,6 +456,7 @@ impl KindTiers {
             RecordKind::Solver => &self.solver,
             RecordKind::Inclusion => &self.inclusion,
             RecordKind::Shape => &self.shape,
+            RecordKind::Subsumption => &self.subsumption,
             RecordKind::Minterms | RecordKind::Transition => {
                 unreachable!("{kind:?} is not a boolean record kind")
             }
@@ -441,6 +474,7 @@ struct DiskTiers {
     solver: DiskTier<bool>,
     inclusion: DiskTier<bool>,
     shape: DiskTier<bool>,
+    subsumption: DiskTier<bool>,
     minterms: DiskTier<MintermSet>,
 }
 
@@ -450,6 +484,7 @@ impl DiskTiers {
             RecordKind::Solver => &self.solver,
             RecordKind::Inclusion => &self.inclusion,
             RecordKind::Shape => &self.shape,
+            RecordKind::Subsumption => &self.subsumption,
             RecordKind::Minterms | RecordKind::Transition => {
                 unreachable!("{kind:?} is not a boolean record kind")
             }
@@ -460,6 +495,7 @@ impl DiskTiers {
         self.solver.lock_acquisitions()
             + self.inclusion.lock_acquisitions()
             + self.shape.lock_acquisitions()
+            + self.subsumption.lock_acquisitions()
             + self.minterms.lock_acquisitions()
     }
 }
@@ -848,7 +884,7 @@ impl MemoStore {
             let dir = lsm::segment_dir_for(path);
             let mut segments = state.segments.clone();
             segments.sort_by_key(|s| std::cmp::Reverse(s.seq));
-            let mut seen: [HashSet<String>; 5] = Default::default();
+            let mut seen: [HashSet<String>; 6] = Default::default();
             for meta in &segments {
                 let scan = lsm::read_segment(&dir, meta);
                 if scan.torn {
@@ -876,7 +912,7 @@ impl MemoStore {
         let Some(version) = stats.version else {
             return Ok(stats); // Foreign: nothing beyond the header is ours to judge.
         };
-        let mut seen: [HashSet<String>; 5] = Default::default();
+        let mut seen: [HashSet<String>; 6] = Default::default();
         for line in lines {
             let Ok(line) = line else {
                 stats.malformed += 1;
@@ -896,7 +932,7 @@ impl MemoStore {
     /// lines already seen (newest-first for segments, file order for legacy logs).
     fn tally_line(
         parsed: ParsedLine<'_>,
-        seen: &mut [HashSet<String>; 5],
+        seen: &mut [HashSet<String>; 6],
         stats: &mut CacheFileStats,
     ) {
         match parsed {
@@ -905,6 +941,7 @@ impl MemoStore {
                     RecordKind::Solver => (0, &mut stats.solver),
                     RecordKind::Inclusion => (1, &mut stats.inclusion),
                     RecordKind::Shape => (2, &mut stats.shape),
+                    RecordKind::Subsumption => (5, &mut stats.subsumption),
                     _ => unreachable!(),
                 };
                 if seen[slot].insert(key.to_string()) {
@@ -994,6 +1031,8 @@ impl MemoStore {
             (RecordKind::Minterms, false) => &self.counters.minterm_misses,
             (RecordKind::Transition, true) => &self.counters.transition_hits,
             (RecordKind::Transition, false) => &self.counters.transition_misses,
+            (RecordKind::Subsumption, true) => &self.counters.subsumption_hits,
+            (RecordKind::Subsumption, false) => &self.counters.subsumption_misses,
             (_, true) => &self.counters.hits,
             (_, false) => &self.counters.misses,
         };
@@ -1008,10 +1047,20 @@ impl MemoStore {
 
     /// Looks a boolean verdict up: shared tier first, then read-through to the disk
     /// tier, promoting (moving) a disk hit into the shared tier so each warm record
-    /// pays its disk-tier lock at most once. Counts a hit or a miss either way.
+    /// pays its disk-tier lock at most once. Counts a hit or a miss either way —
+    /// subsumption probes into their own counters (a `U` miss costs a local fixpoint,
+    /// not a solver query, so it must not dilute the solver-facing miss count).
     pub fn lookup_bool(&self, kind: RecordKind, key: &str) -> Option<bool> {
+        let (hits, misses) = if kind == RecordKind::Subsumption {
+            (
+                &self.counters.subsumption_hits,
+                &self.counters.subsumption_misses,
+            )
+        } else {
+            (&self.counters.hits, &self.counters.misses)
+        };
         if let Some(found) = self.tiers.bools(kind).get_str(key) {
-            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            hits.fetch_add(1, Ordering::Relaxed);
             return Some(found);
         }
         if let Some(found) = self.disk.bools(kind).get_str(key) {
@@ -1019,10 +1068,10 @@ impl MemoStore {
             // the shared tier. Racing promotions both write the same value.
             self.tiers.bools(kind).put_quiet(key.to_string(), found);
             self.disk.bools(kind).evict(key);
-            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            hits.fetch_add(1, Ordering::Relaxed);
             return Some(found);
         }
-        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        misses.fetch_add(1, Ordering::Relaxed);
         None
     }
 
@@ -1073,6 +1122,17 @@ impl MemoStore {
     /// Records a per-group DFA-shape verdict (see [`crate::canon::shape_key`]).
     pub fn insert_shape(&self, key: String, verdict: bool) {
         self.insert_bool(RecordKind::Shape, key, verdict);
+    }
+
+    /// Looks a subsumption-verdict key up, counting a hit or a miss.
+    pub fn lookup_subsumption(&self, key: &str) -> Option<bool> {
+        self.lookup_bool(RecordKind::Subsumption, key)
+    }
+
+    /// Records a simulation-subsumption verdict (see
+    /// [`crate::canon::subsumption_key`]).
+    pub fn insert_subsumption(&self, key: String, verdict: bool) {
+        self.insert_bool(RecordKind::Subsumption, key, verdict);
     }
 
     /// Looks a memoised minterm set up by its canonical alphabet key: shared tier
@@ -1187,7 +1247,7 @@ impl MemoStore {
 
     /// Per-kind shared-tier lock acquisitions (diagnostic: shows which record kind's
     /// traffic the local tiers are or are not absorbing).
-    pub fn lock_breakdown(&self) -> [(RecordKind, usize); 5] {
+    pub fn lock_breakdown(&self) -> [(RecordKind, usize); 6] {
         [
             (RecordKind::Solver, self.tiers.solver.lock_acquisitions()),
             (
@@ -1195,6 +1255,10 @@ impl MemoStore {
                 self.tiers.inclusion.lock_acquisitions(),
             ),
             (RecordKind::Shape, self.tiers.shape.lock_acquisitions()),
+            (
+                RecordKind::Subsumption,
+                self.tiers.subsumption.lock_acquisitions(),
+            ),
             (
                 RecordKind::Minterms,
                 self.tiers.minterms.lock_acquisitions(),
@@ -1217,9 +1281,12 @@ impl MemoStore {
             minterm_misses: self.counters.minterm_misses.load(Ordering::Relaxed),
             transition_hits: self.counters.transition_hits.load(Ordering::Relaxed),
             transition_misses: self.counters.transition_misses.load(Ordering::Relaxed),
+            subsumption_hits: self.counters.subsumption_hits.load(Ordering::Relaxed),
+            subsumption_misses: self.counters.subsumption_misses.load(Ordering::Relaxed),
             lock_acquisitions: self.tiers.solver.lock_acquisitions()
                 + self.tiers.inclusion.lock_acquisitions()
                 + self.tiers.shape.lock_acquisitions()
+                + self.tiers.subsumption.lock_acquisitions()
                 + self.tiers.minterms.lock_acquisitions()
                 + self.tiers.transitions.lock_acquisitions(),
             disk_lock_acquisitions: self.disk.lock_acquisitions(),

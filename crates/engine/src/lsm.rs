@@ -177,6 +177,7 @@ fn kind_of_tag(tag: &str) -> Option<RecordKind> {
         "D" => Some(RecordKind::Shape),
         "M" => Some(RecordKind::Minterms),
         "T" => Some(RecordKind::Transition),
+        "U" => Some(RecordKind::Subsumption),
         _ => None,
     }
 }
@@ -366,7 +367,10 @@ pub(crate) fn write_segment(
 /// Deletes segment-directory files the manifest does not name: leftovers of a flush or
 /// compaction interrupted between writing a file and committing the manifest (and any
 /// abandoned `.tmp`). Only called under the single-writer lock — a read-only inspector
-/// must never delete another writer's in-flight files.
+/// must never delete another writer's in-flight files. Segment files whose tag this
+/// binary does not know are spared: they are a *newer* binary's record kind riding the
+/// same v6 layout (as `U` did when it extended the five original kinds), not orphans —
+/// an older writer must degrade them to stale, never destroy them.
 pub fn gc_orphans(dir: &Path, state: &ManifestState) {
     let Ok(entries) = fs::read_dir(dir) else {
         return;
@@ -377,10 +381,29 @@ pub fn gc_orphans(dir: &Path, state: &ManifestState) {
         let Some(name) = name.to_str() else {
             continue;
         };
+        if future_kind_segment(name) {
+            continue;
+        }
         if !live.iter().any(|l| l == name) {
             let _ = fs::remove_file(entry.path());
         }
     }
+}
+
+/// Whether a directory entry looks like a well-formed segment file of a record kind
+/// this binary does not know (`<tag>-p<partition>-L<level>-<seq>.seg` with an
+/// unrecognised tag).
+fn future_kind_segment(name: &str) -> bool {
+    let Some(stem) = name.strip_suffix(".seg") else {
+        return false;
+    };
+    let mut parts = stem.split('-');
+    let unknown_tag = parts.next().is_some_and(|tag| kind_of_tag(tag).is_none());
+    unknown_tag
+        && parts.next().is_some_and(|p| p.starts_with('p'))
+        && parts.next().is_some_and(|l| l.starts_with('L'))
+        && parts.next().is_some_and(|s| !s.is_empty())
+        && parts.next().is_none()
 }
 
 /// One memtable record: the kind, the canonical key (for sorting and deduplication)
@@ -1031,10 +1054,17 @@ mod tests {
             next_seq: 3,
             segments: vec![live],
         };
+        // A well-formed segment of a kind this binary does not know belongs to a newer
+        // binary extending v6 (as `U` did): it must be spared, not collected.
+        fs::write(dir.join("X-p0-L0-00000009.seg"), b"future kind").expect("writable");
+        // An unknown-tag name that is not segment-shaped is an ordinary stray.
+        fs::write(dir.join("X-junk.seg"), b"stray").expect("writable");
         gc_orphans(&dir, &state);
         assert!(dir.join(live.file_name()).exists());
         assert!(!dir.join(orphan.file_name()).exists());
         assert!(!dir.join("stray.seg.tmp").exists());
+        assert!(dir.join("X-p0-L0-00000009.seg").exists());
+        assert!(!dir.join("X-junk.seg").exists());
         cleanup(&path);
     }
 }

@@ -48,6 +48,7 @@ pub struct CachingOracle {
     pending_minterms: Option<(String, crate::canon::AlphabetKey)>,
     pending_inclusion: Option<String>,
     pending_shape: Option<String>,
+    pending_subsumption: Option<String>,
     pending_transition: Option<(String, crate::canon::TransitionKey)>,
     queries: usize,
     hits: usize,
@@ -84,6 +85,7 @@ impl CachingOracle {
             pending_minterms: None,
             pending_inclusion: None,
             pending_shape: None,
+            pending_subsumption: None,
             pending_transition: None,
             queries: 0,
             hits: 0,
@@ -139,6 +141,7 @@ impl CachingOracle {
             RecordKind::Solver => &local.solver,
             RecordKind::Inclusion => &local.inclusion,
             RecordKind::Shape => &local.shape,
+            RecordKind::Subsumption => &local.subsumption,
             RecordKind::Minterms | RecordKind::Transition => {
                 unreachable!("{kind:?} is not a boolean record kind")
             }
@@ -333,6 +336,16 @@ impl SolverOracle for CachingOracle {
                 self.pending_shape = found.is_none().then_some(key);
                 found.map(MemoAnswer::Verdict)
             }
+            CanonicalMemoKey::Subsumption(key) => {
+                // No axiom prefix: like a shape, a simulation verdict is a semantic
+                // fact about the residual pair and its minterm alphabet (the fixpoint
+                // only chases rows resolved propositionally from data in the key), so
+                // it is shared across benchmarks with different axiom sets. The checker
+                // refuses to store if a context-dependent SMT fallback ever fired.
+                let found = self.tier_lookup_bool(RecordKind::Subsumption, &key);
+                self.pending_subsumption = found.is_none().then_some(key);
+                found.map(MemoAnswer::Verdict)
+            }
             CanonicalMemoKey::Transition(tk) => {
                 // No axiom prefix: the successor is a pure syntactic function of the
                 // state and the signed answers (which the key contains).
@@ -380,6 +393,15 @@ impl SolverOracle for CachingOracle {
                     key
                 });
                 self.tier_store_bool(RecordKind::Shape, key, *verdict);
+            }
+            (MemoKind::Subsumption, MemoAnswer::Verdict(verdict)) => {
+                let key = self.pending_subsumption.take().unwrap_or_else(|| {
+                    let CanonicalMemoKey::Subsumption(key) = memo_key(query) else {
+                        unreachable!("kind() matches the query shape")
+                    };
+                    key
+                });
+                self.tier_store_bool(RecordKind::Subsumption, key, *verdict);
             }
             (MemoKind::Transition, MemoAnswer::Transition(succ)) => {
                 let (key, tk) = self.pending_transition.take().unwrap_or_else(|| {

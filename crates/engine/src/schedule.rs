@@ -45,7 +45,7 @@ use crate::cache::{CacheStatsSnapshot, MemoStore};
 use crate::oracle::CachingOracle;
 use crate::tier::LocalTier;
 use hat_core::{Checker, MethodReport};
-use hat_sfa::{EnumerationMode, InclusionMode};
+use hat_sfa::{EnumerationMode, InclusionMode, SubsumptionMode};
 use hat_suite::Benchmark;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::PathBuf;
@@ -73,6 +73,11 @@ pub struct EngineConfig {
     /// default; the materialising DFA-pair path is kept for differential testing and
     /// measurement — both paths are verdict-identical).
     pub inclusion: InclusionMode,
+    /// How aggressively the on-the-fly product walk prunes its frontier by antichain
+    /// subsumption (memoised simulation by default; the syntactic tier and the
+    /// unpruned walk are kept for differential testing and measurement — all three are
+    /// verdict-identical, see [`hat_sfa::SubsumptionMode`]).
+    pub subsume: SubsumptionMode,
     /// Whether each worker fronts the shared store with a lock-free local read-through
     /// tier (on by default; the shared-only path is kept as the lock-traffic measurement
     /// baseline — verdicts are identical because every memo value is a pure function of
@@ -93,6 +98,7 @@ impl Default for EngineConfig {
             enumeration: EnumerationMode::default(),
             prune: true,
             inclusion: InclusionMode::default(),
+            subsume: SubsumptionMode::default(),
             local_tiers: true,
             memtable_bytes: None,
         }
@@ -194,6 +200,27 @@ impl BenchmarkRun {
         self.reports.iter().map(|r| r.stats.shape_memo_hits).sum()
     }
 
+    /// Total antichain subsumption probes issued by on-the-fly product walks.
+    pub fn subsumption_checks(&self) -> usize {
+        self.reports
+            .iter()
+            .map(|r| r.stats.subsumption_checks)
+            .sum()
+    }
+
+    /// Total product pairs dropped by antichain subsumption before exploration.
+    pub fn subsumed_pairs(&self) -> usize {
+        self.reports.iter().map(|r| r.stats.subsumed_pairs).sum()
+    }
+
+    /// Total simulation-preorder probes answered from the subsumption memo.
+    pub fn simulation_memo_hits(&self) -> usize {
+        self.reports
+            .iter()
+            .map(|r| r.stats.simulation_memo_hits)
+            .sum()
+    }
+
     /// Total shared-tier shard-lock acquisitions by this benchmark's methods. With
     /// local read-through tiers enabled, repeat lookups are absorbed lock-free and this
     /// number drops while hit counts stay.
@@ -254,6 +281,7 @@ struct JobKey {
     enumeration: u8,
     prune: bool,
     inclusion: u8,
+    subsume: u8,
 }
 
 impl JobKey {
@@ -279,6 +307,11 @@ impl JobKey {
                 InclusionMode::OnTheFly => 0,
                 InclusionMode::Materialise => 1,
             },
+            subsume: match config.subsume {
+                SubsumptionMode::Off => 0,
+                SubsumptionMode::Syntactic => 1,
+                SubsumptionMode::Simulation => 2,
+            },
         }
     }
 }
@@ -292,6 +325,7 @@ struct JobWork {
     enumeration: EnumerationMode,
     prune: bool,
     inclusion: InclusionMode,
+    subsume: SubsumptionMode,
 }
 
 /// One consumer of a job's outcome: which submission it belongs to, which slot of that
@@ -577,6 +611,7 @@ impl JobPool {
         checker.inclusion.enumeration = work.enumeration;
         checker.inclusion.prune = work.prune;
         checker.inclusion.mode = work.inclusion;
+        checker.inclusion.subsume = work.subsume;
         checker
             .check_method(&method.sig, &method.body)
             .map_err(|e| {
@@ -805,6 +840,12 @@ impl RunHandle<'_> {
                 transition_misses: after
                     .transition_misses
                     .saturating_sub(stats_before.transition_misses),
+                subsumption_hits: after
+                    .subsumption_hits
+                    .saturating_sub(stats_before.subsumption_hits),
+                subsumption_misses: after
+                    .subsumption_misses
+                    .saturating_sub(stats_before.subsumption_misses),
                 lock_acquisitions: after
                     .lock_acquisitions
                     .saturating_sub(stats_before.lock_acquisitions),
@@ -958,6 +999,7 @@ impl Engine {
                                 enumeration: self.config.enumeration,
                                 prune: self.config.prune,
                                 inclusion: self.config.inclusion,
+                                subsume: self.config.subsume,
                             },
                             recipients: vec![recipient],
                             queued_at: Instant::now(),

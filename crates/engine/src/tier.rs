@@ -124,6 +124,8 @@ pub struct LocalTier {
     pub inclusion: LocalMap<bool>,
     /// DFA-shape verdicts (`D` records).
     pub shape: LocalMap<bool>,
+    /// Simulation-subsumption verdicts (`U` records).
+    pub subsumption: LocalMap<bool>,
     /// Minterm sets (`M` records).
     pub minterms: LocalMap<MintermSet>,
     /// DFA transitions (in-memory kind).

@@ -1,0 +1,57 @@
+//! Regression guard for antichain subsumption on the committed corpus: the total
+//! number of product pairs the default (`--subsume simulation`) walk enqueues across
+//! all 64 configurations must never exceed the recorded baseline
+//! (`tests/corpus_product_states.txt`). The differential harness proves pruning is
+//! sound and monotone against `--subsume off` *within one build*; this guard pins the
+//! absolute number across builds, so a refactor that silently stops the pruning from
+//! firing (verdicts stay right, the walk just grows back) fails CI instead of
+//! vanishing into a wall-clock regression.
+//!
+//! If a change legitimately shrinks the walk further, re-record with
+//! `UPDATE_BASELINE=1 cargo test -p hat-gen --test product_states_guard`.
+
+#[test]
+fn corpus_product_states_do_not_exceed_the_recorded_baseline() {
+    let baseline_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/corpus_product_states.txt"
+    );
+    let recorded: usize = std::fs::read_to_string(baseline_path)
+        .expect("committed baseline file")
+        .trim()
+        .parse()
+        .expect("the baseline file holds one integer");
+    let mut total = 0usize;
+    for bench in hat_gen::corpus() {
+        let mut checker = hat_core::Checker::new(bench.delta.clone());
+        assert_eq!(
+            checker.inclusion.subsume,
+            hat_sfa::SubsumptionMode::Simulation,
+            "the guard pins the default mode"
+        );
+        for m in &bench.methods {
+            let report = checker
+                .check_method(&m.sig, &m.body)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", bench.adt, bench.library));
+            total += report.stats.product_states;
+        }
+    }
+    if std::env::var_os("UPDATE_BASELINE").is_some() {
+        std::fs::write(baseline_path, format!("{total}\n")).expect("baseline rewritten");
+        return;
+    }
+    assert!(
+        total <= recorded,
+        "the corpus walk enqueued {total} product pairs, above the recorded baseline \
+         of {recorded}: subsumption stopped pruning somewhere (re-record with \
+         UPDATE_BASELINE=1 only if the growth is intended)"
+    );
+    // An implausibly small number means the corpus stopped exercising the walk at
+    // all, which would hollow the guard out silently.
+    assert!(
+        total >= recorded / 2,
+        "the corpus walk enqueued only {total} product pairs against a baseline of \
+         {recorded} — if a real improvement halved the walk, re-record the baseline \
+         so the guard stays tight"
+    );
+}

@@ -567,7 +567,13 @@ impl ScopedSession<'_> {
             return None;
         }
         loop {
-            match self.sat.solve_with(&self.assumptions) {
+            // Branch on the candidate pool first: blocking clauses live entirely within
+            // the pool variables, so AllSAT enumeration conflicts surface within the
+            // first |pool| decisions instead of deep inside the Tseitin encoding.
+            let solved = self
+                .sat
+                .solve_prioritised(&self.assumptions, &self.literal_vars);
+            match solved {
                 None => return None,
                 Some(model) => {
                     self.solver.stats.theory_checks += 1;

@@ -1,4 +1,12 @@
-//! A small DPLL SAT solver used as the propositional core of the lazy-SMT loop.
+//! A small SAT solver used as the propositional core of the lazy-SMT loop.
+//!
+//! Iterative DPLL with two-watched-literal propagation, saved phases and chronological
+//! backtracking. The watch scheme makes propagation cost proportional to the clauses a
+//! new assignment actually touches instead of the whole database — the difference that
+//! matters for AllSAT minterm enumeration, where hundreds of solves run against a clause
+//! set that grows by one blocking clause per model. Search order (decision variable and
+//! polarity) never affects a sat/unsat verdict, and AllSAT callers block every witness
+//! until exhaustion, so the heuristics here are free to chase speed.
 
 use super::cnf::Lit;
 
@@ -15,30 +23,86 @@ impl Model {
     }
 }
 
-/// DPLL solver with unit propagation and chronological backtracking.
+/// Index of a literal in the watch table: two slots per variable, one per polarity.
+fn lit_index(l: Lit) -> usize {
+    2 * l.var + usize::from(l.positive)
+}
+
+/// DPLL solver with two-watched-literal unit propagation and chronological backtracking.
 ///
 /// Clauses may be added between calls to [`SatSolver::solve`] (used for theory blocking
-/// clauses); each call solves from scratch, which is plenty fast for the clause counts the
-/// type checker produces.
+/// clauses); the watch lists persist across calls, so each solve pays only for the search
+/// itself, not for re-indexing the database.
 #[derive(Debug)]
 pub struct SatSolver {
     num_vars: usize,
     clauses: Vec<Vec<Lit>>,
+    /// For every literal index, the clauses currently watching that literal. A clause
+    /// watches its first two positions; propagation visits the list of a literal the
+    /// moment it becomes false.
+    watches: Vec<Vec<usize>>,
+    /// Unit clauses, asserted at the root of every solve.
+    units: Vec<Lit>,
+    /// An empty clause was added: everything is unsatisfiable.
+    unsat: bool,
+    /// Saved polarity per variable: decisions retry the phase that last satisfied the
+    /// search, which keeps consecutive AllSAT models close together. Initialised to
+    /// `true`, matching the polarity the enumeration's depth-first order explores first.
+    phase: Vec<bool>,
+}
+
+/// One entry of the iterative decision stack.
+struct Decision {
+    var: usize,
+    /// Length of the trail before this decision was made.
+    trail_len: usize,
+    /// Both polarities tried: a conflict below this point backtracks past it.
+    flipped: bool,
 }
 
 impl SatSolver {
     /// Creates a solver over `num_vars` variables with initial clauses.
     pub fn new(num_vars: usize, clauses: Vec<Vec<Lit>>) -> Self {
-        SatSolver { num_vars, clauses }
+        let mut solver = SatSolver {
+            num_vars,
+            clauses: Vec::with_capacity(clauses.len()),
+            watches: vec![Vec::new(); 2 * num_vars],
+            units: Vec::new(),
+            unsat: false,
+            phase: vec![true; num_vars],
+        };
+        for clause in clauses {
+            solver.add_clause(clause);
+        }
+        solver
     }
 
-    /// Adds a clause (e.g. a theory blocking clause).
-    pub fn add_clause(&mut self, clause: Vec<Lit>) {
-        self.clauses.push(clause);
+    /// Adds a clause (e.g. a theory blocking clause), attaching watches immediately.
+    pub fn add_clause(&mut self, mut clause: Vec<Lit>) {
+        // Normalise: a duplicated literal must not occupy both watch slots, and a
+        // tautological clause constrains nothing.
+        clause.sort_by_key(|l| (l.var, l.positive));
+        clause.dedup();
+        if clause
+            .windows(2)
+            .any(|w| w[0].var == w[1].var && w[0].positive != w[1].positive)
+        {
+            return;
+        }
+        match clause.len() {
+            0 => self.unsat = true,
+            1 => self.units.push(clause[0]),
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[lit_index(clause[0])].push(idx);
+                self.watches[lit_index(clause[1])].push(idx);
+                self.clauses.push(clause);
+            }
+        }
     }
 
     /// Finds a satisfying assignment, or `None` if the clause set is unsatisfiable.
-    pub fn solve(&self) -> Option<Model> {
+    pub fn solve(&mut self) -> Option<Model> {
         self.solve_with(&[])
     }
 
@@ -46,96 +110,161 @@ impl SatSolver {
     /// clause set is unsatisfiable under them. Assumptions are scoped to this call: the
     /// clause database is untouched, so a caller can probe many assumption sets against
     /// one (growing) set of clauses — the core of the scoped-solver API.
-    pub fn solve_with(&self, assumptions: &[Lit]) -> Option<Model> {
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> Option<Model> {
+        self.solve_prioritised(assumptions, &[])
+    }
+
+    /// [`SatSolver::solve_with`] with a branching hint: decisions try `priority` (in
+    /// order) before the remaining variables. Purely heuristic — verdicts are
+    /// order-independent — but AllSAT enumerations that branch on their literal pool
+    /// first hit each fresh blocking clause within the pool prefix of the search instead
+    /// of deep inside the Tseitin encoding.
+    pub fn solve_prioritised(&mut self, assumptions: &[Lit], priority: &[usize]) -> Option<Model> {
+        if self.unsat {
+            return None;
+        }
         let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
-        for l in assumptions {
+        let mut trail: Vec<usize> = Vec::new();
+
+        // Root level: assumptions and unit clauses are permanent for this solve; a
+        // conflict among or below them (before any decision) is final.
+        for l in assumptions.iter().chain(&self.units) {
             match assignment[l.var] {
                 Some(v) if v != l.positive => return None,
-                _ => assignment[l.var] = Some(l.positive),
-            }
-        }
-        if self.dpll(&mut assignment) {
-            Some(Model { assignment })
-        } else {
-            None
-        }
-    }
-
-    fn clause_status(&self, clause: &[Lit], assignment: &[Option<bool>]) -> ClauseStatus {
-        let mut unassigned = None;
-        let mut unassigned_count = 0;
-        for l in clause {
-            match assignment[l.var] {
-                Some(v) if v == l.positive => return ClauseStatus::Satisfied,
                 Some(_) => {}
                 None => {
-                    unassigned = Some(*l);
-                    unassigned_count += 1;
+                    assignment[l.var] = Some(l.positive);
+                    trail.push(l.var);
                 }
             }
         }
-        match unassigned_count {
-            0 => ClauseStatus::Conflict,
-            1 => ClauseStatus::Unit(unassigned.expect("counted above")),
-            _ => ClauseStatus::Unresolved,
+        let mut propagate_from = 0;
+        if !self.propagate(&mut assignment, &mut trail, &mut propagate_from) {
+            return None;
         }
-    }
 
-    /// Unit propagation; returns false on conflict, recording assigned vars in `trail`.
-    fn propagate(&self, assignment: &mut [Option<bool>], trail: &mut Vec<usize>) -> bool {
+        let mut stack: Vec<Decision> = Vec::new();
         loop {
-            let mut changed = false;
-            for clause in &self.clauses {
-                match self.clause_status(clause, assignment) {
-                    ClauseStatus::Conflict => return false,
-                    ClauseStatus::Unit(l) => {
-                        assignment[l.var] = Some(l.positive);
-                        trail.push(l.var);
-                        changed = true;
+            // Decide: first unassigned priority variable, else first unassigned.
+            let var = priority
+                .iter()
+                .copied()
+                .find(|&v| assignment[v].is_none())
+                .or_else(|| (0..self.num_vars).find(|&v| assignment[v].is_none()));
+            let Some(var) = var else {
+                return Some(Model { assignment });
+            };
+            let value = self.phase[var];
+            stack.push(Decision {
+                var,
+                trail_len: trail.len(),
+                flipped: false,
+            });
+            assignment[var] = Some(value);
+            trail.push(var);
+            propagate_from = trail.len() - 1;
+
+            while !self.propagate(&mut assignment, &mut trail, &mut propagate_from) {
+                // Chronological backtracking: flip the deepest unflipped decision.
+                loop {
+                    let top = stack.last_mut()?;
+                    for &v in &trail[top.trail_len..] {
+                        assignment[v] = None;
                     }
-                    _ => {}
+                    trail.truncate(top.trail_len);
+                    if top.flipped {
+                        stack.pop();
+                        continue;
+                    }
+                    top.flipped = true;
+                    let var = top.var;
+                    let value = !self.phase[var];
+                    assignment[var] = Some(value);
+                    trail.push(var);
+                    propagate_from = trail.len() - 1;
+                    break;
                 }
             }
-            if !changed {
-                return true;
+            // Remember the polarities that survived propagation.
+            for &v in &trail[stack.last().map_or(0, |d| d.trail_len)..] {
+                if let Some(val) = assignment[v] {
+                    self.phase[v] = val;
+                }
             }
         }
     }
 
-    fn dpll(&self, assignment: &mut Vec<Option<bool>>) -> bool {
-        let mut trail = Vec::new();
-        if !self.propagate(assignment, &mut trail) {
-            for v in trail {
-                assignment[v] = None;
+    /// Two-watched-literal unit propagation from `trail[*from..]`; returns `false` on
+    /// conflict. On success `*from` is advanced past the propagated suffix.
+    fn propagate(
+        &mut self,
+        assignment: &mut [Option<bool>],
+        trail: &mut Vec<usize>,
+        from: &mut usize,
+    ) -> bool {
+        while *from < trail.len() {
+            let var = trail[*from];
+            *from += 1;
+            let value = assignment[var].expect("trail entries are assigned");
+            // The literal that just became false.
+            let falsified = Lit {
+                var,
+                positive: !value,
+            };
+            let watch_idx = lit_index(falsified);
+            let mut list = std::mem::take(&mut self.watches[watch_idx]);
+            let mut keep = 0;
+            let mut conflict = false;
+            'clauses: for li in 0..list.len() {
+                let ci = list[li];
+                let clause = &mut self.clauses[ci];
+                // Normalise so the falsified literal sits at position 1.
+                if clause[0] == falsified {
+                    clause.swap(0, 1);
+                }
+                let other = clause[0];
+                if assignment[other.var] == Some(other.positive) {
+                    // Clause already satisfied through its other watch.
+                    list[keep] = ci;
+                    keep += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                for k in 2..clause.len() {
+                    let cand = clause[k];
+                    if assignment[cand.var] != Some(!cand.positive) {
+                        clause.swap(1, k);
+                        self.watches[lit_index(cand)].push(ci);
+                        continue 'clauses;
+                    }
+                }
+                // No replacement: the other watch is unit or the clause conflicts.
+                list[keep] = ci;
+                keep += 1;
+                match assignment[other.var] {
+                    None => {
+                        assignment[other.var] = Some(other.positive);
+                        trail.push(other.var);
+                    }
+                    Some(v) if v != other.positive => {
+                        conflict = true;
+                        // Keep the rest of the list watched before bailing out.
+                        list.copy_within(li + 1.., keep);
+                        keep += list.len() - (li + 1);
+                        break;
+                    }
+                    Some(_) => unreachable!("satisfied case handled above"),
+                }
             }
-            return false;
-        }
-        // Pick an unassigned variable, preferring ones that occur in clauses.
-        let var = (0..self.num_vars).find(|&v| assignment[v].is_none());
-        let var = match var {
-            None => return true,
-            Some(v) => v,
-        };
-        for value in [true, false] {
-            assignment[var] = Some(value);
-            if self.dpll(assignment) {
-                return true;
+            list.truncate(keep);
+            debug_assert!(self.watches[watch_idx].is_empty());
+            self.watches[watch_idx] = list;
+            if conflict {
+                return false;
             }
-            assignment[var] = None;
         }
-        for v in trail {
-            assignment[v] = None;
-        }
-        false
+        true
     }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ClauseStatus {
-    Satisfied,
-    Conflict,
-    Unit(Lit),
-    Unresolved,
 }
 
 #[cfg(test)]
@@ -149,7 +278,7 @@ mod tests {
     #[test]
     fn satisfiable_instance() {
         // (a ∨ b) ∧ (¬a ∨ b) — satisfiable with b = true.
-        let s = SatSolver::new(
+        let mut s = SatSolver::new(
             2,
             vec![
                 vec![lit(0, true), lit(1, true)],
@@ -163,14 +292,14 @@ mod tests {
     #[test]
     fn unsatisfiable_instance() {
         // a ∧ ¬a
-        let s = SatSolver::new(1, vec![vec![lit(0, true)], vec![lit(0, false)]]);
+        let mut s = SatSolver::new(1, vec![vec![lit(0, true)], vec![lit(0, false)]]);
         assert!(s.solve().is_none());
     }
 
     #[test]
     fn unit_propagation_chains() {
         // a, a→b, b→c  (as clauses) forces c.
-        let s = SatSolver::new(
+        let mut s = SatSolver::new(
             3,
             vec![
                 vec![lit(0, true)],
@@ -203,7 +332,7 @@ mod tests {
     fn assumptions_scope_to_one_call() {
         // (a ∨ b) with assumption ¬a forces b; the clause set itself stays satisfiable
         // with a = true afterwards.
-        let s = SatSolver::new(2, vec![vec![lit(0, true), lit(1, true)]]);
+        let mut s = SatSolver::new(2, vec![vec![lit(0, true), lit(1, true)]]);
         let m = s.solve_with(&[lit(0, false)]).expect("sat under ¬a");
         assert_eq!(m.get(0), Some(false));
         assert_eq!(m.get(1), Some(true));
@@ -215,15 +344,37 @@ mod tests {
 
     #[test]
     fn assumptions_conflicting_with_units_are_unsat() {
-        let s = SatSolver::new(1, vec![vec![lit(0, true)]]);
+        let mut s = SatSolver::new(1, vec![vec![lit(0, true)]]);
         assert!(s.solve_with(&[lit(0, false)]).is_none());
         assert!(s.solve_with(&[lit(0, true)]).is_some());
     }
 
     #[test]
     fn empty_clause_is_unsat() {
-        let s = SatSolver::new(1, vec![vec![]]);
+        let mut s = SatSolver::new(1, vec![vec![]]);
         assert!(s.solve().is_none());
+    }
+
+    #[test]
+    fn tautologies_and_duplicate_literals_are_normalised() {
+        // (a ∨ ¬a) constrains nothing; (a ∨ a) is just a.
+        let mut s = SatSolver::new(2, vec![vec![lit(0, true), lit(0, false)]]);
+        assert!(s.solve().is_some());
+        s.add_clause(vec![lit(1, true), lit(1, true)]);
+        let m = s.solve().unwrap();
+        assert_eq!(m.get(1), Some(true));
+        s.add_clause(vec![lit(1, false)]);
+        assert!(s.solve().is_none());
+    }
+
+    #[test]
+    fn priority_variables_are_decided_first() {
+        // Unconstrained vars: priority order decides assignment order, phases default
+        // to true either way.
+        let mut s = SatSolver::new(4, vec![vec![lit(2, false), lit(3, true)]]);
+        let m = s.solve_prioritised(&[lit(2, true)], &[2, 3]).unwrap();
+        assert_eq!(m.get(2), Some(true));
+        assert_eq!(m.get(3), Some(true));
     }
 
     #[test]
@@ -241,7 +392,24 @@ mod tests {
                 }
             }
         }
-        let s = SatSolver::new(6, clauses);
+        let mut s = SatSolver::new(6, clauses);
         assert!(s.solve().is_none());
+    }
+
+    #[test]
+    fn allsat_blocking_enumerates_every_model_once() {
+        // 3 free variables: exactly 8 models, each blocked as found.
+        let mut s = SatSolver::new(3, vec![]);
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(m) = s.solve() {
+            let proj: Vec<bool> = (0..3).map(|v| m.get(v).unwrap()).collect();
+            assert!(seen.insert(proj.clone()), "model repeated: {proj:?}");
+            s.add_clause(
+                (0..3)
+                    .map(|v| lit(v, !m.get(v).unwrap()))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(seen.len(), 8);
     }
 }

@@ -17,6 +17,7 @@
 
 use crate::ast::{Sfa, SymbolicEvent};
 use crate::minterm::Minterm;
+use crate::subsume::{Subsumer, SubsumptionMode};
 use hat_logic::Formula;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -42,6 +43,24 @@ pub trait TransitionOracle {
     /// Memoises a computed successor for later [`TransitionOracle::derivative_lookup`]s.
     fn derivative_store(&mut self, state: &Sfa, m: &Minterm, succ: &Sfa) {
         let _ = (state, m, succ);
+    }
+
+    /// Looks up a persisted simulation verdict `L(a) ⊆ L(b)` over `alphabet` (see
+    /// [`crate::subsume`]). The verdict is a semantic fact about the α-renamed
+    /// (residual pair, alphabet), so implementations can key a cross-run memo on exactly
+    /// that data. `None` (the default) makes the walk compute the fixpoint locally.
+    fn subsumption_lookup(&mut self, a: &Sfa, b: &Sfa, alphabet: &[Minterm]) -> Option<bool> {
+        let _ = (a, b, alphabet);
+        None
+    }
+
+    /// Persists a definite simulation verdict for later
+    /// [`TransitionOracle::subsumption_lookup`]s. Implementations must refuse to store
+    /// when a context-dependent SMT fallback fired during the surrounding walk (the
+    /// `shape_key` discipline): the rows the verdict was computed from would no longer
+    /// be a pure function of the key.
+    fn subsumption_store(&mut self, a: &Sfa, b: &Sfa, alphabet: &[Minterm], verdict: bool) {
+        let _ = (a, b, alphabet, verdict);
     }
 }
 
@@ -218,6 +237,16 @@ impl LazySide {
             .map(|r| r.as_ref().map(Vec::len).unwrap_or(0))
             .sum()
     }
+
+    /// The discovered states, for the subsumption order.
+    fn states(&self) -> &[Sfa] {
+        &self.states
+    }
+
+    /// The (partially derived) transition rows, for the subsumption order.
+    fn rows(&self) -> &[Option<Vec<usize>>] {
+        &self.rows
+    }
 }
 
 /// The outcome of one on-the-fly product walk (see [`product_included`]).
@@ -225,7 +254,9 @@ impl LazySide {
 pub struct ProductRun {
     /// Whether `L(A) ⊆ L(B)` over the given alphabet (no accepting product state).
     pub included: bool,
-    /// Distinct product states discovered before the walk finished or exited early.
+    /// Distinct product states the walk explored (enqueued) before it finished or
+    /// exited early. Pairs dropped by subsumption are not counted — under
+    /// [`SubsumptionMode::Off`] this is exactly the number of distinct pairs derived.
     pub product_states: usize,
     /// Residual states of `A` discovered by the frontier.
     pub left_states: usize,
@@ -235,6 +266,12 @@ pub struct ProductRun {
     pub left_transitions: usize,
     /// Transitions derived on `B`'s side.
     pub right_transitions: usize,
+    /// Candidate-pair × antichain-member subsumption comparisons performed.
+    pub subsumption_checks: usize,
+    /// Derived pairs dropped because a visited pair subsumes them.
+    pub subsumed_pairs: usize,
+    /// Simulation verdicts answered from the persistent memo.
+    pub simulation_memo_hits: usize,
 }
 
 /// Decides `L(a) ⊆ L(b)` over the minterm alphabet by on-the-fly emptiness of the
@@ -263,11 +300,34 @@ pub fn product_included(
     oracle: &mut dyn TransitionOracle,
     max_states: usize,
 ) -> Result<ProductRun, DfaBuildError> {
+    product_included_with(a, b, alphabet, oracle, max_states, SubsumptionMode::Off)
+}
+
+/// [`product_included`] with a configurable antichain subsumption order (see
+/// [`crate::subsume`]): the visited set is kept as an antichain of product pairs, and a
+/// newly-derived pair is dropped when a visited pair subsumes it — its A-residual
+/// language shrinks and its B-residual language grows, so exploring it cannot reveal a
+/// new counterexample. All modes are verdict-identical; subsumption only shrinks the
+/// explored pair set (and with it the rows that have to be derived). A subsumed
+/// accepting pair forces its (already enqueued) subsumer to be accepting, so early exit
+/// happens no later, and the pruned walk derives a subset of the unpruned walk's rows,
+/// so it can never hit a state bound the unpruned walk would not.
+pub fn product_included_with(
+    a: &Sfa,
+    b: &Sfa,
+    alphabet: &[Minterm],
+    oracle: &mut dyn TransitionOracle,
+    max_states: usize,
+    subsume: SubsumptionMode,
+) -> Result<ProductRun, DfaBuildError> {
     let mut left = LazySide::new(a.alpha_normal());
     let mut right = LazySide::new(b.alpha_normal());
     let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut antichain: Vec<(usize, usize)> = Vec::new();
     let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    let mut subsumer = Subsumer::new(subsume);
     seen.insert((0, 0));
+    antichain.push((0, 0));
     queue.push_back((0, 0));
     let mut included = true;
     while let Some((sa, sb)) = queue.pop_front() {
@@ -278,18 +338,36 @@ pub fn product_included(
         left.ensure_row(sa, alphabet, oracle, max_states)?;
         right.ensure_row(sb, alphabet, oracle, max_states)?;
         for (&na, &nb) in left.row(sa).iter().zip(right.row(sb)) {
-            if seen.insert((na, nb)) {
-                queue.push_back((na, nb));
+            if !seen.insert((na, nb)) {
+                continue;
             }
+            if subsumer.subsumed(
+                na,
+                nb,
+                &antichain,
+                left.states(),
+                left.rows(),
+                right.states(),
+                right.rows(),
+                alphabet,
+                oracle,
+            ) {
+                continue;
+            }
+            antichain.push((na, nb));
+            queue.push_back((na, nb));
         }
     }
     Ok(ProductRun {
         included,
-        product_states: seen.len(),
+        product_states: antichain.len(),
         left_states: left.num_states(),
         right_states: right.num_states(),
         left_transitions: left.num_transitions(),
         right_transitions: right.num_transitions(),
+        subsumption_checks: subsumer.stats.subsumption_checks,
+        subsumed_pairs: subsumer.stats.subsumed_pairs,
+        simulation_memo_hits: subsumer.stats.simulation_memo_hits,
     })
 }
 

@@ -50,10 +50,11 @@
 //! ```
 
 use crate::ast::{OpSig, Sfa, SymbolicEvent};
-use crate::dfa::{product_included, Dfa, DfaBuildError, TransitionOracle};
+use crate::dfa::{product_included_with, Dfa, DfaBuildError, TransitionOracle};
 use crate::minterm::{
     arg_name, build_minterms_with, res_name, EnumerationMode, LiteralPool, Minterm, MintermSet,
 };
+use crate::subsume::SubsumptionMode;
 use hat_logic::{Atom, Formula, Ident, ScopedSession, Sort};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
@@ -99,6 +100,9 @@ pub enum MemoKind {
     Shape,
     /// One Brzozowski derivative `state × answers → successor`.
     Transition,
+    /// One simulation-subsumption verdict `L(a) ⊆ L(b)` between two residual states
+    /// over a pruned group alphabet.
+    Subsumption,
 }
 
 /// One memoisable unit of work, carrying everything an oracle needs to canonicalise its
@@ -147,6 +151,21 @@ pub enum MemoQuery<'a> {
         /// The DFA state bound the walk ran under.
         max_states: usize,
     },
+    /// One simulation-subsumption verdict (answer: [`MemoAnswer::Verdict`]): whether
+    /// `L(a) ⊆ L(b)` over the pruned group alphabet, as certified (or definitely
+    /// refuted) by the simulation fixpoint. Like [`MemoQuery::Shape`], the verdict is a
+    /// semantic fact about the α-renamed (residual pair, alphabet) — transitions are
+    /// resolved propositionally from minterm assignments that are part of the key — so
+    /// it is shared across contexts and benchmarks with different axiom sets. Callers
+    /// only store when no context-dependent SMT fallback fired.
+    Subsumption {
+        /// The smaller residual.
+        a: &'a Sfa,
+        /// The larger residual.
+        b: &'a Sfa,
+        /// The (pruned) group alphabet the order is relative to.
+        alphabet: &'a [Minterm],
+    },
     /// One DFA transition (answer: [`MemoAnswer::Transition`]). A Brzozowski successor
     /// is a pure syntactic function of the state formula and the signed answers for the
     /// symbolic events and guards occurring in it — axioms, context facts and the
@@ -170,6 +189,7 @@ impl MemoQuery<'_> {
             MemoQuery::Minterms { .. } => MemoKind::Minterms,
             MemoQuery::Inclusion { .. } => MemoKind::Inclusion,
             MemoQuery::Shape { .. } => MemoKind::Shape,
+            MemoQuery::Subsumption { .. } => MemoKind::Subsumption,
             MemoQuery::Transition { .. } => MemoKind::Transition,
         }
     }
@@ -341,6 +361,13 @@ pub struct InclusionStats {
     /// Number of per-group product walks answered from the shape memo instead of being
     /// walked.
     pub shape_memo_hits: usize,
+    /// Number of candidate-pair × antichain-member subsumption comparisons performed by
+    /// on-the-fly walks (0 under [`SubsumptionMode::Off`]).
+    pub subsumption_checks: usize,
+    /// Number of derived product pairs dropped because a visited pair subsumed them.
+    pub subsumed_pairs: usize,
+    /// Number of simulation-subsumption verdicts answered from the persistent memo.
+    pub simulation_memo_hits: usize,
     /// Total wall-clock time spent inside inclusion checking (includes solver time).
     pub time: Duration,
 }
@@ -370,6 +397,9 @@ impl InclusionStats {
         self.transition_memo_hits += other.transition_memo_hits;
         self.product_states += other.product_states;
         self.shape_memo_hits += other.shape_memo_hits;
+        self.subsumption_checks += other.subsumption_checks;
+        self.subsumed_pairs += other.subsumed_pairs;
+        self.simulation_memo_hits += other.simulation_memo_hits;
         self.time += other.time;
     }
 }
@@ -569,6 +599,31 @@ impl TransitionOracle for MatchOracle<'_> {
         self.oracle
             .memo_store(&query, &MemoAnswer::Transition(Cow::Borrowed(succ)));
     }
+
+    fn subsumption_lookup(&mut self, a: &Sfa, b: &Sfa, alphabet: &[Minterm]) -> Option<bool> {
+        if !self.oracle.memoises(MemoKind::Subsumption) {
+            return None;
+        }
+        let query = MemoQuery::Subsumption { a, b, alphabet };
+        self.oracle
+            .memo_lookup(&query)
+            .and_then(|ans| ans.verdict())
+    }
+
+    fn subsumption_store(&mut self, a: &Sfa, b: &Sfa, alphabet: &[Minterm], verdict: bool) {
+        if !self.oracle.memoises(MemoKind::Subsumption) {
+            return;
+        }
+        // The `shape_key` purity discipline: an SMT fallback anywhere in this check
+        // means transition rows may have consulted the typing context behind the key's
+        // back, so nothing computed from them is a pure function of its key.
+        if self.fallback_queries > 0 {
+            return;
+        }
+        let query = MemoQuery::Subsumption { a, b, alphabet };
+        self.oracle
+            .memo_store(&query, &MemoAnswer::Verdict(verdict));
+    }
 }
 
 /// How each per-group language-inclusion problem over the minterm alphabet is decided.
@@ -614,6 +669,10 @@ pub struct InclusionChecker {
     /// default; the materialising path is kept for differential testing and
     /// measurement).
     pub mode: InclusionMode,
+    /// How the on-the-fly walk prunes its frontier (antichain subsumption, see
+    /// [`crate::subsume`]; simulation by default, verdict-identical in every mode).
+    /// Ignored by [`InclusionMode::Materialise`], which is the unpruned baseline.
+    pub subsume: SubsumptionMode,
     /// Accumulated statistics.
     pub stats: InclusionStats,
 }
@@ -627,6 +686,7 @@ impl InclusionChecker {
             enumeration: EnumerationMode::default(),
             prune: true,
             mode: InclusionMode::default(),
+            subsume: SubsumptionMode::default(),
             stats: InclusionStats::default(),
         }
     }
@@ -719,11 +779,21 @@ impl InclusionChecker {
             let fallbacks_before = matcher.fallback_queries;
             let included = match self.mode {
                 InclusionMode::OnTheFly => {
-                    let run = product_included(a, b, &alphabet, &mut matcher, self.max_states)?;
+                    let run = product_included_with(
+                        a,
+                        b,
+                        &alphabet,
+                        &mut matcher,
+                        self.max_states,
+                        self.subsume,
+                    )?;
                     self.stats.dfas_built += 2;
                     self.stats.fa_states += run.left_states + run.right_states;
                     self.stats.fa_transitions += run.left_transitions + run.right_transitions;
                     self.stats.product_states += run.product_states;
+                    self.stats.subsumption_checks += run.subsumption_checks;
+                    self.stats.subsumed_pairs += run.subsumed_pairs;
+                    self.stats.simulation_memo_hits += run.simulation_memo_hits;
                     run.included
                 }
                 InclusionMode::Materialise => {
@@ -772,8 +842,9 @@ impl InclusionChecker {
 /// Three-valued evaluation of a formula under a (partial) truth assignment to its atoms:
 /// `Some(v)` when the assigned atoms determine the value, `None` when an unassigned atom
 /// (or a quantifier) leaves it open. Short-circuiting is sound: a falsified conjunct
-/// decides a conjunction even when siblings are undetermined.
-fn eval_under(f: &Formula, assignment: &[(Atom, bool)]) -> Option<bool> {
+/// decides a conjunction even when siblings are undetermined. Shared with the
+/// subsumption order's leaf-support comparison ([`crate::subsume`]).
+pub(crate) fn eval_under(f: &Formula, assignment: &[(Atom, bool)]) -> Option<bool> {
     match f {
         Formula::True => Some(true),
         Formula::False => Some(false),

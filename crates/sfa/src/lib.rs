@@ -17,7 +17,8 @@
 //! * the language-inclusion check used by HAT subtyping ([`inclusion`]), which mirrors
 //!   Algorithm 1 of the paper (including its use of SMT queries to keep only satisfiable
 //!   minterms), deciding each per-group problem on the fly by default
-//!   ([`InclusionMode`]).
+//!   ([`InclusionMode`]), with antichain subsumption pruning the product frontier
+//!   ([`SubsumptionMode`]).
 
 pub mod accept;
 pub mod ast;
@@ -25,13 +26,15 @@ pub mod dfa;
 pub mod event;
 pub mod inclusion;
 pub mod minterm;
+pub mod subsume;
 
 pub use accept::{accepts, TraceModel};
 pub use ast::{OpSig, Sfa, SymbolicEvent};
-pub use dfa::{product_included, Dfa, DfaBuildError, ProductRun};
+pub use dfa::{product_included, product_included_with, Dfa, DfaBuildError, ProductRun};
 pub use event::{Event, Trace};
 pub use inclusion::{
     InclusionChecker, InclusionMode, InclusionStats, MemoAnswer, MemoKind, MemoQuery, SolverOracle,
     VarCtx,
 };
 pub use minterm::{EnumerationMode, LiteralPool, Minterm, MintermSet};
+pub use subsume::{SubsumeStats, SubsumptionMode};

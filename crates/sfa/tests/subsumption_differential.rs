@@ -1,0 +1,186 @@
+//! Differential harness for antichain subsumption: the pruned on-the-fly product walk
+//! (`--subsume syntactic|simulation`) must produce exactly the verdicts of the
+//! unpruned walk (`--subsume off`) while never *enqueuing* more product pairs — and on
+//! frontier-heavy shapes it must enqueue strictly fewer. Random configurations come
+//! from the same deterministic xorshift stream as the other differential harnesses
+//! (`tests/common/mod.rs`); the committed gen corpus adds 64 verdict-known
+//! whole-benchmark configurations on top.
+
+use hat_logic::{Solver, Sort};
+use hat_sfa::{InclusionChecker, OpSig, SubsumptionMode};
+
+mod common;
+
+use common::{random_case, XorShift};
+
+fn ops() -> Vec<OpSig> {
+    vec![
+        OpSig::new("tick", vec![("x".into(), Sort::Int)], Sort::Unit),
+        OpSig::new("probe", vec![], Sort::Bool),
+        OpSig::new("noop", vec![], Sort::Unit),
+    ]
+}
+
+const MODES: [SubsumptionMode; 3] = [
+    SubsumptionMode::Off,
+    SubsumptionMode::Syntactic,
+    SubsumptionMode::Simulation,
+];
+
+#[test]
+fn random_configs_agree_across_all_three_subsumption_modes() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    let mut failed_somewhere = false;
+    let mut passed_somewhere = false;
+    let mut pruned_somewhere = false;
+    for case in 0..24 {
+        let (ctx, ops, a, b) = random_case(&mut rng, &ops());
+        let mut verdicts = Vec::new();
+        let mut states = Vec::new();
+        for mode in MODES {
+            let mut checker = InclusionChecker::new(ops.clone());
+            checker.subsume = mode;
+            let mut solver = Solver::default();
+            let verdict = checker.check(&ctx, &a, &b, &mut solver);
+            verdicts.push(verdict);
+            states.push(checker.stats.product_states);
+            if mode == SubsumptionMode::Off {
+                assert_eq!(
+                    checker.stats.subsumption_checks, 0,
+                    "case {case}: --subsume off must not probe the antichain"
+                );
+            } else {
+                pruned_somewhere |= checker.stats.subsumed_pairs > 0;
+            }
+        }
+        let baseline = verdicts[0].clone();
+        for (mode, verdict) in MODES.iter().zip(&verdicts).skip(1) {
+            match (&baseline, verdict) {
+                (Ok(off), Ok(sub)) => assert_eq!(
+                    off,
+                    sub,
+                    "case {case}: {} changed the verdict of {a} ⊆ {b}",
+                    mode.as_str()
+                ),
+                (Err(_), Err(_)) => {}
+                // The one permitted asymmetry: pruning shrinks the frontier, so a walk
+                // the unpruned mode aborts at the state bound can complete under
+                // subsumption. The reverse is impossible — the pruned walk enqueues a
+                // subset of the unpruned walk's pairs.
+                (Err(_), Ok(_)) => {}
+                (Ok(_), Err(e)) => panic!(
+                    "case {case}: {} aborted ({e:?}) an instance the unpruned walk \
+                     completed",
+                    mode.as_str()
+                ),
+            }
+        }
+        if baseline.is_ok() {
+            for (mode, &n) in MODES.iter().zip(&states).skip(1) {
+                assert!(
+                    n <= states[0],
+                    "case {case}: {} enqueued {n} product pairs, more than the \
+                     unpruned walk's {}",
+                    mode.as_str(),
+                    states[0]
+                );
+            }
+            failed_somewhere |= matches!(baseline, Ok(false));
+            passed_somewhere |= matches!(baseline, Ok(true));
+        }
+    }
+    assert!(
+        failed_somewhere && passed_somewhere,
+        "the random stream must exercise both verdicts"
+    );
+    assert!(
+        pruned_somewhere,
+        "the random stream must make subsumption fire at least once"
+    );
+}
+
+#[test]
+fn committed_gen_corpus_is_verdict_identical_and_never_larger() {
+    let mut product_states = [0usize; 3];
+    let mut subsumed = [0usize; 3];
+    for bench in hat_gen::corpus() {
+        let mut verdicts: Vec<Vec<bool>> = Vec::new();
+        for (mi, mode) in MODES.iter().enumerate() {
+            let mut checker = hat_core::Checker::new(bench.delta.clone());
+            checker.inclusion.subsume = *mode;
+            let mut seen = Vec::new();
+            for m in &bench.methods {
+                let report = checker
+                    .check_method(&m.sig, &m.body)
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", bench.adt, bench.library));
+                assert_eq!(
+                    report.verified,
+                    m.expect_verified,
+                    "{}/{} {} under --subsume {}",
+                    bench.adt,
+                    bench.library,
+                    m.sig.name,
+                    mode.as_str()
+                );
+                product_states[mi] += report.stats.product_states;
+                subsumed[mi] += report.stats.subsumed_pairs;
+                seen.push(report.verified);
+            }
+            verdicts.push(seen);
+        }
+        assert!(
+            verdicts.iter().all(|v| v == &verdicts[0]),
+            "{}/{}: modes disagree",
+            bench.adt,
+            bench.library
+        );
+    }
+    assert_eq!(subsumed[0], 0, "--subsume off must never prune");
+    for (mode, &n) in MODES.iter().zip(&product_states).skip(1) {
+        assert!(
+            n <= product_states[0],
+            "--subsume {} enqueued {n} product pairs across the corpus, more than \
+             the unpruned walk's {}",
+            mode.as_str(),
+            product_states[0]
+        );
+    }
+}
+
+#[test]
+fn subsumption_strictly_shrinks_a_frontier_heavy_walk() {
+    // Scan the shared stream for shapes whose product frontier carries comparable
+    // pairs, and require that on at least one of them subsumption both fires and
+    // strictly shrinks the walk. The stream is deterministic, so this is a fixed
+    // regression anchor: if a refactor stops the pruning from ever firing, this fails.
+    let mut rng = XorShift(0x1d872b41dbd8f3a7);
+    let mut strict_shrink = false;
+    for _ in 0..48 {
+        let (ctx, ops, a, b) = random_case(&mut rng, &ops());
+        let mut off = InclusionChecker::new(ops.clone());
+        off.subsume = SubsumptionMode::Off;
+        let mut off_solver = Solver::default();
+        let Ok(v_off) = off.check(&ctx, &a, &b, &mut off_solver) else {
+            continue;
+        };
+        let mut sim = InclusionChecker::new(ops);
+        assert_eq!(
+            sim.subsume,
+            SubsumptionMode::Simulation,
+            "simulation must be the default"
+        );
+        let mut sim_solver = Solver::default();
+        let v_sim = sim.check(&ctx, &a, &b, &mut sim_solver).expect(
+            "the pruned walk enqueues a subset of the unpruned walk's pairs, so it \
+             cannot abort where the unpruned walk completed",
+        );
+        assert_eq!(v_off, v_sim);
+        if sim.stats.subsumed_pairs > 0 && sim.stats.product_states < off.stats.product_states {
+            strict_shrink = true;
+        }
+    }
+    assert!(
+        strict_shrink,
+        "no shape in the stream was strictly shrunk by simulation subsumption"
+    );
+}
